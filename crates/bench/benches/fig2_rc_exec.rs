@@ -1,0 +1,30 @@
+//! Figure 2 — execution times relative to BASIC under release consistency.
+//!
+//! Prints the regenerated figure, then benches one simulation per
+//! (application × protocol) cell.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dirext_bench::{suite, workload};
+use dirext_core::{Consistency, ProtocolKind};
+use dirext_sim::experiments;
+use dirext_workloads::App;
+
+fn bench(c: &mut Criterion) {
+    let fig = experiments::fig2(&suite()).expect("fig2 sweep");
+    eprintln!("\n{fig}\n");
+
+    let mut group = c.benchmark_group("fig2_rc_exec");
+    group.sample_size(10);
+    for app in App::ALL {
+        let w = workload(app);
+        for kind in [ProtocolKind::Basic, ProtocolKind::PCw, ProtocolKind::PCwM] {
+            group.bench_function(format!("{app}/{kind}"), |b| {
+                b.iter(|| experiments::run_protocol(&w, kind, Consistency::Rc).expect("run"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

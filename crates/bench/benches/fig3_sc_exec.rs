@@ -1,0 +1,28 @@
+//! Figure 3 — execution times under sequential consistency
+//! (B-SC, P, M-SC, P+M, with the BASIC-RC reference line).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dirext_bench::{suite, workload};
+use dirext_core::{Consistency, ProtocolKind};
+use dirext_sim::experiments;
+use dirext_workloads::App;
+
+fn bench(c: &mut Criterion) {
+    let fig = experiments::fig3(&suite()).expect("fig3 sweep");
+    eprintln!("\n{fig}\n");
+
+    let mut group = c.benchmark_group("fig3_sc_exec");
+    group.sample_size(10);
+    for app in [App::Mp3d, App::Cholesky, App::Water] {
+        let w = workload(app);
+        for kind in [ProtocolKind::Basic, ProtocolKind::PM] {
+            group.bench_function(format!("{app}/{kind}-SC"), |b| {
+                b.iter(|| experiments::run_protocol(&w, kind, Consistency::Sc).expect("run"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 4 — total network traffic normalized to BASIC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dirext_bench::{suite, workload};
+use dirext_core::{Consistency, ProtocolKind};
+use dirext_sim::experiments;
+use dirext_workloads::App;
+
+fn bench(c: &mut Criterion) {
+    let fig = experiments::fig4(&suite()).expect("fig4 sweep");
+    eprintln!("\n{fig}\n");
+
+    let mut group = c.benchmark_group("fig4_traffic");
+    group.sample_size(10);
+    for kind in [ProtocolKind::Basic, ProtocolKind::M, ProtocolKind::PCw] {
+        let w = workload(App::Cholesky);
+        group.bench_function(format!("Cholesky/{kind}"), |b| {
+            b.iter(|| experiments::run_protocol(&w, kind, Consistency::Rc).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

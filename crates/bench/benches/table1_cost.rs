@@ -1,0 +1,40 @@
+//! Table 1 — hardware cost of BASIC and each extension.
+//!
+//! The table is a property of the implementation (`dirext_core::cost`);
+//! the bench prints it and measures the (trivial) computation plus a
+//! machine-construction round for each protocol, which exercises how the
+//! per-line state scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dirext_core::cost::HardwareCost;
+use dirext_core::{Consistency, ProtocolKind};
+use dirext_sim::{Machine, MachineConfig};
+use dirext_workloads::micro;
+
+fn bench(c: &mut Criterion) {
+    eprintln!("\n{}", dirext_sim::experiments::table1(16));
+
+    let mut group = c.benchmark_group("table1_cost");
+    group.bench_function("cost_model_all_protocols", |b| {
+        b.iter(|| {
+            ProtocolKind::ALL
+                .iter()
+                .map(|k| HardwareCost::of(&k.config(Consistency::Rc), 16).slc_bits_per_line)
+                .sum::<u32>()
+        })
+    });
+    let w = micro::migratory_pingpong(16, 4, 50);
+    for kind in [ProtocolKind::Basic, ProtocolKind::PCwM] {
+        group.bench_function(format!("machine_build_and_run/{kind}"), |b| {
+            b.iter(|| {
+                Machine::new(MachineConfig::paper_default(kind.config(Consistency::Rc)))
+                    .run(&w)
+                    .expect("run")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 2 — cold and coherence miss-rate components.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dirext_bench::{suite, workload};
+use dirext_core::{Consistency, ProtocolKind};
+use dirext_sim::experiments;
+use dirext_workloads::App;
+
+fn bench(c: &mut Criterion) {
+    let table = experiments::table2(&suite()).expect("table2 sweep");
+    eprintln!("\n{table}\n");
+    // The additivity observation the paper highlights in boldface.
+    for row in &table.rows {
+        let (cold_gap, coh_gap) = row.additivity_error();
+        eprintln!(
+            "  {:9} additivity error: cold {:.2}pp, coherence {:.2}pp",
+            row.app, cold_gap, coh_gap
+        );
+    }
+
+    let mut group = c.benchmark_group("table2_miss_rates");
+    group.sample_size(10);
+    for kind in [
+        ProtocolKind::Basic,
+        ProtocolKind::P,
+        ProtocolKind::Cw,
+        ProtocolKind::PCw,
+    ] {
+        let w = workload(App::Mp3d);
+        group.bench_function(format!("MP3D/{kind}"), |b| {
+            b.iter(|| experiments::run_protocol(&w, kind, Consistency::Rc).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Shared helpers for the `dirext` benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables or figures
+//! (printed to stderr before timing starts) and then measures the
+//! simulator's throughput on representative configurations. The benches
+//! run the suite at [`bench_scale`] so a full `cargo bench` finishes in
+//! minutes; use the `dirext` CLI with `--scale paper` for the full-scale
+//! tables recorded in `EXPERIMENTS.md`.
+
+use dirext_sim::trace::Workload;
+use dirext_workloads::{App, Scale};
+
+/// The problem scale used by the benches.
+pub fn bench_scale() -> Scale {
+    Scale::Small
+}
+
+/// The five-application suite at bench scale.
+pub fn suite() -> Vec<Workload> {
+    App::ALL
+        .iter()
+        .map(|a| a.workload(16, bench_scale()))
+        .collect()
+}
+
+/// One application's workload at bench scale.
+pub fn workload(app: App) -> Workload {
+    app.workload(16, bench_scale())
+}

@@ -1,0 +1,504 @@
+//! `dirext` — command-line experiment runner.
+//!
+//! Regenerates every table and figure of *"Combined Performance Gains of
+//! Simple Cache Protocol Extensions"* (ISCA 1994) from the `dirext`
+//! simulator. Run `dirext help` for usage.
+
+mod svg;
+
+use std::process::ExitCode;
+
+use dirext_core::config::Consistency;
+use dirext_core::ProtocolKind;
+use dirext_sim::experiments::{self, sens};
+use dirext_sim::Machine;
+use dirext_sim::MachineConfig;
+use dirext_trace::Workload;
+use dirext_workloads::{App, Scale};
+
+const USAGE: &str = "\
+dirext — reproduce 'Combined Performance Gains of Simple Cache Protocol Extensions' (ISCA 1994)
+
+USAGE:
+    dirext <COMMAND> [--scale paper|small|tiny] [--procs N] [--app NAME] [--json]
+
+COMMANDS:
+    fig2           Figure 2: relative execution times under RC
+    table2         Table 2: cold & coherence miss rates
+    fig3           Figure 3: execution times under SC
+    table3         Table 3: execution-time ratios on 64/32/16-bit meshes
+    fig4           Figure 4: network traffic normalized to BASIC
+    table1         Table 1: hardware cost model
+    sens-buffers   §5.4: 4-entry FLWB/SLWB sensitivity
+    sens-cache     §5.4: 16-KB SLC sensitivity
+    miss-latency   §5.1: average read-miss latency, BASIC vs CW
+    scaling        Extension: processor-count sweep 4..64 (--app)
+    topology       Extension: uniform vs mesh vs ring interconnects
+    stress         Protocol fuzzer: random workloads through all protocols
+                   (--seeds N, default 50; every run is coherence-audited)
+    run            One simulation: --app or --trace, --protocol, --consistency
+    dump-trace     Write a workload as a text trace to stdout (--app, --scale)
+    validate       Check a trace file without running it (--trace FILE)
+    report         Run every experiment and write a markdown report (--out)
+    suite          Print the workload suite's sizes
+    help           This message
+
+OPTIONS:
+    --scale     Problem scale (default: paper)
+    --procs     Processor count (default: 16)
+    --app       Restrict to one application (MP3D, Cholesky, Water, LU, Ocean)
+    --protocol  For `run`: BASIC, P, M, CW, P+CW, P+M, CW+M, P+CW+M
+    --consistency  For `run`: rc (default) or sc
+    --json      For `run`: emit the metrics as JSON
+    --csv       For fig2/table2/fig3/table3/fig4: emit CSV instead of a table
+    --svg       For fig2/fig3/fig4: also write the figure as an SVG file
+    --trace     For `run`: load the workload from a text trace file
+    --seeds     For `stress`: number of random seeds to sweep (default 50)
+    --out       For `report`: output file (default: stdout)
+    --network   For `run`: uniform (default), mesh64, mesh32, mesh16,
+                ring64, ring32, ring16
+";
+
+#[derive(Debug)]
+struct Args {
+    command: String,
+    scale: Scale,
+    procs: usize,
+    app: Option<App>,
+    protocol: ProtocolKind,
+    consistency: Consistency,
+    json: bool,
+    csv: bool,
+    trace: Option<String>,
+    seeds: u64,
+    network: dirext_sim::NetworkKind,
+    out: Option<String>,
+    svg: Option<String>,
+}
+
+fn parse_app(s: &str) -> Option<App> {
+    App::ALL
+        .iter()
+        .copied()
+        .find(|a| a.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_protocol(s: &str) -> Option<ProtocolKind> {
+    ProtocolKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| "help".to_owned());
+    let mut parsed = Args {
+        command,
+        scale: Scale::Paper,
+        procs: 16,
+        app: None,
+        protocol: ProtocolKind::Basic,
+        consistency: Consistency::Rc,
+        json: false,
+        csv: false,
+        trace: None,
+        seeds: 50,
+        network: dirext_sim::NetworkKind::Uniform,
+        out: None,
+        svg: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scale" => {
+                parsed.scale = match value("--scale")?.as_str() {
+                    "paper" => Scale::Paper,
+                    "small" => Scale::Small,
+                    "tiny" => Scale::Tiny,
+                    other => return Err(format!("unknown scale '{other}'")),
+                }
+            }
+            "--procs" => {
+                parsed.procs = value("--procs")?
+                    .parse()
+                    .map_err(|e| format!("bad --procs: {e}"))?;
+                if parsed.procs == 0 || parsed.procs > 64 {
+                    return Err(format!(
+                        "--procs must be between 1 and 64, got {}",
+                        parsed.procs
+                    ));
+                }
+            }
+            "--app" => {
+                let v = value("--app")?;
+                parsed.app = Some(parse_app(&v).ok_or_else(|| format!("unknown app '{v}'"))?);
+            }
+            "--protocol" => {
+                let v = value("--protocol")?;
+                parsed.protocol =
+                    parse_protocol(&v).ok_or_else(|| format!("unknown protocol '{v}'"))?;
+            }
+            "--consistency" => {
+                parsed.consistency = match value("--consistency")?.as_str() {
+                    "rc" => Consistency::Rc,
+                    "sc" => Consistency::Sc,
+                    other => return Err(format!("unknown consistency '{other}'")),
+                }
+            }
+            "--json" => parsed.json = true,
+            "--csv" => parsed.csv = true,
+            "--trace" => parsed.trace = Some(value("--trace")?),
+            "--seeds" => {
+                parsed.seeds = value("--seeds")?
+                    .parse()
+                    .map_err(|e| format!("bad --seeds: {e}"))?;
+            }
+            "--out" => parsed.out = Some(value("--out")?),
+            "--svg" => parsed.svg = Some(value("--svg")?),
+            "--network" => {
+                use dirext_sim::NetworkKind as Nk;
+                parsed.network = match value("--network")?.as_str() {
+                    "uniform" => Nk::Uniform,
+                    "mesh64" => Nk::Mesh { link_bits: 64 },
+                    "mesh32" => Nk::Mesh { link_bits: 32 },
+                    "mesh16" => Nk::Mesh { link_bits: 16 },
+                    "ring64" => Nk::Ring { link_bits: 64 },
+                    "ring32" => Nk::Ring { link_bits: 32 },
+                    "ring16" => Nk::Ring { link_bits: 16 },
+                    other => return Err(format!("unknown network '{other}'")),
+                };
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(parsed)
+}
+
+fn suite(args: &Args) -> Vec<Workload> {
+    let apps: Vec<App> = match args.app {
+        Some(a) => vec![a],
+        None => App::ALL.to_vec(),
+    };
+    apps.into_iter()
+        .map(|a| a.workload(args.procs, args.scale))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    match args.command.as_str() {
+        "fig2" => {
+            let r = experiments::fig2(&suite(args))?;
+            if let Some(path) = &args.svg {
+                let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
+                let series: Vec<String> = experiments::fig2::FIG2_PROTOCOLS
+                    .iter()
+                    .map(|k| k.name().to_owned())
+                    .collect();
+                let values: Vec<Vec<f64>> = r.rows.iter().map(|row| row.relative_times()).collect();
+                let chart = svg::grouped_bars(
+                    "Figure 2: execution time relative to BASIC (RC)",
+                    &groups,
+                    &series,
+                    &values,
+                    1.0,
+                );
+                std::fs::write(path, chart)?;
+                eprintln!("figure written to {path}");
+            }
+            if args.csv {
+                print!("{}", r.csv())
+            } else {
+                println!("{r}")
+            }
+        }
+        "table2" => {
+            let r = experiments::table2(&suite(args))?;
+            if args.csv {
+                print!("{}", r.csv())
+            } else {
+                println!("{r}")
+            }
+        }
+        "fig3" => {
+            let r = experiments::fig3(&suite(args))?;
+            if let Some(path) = &args.svg {
+                let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
+                let series: Vec<String> = experiments::fig3::FIG3_PROTOCOLS
+                    .iter()
+                    .map(|k| format!("{}-SC", k.name()))
+                    .collect();
+                let values: Vec<Vec<f64>> = r.rows.iter().map(|row| row.relative_times()).collect();
+                let chart = svg::grouped_bars(
+                    "Figure 3: execution time under SC relative to B-SC",
+                    &groups,
+                    &series,
+                    &values,
+                    1.0,
+                );
+                std::fs::write(path, chart)?;
+                eprintln!("figure written to {path}");
+            }
+            if args.csv {
+                print!("{}", r.csv())
+            } else {
+                println!("{r}")
+            }
+        }
+        "table3" => {
+            let r = experiments::table3(&suite(args))?;
+            if args.csv {
+                print!("{}", r.csv())
+            } else {
+                println!("{r}")
+            }
+        }
+        "fig4" => {
+            let r = experiments::fig4(&suite(args))?;
+            if let Some(path) = &args.svg {
+                let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
+                let series: Vec<String> = experiments::fig4::FIG4_PROTOCOLS
+                    .iter()
+                    .map(|k| k.name().to_owned())
+                    .collect();
+                let values: Vec<Vec<f64>> =
+                    r.rows.iter().map(|row| row.relative_traffic()).collect();
+                let chart = svg::grouped_bars(
+                    "Figure 4: network traffic normalized to BASIC (RC)",
+                    &groups,
+                    &series,
+                    &values,
+                    1.0,
+                );
+                std::fs::write(path, chart)?;
+                eprintln!("figure written to {path}");
+            }
+            if args.csv {
+                print!("{}", r.csv())
+            } else {
+                println!("{r}")
+            }
+        }
+        "table1" => println!("{}", experiments::table1(args.procs)),
+        "sens-buffers" => {
+            println!(
+                "{}",
+                experiments::sensitivity(&suite(args), sens::Constraint::SmallBuffers)?
+            )
+        }
+        "sens-cache" => {
+            println!(
+                "{}",
+                experiments::sensitivity(&suite(args), sens::Constraint::SmallSlc)?
+            )
+        }
+        "miss-latency" => println!("{}", experiments::miss_latency(&suite(args))?),
+        "topology" => println!("{}", experiments::topology(&suite(args))?),
+        "stress" => {
+            use dirext_workloads::random::{random_workload, RandomParams};
+            let params = RandomParams {
+                procs: args.procs.min(32),
+                ..RandomParams::default()
+            };
+            let mut runs = 0u64;
+            for seed in 0..args.seeds {
+                let w = random_workload(seed, params);
+                for kind in ProtocolKind::ALL {
+                    for consistency in [Consistency::Rc, Consistency::Sc] {
+                        let proto = kind.config(consistency);
+                        if !proto.is_feasible() {
+                            continue;
+                        }
+                        let cfg = MachineConfig::new(params.procs, proto);
+                        if let Err(e) = Machine::new(cfg).run(&w) {
+                            eprintln!("FAIL seed={seed} protocol={kind} {consistency:?}: {e}");
+                            return Err(format!(
+                                "stress failure at seed {seed} under {kind}/{consistency:?}"
+                            )
+                            .into());
+                        }
+                        runs += 1;
+                    }
+                }
+                // Also exercise the contended networks (different delivery
+                // timing exposes different interleavings).
+                for net in [
+                    dirext_sim::NetworkKind::Mesh { link_bits: 16 },
+                    dirext_sim::NetworkKind::Ring { link_bits: 16 },
+                ] {
+                    let cfg = MachineConfig::new(
+                        params.procs,
+                        ProtocolKind::PCwM.config(Consistency::Rc),
+                    )
+                    .with_network(net);
+                    if let Err(e) = Machine::new(cfg).run(&w) {
+                        eprintln!("FAIL seed={seed} P+CW+M on {net:?}: {e}");
+                        return Err(format!("stress failure at seed {seed} on {net:?}").into());
+                    }
+                    runs += 1;
+                }
+                if (seed + 1) % 10 == 0 {
+                    eprintln!("  {} seeds swept ({runs} coherence-audited runs)", seed + 1);
+                }
+            }
+            println!(
+                "stress: {runs} runs across {} seeds — all coherence audits passed",
+                args.seeds
+            );
+        }
+        "scaling" => {
+            let app = args.app.unwrap_or(App::Mp3d);
+            let result = experiments::scaling(app.name(), |procs| app.workload(procs, args.scale))?;
+            println!("{result}");
+        }
+        "run" => {
+            let w = match &args.trace {
+                Some(path) => {
+                    let file = std::fs::File::open(path)
+                        .map_err(|e| format!("cannot open trace '{path}': {e}"))?;
+                    dirext_trace::io::read_text(std::io::BufReader::new(file))?
+                }
+                None => args
+                    .app
+                    .unwrap_or(App::Mp3d)
+                    .workload(args.procs, args.scale),
+            };
+            let proto = args.protocol.config(args.consistency);
+            if !proto.is_feasible() {
+                return Err(format!(
+                    "{} is not implementable under {}: the competitive-update \
+                     mechanism needs relaxed consistency",
+                    args.protocol, args.consistency
+                )
+                .into());
+            }
+            let cfg = MachineConfig::new(w.procs(), proto).with_network(args.network);
+            let m = Machine::new(cfg).run(&w)?;
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&m)?);
+            } else {
+                println!("{m}");
+            }
+        }
+        "validate" => {
+            let Some(path) = &args.trace else {
+                return Err("validate needs --trace FILE".into());
+            };
+            let file = std::fs::File::open(path)
+                .map_err(|e| format!("cannot open trace '{path}': {e}"))?;
+            let w = dirext_trace::io::read_text(std::io::BufReader::new(file))?;
+            w.validate()?;
+            println!(
+                "{path}: ok — workload '{}', {} processors, {} events, {} shared references",
+                w.name(),
+                w.procs(),
+                w.total_events(),
+                w.total_data_refs()
+            );
+        }
+        "dump-trace" => {
+            let app = args.app.unwrap_or(App::Mp3d);
+            let w = app.workload(args.procs, args.scale);
+            let stdout = std::io::stdout();
+            dirext_trace::io::write_text(&w, &mut stdout.lock())?;
+        }
+        "report" => {
+            let s = suite(args);
+            let mut doc = String::new();
+            doc.push_str(&format!(
+                "# dirext experiment report\n\nScale: {}, {} processors.\n\n",
+                args.scale, args.procs
+            ));
+            let mut section = |title: &str, body: String| {
+                doc.push_str(&format!("## {title}\n\n```text\n{body}\n```\n\n"));
+            };
+            section("Table 1 — hardware cost", experiments::table1(args.procs));
+            eprintln!("report: figure 2...");
+            section(
+                "Figure 2 — relative execution times (RC)",
+                experiments::fig2(&s)?.to_string(),
+            );
+            eprintln!("report: table 2...");
+            section(
+                "Table 2 — miss-rate components",
+                experiments::table2(&s)?.to_string(),
+            );
+            eprintln!("report: figure 3...");
+            section(
+                "Figure 3 — sequential consistency",
+                experiments::fig3(&s)?.to_string(),
+            );
+            eprintln!("report: table 3...");
+            section(
+                "Table 3 — mesh link widths",
+                experiments::table3(&s)?.to_string(),
+            );
+            eprintln!("report: figure 4...");
+            section(
+                "Figure 4 — network traffic",
+                experiments::fig4(&s)?.to_string(),
+            );
+            eprintln!("report: sensitivity...");
+            section(
+                "Sensitivity — small buffers (5.4)",
+                experiments::sensitivity(&s, sens::Constraint::SmallBuffers)?.to_string(),
+            );
+            section(
+                "Sensitivity — 16-KB SLC (5.4)",
+                experiments::sensitivity(&s, sens::Constraint::SmallSlc)?.to_string(),
+            );
+            eprintln!("report: miss latency...");
+            section(
+                "Read-miss latency — BASIC vs CW (5.1)",
+                experiments::miss_latency(&s)?.to_string(),
+            );
+            eprintln!("report: topology (extension)...");
+            section(
+                "Topology sweep (extension)",
+                experiments::topology(&s)?.to_string(),
+            );
+            match &args.out {
+                Some(path) => {
+                    std::fs::write(path, &doc)
+                        .map_err(|e| format!("cannot write report to '{path}': {e}"))?;
+                    println!("report written to {path}");
+                }
+                None => print!("{doc}"),
+            }
+        }
+        "suite" => {
+            for w in suite(args) {
+                println!(
+                    "{:10} procs={} events={} shared-refs={}",
+                    w.name(),
+                    w.procs(),
+                    w.total_events(),
+                    w.total_data_refs()
+                );
+            }
+        }
+        "help" | "--help" | "-h" => println!("{USAGE}"),
+        other => return Err(format!("unknown command '{other}'\n\n{USAGE}").into()),
+    }
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! Minimal dependency-free SVG grouped-bar charts, so `fig2`/`fig3`/`fig4`
+//! can be emitted as actual figures.
+
+/// Renders a grouped bar chart as an SVG document.
+///
+/// `groups` labels the x-axis clusters (applications), `series` labels the
+/// bars within each cluster (protocols), and `values[g][s]` is the bar
+/// height for group `g`, series `s`. A horizontal reference line is drawn
+/// at `reference` (the BASIC = 1.0 normalization of the paper's figures).
+///
+/// # Panics
+///
+/// Panics if the value matrix does not match the label dimensions.
+pub fn grouped_bars(
+    title: &str,
+    groups: &[String],
+    series: &[String],
+    values: &[Vec<f64>],
+    reference: f64,
+) -> String {
+    assert_eq!(values.len(), groups.len(), "one row per group");
+    for row in values {
+        assert_eq!(row.len(), series.len(), "one value per series");
+    }
+    // Muted, print-friendly palette (cycled if there are more series).
+    const PALETTE: [&str; 8] = [
+        "#4878a8", "#d1605e", "#6aa56e", "#e8b04c", "#8b6cab", "#5ab4c4", "#a87858", "#777777",
+    ];
+    let bar_w = 16.0;
+    let bar_gap = 2.0;
+    let group_gap = 28.0;
+    let chart_h = 260.0;
+    let margin_l = 52.0;
+    let margin_t = 46.0;
+    let margin_b = 46.0;
+    let legend_h = 22.0;
+
+    let group_w = series.len() as f64 * (bar_w + bar_gap) + group_gap;
+    let chart_w = groups.len() as f64 * group_w;
+    let width = margin_l + chart_w + 20.0;
+    let height = margin_t + chart_h + margin_b + legend_h;
+
+    let max_v = values
+        .iter()
+        .flatten()
+        .copied()
+        .fold(reference, f64::max)
+        .max(1e-9);
+    let scale = chart_h / (max_v * 1.1);
+    let y_of = |v: f64| margin_t + chart_h - v * scale;
+
+    let mut s = String::new();
+    s.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"11\">\n"
+    ));
+    s.push_str(&format!(
+        "  <text x=\"{:.0}\" y=\"20\" font-size=\"14\" font-weight=\"bold\">{}</text>\n",
+        margin_l,
+        xml_escape(title)
+    ));
+    // Axes.
+    s.push_str(&format!(
+        "  <line x1=\"{margin_l:.0}\" y1=\"{:.0}\" x2=\"{margin_l:.0}\" y2=\"{:.0}\" stroke=\"#333\"/>\n",
+        margin_t,
+        margin_t + chart_h
+    ));
+    s.push_str(&format!(
+        "  <line x1=\"{margin_l:.0}\" y1=\"{0:.0}\" x2=\"{1:.0}\" y2=\"{0:.0}\" stroke=\"#333\"/>\n",
+        margin_t + chart_h,
+        margin_l + chart_w
+    ));
+    // Y ticks at 0, ½·max, max (rounded), plus the reference line.
+    for tick in [0.0, max_v * 0.55, max_v * 1.1] {
+        let y = y_of(tick);
+        s.push_str(&format!(
+            "  <text x=\"{:.0}\" y=\"{:.0}\" text-anchor=\"end\">{:.2}</text>\n",
+            margin_l - 6.0,
+            y + 4.0,
+            tick
+        ));
+        s.push_str(&format!(
+            "  <line x1=\"{margin_l:.0}\" y1=\"{y:.0}\" x2=\"{:.0}\" y2=\"{y:.0}\" stroke=\"#ddd\"/>\n",
+            margin_l + chart_w
+        ));
+    }
+    let ref_y = y_of(reference);
+    s.push_str(&format!(
+        "  <line x1=\"{margin_l:.0}\" y1=\"{ref_y:.0}\" x2=\"{:.0}\" y2=\"{ref_y:.0}\" \
+         stroke=\"#999\" stroke-dasharray=\"4 3\"/>\n",
+        margin_l + chart_w
+    ));
+    // Bars.
+    for (g, row) in values.iter().enumerate() {
+        let gx = margin_l + g as f64 * group_w + group_gap / 2.0;
+        for (i, &v) in row.iter().enumerate() {
+            let x = gx + i as f64 * (bar_w + bar_gap);
+            let y = y_of(v);
+            let h = (margin_t + chart_h - y).max(0.0);
+            s.push_str(&format!(
+                "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" \
+                 fill=\"{}\"><title>{}: {} = {v:.3}</title></rect>\n",
+                PALETTE[i % PALETTE.len()],
+                xml_escape(&groups[g]),
+                xml_escape(&series[i]),
+            ));
+        }
+        s.push_str(&format!(
+            "  <text x=\"{:.0}\" y=\"{:.0}\" text-anchor=\"middle\">{}</text>\n",
+            gx + (series.len() as f64 * (bar_w + bar_gap)) / 2.0,
+            margin_t + chart_h + 16.0,
+            xml_escape(&groups[g])
+        ));
+    }
+    // Legend.
+    let mut lx = margin_l;
+    let ly = margin_t + chart_h + 34.0;
+    for (i, label) in series.iter().enumerate() {
+        s.push_str(&format!(
+            "  <rect x=\"{lx:.0}\" y=\"{:.0}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n",
+            ly - 9.0,
+            PALETTE[i % PALETTE.len()]
+        ));
+        s.push_str(&format!(
+            "  <text x=\"{:.0}\" y=\"{ly:.0}\">{}</text>\n",
+            lx + 14.0,
+            xml_escape(label)
+        ));
+        lx += 14.0 + 8.0 * label.len() as f64 + 18.0;
+    }
+    s.push_str("</svg>\n");
+    s
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn renders_one_rect_per_bar_plus_legend() {
+        let svg = grouped_bars(
+            "demo",
+            &labels(&["A", "B"]),
+            &labels(&["x", "y", "z"]),
+            &[vec![1.0, 0.5, 0.8], vec![1.0, 0.6, 0.7]],
+            1.0,
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 6 bars + 3 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 9);
+        assert!(svg.contains("demo"));
+        assert!(svg.contains("stroke-dasharray"), "reference line present");
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = grouped_bars(
+            "a<b & c",
+            &labels(&["<app>"]),
+            &labels(&["P&M"]),
+            &[vec![0.5]],
+            1.0,
+        );
+        assert!(svg.contains("a&lt;b &amp; c"));
+        assert!(!svg.contains("<app>"));
+        assert!(svg.contains("&lt;app&gt;"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per series")]
+    fn dimension_mismatch_panics() {
+        let _ = grouped_bars(
+            "t",
+            &labels(&["A"]),
+            &labels(&["x", "y"]),
+            &[vec![1.0]],
+            1.0,
+        );
+    }
+}

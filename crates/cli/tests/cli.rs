@@ -1,0 +1,265 @@
+//! End-to-end tests of the `dirext` binary.
+
+use std::process::{Command, Output};
+
+fn dirext(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dirext"))
+        .args(args)
+        .output()
+        .expect("failed to launch dirext")
+}
+
+fn stdout(args: &[&str]) -> String {
+    let out = dirext(args);
+    assert!(
+        out.status.success(),
+        "dirext {:?} failed: {}",
+        args,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn help_lists_every_command() {
+    let help = stdout(&["help"]);
+    for cmd in [
+        "fig2",
+        "table2",
+        "fig3",
+        "table3",
+        "fig4",
+        "table1",
+        "sens-buffers",
+        "sens-cache",
+        "miss-latency",
+        "scaling",
+        "stress",
+        "run",
+        "dump-trace",
+        "suite",
+    ] {
+        assert!(help.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dirext(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn unknown_flag_fails() {
+    let out = dirext(&["fig2", "--bogus"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn table1_matches_paper_budget() {
+    let t = stdout(&["table1"]);
+    assert!(t.contains("SLC bits/line:    2"));
+    assert!(t.contains("memory bits/line: 19"));
+}
+
+#[test]
+fn fig2_tiny_produces_the_table() {
+    let t = stdout(&["fig2", "--scale", "tiny", "--app", "water"]);
+    assert!(t.contains("Figure 2"));
+    assert!(t.contains("Water"));
+    assert!(t.contains("P+CW+M"));
+}
+
+#[test]
+fn fig2_csv_is_machine_readable() {
+    let t = stdout(&["fig2", "--scale", "tiny", "--app", "lu", "--csv"]);
+    let mut lines = t.lines();
+    assert_eq!(lines.next(), Some("app,protocol,relative_time,exec_cycles"));
+    // 8 protocols for one app.
+    assert_eq!(lines.count(), 8);
+    assert!(t.contains("LU,BASIC,1.0000"));
+}
+
+#[test]
+fn run_emits_json_metrics() {
+    let t = stdout(&[
+        "run",
+        "--app",
+        "mp3d",
+        "--scale",
+        "tiny",
+        "--protocol",
+        "P+CW",
+        "--json",
+    ]);
+    let v: serde_json::Value = serde_json::from_str(&t).expect("valid JSON");
+    assert_eq!(v["protocol"], "P+CW");
+    assert!(v["exec_cycles"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn trace_round_trip_through_the_binary() {
+    let dir = std::env::temp_dir().join(format!("dirext-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("water.trace");
+    let trace = stdout(&["dump-trace", "--app", "water", "--scale", "tiny"]);
+    assert!(trace.starts_with("# dirext trace v1"));
+    std::fs::write(&path, &trace).unwrap();
+    let out = stdout(&["run", "--trace", path.to_str().unwrap(), "--protocol", "M"]);
+    assert!(out.contains("Water / M"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_on_mesh_and_ring_networks() {
+    for net in ["mesh16", "ring32"] {
+        let out = stdout(&[
+            "run",
+            "--app",
+            "water",
+            "--scale",
+            "tiny",
+            "--protocol",
+            "BASIC",
+            "--network",
+            net,
+        ]);
+        assert!(out.contains("Water / BASIC"), "{net}: {out}");
+    }
+}
+
+#[test]
+fn stress_sweeps_cleanly() {
+    let out = stdout(&["stress", "--seeds", "3", "--procs", "4"]);
+    assert!(out.contains("all coherence audits passed"));
+}
+
+#[test]
+fn suite_lists_five_apps() {
+    let out = stdout(&["suite", "--scale", "tiny"]);
+    for app in ["MP3D", "Cholesky", "Water", "LU", "Ocean"] {
+        assert!(out.contains(app));
+    }
+}
+
+#[test]
+fn report_writes_a_complete_markdown_document() {
+    let dir = std::env::temp_dir().join(format!("dirext-report-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("report.md");
+    let _ = stdout(&["report", "--scale", "tiny", "--out", path.to_str().unwrap()]);
+    let doc = std::fs::read_to_string(&path).unwrap();
+    for section in [
+        "Table 1",
+        "Figure 2",
+        "Table 2",
+        "Figure 3",
+        "Table 3",
+        "Figure 4",
+        "Sensitivity",
+        "Read-miss latency",
+        "Topology",
+    ] {
+        assert!(doc.contains(section), "report must contain {section}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn topology_command_prints_all_three_networks() {
+    let out = stdout(&["topology", "--scale", "tiny", "--app", "water"]);
+    for col in ["unif", "mesh", "ring"] {
+        assert!(out.contains(col), "{out}");
+    }
+}
+
+#[test]
+fn validate_accepts_good_and_rejects_bad_traces() {
+    let dir = std::env::temp_dir().join(format!("dirext-validate-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let good = dir.join("good.trace");
+    std::fs::write(
+        &good,
+        stdout(&["dump-trace", "--app", "lu", "--scale", "tiny"]),
+    )
+    .unwrap();
+    let out = stdout(&["validate", "--trace", good.to_str().unwrap()]);
+    assert!(out.contains("ok"));
+
+    // A barrier inside a critical section must be rejected.
+    let bad = dir.join("bad.trace");
+    std::fs::write(
+        &bad,
+        "# dirext trace v1\nworkload bad procs 2\nproc 0\na 0x100000\nb 0\nl 0x100000\nproc 1\nb 0\n",
+    )
+    .unwrap();
+    let out = dirext(&["validate", "--trace", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("barrier"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn figures_render_as_svg() {
+    let dir = std::env::temp_dir().join(format!("dirext-svg-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (cmd, bars_per_app) in [("fig2", 8), ("fig3", 4), ("fig4", 6)] {
+        let path = dir.join(format!("{cmd}.svg"));
+        let _ = stdout(&[
+            cmd,
+            "--scale",
+            "tiny",
+            "--app",
+            "lu",
+            "--svg",
+            path.to_str().unwrap(),
+        ]);
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"), "{cmd}");
+        // One rect per bar plus one legend swatch per series.
+        assert_eq!(
+            svg.matches("<rect").count(),
+            2 * bars_per_app,
+            "{cmd}: bars + legend"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn procs_out_of_range_is_a_clean_error() {
+    for bad in ["0", "65"] {
+        let out = dirext(&["run", "--app", "water", "--scale", "tiny", "--procs", bad]);
+        assert!(!out.status.success());
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("between 1 and 64"), "{bad}: {err}");
+        assert!(!err.contains("panicked"), "{bad}: must not panic");
+    }
+}
+
+#[test]
+fn missing_trace_file_error_names_the_path() {
+    let out = dirext(&["run", "--trace", "/nonexistent-trace-file"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("/nonexistent-trace-file"));
+}
+
+#[test]
+fn cw_under_sc_is_a_clean_error() {
+    let out = dirext(&[
+        "run",
+        "--app",
+        "water",
+        "--scale",
+        "tiny",
+        "--protocol",
+        "CW",
+        "--consistency",
+        "sc",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("relaxed consistency"), "{err}");
+    assert!(!err.contains("panicked"));
+}

@@ -1,0 +1,120 @@
+//! Competitive-update policy parameters (extension CW).
+//!
+//! The mechanism itself is distributed: the per-line counter behaviour lives
+//! in [`crate::line::Line`] (preset on load/local access, decremented per
+//! foreign update, self-invalidation at zero) and the update fan-out in
+//! [`crate::dir::DirCtrl`]. This module holds the policy knobs and the
+//! derived constants the machine layer needs.
+
+use crate::config::CompetitiveConfig;
+
+/// Resolved competitive-update policy for one cache.
+///
+/// # Example
+///
+/// ```
+/// use dirext_core::competitive::CompetitivePolicy;
+/// use dirext_core::config::CompetitiveConfig;
+///
+/// // The paper's recommendation: threshold 1 with write caches.
+/// let p = CompetitivePolicy::new(CompetitiveConfig::default());
+/// assert_eq!(p.preset(), 1);
+/// assert!(p.write_cache_enabled());
+///
+/// // The no-write-cache variant needs a larger threshold (4 in the paper).
+/// let p = CompetitivePolicy::new(CompetitiveConfig { threshold: 4, write_cache: false });
+/// assert_eq!(p.preset(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompetitivePolicy {
+    threshold: u8,
+    write_cache: bool,
+}
+
+impl CompetitivePolicy {
+    /// Builds the policy from a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is zero (a copy that self-invalidates before
+    /// any update would make loads incoherent).
+    pub fn new(cfg: CompetitiveConfig) -> Self {
+        assert!(cfg.threshold > 0, "competitive threshold must be positive");
+        CompetitivePolicy {
+            threshold: cfg.threshold,
+            write_cache: cfg.write_cache,
+        }
+    }
+
+    /// The counter preset value (the competitive threshold).
+    pub fn preset(self) -> u8 {
+        self.threshold
+    }
+
+    /// Whether writes are combined through the 4-block write cache.
+    pub fn write_cache_enabled(self) -> bool {
+        self.write_cache
+    }
+
+    /// Number of state bits the counter costs per SLC line (Table 1 reports
+    /// a "1-bit counter" for the threshold-1 configuration).
+    pub fn counter_bits(self) -> u32 {
+        u8::BITS - self.threshold.leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::line::{CacheState, Line};
+
+    #[test]
+    fn counter_bits_matches_table_1() {
+        // Threshold 1 -> modulo-2 counter -> 1 bit.
+        let p = CompetitivePolicy::new(CompetitiveConfig {
+            threshold: 1,
+            write_cache: true,
+        });
+        assert_eq!(p.counter_bits(), 1);
+        // Threshold 4 -> 3 bits (counts 4..0).
+        let p = CompetitivePolicy::new(CompetitiveConfig {
+            threshold: 4,
+            write_cache: false,
+        });
+        assert_eq!(p.counter_bits(), 3);
+    }
+
+    #[test]
+    fn policy_drives_line_self_invalidation() {
+        let p = CompetitivePolicy::new(CompetitiveConfig::default());
+        let mut line = Line::new(CacheState::Shared, 1, p.preset());
+        // Threshold 1: the first foreign update is absorbed; a second one
+        // with no intervening local access invalidates the copy and stops
+        // update propagation.
+        assert!(!line.apply_update(2));
+        assert!(line.apply_update(3));
+    }
+
+    #[test]
+    fn local_access_keeps_copy_alive() {
+        let p = CompetitivePolicy::new(CompetitiveConfig {
+            threshold: 2,
+            write_cache: true,
+        });
+        let mut line = Line::new(CacheState::Shared, 1, p.preset());
+        assert!(!line.apply_update(2));
+        line.touch_read(p.preset()); // consumer is actively reading
+        assert!(!line.apply_update(3));
+        assert!(!line.apply_update(4));
+        assert!(line.apply_update(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = CompetitivePolicy::new(CompetitiveConfig {
+            threshold: 0,
+            write_cache: true,
+        });
+    }
+}

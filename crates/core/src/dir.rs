@@ -1,0 +1,1397 @@
+//! The home-node directory controller.
+//!
+//! One `DirCtrl` instance lives at each node and manages the directory
+//! entries of the memory blocks homed there. It is a pure protocol state
+//! machine: it consumes `(source, block, MsgKind)` triples and returns the
+//! messages the home node must send. Timing, versions and traffic metering
+//! are applied by the machine layer.
+//!
+//! The state encoding matches the paper: two stable memory states (CLEAN,
+//! MODIFIED) plus transient states (represented by the internal `Pending`
+//! bookkeeping) while "the
+//! home node is waiting for the completion of a coherence action"; a full
+//! presence-flag vector; and, for the extensions, a migratory bit, a
+//! last-writer pointer (M) and a last-updater pointer (CW+M).
+
+use std::collections::{HashMap, VecDeque};
+
+use dirext_trace::{BlockAddr, NodeId};
+
+use crate::msg::MsgKind;
+
+/// A message the home node must send in response to an input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirAction {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message to send.
+    pub kind: MsgKind,
+}
+
+/// Stable directory state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DirState {
+    /// The memory copy is valid.
+    Clean,
+    /// Exactly one cache holds the exclusive copy.
+    Modified(NodeId),
+}
+
+/// Transient directory state: what the home is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    /// Invalidations outstanding for an ownership request.
+    Invalidating {
+        /// Send the block with the ownership acknowledgment.
+        with_data: bool,
+    },
+    /// Fetch outstanding for a read of a dirty block.
+    FetchRead,
+    /// Fetch-invalidate outstanding for a migratory read.
+    FetchMigRead,
+    /// Fetch-invalidate outstanding for an ownership transfer.
+    FetchOwn,
+    /// Fetch-invalidate outstanding to recall a dirty block hit by a
+    /// competitive update (CW+M race).
+    RecallForUpdate {
+        /// The update to apply once the block is recalled.
+        dirty_words: u8,
+    },
+    /// Update fan-out outstanding.
+    Updating,
+    /// CW+M migratory interrogation outstanding.
+    Interrogating {
+        /// The update that triggered the interrogation.
+        dirty_words: u8,
+    },
+    /// The owner re-requested its own block while its writeback is still in
+    /// flight; resume the request once the writeback arrives.
+    AwaitWriteback {
+        /// The deferred request.
+        resume: MsgKind,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    kind: PendingKind,
+    requester: NodeId,
+    /// The node a fetch was sent to, if any (for writeback-crossing races).
+    target: Option<NodeId>,
+    acks_left: u32,
+    /// CW+M: at least one cache voted to keep its copy.
+    keep_votes: bool,
+}
+
+/// One directory entry.
+#[derive(Debug, Clone)]
+struct DirEntry {
+    state: DirState,
+    presence: u64,
+    migratory: bool,
+    last_writer: Option<NodeId>,
+    last_updater: Option<NodeId>,
+    pending: Option<Pending>,
+    waiting: VecDeque<(NodeId, MsgKind)>,
+}
+
+impl Default for DirEntry {
+    fn default() -> Self {
+        DirEntry {
+            state: DirState::Clean,
+            presence: 0,
+            migratory: false,
+            last_writer: None,
+            last_updater: None,
+            pending: None,
+            waiting: VecDeque::new(),
+        }
+    }
+}
+
+impl DirEntry {
+    fn has(&self, n: NodeId) -> bool {
+        self.presence & (1 << n.idx()) != 0
+    }
+
+    fn add(&mut self, n: NodeId) {
+        self.presence |= 1 << n.idx();
+    }
+
+    fn remove(&mut self, n: NodeId) {
+        self.presence &= !(1 << n.idx());
+    }
+
+    fn count(&self) -> u32 {
+        self.presence.count_ones()
+    }
+
+    fn sharers_except(&self, n: NodeId) -> Vec<NodeId> {
+        (0..64)
+            .filter(|i| self.presence & (1u64 << i) != 0 && *i != n.idx() as u64)
+            .map(|i| NodeId(i as u8))
+            .collect()
+    }
+
+    fn sharers(&self) -> Vec<NodeId> {
+        self.sharers_except(NodeId(u8::MAX))
+    }
+}
+
+/// Counters kept by the directory controller (aggregated across all blocks
+/// homed at one node; the machine sums them over nodes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirStats {
+    /// Read requests serviced (demand + prefetch).
+    pub read_reqs: u64,
+    /// Ownership requests serviced.
+    pub own_reqs: u64,
+    /// Update requests serviced.
+    pub update_reqs: u64,
+    /// Writebacks received.
+    pub writebacks: u64,
+    /// Invalidations sent.
+    pub invals_sent: u64,
+    /// Update messages sent to third-party caches.
+    pub updates_sent: u64,
+    /// Blocks newly classified as migratory.
+    pub migratory_detections: u64,
+    /// Migratory classifications reverted.
+    pub migratory_reverts: u64,
+    /// Exclusive (migratory) read grants.
+    pub exclusive_grants: u64,
+    /// CW+M interrogation rounds started.
+    pub interrogations: u64,
+    /// Read requests serviced in two hops or locally (memory clean) — the
+    /// basis of the paper's "remaining coherence misses are shorter under
+    /// CW" observation.
+    pub reads_clean: u64,
+    /// Read requests that required a fetch from a dirty third-party cache.
+    pub reads_dirty: u64,
+}
+
+/// The directory controller for the blocks homed at one node.
+///
+/// # Example
+///
+/// ```
+/// use dirext_core::dir::DirCtrl;
+/// use dirext_core::msg::MsgKind;
+/// use dirext_trace::{BlockAddr, NodeId};
+///
+/// let mut dir = DirCtrl::new(16, false, false);
+/// let b = BlockAddr::from_index(1);
+/// // A read miss to a clean block is answered immediately.
+/// let actions = dir.handle(NodeId(3), b, MsgKind::ReadReq { prefetch: false });
+/// assert_eq!(actions.len(), 1);
+/// assert_eq!(actions[0].dst, NodeId(3));
+/// assert!(matches!(actions[0].kind, MsgKind::ReadReply { exclusive: false }));
+/// ```
+#[derive(Debug)]
+pub struct DirCtrl {
+    nprocs: usize,
+    migratory_enabled: bool,
+    revert_enabled: bool,
+    exclusive_clean: bool,
+    competitive: bool,
+    entries: HashMap<BlockAddr, DirEntry>,
+    stats: DirStats,
+}
+
+impl DirCtrl {
+    /// Creates a controller for a machine of `nprocs` nodes with the given
+    /// extensions enabled (`migratory` = M, `competitive` = CW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero or exceeds the 32-node presence vector.
+    pub fn new(nprocs: usize, migratory: bool, competitive: bool) -> Self {
+        assert!(
+            nprocs > 0 && nprocs <= 64,
+            "presence vector supports 1..=64 nodes"
+        );
+        DirCtrl {
+            nprocs,
+            migratory_enabled: migratory,
+            revert_enabled: true,
+            exclusive_clean: false,
+            competitive,
+            entries: HashMap::new(),
+            stats: DirStats::default(),
+        }
+    }
+
+    /// Enables or disables migratory reversion (the self-correcting part of
+    /// the optimization: an unwritten exclusive copy reverts the block to
+    /// ordinary sharing). On by default; the ablation bench disables it.
+    pub fn set_revert(&mut self, enabled: bool) {
+        self.revert_enabled = enabled;
+    }
+
+    /// Enables MESI-style exclusive-clean grants: a read miss to a block
+    /// with no cached copies returns an exclusive copy (extension; see
+    /// `ProtocolConfig::exclusive_clean`).
+    pub fn set_exclusive_clean(&mut self, enabled: bool) {
+        self.exclusive_clean = enabled;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DirStats {
+        self.stats
+    }
+
+    /// Whether any block has a transient state or queued requests (the
+    /// machine asserts this is false at quiescence).
+    pub fn has_pending(&self) -> bool {
+        self.entries
+            .values()
+            .any(|e| e.pending.is_some() || !e.waiting.is_empty())
+    }
+
+    /// Directory view of one block for invariant checking:
+    /// `(modified_owner, presence_bits, migratory)`. `None` if the block
+    /// was never referenced.
+    pub fn snapshot(&self, block: BlockAddr) -> Option<(Option<NodeId>, u64, bool)> {
+        self.entries.get(&block).map(|e| {
+            let owner = match e.state {
+                DirState::Modified(n) => Some(n),
+                DirState::Clean => None,
+            };
+            (owner, e.presence, e.migratory)
+        })
+    }
+
+    /// Iterates over all blocks this controller has entries for.
+    pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Processes one incoming message and returns the outgoing messages.
+    pub fn handle(&mut self, src: NodeId, block: BlockAddr, kind: MsgKind) -> Vec<DirAction> {
+        debug_assert!(src.idx() < self.nprocs);
+        let mut actions = Vec::new();
+        let entry_exists_pending = self.entries.get(&block).map(|e| e.pending).unwrap_or(None);
+
+        match kind {
+            // Replacement hints bypass the queue entirely. A hint crossing
+            // an exclusivity grant (the copy was replaced while the grant
+            // was in flight) must not corrupt the MODIFIED entry — the
+            // cache resolves that race with an unwritten writeback.
+            MsgKind::SharedReplHint => {
+                if let Some(e) = self.entries.get_mut(&block) {
+                    if !matches!(e.state, DirState::Modified(owner) if owner == src) {
+                        e.remove(src);
+                    }
+                }
+                return actions;
+            }
+            // A writeback crossing a fetch we sent to the same node serves
+            // as the fetch reply.
+            MsgKind::WritebackReq { written } => {
+                if let Some(p) = entry_exists_pending {
+                    if p.target == Some(src) {
+                        self.stats.writebacks += 1;
+                        actions.push(DirAction {
+                            dst: src,
+                            kind: MsgKind::WritebackAck,
+                        });
+                        // The owner replaced the block: it keeps no copy.
+                        self.complete_fetch(src, block, written, false, &mut actions);
+                        self.drain_queue(block, &mut actions);
+                        return actions;
+                    }
+                    if let PendingKind::AwaitWriteback { resume } = p.kind {
+                        if self.owner_of(block) == Some(src) {
+                            self.stats.writebacks += 1;
+                            self.apply_writeback(src, block, written);
+                            actions.push(DirAction {
+                                dst: src,
+                                kind: MsgKind::WritebackAck,
+                            });
+                            let requester = p.requester;
+                            self.entry(block).pending = None;
+                            self.process_request(requester, block, resume, &mut actions);
+                            self.drain_queue(block, &mut actions);
+                            return actions;
+                        }
+                    }
+                    // Unrelated writeback while busy: queue it.
+                    self.entry(block).waiting.push_back((src, kind));
+                    return actions;
+                }
+                self.process_request(src, block, kind, &mut actions);
+                self.drain_queue(block, &mut actions);
+                return actions;
+            }
+            _ => {}
+        }
+
+        if kind.queues_at_home() {
+            if entry_exists_pending.is_some() {
+                self.entry(block).waiting.push_back((src, kind));
+                return actions;
+            }
+            self.process_request(src, block, kind, &mut actions);
+        } else {
+            self.process_reply(src, block, kind, &mut actions);
+        }
+        self.drain_queue(block, &mut actions);
+        actions
+    }
+
+    fn entry(&mut self, block: BlockAddr) -> &mut DirEntry {
+        self.entries.entry(block).or_default()
+    }
+
+    fn owner_of(&self, block: BlockAddr) -> Option<NodeId> {
+        match self.entries.get(&block).map(|e| e.state) {
+            Some(DirState::Modified(n)) => Some(n),
+            _ => None,
+        }
+    }
+
+    fn drain_queue(&mut self, block: BlockAddr, actions: &mut Vec<DirAction>) {
+        loop {
+            let next = {
+                let e = self.entry(block);
+                if e.pending.is_some() {
+                    return;
+                }
+                e.waiting.pop_front()
+            };
+            match next {
+                Some((src, kind)) => self.process_request(src, block, kind, actions),
+                None => return,
+            }
+        }
+    }
+
+    fn process_request(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+        actions: &mut Vec<DirAction>,
+    ) {
+        match kind {
+            MsgKind::ReadReq { .. } => self.read_req(src, block, kind, actions),
+            MsgKind::OwnReq { need_data } => self.own_req(src, block, need_data, actions),
+            MsgKind::UpdateReq { dirty_words } => self.update_req(src, block, dirty_words, actions),
+            MsgKind::WritebackReq { written } => {
+                self.stats.writebacks += 1;
+                self.apply_writeback(src, block, written);
+                actions.push(DirAction {
+                    dst: src,
+                    kind: MsgKind::WritebackAck,
+                });
+            }
+            _ => unreachable!("not a home request: {kind:?}"),
+        }
+    }
+
+    fn read_req(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+        actions: &mut Vec<DirAction>,
+    ) {
+        self.stats.read_reqs += 1;
+        let migratory = self.migratory_enabled && self.entry(block).migratory;
+        let state = self.entry(block).state;
+        match state {
+            DirState::Clean if migratory => {
+                // A migratory block that is clean has no cached copies (the
+                // last holder wrote it back): grant exclusively.
+                debug_assert_eq!(self.entry(block).count(), 0);
+                self.stats.exclusive_grants += 1;
+                self.stats.reads_clean += 1;
+                let e = self.entry(block);
+                e.add(src);
+                e.state = DirState::Modified(src);
+                e.last_writer = Some(src);
+                actions.push(DirAction {
+                    dst: src,
+                    kind: MsgKind::ReadReply { exclusive: true },
+                });
+            }
+            DirState::Clean => {
+                self.stats.reads_clean += 1;
+                // MESI extension: with no other copies, grant exclusively so
+                // the first write to (effectively private) data is silent.
+                let exclusive = self.exclusive_clean && self.entry(block).count() == 0;
+                let e = self.entry(block);
+                e.add(src);
+                if exclusive {
+                    e.state = DirState::Modified(src);
+                    self.stats.exclusive_grants += 1;
+                }
+                actions.push(DirAction {
+                    dst: src,
+                    kind: MsgKind::ReadReply { exclusive },
+                });
+            }
+            DirState::Modified(owner) if owner == src => {
+                // The owner's writeback is still in flight; wait for it.
+                self.entry(block).pending = Some(Pending {
+                    kind: PendingKind::AwaitWriteback { resume: kind },
+                    requester: src,
+                    target: None,
+                    acks_left: 0,
+                    keep_votes: false,
+                });
+            }
+            DirState::Modified(owner) => {
+                self.stats.reads_dirty += 1;
+                let (fetch, pkind) = if migratory {
+                    (MsgKind::FetchInval, PendingKind::FetchMigRead)
+                } else {
+                    (MsgKind::Fetch, PendingKind::FetchRead)
+                };
+                actions.push(DirAction {
+                    dst: owner,
+                    kind: fetch,
+                });
+                self.entry(block).pending = Some(Pending {
+                    kind: pkind,
+                    requester: src,
+                    target: Some(owner),
+                    acks_left: 0,
+                    keep_votes: false,
+                });
+            }
+        }
+    }
+
+    fn own_req(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        need_data: bool,
+        actions: &mut Vec<DirAction>,
+    ) {
+        self.stats.own_reqs += 1;
+        // Migratory detection (Stenström et al. [12], Cox & Fowler [2]): an
+        // ownership request from a node that just read the block, while the
+        // only other copy belongs to the previous writer.
+        if self.migratory_enabled {
+            let e = self.entry(block);
+            if !e.migratory && e.state == DirState::Clean && e.count() == 2 && e.has(src) {
+                if let Some(lw) = e.last_writer {
+                    if lw != src && e.has(lw) {
+                        e.migratory = true;
+                        self.stats.migratory_detections += 1;
+                    }
+                }
+            }
+        }
+        let state = self.entry(block).state;
+        match state {
+            DirState::Clean => {
+                let had_copy = self.entry(block).has(src);
+                let with_data = !had_copy || need_data;
+                let targets = self.entry(block).sharers_except(src);
+                if targets.is_empty() {
+                    let e = self.entry(block);
+                    e.presence = 0;
+                    e.add(src);
+                    e.state = DirState::Modified(src);
+                    e.last_writer = Some(src);
+                    actions.push(DirAction {
+                        dst: src,
+                        kind: MsgKind::OwnAck { with_data },
+                    });
+                } else {
+                    self.stats.invals_sent += targets.len() as u64;
+                    for t in &targets {
+                        actions.push(DirAction {
+                            dst: *t,
+                            kind: MsgKind::Inval,
+                        });
+                    }
+                    self.entry(block).pending = Some(Pending {
+                        kind: PendingKind::Invalidating { with_data },
+                        requester: src,
+                        target: None,
+                        acks_left: targets.len() as u32,
+                        keep_votes: false,
+                    });
+                }
+            }
+            DirState::Modified(owner) if owner == src => {
+                self.entry(block).pending = Some(Pending {
+                    kind: PendingKind::AwaitWriteback {
+                        resume: MsgKind::OwnReq { need_data },
+                    },
+                    requester: src,
+                    target: None,
+                    acks_left: 0,
+                    keep_votes: false,
+                });
+            }
+            DirState::Modified(owner) => {
+                actions.push(DirAction {
+                    dst: owner,
+                    kind: MsgKind::FetchInval,
+                });
+                self.entry(block).pending = Some(Pending {
+                    kind: PendingKind::FetchOwn,
+                    requester: src,
+                    target: Some(owner),
+                    acks_left: 0,
+                    keep_votes: false,
+                });
+            }
+        }
+    }
+
+    fn update_req(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        dirty_words: u8,
+        actions: &mut Vec<DirAction>,
+    ) {
+        self.stats.update_reqs += 1;
+        let state = self.entry(block).state;
+        match state {
+            DirState::Modified(owner) if owner == src => {
+                // A stale write-cache entry for a block we now own
+                // exclusively: the owner's copy is newer, nothing to do.
+                actions.push(DirAction {
+                    dst: src,
+                    kind: MsgKind::UpdateDone { exclusive: false },
+                });
+            }
+            DirState::Modified(owner) => {
+                actions.push(DirAction {
+                    dst: owner,
+                    kind: MsgKind::FetchInval,
+                });
+                self.entry(block).pending = Some(Pending {
+                    kind: PendingKind::RecallForUpdate { dirty_words },
+                    requester: src,
+                    target: Some(owner),
+                    acks_left: 0,
+                    keep_votes: false,
+                });
+            }
+            DirState::Clean => {
+                // CW+M: two consecutive non-overlapping read/write sequences
+                // by distinct processors are only *potentially* migratory —
+                // interrogate the caches holding copies.
+                let cwm = self.migratory_enabled && self.competitive;
+                let interrogate = {
+                    let e = self.entry(block);
+                    cwm && !e.migratory
+                        && e.count() > 1
+                        && e.last_updater.is_some()
+                        && e.last_updater != Some(src)
+                };
+                if interrogate {
+                    self.stats.interrogations += 1;
+                    let targets = self.entry(block).sharers();
+                    for t in &targets {
+                        actions.push(DirAction {
+                            dst: *t,
+                            kind: MsgKind::Interrogate,
+                        });
+                    }
+                    self.entry(block).pending = Some(Pending {
+                        kind: PendingKind::Interrogating { dirty_words },
+                        requester: src,
+                        target: None,
+                        acks_left: targets.len() as u32,
+                        keep_votes: false,
+                    });
+                } else {
+                    self.start_update_fanout(src, block, dirty_words, actions);
+                }
+            }
+        }
+    }
+
+    fn start_update_fanout(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        dirty_words: u8,
+        actions: &mut Vec<DirAction>,
+    ) {
+        self.entry(block).last_updater = Some(src);
+        self.entry(block).last_writer = Some(src);
+        let targets = self.entry(block).sharers_except(src);
+        if targets.is_empty() {
+            actions.push(DirAction {
+                dst: src,
+                kind: self.finish_update(src, block),
+            });
+        } else {
+            self.stats.updates_sent += targets.len() as u64;
+            for t in &targets {
+                actions.push(DirAction {
+                    dst: *t,
+                    kind: MsgKind::Update { dirty_words },
+                });
+            }
+            self.entry(block).pending = Some(Pending {
+                kind: PendingKind::Updating,
+                requester: src,
+                target: None,
+                acks_left: targets.len() as u32,
+                keep_votes: false,
+            });
+        }
+    }
+
+    /// Completes an update with no remaining third-party copies. If the
+    /// writer itself still holds a copy, the home grants it exclusive
+    /// ownership so that further writes to the (now effectively private)
+    /// block need no protocol transactions — the competitive-update
+    /// protocol degenerates gracefully to write-invalidate.
+    fn finish_update(&mut self, writer: NodeId, block: BlockAddr) -> MsgKind {
+        let e = self.entry(block);
+        debug_assert_eq!(e.state, DirState::Clean);
+        if e.count() == 1 && e.has(writer) {
+            e.state = DirState::Modified(writer);
+            e.last_writer = Some(writer);
+            MsgKind::UpdateDone { exclusive: true }
+        } else {
+            MsgKind::UpdateDone { exclusive: false }
+        }
+    }
+
+    fn apply_writeback(&mut self, src: NodeId, block: BlockAddr, written: bool) {
+        let revert = self.revert_enabled;
+        let e = self.entry(block);
+        debug_assert_eq!(e.state, DirState::Modified(src), "writeback from non-owner");
+        e.state = DirState::Clean;
+        e.presence = 0;
+        if !written && e.migratory && revert {
+            // The holder replaced the block without ever writing it: the
+            // sharing pattern is no longer migratory.
+            e.migratory = false;
+            self.stats.migratory_reverts += 1;
+        }
+    }
+
+    /// Completes a Fetch/FetchInval-style pending operation once the data
+    /// (fetch reply or crossing writeback) arrives from `from`.
+    fn complete_fetch(
+        &mut self,
+        from: NodeId,
+        block: BlockAddr,
+        written: bool,
+        owner_retains: bool,
+        actions: &mut Vec<DirAction>,
+    ) {
+        let p = self.entry(block).pending.expect("no pending fetch");
+        debug_assert_eq!(p.target, Some(from));
+        let requester = p.requester;
+        match p.kind {
+            PendingKind::FetchRead => {
+                let e = self.entry(block);
+                e.state = DirState::Clean;
+                e.remove(from);
+                if owner_retains {
+                    // The old owner downgraded to a shared copy.
+                    e.add(from);
+                }
+                e.add(requester);
+                actions.push(DirAction {
+                    dst: requester,
+                    kind: MsgKind::ReadReply { exclusive: false },
+                });
+            }
+            PendingKind::FetchMigRead => {
+                let e = self.entry(block);
+                e.remove(from);
+                if written {
+                    e.state = DirState::Modified(requester);
+                    e.presence = 0;
+                    e.add(requester);
+                    e.last_writer = Some(requester);
+                    self.stats.exclusive_grants += 1;
+                    actions.push(DirAction {
+                        dst: requester,
+                        kind: MsgKind::ReadReply { exclusive: true },
+                    });
+                } else if self.revert_enabled {
+                    // The previous holder never wrote: the pattern changed;
+                    // revert to ordinary read sharing.
+                    let e = self.entry(block);
+                    e.migratory = false;
+                    e.state = DirState::Clean;
+                    e.presence = 0;
+                    e.add(requester);
+                    self.stats.migratory_reverts += 1;
+                    actions.push(DirAction {
+                        dst: requester,
+                        kind: MsgKind::ReadReply { exclusive: false },
+                    });
+                } else {
+                    // Reversion disabled (ablation): keep treating the
+                    // block as migratory and hand out another exclusive
+                    // copy, invalidations and all.
+                    let e = self.entry(block);
+                    e.state = DirState::Modified(requester);
+                    e.presence = 0;
+                    e.add(requester);
+                    e.last_writer = Some(requester);
+                    self.stats.exclusive_grants += 1;
+                    actions.push(DirAction {
+                        dst: requester,
+                        kind: MsgKind::ReadReply { exclusive: true },
+                    });
+                }
+            }
+            PendingKind::FetchOwn => {
+                let e = self.entry(block);
+                e.state = DirState::Modified(requester);
+                e.presence = 0;
+                e.add(requester);
+                e.last_writer = Some(requester);
+                actions.push(DirAction {
+                    dst: requester,
+                    kind: MsgKind::OwnAck { with_data: true },
+                });
+            }
+            PendingKind::RecallForUpdate { dirty_words } => {
+                let e = self.entry(block);
+                e.state = DirState::Clean;
+                e.presence = 0;
+                if e.migratory {
+                    e.migratory = false;
+                    self.stats.migratory_reverts += 1;
+                }
+                self.entry(block).pending = None;
+                self.start_update_fanout(requester, block, dirty_words, actions);
+                return;
+            }
+            other => unreachable!("complete_fetch on {other:?}"),
+        }
+        self.entry(block).pending = None;
+    }
+
+    fn process_reply(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+        actions: &mut Vec<DirAction>,
+    ) {
+        match kind {
+            MsgKind::InvalAck => {
+                let p = self
+                    .entry(block)
+                    .pending
+                    .expect("InvalAck with no pending op");
+                debug_assert!(matches!(p.kind, PendingKind::Invalidating { .. }));
+                let e = self.entry(block);
+                e.remove(src);
+                let p = e.pending.as_mut().expect("checked above");
+                p.acks_left -= 1;
+                if p.acks_left == 0 {
+                    let (requester, with_data) = match p.kind {
+                        PendingKind::Invalidating { with_data } => (p.requester, with_data),
+                        _ => unreachable!(),
+                    };
+                    e.presence = 0;
+                    e.add(requester);
+                    e.state = DirState::Modified(requester);
+                    e.last_writer = Some(requester);
+                    e.pending = None;
+                    actions.push(DirAction {
+                        dst: requester,
+                        kind: MsgKind::OwnAck { with_data },
+                    });
+                }
+            }
+            MsgKind::FetchReply { written } => {
+                self.complete_fetch(src, block, written, true, actions);
+            }
+            MsgKind::FetchInvalReply { written } => {
+                self.complete_fetch(src, block, written, false, actions);
+            }
+            MsgKind::UpdateAck { invalidated } => {
+                let e = self.entry(block);
+                debug_assert!(matches!(
+                    e.pending.map(|p| p.kind),
+                    Some(PendingKind::Updating)
+                ));
+                if invalidated {
+                    e.remove(src);
+                }
+                let p = e.pending.as_mut().expect("UpdateAck with no pending op");
+                p.acks_left -= 1;
+                if p.acks_left == 0 {
+                    let requester = p.requester;
+                    e.pending = None;
+                    let done = self.finish_update(requester, block);
+                    actions.push(DirAction {
+                        dst: requester,
+                        kind: done,
+                    });
+                }
+            }
+            MsgKind::InterrogateReply { keep } => {
+                let e = self.entry(block);
+                debug_assert!(matches!(
+                    e.pending.map(|p| p.kind),
+                    Some(PendingKind::Interrogating { .. })
+                ));
+                if !keep {
+                    e.remove(src);
+                }
+                let p = e
+                    .pending
+                    .as_mut()
+                    .expect("InterrogateReply with no pending op");
+                if keep {
+                    p.keep_votes = true;
+                }
+                p.acks_left -= 1;
+                if p.acks_left == 0 {
+                    let (requester, dirty_words, all_gave_up) = match p.kind {
+                        PendingKind::Interrogating { dirty_words } => {
+                            (p.requester, dirty_words, !p.keep_votes)
+                        }
+                        _ => unreachable!(),
+                    };
+                    e.pending = None;
+                    if all_gave_up {
+                        // "For the block to be deemed migratory, all caches
+                        // must give up their copies."
+                        let e = self.entry(block);
+                        e.migratory = true;
+                        self.stats.migratory_detections += 1;
+                    }
+                    self.start_update_fanout(requester, block, dirty_words, actions);
+                }
+            }
+            other => unreachable!("not a home reply: {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const N: usize = 16;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    fn n(i: u8) -> NodeId {
+        NodeId(i)
+    }
+
+    /// Shorthand: assert a single action with the given destination+kind.
+    fn assert_single(actions: &[DirAction], dst: NodeId, kind: MsgKind) {
+        assert_eq!(actions, &[DirAction { dst, kind }]);
+    }
+
+    #[test]
+    fn read_clean_block_two_hop() {
+        let mut dir = DirCtrl::new(N, false, false);
+        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+        let (owner, presence, mig) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, 1 << 2);
+        assert!(!mig);
+        assert_eq!(dir.stats().reads_clean, 1);
+    }
+
+    #[test]
+    fn write_miss_with_no_sharers_gets_data() {
+        let mut dir = DirCtrl::new(N, false, false);
+        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        assert_single(&a, n(1), MsgKind::OwnAck { with_data: true });
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(1)));
+    }
+
+    #[test]
+    fn upgrade_from_shared_without_data() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
+    }
+
+    #[test]
+    fn ownership_invalidates_all_sharers_then_acks() {
+        let mut dir = DirCtrl::new(N, false, false);
+        for i in [1u8, 2, 3] {
+            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        // Invalidations to 2 and 3 only.
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|x| x.kind == MsgKind::Inval));
+        let dsts: Vec<_> = a.iter().map(|x| x.dst).collect();
+        assert!(dsts.contains(&n(2)) && dsts.contains(&n(3)));
+        // First ack: nothing yet.
+        assert!(dir.handle(n(2), b(0), MsgKind::InvalAck).is_empty());
+        // Second ack completes the ownership transfer.
+        let a = dir.handle(n(3), b(0), MsgKind::InvalAck);
+        assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, Some(n(1)));
+        assert_eq!(presence, 1 << 1);
+        assert_eq!(dir.stats().invals_sent, 2);
+    }
+
+    #[test]
+    fn read_of_dirty_block_is_four_hop_through_home() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::Fetch);
+        let a = dir.handle(n(1), b(0), MsgKind::FetchReply { written: true });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+        // Both the old owner and the requester now share the block.
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, (1 << 1) | (1 << 2));
+        assert_eq!(dir.stats().reads_dirty, 1);
+    }
+
+    #[test]
+    fn requests_queue_behind_transient_state() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        // Node 1 requests ownership -> invalidation of node 2 pending.
+        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        assert!(dir.has_pending());
+        // Node 3's read must queue.
+        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        assert!(a.is_empty());
+        // The ack completes ownership AND services the queued read: the
+        // block is now dirty at node 1, so home fetches it.
+        let a = dir.handle(n(2), b(0), MsgKind::InvalAck);
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a[0],
+            DirAction {
+                dst: n(1),
+                kind: MsgKind::OwnAck { with_data: false }
+            }
+        );
+        assert_eq!(
+            a[1],
+            DirAction {
+                dst: n(1),
+                kind: MsgKind::Fetch
+            }
+        );
+    }
+
+    #[test]
+    fn writeback_clears_ownership() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
+        assert_single(&a, n(1), MsgKind::WritebackAck);
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, 0);
+    }
+
+    #[test]
+    fn writeback_crossing_fetch_completes_the_read() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        // Node 1's writeback races with the Fetch we just sent it.
+        let a = dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a[0],
+            DirAction {
+                dst: n(1),
+                kind: MsgKind::WritebackAck
+            }
+        );
+        assert_eq!(
+            a[1],
+            DirAction {
+                dst: n(2),
+                kind: MsgKind::ReadReply { exclusive: false }
+            }
+        );
+    }
+
+    #[test]
+    fn writeback_crossing_fetch_leaves_no_stale_presence_bit() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        // The owner's writeback crosses the Fetch: node 1 gave up its copy,
+        // so only the requester may appear in the presence vector.
+        dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, 1 << 2, "old owner must not be re-added");
+    }
+
+    #[test]
+    fn owner_rereading_after_writeback_in_flight() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        // Owner replaced the block and immediately re-reads; the read
+        // arrives first.
+        let a = dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        assert!(a.is_empty(), "must wait for the in-flight writeback");
+        let a = dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
+        assert_eq!(a.len(), 2);
+        assert_eq!(
+            a[0],
+            DirAction {
+                dst: n(1),
+                kind: MsgKind::WritebackAck
+            }
+        );
+        assert_eq!(
+            a[1],
+            DirAction {
+                dst: n(1),
+                kind: MsgKind::ReadReply { exclusive: false }
+            }
+        );
+    }
+
+    #[test]
+    fn shared_repl_hint_clears_presence_and_prevents_inval() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(2), b(0), MsgKind::SharedReplHint);
+        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        // No sharers besides node 1 remain: immediate ack, no invalidation.
+        assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
+        assert_eq!(dir.stats().invals_sent, 0);
+    }
+
+    // ------------------------------------------------------- migratory (M)
+
+    /// Drives the canonical migratory pattern: node i read-misses then
+    /// requests ownership, in turn.
+    fn migratory_turn(dir: &mut DirCtrl, i: NodeId, block: BlockAddr) -> Vec<DirAction> {
+        let mut all = dir.handle(i, block, MsgKind::ReadReq { prefetch: false });
+        // Resolve any fetch the home sent.
+        let fetches: Vec<_> = all
+            .iter()
+            .filter(|a| matches!(a.kind, MsgKind::Fetch | MsgKind::FetchInval))
+            .copied()
+            .collect();
+        for f in fetches {
+            let reply = match f.kind {
+                MsgKind::Fetch => MsgKind::FetchReply { written: true },
+                MsgKind::FetchInval => MsgKind::FetchInvalReply { written: true },
+                _ => unreachable!(),
+            };
+            all.extend(dir.handle(f.dst, block, reply));
+        }
+        // If the reply was shared, the node writes: ownership request.
+        if all
+            .iter()
+            .any(|a| a.kind == MsgKind::ReadReply { exclusive: false })
+        {
+            let own = dir.handle(i, block, MsgKind::OwnReq { need_data: false });
+            for a in &own {
+                if a.kind == MsgKind::Inval {
+                    all.extend(dir.handle(a.dst, block, MsgKind::InvalAck));
+                }
+            }
+            all.extend(own);
+        }
+        all
+    }
+
+    #[test]
+    fn migratory_detection_after_two_read_write_sequences() {
+        let mut dir = DirCtrl::new(N, true, false);
+        migratory_turn(&mut dir, n(0), b(0)); // node 0 reads + writes
+        assert!(!dir.snapshot(b(0)).unwrap().2);
+        migratory_turn(&mut dir, n(1), b(0)); // node 1 reads + writes
+        assert!(dir.snapshot(b(0)).unwrap().2, "block must be migratory now");
+        assert_eq!(dir.stats().migratory_detections, 1);
+        // Third turn: node 2's read gets an exclusive copy directly.
+        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::FetchInval);
+        let a = dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: true });
+        // ...and node 2's subsequent write needs NO ownership request:
+        // that's the optimization. (The cache layer verifies silent
+        // promotion; here we check the directory granted exclusivity.)
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(2)));
+    }
+
+    #[test]
+    fn migratory_reverts_when_holder_never_writes() {
+        let mut dir = DirCtrl::new(N, true, false);
+        migratory_turn(&mut dir, n(0), b(0));
+        migratory_turn(&mut dir, n(1), b(0));
+        assert!(dir.snapshot(b(0)).unwrap().2);
+        // Node 2 reads (exclusive grant), never writes; node 3 then reads.
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: true });
+        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(2), MsgKind::FetchInval);
+        let a = dir.handle(n(2), b(0), MsgKind::FetchInvalReply { written: false });
+        assert_single(&a, n(3), MsgKind::ReadReply { exclusive: false });
+        assert!(!dir.snapshot(b(0)).unwrap().2, "migratory bit must revert");
+        assert_eq!(dir.stats().migratory_reverts, 1);
+    }
+
+    #[test]
+    fn revert_disabled_keeps_granting_exclusive() {
+        let mut dir = DirCtrl::new(N, true, false);
+        dir.set_revert(false);
+        migratory_turn(&mut dir, n(0), b(0));
+        migratory_turn(&mut dir, n(1), b(0));
+        assert!(dir.snapshot(b(0)).unwrap().2);
+        // Node 2 reads (exclusive), never writes; node 3 reads: with
+        // reversion off the home hands out another exclusive copy anyway.
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.handle(n(2), b(0), MsgKind::FetchInvalReply { written: false });
+        assert_single(&a, n(3), MsgKind::ReadReply { exclusive: true });
+        assert!(dir.snapshot(b(0)).unwrap().2, "migratory bit must persist");
+        assert_eq!(dir.stats().migratory_reverts, 0);
+    }
+
+    #[test]
+    fn unwritten_migratory_writeback_reverts() {
+        let mut dir = DirCtrl::new(N, true, false);
+        migratory_turn(&mut dir, n(0), b(0));
+        migratory_turn(&mut dir, n(1), b(0));
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        // Node 2 replaces the unwritten exclusive copy.
+        let a = dir.handle(n(2), b(0), MsgKind::WritebackReq { written: false });
+        assert_single(&a, n(2), MsgKind::WritebackAck);
+        assert!(!dir.snapshot(b(0)).unwrap().2);
+    }
+
+    #[test]
+    fn read_only_sharing_never_detected_as_migratory() {
+        let mut dir = DirCtrl::new(N, true, false);
+        for i in 0..8u8 {
+            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        assert!(!dir.snapshot(b(0)).unwrap().2);
+        assert_eq!(dir.stats().migratory_detections, 0);
+    }
+
+    #[test]
+    fn three_sharers_not_detected_as_migratory() {
+        let mut dir = DirCtrl::new(N, true, false);
+        // Nodes 0, 1, 2 all read; node 1 then writes. Presence count is 3,
+        // not 2, so this is not the migratory pattern.
+        for i in 0..3u8 {
+            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        assert!(!dir.snapshot(b(0)).unwrap().2);
+    }
+
+    // --------------------------------------------- MESI exclusive-clean (E)
+
+    #[test]
+    fn exclusive_clean_grants_when_no_copies_exist() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.set_exclusive_clean(true);
+        let a = dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::ReadReply { exclusive: true });
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(1)));
+        // A second reader forces a fetch-downgrade back to sharing.
+        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::Fetch);
+        let a = dir.handle(n(1), b(0), MsgKind::FetchReply { written: false });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, (1 << 1) | (1 << 2));
+    }
+
+    #[test]
+    fn exclusive_clean_not_granted_with_existing_sharers() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.set_exclusive_clean(true);
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(1), b(0), MsgKind::WritebackReq { written: false });
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        // Node 2 reads while node 1 holds a copy: shared grant... first
+        // recall node 1's exclusive copy.
+        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::Fetch);
+        dir.handle(n(1), b(0), MsgKind::FetchReply { written: false });
+        // Node 3 now reads a block with two sharers: plain shared grant.
+        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(3), MsgKind::ReadReply { exclusive: false });
+    }
+
+    // ------------------------------------------------- competitive update (CW)
+
+    #[test]
+    fn update_with_no_other_copies_completes_immediately() {
+        let mut dir = DirCtrl::new(N, false, true);
+        // The writer holds no copy either: no exclusivity grant.
+        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
+        assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
+    }
+
+    #[test]
+    fn sole_sharer_update_degenerates_to_ownership() {
+        let mut dir = DirCtrl::new(N, false, true);
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
+        assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: true });
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(1)));
+        // Further writes are silent; a later update from a stale write
+        // cache entry is simply dropped.
+        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b10 });
+        assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
+    }
+
+    #[test]
+    fn update_fans_out_to_sharers_and_clears_invalidated_copies() {
+        let mut dir = DirCtrl::new(N, false, true);
+        for i in [1u8, 2, 3] {
+            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b11 });
+        assert_eq!(a.len(), 2);
+        assert!(a
+            .iter()
+            .all(|x| x.kind == MsgKind::Update { dirty_words: 0b11 }));
+        // Node 2 keeps its copy; node 3's competitive counter expired.
+        assert!(dir
+            .handle(n(2), b(0), MsgKind::UpdateAck { invalidated: false })
+            .is_empty());
+        let a = dir.handle(n(3), b(0), MsgKind::UpdateAck { invalidated: true });
+        assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
+        let (_, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(presence, (1 << 1) | (1 << 2));
+        assert_eq!(dir.stats().updates_sent, 2);
+    }
+
+    #[test]
+    fn updates_keep_memory_clean_so_reads_are_two_hop() {
+        let mut dir = DirCtrl::new(N, false, true);
+        // Two sharers, so the writer keeps the block in update mode.
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
+        dir.handle(n(2), b(0), MsgKind::UpdateAck { invalidated: false });
+        // A later read finds the block clean at home: two-hop service.
+        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(3), MsgKind::ReadReply { exclusive: false });
+        assert_eq!(dir.stats().reads_dirty, 0);
+    }
+
+    // ------------------------------------------------------------ CW+M
+
+    #[test]
+    fn cwm_interrogation_detects_migratory_when_all_give_up() {
+        let mut dir = DirCtrl::new(N, true, true);
+        dir.handle(n(0), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        // Node 0 updates first (becomes last_updater).
+        let a = dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        assert_single(&a, n(1), MsgKind::Update { dirty_words: 1 });
+        dir.handle(n(1), b(0), MsgKind::UpdateAck { invalidated: false });
+        // Node 1 updates next: different updater, two copies -> interrogate.
+        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        assert_eq!(a.len(), 2);
+        assert!(a.iter().all(|x| x.kind == MsgKind::Interrogate));
+        assert_eq!(dir.stats().interrogations, 1);
+        // Both caches gave up (idle since last update).
+        dir.handle(n(0), b(0), MsgKind::InterrogateReply { keep: false });
+        let a = dir.handle(n(1), b(0), MsgKind::InterrogateReply { keep: false });
+        // All gave up: migratory; the pending update completes with no
+        // remaining copies to update.
+        assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
+        assert!(dir.snapshot(b(0)).unwrap().2);
+        assert_eq!(dir.stats().migratory_detections, 1);
+    }
+
+    #[test]
+    fn cwm_keep_vote_vetoes_migratory() {
+        let mut dir = DirCtrl::new(N, true, true);
+        for i in [0u8, 1, 2] {
+            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.handle(n(1), b(0), MsgKind::UpdateAck { invalidated: false });
+        dir.handle(n(2), b(0), MsgKind::UpdateAck { invalidated: false });
+        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        assert_eq!(a.len(), 3, "interrogate all three copies");
+        dir.handle(n(0), b(0), MsgKind::InterrogateReply { keep: false });
+        dir.handle(n(1), b(0), MsgKind::InterrogateReply { keep: false });
+        // Node 2 is actively reading: it keeps its copy.
+        let a = dir.handle(n(2), b(0), MsgKind::InterrogateReply { keep: true });
+        assert!(!dir.snapshot(b(0)).unwrap().2, "keep vote vetoes migratory");
+        // The update is still delivered to the keeper.
+        assert!(a
+            .iter()
+            .any(|x| x.dst == n(2) && matches!(x.kind, MsgKind::Update { .. })));
+    }
+
+    #[test]
+    fn cwm_update_to_migratory_modified_block_recalls_owner() {
+        let mut dir = DirCtrl::new(N, true, true);
+        // Make the block migratory and owned by node 0 via an exclusive read.
+        dir.handle(n(0), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.handle(n(1), b(0), MsgKind::UpdateAck { invalidated: true });
+        dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        // (single copy now: no interrogation, immediate done)
+        // Force migratory via detection path: read by 2 then 3 with writes.
+        // Simpler: mark by interrogation is already covered; here exercise
+        // the recall path by making the block Modified first.
+        let mut dir = DirCtrl::new(N, true, true);
+        dir.handle(n(0), b(0), MsgKind::OwnReq { need_data: true }); // modified at 0
+        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        assert_single(&a, n(0), MsgKind::FetchInval);
+        let a = dir.handle(n(0), b(0), MsgKind::FetchInvalReply { written: true });
+        assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, 0);
+    }
+
+    #[test]
+    fn stale_update_from_current_owner_is_dropped() {
+        let mut dir = DirCtrl::new(N, true, true);
+        dir.handle(n(0), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        assert_single(&a, n(0), MsgKind::UpdateDone { exclusive: false });
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "presence vector")]
+    fn too_many_nodes_rejected() {
+        let _ = DirCtrl::new(65, false, false);
+    }
+
+    #[test]
+    fn large_machines_use_high_presence_bits() {
+        let mut dir = DirCtrl::new(64, false, false);
+        dir.handle(n(63), b(0), MsgKind::ReadReq { prefetch: false });
+        let (_, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(presence, 1u64 << 63);
+        let a = dir.handle(n(63), b(0), MsgKind::OwnReq { need_data: false });
+        assert_single(&a, n(63), MsgKind::OwnAck { with_data: false });
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(63)));
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's primary contribution: simple extensions to a directory-based
+//! write-invalidate cache-coherence protocol.
+//!
+//! This crate implements the protocol layer of *"Combined Performance Gains
+//! of Simple Cache Protocol Extensions"* (Dahlgren, Dubois & Stenström,
+//! ISCA 1994):
+//!
+//! * the **BASIC** protocol — a full-map directory-based write-invalidate
+//!   protocol with lockup-free second-level caches, under sequential (SC) or
+//!   release (RC) consistency ([`dir::DirCtrl`], [`line`](crate::line));
+//! * **P** — adaptive sequential prefetching ([`prefetch::Prefetcher`]);
+//! * **M** — the migratory-sharing optimization (detection and reversion
+//!   live in [`dir::DirCtrl`]; the `MigClean` cache state in
+//!   [`line::CacheState`]);
+//! * **CW** — competitive update with write caches
+//!   ([`competitive::CompetitivePolicy`]; the write cache itself is
+//!   `dirext_memsys::WriteCache`);
+//! * every combination of the above, selected by [`ProtocolKind`] /
+//!   [`ProtocolConfig`];
+//! * the memory-level synchronization the paper assumes: DASH-style
+//!   queue-based locks and a barrier primitive ([`sync`]);
+//! * the hardware-cost model reproducing the paper's Table 1
+//!   ([`cost::HardwareCost`]).
+//!
+//! The crate is a *logic* layer: controllers consume protocol messages and
+//! emit actions; all timing (buses, latencies, buffers) is applied by the
+//! machine model in `dirext-sim`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod competitive;
+pub mod config;
+pub mod cost;
+pub mod dir;
+pub mod line;
+pub mod msg;
+pub mod prefetch;
+pub mod sync;
+
+pub use config::{CompetitiveConfig, Consistency, PrefetchConfig, ProtocolConfig, ProtocolKind};
+pub use dir::{DirAction, DirCtrl, DirStats};
+pub use line::{CacheState, Line};
+pub use msg::{Msg, MsgKind};
+pub use prefetch::Prefetcher;

@@ -1,0 +1,163 @@
+//! The event queue at the heart of the simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Time;
+
+/// A timestamped event priority queue with deterministic ordering.
+///
+/// Events pop in nondecreasing time order; events pushed for the *same* cycle
+/// pop in the order they were pushed (FIFO). This tie-break is what makes
+/// whole-machine simulations bit-reproducible: two runs with the same seed
+/// schedule the identical event sequence.
+///
+/// # Example
+///
+/// ```
+/// use dirext_kernel::{EventQueue, Time};
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_cycles(3), 'b');
+/// q.push(Time::from_cycles(1), 'a');
+/// assert_eq!(q.pop(), Some((Time::from_cycles(1), 'a')));
+/// assert_eq!(q.pop(), Some((Time::from_cycles(3), 'b')));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time.cmp(&other.time).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq,
+            event,
+        }));
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_cycles(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap(), (Time::from_cycles(7), i));
+        }
+    }
+
+    #[test]
+    fn interleaved_times() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_cycles(5), "c");
+        q.push(Time::from_cycles(1), "a");
+        q.push(Time::from_cycles(3), "b");
+        q.push(Time::from_cycles(5), "d");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_cycles(9), ());
+        q.push(Time::from_cycles(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(Time::from_cycles(2)));
+    }
+
+    proptest! {
+        /// Popping always yields events in nondecreasing time order, and
+        /// events with equal time in push order.
+        #[test]
+        fn pops_sorted_stable(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(Time::from_cycles(t), i);
+            }
+            let mut last: Option<(Time, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t > lt || (t == lt && i > li));
+                }
+                last = Some((t, i));
+            }
+        }
+    }
+}

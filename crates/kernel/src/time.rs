@@ -1,0 +1,140 @@
+//! Simulated time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in *pclocks* (processor clock cycles).
+///
+/// The paper clocks processors at 100 MHz, so one pclock is 10 ns. `Time` is
+/// also used for durations: the difference of two `Time`s is a `Time`.
+///
+/// # Example
+///
+/// ```
+/// use dirext_kernel::Time;
+///
+/// let t = Time::from_cycles(54);
+/// assert_eq!(t + Time::from_cycles(6), Time::from_cycles(60));
+/// assert_eq!(t.as_nanos(), 540);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero (start of simulation).
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a `Time` from a number of processor cycles.
+    #[inline]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        Time(cycles)
+    }
+
+    /// Returns the number of processor cycles.
+    #[inline]
+    pub const fn cycles(self) -> u64 {
+        self.0
+    }
+
+    /// Returns this time in nanoseconds (1 pclock = 10 ns at 100 MHz).
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0 * 10
+    }
+
+    /// Saturating subtraction: returns `self - other`, or zero if `other`
+    /// is later than `self`.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// Returns the later of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        debug_assert!(rhs.0 <= self.0, "time went backwards: {rhs} > {self}");
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}pc", self.0)
+    }
+}
+
+impl From<u64> for Time {
+    fn from(cycles: u64) -> Self {
+        Time(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_display() {
+        let a = Time::from_cycles(30);
+        let b = Time::from_cycles(12);
+        assert_eq!((a + b).cycles(), 42);
+        assert_eq!((a - b).cycles(), 18);
+        assert_eq!(a.to_string(), "30pc");
+        assert_eq!(Time::ZERO.cycles(), 0);
+    }
+
+    #[test]
+    fn saturating_sub_clamps_to_zero() {
+        let a = Time::from_cycles(5);
+        let b = Time::from_cycles(9);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(b.saturating_sub(a).cycles(), 4);
+    }
+
+    #[test]
+    fn nanos_conversion() {
+        assert_eq!(Time::from_cycles(1).as_nanos(), 10);
+        assert_eq!(Time::from_cycles(54).as_nanos(), 540);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_cycles(1) < Time::from_cycles(2));
+        assert_eq!(Time::from_cycles(7).max(Time::from_cycles(3)).cycles(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    #[cfg(debug_assertions)]
+    fn subtraction_underflow_panics_in_debug() {
+        let _ = Time::from_cycles(1) - Time::from_cycles(2);
+    }
+}

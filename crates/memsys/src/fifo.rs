@@ -1,0 +1,163 @@
+//! Bounded FIFO buffers (FLWB/SLWB capacity model).
+
+use std::collections::VecDeque;
+
+/// A bounded first-in-first-out buffer.
+///
+/// The write buffers in each node are FIFO queues of fixed depth; when a
+/// buffer fills, the producer (ultimately the processor) stalls. `push`
+/// therefore reports rejection instead of growing.
+///
+/// # Example
+///
+/// ```
+/// use dirext_memsys::Fifo;
+///
+/// let mut wb: Fifo<u32> = Fifo::new(2);
+/// assert!(wb.push(1).is_ok());
+/// assert!(wb.push(2).is_ok());
+/// assert_eq!(wb.push(3), Err(3)); // full: the value comes back
+/// assert_eq!(wb.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a FIFO of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "a zero-capacity buffer would deadlock the machine"
+        );
+        Fifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Appends an item, or returns it back if the buffer is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(item)` when at capacity.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() == self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable access to the oldest item.
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Iterates oldest-first with mutable access.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+
+    /// Removes the first item matching `pred`, preserving order of the rest.
+    pub fn remove_first<F: FnMut(&T) -> bool>(&mut self, pred: F) -> Option<T> {
+        let pos = self.items.iter().position(pred)?;
+        self.items.remove(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut f = Fifo::new(3);
+        f.push('a').unwrap();
+        f.push('b').unwrap();
+        f.push('c').unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.pop(), Some('a'));
+        f.push('d').unwrap();
+        let rest: Vec<_> = std::iter::from_fn(|| f.pop()).collect();
+        assert_eq!(rest, vec!['b', 'c', 'd']);
+    }
+
+    #[test]
+    fn rejects_when_full() {
+        let mut f = Fifo::new(1);
+        f.push(10).unwrap();
+        assert_eq!(f.push(11), Err(11));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn front_access() {
+        let mut f = Fifo::new(2);
+        assert!(f.front().is_none());
+        f.push(5).unwrap();
+        f.push(6).unwrap();
+        assert_eq!(f.front(), Some(&5));
+        *f.front_mut().unwrap() = 50;
+        assert_eq!(f.pop(), Some(50));
+    }
+
+    #[test]
+    fn remove_first_preserves_order() {
+        let mut f = Fifo::new(4);
+        for i in 0..4 {
+            f.push(i).unwrap();
+        }
+        assert_eq!(f.remove_first(|&x| x == 2), Some(2));
+        let rest: Vec<_> = f.iter().copied().collect();
+        assert_eq!(rest, vec![0, 1, 3]);
+        assert_eq!(f.remove_first(|&x| x == 9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn zero_capacity_panics() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

@@ -1,0 +1,175 @@
+//! First-level cache: direct-mapped, write-through, no write allocation.
+
+use dirext_trace::{BlockAddr, BLOCK_BYTES};
+
+/// The first-level cache (FLC).
+///
+/// The paper's FLC is a 4-KB direct-mapped write-through cache with 32-byte
+/// blocks, no allocation on write misses, and blocking read misses. It must
+/// "respond to all processor accesses and be fast and simple", so it is a
+/// pure tag array here — data correctness is carried by the SLC/protocol
+/// layer, and SLC inclusion means every FLC-valid block is SLC-valid.
+///
+/// # Example
+///
+/// ```
+/// use dirext_memsys::Flc;
+/// use dirext_trace::BlockAddr;
+///
+/// let mut flc = Flc::new(4 * 1024);
+/// let b = BlockAddr::from_index(5);
+/// assert!(!flc.probe(b));
+/// flc.fill(b);
+/// assert!(flc.probe(b));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flc {
+    tags: Vec<Option<BlockAddr>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Flc {
+    /// Creates an FLC of `bytes` capacity (32-byte blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not a positive multiple of the block size.
+    pub fn new(bytes: u64) -> Self {
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(BLOCK_BYTES),
+            "FLC size must be a multiple of 32 B"
+        );
+        let lines = (bytes / BLOCK_BYTES) as usize;
+        Flc {
+            tags: vec![None; lines],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() % self.tags.len() as u64) as usize
+    }
+
+    /// Looks up `block`, recording a hit or miss.
+    pub fn access(&mut self, block: BlockAddr) -> bool {
+        let hit = self.probe(block);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Whether `block` is present (no statistics side effects).
+    pub fn probe(&self, block: BlockAddr) -> bool {
+        self.tags[self.set_of(block)] == Some(block)
+    }
+
+    /// Installs `block` (after an SLC fill), returning any evicted block so
+    /// the caller can maintain bookkeeping.
+    pub fn fill(&mut self, block: BlockAddr) -> Option<BlockAddr> {
+        let set = self.set_of(block);
+        let evicted = match self.tags[set] {
+            Some(old) if old != block => Some(old),
+            _ => None,
+        };
+        self.tags[set] = Some(block);
+        evicted
+    }
+
+    /// Invalidates `block` if present (SLC inclusion: called whenever the
+    /// SLC loses or rewrites a block). Returns whether it was present.
+    pub fn invalidate(&mut self, block: BlockAddr) -> bool {
+        let set = self.set_of(block);
+        if self.tags[set] == Some(block) {
+            self.tags[set] = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hits recorded by [`Flc::access`].
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded by [`Flc::access`].
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of lines.
+    pub fn lines(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Iterates over the resident blocks (for the machine's inclusion
+    /// audit: every FLC-valid block must be SLC-valid).
+    pub fn resident(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.tags.iter().filter_map(|t| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn paper_flc_has_128_lines() {
+        assert_eq!(Flc::new(4 * 1024).lines(), 128);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut flc = Flc::new(4 * 1024);
+        flc.fill(b(0));
+        assert!(flc.probe(b(0)));
+        // Block 128 maps to the same set and evicts block 0.
+        assert_eq!(flc.fill(b(128)), Some(b(0)));
+        assert!(!flc.probe(b(0)));
+        assert!(flc.probe(b(128)));
+    }
+
+    #[test]
+    fn refill_same_block_evicts_nothing() {
+        let mut flc = Flc::new(4 * 1024);
+        flc.fill(b(7));
+        assert_eq!(flc.fill(b(7)), None);
+    }
+
+    #[test]
+    fn invalidation_for_inclusion() {
+        let mut flc = Flc::new(4 * 1024);
+        flc.fill(b(42));
+        assert!(flc.invalidate(b(42)));
+        assert!(!flc.probe(b(42)));
+        assert!(!flc.invalidate(b(42)));
+        // Invalidating an aliasing block must not clobber a different tag.
+        flc.fill(b(42));
+        assert!(!flc.invalidate(b(42 + 128)));
+        assert!(flc.probe(b(42)));
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut flc = Flc::new(4 * 1024);
+        assert!(!flc.access(b(3)));
+        flc.fill(b(3));
+        assert!(flc.access(b(3)));
+        assert_eq!((flc.hits(), flc.misses()), (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 32")]
+    fn bad_size_panics() {
+        let _ = Flc::new(100);
+    }
+}

@@ -1,0 +1,256 @@
+//! Second-level cache storage, generic over the protocol's line state.
+
+use std::collections::HashMap;
+
+use dirext_trace::{BlockAddr, BLOCK_BYTES};
+
+/// Geometry of the second-level cache.
+///
+/// The paper's default SLC is *infinite* (to isolate protocol effects from
+/// capacity effects); Section 5.4 re-runs the experiments with a 16-KB
+/// direct-mapped SLC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlcGeometry {
+    /// No capacity limit; no replacements ever happen.
+    Infinite,
+    /// Direct-mapped with the given capacity in bytes (32-byte blocks).
+    DirectMapped {
+        /// Cache capacity in bytes.
+        bytes: u64,
+    },
+}
+
+impl SlcGeometry {
+    /// Builds the geometry from an optional size (the [`crate::Timing`]
+    /// convention: `None` = infinite).
+    pub fn from_bytes(bytes: Option<u64>) -> Self {
+        match bytes {
+            None => SlcGeometry::Infinite,
+            Some(b) => SlcGeometry::DirectMapped { bytes: b },
+        }
+    }
+}
+
+/// Second-level cache storage: a map from block address to a protocol line
+/// state `L`, with direct-mapped replacement when finite.
+///
+/// The SLC "incorporates most of the mechanisms to support each protocol
+/// extension", so the per-line state `L` is defined by the protocol crate
+/// (state, version, prefetch bits, competitive counter, ...). This type owns
+/// placement/replacement only.
+///
+/// # Example
+///
+/// ```
+/// use dirext_memsys::{Slc, SlcGeometry};
+/// use dirext_trace::BlockAddr;
+///
+/// let mut slc: Slc<&str> = Slc::new(SlcGeometry::Infinite);
+/// let b = BlockAddr::from_index(9);
+/// assert!(slc.insert(b, "shared").is_none());
+/// assert_eq!(slc.get(b), Some(&"shared"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slc<L> {
+    storage: Storage<L>,
+}
+
+#[derive(Debug, Clone)]
+enum Storage<L> {
+    Infinite(HashMap<BlockAddr, L>),
+    DirectMapped { sets: Vec<Option<(BlockAddr, L)>> },
+}
+
+impl<L> Slc<L> {
+    /// Creates an empty SLC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a direct-mapped geometry is not a positive multiple of the
+    /// block size.
+    pub fn new(geometry: SlcGeometry) -> Self {
+        let storage = match geometry {
+            SlcGeometry::Infinite => Storage::Infinite(HashMap::new()),
+            SlcGeometry::DirectMapped { bytes } => {
+                assert!(
+                    bytes > 0 && bytes % BLOCK_BYTES == 0,
+                    "SLC size must be a multiple of 32 B"
+                );
+                let lines = (bytes / BLOCK_BYTES) as usize;
+                Storage::DirectMapped {
+                    sets: std::iter::repeat_with(|| None).take(lines).collect(),
+                }
+            }
+        };
+        Slc { storage }
+    }
+
+    fn set_of(sets_len: usize, block: BlockAddr) -> usize {
+        (block.index() % sets_len as u64) as usize
+    }
+
+    /// The line for `block`, if cached.
+    pub fn get(&self, block: BlockAddr) -> Option<&L> {
+        match &self.storage {
+            Storage::Infinite(map) => map.get(&block),
+            Storage::DirectMapped { sets } => match &sets[Self::set_of(sets.len(), block)] {
+                Some((tag, line)) if *tag == block => Some(line),
+                _ => None,
+            },
+        }
+    }
+
+    /// Mutable access to the line for `block`, if cached.
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
+        match &mut self.storage {
+            Storage::Infinite(map) => map.get_mut(&block),
+            Storage::DirectMapped { sets } => {
+                let idx = Self::set_of(sets.len(), block);
+                match &mut sets[idx] {
+                    Some((tag, line)) if *tag == block => Some(line),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Installs a line for `block`, returning the victim `(block, line)` if
+    /// a different block had to be evicted (direct-mapped conflict).
+    ///
+    /// Inserting over the same block replaces its line without a victim.
+    pub fn insert(&mut self, block: BlockAddr, line: L) -> Option<(BlockAddr, L)> {
+        match &mut self.storage {
+            Storage::Infinite(map) => {
+                map.insert(block, line);
+                None
+            }
+            Storage::DirectMapped { sets } => {
+                let idx = Self::set_of(sets.len(), block);
+                let old = sets[idx].take();
+                sets[idx] = Some((block, line));
+                match old {
+                    Some((tag, l)) if tag != block => Some((tag, l)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the line for `block`.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<L> {
+        match &mut self.storage {
+            Storage::Infinite(map) => map.remove(&block),
+            Storage::DirectMapped { sets } => {
+                let idx = Self::set_of(sets.len(), block);
+                match &sets[idx] {
+                    Some((tag, _)) if *tag == block => sets[idx].take().map(|(_, l)| l),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Whether `block` is present.
+    pub fn contains(&self, block: BlockAddr) -> bool {
+        self.get(block).is_some()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        match &self.storage {
+            Storage::Infinite(map) => map.len(),
+            Storage::DirectMapped { sets } => sets.iter().filter(|s| s.is_some()).count(),
+        }
+    }
+
+    /// Whether no lines are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over `(block, line)` pairs in unspecified order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (BlockAddr, &L)> + '_> {
+        match &self.storage {
+            Storage::Infinite(map) => Box::new(map.iter().map(|(b, l)| (*b, l))),
+            Storage::DirectMapped { sets } => {
+                Box::new(sets.iter().filter_map(|s| s.as_ref()).map(|(b, l)| (*b, l)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn infinite_never_evicts() {
+        let mut slc: Slc<u32> = Slc::new(SlcGeometry::Infinite);
+        for i in 0..10_000 {
+            assert!(slc.insert(b(i), i as u32).is_none());
+        }
+        assert_eq!(slc.len(), 10_000);
+        assert_eq!(slc.get(b(9_999)), Some(&9_999));
+    }
+
+    #[test]
+    fn direct_mapped_evicts_conflicting_block() {
+        // 16 KB = 512 lines.
+        let mut slc: Slc<&str> = Slc::new(SlcGeometry::DirectMapped { bytes: 16 * 1024 });
+        slc.insert(b(1), "one");
+        let victim = slc.insert(b(1 + 512), "alias");
+        assert_eq!(victim, Some((b(1), "one")));
+        assert!(!slc.contains(b(1)));
+        assert!(slc.contains(b(513)));
+    }
+
+    #[test]
+    fn reinsert_same_block_is_replacement_not_eviction() {
+        let mut slc: Slc<u8> = Slc::new(SlcGeometry::DirectMapped { bytes: 16 * 1024 });
+        slc.insert(b(7), 1);
+        assert_eq!(slc.insert(b(7), 2), None);
+        assert_eq!(slc.get(b(7)), Some(&2));
+    }
+
+    #[test]
+    fn remove_respects_tags() {
+        let mut slc: Slc<u8> = Slc::new(SlcGeometry::DirectMapped { bytes: 16 * 1024 });
+        slc.insert(b(3), 1);
+        // Removing an aliasing block must not remove block 3.
+        assert_eq!(slc.remove(b(3 + 512)), None);
+        assert_eq!(slc.remove(b(3)), Some(1));
+        assert!(slc.is_empty());
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut slc: Slc<u32> = Slc::new(SlcGeometry::Infinite);
+        slc.insert(b(0), 10);
+        *slc.get_mut(b(0)).unwrap() += 5;
+        assert_eq!(slc.get(b(0)), Some(&15));
+        assert!(slc.get_mut(b(1)).is_none());
+    }
+
+    #[test]
+    fn geometry_from_bytes() {
+        assert_eq!(SlcGeometry::from_bytes(None), SlcGeometry::Infinite);
+        assert_eq!(
+            SlcGeometry::from_bytes(Some(16 * 1024)),
+            SlcGeometry::DirectMapped { bytes: 16 * 1024 }
+        );
+    }
+
+    #[test]
+    fn iter_visits_resident_lines() {
+        let mut slc: Slc<u8> = Slc::new(SlcGeometry::DirectMapped { bytes: 1024 });
+        slc.insert(b(0), 1);
+        slc.insert(b(5), 2);
+        let mut blocks: Vec<u64> = slc.iter().map(|(blk, _)| blk.index()).collect();
+        blocks.sort_unstable();
+        assert_eq!(blocks, vec![0, 5]);
+    }
+}

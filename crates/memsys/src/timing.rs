@@ -1,0 +1,119 @@
+//! The paper's latency and capacity parameters.
+
+use dirext_kernel::Time;
+
+/// Latency and sizing parameters of one processing node (paper Section 4).
+///
+/// All latencies are in pclocks (10 ns at the paper's 100 MHz):
+///
+/// * FLC access 1 pclock, FLC block fill 3 pclocks;
+/// * SLC access 6 pclocks (30 ns SRAM);
+/// * memory module 24 pclocks, local bus 3 pclocks per transfer — a local
+///   memory access is therefore bus + memory + bus = 30 pclocks end-to-end;
+/// * FLWB of 8 entries and SLWB of 16 entries under release consistency
+///   (single entries under sequential consistency — applied by the machine
+///   builder, not here).
+///
+/// # Example
+///
+/// ```
+/// use dirext_memsys::Timing;
+///
+/// let t = Timing::paper_default();
+/// assert_eq!(t.local_mem_round_trip().cycles(), 30);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// FLC hit latency.
+    pub flc_hit: Time,
+    /// FLC block fill after the SLC returns data.
+    pub flc_fill: Time,
+    /// SLC access (hit detection or line read/write occupancy).
+    pub slc_access: Time,
+    /// Memory-module access (fully interleaved, so no bank contention).
+    pub mem_access: Time,
+    /// One transfer over the local 256-bit split-transaction bus
+    /// (a 32-byte block is one bus width).
+    pub bus_transfer: Time,
+    /// Directory state lookup/update at the home node (overlapped with the
+    /// memory access in real designs; kept separate and small).
+    pub dir_access: Time,
+    /// FLWB capacity (entries).
+    pub flwb_entries: usize,
+    /// SLWB capacity (entries).
+    pub slwb_entries: usize,
+    /// FLC size in bytes.
+    pub flc_bytes: u64,
+    /// SLC size in bytes; `None` means infinite (the paper's default).
+    pub slc_bytes: Option<u64>,
+    /// Write-cache capacity in blocks (CW extension; 4 in the paper).
+    pub write_cache_blocks: usize,
+}
+
+impl Timing {
+    /// The paper's baseline parameters.
+    pub fn paper_default() -> Self {
+        Timing {
+            flc_hit: Time::from_cycles(1),
+            flc_fill: Time::from_cycles(3),
+            slc_access: Time::from_cycles(6),
+            mem_access: Time::from_cycles(24),
+            bus_transfer: Time::from_cycles(3),
+            dir_access: Time::from_cycles(0),
+            flwb_entries: 8,
+            slwb_entries: 16,
+            flc_bytes: 4 * 1024,
+            slc_bytes: None,
+            write_cache_blocks: 4,
+        }
+    }
+
+    /// End-to-end latency of a local memory access (bus + memory + bus):
+    /// 30 pclocks with the paper's numbers.
+    pub fn local_mem_round_trip(&self) -> Time {
+        self.bus_transfer + self.mem_access + self.bus_transfer
+    }
+
+    /// The Section 5.4 sensitivity variant: 4-entry FLWB and SLWB.
+    pub fn with_small_buffers(mut self) -> Self {
+        self.flwb_entries = 4;
+        self.slwb_entries = 4;
+        self
+    }
+
+    /// The Section 5.4 sensitivity variant: 16-KB direct-mapped SLC.
+    pub fn with_limited_slc(mut self) -> Self {
+        self.slc_bytes = Some(16 * 1024);
+        self
+    }
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let t = Timing::paper_default();
+        assert_eq!(t.flc_hit.cycles(), 1);
+        assert_eq!(t.slc_access.cycles(), 6);
+        assert_eq!(t.local_mem_round_trip().cycles(), 30);
+        assert_eq!(t.flwb_entries, 8);
+        assert_eq!(t.slwb_entries, 16);
+        assert_eq!(t.slc_bytes, None);
+    }
+
+    #[test]
+    fn sensitivity_variants() {
+        let t = Timing::paper_default().with_small_buffers();
+        assert_eq!((t.flwb_entries, t.slwb_entries), (4, 4));
+        let t = Timing::paper_default().with_limited_slc();
+        assert_eq!(t.slc_bytes, Some(16 * 1024));
+    }
+}

@@ -1,0 +1,192 @@
+//! The write cache of the competitive-update extension.
+
+use dirext_trace::{Addr, BlockAddr, WORDS_PER_BLOCK};
+
+/// One write-cache block: which block it shadows and which words are dirty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcEntry {
+    /// The shadowed cache block.
+    pub block: BlockAddr,
+    /// Per-word dirty bits (bit `i` = word `i` of the block modified).
+    pub dirty_mask: u8,
+}
+
+impl WcEntry {
+    /// Number of dirty words in this entry.
+    pub fn dirty_words(&self) -> u32 {
+        self.dirty_mask.count_ones()
+    }
+}
+
+/// A small direct-mapped write cache (4 blocks in the paper) that allocates
+/// on writes only and combines consecutive writes to the same block.
+///
+/// "Because consecutive writes to the same word are combined in the write
+/// cache before being issued, the write traffic is reduced. This combining
+/// is only possible under a relaxed memory consistency model." Flushing
+/// happens at a release or when a block is victimized; the per-word dirty
+/// bits let the home receive only the modified words in a single request.
+///
+/// # Example
+///
+/// ```
+/// use dirext_memsys::WriteCache;
+/// use dirext_trace::Addr;
+///
+/// let mut wc = WriteCache::new(4);
+/// assert!(wc.write(Addr::new(0)).is_none()); // allocates, no victim
+/// assert!(wc.write(Addr::new(4)).is_none()); // combines into same entry
+/// let flushed = wc.flush_all();
+/// assert_eq!(flushed.len(), 1);
+/// assert_eq!(flushed[0].dirty_words(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WriteCache {
+    entries: Vec<Option<WcEntry>>,
+    combined_writes: u64,
+    allocations: u64,
+}
+
+impl WriteCache {
+    /// Creates a write cache with `blocks` entries (4 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` is zero.
+    pub fn new(blocks: usize) -> Self {
+        assert!(blocks > 0, "write cache needs at least one block");
+        WriteCache {
+            entries: vec![None; blocks],
+            combined_writes: 0,
+            allocations: 0,
+        }
+    }
+
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() % self.entries.len() as u64) as usize
+    }
+
+    /// Records a write to `addr`.
+    ///
+    /// Returns the victim entry if a different block had to be evicted to
+    /// make room (the victim's update must then be issued to the home node).
+    pub fn write(&mut self, addr: Addr) -> Option<WcEntry> {
+        let block = addr.block();
+        let word_bit = 1u8 << addr.word_in_block();
+        debug_assert!(addr.word_in_block() < WORDS_PER_BLOCK);
+        let set = self.set_of(block);
+        match self.entries[set] {
+            Some(ref mut e) if e.block == block => {
+                e.dirty_mask |= word_bit;
+                self.combined_writes += 1;
+                None
+            }
+            other => {
+                self.entries[set] = Some(WcEntry {
+                    block,
+                    dirty_mask: word_bit,
+                });
+                self.allocations += 1;
+                other
+            }
+        }
+    }
+
+    /// The entry shadowing `block`, if any (read hits in the write cache are
+    /// serviced from here when the SLC misses).
+    pub fn probe(&self, block: BlockAddr) -> Option<&WcEntry> {
+        match &self.entries[self.set_of(block)] {
+            Some(e) if e.block == block => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Removes and returns the entry for `block` (e.g. when the block's
+    /// update is being issued eagerly).
+    pub fn take(&mut self, block: BlockAddr) -> Option<WcEntry> {
+        let set = self.set_of(block);
+        match &self.entries[set] {
+            Some(e) if e.block == block => self.entries[set].take(),
+            _ => None,
+        }
+    }
+
+    /// Drains every entry (performed at a release: "the propagation of
+    /// updates to a block in the write cache can wait until the write-cache
+    /// block is replaced or until the release of a lock").
+    pub fn flush_all(&mut self) -> Vec<WcEntry> {
+        self.entries.iter_mut().filter_map(Option::take).collect()
+    }
+
+    /// Whether any entry is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.iter().all(Option::is_none)
+    }
+
+    /// Writes that combined into an existing entry (traffic saved).
+    pub fn combined_writes(&self) -> u64 {
+        self.combined_writes
+    }
+
+    /// Entry allocations (each eventually costs one update message).
+    pub fn allocations(&self) -> u64 {
+        self.allocations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirext_trace::BLOCK_BYTES;
+
+    #[test]
+    fn combines_writes_to_same_block() {
+        let mut wc = WriteCache::new(4);
+        assert!(wc.write(Addr::new(0)).is_none());
+        assert!(wc.write(Addr::new(8)).is_none());
+        assert!(wc.write(Addr::new(8)).is_none()); // same word again
+        let e = wc.probe(BlockAddr::from_index(0)).unwrap();
+        assert_eq!(e.dirty_mask, 0b0000_0101);
+        assert_eq!(e.dirty_words(), 2);
+        assert_eq!(wc.combined_writes(), 2);
+        assert_eq!(wc.allocations(), 1);
+    }
+
+    #[test]
+    fn conflict_evicts_victim() {
+        let mut wc = WriteCache::new(4);
+        wc.write(Addr::new(0));
+        // Block 4 maps to the same entry as block 0 in a 4-entry cache.
+        let victim = wc.write(Addr::new(4 * BLOCK_BYTES)).unwrap();
+        assert_eq!(victim.block, BlockAddr::from_index(0));
+        assert!(wc.probe(BlockAddr::from_index(4)).is_some());
+    }
+
+    #[test]
+    fn flush_drains_everything() {
+        let mut wc = WriteCache::new(4);
+        for i in 0..3 {
+            wc.write(Addr::new(i * BLOCK_BYTES));
+        }
+        let flushed = wc.flush_all();
+        assert_eq!(flushed.len(), 3);
+        assert!(wc.is_empty());
+        assert!(wc.flush_all().is_empty());
+    }
+
+    #[test]
+    fn take_removes_only_matching_block() {
+        let mut wc = WriteCache::new(4);
+        wc.write(Addr::new(32));
+        assert!(wc.take(BlockAddr::from_index(5)).is_none());
+        let e = wc.take(BlockAddr::from_index(1)).unwrap();
+        assert_eq!(e.block, BlockAddr::from_index(1));
+        assert!(wc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_blocks_panics() {
+        let _ = WriteCache::new(0);
+    }
+}

@@ -1,0 +1,97 @@
+//! What the network sees of a protocol message.
+
+use dirext_trace::NodeId;
+
+/// Coarse classification of network traffic, used for the Figure-4 traffic
+/// breakdown. The protocol layer maps each message kind onto one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Address/control-only messages (requests, invalidations, acks).
+    Control,
+    /// Messages carrying a full cache block.
+    Data,
+    /// Competitive-update messages carrying modified words.
+    Update,
+    /// Synchronization messages (lock and barrier traffic).
+    Sync,
+}
+
+impl TrafficClass {
+    /// All classes, in display order.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Control,
+        TrafficClass::Data,
+        TrafficClass::Update,
+        TrafficClass::Sync,
+    ];
+
+    /// Index into [`TrafficClass::ALL`].
+    pub fn idx(self) -> usize {
+        match self {
+            TrafficClass::Control => 0,
+            TrafficClass::Data => 1,
+            TrafficClass::Update => 2,
+            TrafficClass::Sync => 3,
+        }
+    }
+}
+
+/// A network-level view of one message: endpoints, size and class.
+///
+/// # Example
+///
+/// ```
+/// use dirext_network::{Envelope, TrafficClass};
+/// use dirext_trace::NodeId;
+///
+/// let env = Envelope::new(NodeId(0), NodeId(3), 40, TrafficClass::Data);
+/// assert_eq!(env.bytes, 40);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Total message size in bytes (header + payload).
+    pub bytes: u32,
+    /// Traffic class for accounting.
+    pub class: TrafficClass,
+}
+
+impl Envelope {
+    /// Creates an envelope.
+    pub fn new(src: NodeId, dst: NodeId, bytes: u32, class: TrafficClass) -> Self {
+        Envelope {
+            src,
+            dst,
+            bytes,
+            class,
+        }
+    }
+
+    /// Whether the message stays within one node.
+    pub fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality() {
+        assert!(Envelope::new(NodeId(2), NodeId(2), 8, TrafficClass::Control).is_local());
+        assert!(!Envelope::new(NodeId(2), NodeId(3), 8, TrafficClass::Control).is_local());
+    }
+
+    #[test]
+    fn class_indices_are_distinct() {
+        let mut seen = [false; 4];
+        for c in TrafficClass::ALL {
+            assert!(!seen[c.idx()]);
+            seen[c.idx()] = true;
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Wormhole-routed 2D mesh (Section 5.3 of the paper).
+
+use dirext_kernel::{Resource, Time};
+use dirext_trace::NodeId;
+
+use crate::{Envelope, Network, TrafficStats};
+
+/// A wormhole-routed 2D mesh with dimension-order (X then Y) routing.
+///
+/// The paper's meshes are "wormhole-routed with two phases (routing +
+/// transfer), and are clocked at the same frequency as the processors
+/// (100 MHz)" with link widths of 64, 32, and 16 bits. We model:
+///
+/// * a per-hop header latency of `router_delay` cycles (the two phases),
+/// * a body occupancy of `ceil(8 * bytes / link_bits)` cycles (one flit per
+///   link cycle),
+/// * per-link contention: the head flit waits for each link to become free,
+///   and while the body streams through a link that link is unavailable to
+///   other messages. This captures wormhole head-of-line blocking at
+///   message granularity, which is what saturates the 16-bit mesh in
+///   Table 3.
+///
+/// # Example
+///
+/// ```
+/// use dirext_kernel::Time;
+/// use dirext_network::{Envelope, MeshNetwork, Network, TrafficClass};
+/// use dirext_trace::NodeId;
+///
+/// let mut mesh = MeshNetwork::new(4, 4, 64);
+/// // 1 hop, 40-byte message on 64-bit links: 2 (router) + 5 (flits).
+/// let arrival = mesh.send(
+///     Time::ZERO,
+///     Envelope::new(NodeId(0), NodeId(1), 40, TrafficClass::Data),
+/// );
+/// assert_eq!(arrival, Time::from_cycles(7));
+/// ```
+#[derive(Debug)]
+pub struct MeshNetwork {
+    cols: usize,
+    rows: usize,
+    link_bits: u32,
+    router_delay: u64,
+    /// One `Resource` per unidirectional link. Links are indexed by
+    /// `(from_router * 4) + direction`.
+    links: Vec<Resource>,
+    traffic: TrafficStats,
+    name: String,
+}
+
+/// Direction of a unidirectional mesh link out of a router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    East,
+    West,
+    North,
+    South,
+}
+
+impl Dir {
+    fn idx(self) -> usize {
+        match self {
+            Dir::East => 0,
+            Dir::West => 1,
+            Dir::North => 2,
+            Dir::South => 3,
+        }
+    }
+}
+
+impl MeshNetwork {
+    /// Creates a `cols × rows` mesh with the given link width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `link_bits` is zero.
+    pub fn new(cols: usize, rows: usize, link_bits: u32) -> Self {
+        assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
+        assert!(link_bits > 0, "link width must be positive");
+        MeshNetwork {
+            cols,
+            rows,
+            link_bits,
+            router_delay: 2,
+            links: vec![Resource::new(); cols * rows * 4],
+            traffic: TrafficStats::new(),
+            name: format!("mesh{cols}x{rows}-{link_bits}bit"),
+        }
+    }
+
+    /// The paper's 16-node mesh (4×4) with the given link width (64, 32 or
+    /// 16 bits in Section 5.3).
+    pub fn paper_mesh(link_bits: u32) -> Self {
+        Self::new(4, 4, link_bits)
+    }
+
+    /// Link width in bits.
+    pub fn link_bits(&self) -> u32 {
+        self.link_bits
+    }
+
+    fn coords(&self, n: NodeId) -> (usize, usize) {
+        let i = n.idx();
+        (i % self.cols, i / self.cols)
+    }
+
+    /// Body occupancy of a message in link cycles (flits).
+    fn flits(&self, bytes: u32) -> u64 {
+        u64::from(bytes) * 8 / u64::from(self.link_bits)
+            + u64::from((u64::from(bytes) * 8) % u64::from(self.link_bits) != 0)
+    }
+
+    fn link_index(&self, x: usize, y: usize, dir: Dir) -> usize {
+        (y * self.cols + x) * 4 + dir.idx()
+    }
+
+    /// The sequence of link indices a message traverses under X-Y routing.
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = Vec::with_capacity(self.cols + self.rows);
+        while x != dx {
+            let dir = if dx > x { Dir::East } else { Dir::West };
+            path.push(self.link_index(x, y, dir));
+            if dx > x {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        while y != dy {
+            let dir = if dy > y { Dir::South } else { Dir::North };
+            path.push(self.link_index(x, y, dir));
+            if dy > y {
+                y += 1;
+            } else {
+                y -= 1;
+            }
+        }
+        path
+    }
+}
+
+impl Network for MeshNetwork {
+    fn send(&mut self, now: Time, env: Envelope) -> Time {
+        if env.is_local() {
+            return now;
+        }
+        self.traffic.record(&env);
+        let flits = self.flits(env.bytes);
+        let mut head = now;
+        for link in self.route(env.src, env.dst) {
+            // The head flit must wait for the link, then spends the router
+            // delay; the body then streams for `flits` cycles, keeping the
+            // link busy for router_delay + flits.
+            let start =
+                self.links[link].acquire(head, Time::from_cycles(self.router_delay + flits));
+            head = start + Time::from_cycles(self.router_delay);
+        }
+        head + Time::from_cycles(flits)
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TrafficClass;
+    use proptest::prelude::*;
+
+    fn t(c: u64) -> Time {
+        Time::from_cycles(c)
+    }
+
+    fn env(src: u8, dst: u8, bytes: u32) -> Envelope {
+        Envelope::new(NodeId(src), NodeId(dst), bytes, TrafficClass::Data)
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let mesh = MeshNetwork::paper_mesh(64);
+        assert_eq!(mesh.flits(40), 5); // 320 bits / 64
+        assert_eq!(mesh.flits(8), 1);
+        assert_eq!(mesh.flits(9), 2); // 72 bits -> 2 flits
+        let narrow = MeshNetwork::paper_mesh(16);
+        assert_eq!(narrow.flits(40), 20);
+    }
+
+    #[test]
+    fn xy_route_lengths() {
+        let mesh = MeshNetwork::paper_mesh(64);
+        // Node 0 = (0,0); node 15 = (3,3): 6 hops.
+        assert_eq!(mesh.route(NodeId(0), NodeId(15)).len(), 6);
+        assert_eq!(mesh.route(NodeId(0), NodeId(3)).len(), 3);
+        assert_eq!(mesh.route(NodeId(5), NodeId(5)).len(), 0);
+        // Route back differs in links but not in length.
+        assert_eq!(mesh.route(NodeId(15), NodeId(0)).len(), 6);
+    }
+
+    #[test]
+    fn uncontended_latency() {
+        let mut mesh = MeshNetwork::paper_mesh(64);
+        // 0 -> 15: 6 hops * 2 cycles + 5 flits = 17.
+        assert_eq!(mesh.send(t(0), env(0, 15, 40)), t(17));
+    }
+
+    #[test]
+    fn contention_on_shared_link_delays_second_message() {
+        let mut mesh = MeshNetwork::paper_mesh(16);
+        // Both messages cross the same first link (0 -> 1 eastbound).
+        let a = mesh.send(t(0), env(0, 1, 40));
+        let b = mesh.send(t(0), env(0, 1, 40));
+        assert!(b > a, "second message must queue behind the first");
+    }
+
+    #[test]
+    fn disjoint_routes_do_not_interfere() {
+        let mut mesh = MeshNetwork::paper_mesh(16);
+        let a = mesh.send(t(0), env(0, 1, 40));
+        let b = mesh.send(t(0), env(15, 14, 40));
+        assert_eq!(a.cycles(), b.cycles());
+    }
+
+    #[test]
+    fn narrower_links_are_slower() {
+        let mut wide = MeshNetwork::paper_mesh(64);
+        let mut narrow = MeshNetwork::paper_mesh(16);
+        let a = wide.send(t(0), env(0, 15, 40));
+        let b = narrow.send(t(0), env(0, 15, 40));
+        assert!(b > a);
+    }
+
+    proptest! {
+        /// Any route under X-Y routing has Manhattan-distance length and
+        /// delivery never precedes departure.
+        #[test]
+        fn routes_are_manhattan(src in 0u8..16, dst in 0u8..16, bytes in 1u32..200) {
+            let mut mesh = MeshNetwork::paper_mesh(32);
+            let (sx, sy) = (src % 4, src / 4);
+            let (dx, dy) = (dst % 4, dst / 4);
+            let dist = (sx.abs_diff(dx) + sy.abs_diff(dy)) as usize;
+            prop_assert_eq!(mesh.route(NodeId(src), NodeId(dst)).len(), dist);
+            let arrival = mesh.send(t(100), env(src, dst, bytes));
+            prop_assert!(arrival >= t(100));
+        }
+    }
+}

@@ -1,0 +1,1303 @@
+//! Cache-side machine behaviour: the processor, the FLC/FLWB, the
+//! lockup-free SLC with its SLWB, the write cache and the prefetch unit.
+
+use dirext_core::config::Consistency;
+use dirext_core::line::{CacheState, Line};
+use dirext_core::msg::{Msg, MsgKind};
+use dirext_kernel::Time;
+use dirext_stats::{InvalReason, StallKind};
+use dirext_trace::{Addr, BlockAddr, MemEvent, NodeId};
+
+use crate::machine::{Ev, Machine};
+use crate::node::{FlwbEntry, ProcState, SlwbEntry, SlwbOp, SyncOut};
+
+impl Machine {
+    fn sc(&self) -> bool {
+        self.cfg.protocol.consistency == Consistency::Sc
+    }
+
+    /// Resumes a stalled processor at time `at`, charging the stall.
+    pub(crate) fn resume(&mut self, nid: NodeId, at: Time) {
+        let n = &mut self.nodes[nid.idx()];
+        match n.pstate {
+            ProcState::Stalled { kind, since } => {
+                n.stalls
+                    .add_stall(kind, (at.saturating_sub(since)).cycles());
+                n.pstate = ProcState::Ready;
+                self.queue.push(at, Ev::ProcStep(nid));
+            }
+            other => debug_assert!(false, "resume of non-stalled proc: {other:?}"),
+        }
+    }
+
+    /// Schedules a FLWB drain step if none is in flight.
+    pub(crate) fn kick_flwb(&mut self, nid: NodeId, at: Time) {
+        let n = &mut self.nodes[nid.idx()];
+        if !n.flwb_active && !n.flwb.is_empty() {
+            n.flwb_active = true;
+            self.queue.push(at, Ev::FlwbHead(nid));
+        }
+    }
+
+    // --------------------------------------------------------- processor
+
+    pub(crate) fn proc_step(&mut self, nid: NodeId, now: Time) {
+        let i = nid.idx();
+        if !matches!(self.nodes[i].pstate, ProcState::Ready) {
+            return;
+        }
+        let retry = std::mem::take(&mut self.nodes[i].retry_no_charge);
+        let event = self.nodes[i].program.get(self.nodes[i].pc);
+        let Some(event) = event else {
+            self.nodes[i].pstate = ProcState::Done;
+            self.nodes[i].finish = Some(now);
+            // Final drain; if writes are still in the FLWB the flush
+            // happens when it empties (see flwb_head).
+            if self.nodes[i].flwb.is_empty() {
+                self.flush_write_cache(nid, now);
+            }
+            return;
+        };
+        let flc_hit_time = self.cfg.timing.flc_hit;
+        match event {
+            MemEvent::Compute(c) => {
+                let n = &mut self.nodes[i];
+                n.stalls.add_busy(u64::from(c));
+                n.pc += 1;
+                self.queue
+                    .push(now + Time::from_cycles(u64::from(c)), Ev::ProcStep(nid));
+            }
+            MemEvent::Read(a) => {
+                let block = a.block();
+                let t = if retry {
+                    now
+                } else {
+                    self.nodes[i].stalls.add_busy(flc_hit_time.cycles());
+                    now + flc_hit_time
+                };
+                let hit = if retry {
+                    self.nodes[i].flc.probe(block)
+                } else {
+                    self.nodes[i].flc.access(block)
+                };
+                if hit {
+                    self.nodes[i].pc += 1;
+                    self.queue.push(t, Ev::ProcStep(nid));
+                    return;
+                }
+                let n = &mut self.nodes[i];
+                if n.flwb.push(FlwbEntry::Read(a)).is_err() {
+                    n.pstate = ProcState::Stalled {
+                        kind: StallKind::Buffer,
+                        since: t,
+                    };
+                    return;
+                }
+                n.pc += 1;
+                n.pstate = ProcState::Stalled {
+                    kind: StallKind::Read,
+                    since: t,
+                };
+                self.kick_flwb(nid, t);
+            }
+            MemEvent::Write(a) => {
+                let t = if retry {
+                    now
+                } else {
+                    self.nodes[i].stalls.add_busy(flc_hit_time.cycles());
+                    now + flc_hit_time
+                };
+                // Write-through, no allocation on write miss: the FLC tag
+                // array is unchanged either way.
+                let n = &mut self.nodes[i];
+                if n.flwb.push(FlwbEntry::Write(a)).is_err() {
+                    n.pstate = ProcState::Stalled {
+                        kind: StallKind::Buffer,
+                        since: t,
+                    };
+                    return;
+                }
+                n.pc += 1;
+                if self.cfg.protocol.consistency == Consistency::Sc {
+                    self.nodes[i].pstate = ProcState::Stalled {
+                        kind: StallKind::Write,
+                        since: t,
+                    };
+                } else {
+                    self.queue.push(t, Ev::ProcStep(nid));
+                }
+                self.kick_flwb(nid, t);
+            }
+            MemEvent::Prefetch { addr, exclusive } => {
+                // One cycle for the prefetch instruction itself; the hint
+                // then rides the FLWB like any other request. If the buffer
+                // is full the hint is simply dropped — software prefetches
+                // are never allowed to stall the processor.
+                let t = if retry {
+                    now
+                } else {
+                    self.nodes[i].stalls.add_busy(flc_hit_time.cycles());
+                    now + flc_hit_time
+                };
+                let n = &mut self.nodes[i];
+                let _ = n.flwb.push(FlwbEntry::SwPrefetch(addr, exclusive));
+                n.pc += 1;
+                self.queue.push(t, Ev::ProcStep(nid));
+                self.kick_flwb(nid, t);
+            }
+            MemEvent::Acquire(a) => {
+                self.nodes[i].pc += 1;
+                self.nodes[i].pstate = ProcState::Stalled {
+                    kind: StallKind::Acquire,
+                    since: now,
+                };
+                let block = a.block();
+                let home = self.home_of(block);
+                self.send_msg(
+                    now,
+                    Msg {
+                        src: nid,
+                        dst: home,
+                        block,
+                        kind: MsgKind::AcqReq,
+                        version: 0,
+                    },
+                );
+            }
+            MemEvent::Release(a) => {
+                self.nodes[i].pc += 1;
+                if self.sc() {
+                    // Under SC there are no buffered writes; the release
+                    // stalls the processor until globally performed.
+                    self.nodes[i].pstate = ProcState::Stalled {
+                        kind: StallKind::Release,
+                        since: now,
+                    };
+                    let block = a.block();
+                    let home = self.home_of(block);
+                    self.send_msg(
+                        now,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block,
+                            kind: MsgKind::RelReq,
+                            version: 0,
+                        },
+                    );
+                } else {
+                    // RC: the release enters the FLWB behind earlier writes;
+                    // once it reaches the SLC it waits for all previously
+                    // issued ownership/update requests. The processor
+                    // itself continues.
+                    let n = &mut self.nodes[i];
+                    if n.flwb.push(FlwbEntry::Sync(SyncOut::Release(a))).is_err() {
+                        n.pc -= 1;
+                        n.pstate = ProcState::Stalled {
+                            kind: StallKind::Buffer,
+                            since: now,
+                        };
+                        return;
+                    }
+                    self.queue.push(now, Ev::ProcStep(nid));
+                    self.kick_flwb(nid, now);
+                }
+            }
+            MemEvent::Barrier(id) => {
+                self.nodes[i].pc += 1;
+                self.nodes[i].pstate = ProcState::Stalled {
+                    kind: StallKind::Acquire,
+                    since: now,
+                };
+                if self.sc() {
+                    // Under SC all writes are already globally performed.
+                    let home = self.barrier_home(id.0);
+                    self.send_msg(
+                        now,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block: BlockAddr::from_index(0),
+                            kind: MsgKind::BarArrive { id: id.0 },
+                            version: 0,
+                        },
+                    );
+                } else {
+                    // A barrier arrival includes release semantics: it
+                    // follows earlier writes through the FLWB and waits for
+                    // pending ownership/update requests.
+                    let n = &mut self.nodes[i];
+                    if n.flwb
+                        .push(FlwbEntry::Sync(SyncOut::Barrier(id.0)))
+                        .is_err()
+                    {
+                        n.pc -= 1;
+                        n.pstate = ProcState::Stalled {
+                            kind: StallKind::Buffer,
+                            since: now,
+                        };
+                        return;
+                    }
+                    self.kick_flwb(nid, now);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------ release / backlogs
+
+    /// Drains the write cache into the update backlog (at a release or when
+    /// the program finishes).
+    pub(crate) fn flush_write_cache(&mut self, nid: NodeId, t: Time) {
+        let i = nid.idx();
+        let Some(wc) = self.nodes[i].wc.as_mut() else {
+            return;
+        };
+        let flushed = wc.flush_all();
+        for e in flushed {
+            let v = self.nodes[i].wc_version.remove(&e.block).unwrap_or(0);
+            self.nodes[i].update_backlog.push_back((e, v));
+        }
+        self.drain_backlog(nid, t);
+    }
+
+    /// Issues backlogged updates and writebacks while SLWB space is free.
+    pub(crate) fn drain_backlog(&mut self, nid: NodeId, t: Time) {
+        let i = nid.idx();
+        loop {
+            if !self.nodes[i].slwb_has_space() {
+                return;
+            }
+            if let Some((e, v)) = self.nodes[i].update_backlog.pop_front() {
+                self.nodes[i].slwb.push(SlwbEntry {
+                    block: e.block,
+                    op: SlwbOp::Update { version: v },
+                });
+                self.nodes[i].pending_writes += 1;
+                let home = self.home_of(e.block);
+                self.send_msg(
+                    t,
+                    Msg {
+                        src: nid,
+                        dst: home,
+                        block: e.block,
+                        kind: MsgKind::UpdateReq {
+                            dirty_words: e.dirty_mask,
+                        },
+                        version: v,
+                    },
+                );
+                continue;
+            }
+            if let Some((block, written, v)) = self.nodes[i].wb_backlog.pop_front() {
+                self.nodes[i].slwb.push(SlwbEntry {
+                    block,
+                    op: SlwbOp::Writeback,
+                });
+                let home = self.home_of(block);
+                self.send_msg(
+                    t,
+                    Msg {
+                        src: nid,
+                        dst: home,
+                        block,
+                        kind: MsgKind::WritebackReq { written },
+                        version: v,
+                    },
+                );
+                continue;
+            }
+            return;
+        }
+    }
+
+    /// Sends deferred releases and barrier arrivals once every previously
+    /// issued write completed.
+    pub(crate) fn maybe_send_sync(&mut self, nid: NodeId, t: Time) {
+        let i = nid.idx();
+        loop {
+            // Gate on previously *issued* requests only: the write cache
+            // was flushed when this release/barrier was registered, so any
+            // content it holds now belongs to later writes.
+            let ready = {
+                let n = &self.nodes[i];
+                !n.sync_waiting.is_empty() && n.pending_writes == 0 && n.update_backlog.is_empty()
+            };
+            if !ready {
+                return;
+            }
+            let sync = self.nodes[i]
+                .sync_waiting
+                .pop_front()
+                .expect("checked nonempty");
+            match sync {
+                SyncOut::Release(a) => {
+                    let block = a.block();
+                    let home = self.home_of(block);
+                    self.send_msg(
+                        t,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block,
+                            kind: MsgKind::RelReq,
+                            version: 0,
+                        },
+                    );
+                }
+                SyncOut::Barrier(id) => {
+                    let home = self.barrier_home(id);
+                    self.send_msg(
+                        t,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block: BlockAddr::from_index(0),
+                            kind: MsgKind::BarArrive { id },
+                            version: 0,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping after an SLWB entry completes: issue backlogged work,
+    /// send deferred synchronization, and retry a blocked FLWB head.
+    pub(crate) fn after_slwb_free(&mut self, nid: NodeId, t: Time) {
+        self.drain_backlog(nid, t);
+        self.maybe_send_sync(nid, t);
+        self.kick_flwb(nid, t);
+    }
+
+    // ------------------------------------------------------- FLWB drain
+
+    pub(crate) fn flwb_head(&mut self, nid: NodeId, now: Time) {
+        let i = nid.idx();
+        self.nodes[i].flwb_active = false;
+        let Some(head) = self.nodes[i].flwb.front().copied() else {
+            return;
+        };
+        let done = match head {
+            FlwbEntry::Read(a) => self.slc_read(nid, a, now),
+            FlwbEntry::Write(a) => self.slc_write(nid, a, now),
+            FlwbEntry::SwPrefetch(a, exclusive) => {
+                Some(self.slc_sw_prefetch(nid, a, exclusive, now))
+            }
+            FlwbEntry::Sync(s) => {
+                // Every earlier FLWB entry has reached the SLC; register
+                // the synchronization and let the pending-write gate decide
+                // when it goes out.
+                self.flush_write_cache(nid, now);
+                self.nodes[i].sync_waiting.push_back(s);
+                self.maybe_send_sync(nid, now);
+                Some(now)
+            }
+        };
+        // Blocked on a full SLWB: leave the head in place; an SLWB
+        // completion will retry via after_slwb_free -> kick_flwb.
+        let Some(done) = done else { return };
+        let was_buffer_stalled = {
+            let n = &mut self.nodes[i];
+            let popped = n.flwb.pop();
+            debug_assert_eq!(popped, Some(head));
+            if let ProcState::Stalled {
+                kind: StallKind::Buffer,
+                ..
+            } = n.pstate
+            {
+                n.retry_no_charge = true;
+                true
+            } else {
+                false
+            }
+        };
+        if was_buffer_stalled {
+            self.resume(nid, now);
+        }
+        if self.nodes[i].flwb.is_empty() && matches!(self.nodes[i].pstate, ProcState::Done) {
+            self.flush_write_cache(nid, done);
+        }
+        self.kick_flwb(nid, done);
+    }
+
+    // ------------------------------------------------------ SLC accesses
+
+    /// Services a demand read at the SLC. Returns the completion time, or
+    /// `None` if the access must wait for SLWB space.
+    fn slc_read(&mut self, nid: NodeId, a: Addr, now: Time) -> Option<Time> {
+        let i = nid.idx();
+        let block = a.block();
+        let slc_access = self.cfg.timing.slc_access;
+        let flc_fill = self.cfg.timing.flc_fill;
+
+        let (hit, wc_hit, read_pend, own_pend) = {
+            let n = &self.nodes[i];
+            let hit = n.slc.contains(block);
+            let wc_hit = !hit && n.wc.as_ref().is_some_and(|wc| wc.probe(block).is_some());
+            (hit, wc_hit, n.read_pending(block), n.own_pending(block))
+        };
+        let needs_entry = !hit && !wc_hit && !read_pend && !own_pend;
+        if needs_entry && !self.nodes[i].slwb_has_space() {
+            return None;
+        }
+
+        let start = self.nodes[i].slc_res.acquire(now, slc_access);
+        let done = start + slc_access;
+        self.nodes[i].counters.shared_reads += 1;
+
+        if hit {
+            let preset = self.nodes[i].comp_preset;
+            let useful = self.nodes[i]
+                .slc
+                .get_mut(block)
+                .expect("checked hit")
+                .touch_read(preset);
+            self.classifier.note_access(nid, block);
+            self.nodes[i].flc.fill(block);
+            self.resume(nid, done + flc_fill);
+            if useful {
+                let k = self.nodes[i]
+                    .prefetcher
+                    .as_mut()
+                    .map(|pf| pf.on_useful_first_reference());
+                if let Some(k) = k {
+                    self.issue_prefetches(nid, block, k, done);
+                }
+            }
+            return Some(done);
+        }
+        if wc_hit {
+            self.classifier.note_access(nid, block);
+            self.nodes[i].counters.wc_read_hits += 1;
+            self.resume(nid, done + flc_fill);
+            return Some(done);
+        }
+
+        // Demand miss.
+        self.nodes[i].counters.slc_misses += 1;
+        self.nodes[i].counters.read_miss_count += 1;
+        let _class = self.classifier.classify_miss(nid, block);
+
+        if read_pend {
+            // A prefetch (or an earlier miss) is already in flight: attach.
+            // A late prefetch still counts as useful — the reference is its
+            // first — and keeps the sequential stream going.
+            let mut was_unreferenced_prefetch = false;
+            if let Some(e) = self.nodes[i].slwb_find(block, |op| matches!(op, SlwbOp::Read { .. }))
+            {
+                if let SlwbOp::Read {
+                    prefetch,
+                    demand_waiting,
+                    demand_since,
+                    ..
+                } = &mut e.op
+                {
+                    was_unreferenced_prefetch = *prefetch && !*demand_waiting;
+                    *demand_waiting = true;
+                    *demand_since = now;
+                }
+            }
+            if was_unreferenced_prefetch {
+                let k = self.nodes[i]
+                    .prefetcher
+                    .as_mut()
+                    .map(|pf| pf.on_useful_first_reference());
+                if let Some(k) = k {
+                    self.issue_prefetches(nid, block, k, done);
+                }
+            }
+            return Some(done);
+        }
+        if own_pend {
+            if let Some(e) = self.nodes[i].slwb_find(block, |op| matches!(op, SlwbOp::Own { .. })) {
+                if let SlwbOp::Own {
+                    demand_waiting,
+                    demand_since,
+                    ..
+                } = &mut e.op
+                {
+                    *demand_waiting = true;
+                    *demand_since = now;
+                }
+            }
+            return Some(done);
+        }
+
+        // New outstanding read.
+        self.nodes[i].slwb.push(SlwbEntry {
+            block,
+            op: SlwbOp::Read {
+                prefetch: false,
+                demand_waiting: true,
+                demand_since: now,
+                upgrade_version: None,
+                upgrade_sc: false,
+            },
+        });
+        let home = self.home_of(block);
+        self.send_msg(
+            done,
+            Msg {
+                src: nid,
+                dst: home,
+                block,
+                kind: MsgKind::ReadReq { prefetch: false },
+                version: 0,
+            },
+        );
+        // Adaptive sequential prefetching triggers on demand misses.
+        let pred_cached = block.pred().is_some_and(|p| self.nodes[i].slc.contains(p));
+        let k = self.nodes[i]
+            .prefetcher
+            .as_mut()
+            .map(|pf| pf.on_demand_miss(pred_cached));
+        if let Some(k) = k {
+            self.issue_prefetches(nid, block, k, done);
+        }
+        Some(done)
+    }
+
+    /// SLWB entries kept free for demand requests: prefetches are the
+    /// lowest-priority occupants of the lockup-free cache's buffer, so they
+    /// must never starve a demand miss or an ownership request.
+    const SLWB_PREFETCH_RESERVE: usize = 4;
+
+    /// Issues up to `k` sequential prefetches following `from`. Prefetches
+    /// never cross a page boundary: the prefetcher works on physical
+    /// addresses below the TLB, so the next page's translation is unknown
+    /// (a demand miss there restarts the stream).
+    fn issue_prefetches(&mut self, nid: NodeId, from: BlockAddr, k: u32, t: Time) {
+        let i = nid.idx();
+        let reserve = Self::SLWB_PREFETCH_RESERVE.min(self.nodes[i].slwb_cap / 2);
+        for j in 1..=u64::from(k) {
+            let pb = from.plus(j);
+            if pb.page() != from.page() {
+                break;
+            }
+            {
+                let n = &self.nodes[i];
+                if n.slc.contains(pb) || n.read_pending(pb) || n.own_pending(pb) {
+                    continue;
+                }
+                if n.slwb.len() + reserve >= n.slwb_cap {
+                    break;
+                }
+            }
+            self.nodes[i].slwb.push(SlwbEntry {
+                block: pb,
+                op: SlwbOp::Read {
+                    prefetch: true,
+                    demand_waiting: false,
+                    demand_since: t,
+                    upgrade_version: None,
+                    upgrade_sc: false,
+                },
+            });
+            if let Some(pf) = self.nodes[i].prefetcher.as_mut() {
+                pf.on_prefetch_issued();
+            }
+            let home = self.home_of(pb);
+            self.send_msg(
+                t,
+                Msg {
+                    src: nid,
+                    dst: home,
+                    block: pb,
+                    kind: MsgKind::ReadReq { prefetch: true },
+                    version: 0,
+                },
+            );
+        }
+    }
+
+    /// Services a software prefetch hint at the SLC. Never blocks: the hint
+    /// is dropped when the block is present, a request for it is pending,
+    /// or the SLWB is full.
+    fn slc_sw_prefetch(&mut self, nid: NodeId, a: Addr, exclusive: bool, now: Time) -> Time {
+        let i = nid.idx();
+        let block = a.block();
+        let slc_access = self.cfg.timing.slc_access;
+        {
+            let n = &self.nodes[i];
+            if n.slc.contains(block)
+                || n.read_pending(block)
+                || n.own_pending(block)
+                || !n.slwb_has_space()
+            {
+                return now;
+            }
+        }
+        let start = self.nodes[i].slc_res.acquire(now, slc_access);
+        let done = start + slc_access;
+        if exclusive {
+            // Read-exclusive prefetch: fetch ownership up front so the
+            // later write needs no transaction (Mowry & Gupta's
+            // exclusive-mode prefetch).
+            self.nodes[i].slwb.push(SlwbEntry {
+                block,
+                op: SlwbOp::Own {
+                    need_data: true,
+                    write_version: 0,
+                    sc_wait: false,
+                    demand_waiting: false,
+                    demand_since: done,
+                },
+            });
+            self.nodes[i].pending_writes += 1;
+            let home = self.home_of(block);
+            self.send_msg(
+                done,
+                Msg {
+                    src: nid,
+                    dst: home,
+                    block,
+                    kind: MsgKind::OwnReq { need_data: true },
+                    version: 0,
+                },
+            );
+        } else {
+            self.nodes[i].slwb.push(SlwbEntry {
+                block,
+                op: SlwbOp::Read {
+                    prefetch: true,
+                    demand_waiting: false,
+                    demand_since: done,
+                    upgrade_version: None,
+                    upgrade_sc: false,
+                },
+            });
+            let home = self.home_of(block);
+            self.send_msg(
+                done,
+                Msg {
+                    src: nid,
+                    dst: home,
+                    block,
+                    kind: MsgKind::ReadReq { prefetch: true },
+                    version: 0,
+                },
+            );
+        }
+        done
+    }
+
+    /// Services a write at the SLC. Returns the completion time, or `None`
+    /// if the access must wait for SLWB space.
+    fn slc_write(&mut self, nid: NodeId, a: Addr, now: Time) -> Option<Time> {
+        let i = nid.idx();
+        let block = a.block();
+        let slc_access = self.cfg.timing.slc_access;
+        let sc = self.sc();
+        let cw = self.nodes[i].wc.is_some();
+
+        let competitive = self.cfg.protocol.competitive.is_some();
+        let (state, read_pend, own_pend) = {
+            let n = &self.nodes[i];
+            (
+                n.slc.get(block).map(|l| l.state),
+                n.read_pending(block),
+                n.own_pending(block),
+            )
+        };
+        let needs_entry = match state {
+            Some(CacheState::Dirty) | Some(CacheState::MigClean) => false,
+            Some(CacheState::Shared) if competitive => !cw,
+            Some(CacheState::Shared) => !own_pend,
+            None if competitive => !cw,
+            None => !own_pend && !read_pend,
+        };
+        if needs_entry && !self.nodes[i].slwb_has_space() {
+            return None;
+        }
+
+        let start = self.nodes[i].slc_res.acquire(now, slc_access);
+        let done = start + slc_access;
+        self.nodes[i].counters.shared_writes += 1;
+        self.classifier.note_access(nid, block);
+        let v = self.bump_wcount(block);
+        let preset = self.nodes[i].comp_preset;
+
+        match state {
+            Some(CacheState::Dirty) => {
+                let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                line.touch_write(preset);
+                line.version = v;
+                if sc {
+                    self.resume(nid, done);
+                }
+            }
+            Some(CacheState::MigClean) => {
+                // The migratory optimization's payoff: the first write to an
+                // exclusively granted copy needs no ownership request.
+                let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                line.touch_write(preset);
+                line.version = v;
+                line.state = CacheState::Dirty;
+                self.mig_silent_writes += 1;
+                if sc {
+                    self.resume(nid, done);
+                }
+            }
+            Some(CacheState::Shared) => {
+                {
+                    let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                    line.touch_write(preset);
+                    line.version = v;
+                }
+                if cw {
+                    self.write_cache_write(nid, a, v, done);
+                } else if competitive {
+                    // CW without the write cache: every write is an
+                    // immediate single-word update (the ablation
+                    // configuration; threshold 4 in the paper).
+                    self.issue_update_now(nid, a, v, done);
+                } else if own_pend {
+                    self.merge_pending_write(nid, block, v);
+                    debug_assert!(!sc, "SC cannot overlap two writes");
+                } else {
+                    self.nodes[i]
+                        .slc
+                        .get_mut(block)
+                        .expect("checked")
+                        .own_pending = true;
+                    self.nodes[i].slwb.push(SlwbEntry {
+                        block,
+                        op: SlwbOp::Own {
+                            need_data: false,
+                            write_version: v,
+                            sc_wait: sc,
+                            demand_waiting: false,
+                            demand_since: done,
+                        },
+                    });
+                    self.nodes[i].pending_writes += 1;
+                    let home = self.home_of(block);
+                    self.send_msg(
+                        done,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block,
+                            kind: MsgKind::OwnReq { need_data: false },
+                            version: 0,
+                        },
+                    );
+                }
+            }
+            None => {
+                if cw {
+                    // CW: a write miss allocates in the write cache only —
+                    // no block fetch.
+                    self.write_cache_write(nid, a, v, done);
+                } else if competitive {
+                    self.issue_update_now(nid, a, v, done);
+                } else if own_pend {
+                    self.merge_pending_write(nid, block, v);
+                } else if read_pend {
+                    // A read (usually a prefetch) is in flight: mark it for
+                    // upgrade instead of racing a second request to home.
+                    // Later writes to the same in-flight block merge into
+                    // the existing mark — only the first one counts as a
+                    // pending write (one upgrade, one eventual completion).
+                    let mut first_upgrade = false;
+                    if let Some(e) =
+                        self.nodes[i].slwb_find(block, |op| matches!(op, SlwbOp::Read { .. }))
+                    {
+                        if let SlwbOp::Read {
+                            upgrade_version,
+                            upgrade_sc,
+                            ..
+                        } = &mut e.op
+                        {
+                            first_upgrade = upgrade_version.is_none();
+                            *upgrade_version = Some(upgrade_version.unwrap_or(0).max(v));
+                            *upgrade_sc = sc;
+                        }
+                    }
+                    if first_upgrade {
+                        self.nodes[i].pending_writes += 1;
+                    }
+                } else {
+                    self.nodes[i].slwb.push(SlwbEntry {
+                        block,
+                        op: SlwbOp::Own {
+                            need_data: true,
+                            write_version: v,
+                            sc_wait: sc,
+                            demand_waiting: false,
+                            demand_since: done,
+                        },
+                    });
+                    self.nodes[i].pending_writes += 1;
+                    let home = self.home_of(block);
+                    self.send_msg(
+                        done,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block,
+                            kind: MsgKind::OwnReq { need_data: true },
+                            version: 0,
+                        },
+                    );
+                }
+            }
+        }
+        Some(done)
+    }
+
+    /// Issues a single-word update request (competitive update without the
+    /// write cache).
+    fn issue_update_now(&mut self, nid: NodeId, a: Addr, v: u64, t: Time) {
+        let i = nid.idx();
+        let block = a.block();
+        self.nodes[i].slwb.push(SlwbEntry {
+            block,
+            op: SlwbOp::Update { version: v },
+        });
+        self.nodes[i].pending_writes += 1;
+        let home = self.home_of(block);
+        let dirty_words = 1u8 << a.word_in_block();
+        self.send_msg(
+            t,
+            Msg {
+                src: nid,
+                dst: home,
+                block,
+                kind: MsgKind::UpdateReq { dirty_words },
+                version: v,
+            },
+        );
+    }
+
+    fn merge_pending_write(&mut self, nid: NodeId, block: BlockAddr, v: u64) {
+        if let Some(e) =
+            self.nodes[nid.idx()].slwb_find(block, |op| matches!(op, SlwbOp::Own { .. }))
+        {
+            if let SlwbOp::Own { write_version, .. } = &mut e.op {
+                *write_version = (*write_version).max(v);
+            }
+        }
+    }
+
+    /// The newest version stamp of this node's writes to `block` that have
+    /// not yet reached memory: in the write cache, queued in the update
+    /// backlog, or carried by an in-flight update request.
+    fn pending_update_stamp(&self, nid: NodeId, block: BlockAddr) -> u64 {
+        let n = &self.nodes[nid.idx()];
+        let wc = n.wc_version.get(&block).copied().unwrap_or(0);
+        let backlog = n
+            .update_backlog
+            .iter()
+            .filter(|(e, _)| e.block == block)
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap_or(0);
+        let in_flight = n
+            .slwb
+            .iter()
+            .filter(|e| e.block == block)
+            .filter_map(|e| match e.op {
+                SlwbOp::Update { version } => Some(version),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        wc.max(backlog).max(in_flight)
+    }
+
+    fn write_cache_write(&mut self, nid: NodeId, a: Addr, v: u64, t: Time) {
+        let i = nid.idx();
+        let block = a.block();
+        let stamp = self.nodes[i].wc_version.entry(block).or_insert(0);
+        *stamp = (*stamp).max(v);
+        let victim = self.nodes[i].wc.as_mut().expect("CW enabled").write(a);
+        if let Some(victim) = victim {
+            let vv = self.nodes[i].wc_version.remove(&victim.block).unwrap_or(0);
+            self.nodes[i].update_backlog.push_back((victim, vv));
+            self.drain_backlog(nid, t);
+        }
+    }
+
+    // ------------------------------------------------- line installation
+
+    /// Installs a line, handling direct-mapped victims.
+    fn install_line(&mut self, nid: NodeId, block: BlockAddr, line: Line, t: Time) {
+        let victim = self.nodes[nid.idx()].slc.insert(block, line);
+        if let Some((vb, vline)) = victim {
+            self.evict(nid, vb, vline, t);
+        }
+    }
+
+    fn evict(&mut self, nid: NodeId, block: BlockAddr, line: Line, t: Time) {
+        let i = nid.idx();
+        self.nodes[i].flc.invalidate(block);
+        self.classifier
+            .note_invalidation(nid, block, InvalReason::Replacement);
+        match line.state {
+            CacheState::Shared => {
+                // Keep the full-map directory exact — unless an ownership
+                // request is in flight for this line, in which case the
+                // directory is about to transfer ownership to us anyway.
+                if !line.own_pending {
+                    let home = self.home_of(block);
+                    self.send_msg(
+                        t,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block,
+                            kind: MsgKind::SharedReplHint,
+                            version: 0,
+                        },
+                    );
+                }
+            }
+            CacheState::Dirty => {
+                self.nodes[i]
+                    .wb_backlog
+                    .push_back((block, true, line.version));
+                self.drain_backlog(nid, t);
+            }
+            CacheState::MigClean => {
+                self.nodes[i]
+                    .wb_backlog
+                    .push_back((block, false, line.version));
+                self.drain_backlog(nid, t);
+            }
+        }
+    }
+
+    // --------------------------------------------------- network arrivals
+
+    pub(crate) fn cache_deliver(&mut self, msg: Msg, now: Time) {
+        let nid = msg.dst;
+        let i = nid.idx();
+        let block = msg.block;
+        let slc_access = self.cfg.timing.slc_access;
+        let flc_fill = self.cfg.timing.flc_fill;
+        let preset = self.nodes[i].comp_preset;
+
+        match msg.kind {
+            MsgKind::ReadReply { exclusive } => {
+                let entry = self.nodes[i]
+                    .slwb_take(block, |op| matches!(op, SlwbOp::Read { .. }))
+                    .expect("ReadReply without pending read");
+                let SlwbOp::Read {
+                    prefetch,
+                    demand_waiting,
+                    demand_since,
+                    upgrade_version,
+                    upgrade_sc,
+                } = entry.op
+                else {
+                    unreachable!()
+                };
+                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let done = start + slc_access;
+
+                let mut version = msg.version;
+                // A fetched block must absorb any local writes still on
+                // their way to memory: words sitting in the write cache, in
+                // the update backlog, or in an in-flight update request all
+                // hold newer values than the copy memory just sent us (the
+                // home excludes the writer from its own update fan-out).
+                version = version.max(self.pending_update_stamp(nid, block));
+                let mut state = if exclusive {
+                    CacheState::MigClean
+                } else {
+                    CacheState::Shared
+                };
+                let mut follow_own: Option<(u64, bool)> = None;
+                if let Some(uv) = upgrade_version {
+                    version = version.max(uv);
+                    if exclusive {
+                        // Hardware read-exclusive prefetching: the pending
+                        // write completes silently on the exclusive copy.
+                        state = CacheState::Dirty;
+                        self.mig_silent_writes += 1;
+                        self.nodes[i].pending_writes -= 1;
+                    } else {
+                        follow_own = Some((uv, upgrade_sc));
+                    }
+                }
+                let mut line = Line::new(state, version, preset);
+                if upgrade_version.is_some() {
+                    line.touch_write(preset);
+                    line.version = version;
+                    line.own_pending = follow_own.is_some();
+                } else {
+                    line.prefetched = prefetch && !demand_waiting;
+                }
+                debug_assert!(!self.nodes[i].slc.contains(block), "double install");
+                self.install_line(nid, block, line, done);
+
+                if let Some((uv, sc)) = follow_own {
+                    self.nodes[i].slwb.push(SlwbEntry {
+                        block,
+                        op: SlwbOp::Own {
+                            need_data: false,
+                            write_version: uv,
+                            sc_wait: sc,
+                            demand_waiting: false,
+                            demand_since: done,
+                        },
+                    });
+                    let home = self.home_of(block);
+                    self.send_msg(
+                        done,
+                        Msg {
+                            src: nid,
+                            dst: home,
+                            block,
+                            kind: MsgKind::OwnReq { need_data: false },
+                            version: 0,
+                        },
+                    );
+                } else if upgrade_version.is_some() && upgrade_sc {
+                    // Exclusive grant completed the SC-stalled write.
+                    self.resume(nid, done);
+                }
+                if prefetch {
+                    if let Some(pf) = self.nodes[i].prefetcher.as_mut() {
+                        pf.on_prefetch_arrived();
+                    }
+                }
+                if demand_waiting {
+                    self.nodes[i].flc.fill(block);
+                    let resume_at = done + flc_fill;
+                    let latency = (resume_at.saturating_sub(demand_since)).cycles();
+                    self.nodes[i].counters.read_miss_cycles += latency;
+                    self.nodes[i].read_miss_hist.record(latency);
+                    self.resume(nid, resume_at);
+                }
+                self.after_slwb_free(nid, done);
+            }
+            MsgKind::OwnAck { with_data } => {
+                let entry = self.nodes[i]
+                    .slwb_take(block, |op| matches!(op, SlwbOp::Own { .. }))
+                    .expect("OwnAck without pending ownership request");
+                let SlwbOp::Own {
+                    write_version,
+                    sc_wait,
+                    demand_waiting,
+                    demand_since,
+                    ..
+                } = entry.op
+                else {
+                    unreachable!()
+                };
+                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let done = start + slc_access;
+                // Like a read fill, an ownership grant must absorb any local
+                // writes still buffered toward memory (an exclusive software
+                // prefetch can race the write cache's flush).
+                let version = write_version
+                    .max(msg.version)
+                    .max(self.pending_update_stamp(nid, block));
+                let present = self.nodes[i].slc.contains(block);
+                if present {
+                    let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                    line.state = CacheState::Dirty;
+                    line.own_pending = false;
+                    line.version = line.version.max(version);
+                } else {
+                    // Either the copy was invalidated while the request was
+                    // in flight (home then sent data), or a finite SLC
+                    // evicted it.
+                    debug_assert!(with_data || self.cfg.timing.slc_bytes.is_some());
+                    let mut line = Line::new(CacheState::Dirty, version, preset);
+                    line.touch_write(preset);
+                    line.version = version;
+                    self.install_line(nid, block, line, done);
+                }
+                self.nodes[i].pending_writes -= 1;
+                if sc_wait {
+                    self.resume(nid, done);
+                }
+                if demand_waiting {
+                    self.nodes[i].flc.fill(block);
+                    let resume_at = done + flc_fill;
+                    let latency = (resume_at.saturating_sub(demand_since)).cycles();
+                    self.nodes[i].counters.read_miss_cycles += latency;
+                    self.nodes[i].read_miss_hist.record(latency);
+                    self.resume(nid, resume_at);
+                }
+                self.after_slwb_free(nid, done);
+            }
+            MsgKind::UpdateDone { exclusive } => {
+                let entry = self.nodes[i]
+                    .slwb_take(block, |op| matches!(op, SlwbOp::Update { .. }))
+                    .expect("UpdateDone without pending update");
+                let _ = entry;
+                if exclusive {
+                    match self.nodes[i].slc.get_mut(block) {
+                        Some(line) => {
+                            debug_assert_eq!(line.state, CacheState::Shared);
+                            line.state = CacheState::Dirty;
+                        }
+                        // The copy was replaced while the grant was in
+                        // flight: hand the (unwritten) ownership straight
+                        // back so the directory returns to CLEAN.
+                        None => {
+                            self.nodes[i]
+                                .wb_backlog
+                                .push_back((block, false, msg.version));
+                            self.drain_backlog(nid, now);
+                        }
+                    }
+                }
+                self.nodes[i].pending_writes -= 1;
+                self.after_slwb_free(nid, now);
+            }
+            MsgKind::WritebackAck => {
+                let _ = self.nodes[i]
+                    .slwb_take(block, |op| matches!(op, SlwbOp::Writeback))
+                    .expect("WritebackAck without pending writeback");
+                self.after_slwb_free(nid, now);
+            }
+            MsgKind::Inval => {
+                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let done = start + slc_access;
+                if self.nodes[i].slc.remove(block).is_some() {
+                    self.nodes[i].flc.invalidate(block);
+                    self.classifier
+                        .note_invalidation(nid, block, InvalReason::Coherence);
+                }
+                self.send_msg(
+                    done,
+                    Msg {
+                        src: nid,
+                        dst: msg.src,
+                        block,
+                        kind: MsgKind::InvalAck,
+                        version: 0,
+                    },
+                );
+            }
+            MsgKind::Fetch => {
+                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let done = start + slc_access;
+                let reply = {
+                    let n = &mut self.nodes[i];
+                    match n.slc.get_mut(block) {
+                        Some(line) => {
+                            // DIRTY, or an exclusive-clean (E) copy under
+                            // the MESI extension; either way downgrade.
+                            debug_assert!(line.state.exclusive(), "Fetch of non-exclusive line");
+                            let written = line.state == CacheState::Dirty;
+                            line.state = CacheState::Shared;
+                            Some((written, line.version))
+                        }
+                        // Crossed with our own writeback: home completes
+                        // via the writeback.
+                        None => None,
+                    }
+                };
+                if let Some((written, version)) = reply {
+                    self.send_msg(
+                        done,
+                        Msg {
+                            src: nid,
+                            dst: msg.src,
+                            block,
+                            kind: MsgKind::FetchReply { written },
+                            version,
+                        },
+                    );
+                }
+            }
+            MsgKind::FetchInval => {
+                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let done = start + slc_access;
+                if let Some(line) = self.nodes[i].slc.remove(block) {
+                    debug_assert!(line.state.exclusive(), "FetchInval of non-exclusive line");
+                    self.nodes[i].flc.invalidate(block);
+                    self.classifier
+                        .note_invalidation(nid, block, InvalReason::Coherence);
+                    let written = line.state == CacheState::Dirty;
+                    self.send_msg(
+                        done,
+                        Msg {
+                            src: nid,
+                            dst: msg.src,
+                            block,
+                            kind: MsgKind::FetchInvalReply { written },
+                            version: line.version,
+                        },
+                    );
+                }
+            }
+            MsgKind::Update { .. } => {
+                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let done = start + slc_access;
+                let countdown = self.nodes[i].slc.get_mut(block).map(|line| {
+                    debug_assert_eq!(line.state, CacheState::Shared);
+                    line.apply_update(msg.version)
+                });
+                let invalidated = match countdown {
+                    Some(true) => {
+                        self.nodes[i].slc.remove(block);
+                        self.nodes[i].flc.invalidate(block);
+                        self.classifier
+                            .note_invalidation(nid, block, InvalReason::Coherence);
+                        true
+                    }
+                    Some(false) => {
+                        // The SLC copy absorbed the update; inclusion
+                        // requires the (now stale) FLC copy to go, so the
+                        // next local read refreshes from the SLC — which
+                        // also presets the competitive counter.
+                        self.nodes[i].flc.invalidate(block);
+                        false
+                    }
+                    None => true,
+                };
+                self.send_msg(
+                    done,
+                    Msg {
+                        src: nid,
+                        dst: msg.src,
+                        block,
+                        kind: MsgKind::UpdateAck { invalidated },
+                        version: 0,
+                    },
+                );
+            }
+            MsgKind::Interrogate => {
+                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let done = start + slc_access;
+                let verdict = self.nodes[i].slc.get(block).map(|l| l.interrogate_keeps());
+                let keep = match verdict {
+                    Some(true) => true,
+                    Some(false) => {
+                        self.nodes[i].slc.remove(block);
+                        self.nodes[i].flc.invalidate(block);
+                        self.classifier
+                            .note_invalidation(nid, block, InvalReason::Coherence);
+                        false
+                    }
+                    None => false,
+                };
+                self.send_msg(
+                    done,
+                    Msg {
+                        src: nid,
+                        dst: msg.src,
+                        block,
+                        kind: MsgKind::InterrogateReply { keep },
+                        version: 0,
+                    },
+                );
+            }
+            MsgKind::AcqGrant | MsgKind::BarRelease { .. } => {
+                self.resume(nid, now);
+            }
+            MsgKind::RelAck => {
+                self.resume(nid, now);
+            }
+            other => unreachable!("not a cache-bound message: {other:?}"),
+        }
+    }
+}

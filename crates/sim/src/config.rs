@@ -1,0 +1,175 @@
+//! Machine configuration.
+
+use dirext_core::config::{Consistency, ProtocolConfig};
+use dirext_kernel::Time;
+use dirext_memsys::Timing;
+use dirext_network::{MeshNetwork, Network, RingNetwork, UniformNetwork};
+
+/// Which interconnection network to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Contention-free uniform network with 54-pclock node-to-node latency
+    /// (the paper's default).
+    Uniform,
+    /// Wormhole-routed 4×4 mesh with the given link width in bits (64, 32
+    /// or 16 in Section 5.3).
+    Mesh {
+        /// Link width in bits.
+        link_bits: u32,
+    },
+    /// Bidirectional ring (extension topology; sized to the machine by the
+    /// builder).
+    Ring {
+        /// Link width in bits.
+        link_bits: u32,
+    },
+}
+
+impl NetworkKind {
+    pub(crate) fn build(self, procs: usize) -> Box<dyn Network> {
+        match self {
+            NetworkKind::Uniform => Box::new(UniformNetwork::paper_default()),
+            NetworkKind::Mesh { link_bits } => {
+                // 16 nodes gives the paper's 4x4; otherwise the squarest
+                // mesh that covers the machine.
+                let cols = (procs as f64).sqrt().ceil() as usize;
+                let rows = procs.div_ceil(cols.max(1));
+                Box::new(MeshNetwork::new(cols.max(1), rows.max(1), link_bits))
+            }
+            NetworkKind::Ring { link_bits } => Box::new(RingNetwork::new(procs.max(2), link_bits)),
+        }
+    }
+}
+
+/// Configuration of one simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use dirext_core::{Consistency, ProtocolKind};
+/// use dirext_sim::{MachineConfig, NetworkKind};
+///
+/// let cfg = MachineConfig::new(16, ProtocolKind::PCw.config(Consistency::Rc))
+///     .with_network(NetworkKind::Mesh { link_bits: 32 });
+/// assert_eq!(cfg.procs, 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of processor nodes (16 in the paper).
+    pub procs: usize,
+    /// Protocol configuration (BASIC + extensions + consistency model).
+    pub protocol: ProtocolConfig,
+    /// Node timing and capacity parameters.
+    pub timing: Timing,
+    /// Interconnection network.
+    pub network: NetworkKind,
+    /// Check coherence invariants at the end of the run (cheap; on by
+    /// default).
+    pub check_invariants: bool,
+    /// Safety valve: abort the run after this many simulation events
+    /// (guards against protocol deadlocks during development).
+    pub max_events: u64,
+}
+
+impl MachineConfig {
+    /// Creates a configuration with the paper's default timing and the
+    /// uniform network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` is zero, exceeds 32, or the protocol configuration
+    /// is infeasible (CW under SC).
+    pub fn new(procs: usize, protocol: ProtocolConfig) -> Self {
+        assert!(procs > 0 && procs <= 64, "1..=64 processors supported");
+        assert!(protocol.is_feasible(), "CW requires relaxed consistency");
+        let mut timing = Timing::paper_default();
+        // "We implement sequential consistency by stalling the processor
+        // for each issued shared memory reference until it is globally
+        // performed. Therefore, a single entry suffices in the FLWB...
+        // Under BASIC and M, a single entry is needed in the SLWB whereas,
+        // in P, the SLWB must keep track of pending prefetch requests."
+        if protocol.consistency == Consistency::Sc {
+            timing.flwb_entries = 1;
+            timing.slwb_entries = if protocol.prefetch.is_some() { 16 } else { 1 };
+        }
+        MachineConfig {
+            procs,
+            protocol,
+            timing,
+            network: NetworkKind::Uniform,
+            check_invariants: true,
+            max_events: 2_000_000_000,
+        }
+    }
+
+    /// The paper's 16-node machine.
+    pub fn paper_default(protocol: ProtocolConfig) -> Self {
+        Self::new(16, protocol)
+    }
+
+    /// Replaces the network model.
+    pub fn with_network(mut self, network: NetworkKind) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Replaces the timing/capacity parameters (preserving the SC buffer
+    /// sizing rule).
+    pub fn with_timing(mut self, timing: Timing) -> Self {
+        let slwb = timing.slwb_entries;
+        self.timing = timing;
+        if self.protocol.consistency == Consistency::Sc {
+            self.timing.flwb_entries = 1;
+            self.timing.slwb_entries = if self.protocol.prefetch.is_some() {
+                slwb.max(1)
+            } else {
+                1
+            };
+        }
+        self
+    }
+
+    pub(crate) fn bus_time(&self) -> Time {
+        self.timing.bus_transfer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirext_core::ProtocolKind;
+
+    #[test]
+    fn sc_shrinks_buffers() {
+        let cfg = MachineConfig::new(16, ProtocolKind::Basic.config(Consistency::Sc));
+        assert_eq!(cfg.timing.flwb_entries, 1);
+        assert_eq!(cfg.timing.slwb_entries, 1);
+        let cfg = MachineConfig::new(16, ProtocolKind::P.config(Consistency::Sc));
+        assert_eq!(cfg.timing.slwb_entries, 16, "P keeps room for prefetches");
+    }
+
+    #[test]
+    fn rc_keeps_paper_buffers() {
+        let cfg = MachineConfig::new(16, ProtocolKind::Basic.config(Consistency::Rc));
+        assert_eq!(cfg.timing.flwb_entries, 8);
+        assert_eq!(cfg.timing.slwb_entries, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "relaxed consistency")]
+    fn cw_under_sc_rejected() {
+        let _ = MachineConfig::new(16, ProtocolKind::Cw.config(Consistency::Sc));
+    }
+
+    #[test]
+    fn network_builders() {
+        assert!(matches!(
+            NetworkKind::Uniform.build(16).name(),
+            "uniform-54"
+        ));
+        let mesh = NetworkKind::Mesh { link_bits: 16 }.build(16);
+        assert_eq!(mesh.name(), "mesh4x4-16bit");
+        let ring = NetworkKind::Ring { link_bits: 32 }.build(16);
+        assert_eq!(ring.name(), "ring16-32bit");
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared run helpers for the experiment drivers.
+
+use dirext_core::config::Consistency;
+use dirext_core::ProtocolKind;
+use dirext_memsys::Timing;
+use dirext_stats::Metrics;
+use dirext_trace::Workload;
+
+use crate::{Machine, MachineConfig, NetworkKind, SimError};
+
+/// Runs `workload` on the paper's 16-node machine (or `workload.procs()`
+/// nodes) under `kind` × `consistency` with the default uniform network.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn run_protocol(
+    workload: &Workload,
+    kind: ProtocolKind,
+    consistency: Consistency,
+) -> Result<Metrics, SimError> {
+    run_protocol_on(workload, kind, consistency, NetworkKind::Uniform, None)
+}
+
+/// [`run_protocol`] with an explicit network and optional timing override.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn run_protocol_on(
+    workload: &Workload,
+    kind: ProtocolKind,
+    consistency: Consistency,
+    network: NetworkKind,
+    timing: Option<Timing>,
+) -> Result<Metrics, SimError> {
+    let mut cfg = MachineConfig::new(workload.procs(), kind.config(consistency));
+    cfg = cfg.with_network(network);
+    if let Some(t) = timing {
+        cfg = cfg.with_timing(t);
+    }
+    Machine::new(cfg).run(workload)
+}

@@ -1,0 +1,114 @@
+//! Section 5.4: sensitivity to buffer depth and SLC size.
+
+use std::fmt;
+
+use dirext_core::config::Consistency;
+use dirext_core::ProtocolKind;
+use dirext_memsys::Timing;
+use dirext_stats::{Metrics, TextTable};
+use dirext_trace::Workload;
+
+use super::runner::{run_protocol, run_protocol_on};
+use crate::{NetworkKind, SimError};
+
+/// The protocols compared in the sensitivity study.
+pub const SENS_PROTOCOLS: [ProtocolKind; 6] = [
+    ProtocolKind::Basic,
+    ProtocolKind::P,
+    ProtocolKind::Cw,
+    ProtocolKind::M,
+    ProtocolKind::PCw,
+    ProtocolKind::PM,
+];
+
+/// Result of one §5.4 sensitivity sweep.
+#[derive(Debug)]
+pub struct Sensitivity {
+    /// Which variant ran ("FLWB4/SLWB4" or "16-KB SLC").
+    pub variant: &'static str,
+    /// One row per application.
+    pub rows: Vec<SensRow>,
+}
+
+/// One application's sensitivity data.
+#[derive(Debug)]
+pub struct SensRow {
+    /// Application name.
+    pub app: String,
+    /// Baseline-parameter metrics per protocol.
+    pub default_metrics: Vec<Metrics>,
+    /// Constrained-parameter metrics per protocol.
+    pub constrained_metrics: Vec<Metrics>,
+}
+
+impl SensRow {
+    /// Slowdown of each protocol caused by the constraint
+    /// (constrained / default execution time), in protocol order.
+    pub fn slowdowns(&self) -> Vec<f64> {
+        self.default_metrics
+            .iter()
+            .zip(&self.constrained_metrics)
+            .map(|(d, c)| c.relative_time(d))
+            .collect()
+    }
+}
+
+/// Which §5.4 constraint to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// 4-entry FLWB and SLWB ("only BASIC and P suffered to some extent").
+    SmallBuffers,
+    /// 16-KB direct-mapped SLC ("the combinations yielding substantial
+    /// gains with infinite caches did so too with limited caches").
+    SmallSlc,
+}
+
+/// Runs a §5.4 sensitivity sweep under RC on the uniform network.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn sensitivity(suite: &[Workload], constraint: Constraint) -> Result<Sensitivity, SimError> {
+    let (variant, timing) = match constraint {
+        Constraint::SmallBuffers => ("FLWB4/SLWB4", Timing::paper_default().with_small_buffers()),
+        Constraint::SmallSlc => ("16-KB SLC", Timing::paper_default().with_limited_slc()),
+    };
+    let mut rows = Vec::new();
+    for w in suite {
+        let mut default_metrics = Vec::new();
+        let mut constrained_metrics = Vec::new();
+        for kind in SENS_PROTOCOLS {
+            default_metrics.push(run_protocol(w, kind, Consistency::Rc)?);
+            constrained_metrics.push(run_protocol_on(
+                w,
+                kind,
+                Consistency::Rc,
+                NetworkKind::Uniform,
+                Some(timing.clone()),
+            )?);
+        }
+        rows.push(SensRow {
+            app: w.name().to_owned(),
+            default_metrics,
+            constrained_metrics,
+        });
+    }
+    Ok(Sensitivity { variant, rows })
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Section 5.4 sensitivity: slowdown with {} (constrained / default)",
+            self.variant
+        )?;
+        let mut header = vec!["app".to_owned()];
+        header.extend(SENS_PROTOCOLS.iter().map(|k| k.name().to_owned()));
+        let mut t = TextTable::new(header);
+        for row in &self.rows {
+            t.row_f64(&row.app, &row.slowdowns(), 3);
+        }
+        write!(f, "{t}")
+    }
+}

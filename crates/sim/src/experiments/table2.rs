@@ -1,0 +1,116 @@
+//! Table 2: cold and coherence miss-rate components.
+
+use std::fmt;
+
+use dirext_core::config::Consistency;
+use dirext_core::ProtocolKind;
+use dirext_stats::{Metrics, TextTable};
+use dirext_trace::Workload;
+
+use super::runner::run_protocol;
+use crate::SimError;
+
+/// The protocols of Table 2, in the paper's column order.
+pub const TABLE2_PROTOCOLS: [ProtocolKind; 4] = [
+    ProtocolKind::Basic,
+    ProtocolKind::P,
+    ProtocolKind::Cw,
+    ProtocolKind::PCw,
+];
+
+/// Result of the Table-2 sweep.
+#[derive(Debug)]
+pub struct Table2 {
+    /// One row per application.
+    pub rows: Vec<Table2Row>,
+}
+
+/// One application's miss-rate components per protocol.
+#[derive(Debug)]
+pub struct Table2Row {
+    /// Application name.
+    pub app: String,
+    /// Metrics per protocol, in [`TABLE2_PROTOCOLS`] order.
+    pub metrics: Vec<Metrics>,
+}
+
+impl Table2Row {
+    /// `(cold %, coherence %)` pairs in protocol order.
+    pub fn components(&self) -> Vec<(f64, f64)> {
+        self.metrics
+            .iter()
+            .map(|m| (m.cold_rate_pct(), m.coh_rate_pct()))
+            .collect()
+    }
+
+    /// The paper's additivity observation: cold(P+CW) ≈ cold(P) and
+    /// coh(P+CW) ≈ coh(CW). Returns the two absolute differences in
+    /// percentage points.
+    pub fn additivity_error(&self) -> (f64, f64) {
+        let c = self.components();
+        ((c[3].0 - c[1].0).abs(), (c[3].1 - c[2].1).abs())
+    }
+}
+
+/// Runs the Table-2 sweep (RC, uniform network).
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`].
+pub fn table2(suite: &[Workload]) -> Result<Table2, SimError> {
+    let mut rows = Vec::new();
+    for w in suite {
+        let mut metrics = Vec::new();
+        for kind in TABLE2_PROTOCOLS {
+            metrics.push(run_protocol(w, kind, Consistency::Rc)?);
+        }
+        rows.push(Table2Row {
+            app: w.name().to_owned(),
+            metrics,
+        });
+    }
+    Ok(Table2 { rows })
+}
+
+impl Table2 {
+    /// CSV rendering: `app,protocol,cold_pct,coherence_pct`.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("app,protocol,cold_pct,coherence_pct\n");
+        for row in &self.rows {
+            for (kind, m) in TABLE2_PROTOCOLS.iter().zip(&row.metrics) {
+                out.push_str(&format!(
+                    "{},{},{:.4},{:.4}\n",
+                    row.app,
+                    kind.name(),
+                    m.cold_rate_pct(),
+                    m.coh_rate_pct()
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 2: cold and coherence miss rates (% of shared references)"
+        )?;
+        let mut header = vec!["app".to_owned()];
+        for k in TABLE2_PROTOCOLS {
+            header.push(format!("{} cold", k.name()));
+            header.push(format!("{} coh", k.name()));
+        }
+        let mut t = TextTable::new(header);
+        for row in &self.rows {
+            let mut vals = Vec::new();
+            for (cold, coh) in row.components() {
+                vals.push(cold);
+                vals.push(coh);
+            }
+            t.row_f64(&row.app, &vals, 2);
+        }
+        write!(f, "{t}")
+    }
+}

@@ -1,0 +1,44 @@
+//! Per-node home-side state: directory, memory versions, synchronization.
+
+use std::collections::HashMap;
+
+use dirext_core::config::ProtocolConfig;
+use dirext_core::dir::DirCtrl;
+use dirext_core::sync::{BarrierCtrl, LockCtrl};
+use dirext_trace::BlockAddr;
+
+/// The home side of one node: the full-map directory for the blocks homed
+/// here, the queue-based lock controller, the barrier controller, and the
+/// memory image (as debug version stamps).
+#[derive(Debug)]
+pub(crate) struct Home {
+    pub dir: DirCtrl,
+    pub locks: LockCtrl,
+    pub barriers: BarrierCtrl,
+    pub mem_version: HashMap<BlockAddr, u64>,
+}
+
+impl Home {
+    pub(crate) fn new(nprocs: usize, protocol: &ProtocolConfig) -> Self {
+        let mut dir = DirCtrl::new(nprocs, protocol.migratory, protocol.competitive.is_some());
+        dir.set_revert(protocol.migratory_revert);
+        dir.set_exclusive_clean(protocol.exclusive_clean);
+        Home {
+            dir,
+            locks: LockCtrl::new(),
+            barriers: BarrierCtrl::new(nprocs as u32),
+            mem_version: HashMap::new(),
+        }
+    }
+
+    /// Merges an incoming data version into the memory image.
+    pub(crate) fn merge_version(&mut self, block: BlockAddr, version: u64) {
+        let v = self.mem_version.entry(block).or_insert(0);
+        *v = (*v).max(version);
+    }
+
+    /// The memory image's version of `block` (0 if never written).
+    pub(crate) fn version_of(&self, block: BlockAddr) -> u64 {
+        self.mem_version.get(&block).copied().unwrap_or(0)
+    }
+}

@@ -1,0 +1,147 @@
+//! Coherence invariants checked at quiescence.
+//!
+//! After a run completes (event queue drained, all processors done), the
+//! machine must satisfy:
+//!
+//! 1. **Drained buffers** — no SLWB/FLWB entries, backlogs, unflushed write
+//!    caches, pending directory operations, held locks, or partial barriers.
+//! 2. **Single writer** — a directory entry in MODIFIED has exactly one
+//!    presence bit, and that node holds the only valid (exclusive) copy.
+//! 3. **Value (version) coherence** — the exclusive copy carries the
+//!    block's global write count; with no exclusive copy, memory and every
+//!    shared copy carry it.
+//! 4. **Presence exactness** — the full-map presence vector equals the set
+//!    of caches holding valid copies (replacement hints and update acks
+//!    keep it exact).
+//! 5. **Inclusion** — every block valid in a first-level cache is valid in
+//!    that node's second-level cache.
+
+use dirext_core::line::CacheState;
+use dirext_trace::NodeId;
+
+use crate::machine::Machine;
+
+/// Checks all invariants, returning a diagnostic for the first violation.
+pub(crate) fn check(m: &Machine) -> Result<(), String> {
+    // 1. Drained state.
+    for n in &m.nodes {
+        if !n.slwb.is_empty() {
+            return Err(format!("{}: SLWB not drained: {:?}", n.id, n.slwb));
+        }
+        if !n.flwb.is_empty() {
+            return Err(format!("{}: FLWB not drained", n.id));
+        }
+        if !n.update_backlog.is_empty() || !n.wb_backlog.is_empty() {
+            return Err(format!("{}: backlog not drained", n.id));
+        }
+        if n.wc.as_ref().is_some_and(|wc| !wc.is_empty()) {
+            return Err(format!("{}: write cache not flushed", n.id));
+        }
+        if n.pending_writes != 0 {
+            return Err(format!(
+                "{}: {} pending writes at quiescence",
+                n.id, n.pending_writes
+            ));
+        }
+        if !n.sync_waiting.is_empty() {
+            return Err(format!("{}: deferred synchronization still waiting", n.id));
+        }
+        // Inclusion: every FLC-resident block has a valid SLC line.
+        for block in n.flc.resident() {
+            if !n.slc.contains(block) {
+                return Err(format!("{}: FLC holds {block} without an SLC line", n.id));
+            }
+        }
+    }
+    for (hi, h) in m.homes.iter().enumerate() {
+        if h.dir.has_pending() {
+            return Err(format!("home {hi}: directory has pending operations"));
+        }
+        if h.locks.any_held() {
+            return Err(format!("home {hi}: locks still held"));
+        }
+        if h.barriers.any_waiting() {
+            return Err(format!("home {hi}: barrier with partial arrivals"));
+        }
+    }
+
+    // 2-4. Per-block coherence.
+    for h in &m.homes {
+        for block in h.dir.blocks() {
+            let (owner, presence, _migratory) = h.dir.snapshot(block).expect("listed block");
+            let truth = m.wcount.get(&block).copied().unwrap_or(0);
+            match owner {
+                Some(o) => {
+                    if presence != 1u64 << o.idx() {
+                        return Err(format!(
+                            "{block}: MODIFIED at {o} but presence {presence:#b}"
+                        ));
+                    }
+                    let Some(line) = m.nodes[o.idx()].slc.get(block) else {
+                        return Err(format!("{block}: owner {o} holds no copy"));
+                    };
+                    if !line.state.exclusive() {
+                        return Err(format!("{block}: owner {o} copy is {:?}", line.state));
+                    }
+                    if line.version != truth {
+                        return Err(format!(
+                            "{block}: owner {o} version {} != write count {truth}",
+                            line.version
+                        ));
+                    }
+                    for n in &m.nodes {
+                        if n.id != o && n.slc.contains(block) {
+                            return Err(format!(
+                                "{block}: {} holds a copy alongside owner {o}",
+                                n.id
+                            ));
+                        }
+                    }
+                }
+                None => {
+                    let mem = h.version_of(block);
+                    if mem != truth {
+                        return Err(format!(
+                            "{block}: memory version {mem} != write count {truth}"
+                        ));
+                    }
+                    for n in &m.nodes {
+                        let bit = presence & (1u64 << n.id.idx()) != 0;
+                        match n.slc.get(block) {
+                            Some(line) => {
+                                if line.state != CacheState::Shared {
+                                    return Err(format!(
+                                        "{block}: {} holds {:?} while directory is CLEAN",
+                                        n.id, line.state
+                                    ));
+                                }
+                                if !bit {
+                                    return Err(format!(
+                                        "{block}: {} holds a copy without a presence bit",
+                                        n.id
+                                    ));
+                                }
+                                if line.version != truth {
+                                    return Err(format!(
+                                        "{block}: {} version {} != write count {truth}",
+                                        n.id, line.version
+                                    ));
+                                }
+                            }
+                            None => {
+                                if bit {
+                                    return Err(format!(
+                                        "{block}: presence bit for {} without a copy",
+                                        n.id
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    let _ = NodeId(0);
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,407 @@
+//! The whole-machine discrete-event model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use dirext_core::config::Consistency;
+use dirext_core::msg::{Msg, MsgKind};
+use dirext_kernel::{EventQueue, Time};
+use dirext_network::{Network, TrafficClass};
+use dirext_stats::{Metrics, MissClassifier};
+use dirext_trace::{BlockAddr, NodeId, Workload, WorkloadError};
+
+use crate::home::Home;
+use crate::invariants;
+use crate::node::Node;
+use crate::MachineConfig;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The workload is structurally invalid.
+    Workload(WorkloadError),
+    /// The event queue drained while processors were still blocked.
+    Deadlock {
+        /// Human-readable diagnostic of the stuck processors.
+        detail: String,
+    },
+    /// The `max_events` safety valve fired.
+    EventBudgetExceeded,
+    /// A coherence invariant failed at quiescence (simulator bug).
+    CoherenceViolation(String),
+    /// The workload's processor count does not match the machine's.
+    ProcMismatch {
+        /// Processors in the machine.
+        machine: usize,
+        /// Programs in the workload.
+        workload: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Workload(e) => write!(f, "invalid workload: {e}"),
+            SimError::Deadlock { detail } => write!(f, "simulation deadlocked: {detail}"),
+            SimError::EventBudgetExceeded => write!(f, "event budget exceeded"),
+            SimError::CoherenceViolation(d) => write!(f, "coherence violation: {d}"),
+            SimError::ProcMismatch { machine, workload } => {
+                write!(
+                    f,
+                    "machine has {machine} processors but workload has {workload} programs"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<WorkloadError> for SimError {
+    fn from(e: WorkloadError) -> Self {
+        SimError::Workload(e)
+    }
+}
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Ev {
+    /// The processor attempts its next program event.
+    ProcStep(NodeId),
+    /// Try to process the head of a node's first-level write buffer.
+    FlwbHead(NodeId),
+    /// A protocol message arrives at its destination node.
+    Deliver(Msg),
+}
+
+/// Whether a message kind is processed by the home (directory/memory) side
+/// of the destination node, as opposed to its cache side.
+pub(crate) fn is_home_bound(kind: MsgKind) -> bool {
+    matches!(
+        kind,
+        MsgKind::ReadReq { .. }
+            | MsgKind::OwnReq { .. }
+            | MsgKind::UpdateReq { .. }
+            | MsgKind::WritebackReq { .. }
+            | MsgKind::SharedReplHint
+            | MsgKind::InvalAck
+            | MsgKind::FetchReply { .. }
+            | MsgKind::FetchInvalReply { .. }
+            | MsgKind::UpdateAck { .. }
+            | MsgKind::InterrogateReply { .. }
+            | MsgKind::AcqReq
+            | MsgKind::RelReq
+            | MsgKind::BarArrive { .. }
+    )
+}
+
+/// One simulated machine, ready to run a workload.
+///
+/// See the crate-level example. A `Machine` is consumed by [`Machine::run`]
+/// (its caches and statistics are meaningful for a single workload).
+#[derive(Debug)]
+pub struct Machine {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) now: Time,
+    pub(crate) queue: EventQueue<Ev>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) homes: Vec<Home>,
+    pub(crate) net: Box<dyn Network>,
+    /// Global per-block write counters (the debug "truth" the coherence
+    /// check compares cache versions against).
+    pub(crate) wcount: HashMap<BlockAddr, u64>,
+    pub(crate) classifier: MissClassifier,
+    pub(crate) mig_silent_writes: u64,
+    /// Completion time of each barrier episode, in completion order.
+    barrier_log: Vec<Time>,
+    events: u64,
+    /// `DIREXT_TRACE` event logging, read once at construction.
+    trace_events: bool,
+}
+
+impl Machine {
+    /// Builds a machine from a configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let net = cfg.network.build(cfg.procs);
+        let homes = (0..cfg.procs)
+            .map(|_| Home::new(cfg.procs, &cfg.protocol))
+            .collect();
+        Machine {
+            classifier: MissClassifier::new(cfg.procs),
+            now: Time::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            homes,
+            net,
+            wcount: HashMap::new(),
+            mig_silent_writes: 0,
+            barrier_log: Vec::new(),
+            events: 0,
+            trace_events: std::env::var_os("DIREXT_TRACE").is_some(),
+            cfg,
+        }
+    }
+
+    /// The home node of a block under round-robin page placement.
+    pub(crate) fn home_of(&self, block: BlockAddr) -> NodeId {
+        block.page().home(self.cfg.procs)
+    }
+
+    /// The home node of a barrier episode.
+    pub(crate) fn barrier_home(&self, id: u32) -> NodeId {
+        NodeId((id as usize % self.cfg.procs) as u8)
+    }
+
+    /// Bumps and returns the global write counter for `block`.
+    pub(crate) fn bump_wcount(&mut self, block: BlockAddr) -> u64 {
+        let c = self.wcount.entry(block).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Sends `msg` from its source node at time `t` (plus local bus
+    /// occupancy), scheduling the delivery event.
+    pub(crate) fn send_msg(&mut self, t: Time, msg: Msg) {
+        let bus = self.cfg.bus_time();
+        let start = self.nodes[msg.src.idx()].bus_res.acquire(t, bus);
+        let arrival = self.net.send(start + bus, msg.envelope());
+        self.queue.push(arrival, Ev::Deliver(msg));
+    }
+
+    /// Runs `workload` to completion and returns the metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for invalid workloads, deadlocks (which would
+    /// indicate a protocol bug), event-budget exhaustion, or coherence
+    /// violations detected at quiescence.
+    pub fn run(mut self, workload: &Workload) -> Result<Metrics, SimError> {
+        workload.validate()?;
+        if workload.procs() != self.cfg.procs {
+            return Err(SimError::ProcMismatch {
+                machine: self.cfg.procs,
+                workload: workload.procs(),
+            });
+        }
+        self.nodes = (0..self.cfg.procs)
+            .map(|i| {
+                Node::new(
+                    NodeId(i as u8),
+                    workload.program(i).clone(),
+                    &self.cfg.protocol,
+                    &self.cfg.timing,
+                )
+            })
+            .collect();
+        for i in 0..self.cfg.procs {
+            self.queue.push(Time::ZERO, Ev::ProcStep(NodeId(i as u8)));
+        }
+
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events += 1;
+            if self.events > self.cfg.max_events {
+                return Err(SimError::EventBudgetExceeded);
+            }
+            if self.trace_events {
+                eprintln!("[{t}] {ev:?}");
+            }
+            match ev {
+                Ev::ProcStep(n) => self.proc_step(n, t),
+                Ev::FlwbHead(n) => self.flwb_head(n, t),
+                Ev::Deliver(msg) => {
+                    if is_home_bound(msg.kind) {
+                        self.home_deliver(msg, t);
+                    } else {
+                        self.cache_deliver(msg, t);
+                    }
+                }
+            }
+        }
+
+        // Quiescence: every processor must have finished.
+        let stuck: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|n| n.finish.is_none())
+            .map(|n| {
+                format!(
+                    "{}@pc{} {:?} slwb={:?} pw={} sync={:?} ev={:?}",
+                    n.id,
+                    n.pc,
+                    n.pstate,
+                    n.slwb,
+                    n.pending_writes,
+                    n.sync_waiting,
+                    n.program.get(n.pc.saturating_sub(1)),
+                )
+            })
+            .collect();
+        if !stuck.is_empty() {
+            let homes: Vec<String> = self
+                .homes
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| {
+                    h.locks.any_held() || h.barriers.any_waiting() || h.dir.has_pending()
+                })
+                .map(|(i, h)| {
+                    format!(
+                        "home{i}: locks_held={} barriers_waiting={} dir_pending={}",
+                        h.locks.any_held(),
+                        h.barriers.any_waiting(),
+                        h.dir.has_pending()
+                    )
+                })
+                .collect();
+            return Err(SimError::Deadlock {
+                detail: format!("{}; {}", stuck.join("; "), homes.join("; ")),
+            });
+        }
+        if self.cfg.check_invariants {
+            invariants::check(&self).map_err(SimError::CoherenceViolation)?;
+        }
+        Ok(self.collect_metrics(workload))
+    }
+
+    // ------------------------------------------------------------ home side
+
+    fn home_deliver(&mut self, msg: Msg, now: Time) {
+        let h = msg.dst.idx();
+        let mem = self.cfg.timing.mem_access + self.cfg.timing.dir_access;
+        let t = now + mem;
+        match msg.kind {
+            MsgKind::AcqReq => {
+                if self.homes[h].locks.acquire(msg.src, msg.block) {
+                    self.reply_from_home(t, msg.dst, msg.src, msg.block, MsgKind::AcqGrant);
+                }
+            }
+            MsgKind::RelReq => {
+                let next = self.homes[h].locks.release(msg.src, msg.block);
+                if let Some(next) = next {
+                    self.reply_from_home(t, msg.dst, next, msg.block, MsgKind::AcqGrant);
+                }
+                if self.cfg.protocol.consistency == Consistency::Sc {
+                    self.reply_from_home(t, msg.dst, msg.src, msg.block, MsgKind::RelAck);
+                }
+            }
+            MsgKind::BarArrive { id } => {
+                if self.homes[h].barriers.arrive(id) {
+                    self.barrier_log.push(now);
+                    for i in 0..self.cfg.procs {
+                        self.reply_from_home(
+                            t,
+                            msg.dst,
+                            NodeId(i as u8),
+                            msg.block,
+                            MsgKind::BarRelease { id },
+                        );
+                    }
+                }
+            }
+            kind => {
+                // Data arriving at home updates the memory image.
+                if kind.carries_block() || matches!(kind, MsgKind::UpdateReq { .. }) {
+                    self.homes[h].merge_version(msg.block, msg.version);
+                }
+                let actions = self.homes[h].dir.handle(msg.src, msg.block, kind);
+                for act in actions {
+                    let carries_payload =
+                        act.kind.carries_block() || matches!(act.kind, MsgKind::Update { .. });
+                    let version = if carries_payload {
+                        self.homes[h].version_of(msg.block)
+                    } else {
+                        0
+                    };
+                    let out = Msg {
+                        src: msg.dst,
+                        dst: act.dst,
+                        block: msg.block,
+                        kind: act.kind,
+                        version,
+                    };
+                    self.send_msg(t, out);
+                }
+            }
+        }
+    }
+
+    fn reply_from_home(
+        &mut self,
+        t: Time,
+        home: NodeId,
+        dst: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+    ) {
+        self.send_msg(
+            t,
+            Msg {
+                src: home,
+                dst,
+                block,
+                kind,
+                version: 0,
+            },
+        );
+    }
+
+    // ----------------------------------------------------------- metrics
+
+    fn collect_metrics(&self, workload: &Workload) -> Metrics {
+        let mut m = Metrics {
+            workload: workload.name().to_owned(),
+            protocol: self.cfg.protocol.label(),
+            consistency: self.cfg.protocol.consistency.to_string(),
+            network: self.net.name().to_owned(),
+            procs: self.cfg.procs,
+            ..Metrics::default()
+        };
+        for n in &self.nodes {
+            m.exec_cycles = m.exec_cycles.max(n.finish.map_or(0, Time::cycles));
+            m.stalls.merge(&n.stalls);
+            m.shared_reads += n.counters.shared_reads;
+            m.shared_writes += n.counters.shared_writes;
+            m.flc_hits += n.flc.hits();
+            m.slc_misses += n.counters.slc_misses;
+            m.wc_read_hits += n.counters.wc_read_hits;
+            m.read_miss_cycles += n.counters.read_miss_cycles;
+            m.read_miss_count += n.counters.read_miss_count;
+            m.read_miss_hist.merge(&n.read_miss_hist);
+            if let Some(pf) = &n.prefetcher {
+                m.prefetches_issued += pf.stats().issued;
+                m.prefetches_useful += pf.stats().useful;
+            }
+        }
+        m.cold_misses = self.classifier.cold();
+        m.coh_misses = self.classifier.coherence();
+        m.repl_misses = self.classifier.replacement();
+        for h in &self.homes {
+            let d = h.dir.stats();
+            m.ownership_reqs += d.own_reqs;
+            m.update_reqs += d.update_reqs;
+            m.updates_fanned_out += d.updates_sent;
+            m.invals_sent += d.invals_sent;
+            m.writebacks += d.writebacks;
+            m.exclusive_grants += d.exclusive_grants;
+            m.migratory_detections += d.migratory_detections;
+            m.migratory_reverts += d.migratory_reverts;
+            m.interrogations += d.interrogations;
+            m.reads_clean += d.reads_clean;
+            m.reads_dirty += d.reads_dirty;
+            m.lock_acquires += h.locks.acquires();
+            m.barrier_episodes += h.barriers.episodes();
+        }
+        m.barrier_completion_cycles = self.barrier_log.iter().map(|t| t.cycles()).collect();
+        m.per_proc_stalls = self.nodes.iter().map(|n| n.stalls).collect();
+        let t = self.net.traffic();
+        m.net_bytes = t.bytes();
+        m.net_msgs = t.msgs();
+        m.net_data_bytes = t.bytes_in(TrafficClass::Data);
+        m.net_update_bytes = t.bytes_in(TrafficClass::Update);
+        m.net_control_bytes = t.bytes_in(TrafficClass::Control);
+        m.net_sync_bytes = t.bytes_in(TrafficClass::Sync);
+        m
+    }
+}

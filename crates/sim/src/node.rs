@@ -1,0 +1,235 @@
+//! Per-node cache-side state.
+
+use std::collections::{HashMap, VecDeque};
+
+use dirext_core::config::ProtocolConfig;
+use dirext_core::line::Line;
+use dirext_core::Prefetcher;
+use dirext_kernel::{Resource, Time};
+use dirext_memsys::{Fifo, Flc, Slc, SlcGeometry, Timing, WcEntry, WriteCache};
+use dirext_stats::{Histogram, StallBreakdown, StallKind};
+use dirext_trace::{Addr, BlockAddr, NodeId, Program};
+
+/// What the processor is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ProcState {
+    /// Executing (a `ProcStep` event is or will be scheduled).
+    Ready,
+    /// Blocked; `since` starts the stall account.
+    Stalled { kind: StallKind, since: Time },
+    /// Program finished.
+    Done,
+}
+
+/// An entry of the first-level write buffer: writes, read-miss requests,
+/// and (under RC) synchronization operations, all in FIFO program order —
+/// "synchronizations bypass the FLC and are inserted ... with other memory
+/// requests", which is what orders a release after every earlier write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FlwbEntry {
+    Read(Addr),
+    Write(Addr),
+    /// A software prefetch instruction (droppable hint).
+    SwPrefetch(Addr, bool),
+    Sync(SyncOut),
+}
+
+/// A synchronization operation deferred until all previously issued
+/// ownership/update requests complete (RC write-release semantics; barriers
+/// include a release).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SyncOut {
+    /// A lock release (the lock variable's address).
+    Release(Addr),
+    /// A barrier arrival (the barrier id).
+    Barrier(u32),
+}
+
+/// A pending request held in the second-level write buffer (the SLWB doubles
+/// as the lockup-free cache's miss-status registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SlwbOp {
+    /// Outstanding read miss or prefetch.
+    Read {
+        prefetch: bool,
+        /// A demand access is blocked on this entry.
+        demand_waiting: bool,
+        /// When the demand access started waiting (read-latency metering).
+        demand_since: Time,
+        /// A write to the block arrived while this read was in flight: the
+        /// stamp of that write. When the reply arrives, an ownership request
+        /// follows (or, if the reply grants an exclusive migratory copy,
+        /// the write completes silently).
+        upgrade_version: Option<u64>,
+        /// The processor is stalled on the upgrading write (SC).
+        upgrade_sc: bool,
+    },
+    /// Outstanding ownership request.
+    Own {
+        need_data: bool,
+        /// Version stamp of the processor write that triggered the request.
+        write_version: u64,
+        /// The processor is stalled on this write (SC).
+        sc_wait: bool,
+        /// A demand read is blocked on this entry (its copy was invalidated
+        /// while the ownership request was in flight).
+        demand_waiting: bool,
+        /// When the demand read started waiting.
+        demand_since: Time,
+    },
+    /// Outstanding competitive update.
+    Update {
+        /// Version stamp carried by the update.
+        version: u64,
+    },
+    /// Outstanding writeback.
+    Writeback,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct SlwbEntry {
+    pub block: BlockAddr,
+    pub op: SlwbOp,
+}
+
+/// Per-node counters that end up in [`dirext_stats::Metrics`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct NodeCounters {
+    pub shared_reads: u64,
+    pub shared_writes: u64,
+    pub slc_misses: u64,
+    pub wc_read_hits: u64,
+    pub read_miss_cycles: u64,
+    pub read_miss_count: u64,
+}
+
+/// One processing node: processor + FLC + FLWB + SLC(+SLWB, write cache,
+/// prefetcher) + local bus.
+#[derive(Debug)]
+pub(crate) struct Node {
+    pub id: NodeId,
+    pub program: Program,
+    pub pc: usize,
+    pub pstate: ProcState,
+    /// Skip re-charging FLC access time when retrying after a buffer stall.
+    pub retry_no_charge: bool,
+    pub stalls: StallBreakdown,
+    pub finish: Option<Time>,
+
+    pub flc: Flc,
+    pub flwb: Fifo<FlwbEntry>,
+    /// A drain chain (`FlwbHead` event) is scheduled.
+    pub flwb_active: bool,
+
+    pub slc: Slc<Line>,
+    pub slwb: Vec<SlwbEntry>,
+    pub slwb_cap: usize,
+    pub slc_res: Resource,
+    pub bus_res: Resource,
+
+    pub wc: Option<WriteCache>,
+    /// Version stamps of write-cache entries (debug coherence check).
+    pub wc_version: HashMap<BlockAddr, u64>,
+    /// Victim write-cache entries waiting for SLWB space.
+    pub update_backlog: VecDeque<(WcEntry, u64)>,
+    /// Evicted dirty blocks waiting for SLWB space: `(block, written,
+    /// version)`.
+    pub wb_backlog: VecDeque<(BlockAddr, bool, u64)>,
+
+    pub prefetcher: Option<Prefetcher>,
+
+    /// Outstanding ownership/update requests (release gating).
+    pub pending_writes: u64,
+    /// Releases and barrier arrivals waiting for pending writes to drain.
+    pub sync_waiting: VecDeque<SyncOut>,
+
+    pub counters: NodeCounters,
+    /// Distribution of demand read-miss service times.
+    pub read_miss_hist: Histogram,
+    /// Competitive counter preset (0 when CW is off — unused).
+    pub comp_preset: u8,
+}
+
+impl Node {
+    pub(crate) fn new(
+        id: NodeId,
+        program: Program,
+        protocol: &ProtocolConfig,
+        timing: &Timing,
+    ) -> Self {
+        let comp_preset = protocol.competitive.map_or(1, |c| c.threshold);
+        Node {
+            id,
+            program,
+            pc: 0,
+            pstate: ProcState::Ready,
+            retry_no_charge: false,
+            stalls: StallBreakdown::default(),
+            finish: None,
+            flc: Flc::new(timing.flc_bytes),
+            flwb: Fifo::new(timing.flwb_entries),
+            flwb_active: false,
+            slc: Slc::new(SlcGeometry::from_bytes(timing.slc_bytes)),
+            slwb: Vec::with_capacity(timing.slwb_entries),
+            slwb_cap: timing.slwb_entries,
+            slc_res: Resource::new(),
+            bus_res: Resource::new(),
+            wc: protocol
+                .competitive
+                .filter(|c| c.write_cache)
+                .map(|_| WriteCache::new(timing.write_cache_blocks)),
+            wc_version: HashMap::new(),
+            update_backlog: VecDeque::new(),
+            wb_backlog: VecDeque::new(),
+            prefetcher: protocol.prefetch.map(Prefetcher::new),
+            pending_writes: 0,
+            sync_waiting: VecDeque::new(),
+            counters: NodeCounters::default(),
+            read_miss_hist: Histogram::new(),
+            comp_preset,
+        }
+    }
+
+    /// Finds the SLWB entry for `block` matching `pred`.
+    pub(crate) fn slwb_find(
+        &mut self,
+        block: BlockAddr,
+        pred: impl Fn(&SlwbOp) -> bool,
+    ) -> Option<&mut SlwbEntry> {
+        self.slwb
+            .iter_mut()
+            .find(|e| e.block == block && pred(&e.op))
+    }
+
+    /// Removes and returns the SLWB entry for `block` matching `pred`.
+    pub(crate) fn slwb_take(
+        &mut self,
+        block: BlockAddr,
+        pred: impl Fn(&SlwbOp) -> bool,
+    ) -> Option<SlwbEntry> {
+        let pos = self
+            .slwb
+            .iter()
+            .position(|e| e.block == block && pred(&e.op))?;
+        Some(self.slwb.remove(pos))
+    }
+
+    /// Whether the SLWB can accept another entry.
+    pub(crate) fn slwb_has_space(&self) -> bool {
+        self.slwb.len() < self.slwb_cap
+    }
+
+    /// Whether any read (demand or prefetch) is pending for `block`.
+    pub(crate) fn read_pending(&self, block: BlockAddr) -> bool {
+        self.slwb
+            .iter()
+            .any(|e| e.block == block && matches!(e.op, SlwbOp::Read { .. }))
+    }
+
+    /// Whether an ownership request is pending for `block`.
+    pub(crate) fn own_pending(&self, block: BlockAddr) -> bool {
+        self.slwb
+            .iter()
+            .any(|e| e.block == block && matches!(e.op, SlwbOp::Own { .. }))
+    }
+}

@@ -1,0 +1,29 @@
+//! Measurement layer of the `dirext` simulator.
+//!
+//! Everything the paper reports is derived from three instruments:
+//!
+//! * [`StallBreakdown`] — the per-processor decomposition of execution time
+//!   into busy time and read/write/acquire/release/buffer stalls (the bars
+//!   of Figures 2 and 3);
+//! * [`MissClassifier`] — cold / coherence / replacement classification of
+//!   second-level cache misses (Table 2);
+//! * [`Metrics`] — the complete result record of one simulation run,
+//!   including protocol counters and network traffic (Figure 4, Table 3),
+//!   with helpers for the paper's normalizations.
+//!
+//! [`TextTable`] renders the report tables.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod histogram;
+mod metrics;
+mod miss;
+mod stall;
+mod table;
+
+pub use histogram::Histogram;
+pub use metrics::Metrics;
+pub use miss::{InvalReason, MissClass, MissClassifier};
+pub use stall::{StallBreakdown, StallKind};
+pub use table::TextTable;

@@ -1,0 +1,176 @@
+//! Cold / coherence / replacement miss classification (paper Table 2).
+
+use std::collections::{HashMap, HashSet};
+
+use dirext_trace::{BlockAddr, NodeId};
+
+/// Why a valid copy left a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalReason {
+    /// Invalidated (or updated-out, or recalled) by the coherence protocol.
+    Coherence,
+    /// Evicted by a conflicting block (finite caches only).
+    Replacement,
+}
+
+/// Classification of a second-level cache miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissClass {
+    /// First reference by this node to the block.
+    Cold,
+    /// The block was present but removed by a coherence action.
+    Coherence,
+    /// The block was present but evicted for capacity/conflict reasons.
+    Replacement,
+}
+
+/// Tracks, per node and block, enough history to classify each SLC miss.
+///
+/// Classification follows the standard scheme the paper (and its reference
+/// \[3\]) use: the
+/// first-ever reference is a *cold* miss; later misses take the reason the
+/// copy last left the cache.
+///
+/// # Example
+///
+/// ```
+/// use dirext_stats::{InvalReason, MissClass, MissClassifier};
+/// use dirext_trace::{BlockAddr, NodeId};
+///
+/// let mut mc = MissClassifier::new(2);
+/// let (n, b) = (NodeId(0), BlockAddr::from_index(9));
+/// assert_eq!(mc.classify_miss(n, b), MissClass::Cold);
+/// mc.note_access(n, b);
+/// mc.note_invalidation(n, b, InvalReason::Coherence);
+/// assert_eq!(mc.classify_miss(n, b), MissClass::Coherence);
+/// ```
+#[derive(Debug)]
+pub struct MissClassifier {
+    accessed: Vec<HashSet<BlockAddr>>,
+    reason: Vec<HashMap<BlockAddr, InvalReason>>,
+    cold: u64,
+    coherence: u64,
+    replacement: u64,
+}
+
+impl MissClassifier {
+    /// Creates a classifier for `nprocs` nodes.
+    pub fn new(nprocs: usize) -> Self {
+        MissClassifier {
+            accessed: vec![HashSet::new(); nprocs],
+            reason: vec![HashMap::new(); nprocs],
+            cold: 0,
+            coherence: 0,
+            replacement: 0,
+        }
+    }
+
+    /// Records that `node` referenced `block` (hit or miss) — needed so a
+    /// block whose first touch *hit* (e.g. it arrived by prefetch) is not
+    /// later misclassified as cold.
+    pub fn note_access(&mut self, node: NodeId, block: BlockAddr) {
+        self.accessed[node.idx()].insert(block);
+    }
+
+    /// Records why `node`'s copy of `block` went away.
+    pub fn note_invalidation(&mut self, node: NodeId, block: BlockAddr, reason: InvalReason) {
+        self.reason[node.idx()].insert(block, reason);
+    }
+
+    /// Classifies (and counts) a demand miss by `node` on `block`, and
+    /// records the access.
+    pub fn classify_miss(&mut self, node: NodeId, block: BlockAddr) -> MissClass {
+        let class = if !self.accessed[node.idx()].contains(&block) {
+            MissClass::Cold
+        } else {
+            match self.reason[node.idx()].get(&block) {
+                Some(InvalReason::Replacement) => MissClass::Replacement,
+                // A re-miss on a previously accessed block with no recorded
+                // eviction happens when the copy was taken by the coherence
+                // protocol through a path that races with this miss; count
+                // it as a coherence miss.
+                _ => MissClass::Coherence,
+            }
+        };
+        self.accessed[node.idx()].insert(block);
+        match class {
+            MissClass::Cold => self.cold += 1,
+            MissClass::Coherence => self.coherence += 1,
+            MissClass::Replacement => self.replacement += 1,
+        }
+        class
+    }
+
+    /// Counted cold misses.
+    pub fn cold(&self) -> u64 {
+        self.cold
+    }
+
+    /// Counted coherence misses.
+    pub fn coherence(&self) -> u64 {
+        self.coherence
+    }
+
+    /// Counted replacement misses.
+    pub fn replacement(&self) -> u64 {
+        self.replacement
+    }
+
+    /// Total classified misses.
+    pub fn total(&self) -> u64 {
+        self.cold + self.coherence + self.replacement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u8) -> NodeId {
+        NodeId(i)
+    }
+
+    fn b(i: u64) -> BlockAddr {
+        BlockAddr::from_index(i)
+    }
+
+    #[test]
+    fn first_miss_is_cold_per_node() {
+        let mut mc = MissClassifier::new(2);
+        assert_eq!(mc.classify_miss(n(0), b(1)), MissClass::Cold);
+        // A different node's first touch of the same block is also cold.
+        assert_eq!(mc.classify_miss(n(1), b(1)), MissClass::Cold);
+        assert_eq!(mc.cold(), 2);
+    }
+
+    #[test]
+    fn invalidation_reason_drives_class() {
+        let mut mc = MissClassifier::new(1);
+        mc.classify_miss(n(0), b(1));
+        mc.note_invalidation(n(0), b(1), InvalReason::Replacement);
+        assert_eq!(mc.classify_miss(n(0), b(1)), MissClass::Replacement);
+        mc.note_invalidation(n(0), b(1), InvalReason::Coherence);
+        assert_eq!(mc.classify_miss(n(0), b(1)), MissClass::Coherence);
+        assert_eq!((mc.cold(), mc.coherence(), mc.replacement()), (1, 1, 1));
+        assert_eq!(mc.total(), 3);
+    }
+
+    #[test]
+    fn prefetched_block_first_touch_is_not_cold_later() {
+        let mut mc = MissClassifier::new(1);
+        // Block arrives by prefetch; the first reference hits.
+        mc.note_access(n(0), b(5));
+        mc.note_invalidation(n(0), b(5), InvalReason::Coherence);
+        // The next miss must be a coherence miss, not cold.
+        assert_eq!(mc.classify_miss(n(0), b(5)), MissClass::Coherence);
+    }
+
+    #[test]
+    fn latest_reason_wins() {
+        let mut mc = MissClassifier::new(1);
+        mc.classify_miss(n(0), b(2));
+        mc.note_invalidation(n(0), b(2), InvalReason::Coherence);
+        mc.note_invalidation(n(0), b(2), InvalReason::Replacement);
+        assert_eq!(mc.classify_miss(n(0), b(2)), MissClass::Replacement);
+    }
+}

@@ -1,0 +1,173 @@
+//! Execution-time decomposition.
+
+use serde::{Deserialize, Serialize};
+
+/// What a processor was waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StallKind {
+    /// Blocked on a read (cache miss service).
+    Read,
+    /// Blocked on a write until globally performed (sequential consistency).
+    Write,
+    /// Waiting for a lock grant or barrier release.
+    Acquire,
+    /// Waiting for a release to be globally performed (SC).
+    Release,
+    /// Waiting for space in a full write buffer.
+    Buffer,
+}
+
+/// Cycle totals of one processor's execution, decomposed the way the
+/// paper's Figure 2 and Figure 3 bars are.
+///
+/// Under release consistency the write latency is hidden, so `write` stays
+/// zero and buffer-full time is the only write-related stall; under
+/// sequential consistency `write` and `release` appear.
+///
+/// # Example
+///
+/// ```
+/// use dirext_stats::{StallBreakdown, StallKind};
+///
+/// let mut s = StallBreakdown::default();
+/// s.add_busy(100);
+/// s.add_stall(StallKind::Read, 40);
+/// assert_eq!(s.total(), 140);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StallBreakdown {
+    /// Cycles doing computation or hitting in the FLC.
+    pub busy: u64,
+    /// Read-stall cycles.
+    pub read: u64,
+    /// Write-stall cycles (SC only).
+    pub write: u64,
+    /// Acquire-stall cycles (locks and barriers).
+    pub acquire: u64,
+    /// Release-stall cycles (SC only).
+    pub release: u64,
+    /// Buffer-full stall cycles.
+    pub buffer: u64,
+}
+
+impl StallBreakdown {
+    /// Adds busy cycles.
+    pub fn add_busy(&mut self, cycles: u64) {
+        self.busy += cycles;
+    }
+
+    /// Adds stall cycles of the given kind.
+    pub fn add_stall(&mut self, kind: StallKind, cycles: u64) {
+        match kind {
+            StallKind::Read => self.read += cycles,
+            StallKind::Write => self.write += cycles,
+            StallKind::Acquire => self.acquire += cycles,
+            StallKind::Release => self.release += cycles,
+            StallKind::Buffer => self.buffer += cycles,
+        }
+    }
+
+    /// Total accounted cycles.
+    pub fn total(&self) -> u64 {
+        self.busy + self.read + self.write + self.acquire + self.release + self.buffer
+    }
+
+    /// Element-wise sum (aggregation across processors).
+    pub fn merge(&mut self, other: &StallBreakdown) {
+        self.busy += other.busy;
+        self.read += other.read;
+        self.write += other.write;
+        self.acquire += other.acquire;
+        self.release += other.release;
+        self.buffer += other.buffer;
+    }
+
+    /// The fraction of total time spent in each component, in the order
+    /// busy, read, write, acquire, release, buffer. Returns zeros for an
+    /// empty breakdown.
+    pub fn fractions(&self) -> [f64; 6] {
+        let t = self.total();
+        if t == 0 {
+            return [0.0; 6];
+        }
+        let t = t as f64;
+        [
+            self.busy as f64 / t,
+            self.read as f64 / t,
+            self.write as f64 / t,
+            self.acquire as f64 / t,
+            self.release as f64 / t,
+            self.buffer as f64 / t,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_by_kind() {
+        let mut s = StallBreakdown::default();
+        s.add_busy(10);
+        s.add_stall(StallKind::Read, 5);
+        s.add_stall(StallKind::Write, 4);
+        s.add_stall(StallKind::Acquire, 3);
+        s.add_stall(StallKind::Release, 2);
+        s.add_stall(StallKind::Buffer, 1);
+        assert_eq!(s.total(), 25);
+        assert_eq!(s.read, 5);
+        assert_eq!(s.buffer, 1);
+    }
+
+    #[test]
+    fn merge_sums_componentwise() {
+        let mut a = StallBreakdown {
+            busy: 1,
+            read: 2,
+            write: 3,
+            acquire: 4,
+            release: 5,
+            buffer: 6,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.total(), 42);
+        assert_eq!(a.acquire, 8);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let s = StallBreakdown {
+            busy: 50,
+            read: 25,
+            write: 0,
+            acquire: 25,
+            release: 0,
+            buffer: 0,
+        };
+        let f = s.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fractions_are_zero() {
+        assert_eq!(StallBreakdown::default().fractions(), [0.0; 6]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = StallBreakdown {
+            busy: 7,
+            read: 1,
+            write: 2,
+            acquire: 3,
+            release: 4,
+            buffer: 5,
+        };
+        let j = serde_json::to_string(&s).unwrap();
+        let back: StallBreakdown = serde_json::from_str(&j).unwrap();
+        assert_eq!(s, back);
+    }
+}

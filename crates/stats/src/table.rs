@@ -1,0 +1,130 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple fixed-width text table.
+///
+/// # Example
+///
+/// ```
+/// use dirext_stats::TextTable;
+///
+/// let mut t = TextTable::new(vec!["app", "BASIC", "P"]);
+/// t.row(vec!["LU".into(), "1.00".into(), "0.81".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("LU"));
+/// assert!(s.lines().count() >= 3); // header, rule, one row
+/// ```
+#[derive(Debug)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Convenience: a row of formatted floats after a label cell.
+    pub fn row_f64(&mut self, label: &str, values: &[f64], precision: usize) -> &mut Self {
+        let mut cells = vec![label.to_owned()];
+        cells.extend(values.iter().map(|v| format!("{v:.precision$}")));
+        self.row(cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                if i == 0 {
+                    write!(f, "{c:<w$}", w = widths[i])?;
+                } else {
+                    write!(f, "{c:>w$}", w = widths[i])?;
+                }
+            }
+            writeln!(f)
+        };
+        render(f, &self.header)?;
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(rule))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["app", "value"]);
+        t.row(vec!["MP3D".into(), "1".into()]);
+        t.row(vec!["Cholesky".into(), "12345".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines are equally wide (right-aligned numeric column).
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn row_f64_formats_precision() {
+        let mut t = TextTable::new(vec!["app", "a", "b"]);
+        t.row_f64("LU", &[0.5, 1.0], 2);
+        let s = t.to_string();
+        assert!(s.contains("0.50"));
+        assert!(s.contains("1.00"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Address geometry: words, blocks, pages, home nodes.
+
+use std::fmt;
+
+/// Cache block (line) size in bytes — 32 in the paper.
+pub const BLOCK_BYTES: u64 = 32;
+/// Word size in bytes (32-bit words; the write cache keeps per-word dirty bits).
+pub const WORD_BYTES: u64 = 4;
+/// Words per cache block.
+pub const WORDS_PER_BLOCK: u64 = BLOCK_BYTES / WORD_BYTES;
+/// Page size in bytes — 4 KB in the paper.
+pub const PAGE_BYTES: u64 = 4096;
+
+/// A byte address in the shared address space.
+///
+/// # Example
+///
+/// ```
+/// use dirext_trace::{Addr, BLOCK_BYTES};
+///
+/// let a = Addr::new(100);
+/// assert_eq!(a.block().index(), 100 / BLOCK_BYTES);
+/// assert_eq!(a.word_in_block(), (100 % BLOCK_BYTES) / 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte offset.
+    #[inline]
+    pub const fn new(byte: u64) -> Self {
+        Addr(byte)
+    }
+
+    /// The raw byte offset.
+    #[inline]
+    pub const fn byte(self) -> u64 {
+        self.0
+    }
+
+    /// The cache block containing this address.
+    #[inline]
+    pub const fn block(self) -> BlockAddr {
+        BlockAddr(self.0 / BLOCK_BYTES)
+    }
+
+    /// The page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageId {
+        PageId(self.0 / PAGE_BYTES)
+    }
+
+    /// Index of the word this address falls in within its block (0..8).
+    #[inline]
+    pub const fn word_in_block(self) -> u64 {
+        (self.0 % BLOCK_BYTES) / WORD_BYTES
+    }
+
+    /// Returns this address displaced by `bytes`.
+    #[inline]
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A cache-block address (byte address divided by the 32-byte block size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(u64);
+
+impl BlockAddr {
+    /// Creates a block address from a block index.
+    #[inline]
+    pub const fn from_index(index: u64) -> Self {
+        BlockAddr(index)
+    }
+
+    /// The block index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The first byte address of this block.
+    #[inline]
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 * BLOCK_BYTES)
+    }
+
+    /// The block `n` blocks after this one (used by sequential prefetching).
+    #[inline]
+    pub const fn plus(self, n: u64) -> BlockAddr {
+        BlockAddr(self.0 + n)
+    }
+
+    /// The immediately preceding block, or `None` at block zero.
+    #[inline]
+    pub fn pred(self) -> Option<BlockAddr> {
+        self.0.checked_sub(1).map(BlockAddr)
+    }
+
+    /// The page containing this block.
+    #[inline]
+    pub const fn page(self) -> PageId {
+        PageId(self.0 * BLOCK_BYTES / PAGE_BYTES)
+    }
+}
+
+impl fmt::Display for BlockAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk{:#x}", self.0)
+    }
+}
+
+/// A 4-KB virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from a page number.
+    #[inline]
+    pub const fn from_index(index: u64) -> Self {
+        PageId(index)
+    }
+
+    /// The page number.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The home node of this page under the paper's round-robin placement:
+    /// pages are allocated across nodes by the least significant bits of the
+    /// virtual page number.
+    #[inline]
+    pub fn home(self, nodes: usize) -> NodeId {
+        NodeId((self.0 % nodes as u64) as u8)
+    }
+}
+
+/// A processor-node identifier (0..N, N = 16 in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u8);
+
+impl NodeId {
+    /// The node index as a usize (for indexing per-node arrays).
+    #[inline]
+    pub const fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u8> for NodeId {
+    fn from(v: u8) -> Self {
+        NodeId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_geometry() {
+        let a = Addr::new(3 * BLOCK_BYTES + 17);
+        assert_eq!(a.block(), BlockAddr::from_index(3));
+        assert_eq!(a.word_in_block(), 17 / WORD_BYTES);
+        assert_eq!(a.block().base_addr(), Addr::new(96));
+    }
+
+    #[test]
+    fn page_geometry_and_home() {
+        let a = Addr::new(2 * PAGE_BYTES + 5);
+        assert_eq!(a.page(), PageId::from_index(2));
+        assert_eq!(a.page().home(16), NodeId(2));
+        assert_eq!(PageId::from_index(17).home(16), NodeId(1));
+        assert_eq!(PageId::from_index(16).home(16), NodeId(0));
+    }
+
+    #[test]
+    fn blocks_per_page() {
+        // 128 blocks per 4-KB page; block 127 is page 0, block 128 is page 1.
+        assert_eq!(BlockAddr::from_index(127).page(), PageId::from_index(0));
+        assert_eq!(BlockAddr::from_index(128).page(), PageId::from_index(1));
+    }
+
+    #[test]
+    fn block_navigation() {
+        let b = BlockAddr::from_index(10);
+        assert_eq!(b.plus(6), BlockAddr::from_index(16));
+        assert_eq!(b.pred(), Some(BlockAddr::from_index(9)));
+        assert_eq!(BlockAddr::from_index(0).pred(), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Addr::new(255).to_string(), "0xff");
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(BlockAddr::from_index(16).to_string(), "blk0x10");
+    }
+}

@@ -1,0 +1,258 @@
+//! A complete multiprocessor workload: one program per processor.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{Addr, MemEvent, Program};
+
+/// Errors detected by [`Workload::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// Two processors arrive at barriers in different orders, which would
+    /// deadlock the simulated machine.
+    BarrierMismatch {
+        /// First offending processor.
+        proc_a: usize,
+        /// Second offending processor.
+        proc_b: usize,
+    },
+    /// A `Release` without a matching prior `Acquire` of the same lock, or a
+    /// program ending while holding a lock.
+    LockMisuse {
+        /// The offending processor.
+        proc: usize,
+        /// The lock variable's address.
+        lock: Addr,
+    },
+    /// A processor arrives at a barrier while holding a lock: the holder
+    /// waits for everyone, while anyone waiting on the lock never arrives —
+    /// a guaranteed deadlock.
+    BarrierInCriticalSection {
+        /// The offending processor.
+        proc: usize,
+        /// The lock held across the barrier.
+        lock: Addr,
+    },
+    /// The workload has no programs at all.
+    Empty,
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::BarrierMismatch { proc_a, proc_b } => {
+                write!(
+                    f,
+                    "processors {proc_a} and {proc_b} disagree on barrier order"
+                )
+            }
+            WorkloadError::LockMisuse { proc, lock } => {
+                write!(f, "processor {proc} misuses lock at {lock}")
+            }
+            WorkloadError::BarrierInCriticalSection { proc, lock } => {
+                write!(
+                    f,
+                    "processor {proc} reaches a barrier while holding lock at {lock}"
+                )
+            }
+            WorkloadError::Empty => write!(f, "workload contains no programs"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// A named workload: one [`Program`] per processor plus bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use dirext_trace::{Addr, MemEvent, Program, Workload};
+///
+/// let programs = vec![
+///     Program::from_events(vec![MemEvent::Read(Addr::new(0))]),
+///     Program::from_events(vec![MemEvent::Write(Addr::new(0))]),
+/// ];
+/// let w = Workload::new("demo", programs);
+/// assert_eq!(w.procs(), 2);
+/// assert_eq!(w.total_data_refs(), 2);
+/// w.validate().unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    programs: Vec<Program>,
+}
+
+impl Workload {
+    /// Creates a workload from per-processor programs.
+    pub fn new(name: impl Into<String>, programs: Vec<Program>) -> Self {
+        Workload {
+            name: name.into(),
+            programs,
+        }
+    }
+
+    /// The workload's display name (e.g. `"MP3D"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// The program for processor `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.procs()`.
+    pub fn program(&self, i: usize) -> &Program {
+        &self.programs[i]
+    }
+
+    /// All programs.
+    pub fn programs(&self) -> &[Program] {
+        &self.programs
+    }
+
+    /// Total shared-data references across all processors.
+    pub fn total_data_refs(&self) -> usize {
+        self.programs.iter().map(Program::data_refs).sum()
+    }
+
+    /// Total events across all processors.
+    pub fn total_events(&self) -> usize {
+        self.programs.iter().map(Program::len).sum()
+    }
+
+    /// Checks structural well-formedness: consistent barrier sequences and
+    /// properly paired lock operations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`WorkloadError`] found.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.programs.is_empty() {
+            return Err(WorkloadError::Empty);
+        }
+        let reference = self.programs[0].barrier_sequence();
+        for (i, p) in self.programs.iter().enumerate().skip(1) {
+            if p.barrier_sequence() != reference {
+                return Err(WorkloadError::BarrierMismatch {
+                    proc_a: 0,
+                    proc_b: i,
+                });
+            }
+        }
+        for (i, p) in self.programs.iter().enumerate() {
+            let mut held: HashMap<Addr, u32> = HashMap::new();
+            for e in p.events() {
+                match e {
+                    MemEvent::Acquire(l) => *held.entry(*l).or_insert(0) += 1,
+                    MemEvent::Release(l) => {
+                        let c = held.entry(*l).or_insert(0);
+                        if *c == 0 {
+                            return Err(WorkloadError::LockMisuse { proc: i, lock: *l });
+                        }
+                        *c -= 1;
+                    }
+                    MemEvent::Barrier(_) => {
+                        if let Some((l, _)) = held.iter().find(|(_, c)| **c != 0) {
+                            return Err(WorkloadError::BarrierInCriticalSection {
+                                proc: i,
+                                lock: *l,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if let Some((l, _)) = held.iter().find(|(_, c)| **c != 0) {
+                return Err(WorkloadError::LockMisuse { proc: i, lock: *l });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BarrierId;
+
+    fn prog(events: Vec<MemEvent>) -> Program {
+        Program::from_events(events)
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let w = Workload::new("w", vec![]);
+        assert_eq!(w.validate(), Err(WorkloadError::Empty));
+    }
+
+    #[test]
+    fn mismatched_barriers_rejected() {
+        let a = prog(vec![
+            MemEvent::Barrier(BarrierId(0)),
+            MemEvent::Barrier(BarrierId(1)),
+        ]);
+        let b = prog(vec![MemEvent::Barrier(BarrierId(1))]);
+        let w = Workload::new("w", vec![a, b]);
+        assert!(matches!(
+            w.validate(),
+            Err(WorkloadError::BarrierMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unmatched_release_rejected() {
+        let l = Addr::new(4096);
+        let a = prog(vec![MemEvent::Release(l)]);
+        let w = Workload::new("w", vec![a]);
+        assert_eq!(
+            w.validate(),
+            Err(WorkloadError::LockMisuse { proc: 0, lock: l })
+        );
+    }
+
+    #[test]
+    fn dangling_acquire_rejected() {
+        let l = Addr::new(4096);
+        let a = prog(vec![MemEvent::Acquire(l)]);
+        let w = Workload::new("w", vec![a]);
+        assert_eq!(
+            w.validate(),
+            Err(WorkloadError::LockMisuse { proc: 0, lock: l })
+        );
+    }
+
+    #[test]
+    fn well_formed_workload_passes() {
+        let l = Addr::new(4096);
+        let mk = || {
+            prog(vec![
+                MemEvent::Acquire(l),
+                MemEvent::Read(Addr::new(0)),
+                MemEvent::Write(Addr::new(0)),
+                MemEvent::Release(l),
+                MemEvent::Barrier(BarrierId(0)),
+            ])
+        };
+        let w = Workload::new("ok", vec![mk(), mk()]);
+        w.validate().unwrap();
+        assert_eq!(w.total_data_refs(), 4);
+        assert_eq!(w.total_events(), 10);
+        assert_eq!(w.name(), "ok");
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = WorkloadError::LockMisuse {
+            proc: 3,
+            lock: Addr::new(64),
+        };
+        assert!(e.to_string().contains("processor 3"));
+    }
+}

@@ -1,0 +1,110 @@
+//! LocusRoute: standard-cell circuit router (bonus workload).
+//!
+//! The ICPP'93 prefetching paper the ISCA'94 paper builds on evaluated six
+//! SPLASH programs; LocusRoute is the sixth, omitted from the ISCA'94
+//! suite. It is included here as a bonus: wires are routed in parallel,
+//! each route evaluation reading candidate paths through a shared *cost
+//! array* and then bumping the cost of the chosen path's cells —
+//! unsynchronized read-modify-writes with strong geographic locality.
+//! Overlapping wire bounding boxes make cost cells migrate between the
+//! processors routing nearby wires, while the per-wire task loop gives
+//! short, bursty sequential scans along rows (partial spatial locality).
+
+use dirext_kernel::Pcg32;
+use dirext_trace::{BarrierId, Layout, ProgramBuilder, Workload, WORD_BYTES};
+
+use crate::Scale;
+
+/// Builds the LocusRoute workload.
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn locusroute(procs: usize, scale: Scale) -> Workload {
+    assert!(procs > 0);
+    let grid_w: u64 = scale.pick(256, 96, 24); // cost-array columns
+    let grid_h: u64 = scale.pick(64, 24, 8); //  cost-array rows
+    let wires: u64 = scale.pick(1200, 240, 40);
+    let max_span: u32 = scale.pick(48, 24, 8);
+
+    let mut layout = Layout::new();
+    // One 4-byte cost word per cell, row-major.
+    let cost = layout.alloc_page_aligned("cost-array", grid_w * grid_h * WORD_BYTES);
+    let queue_lock = layout.alloc_locks("wire-queue-lock", 1);
+    let queue_counter = layout.alloc("wire-counter", 32);
+
+    let cell = |row: u64, colw: u64| cost.at((row * grid_w + colw) * WORD_BYTES);
+
+    let programs = (0..procs)
+        .map(|p| {
+            let mut b = ProgramBuilder::new();
+            let mut rng = Pcg32::with_stream(0x10C5, p as u64);
+            for (idx, _wire) in (p as u64..wires).step_by(procs).enumerate() {
+                // Claim a chunk of wires from the shared queue.
+                if idx % 4 == 0 {
+                    b.critical(queue_lock.base(), |b| {
+                        b.rmw(queue_counter.base());
+                    });
+                }
+                // The wire's bounding box.
+                let span = u64::from(rng.range(4, max_span));
+                let row = u64::from(rng.below((grid_h - 1) as u32));
+                let col0 = u64::from(rng.below((grid_w - span) as u32 - 1));
+                // Evaluate two candidate routes: read the cost along each
+                // (horizontal scan on two adjacent rows).
+                for r in [row, row + 1] {
+                    b.compute(8);
+                    let mut c = col0;
+                    while c < col0 + span {
+                        b.compute(2);
+                        b.read(cell(r, c));
+                        c += 2;
+                    }
+                }
+                // Commit the cheaper route: bump the cost of its cells
+                // (unsynchronized rmw, exactly like the original).
+                let chosen = row + u64::from(rng.below(2));
+                let mut c = col0;
+                while c < col0 + span {
+                    b.compute(3);
+                    b.rmw(cell(chosen, c));
+                    c += 2;
+                }
+            }
+            b.barrier(BarrierId(0));
+            b.build()
+        })
+        .collect();
+    Workload::new("LocusRoute", programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let w = locusroute(4, Scale::Tiny);
+        w.validate().unwrap();
+        assert!(w.total_data_refs() > 100);
+        assert_eq!(w.name(), "LocusRoute");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = locusroute(8, Scale::Tiny);
+        let b = locusroute(8, Scale::Tiny);
+        for p in 0..8 {
+            assert_eq!(a.program(p), b.program(p));
+        }
+    }
+
+    #[test]
+    fn wires_are_balanced() {
+        let w = locusroute(4, Scale::Small);
+        let refs: Vec<usize> = (0..4).map(|p| w.program(p).data_refs()).collect();
+        let max = *refs.iter().max().unwrap() as f64;
+        let min = *refs.iter().min().unwrap() as f64;
+        assert!(min / max > 0.6, "{refs:?}");
+    }
+}

@@ -1,0 +1,195 @@
+//! LU: dense column-oriented LU factorization (200×200 in the paper).
+//!
+//! The matrix is stored column-major with columns assigned round-robin to
+//! processors. Iteration `k`: the owner of column `k` normalizes it (reads
+//! and rewrites the subdiagonal), everyone synchronizes, then every
+//! processor reads the pivot column and updates its own later columns.
+//!
+//! The sharing structure this produces — and that the paper's results rely
+//! on:
+//!
+//! * the pivot column is a producer-consumer block read by all processors
+//!   (one burst of coherence/cold misses per iteration, highly sequential:
+//!   adaptive prefetching's best case);
+//! * column updates are long sequential read-modify-write scans over owned
+//!   data (spatial locality, again prefetch-friendly);
+//! * columns are *not* block-aligned (`n·8` bytes each, contiguous), so
+//!   adjacent columns owned by different processors share boundary blocks:
+//!   LU's classic false sharing, which produces its coherence-miss
+//!   component and which a larger block size would amplify;
+//! * a small global pivot-state record written by the pivot owner and read
+//!   by everyone each iteration (the producer-consumer residue of the ANL
+//!   macro state).
+//!
+//! [`lu_software_prefetch`] is the same computation annotated with
+//! Mowry-&-Gupta-style software prefetch hints (shared-mode ahead of pivot
+//! reads, exclusive-mode ahead of owned-column updates) — the comparison
+//! point the paper's related-work section discusses against its
+//! hardware scheme.
+
+use dirext_trace::{Addr, BarrierId, Layout, ProgramBuilder, Workload, BLOCK_BYTES};
+
+use crate::Scale;
+
+const ELEM: u64 = 8; // double
+
+/// Builds the LU workload.
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn lu(procs: usize, scale: Scale) -> Workload {
+    lu_inner(procs, scale, false)
+}
+
+/// Builds the LU workload with software prefetch annotations (and no
+/// hardware prefetcher assumed — run it under BASIC to compare against
+/// [`lu`] under P).
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn lu_software_prefetch(procs: usize, scale: Scale) -> Workload {
+    lu_inner(procs, scale, true)
+}
+
+fn lu_inner(procs: usize, scale: Scale, software_prefetch: bool) -> Workload {
+    assert!(procs > 0);
+    let n: u64 = scale.pick(112, 40, 12);
+
+    let mut layout = Layout::new();
+    // One contiguous column-major matrix; columns deliberately unaligned.
+    let matrix = layout.alloc_page_aligned("matrix", n * n * ELEM);
+    // Global iteration state (pivot value, column status flags): written by
+    // the pivot owner every iteration and read by everyone — the small
+    // producer-consumer component behind LU's coherence misses.
+    let global = layout.alloc("global-state", 2 * 32);
+    let col = |j: u64, i: u64| matrix.at((j * n + i) * ELEM);
+
+    let owner = |j: u64| (j % procs as u64) as usize;
+
+    // Prefetch a column range block by block (4 doubles per 32-byte block).
+    let prefetch_span = |b: &mut ProgramBuilder, base: Addr, elems: u64, exclusive: bool| {
+        let mut off = 0;
+        while off < elems * ELEM {
+            if exclusive {
+                b.prefetch_exclusive(base.offset(off));
+            } else {
+                b.prefetch(base.offset(off));
+            }
+            off += BLOCK_BYTES;
+        }
+    };
+
+    let programs = (0..procs)
+        .map(|p| {
+            let mut b = ProgramBuilder::new();
+            for k in 0..n - 1 {
+                if owner(k) == p {
+                    // Normalize the pivot column: read the diagonal, then
+                    // read-modify-write every subdiagonal element.
+                    if software_prefetch {
+                        prefetch_span(&mut b, col(k, k + 1), n - k - 1, true);
+                    }
+                    b.compute(8);
+                    b.read(col(k, k));
+                    for i in (k + 1)..n {
+                        b.compute(3);
+                        b.rmw(col(k, i));
+                    }
+                    // Publish the pivot's global state.
+                    b.write(global.at(0));
+                    b.write(global.at(32));
+                }
+                b.barrier(BarrierId(k as u32));
+                // Everyone consults the global state before updating.
+                b.compute(4);
+                b.read(global.at(0));
+                b.read(global.at(32));
+                // Update owned trailing columns with the pivot column.
+                for j in (k + 1)..n {
+                    if owner(j) != p {
+                        continue;
+                    }
+                    if software_prefetch {
+                        // Fetch the pivot span read-shared and the owned
+                        // column read-exclusive, one iteration of work
+                        // ahead of the consuming loop.
+                        prefetch_span(&mut b, col(k, k + 1), n - k - 1, false);
+                        prefetch_span(&mut b, col(j, k + 1), n - k - 1, true);
+                    }
+                    for i in (k + 1)..n {
+                        // a[j][i] -= a[k][i] * a[j][k]; strided by word so
+                        // every second element of the pivot is read (the
+                        // multiplier a[j][k] stays in a register).
+                        if (i - k) % 2 == 1 {
+                            b.compute(2);
+                            b.read(col(k, i));
+                        }
+                        b.compute(2);
+                        b.rmw(col(j, i));
+                    }
+                }
+            }
+            b.barrier(BarrierId(n as u32));
+            b.build()
+        })
+        .collect();
+    Workload::new(if software_prefetch { "LU-swpf" } else { "LU" }, programs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirext_trace::MemEvent;
+
+    #[test]
+    fn structure() {
+        let w = lu(4, Scale::Tiny);
+        w.validate().unwrap();
+        // Every processor passes n barriers (n-1 pivots + final).
+        assert_eq!(w.program(0).barrier_sequence().len(), 12);
+    }
+
+    #[test]
+    fn work_is_balanced_round_robin() {
+        let w = lu(4, Scale::Small);
+        let refs: Vec<usize> = (0..4).map(|p| w.program(p).data_refs()).collect();
+        let max = *refs.iter().max().unwrap() as f64;
+        let min = *refs.iter().min().unwrap() as f64;
+        assert!(
+            min / max > 0.7,
+            "round-robin columns must balance: {refs:?}"
+        );
+    }
+
+    #[test]
+    fn software_prefetch_variant_adds_hints_only() {
+        let plain = lu(4, Scale::Tiny);
+        let swpf = lu_software_prefetch(4, Scale::Tiny);
+        swpf.validate().unwrap();
+        // The data-reference stream is identical; only hints are added.
+        assert_eq!(plain.total_data_refs(), swpf.total_data_refs());
+        let hints: usize = (0..4)
+            .map(|p| {
+                swpf.program(p)
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e, MemEvent::Prefetch { .. }))
+                    .count()
+            })
+            .sum();
+        assert!(hints > 0, "the swpf variant must carry prefetch hints");
+        // Both shared- and exclusive-mode hints appear.
+        let excl = swpf.program(0).events().iter().any(|e| {
+            matches!(
+                e,
+                MemEvent::Prefetch {
+                    exclusive: true,
+                    ..
+                }
+            )
+        });
+        assert!(excl);
+    }
+}

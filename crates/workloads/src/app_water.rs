@@ -1,0 +1,108 @@
+//! Water: N-body molecular dynamics (288 molecules in the paper).
+//!
+//! Each time step computes intra-molecular forces on owned molecules
+//! (private streaming), then inter-molecular forces over the half matrix of
+//! molecule pairs: positions are read-only shared within a step, while
+//! force accumulation into the *other* molecule's record is a
+//! lock-protected read-modify-write — the migratory pattern the paper
+//! observes in Water. The step ends with the owners rewriting their
+//! molecules' positions, invalidating every reader and seeding the next
+//! step's coherence misses.
+
+use dirext_trace::{BarrierId, Layout, ProgramBuilder, Workload, BLOCK_BYTES, WORD_BYTES};
+
+use crate::Scale;
+
+/// Builds the Water workload.
+///
+/// # Panics
+///
+/// Panics if `procs` is zero.
+pub fn water(procs: usize, scale: Scale) -> Workload {
+    assert!(procs > 0);
+    let molecules: u64 = scale.pick(192, 64, 16);
+    let steps: u32 = scale.pick(3, 2, 1);
+
+    let mut layout = Layout::new();
+    // Per molecule: one position block and one force block, plus a lock.
+    let pos = layout.alloc_page_aligned("positions", molecules * BLOCK_BYTES);
+    let force = layout.alloc_page_aligned("forces", molecules * BLOCK_BYTES);
+    let locks = layout.alloc_locks("molecule-locks", molecules);
+
+    let per_proc = molecules.div_ceil(procs as u64);
+    let owned = |p: usize| {
+        let lo = (p as u64 * per_proc).min(molecules);
+        let hi = ((p as u64 + 1) * per_proc).min(molecules);
+        lo..hi
+    };
+
+    let mut bar = 0u32;
+    let mut programs: Vec<_> = (0..procs).map(|_| ProgramBuilder::new()).collect();
+    for _step in 0..steps {
+        for (p, b) in programs.iter_mut().enumerate() {
+            // Intra-molecular work on owned molecules.
+            for i in owned(p) {
+                b.compute(20);
+                b.read_words(pos.at(i * BLOCK_BYTES), 3 * WORD_BYTES);
+                b.write_words(force.at(i * BLOCK_BYTES), 2 * WORD_BYTES);
+            }
+            // Inter-molecular forces: each processor handles the pairs
+            // (i, j) for its own i against the following half of the ring.
+            for i in owned(p) {
+                for d in 1..=(molecules / 2) {
+                    let j = (i + d) % molecules;
+                    b.compute(30);
+                    b.read(pos.at(i * BLOCK_BYTES));
+                    b.read(pos.at(j * BLOCK_BYTES));
+                    // Accumulate into molecule j's record under its lock
+                    // once per owned-i sweep chunk, not per pair, mirroring
+                    // Water's per-molecule partial-sum update.
+                    if d % 16 == 0 {
+                        b.critical(locks.elem(j, BLOCK_BYTES), |b| {
+                            b.rmw(force.at(j * BLOCK_BYTES));
+                            b.rmw(force.at(j * BLOCK_BYTES).offset(WORD_BYTES));
+                        });
+                    }
+                }
+            }
+        }
+        for b in programs.iter_mut() {
+            b.barrier(BarrierId(bar));
+        }
+        bar += 1;
+        // Position update: owners rewrite their molecules.
+        for (p, b) in programs.iter_mut().enumerate() {
+            for i in owned(p) {
+                b.compute(10);
+                b.read(force.at(i * BLOCK_BYTES));
+                b.write_words(pos.at(i * BLOCK_BYTES), 3 * WORD_BYTES);
+            }
+            b.barrier(BarrierId(bar));
+        }
+        bar += 1;
+    }
+    Workload::new(
+        "Water",
+        programs.into_iter().map(|mut b| b.build()).collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let w = water(4, Scale::Tiny);
+        w.validate().unwrap();
+        // 2 barriers per step, 1 step at tiny scale.
+        assert_eq!(w.program(0).barrier_sequence().len(), 2);
+        assert!(w.total_data_refs() > 100);
+    }
+
+    #[test]
+    fn molecules_divide_unevenly_without_panic() {
+        let w = water(5, Scale::Tiny); // 16 molecules over 5 procs
+        w.validate().unwrap();
+    }
+}

@@ -1,0 +1,66 @@
+//! Watching the adaptive sequential prefetcher adapt.
+//!
+//! One processor streams over a long array: the prefetch degree K climbs
+//! to its maximum and nearly every miss disappears. Then the same machine
+//! runs a pointer-chase-like random workload: usefulness collapses and the
+//! prefetcher turns itself off instead of wasting bandwidth.
+//!
+//! ```text
+//! cargo run --release --example adaptive_prefetch
+//! ```
+
+use dirext_sim::core::{Consistency, ProtocolKind};
+use dirext_sim::trace::{Addr, Program, ProgramBuilder, Workload, BLOCK_BYTES};
+use dirext_sim::{Machine, MachineConfig};
+use dirext_workloads::micro;
+
+/// A pseudo-random walk over `blocks` cache blocks (no spatial locality).
+fn random_walk(procs: usize, blocks: u64, steps: u32) -> Workload {
+    let mut programs = vec![Program::new(); procs];
+    let mut b = ProgramBuilder::new().with_pace(2);
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..steps {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        b.read(Addr::new((x % blocks) * BLOCK_BYTES));
+    }
+    programs[0] = b.build();
+    Workload::new("random-walk", programs)
+}
+
+fn run(w: &dirext_sim::trace::Workload) -> dirext_sim::stats::Metrics {
+    Machine::new(MachineConfig::paper_default(
+        ProtocolKind::P.config(Consistency::Rc),
+    ))
+    .run(w)
+    .expect("run")
+}
+
+fn main() {
+    let stream = run(&micro::stream(16, 2048, false));
+    println!(
+        "sequential stream : misses={:4}/{:4} refs, prefetches issued={:4}, useful={:.0}%",
+        stream.slc_misses,
+        stream.shared_reads,
+        stream.prefetches_issued,
+        100.0 * stream.prefetch_efficiency()
+    );
+
+    let walk = run(&random_walk(16, 4096, 2048));
+    println!(
+        "random walk       : misses={:4}/{:4} refs, prefetches issued={:4}, useful={:.0}%",
+        walk.slc_misses,
+        walk.shared_reads,
+        walk.prefetches_issued,
+        100.0 * walk.prefetch_efficiency()
+    );
+
+    println!();
+    println!(
+        "The stream reaches the maximum degree (K=16) and eliminates most cold\n\
+         misses; the random walk drives usefulness below the low mark, K adapts\n\
+         to zero, and prefetch traffic stops — the behaviour the paper inherits\n\
+         from the ICPP'93 adaptive scheme."
+    );
+}

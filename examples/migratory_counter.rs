@@ -1,0 +1,38 @@
+//! The migratory-sharing optimization in action.
+//!
+//! Two processors take turns incrementing a counter inside a critical
+//! section — the paper's canonical migratory pattern ("x := x + 1"). Under
+//! BASIC every turn costs a read miss *and* an ownership request; with M
+//! the home detects the pattern after two turns and grants exclusive
+//! copies, so the write becomes free.
+//!
+//! ```text
+//! cargo run --release --example migratory_counter
+//! ```
+
+use dirext_sim::core::{Consistency, ProtocolKind};
+use dirext_sim::{Machine, MachineConfig};
+use dirext_workloads::micro;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = micro::migratory_pingpong(16, 2, 200);
+
+    for (label, kind) in [("BASIC", ProtocolKind::Basic), ("M", ProtocolKind::M)] {
+        for consistency in [Consistency::Rc, Consistency::Sc] {
+            let m = Machine::new(MachineConfig::paper_default(kind.config(consistency)))
+                .run(&workload)?;
+            println!(
+                "{label:5} {consistency}: exec={:6} pclocks  ownership-reqs={:3}  \
+                 exclusive-grants={:3}  write-stall={:6}",
+                m.exec_cycles, m.ownership_reqs, m.exclusive_grants, m.stalls.write,
+            );
+        }
+    }
+    println!();
+    println!(
+        "Under M the ownership requests vanish (the paper reports 69-96% cuts);\n\
+         under SC that eliminates the write penalty — the source of MP3D's 39%\n\
+         execution-time reduction in the paper's Figure 3."
+    );
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Competitive update on a producer-consumer pattern.
+//!
+//! Processor 0 rewrites a buffer every round; the other fifteen read it
+//! after a barrier. Write-invalidate turns every round into a burst of
+//! coherence misses; competitive update with write caches keeps the
+//! consumers' copies fresh — while the competitive counters still cut off
+//! consumers that stop reading.
+//!
+//! ```text
+//! cargo run --release --example producer_consumer
+//! ```
+
+use dirext_sim::core::{Consistency, ProtocolKind};
+use dirext_sim::{Machine, MachineConfig};
+use dirext_workloads::micro;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A single fixed producer: the canonical pattern CW is built for.
+    let workload = micro::producer_consumer(16, 8, 40);
+    println!("single producer, 15 consumers:");
+    println!("protocol  exec(pclk)  coh-misses  read-stall  net-bytes  upd-fanout");
+    for kind in [ProtocolKind::Basic, ProtocolKind::Cw, ProtocolKind::CwM] {
+        let m = Machine::new(MachineConfig::paper_default(kind.config(Consistency::Rc)))
+            .run(&workload)?;
+        println!(
+            "{:8}  {:10}  {:10}  {:10}  {:9}  {:10}",
+            kind.name(),
+            m.exec_cycles,
+            m.coh_misses,
+            m.stalls.read,
+            m.net_bytes,
+            m.updates_fanned_out
+        );
+    }
+    println!();
+
+    // Two processors taking turns writing: the pattern that makes CW+M
+    // misfire — alternating updaters trigger the migratory interrogation,
+    // which steals exactly the copies CW keeps alive.
+    let turns = micro::migratory_pingpong(16, 2, 100);
+    println!("two alternating writers (migratory):");
+    println!("protocol  exec(pclk)  coh-misses  interrogations  mig-detections");
+    for kind in [ProtocolKind::Cw, ProtocolKind::CwM] {
+        let m =
+            Machine::new(MachineConfig::paper_default(kind.config(Consistency::Rc))).run(&turns)?;
+        println!(
+            "{:8}  {:10}  {:10}  {:14}  {:14}",
+            kind.name(),
+            m.exec_cycles,
+            m.coh_misses,
+            m.interrogations,
+            m.migratory_detections
+        );
+    }
+    println!();
+    println!(
+        "CW eliminates the coherence misses of the producer-consumer pattern\n\
+         ('a write-update protocol completely eliminates them'). On migratory\n\
+         data, CW+M's interrogation reclassifies the block and the gains of CW\n\
+         are wiped out — why the paper calls CW+M not a useful combination."
+    );
+    Ok(())
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the paper at full scale and writes
+# the combined report plus per-figure CSVs into ./reproduction/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=reproduction
+mkdir -p "$out"
+
+cargo build --release -p dirext-cli
+D=target/release/dirext
+
+echo "== report (all artifacts, markdown) =="
+"$D" report --scale paper --out "$out/report.md"
+
+echo "== per-figure CSVs =="
+for t in fig2 table2 fig3 table3 fig4; do
+    "$D" "$t" --scale paper --csv > "$out/$t.csv"
+    echo "  $out/$t.csv"
+done
+
+echo "== extension experiments =="
+"$D" scaling --app mp3d --scale paper > "$out/scaling-mp3d.txt"
+"$D" topology --scale paper > "$out/topology.txt"
+
+echo "== protocol fuzzer =="
+"$D" stress --seeds 100 --procs 16 | tee "$out/stress.txt"
+
+echo "done: see $out/"

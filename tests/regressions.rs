@@ -1,0 +1,174 @@
+//! Deterministic regressions for protocol races originally found by the
+//! property tests / fuzzer. Each test is the minimal workload proptest
+//! shrank to, pinned here so the scenario survives even if the random
+//! generators change.
+
+use dirext_sim::core::config::Consistency;
+use dirext_sim::core::ProtocolKind;
+use dirext_sim::trace::MemEvent::*;
+use dirext_sim::trace::{Addr, BarrierId, Program, Workload};
+use dirext_sim::{Machine, MachineConfig};
+
+fn run_all_cw_protocols(w: &Workload) {
+    for kind in [ProtocolKind::Cw, ProtocolKind::PCw, ProtocolKind::PCwM] {
+        Machine::new(MachineConfig::new(w.procs(), kind.config(Consistency::Rc)))
+            .run(w)
+            .unwrap_or_else(|e| panic!("{kind}: {e}"));
+    }
+}
+
+/// A prefetched block must absorb write-cache words that were written to it
+/// *before* the prefetch reply installed the line (the home excludes the
+/// writer from its own update fan-out, so nothing else delivers them).
+///
+/// Original failure: `blk0x14: owner n2 version 0 != write count 2` — the
+/// writes at 656 lived in the write cache when the prefetch triggered by
+/// the read at 620 installed a stale copy, which then got upgraded to
+/// exclusive by `UpdateDone { exclusive }`.
+#[test]
+fn prefetch_install_merges_pending_write_cache_words() {
+    let a = Addr::new;
+    let p0 = Program::from_events(vec![
+        Acquire(a(1048576)),
+        Read(a(352)),
+        Write(a(352)),
+        Release(a(1048576)),
+        Barrier(BarrierId(0)),
+    ]);
+    let p1 = Program::from_events(vec![Barrier(BarrierId(0))]);
+    let p2 = Program::from_events(vec![
+        Read(a(0)),
+        Read(a(400)),
+        Compute(17),
+        Read(a(0)),
+        Compute(11),
+        Read(a(252)),
+        Barrier(BarrierId(0)),
+        Compute(17),
+        Write(a(656)),
+        Write(a(656)),
+        Read(a(620)),
+    ]);
+    let p3 = Program::from_events(vec![
+        Acquire(a(1048608)),
+        Read(a(96)),
+        Write(a(96)),
+        Release(a(1048608)),
+        Compute(16),
+        Acquire(a(1048608)),
+        Read(a(704)),
+        Write(a(704)),
+        Release(a(1048608)),
+        Write(a(436)),
+        Read(a(108)),
+        Write(a(548)),
+        Acquire(a(1048640)),
+        Read(a(128)),
+        Write(a(128)),
+        Release(a(1048640)),
+        Read(a(216)),
+        Write(a(620)),
+        Write(a(328)),
+        Write(a(692)),
+        Read(a(216)),
+        Read(a(256)),
+        Compute(14),
+        Read(a(36)),
+        Barrier(BarrierId(0)),
+        Write(a(728)),
+        Write(a(584)),
+        Read(a(692)),
+        Write(a(364)),
+        Compute(1),
+        Compute(8),
+        Compute(5),
+        Read(a(328)),
+        Write(a(108)),
+        Write(a(144)),
+        Compute(8),
+        Read(a(292)),
+        Acquire(a(1048640)),
+        Read(a(512)),
+        Write(a(512)),
+        Release(a(1048640)),
+    ]);
+    let w = Workload::new("wc-merge-regression", vec![p0, p1, p2, p3]);
+    run_all_cw_protocols(&w);
+}
+
+/// A *second* write to a block whose read/prefetch is still in flight must
+/// merge into the existing upgrade mark instead of double-counting a
+/// pending write — otherwise releases never fire and the machine deadlocks
+/// with an empty SLWB.
+#[test]
+fn repeated_writes_to_in_flight_block_count_one_pending_write() {
+    let a = Addr::new;
+    // Proc 0 streams reads so the prefetcher is warm, then writes the same
+    // in-flight block twice and releases a lock.
+    let p0 = Program::from_events(vec![
+        Read(a(0)),
+        Read(a(32)),
+        Read(a(64)),
+        Acquire(a(1 << 20)),
+        // Block 4 (128..159) is covered by the prefetches triggered above;
+        // two writes before its reply lands.
+        Write(a(128)),
+        Write(a(132)),
+        Release(a(1 << 20)),
+        Barrier(BarrierId(0)),
+    ]);
+    let p1 = Program::from_events(vec![
+        Acquire(a(1 << 20)),
+        Read(a(128)),
+        Release(a(1 << 20)),
+        Barrier(BarrierId(0)),
+    ]);
+    let w = Workload::new("double-upgrade-regression", vec![p0, p1]);
+    for kind in [ProtocolKind::P, ProtocolKind::PM] {
+        for c in [Consistency::Rc, Consistency::Sc] {
+            Machine::new(MachineConfig::new(2, kind.config(c)))
+                .run(&w)
+                .unwrap_or_else(|e| panic!("{kind} {c:?}: {e}"));
+        }
+    }
+}
+
+/// Barrier arrivals must flush the write cache (release semantics) — a
+/// consumer reading after the barrier must see the producer's buffered
+/// writes or the version audit fails.
+#[test]
+fn barrier_flushes_producer_write_cache() {
+    let a = Addr::new;
+    let p0 = Program::from_events(vec![
+        Write(a(0)),
+        Write(a(4)),
+        Write(a(64)),
+        Barrier(BarrierId(0)),
+    ]);
+    let p1 = Program::from_events(vec![Barrier(BarrierId(0)), Read(a(0)), Read(a(64))]);
+    let w = Workload::new("barrier-flush-regression", vec![p0, p1]);
+    run_all_cw_protocols(&w);
+}
+
+/// An exclusive software prefetch racing the write cache: the ownership
+/// grant must absorb the locally buffered words just like a read fill.
+#[test]
+fn exclusive_prefetch_absorbs_write_cache_words() {
+    let a = Addr::new;
+    let p0 = Program::from_events(vec![
+        // Words buffered in the write cache (no SLC copy)...
+        Write(a(0)),
+        Write(a(4)),
+        // ...then an exclusive-mode software prefetch of the same block
+        // races the flush.
+        Prefetch {
+            addr: a(0),
+            exclusive: true,
+        },
+        Compute(200),
+        Barrier(BarrierId(0)),
+    ]);
+    let p1 = Program::from_events(vec![Barrier(BarrierId(0)), Read(a(0))]);
+    let w = Workload::new("swpf-wc-merge-regression", vec![p0, p1]);
+    run_all_cw_protocols(&w);
+}
