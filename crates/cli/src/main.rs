@@ -11,6 +11,7 @@ use std::process::ExitCode;
 use dirext_core::config::Consistency;
 use dirext_core::ProtocolKind;
 use dirext_sim::experiments::{self, sens};
+use dirext_sim::FaultPlan;
 use dirext_sim::Machine;
 use dirext_sim::MachineConfig;
 use dirext_trace::Workload;
@@ -57,6 +58,20 @@ OPTIONS:
     --out       For `report`: output file (default: stdout)
     --network   For `run`: uniform (default), mesh64, mesh32, mesh16,
                 ring64, ring32, ring16
+
+FAULT INJECTION (for `run` and `stress`):
+    --fault-drop     Probability a message is dropped before link-layer
+                     retransmission, in permille (0-1000)
+    --fault-dup      Probability a message is duplicated, in permille
+    --fault-jitter   Maximum extra delivery delay, in cycles
+    --fault-seed     Fault-schedule RNG seed (default 1); the same seed
+                     reproduces the same schedule byte for byte
+    --fault-retries  Link-layer retransmission budget per message
+                     (default 16; 0 makes every drop a permanent loss)
+    --watchdog       Progress-watchdog window in processor clocks
+                     (default 1000000; 0 disables the watchdog)
+    --audit-every    Check mid-run coherence invariants every N events
+                     (default 0 = only at quiescence)
 ";
 
 #[derive(Debug)]
@@ -74,6 +89,25 @@ struct Args {
     network: dirext_sim::NetworkKind,
     out: Option<String>,
     svg: Option<String>,
+    fault: FaultPlan,
+    watchdog: Option<u64>,
+    audit_every: u64,
+}
+
+impl Args {
+    /// Applies the robustness flags shared by `run` and `stress`.
+    fn harden(&self, mut cfg: MachineConfig) -> MachineConfig {
+        if self.fault.is_active() {
+            cfg = cfg.with_faults(self.fault);
+        }
+        if let Some(w) = self.watchdog {
+            cfg = cfg.with_watchdog(w);
+        }
+        if self.audit_every > 0 {
+            cfg = cfg.with_audit_every(self.audit_every);
+        }
+        cfg
+    }
 }
 
 fn parse_app(s: &str) -> Option<App> {
@@ -107,6 +141,9 @@ fn parse_args() -> Result<Args, String> {
         network: dirext_sim::NetworkKind::Uniform,
         out: None,
         svg: None,
+        fault: FaultPlan::default(),
+        watchdog: None,
+        audit_every: 0,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -156,6 +193,51 @@ fn parse_args() -> Result<Args, String> {
                 parsed.seeds = value("--seeds")?
                     .parse()
                     .map_err(|e| format!("bad --seeds: {e}"))?;
+            }
+            "--fault-drop" => {
+                let v: u32 = value("--fault-drop")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-drop: {e}"))?;
+                if v > 1000 {
+                    return Err(format!("--fault-drop is permille (0-1000), got {v}"));
+                }
+                parsed.fault.drop_permille = v;
+            }
+            "--fault-dup" => {
+                let v: u32 = value("--fault-dup")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-dup: {e}"))?;
+                if v > 1000 {
+                    return Err(format!("--fault-dup is permille (0-1000), got {v}"));
+                }
+                parsed.fault.dup_permille = v;
+            }
+            "--fault-jitter" => {
+                parsed.fault.jitter_cycles = value("--fault-jitter")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-jitter: {e}"))?;
+            }
+            "--fault-seed" => {
+                parsed.fault.seed = value("--fault-seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-seed: {e}"))?;
+            }
+            "--fault-retries" => {
+                parsed.fault.retry_budget = value("--fault-retries")?
+                    .parse()
+                    .map_err(|e| format!("bad --fault-retries: {e}"))?;
+            }
+            "--watchdog" => {
+                parsed.watchdog = Some(
+                    value("--watchdog")?
+                        .parse()
+                        .map_err(|e| format!("bad --watchdog: {e}"))?,
+                );
+            }
+            "--audit-every" => {
+                parsed.audit_every = value("--audit-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --audit-every: {e}"))?;
             }
             "--out" => parsed.out = Some(value("--out")?),
             "--svg" => parsed.svg = Some(value("--svg")?),
@@ -320,7 +402,22 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 procs: args.procs.min(32),
                 ..RandomParams::default()
             };
+            // A failing configuration is recorded and the sweep continues:
+            // one broken protocol/seed pair must not mask failures in the
+            // rest of the matrix.
             let mut runs = 0u64;
+            let mut failures: Vec<String> = Vec::new();
+            fn attempt(
+                failures: &mut Vec<String>,
+                label: String,
+                cfg: MachineConfig,
+                w: &Workload,
+            ) {
+                if let Err(e) = Machine::new(cfg).run(w) {
+                    eprintln!("FAIL {label}: {e}");
+                    failures.push(format!("{label}: {e}"));
+                }
+            }
             for seed in 0..args.seeds {
                 let w = random_workload(seed, params);
                 for kind in ProtocolKind::ALL {
@@ -329,15 +426,14 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                         if !proto.is_feasible() {
                             continue;
                         }
-                        let cfg = MachineConfig::new(params.procs, proto);
-                        if let Err(e) = Machine::new(cfg).run(&w) {
-                            eprintln!("FAIL seed={seed} protocol={kind} {consistency:?}: {e}");
-                            return Err(format!(
-                                "stress failure at seed {seed} under {kind}/{consistency:?}"
-                            )
-                            .into());
-                        }
+                        let cfg = args.harden(MachineConfig::new(params.procs, proto));
                         runs += 1;
+                        attempt(
+                            &mut failures,
+                            format!("seed={seed} {kind} {consistency:?}"),
+                            cfg,
+                            &w,
+                        );
                     }
                 }
                 // Also exercise the contended networks (different delivery
@@ -346,25 +442,33 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                     dirext_sim::NetworkKind::Mesh { link_bits: 16 },
                     dirext_sim::NetworkKind::Ring { link_bits: 16 },
                 ] {
-                    let cfg = MachineConfig::new(
-                        params.procs,
-                        ProtocolKind::PCwM.config(Consistency::Rc),
-                    )
-                    .with_network(net);
-                    if let Err(e) = Machine::new(cfg).run(&w) {
-                        eprintln!("FAIL seed={seed} P+CW+M on {net:?}: {e}");
-                        return Err(format!("stress failure at seed {seed} on {net:?}").into());
-                    }
+                    let cfg = args.harden(
+                        MachineConfig::new(params.procs, ProtocolKind::PCwM.config(Consistency::Rc))
+                            .with_network(net),
+                    );
                     runs += 1;
+                    attempt(&mut failures, format!("seed={seed} P+CW+M {net:?}"), cfg, &w);
                 }
                 if (seed + 1) % 10 == 0 {
                     eprintln!("  {} seeds swept ({runs} coherence-audited runs)", seed + 1);
                 }
             }
-            println!(
-                "stress: {runs} runs across {} seeds — all coherence audits passed",
-                args.seeds
-            );
+            if failures.is_empty() {
+                println!(
+                    "stress: {runs} runs across {} seeds — all coherence audits passed",
+                    args.seeds
+                );
+            } else {
+                for f in &failures {
+                    println!("FAIL {f}");
+                }
+                return Err(format!(
+                    "stress: {} of {runs} runs failed across {} seeds",
+                    failures.len(),
+                    args.seeds
+                )
+                .into());
+            }
         }
         "scaling" => {
             let app = args.app.unwrap_or(App::Mp3d);
@@ -392,7 +496,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 )
                 .into());
             }
-            let cfg = MachineConfig::new(w.procs(), proto).with_network(args.network);
+            let cfg = args.harden(MachineConfig::new(w.procs(), proto).with_network(args.network));
             let m = Machine::new(cfg).run(&w)?;
             if args.json {
                 println!("{}", serde_json::to_string_pretty(&m)?);

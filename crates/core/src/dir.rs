@@ -17,6 +17,7 @@ use std::collections::{HashMap, VecDeque};
 
 use dirext_trace::{BlockAddr, NodeId};
 
+use crate::error::ProtocolError;
 use crate::msg::MsgKind;
 
 /// A message the home node must send in response to an input.
@@ -64,12 +65,6 @@ enum PendingKind {
         /// The update that triggered the interrogation.
         dirty_words: u8,
     },
-    /// The owner re-requested its own block while its writeback is still in
-    /// flight; resume the request once the writeback arrives.
-    AwaitWriteback {
-        /// The deferred request.
-        resume: MsgKind,
-    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +73,11 @@ struct Pending {
     requester: NodeId,
     /// The node a fetch was sent to, if any (for writeback-crossing races).
     target: Option<NodeId>,
-    acks_left: u32,
+    /// Bitmask of nodes whose acknowledgment is still outstanding.
+    /// Tracking acks by node rather than by count makes duplicate
+    /// acknowledgments idempotent: a second ack from the same node finds
+    /// its bit already cleared and is dropped as stale.
+    awaiting: u64,
     /// CW+M: at least one cache voted to keep its copy.
     keep_votes: bool,
 }
@@ -168,6 +167,12 @@ pub struct DirStats {
     pub reads_clean: u64,
     /// Read requests that required a fetch from a dirty third-party cache.
     pub reads_dirty: u64,
+    /// Negative acknowledgments sent (owner re-request racing its own
+    /// in-flight writeback).
+    pub nacks_sent: u64,
+    /// Stale or duplicate messages recognized and dropped (idempotent
+    /// duplicate tolerance under fault injection).
+    pub stale_drops: u64,
 }
 
 /// The directory controller for the blocks homed at one node.
@@ -182,7 +187,9 @@ pub struct DirStats {
 /// let mut dir = DirCtrl::new(16, false, false);
 /// let b = BlockAddr::from_index(1);
 /// // A read miss to a clean block is answered immediately.
-/// let actions = dir.handle(NodeId(3), b, MsgKind::ReadReq { prefetch: false });
+/// let actions = dir
+///     .handle(NodeId(3), b, MsgKind::ReadReq { prefetch: false })
+///     .unwrap();
 /// assert_eq!(actions.len(), 1);
 /// assert_eq!(actions[0].dst, NodeId(3));
 /// assert!(matches!(actions[0].kind, MsgKind::ReadReply { exclusive: false }));
@@ -248,6 +255,13 @@ impl DirCtrl {
             .any(|e| e.pending.is_some() || !e.waiting.is_empty())
     }
 
+    /// Whether `block` has a transient state or queued requests.
+    pub fn pending_op(&self, block: BlockAddr) -> bool {
+        self.entries
+            .get(&block)
+            .is_some_and(|e| e.pending.is_some() || !e.waiting.is_empty())
+    }
+
     /// Directory view of one block for invariant checking:
     /// `(modified_owner, presence_bits, migratory)`. `None` if the block
     /// was never referenced.
@@ -266,8 +280,48 @@ impl DirCtrl {
         self.entries.keys().copied()
     }
 
+    /// Describes the in-flight directory operations (transient states and
+    /// queued requests) for diagnostic snapshots, sorted by block.
+    pub fn pending_ops(&self) -> Vec<(BlockAddr, String)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pending.is_some() || !e.waiting.is_empty())
+            .map(|(b, e)| {
+                let desc = match e.pending {
+                    Some(p) => format!(
+                        "{:?} for {:?} (target {:?}, awaiting {:#x}, {} queued)",
+                        p.kind,
+                        p.requester,
+                        p.target,
+                        p.awaiting,
+                        e.waiting.len()
+                    ),
+                    None => format!("{} queued requests", e.waiting.len()),
+                };
+                (*b, desc)
+            })
+            .collect();
+        v.sort_by_key(|(b, _)| *b);
+        v
+    }
+
     /// Processes one incoming message and returns the outgoing messages.
-    pub fn handle(&mut self, src: NodeId, block: BlockAddr, kind: MsgKind) -> Vec<DirAction> {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProtocolError`] instead of panicking when a message has
+    /// no legal transition in the current state. Recognizable *stale
+    /// duplicates* (replayed acks and replies whose operation already
+    /// completed) are not errors: they are dropped and counted in
+    /// [`DirStats::stale_drops`], which is what makes the controller safe
+    /// under message duplication by the fault-injection layer.
+    pub fn handle(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+    ) -> Result<Vec<DirAction>, ProtocolError> {
         debug_assert!(src.idx() < self.nprocs);
         let mut actions = Vec::new();
         let entry_exists_pending = self.entries.get(&block).map(|e| e.pending).unwrap_or(None);
@@ -283,7 +337,7 @@ impl DirCtrl {
                         e.remove(src);
                     }
                 }
-                return actions;
+                return Ok(actions);
             }
             // A writeback crossing a fetch we sent to the same node serves
             // as the fetch reply.
@@ -296,32 +350,17 @@ impl DirCtrl {
                             kind: MsgKind::WritebackAck,
                         });
                         // The owner replaced the block: it keeps no copy.
-                        self.complete_fetch(src, block, written, false, &mut actions);
-                        self.drain_queue(block, &mut actions);
-                        return actions;
-                    }
-                    if let PendingKind::AwaitWriteback { resume } = p.kind {
-                        if self.owner_of(block) == Some(src) {
-                            self.stats.writebacks += 1;
-                            self.apply_writeback(src, block, written);
-                            actions.push(DirAction {
-                                dst: src,
-                                kind: MsgKind::WritebackAck,
-                            });
-                            let requester = p.requester;
-                            self.entry(block).pending = None;
-                            self.process_request(requester, block, resume, &mut actions);
-                            self.drain_queue(block, &mut actions);
-                            return actions;
-                        }
+                        self.complete_fetch(src, block, None, written, false, &mut actions)?;
+                        self.drain_queue(block, &mut actions)?;
+                        return Ok(actions);
                     }
                     // Unrelated writeback while busy: queue it.
                     self.entry(block).waiting.push_back((src, kind));
-                    return actions;
+                    return Ok(actions);
                 }
-                self.process_request(src, block, kind, &mut actions);
-                self.drain_queue(block, &mut actions);
-                return actions;
+                self.process_request(src, block, kind, &mut actions)?;
+                self.drain_queue(block, &mut actions)?;
+                return Ok(actions);
             }
             _ => {}
         }
@@ -329,14 +368,14 @@ impl DirCtrl {
         if kind.queues_at_home() {
             if entry_exists_pending.is_some() {
                 self.entry(block).waiting.push_back((src, kind));
-                return actions;
+                return Ok(actions);
             }
-            self.process_request(src, block, kind, &mut actions);
+            self.process_request(src, block, kind, &mut actions)?;
         } else {
-            self.process_reply(src, block, kind, &mut actions);
+            self.process_reply(src, block, kind, &mut actions)?;
         }
-        self.drain_queue(block, &mut actions);
-        actions
+        self.drain_queue(block, &mut actions)?;
+        Ok(actions)
     }
 
     fn entry(&mut self, block: BlockAddr) -> &mut DirEntry {
@@ -350,18 +389,22 @@ impl DirCtrl {
         }
     }
 
-    fn drain_queue(&mut self, block: BlockAddr, actions: &mut Vec<DirAction>) {
+    fn drain_queue(
+        &mut self,
+        block: BlockAddr,
+        actions: &mut Vec<DirAction>,
+    ) -> Result<(), ProtocolError> {
         loop {
             let next = {
                 let e = self.entry(block);
                 if e.pending.is_some() {
-                    return;
+                    return Ok(());
                 }
                 e.waiting.pop_front()
             };
             match next {
-                Some((src, kind)) => self.process_request(src, block, kind, actions),
-                None => return,
+                Some((src, kind)) => self.process_request(src, block, kind, actions)?,
+                None => return Ok(()),
             }
         }
     }
@@ -372,30 +415,38 @@ impl DirCtrl {
         block: BlockAddr,
         kind: MsgKind,
         actions: &mut Vec<DirAction>,
-    ) {
+    ) -> Result<(), ProtocolError> {
         match kind {
-            MsgKind::ReadReq { .. } => self.read_req(src, block, kind, actions),
+            MsgKind::ReadReq { .. } => self.read_req(src, block, actions),
             MsgKind::OwnReq { need_data } => self.own_req(src, block, need_data, actions),
             MsgKind::UpdateReq { dirty_words } => self.update_req(src, block, dirty_words, actions),
             MsgKind::WritebackReq { written } => {
-                self.stats.writebacks += 1;
-                self.apply_writeback(src, block, written);
+                if self.owner_of(block) == Some(src) {
+                    self.stats.writebacks += 1;
+                    self.apply_writeback(src, block, written);
+                } else {
+                    // Duplicate writeback: the original already cleared
+                    // ownership. Acknowledge idempotently.
+                    self.stats.stale_drops += 1;
+                }
                 actions.push(DirAction {
                     dst: src,
                     kind: MsgKind::WritebackAck,
                 });
             }
-            _ => unreachable!("not a home request: {kind:?}"),
+            _ => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    src,
+                    block,
+                    kind,
+                    context: "home request",
+                })
+            }
         }
+        Ok(())
     }
 
-    fn read_req(
-        &mut self,
-        src: NodeId,
-        block: BlockAddr,
-        kind: MsgKind,
-        actions: &mut Vec<DirAction>,
-    ) {
+    fn read_req(&mut self, src: NodeId, block: BlockAddr, actions: &mut Vec<DirAction>) {
         self.stats.read_reqs += 1;
         let migratory = self.migratory_enabled && self.entry(block).migratory;
         let state = self.entry(block).state;
@@ -432,13 +483,15 @@ impl DirCtrl {
                 });
             }
             DirState::Modified(owner) if owner == src => {
-                // The owner's writeback is still in flight; wait for it.
-                self.entry(block).pending = Some(Pending {
-                    kind: PendingKind::AwaitWriteback { resume: kind },
-                    requester: src,
-                    target: None,
-                    acks_left: 0,
-                    keep_votes: false,
+                // The owner's writeback is still in flight: NACK so the
+                // cache retries after a backoff, instead of blocking the
+                // entry on a message that injected faults may have delayed
+                // arbitrarily (or lost — then the retry budget, not this
+                // entry, bounds the damage).
+                self.stats.nacks_sent += 1;
+                actions.push(DirAction {
+                    dst: src,
+                    kind: MsgKind::Nack,
                 });
             }
             DirState::Modified(owner) => {
@@ -456,7 +509,7 @@ impl DirCtrl {
                     kind: pkind,
                     requester: src,
                     target: Some(owner),
-                    acks_left: 0,
+                    awaiting: 0,
                     keep_votes: false,
                 });
             }
@@ -513,20 +566,18 @@ impl DirCtrl {
                         kind: PendingKind::Invalidating { with_data },
                         requester: src,
                         target: None,
-                        acks_left: targets.len() as u32,
+                        awaiting: node_mask(&targets),
                         keep_votes: false,
                     });
                 }
             }
             DirState::Modified(owner) if owner == src => {
-                self.entry(block).pending = Some(Pending {
-                    kind: PendingKind::AwaitWriteback {
-                        resume: MsgKind::OwnReq { need_data },
-                    },
-                    requester: src,
-                    target: None,
-                    acks_left: 0,
-                    keep_votes: false,
+                // Owner re-write racing its own in-flight writeback: NACK
+                // and let the cache retry (see `read_req`).
+                self.stats.nacks_sent += 1;
+                actions.push(DirAction {
+                    dst: src,
+                    kind: MsgKind::Nack,
                 });
             }
             DirState::Modified(owner) => {
@@ -538,7 +589,7 @@ impl DirCtrl {
                     kind: PendingKind::FetchOwn,
                     requester: src,
                     target: Some(owner),
-                    acks_left: 0,
+                    awaiting: 0,
                     keep_votes: false,
                 });
             }
@@ -572,7 +623,7 @@ impl DirCtrl {
                     kind: PendingKind::RecallForUpdate { dirty_words },
                     requester: src,
                     target: Some(owner),
-                    acks_left: 0,
+                    awaiting: 0,
                     keep_votes: false,
                 });
             }
@@ -601,7 +652,7 @@ impl DirCtrl {
                         kind: PendingKind::Interrogating { dirty_words },
                         requester: src,
                         target: None,
-                        acks_left: targets.len() as u32,
+                        awaiting: node_mask(&targets),
                         keep_votes: false,
                     });
                 } else {
@@ -638,7 +689,7 @@ impl DirCtrl {
                 kind: PendingKind::Updating,
                 requester: src,
                 target: None,
-                acks_left: targets.len() as u32,
+                awaiting: node_mask(&targets),
                 keep_votes: false,
             });
         }
@@ -661,6 +712,8 @@ impl DirCtrl {
         }
     }
 
+    /// Applies an owner's writeback; callers verify `src` is the owner
+    /// (duplicate writebacks from past owners are filtered upstream).
     fn apply_writeback(&mut self, src: NodeId, block: BlockAddr, written: bool) {
         let revert = self.revert_enabled;
         let e = self.entry(block);
@@ -677,16 +730,34 @@ impl DirCtrl {
 
     /// Completes a Fetch/FetchInval-style pending operation once the data
     /// (fetch reply or crossing writeback) arrives from `from`.
+    ///
+    /// `reply` is the wire message for actual fetch replies (checked
+    /// against the pending kind so a stale duplicate can never complete a
+    /// newer mismatched operation) and `None` for a crossing writeback,
+    /// which legitimately completes any fetch kind. Anything that does not
+    /// line up — no pending op, wrong target, wrong reply kind — is a
+    /// stale duplicate: dropped and counted, never applied.
     fn complete_fetch(
         &mut self,
         from: NodeId,
         block: BlockAddr,
+        reply: Option<MsgKind>,
         written: bool,
         owner_retains: bool,
         actions: &mut Vec<DirAction>,
-    ) {
-        let p = self.entry(block).pending.expect("no pending fetch");
-        debug_assert_eq!(p.target, Some(from));
+    ) -> Result<(), ProtocolError> {
+        let Some(p) = self.entry(block).pending else {
+            self.stats.stale_drops += 1;
+            return Ok(());
+        };
+        let kind_matches = match reply {
+            None => true,
+            Some(r) => reply_matches(r, p.kind),
+        };
+        if p.target != Some(from) || !kind_matches {
+            self.stats.stale_drops += 1;
+            return Ok(());
+        }
         let requester = p.requester;
         match p.kind {
             PendingKind::FetchRead => {
@@ -766,11 +837,34 @@ impl DirCtrl {
                 }
                 self.entry(block).pending = None;
                 self.start_update_fanout(requester, block, dirty_words, actions);
-                return;
+                return Ok(());
             }
-            other => unreachable!("complete_fetch on {other:?}"),
+            // Fan-out pendings never set `target`, so the guard above
+            // already rejected them as stale.
+            PendingKind::Invalidating { .. }
+            | PendingKind::Updating
+            | PendingKind::Interrogating { .. } => {
+                self.stats.stale_drops += 1;
+                return Ok(());
+            }
         }
         self.entry(block).pending = None;
+        Ok(())
+    }
+
+    /// Whether `src` has an outstanding-ack bit for a pending op of the
+    /// kind selected by `pred`. If not, the incoming ack is stale.
+    fn ack_expected(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        pred: fn(PendingKind) -> bool,
+    ) -> bool {
+        let bit = 1u64 << src.idx();
+        matches!(
+            self.entry(block).pending,
+            Some(p) if pred(p.kind) && p.awaiting & bit != 0
+        )
     }
 
     fn process_reply(
@@ -779,22 +873,24 @@ impl DirCtrl {
         block: BlockAddr,
         kind: MsgKind,
         actions: &mut Vec<DirAction>,
-    ) {
+    ) -> Result<(), ProtocolError> {
+        let bit = 1u64 << src.idx();
         match kind {
             MsgKind::InvalAck => {
-                let p = self
-                    .entry(block)
-                    .pending
-                    .expect("InvalAck with no pending op");
-                debug_assert!(matches!(p.kind, PendingKind::Invalidating { .. }));
+                if !self.ack_expected(src, block, |k| {
+                    matches!(k, PendingKind::Invalidating { .. })
+                }) {
+                    self.stats.stale_drops += 1;
+                    return Ok(());
+                }
                 let e = self.entry(block);
                 e.remove(src);
-                let p = e.pending.as_mut().expect("checked above");
-                p.acks_left -= 1;
-                if p.acks_left == 0 {
+                let p = e.pending.as_mut().expect("checked by ack_expected");
+                p.awaiting &= !bit;
+                if p.awaiting == 0 {
                     let (requester, with_data) = match p.kind {
                         PendingKind::Invalidating { with_data } => (p.requester, with_data),
-                        _ => unreachable!(),
+                        _ => unreachable!("checked by ack_expected"),
                     };
                     e.presence = 0;
                     e.add(requester);
@@ -808,23 +904,23 @@ impl DirCtrl {
                 }
             }
             MsgKind::FetchReply { written } => {
-                self.complete_fetch(src, block, written, true, actions);
+                self.complete_fetch(src, block, Some(kind), written, true, actions)?;
             }
             MsgKind::FetchInvalReply { written } => {
-                self.complete_fetch(src, block, written, false, actions);
+                self.complete_fetch(src, block, Some(kind), written, false, actions)?;
             }
             MsgKind::UpdateAck { invalidated } => {
+                if !self.ack_expected(src, block, |k| matches!(k, PendingKind::Updating)) {
+                    self.stats.stale_drops += 1;
+                    return Ok(());
+                }
                 let e = self.entry(block);
-                debug_assert!(matches!(
-                    e.pending.map(|p| p.kind),
-                    Some(PendingKind::Updating)
-                ));
                 if invalidated {
                     e.remove(src);
                 }
-                let p = e.pending.as_mut().expect("UpdateAck with no pending op");
-                p.acks_left -= 1;
-                if p.acks_left == 0 {
+                let p = e.pending.as_mut().expect("checked by ack_expected");
+                p.awaiting &= !bit;
+                if p.awaiting == 0 {
                     let requester = p.requester;
                     e.pending = None;
                     let done = self.finish_update(requester, block);
@@ -835,28 +931,27 @@ impl DirCtrl {
                 }
             }
             MsgKind::InterrogateReply { keep } => {
+                if !self.ack_expected(src, block, |k| {
+                    matches!(k, PendingKind::Interrogating { .. })
+                }) {
+                    self.stats.stale_drops += 1;
+                    return Ok(());
+                }
                 let e = self.entry(block);
-                debug_assert!(matches!(
-                    e.pending.map(|p| p.kind),
-                    Some(PendingKind::Interrogating { .. })
-                ));
                 if !keep {
                     e.remove(src);
                 }
-                let p = e
-                    .pending
-                    .as_mut()
-                    .expect("InterrogateReply with no pending op");
+                let p = e.pending.as_mut().expect("checked by ack_expected");
                 if keep {
                     p.keep_votes = true;
                 }
-                p.acks_left -= 1;
-                if p.acks_left == 0 {
+                p.awaiting &= !bit;
+                if p.awaiting == 0 {
                     let (requester, dirty_words, all_gave_up) = match p.kind {
                         PendingKind::Interrogating { dirty_words } => {
                             (p.requester, dirty_words, !p.keep_votes)
                         }
-                        _ => unreachable!(),
+                        _ => unreachable!("checked by ack_expected"),
                     };
                     e.pending = None;
                     if all_gave_up {
@@ -869,8 +964,36 @@ impl DirCtrl {
                     self.start_update_fanout(requester, block, dirty_words, actions);
                 }
             }
-            other => unreachable!("not a home reply: {other:?}"),
+            other => {
+                return Err(ProtocolError::UnexpectedMessage {
+                    src,
+                    block,
+                    kind: other,
+                    context: "home reply",
+                })
+            }
         }
+        Ok(())
+    }
+}
+
+/// Presence-style bitmask of a target list.
+fn node_mask(targets: &[NodeId]) -> u64 {
+    targets.iter().fold(0u64, |m, n| m | (1u64 << n.idx()))
+}
+
+/// Whether a fetch-style reply kind is the one the pending op is waiting
+/// for (`Fetch` elicits `FetchReply`; `FetchInval` elicits
+/// `FetchInvalReply`).
+fn reply_matches(reply: MsgKind, pending: PendingKind) -> bool {
+    match pending {
+        PendingKind::FetchRead => matches!(reply, MsgKind::FetchReply { .. }),
+        PendingKind::FetchMigRead | PendingKind::FetchOwn | PendingKind::RecallForUpdate { .. } => {
+            matches!(reply, MsgKind::FetchInvalReply { .. })
+        }
+        PendingKind::Invalidating { .. }
+        | PendingKind::Updating
+        | PendingKind::Interrogating { .. } => false,
     }
 }
 
@@ -879,6 +1002,18 @@ mod tests {
     use super::*;
 
     const N: usize = 16;
+
+    /// Test shorthand: `handle` with the error case unwrapped (no test in
+    /// this module drives the controller into a `ProtocolError`).
+    trait HandleOk {
+        fn h(&mut self, src: NodeId, block: BlockAddr, kind: MsgKind) -> Vec<DirAction>;
+    }
+
+    impl HandleOk for DirCtrl {
+        fn h(&mut self, src: NodeId, block: BlockAddr, kind: MsgKind) -> Vec<DirAction> {
+            self.handle(src, block, kind).unwrap()
+        }
+    }
 
     fn b(i: u64) -> BlockAddr {
         BlockAddr::from_index(i)
@@ -896,7 +1031,7 @@ mod tests {
     #[test]
     fn read_clean_block_two_hop() {
         let mut dir = DirCtrl::new(N, false, false);
-        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
         let (owner, presence, mig) = dir.snapshot(b(0)).unwrap();
         assert_eq!(owner, None);
@@ -908,7 +1043,7 @@ mod tests {
     #[test]
     fn write_miss_with_no_sharers_gets_data() {
         let mut dir = DirCtrl::new(N, false, false);
-        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
         assert_single(&a, n(1), MsgKind::OwnAck { with_data: true });
         assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(1)));
     }
@@ -916,8 +1051,8 @@ mod tests {
     #[test]
     fn upgrade_from_shared_without_data() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
         assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
     }
 
@@ -925,18 +1060,18 @@ mod tests {
     fn ownership_invalidates_all_sharers_then_acks() {
         let mut dir = DirCtrl::new(N, false, false);
         for i in [1u8, 2, 3] {
-            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
-        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
         // Invalidations to 2 and 3 only.
         assert_eq!(a.len(), 2);
         assert!(a.iter().all(|x| x.kind == MsgKind::Inval));
         let dsts: Vec<_> = a.iter().map(|x| x.dst).collect();
         assert!(dsts.contains(&n(2)) && dsts.contains(&n(3)));
         // First ack: nothing yet.
-        assert!(dir.handle(n(2), b(0), MsgKind::InvalAck).is_empty());
+        assert!(dir.h(n(2), b(0), MsgKind::InvalAck).is_empty());
         // Second ack completes the ownership transfer.
-        let a = dir.handle(n(3), b(0), MsgKind::InvalAck);
+        let a = dir.h(n(3), b(0), MsgKind::InvalAck);
         assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
         let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
         assert_eq!(owner, Some(n(1)));
@@ -947,10 +1082,10 @@ mod tests {
     #[test]
     fn read_of_dirty_block_is_four_hop_through_home() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
-        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(1), MsgKind::Fetch);
-        let a = dir.handle(n(1), b(0), MsgKind::FetchReply { written: true });
+        let a = dir.h(n(1), b(0), MsgKind::FetchReply { written: true });
         assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
         // Both the old owner and the requester now share the block.
         let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
@@ -962,17 +1097,17 @@ mod tests {
     #[test]
     fn requests_queue_behind_transient_state() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         // Node 1 requests ownership -> invalidation of node 2 pending.
-        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
         assert!(dir.has_pending());
         // Node 3's read must queue.
-        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(3), b(0), MsgKind::ReadReq { prefetch: false });
         assert!(a.is_empty());
         // The ack completes ownership AND services the queued read: the
         // block is now dirty at node 1, so home fetches it.
-        let a = dir.handle(n(2), b(0), MsgKind::InvalAck);
+        let a = dir.h(n(2), b(0), MsgKind::InvalAck);
         assert_eq!(a.len(), 2);
         assert_eq!(
             a[0],
@@ -993,8 +1128,8 @@ mod tests {
     #[test]
     fn writeback_clears_ownership() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
-        let a = dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.h(n(1), b(0), MsgKind::WritebackReq { written: true });
         assert_single(&a, n(1), MsgKind::WritebackAck);
         let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
         assert_eq!(owner, None);
@@ -1004,10 +1139,10 @@ mod tests {
     #[test]
     fn writeback_crossing_fetch_completes_the_read() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         // Node 1's writeback races with the Fetch we just sent it.
-        let a = dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
+        let a = dir.h(n(1), b(0), MsgKind::WritebackReq { written: true });
         assert_eq!(a.len(), 2);
         assert_eq!(
             a[0],
@@ -1028,49 +1163,134 @@ mod tests {
     #[test]
     fn writeback_crossing_fetch_leaves_no_stale_presence_bit() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         // The owner's writeback crosses the Fetch: node 1 gave up its copy,
         // so only the requester may appear in the presence vector.
-        dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
+        dir.h(n(1), b(0), MsgKind::WritebackReq { written: true });
         let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
         assert_eq!(owner, None);
         assert_eq!(presence, 1 << 2, "old owner must not be re-added");
     }
 
     #[test]
-    fn owner_rereading_after_writeback_in_flight() {
+    fn owner_rereading_after_writeback_in_flight_is_nacked() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
         // Owner replaced the block and immediately re-reads; the read
-        // arrives first.
-        let a = dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        assert!(a.is_empty(), "must wait for the in-flight writeback");
-        let a = dir.handle(n(1), b(0), MsgKind::WritebackReq { written: true });
-        assert_eq!(a.len(), 2);
-        assert_eq!(
-            a[0],
-            DirAction {
-                dst: n(1),
-                kind: MsgKind::WritebackAck
-            }
-        );
-        assert_eq!(
-            a[1],
-            DirAction {
-                dst: n(1),
-                kind: MsgKind::ReadReply { exclusive: false }
-            }
-        );
+        // arrives first and is NACKed (the cache retries after backoff).
+        let a = dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::Nack);
+        assert_eq!(dir.stats().nacks_sent, 1);
+        // The writeback lands; the retried read then succeeds normally.
+        let a = dir.h(n(1), b(0), MsgKind::WritebackReq { written: true });
+        assert_single(&a, n(1), MsgKind::WritebackAck);
+        let a = dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::ReadReply { exclusive: false });
+    }
+
+    #[test]
+    fn owner_rewriting_after_writeback_in_flight_is_nacked() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        assert_single(&a, n(1), MsgKind::Nack);
+        dir.h(n(1), b(0), MsgKind::WritebackReq { written: true });
+        let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        assert_single(&a, n(1), MsgKind::OwnAck { with_data: true });
+    }
+
+    // ------------------------------------------- duplicate/stale tolerance
+
+    #[test]
+    fn duplicate_inval_ack_is_dropped() {
+        let mut dir = DirCtrl::new(N, false, false);
+        for i in [1u8, 2, 3] {
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        assert!(dir.h(n(2), b(0), MsgKind::InvalAck).is_empty());
+        // A replay of node 2's ack must not complete the transfer early.
+        assert!(dir.h(n(2), b(0), MsgKind::InvalAck).is_empty());
+        assert_eq!(dir.stats().stale_drops, 1);
+        let a = dir.h(n(3), b(0), MsgKind::InvalAck);
+        assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
+    }
+
+    #[test]
+    fn duplicate_fetch_reply_is_dropped() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(1), b(0), MsgKind::FetchReply { written: true });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+        // The replayed reply finds no pending op: dropped, state intact.
+        let a = dir.h(n(1), b(0), MsgKind::FetchReply { written: true });
+        assert!(a.is_empty());
+        assert_eq!(dir.stats().stale_drops, 1);
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, (1 << 1) | (1 << 2));
+    }
+
+    #[test]
+    fn duplicate_writeback_is_acked_idempotently() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(1), b(0), MsgKind::WritebackReq { written: true });
+        // Node 2 becomes the new owner; then node 1's writeback is replayed.
+        dir.h(n(2), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.h(n(1), b(0), MsgKind::WritebackReq { written: true });
+        assert_single(&a, n(1), MsgKind::WritebackAck);
+        assert_eq!(dir.stats().stale_drops, 1);
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(2)), "owner intact");
+    }
+
+    #[test]
+    fn mismatched_fetch_reply_kind_is_dropped() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        // Pending is FetchRead (a plain Fetch went out); a stray
+        // FetchInvalReply must not complete it with invalidate semantics.
+        let a = dir.h(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        assert!(a.is_empty());
+        assert_eq!(dir.stats().stale_drops, 1);
+        let a = dir.h(n(1), b(0), MsgKind::FetchReply { written: true });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+    }
+
+    #[test]
+    fn unexpected_message_is_a_structured_error() {
+        let mut dir = DirCtrl::new(N, false, false);
+        let err = dir
+            .handle(n(1), b(0), MsgKind::ReadReply { exclusive: false })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ProtocolError::UnexpectedMessage { src, .. } if src == n(1)
+        ));
+        assert!(err.to_string().contains("ReadReply"));
+    }
+
+    #[test]
+    fn pending_ops_reports_transient_blocks() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let ops = dir.pending_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].0, b(0));
+        assert!(ops[0].1.contains("FetchRead"));
     }
 
     #[test]
     fn shared_repl_hint_clears_presence_and_prevents_inval() {
         let mut dir = DirCtrl::new(N, false, false);
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(2), b(0), MsgKind::SharedReplHint);
-        let a = dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(2), b(0), MsgKind::SharedReplHint);
+        let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
         // No sharers besides node 1 remain: immediate ack, no invalidation.
         assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
         assert_eq!(dir.stats().invals_sent, 0);
@@ -1081,7 +1301,7 @@ mod tests {
     /// Drives the canonical migratory pattern: node i read-misses then
     /// requests ownership, in turn.
     fn migratory_turn(dir: &mut DirCtrl, i: NodeId, block: BlockAddr) -> Vec<DirAction> {
-        let mut all = dir.handle(i, block, MsgKind::ReadReq { prefetch: false });
+        let mut all = dir.h(i, block, MsgKind::ReadReq { prefetch: false });
         // Resolve any fetch the home sent.
         let fetches: Vec<_> = all
             .iter()
@@ -1094,17 +1314,17 @@ mod tests {
                 MsgKind::FetchInval => MsgKind::FetchInvalReply { written: true },
                 _ => unreachable!(),
             };
-            all.extend(dir.handle(f.dst, block, reply));
+            all.extend(dir.h(f.dst, block, reply));
         }
         // If the reply was shared, the node writes: ownership request.
         if all
             .iter()
             .any(|a| a.kind == MsgKind::ReadReply { exclusive: false })
         {
-            let own = dir.handle(i, block, MsgKind::OwnReq { need_data: false });
+            let own = dir.h(i, block, MsgKind::OwnReq { need_data: false });
             for a in &own {
                 if a.kind == MsgKind::Inval {
-                    all.extend(dir.handle(a.dst, block, MsgKind::InvalAck));
+                    all.extend(dir.h(a.dst, block, MsgKind::InvalAck));
                 }
             }
             all.extend(own);
@@ -1121,9 +1341,9 @@ mod tests {
         assert!(dir.snapshot(b(0)).unwrap().2, "block must be migratory now");
         assert_eq!(dir.stats().migratory_detections, 1);
         // Third turn: node 2's read gets an exclusive copy directly.
-        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(1), MsgKind::FetchInval);
-        let a = dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        let a = dir.h(n(1), b(0), MsgKind::FetchInvalReply { written: true });
         assert_single(&a, n(2), MsgKind::ReadReply { exclusive: true });
         // ...and node 2's subsequent write needs NO ownership request:
         // that's the optimization. (The cache layer verifies silent
@@ -1138,12 +1358,12 @@ mod tests {
         migratory_turn(&mut dir, n(1), b(0));
         assert!(dir.snapshot(b(0)).unwrap().2);
         // Node 2 reads (exclusive grant), never writes; node 3 then reads.
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
-        let a = dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(1), b(0), MsgKind::FetchInvalReply { written: true });
         assert_single(&a, n(2), MsgKind::ReadReply { exclusive: true });
-        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(3), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(2), MsgKind::FetchInval);
-        let a = dir.handle(n(2), b(0), MsgKind::FetchInvalReply { written: false });
+        let a = dir.h(n(2), b(0), MsgKind::FetchInvalReply { written: false });
         assert_single(&a, n(3), MsgKind::ReadReply { exclusive: false });
         assert!(!dir.snapshot(b(0)).unwrap().2, "migratory bit must revert");
         assert_eq!(dir.stats().migratory_reverts, 1);
@@ -1158,10 +1378,10 @@ mod tests {
         assert!(dir.snapshot(b(0)).unwrap().2);
         // Node 2 reads (exclusive), never writes; node 3 reads: with
         // reversion off the home hands out another exclusive copy anyway.
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
-        dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
-        let a = dir.handle(n(2), b(0), MsgKind::FetchInvalReply { written: false });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        dir.h(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(2), b(0), MsgKind::FetchInvalReply { written: false });
         assert_single(&a, n(3), MsgKind::ReadReply { exclusive: true });
         assert!(dir.snapshot(b(0)).unwrap().2, "migratory bit must persist");
         assert_eq!(dir.stats().migratory_reverts, 0);
@@ -1172,10 +1392,10 @@ mod tests {
         let mut dir = DirCtrl::new(N, true, false);
         migratory_turn(&mut dir, n(0), b(0));
         migratory_turn(&mut dir, n(1), b(0));
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(1), b(0), MsgKind::FetchInvalReply { written: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::FetchInvalReply { written: true });
         // Node 2 replaces the unwritten exclusive copy.
-        let a = dir.handle(n(2), b(0), MsgKind::WritebackReq { written: false });
+        let a = dir.h(n(2), b(0), MsgKind::WritebackReq { written: false });
         assert_single(&a, n(2), MsgKind::WritebackAck);
         assert!(!dir.snapshot(b(0)).unwrap().2);
     }
@@ -1184,7 +1404,7 @@ mod tests {
     fn read_only_sharing_never_detected_as_migratory() {
         let mut dir = DirCtrl::new(N, true, false);
         for i in 0..8u8 {
-            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
         assert!(!dir.snapshot(b(0)).unwrap().2);
         assert_eq!(dir.stats().migratory_detections, 0);
@@ -1196,9 +1416,9 @@ mod tests {
         // Nodes 0, 1, 2 all read; node 1 then writes. Presence count is 3,
         // not 2, so this is not the migratory pattern.
         for i in 0..3u8 {
-            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
-        dir.handle(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
         assert!(!dir.snapshot(b(0)).unwrap().2);
     }
 
@@ -1208,13 +1428,13 @@ mod tests {
     fn exclusive_clean_grants_when_no_copies_exist() {
         let mut dir = DirCtrl::new(N, false, false);
         dir.set_exclusive_clean(true);
-        let a = dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(1), MsgKind::ReadReply { exclusive: true });
         assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(1)));
         // A second reader forces a fetch-downgrade back to sharing.
-        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(1), MsgKind::Fetch);
-        let a = dir.handle(n(1), b(0), MsgKind::FetchReply { written: false });
+        let a = dir.h(n(1), b(0), MsgKind::FetchReply { written: false });
         assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
         let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
         assert_eq!(owner, None);
@@ -1225,16 +1445,16 @@ mod tests {
     fn exclusive_clean_not_granted_with_existing_sharers() {
         let mut dir = DirCtrl::new(N, false, false);
         dir.set_exclusive_clean(true);
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(1), b(0), MsgKind::WritebackReq { written: false });
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::WritebackReq { written: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
         // Node 2 reads while node 1 holds a copy: shared grant... first
         // recall node 1's exclusive copy.
-        let a = dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(1), MsgKind::Fetch);
-        dir.handle(n(1), b(0), MsgKind::FetchReply { written: false });
+        dir.h(n(1), b(0), MsgKind::FetchReply { written: false });
         // Node 3 now reads a block with two sharers: plain shared grant.
-        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(3), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(3), MsgKind::ReadReply { exclusive: false });
     }
 
@@ -1244,20 +1464,20 @@ mod tests {
     fn update_with_no_other_copies_completes_immediately() {
         let mut dir = DirCtrl::new(N, false, true);
         // The writer holds no copy either: no exclusivity grant.
-        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
+        let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
         assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
     }
 
     #[test]
     fn sole_sharer_update_degenerates_to_ownership() {
         let mut dir = DirCtrl::new(N, false, true);
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
         assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: true });
         assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(1)));
         // Further writes are silent; a later update from a stale write
         // cache entry is simply dropped.
-        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b10 });
+        let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b10 });
         assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
     }
 
@@ -1265,18 +1485,18 @@ mod tests {
     fn update_fans_out_to_sharers_and_clears_invalidated_copies() {
         let mut dir = DirCtrl::new(N, false, true);
         for i in [1u8, 2, 3] {
-            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
-        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b11 });
+        let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b11 });
         assert_eq!(a.len(), 2);
         assert!(a
             .iter()
             .all(|x| x.kind == MsgKind::Update { dirty_words: 0b11 }));
         // Node 2 keeps its copy; node 3's competitive counter expired.
         assert!(dir
-            .handle(n(2), b(0), MsgKind::UpdateAck { invalidated: false })
+            .h(n(2), b(0), MsgKind::UpdateAck { invalidated: false })
             .is_empty());
-        let a = dir.handle(n(3), b(0), MsgKind::UpdateAck { invalidated: true });
+        let a = dir.h(n(3), b(0), MsgKind::UpdateAck { invalidated: true });
         assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
         let (_, presence, _) = dir.snapshot(b(0)).unwrap();
         assert_eq!(presence, (1 << 1) | (1 << 2));
@@ -1287,12 +1507,12 @@ mod tests {
     fn updates_keep_memory_clean_so_reads_are_two_hop() {
         let mut dir = DirCtrl::new(N, false, true);
         // Two sharers, so the writer keeps the block in update mode.
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(2), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
-        dir.handle(n(2), b(0), MsgKind::UpdateAck { invalidated: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b1 });
+        dir.h(n(2), b(0), MsgKind::UpdateAck { invalidated: false });
         // A later read finds the block clean at home: two-hop service.
-        let a = dir.handle(n(3), b(0), MsgKind::ReadReq { prefetch: false });
+        let a = dir.h(n(3), b(0), MsgKind::ReadReq { prefetch: false });
         assert_single(&a, n(3), MsgKind::ReadReply { exclusive: false });
         assert_eq!(dir.stats().reads_dirty, 0);
     }
@@ -1302,20 +1522,20 @@ mod tests {
     #[test]
     fn cwm_interrogation_detects_migratory_when_all_give_up() {
         let mut dir = DirCtrl::new(N, true, true);
-        dir.handle(n(0), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(0), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
         // Node 0 updates first (becomes last_updater).
-        let a = dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        let a = dir.h(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
         assert_single(&a, n(1), MsgKind::Update { dirty_words: 1 });
-        dir.handle(n(1), b(0), MsgKind::UpdateAck { invalidated: false });
+        dir.h(n(1), b(0), MsgKind::UpdateAck { invalidated: false });
         // Node 1 updates next: different updater, two copies -> interrogate.
-        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
         assert_eq!(a.len(), 2);
         assert!(a.iter().all(|x| x.kind == MsgKind::Interrogate));
         assert_eq!(dir.stats().interrogations, 1);
         // Both caches gave up (idle since last update).
-        dir.handle(n(0), b(0), MsgKind::InterrogateReply { keep: false });
-        let a = dir.handle(n(1), b(0), MsgKind::InterrogateReply { keep: false });
+        dir.h(n(0), b(0), MsgKind::InterrogateReply { keep: false });
+        let a = dir.h(n(1), b(0), MsgKind::InterrogateReply { keep: false });
         // All gave up: migratory; the pending update completes with no
         // remaining copies to update.
         assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
@@ -1327,17 +1547,17 @@ mod tests {
     fn cwm_keep_vote_vetoes_migratory() {
         let mut dir = DirCtrl::new(N, true, true);
         for i in [0u8, 1, 2] {
-            dir.handle(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
-        dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
-        dir.handle(n(1), b(0), MsgKind::UpdateAck { invalidated: false });
-        dir.handle(n(2), b(0), MsgKind::UpdateAck { invalidated: false });
-        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.h(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.h(n(1), b(0), MsgKind::UpdateAck { invalidated: false });
+        dir.h(n(2), b(0), MsgKind::UpdateAck { invalidated: false });
+        let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
         assert_eq!(a.len(), 3, "interrogate all three copies");
-        dir.handle(n(0), b(0), MsgKind::InterrogateReply { keep: false });
-        dir.handle(n(1), b(0), MsgKind::InterrogateReply { keep: false });
+        dir.h(n(0), b(0), MsgKind::InterrogateReply { keep: false });
+        dir.h(n(1), b(0), MsgKind::InterrogateReply { keep: false });
         // Node 2 is actively reading: it keeps its copy.
-        let a = dir.handle(n(2), b(0), MsgKind::InterrogateReply { keep: true });
+        let a = dir.h(n(2), b(0), MsgKind::InterrogateReply { keep: true });
         assert!(!dir.snapshot(b(0)).unwrap().2, "keep vote vetoes migratory");
         // The update is still delivered to the keeper.
         assert!(a
@@ -1349,20 +1569,20 @@ mod tests {
     fn cwm_update_to_migratory_modified_block_recalls_owner() {
         let mut dir = DirCtrl::new(N, true, true);
         // Make the block migratory and owned by node 0 via an exclusive read.
-        dir.handle(n(0), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(1), b(0), MsgKind::ReadReq { prefetch: false });
-        dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
-        dir.handle(n(1), b(0), MsgKind::UpdateAck { invalidated: true });
-        dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.h(n(0), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(1), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.h(n(1), b(0), MsgKind::UpdateAck { invalidated: true });
+        dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
         // (single copy now: no interrogation, immediate done)
         // Force migratory via detection path: read by 2 then 3 with writes.
         // Simpler: mark by interrogation is already covered; here exercise
         // the recall path by making the block Modified first.
         let mut dir = DirCtrl::new(N, true, true);
-        dir.handle(n(0), b(0), MsgKind::OwnReq { need_data: true }); // modified at 0
-        let a = dir.handle(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.h(n(0), b(0), MsgKind::OwnReq { need_data: true }); // modified at 0
+        let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 1 });
         assert_single(&a, n(0), MsgKind::FetchInval);
-        let a = dir.handle(n(0), b(0), MsgKind::FetchInvalReply { written: true });
+        let a = dir.h(n(0), b(0), MsgKind::FetchInvalReply { written: true });
         assert_single(&a, n(1), MsgKind::UpdateDone { exclusive: false });
         let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
         assert_eq!(owner, None);
@@ -1372,8 +1592,8 @@ mod tests {
     #[test]
     fn stale_update_from_current_owner_is_dropped() {
         let mut dir = DirCtrl::new(N, true, true);
-        dir.handle(n(0), b(0), MsgKind::OwnReq { need_data: true });
-        let a = dir.handle(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
+        dir.h(n(0), b(0), MsgKind::OwnReq { need_data: true });
+        let a = dir.h(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
         assert_single(&a, n(0), MsgKind::UpdateDone { exclusive: false });
         assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(0)));
     }
@@ -1387,10 +1607,10 @@ mod tests {
     #[test]
     fn large_machines_use_high_presence_bits() {
         let mut dir = DirCtrl::new(64, false, false);
-        dir.handle(n(63), b(0), MsgKind::ReadReq { prefetch: false });
+        dir.h(n(63), b(0), MsgKind::ReadReq { prefetch: false });
         let (_, presence, _) = dir.snapshot(b(0)).unwrap();
         assert_eq!(presence, 1u64 << 63);
-        let a = dir.handle(n(63), b(0), MsgKind::OwnReq { need_data: false });
+        let a = dir.h(n(63), b(0), MsgKind::OwnReq { need_data: false });
         assert_single(&a, n(63), MsgKind::OwnAck { with_data: false });
         assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(63)));
     }

@@ -1,0 +1,68 @@
+//! Structured protocol errors.
+//!
+//! The protocol controllers never panic on malformed message sequences;
+//! they either recognize a message as a *stale duplicate* (dropped and
+//! counted) or return a [`ProtocolError`] describing exactly which
+//! transition was impossible. The simulator threads these through its own
+//! error type so a corrupted run fails with a diagnosable report instead
+//! of an opaque abort.
+
+use std::fmt;
+
+use dirext_trace::{BlockAddr, NodeId};
+
+use crate::msg::MsgKind;
+
+/// A protocol-level failure: a message sequence with no legal transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// A message arrived at a controller that has no transition for it in
+    /// the current state (and it is not a recognizable duplicate).
+    UnexpectedMessage {
+        /// The node the message came from.
+        src: NodeId,
+        /// The block the message is about.
+        block: BlockAddr,
+        /// The offending message kind.
+        kind: MsgKind,
+        /// Which controller/path rejected it.
+        context: &'static str,
+    },
+    /// A NACKed request was retried past its backoff budget without ever
+    /// being serviced — the home-side condition it was waiting for (usually
+    /// an in-flight writeback) never materialized.
+    RetryBudgetExhausted {
+        /// The requesting node.
+        node: NodeId,
+        /// The block the request was for.
+        block: BlockAddr,
+        /// Retries performed before giving up.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::UnexpectedMessage {
+                src,
+                block,
+                kind,
+                context,
+            } => write!(
+                f,
+                "unexpected {kind:?} from {src:?} for {block:?} ({context})"
+            ),
+            ProtocolError::RetryBudgetExhausted {
+                node,
+                block,
+                attempts,
+            } => write!(
+                f,
+                "{node:?} exhausted its retry budget for {block:?} after {attempts} NACKed attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

@@ -33,6 +33,7 @@ pub mod competitive;
 pub mod config;
 pub mod cost;
 pub mod dir;
+pub mod error;
 pub mod line;
 pub mod msg;
 pub mod prefetch;
@@ -40,6 +41,7 @@ pub mod sync;
 
 pub use config::{CompetitiveConfig, Consistency, PrefetchConfig, ProtocolConfig, ProtocolKind};
 pub use dir::{DirAction, DirCtrl, DirStats};
+pub use error::ProtocolError;
 pub use line::{CacheState, Line};
 pub use msg::{Msg, MsgKind};
 pub use prefetch::Prefetcher;

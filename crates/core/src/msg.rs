@@ -65,6 +65,11 @@ pub enum MsgKind {
     },
     /// Acknowledgment of a writeback.
     WritebackAck,
+    /// Negative acknowledgment: the home cannot service the request in its
+    /// current state (the requester is still the registered owner because
+    /// its writeback is in flight). The requester retries after an
+    /// exponential backoff.
+    Nack,
 
     // ------------------------------------------------- home -> third party
     /// Invalidate your copy.
@@ -250,6 +255,14 @@ mod tests {
         );
         assert_eq!(MsgKind::AcqReq.class(), TrafficClass::Sync);
         assert_eq!(MsgKind::BarRelease { id: 3 }.class(), TrafficClass::Sync);
+    }
+
+    #[test]
+    fn nack_is_a_small_control_message() {
+        assert_eq!(MsgKind::Nack.bytes(), HEADER_BYTES);
+        assert_eq!(MsgKind::Nack.class(), TrafficClass::Control);
+        assert!(!MsgKind::Nack.carries_block());
+        assert!(!MsgKind::Nack.queues_at_home());
     }
 
     #[test]

@@ -13,6 +13,15 @@ use dirext_trace::{BlockAddr, NodeId};
 
 /// The queue-based lock controller for the lock variables homed at one node.
 ///
+/// Every acquire/release carries the requester's monotone *acquire
+/// sequence number* (the machine layer threads it through the sync
+/// messages' version field). Sequencing is what makes the controller safe
+/// under message duplication without breaking a legitimate protocol race:
+/// under RC a node's *next* acquire can reach the home before its own
+/// gated release does, so an acquire from the current holder must queue —
+/// but a *replayed* acquire (same sequence) must not, or the node ends up
+/// queued behind itself and the grant hand-off wedges.
+///
 /// # Example
 ///
 /// ```
@@ -21,10 +30,10 @@ use dirext_trace::{BlockAddr, NodeId};
 ///
 /// let mut locks = LockCtrl::new();
 /// let l = BlockAddr::from_index(100);
-/// assert!(locks.acquire(NodeId(0), l));        // free: granted at once
-/// assert!(!locks.acquire(NodeId(1), l));       // held: queued
-/// assert_eq!(locks.release(NodeId(0), l), Some(NodeId(1)));
-/// assert_eq!(locks.release(NodeId(1), l), None);
+/// assert!(locks.acquire(NodeId(0), l, 1));        // free: granted at once
+/// assert!(!locks.acquire(NodeId(1), l, 1));       // held: queued
+/// assert_eq!(locks.release(NodeId(0), l, 1), Some((NodeId(1), 1)));
+/// assert_eq!(locks.release(NodeId(1), l, 1), None);
 /// ```
 #[derive(Debug, Default)]
 pub struct LockCtrl {
@@ -33,12 +42,17 @@ pub struct LockCtrl {
     max_queue: usize,
     /// Total acquires serviced.
     acquires: u64,
+    /// Duplicate acquires/releases recognized and ignored.
+    stale_ops: u64,
 }
 
 #[derive(Debug, Default)]
 struct LockState {
-    holder: Option<NodeId>,
-    queue: VecDeque<NodeId>,
+    /// Current holder and the sequence number of its granted acquire.
+    holder: Option<(NodeId, u64)>,
+    queue: VecDeque<(NodeId, u64)>,
+    /// Highest acquire sequence processed per node (duplicate filter).
+    seen: HashMap<NodeId, u64>,
 }
 
 impl LockCtrl {
@@ -47,31 +61,45 @@ impl LockCtrl {
         Self::default()
     }
 
-    /// Processes an acquire request from `node`. Returns `true` if the lock
-    /// was free and is granted immediately; otherwise the node is queued.
-    pub fn acquire(&mut self, node: NodeId, lock: BlockAddr) -> bool {
-        self.acquires += 1;
+    /// Processes acquire number `seq` from `node`. Returns `true` if the
+    /// lock was free and is granted immediately; otherwise the node is
+    /// queued (the grant is sent on a later release).
+    ///
+    /// A replayed acquire — `seq` not above the highest already processed
+    /// for this node — is ignored and counted, so duplicated messages can
+    /// neither double-queue a node nor queue it behind itself.
+    pub fn acquire(&mut self, node: NodeId, lock: BlockAddr, seq: u64) -> bool {
         let st = self.locks.entry(lock).or_default();
+        let last = st.seen.entry(node).or_insert(0);
+        if seq <= *last {
+            self.stale_ops += 1;
+            return false;
+        }
+        *last = seq;
+        self.acquires += 1;
         if st.holder.is_none() {
-            st.holder = Some(node);
+            st.holder = Some((node, seq));
             true
         } else {
-            st.queue.push_back(node);
+            st.queue.push_back((node, seq));
             self.max_queue = self.max_queue.max(st.queue.len());
             false
         }
     }
 
-    /// Processes a release from `node`. Returns the next waiter to grant
-    /// the lock to, if any.
+    /// Processes the release of acquire number `seq` by `node`. Returns the
+    /// next waiter (and its acquire sequence) to grant the lock to, if any.
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if `node` does not hold the lock (the
-    /// workload validator rejects such programs up front).
-    pub fn release(&mut self, node: NodeId, lock: BlockAddr) -> Option<NodeId> {
+    /// A release that does not match the current holder *and* its granted
+    /// sequence is a replayed message (the original already handed the lock
+    /// onward — possibly back to the same node under a newer sequence): it
+    /// is ignored and counted, never applied to the current holder.
+    pub fn release(&mut self, node: NodeId, lock: BlockAddr, seq: u64) -> Option<(NodeId, u64)> {
         let st = self.locks.entry(lock).or_default();
-        debug_assert_eq!(st.holder, Some(node), "release by non-holder");
+        if st.holder != Some((node, seq)) {
+            self.stale_ops += 1;
+            return None;
+        }
         st.holder = st.queue.pop_front();
         st.holder
     }
@@ -83,6 +111,18 @@ impl LockCtrl {
             .any(|s| s.holder.is_some() || !s.queue.is_empty())
     }
 
+    /// The locks currently held: `(lock, holder, queue length)` — the raw
+    /// material of the watchdog's diagnostic snapshot.
+    pub fn held(&self) -> Vec<(BlockAddr, NodeId, usize)> {
+        let mut v: Vec<_> = self
+            .locks
+            .iter()
+            .filter_map(|(l, s)| s.holder.map(|(h, _)| (*l, h, s.queue.len())))
+            .collect();
+        v.sort_by_key(|(l, _, _)| *l);
+        v
+    }
+
     /// Longest waiter queue observed.
     pub fn max_queue(&self) -> usize {
         self.max_queue
@@ -92,17 +132,29 @@ impl LockCtrl {
     pub fn acquires(&self) -> u64 {
         self.acquires
     }
+
+    /// Duplicate acquires/releases ignored.
+    pub fn stale_ops(&self) -> u64 {
+        self.stale_ops
+    }
 }
 
 /// The barrier controller at one node (barrier episodes are homed by id).
 ///
-/// Arrivals are counted; when the last of `participants` arrives, the home
+/// Arrivals are tracked per node in a bitmask, so a replayed arrival
+/// message is recognized and ignored instead of releasing the barrier
+/// early. When the last of `participants` distinct nodes arrives, the home
 /// broadcasts the release (the machine layer sends the messages).
 #[derive(Debug)]
 pub struct BarrierCtrl {
     participants: u32,
-    arrived: HashMap<u32, u32>,
+    arrived: HashMap<u32, u64>,
+    /// Episode ids already released. An id names one episode (ids are not
+    /// reused), so an arrival for a completed id is a replayed message and
+    /// must not re-open the episode with a phantom partial mask.
+    done: std::collections::HashSet<u32>,
     episodes: u64,
+    stale_ops: u64,
 }
 
 impl BarrierCtrl {
@@ -110,27 +162,37 @@ impl BarrierCtrl {
     ///
     /// # Panics
     ///
-    /// Panics if `participants` is zero.
+    /// Panics if `participants` is zero or exceeds the 64-node bitmask.
     pub fn new(participants: u32) -> Self {
         assert!(participants > 0, "a barrier needs participants");
+        assert!(participants <= 64, "arrival mask holds at most 64 nodes");
         BarrierCtrl {
             participants,
             arrived: HashMap::new(),
+            done: std::collections::HashSet::new(),
             episodes: 0,
+            stale_ops: 0,
         }
     }
 
-    /// Records an arrival at barrier `id`. Returns `true` when this arrival
-    /// was the last one (the caller must broadcast the release).
-    pub fn arrive(&mut self, id: u32) -> bool {
-        let count = self.arrived.entry(id).or_insert(0);
-        *count += 1;
-        debug_assert!(
-            *count <= self.participants,
-            "more arrivals than participants"
-        );
-        if *count == self.participants {
+    /// Records `node`'s arrival at barrier `id`. Returns `true` when this
+    /// arrival was the last one (the caller must broadcast the release).
+    /// A duplicate arrival from a node already recorded is ignored.
+    pub fn arrive(&mut self, node: NodeId, id: u32) -> bool {
+        if self.done.contains(&id) {
+            self.stale_ops += 1;
+            return false;
+        }
+        let mask = self.arrived.entry(id).or_insert(0);
+        let bit = 1u64 << node.0;
+        if *mask & bit != 0 {
+            self.stale_ops += 1;
+            return false;
+        }
+        *mask |= bit;
+        if mask.count_ones() == self.participants {
             self.arrived.remove(&id);
+            self.done.insert(id);
             self.episodes += 1;
             true
         } else {
@@ -143,9 +205,22 @@ impl BarrierCtrl {
         !self.arrived.is_empty()
     }
 
+    /// Barriers with partial arrivals: `(id, arrival bitmask)` — the raw
+    /// material of the watchdog's diagnostic snapshot.
+    pub fn waiting(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<_> = self.arrived.iter().map(|(id, m)| (*id, *m)).collect();
+        v.sort_by_key(|(id, _)| *id);
+        v
+    }
+
     /// Completed barrier episodes.
     pub fn episodes(&self) -> u64 {
         self.episodes
+    }
+
+    /// Duplicate arrivals ignored.
+    pub fn stale_ops(&self) -> u64 {
+        self.stale_ops
     }
 }
 
@@ -164,12 +239,12 @@ mod tests {
     #[test]
     fn lock_hand_off_order_is_fifo() {
         let mut locks = LockCtrl::new();
-        assert!(locks.acquire(n(0), l(1)));
-        assert!(!locks.acquire(n(1), l(1)));
-        assert!(!locks.acquire(n(2), l(1)));
-        assert_eq!(locks.release(n(0), l(1)), Some(n(1)));
-        assert_eq!(locks.release(n(1), l(1)), Some(n(2)));
-        assert_eq!(locks.release(n(2), l(1)), None);
+        assert!(locks.acquire(n(0), l(1), 1));
+        assert!(!locks.acquire(n(1), l(1), 1));
+        assert!(!locks.acquire(n(2), l(1), 1));
+        assert_eq!(locks.release(n(0), l(1), 1), Some((n(1), 1)));
+        assert_eq!(locks.release(n(1), l(1), 1), Some((n(2), 1)));
+        assert_eq!(locks.release(n(2), l(1), 1), None);
         assert!(!locks.any_held());
         assert_eq!(locks.max_queue(), 2);
         assert_eq!(locks.acquires(), 3);
@@ -178,20 +253,21 @@ mod tests {
     #[test]
     fn independent_locks_do_not_interfere() {
         let mut locks = LockCtrl::new();
-        assert!(locks.acquire(n(0), l(1)));
-        assert!(locks.acquire(n(1), l(2)));
-        assert_eq!(locks.release(n(0), l(1)), None);
+        assert!(locks.acquire(n(0), l(1), 1));
+        assert!(locks.acquire(n(1), l(2), 1));
+        assert_eq!(locks.release(n(0), l(1), 1), None);
         assert!(locks.any_held());
     }
 
     #[test]
     fn barrier_releases_on_last_arrival() {
         let mut bar = BarrierCtrl::new(4);
-        assert!(!bar.arrive(0));
-        assert!(!bar.arrive(0));
-        assert!(!bar.arrive(0));
+        assert!(!bar.arrive(n(0), 0));
+        assert!(!bar.arrive(n(1), 0));
+        assert!(!bar.arrive(n(2), 0));
         assert!(bar.any_waiting());
-        assert!(bar.arrive(0));
+        assert_eq!(bar.waiting(), vec![(0, 0b111)]);
+        assert!(bar.arrive(n(3), 0));
         assert!(!bar.any_waiting());
         assert_eq!(bar.episodes(), 1);
     }
@@ -199,19 +275,70 @@ mod tests {
     #[test]
     fn barrier_episodes_are_independent() {
         let mut bar = BarrierCtrl::new(2);
-        assert!(!bar.arrive(0));
-        assert!(!bar.arrive(1)); // a different episode
-        assert!(bar.arrive(0));
-        assert!(bar.arrive(1));
+        assert!(!bar.arrive(n(0), 0));
+        assert!(!bar.arrive(n(0), 1)); // a different episode
+        assert!(bar.arrive(n(1), 0));
+        assert!(bar.arrive(n(1), 1));
         assert_eq!(bar.episodes(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "release by non-holder")]
-    #[cfg(debug_assertions)]
-    fn release_by_non_holder_panics() {
+    fn duplicate_barrier_arrival_is_ignored() {
+        let mut bar = BarrierCtrl::new(2);
+        assert!(!bar.arrive(n(0), 0));
+        // A replayed copy of node 0's arrival must not release the barrier.
+        assert!(!bar.arrive(n(0), 0));
+        assert_eq!(bar.stale_ops(), 1);
+        assert!(bar.arrive(n(1), 0));
+        assert_eq!(bar.episodes(), 1);
+        // A replayed arrival after the release must not re-open the episode.
+        assert!(!bar.arrive(n(1), 0));
+        assert!(!bar.any_waiting());
+        assert_eq!(bar.stale_ops(), 2);
+        assert_eq!(bar.episodes(), 1);
+    }
+
+    #[test]
+    fn release_by_non_holder_is_ignored() {
         let mut locks = LockCtrl::new();
-        locks.acquire(n(0), l(1));
-        let _ = locks.release(n(1), l(1));
+        assert!(locks.acquire(n(0), l(1), 1));
+        assert_eq!(locks.release(n(1), l(1), 1), None);
+        assert_eq!(locks.stale_ops(), 1);
+        // Node 0 still holds the lock.
+        assert_eq!(locks.held(), vec![(l(1), n(0), 0)]);
+        assert_eq!(locks.release(n(0), l(1), 1), None);
+        assert!(!locks.any_held());
+    }
+
+    #[test]
+    fn duplicate_acquire_is_ignored() {
+        let mut locks = LockCtrl::new();
+        assert!(locks.acquire(n(0), l(1), 1));
+        // Replayed copy of the granted acquire: no self-queueing.
+        assert!(!locks.acquire(n(0), l(1), 1));
+        assert!(!locks.acquire(n(1), l(1), 7));
+        // Replayed acquire from a queued waiter: not queued twice.
+        assert!(!locks.acquire(n(1), l(1), 7));
+        assert_eq!(locks.stale_ops(), 2);
+        assert_eq!(locks.acquires(), 2);
+        assert_eq!(locks.release(n(0), l(1), 1), Some((n(1), 7)));
+        assert_eq!(locks.release(n(1), l(1), 7), None);
+        assert!(!locks.any_held());
+    }
+
+    #[test]
+    fn holder_reacquire_with_new_sequence_queues_behind_itself() {
+        // Under RC a node's next acquire can overtake its own in-flight
+        // release; the home must queue it, not mistake it for a replay.
+        let mut locks = LockCtrl::new();
+        assert!(locks.acquire(n(0), l(1), 1));
+        assert!(!locks.acquire(n(0), l(1), 2));
+        // A replayed release of the *first* grant hands the lock onward...
+        assert_eq!(locks.release(n(0), l(1), 1), Some((n(0), 2)));
+        // ...and a second copy of that release no longer matches.
+        assert_eq!(locks.release(n(0), l(1), 1), None);
+        assert_eq!(locks.stale_ops(), 1);
+        assert_eq!(locks.release(n(0), l(1), 2), None);
+        assert!(!locks.any_held());
     }
 }

@@ -9,7 +9,9 @@ use dirext_stats::{InvalReason, StallKind};
 use dirext_trace::{Addr, BlockAddr, MemEvent, NodeId};
 
 use crate::machine::{Ev, Machine};
-use crate::node::{FlwbEntry, ProcState, SlwbEntry, SlwbOp, SyncOut};
+use crate::machine::SimError;
+use crate::node::{FlwbEntry, ProcState, SlwbEntry, SlwbOp, SyncOut, SyncWait};
+use dirext_core::ProtocolError;
 
 impl Machine {
     fn sc(&self) -> bool {
@@ -152,6 +154,9 @@ impl Machine {
                     since: now,
                 };
                 let block = a.block();
+                let seq = self.nodes[i].next_lock_seq;
+                self.nodes[i].next_lock_seq += 1;
+                self.nodes[i].waiting_grant = Some(SyncWait::Lock(block, seq));
                 let home = self.home_of(block);
                 self.send_msg(
                     now,
@@ -160,7 +165,7 @@ impl Machine {
                         dst: home,
                         block,
                         kind: MsgKind::AcqReq,
-                        version: 0,
+                        version: seq,
                     },
                 );
             }
@@ -174,6 +179,8 @@ impl Machine {
                         since: now,
                     };
                     let block = a.block();
+                    let seq = self.nodes[i].held_locks.remove(&block).unwrap_or(0);
+                    self.nodes[i].waiting_grant = Some(SyncWait::ReleaseAck(block, seq));
                     let home = self.home_of(block);
                     self.send_msg(
                         now,
@@ -182,7 +189,7 @@ impl Machine {
                             dst: home,
                             block,
                             kind: MsgKind::RelReq,
-                            version: 0,
+                            version: seq,
                         },
                     );
                 } else {
@@ -209,6 +216,7 @@ impl Machine {
                     kind: StallKind::Acquire,
                     since: now,
                 };
+                self.nodes[i].waiting_grant = Some(SyncWait::Barrier(id.0));
                 if self.sc() {
                     // Under SC all writes are already globally performed.
                     let home = self.barrier_home(id.0);
@@ -232,6 +240,7 @@ impl Machine {
                         .is_err()
                     {
                         n.pc -= 1;
+                        n.waiting_grant = None;
                         n.pstate = ProcState::Stalled {
                             kind: StallKind::Buffer,
                             since: now,
@@ -333,6 +342,7 @@ impl Machine {
             match sync {
                 SyncOut::Release(a) => {
                     let block = a.block();
+                    let seq = self.nodes[i].held_locks.remove(&block).unwrap_or(0);
                     let home = self.home_of(block);
                     self.send_msg(
                         t,
@@ -341,7 +351,7 @@ impl Machine {
                             dst: home,
                             block,
                             kind: MsgKind::RelReq,
-                            version: 0,
+                            version: seq,
                         },
                     );
                 }
@@ -981,9 +991,15 @@ impl Machine {
 
         match msg.kind {
             MsgKind::ReadReply { exclusive } => {
-                let entry = self.nodes[i]
-                    .slwb_take(block, |op| matches!(op, SlwbOp::Read { .. }))
-                    .expect("ReadReply without pending read");
+                // No pending read: a duplicated reply whose original already
+                // completed the entry. Drop it.
+                let Some(entry) =
+                    self.nodes[i].slwb_take(block, |op| matches!(op, SlwbOp::Read { .. }))
+                else {
+                    self.stale_drops += 1;
+                    return;
+                };
+                self.retry_attempts.remove(&(nid, block));
                 let SlwbOp::Read {
                     prefetch,
                     demand_waiting,
@@ -1075,9 +1091,13 @@ impl Machine {
                 self.after_slwb_free(nid, done);
             }
             MsgKind::OwnAck { with_data } => {
-                let entry = self.nodes[i]
-                    .slwb_take(block, |op| matches!(op, SlwbOp::Own { .. }))
-                    .expect("OwnAck without pending ownership request");
+                let Some(entry) =
+                    self.nodes[i].slwb_take(block, |op| matches!(op, SlwbOp::Own { .. }))
+                else {
+                    self.stale_drops += 1;
+                    return;
+                };
+                self.retry_attempts.remove(&(nid, block));
                 let SlwbOp::Own {
                     write_version,
                     sc_wait,
@@ -1127,10 +1147,12 @@ impl Machine {
                 self.after_slwb_free(nid, done);
             }
             MsgKind::UpdateDone { exclusive } => {
-                let entry = self.nodes[i]
-                    .slwb_take(block, |op| matches!(op, SlwbOp::Update { .. }))
-                    .expect("UpdateDone without pending update");
-                let _ = entry;
+                let Some(_entry) =
+                    self.nodes[i].slwb_take(block, |op| matches!(op, SlwbOp::Update { .. }))
+                else {
+                    self.stale_drops += 1;
+                    return;
+                };
                 if exclusive {
                     match self.nodes[i].slc.get_mut(block) {
                         Some(line) => {
@@ -1152,9 +1174,13 @@ impl Machine {
                 self.after_slwb_free(nid, now);
             }
             MsgKind::WritebackAck => {
-                let _ = self.nodes[i]
+                if self.nodes[i]
                     .slwb_take(block, |op| matches!(op, SlwbOp::Writeback))
-                    .expect("WritebackAck without pending writeback");
+                    .is_none()
+                {
+                    self.stale_drops += 1;
+                    return;
+                }
                 self.after_slwb_free(nid, now);
             }
             MsgKind::Inval => {
@@ -1182,13 +1208,19 @@ impl Machine {
                 let reply = {
                     let n = &mut self.nodes[i];
                     match n.slc.get_mut(block) {
-                        Some(line) => {
-                            // DIRTY, or an exclusive-clean (E) copy under
-                            // the MESI extension; either way downgrade.
-                            debug_assert!(line.state.exclusive(), "Fetch of non-exclusive line");
+                        // DIRTY, or an exclusive-clean (E) copy under the
+                        // MESI extension; either way downgrade.
+                        Some(line) if line.state.exclusive() => {
                             let written = line.state == CacheState::Dirty;
                             line.state = CacheState::Shared;
                             Some((written, line.version))
+                        }
+                        // A non-exclusive copy means this Fetch is a
+                        // duplicate whose original already downgraded us —
+                        // the home is no longer waiting for a reply.
+                        Some(_) => {
+                            self.stale_drops += 1;
+                            None
                         }
                         // Crossed with our own writeback: home completes
                         // via the writeback.
@@ -1211,8 +1243,16 @@ impl Machine {
             MsgKind::FetchInval => {
                 let start = self.nodes[i].slc_res.acquire(now, slc_access);
                 let done = start + slc_access;
-                if let Some(line) = self.nodes[i].slc.remove(block) {
-                    debug_assert!(line.state.exclusive(), "FetchInval of non-exclusive line");
+                // Only an exclusive copy answers: a Shared copy here means
+                // this FetchInval is a duplicate and the node re-acquired
+                // the block after the original invalidated it — taking the
+                // copy again would corrupt both cache and directory state.
+                let exclusive = self.nodes[i]
+                    .slc
+                    .get(block)
+                    .is_some_and(|l| l.state.exclusive());
+                if exclusive {
+                    let line = self.nodes[i].slc.remove(block).expect("checked present");
                     self.nodes[i].flc.invalidate(block);
                     self.classifier
                         .note_invalidation(nid, block, InvalReason::Coherence);
@@ -1227,15 +1267,29 @@ impl Machine {
                             version: line.version,
                         },
                     );
+                } else if self.nodes[i].slc.contains(block) {
+                    self.stale_drops += 1;
                 }
             }
             MsgKind::Update { .. } => {
                 let start = self.nodes[i].slc_res.acquire(now, slc_access);
                 let done = start + slc_access;
-                let countdown = self.nodes[i].slc.get_mut(block).map(|line| {
-                    debug_assert_eq!(line.state, CacheState::Shared);
-                    line.apply_update(msg.version)
-                });
+                // An exclusive copy cannot be an update target: the fan-out
+                // targeted a Shared copy, so this is a duplicate that
+                // arrived after we gained ownership. The home already
+                // collected the original's ack; stay silent.
+                if self.nodes[i]
+                    .slc
+                    .get(block)
+                    .is_some_and(|l| l.state.exclusive())
+                {
+                    self.stale_drops += 1;
+                    return;
+                }
+                let countdown = self.nodes[i]
+                    .slc
+                    .get_mut(block)
+                    .map(|line| line.apply_update(msg.version));
                 let invalidated = match countdown {
                     Some(true) => {
                         self.nodes[i].slc.remove(block);
@@ -1268,6 +1322,17 @@ impl Machine {
             MsgKind::Interrogate => {
                 let start = self.nodes[i].slc_res.acquire(now, slc_access);
                 let done = start + slc_access;
+                // Interrogations target Shared copies; an exclusive copy
+                // means a duplicate arrived after the migratory transfer
+                // already went through. The home is not waiting for us.
+                if self.nodes[i]
+                    .slc
+                    .get(block)
+                    .is_some_and(|l| l.state.exclusive())
+                {
+                    self.stale_drops += 1;
+                    return;
+                }
                 let verdict = self.nodes[i].slc.get(block).map(|l| l.interrogate_keeps());
                 let keep = match verdict {
                     Some(true) => true,
@@ -1291,13 +1356,92 @@ impl Machine {
                     },
                 );
             }
-            MsgKind::AcqGrant | MsgKind::BarRelease { .. } => {
-                self.resume(nid, now);
+            MsgKind::AcqGrant => {
+                // The grant echoes the acquire sequence it answers; a
+                // duplicated grant from an earlier episode cannot match.
+                if self.nodes[i].waiting_grant == Some(SyncWait::Lock(block, msg.version)) {
+                    self.nodes[i].waiting_grant = None;
+                    self.nodes[i].held_locks.insert(block, msg.version);
+                    self.resume(nid, now);
+                } else {
+                    self.stale_drops += 1;
+                }
+            }
+            MsgKind::BarRelease { id } => {
+                if self.nodes[i].waiting_grant == Some(SyncWait::Barrier(id)) {
+                    self.nodes[i].waiting_grant = None;
+                    self.resume(nid, now);
+                } else {
+                    self.stale_drops += 1;
+                }
             }
             MsgKind::RelAck => {
-                self.resume(nid, now);
+                if self.nodes[i].waiting_grant == Some(SyncWait::ReleaseAck(block, msg.version)) {
+                    self.nodes[i].waiting_grant = None;
+                    self.resume(nid, now);
+                } else {
+                    self.stale_drops += 1;
+                }
             }
+            MsgKind::Nack => self.nack_retry(nid, block, now),
             other => unreachable!("not a cache-bound message: {other:?}"),
         }
+    }
+
+    /// Handles a NACK from the home: the request raced this node's own
+    /// in-flight writeback. Re-send the original request (reconstructed
+    /// from its SLWB entry) after a bounded exponential backoff; when the
+    /// retry budget is exhausted, fail the run with a structured error.
+    fn nack_retry(&mut self, nid: NodeId, block: BlockAddr, now: Time) {
+        let i = nid.idx();
+        let pending = self.nodes[i]
+            .slwb
+            .iter()
+            .find_map(|e| match e.op {
+                SlwbOp::Read { prefetch, .. } if e.block == block => {
+                    Some(MsgKind::ReadReq { prefetch })
+                }
+                SlwbOp::Own { need_data, .. } if e.block == block => {
+                    Some(MsgKind::OwnReq { need_data })
+                }
+                _ => None,
+            });
+        // No matching request: a duplicated NACK whose original already
+        // triggered the retry that has since completed.
+        let Some(kind) = pending else {
+            self.stale_drops += 1;
+            return;
+        };
+        // A retry is already scheduled: this NACK is a duplicate of the
+        // one that scheduled it. Forking a second chain would multiply
+        // requests (and NACKs) without bound.
+        if !self.retry_inflight.insert((nid, block)) {
+            self.stale_drops += 1;
+            return;
+        }
+        let attempts = self.retry_attempts.entry((nid, block)).or_insert(0);
+        *attempts += 1;
+        let attempts = *attempts;
+        if attempts > self.cfg.nack_retry_budget {
+            self.fatal = Some(SimError::Protocol(ProtocolError::RetryBudgetExhausted {
+                node: nid,
+                block,
+                attempts: attempts - 1,
+            }));
+            return;
+        }
+        self.nack_retries += 1;
+        let backoff = self.cfg.nack_retry_base << (attempts - 1).min(10);
+        let home = self.home_of(block);
+        self.queue.push(
+            now + Time::from_cycles(backoff),
+            Ev::Retry(Msg {
+                src: nid,
+                dst: home,
+                block,
+                kind,
+                version: 0,
+            }),
+        );
     }
 }

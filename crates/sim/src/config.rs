@@ -3,7 +3,7 @@
 use dirext_core::config::{Consistency, ProtocolConfig};
 use dirext_kernel::Time;
 use dirext_memsys::Timing;
-use dirext_network::{MeshNetwork, Network, RingNetwork, UniformNetwork};
+use dirext_network::{FaultPlan, MeshNetwork, Network, RingNetwork, UniformNetwork};
 
 /// Which interconnection network to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +69,23 @@ pub struct MachineConfig {
     /// Safety valve: abort the run after this many simulation events
     /// (guards against protocol deadlocks during development).
     pub max_events: u64,
+    /// Fault-injection plan applied on top of the network (`None` or an
+    /// inactive plan leaves the topology untouched).
+    pub fault_plan: Option<FaultPlan>,
+    /// Progress watchdog: abort with a diagnostic snapshot when no
+    /// processor makes progress for this many pclocks (0 disables). Must
+    /// exceed the longest legitimate quiet period of the workload (e.g. a
+    /// single long `Compute` burst).
+    pub watchdog_pclocks: u64,
+    /// Sampled mid-run invariant audit: check structural invariants every
+    /// this many simulation events (0 disables).
+    pub audit_every: u64,
+    /// How many times a NACKed request is retried before the run aborts
+    /// with a structured error.
+    pub nack_retry_budget: u32,
+    /// Base backoff in pclocks for the first NACK retry (doubles per
+    /// attempt, capped).
+    pub nack_retry_base: u64,
 }
 
 impl MachineConfig {
@@ -99,6 +116,11 @@ impl MachineConfig {
             network: NetworkKind::Uniform,
             check_invariants: true,
             max_events: 2_000_000_000,
+            fault_plan: None,
+            watchdog_pclocks: 1_000_000,
+            audit_every: 0,
+            nack_retry_budget: 16,
+            nack_retry_base: 64,
         }
     }
 
@@ -110,6 +132,32 @@ impl MachineConfig {
     /// Replaces the network model.
     pub fn with_network(mut self, network: NetworkKind) -> Self {
         self.network = network;
+        self
+    }
+
+    /// Wraps the network in a fault-injection layer driven by `plan`.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the progress-watchdog timeout in pclocks (0 disables).
+    pub fn with_watchdog(mut self, pclocks: u64) -> Self {
+        self.watchdog_pclocks = pclocks;
+        self
+    }
+
+    /// Enables the sampled mid-run invariant audit every `events` events
+    /// (0 disables).
+    pub fn with_audit_every(mut self, events: u64) -> Self {
+        self.audit_every = events;
+        self
+    }
+
+    /// Sets the NACK retry budget and base backoff.
+    pub fn with_nack_retry(mut self, budget: u32, base_pclocks: u64) -> Self {
+        self.nack_retry_budget = budget;
+        self.nack_retry_base = base_pclocks;
         self
     }
 

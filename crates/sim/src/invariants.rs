@@ -21,6 +21,77 @@ use dirext_trace::NodeId;
 
 use crate::machine::Machine;
 
+/// Structural invariants that hold at *every* event boundary, not only at
+/// quiescence — the sampled mid-run audit. Messages in flight mean cache
+/// copies and directory state legitimately disagree mid-run, so the audit
+/// restricts itself to properties no in-flight message can excuse:
+///
+/// * a directory entry in MODIFIED (with no pending operation) has exactly
+///   its owner's presence bit;
+/// * a node has at most one outstanding read and one outstanding ownership
+///   request per block (the SLWB merges, never duplicates);
+/// * a node's `pending_writes` release gate equals its outstanding
+///   ownership/update/upgrade requests (a leak here wedges every later
+///   release).
+pub(crate) fn check_midrun(m: &Machine) -> Result<(), String> {
+    for h in &m.homes {
+        for block in h.dir.blocks() {
+            if h.dir.pending_op(block) {
+                continue;
+            }
+            let Some((owner, presence, _)) = h.dir.snapshot(block) else {
+                return Err(format!("{block}: listed without a snapshot"));
+            };
+            if let Some(o) = owner {
+                if presence != 1u64 << o.idx() {
+                    return Err(format!(
+                        "{block}: MODIFIED at {o} but presence {presence:#b}"
+                    ));
+                }
+            }
+        }
+    }
+    for n in &m.nodes {
+        let mut reads = std::collections::HashMap::new();
+        let mut owns = std::collections::HashMap::new();
+        let mut gated: u64 = 0;
+        for e in &n.slwb {
+            match e.op {
+                crate::node::SlwbOp::Read {
+                    upgrade_version, ..
+                } => {
+                    *reads.entry(e.block).or_insert(0u32) += 1;
+                    if upgrade_version.is_some() {
+                        gated += 1;
+                    }
+                }
+                crate::node::SlwbOp::Own { .. } => {
+                    *owns.entry(e.block).or_insert(0u32) += 1;
+                    gated += 1;
+                }
+                crate::node::SlwbOp::Update { .. } => gated += 1,
+                crate::node::SlwbOp::Writeback => {}
+            }
+        }
+        if let Some((b, c)) = reads.iter().find(|(_, c)| **c > 1) {
+            return Err(format!("{}: {c} outstanding reads for {b}", n.id));
+        }
+        if let Some((b, c)) = owns.iter().find(|(_, c)| **c > 1) {
+            return Err(format!(
+                "{}: {c} outstanding ownership requests for {b}",
+                n.id
+            ));
+        }
+        if n.pending_writes != gated {
+            return Err(format!(
+                "{}: pending_writes {} but {} gating SLWB entries",
+                n.id, n.pending_writes, gated
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Checks all invariants, returning a diagnostic for the first violation.
 pub(crate) fn check(m: &Machine) -> Result<(), String> {
     // 1. Drained state.
@@ -46,6 +117,12 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
         if !n.sync_waiting.is_empty() {
             return Err(format!("{}: deferred synchronization still waiting", n.id));
         }
+        if !n.held_locks.is_empty() {
+            return Err(format!(
+                "{}: locks still held at quiescence: {:?}",
+                n.id, n.held_locks
+            ));
+        }
         // Inclusion: every FLC-resident block has a valid SLC line.
         for block in n.flc.resident() {
             if !n.slc.contains(block) {
@@ -68,7 +145,12 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
     // 2-4. Per-block coherence.
     for h in &m.homes {
         for block in h.dir.blocks() {
-            let (owner, presence, _migratory) = h.dir.snapshot(block).expect("listed block");
+            let Some((owner, presence, _migratory)) = h.dir.snapshot(block) else {
+                return Err(format!(
+                    "{block}: listed by the directory but has no snapshot \
+                     (entry table and block list disagree)"
+                ));
+            };
             let truth = m.wcount.get(&block).copied().unwrap_or(0);
             match owner {
                 Some(o) => {

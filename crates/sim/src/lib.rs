@@ -51,6 +51,7 @@ mod node;
 mod tests;
 
 pub use config::{MachineConfig, NetworkKind};
+pub use dirext_network::{FaultPlan, FaultStats};
 pub use machine::{Machine, SimError};
 
 // Re-export the layers a downstream user needs to drive the simulator, so

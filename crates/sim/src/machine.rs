@@ -2,11 +2,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::fmt::Write as _;
 
 use dirext_core::config::Consistency;
 use dirext_core::msg::{Msg, MsgKind};
+use dirext_core::ProtocolError;
 use dirext_kernel::{EventQueue, Time};
-use dirext_network::{Network, TrafficClass};
+use dirext_network::{FaultyNetwork, Network, TrafficClass};
 use dirext_stats::{Metrics, MissClassifier};
 use dirext_trace::{BlockAddr, NodeId, Workload, WorkloadError};
 
@@ -29,6 +31,17 @@ pub enum SimError {
     EventBudgetExceeded,
     /// A coherence invariant failed at quiescence (simulator bug).
     CoherenceViolation(String),
+    /// A protocol controller rejected a message sequence with a structured
+    /// error (see [`ProtocolError`]).
+    Protocol(ProtocolError),
+    /// The progress watchdog fired: no processor retired an event for the
+    /// configured window while the machine was still live.
+    Watchdog {
+        /// Diagnostic snapshot of the stuck machine: per-node state,
+        /// held locks, partial barriers, in-flight directory operations,
+        /// event-queue depth and fault counters.
+        detail: String,
+    },
     /// The workload's processor count does not match the machine's.
     ProcMismatch {
         /// Processors in the machine.
@@ -45,6 +58,8 @@ impl fmt::Display for SimError {
             SimError::Deadlock { detail } => write!(f, "simulation deadlocked: {detail}"),
             SimError::EventBudgetExceeded => write!(f, "event budget exceeded"),
             SimError::CoherenceViolation(d) => write!(f, "coherence violation: {d}"),
+            SimError::Protocol(e) => write!(f, "protocol error: {e}"),
+            SimError::Watchdog { detail } => write!(f, "watchdog fired: {detail}"),
             SimError::ProcMismatch { machine, workload } => {
                 write!(
                     f,
@@ -63,6 +78,12 @@ impl From<WorkloadError> for SimError {
     }
 }
 
+impl From<ProtocolError> for SimError {
+    fn from(e: ProtocolError) -> Self {
+        SimError::Protocol(e)
+    }
+}
+
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Ev {
@@ -72,6 +93,10 @@ pub(crate) enum Ev {
     FlwbHead(NodeId),
     /// A protocol message arrives at its destination node.
     Deliver(Msg),
+    /// Re-send a NACKed request after its backoff expired.
+    Retry(Msg),
+    /// Periodic progress-watchdog check.
+    Watchdog,
 }
 
 /// Whether a message kind is processed by the home (directory/memory) side
@@ -117,12 +142,31 @@ pub struct Machine {
     events: u64,
     /// `DIREXT_TRACE` event logging, read once at construction.
     trace_events: bool,
+    /// A fatal error raised inside an event handler; checked by the run
+    /// loop after every event (handlers cannot return `Result` because
+    /// they are re-entered through the event queue).
+    pub(crate) fatal: Option<SimError>,
+    /// Stale duplicated messages recognized and dropped on the cache side.
+    pub(crate) stale_drops: u64,
+    /// NACKed requests re-sent after backoff.
+    pub(crate) nack_retries: u64,
+    /// Consecutive NACKs per outstanding `(requester, block)` request;
+    /// cleared when the request completes.
+    pub(crate) retry_attempts: HashMap<(NodeId, BlockAddr), u32>,
+    /// Requests with a scheduled-but-unsent retry; a duplicated NACK that
+    /// lands in this window must not fork a second retry chain.
+    pub(crate) retry_inflight: std::collections::HashSet<(NodeId, BlockAddr)>,
+    /// When a processor last retired a program event (watchdog).
+    last_progress: Time,
 }
 
 impl Machine {
     /// Builds a machine from a configuration.
     pub fn new(cfg: MachineConfig) -> Self {
-        let net = cfg.network.build(cfg.procs);
+        let mut net = cfg.network.build(cfg.procs);
+        if let Some(plan) = cfg.fault_plan.filter(|p| p.is_active()) {
+            net = Box::new(FaultyNetwork::new(net, plan));
+        }
         let homes = (0..cfg.procs)
             .map(|_| Home::new(cfg.procs, &cfg.protocol))
             .collect();
@@ -138,6 +182,12 @@ impl Machine {
             barrier_log: Vec::new(),
             events: 0,
             trace_events: std::env::var_os("DIREXT_TRACE").is_some(),
+            fatal: None,
+            stale_drops: 0,
+            nack_retries: 0,
+            retry_attempts: HashMap::new(),
+            retry_inflight: std::collections::HashSet::new(),
+            last_progress: Time::ZERO,
             cfg,
         }
     }
@@ -160,12 +210,29 @@ impl Machine {
     }
 
     /// Sends `msg` from its source node at time `t` (plus local bus
-    /// occupancy), scheduling the delivery event.
+    /// occupancy), scheduling the delivery event(s). Under fault injection
+    /// a message may be delivered late (jitter, retransmission), twice
+    /// (duplication) or never (loss after the retransmission budget) — the
+    /// watchdog catches the latter.
+    ///
+    /// Duplicates are delivered to the protocol only for synchronization
+    /// messages, which are sequence-tagged and replay-tolerant by design.
+    /// Coherence transactions assume exactly-once transport (as in DASH-
+    /// style machines, whose directory protocols ride reliable sequenced
+    /// virtual channels): their duplicates occupy the wire but are absorbed
+    /// by the receiving interface's link-layer sequence check.
     pub(crate) fn send_msg(&mut self, t: Time, msg: Msg) {
         let bus = self.cfg.bus_time();
         let start = self.nodes[msg.src.idx()].bus_res.acquire(t, bus);
-        let arrival = self.net.send(start + bus, msg.envelope());
-        self.queue.push(arrival, Ev::Deliver(msg));
+        let deliveries = self.net.send_all(start + bus, msg.envelope());
+        if let Some(arrival) = deliveries.primary {
+            self.queue.push(arrival, Ev::Deliver(msg));
+        }
+        if let Some(arrival) = deliveries.duplicate {
+            if msg.kind.class() == TrafficClass::Sync {
+                self.queue.push(arrival, Ev::Deliver(msg));
+            }
+        }
     }
 
     /// Runs `workload` to completion and returns the metrics.
@@ -196,6 +263,10 @@ impl Machine {
         for i in 0..self.cfg.procs {
             self.queue.push(Time::ZERO, Ev::ProcStep(NodeId(i as u8)));
         }
+        if self.cfg.watchdog_pclocks > 0 {
+            self.queue
+                .push(Time::from_cycles(self.cfg.watchdog_pclocks), Ev::Watchdog);
+        }
 
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -208,7 +279,14 @@ impl Machine {
                 eprintln!("[{t}] {ev:?}");
             }
             match ev {
-                Ev::ProcStep(n) => self.proc_step(n, t),
+                Ev::ProcStep(n) => {
+                    let i = n.idx();
+                    let before = (self.nodes[i].pc, self.nodes[i].finish.is_some());
+                    self.proc_step(n, t);
+                    if (self.nodes[i].pc, self.nodes[i].finish.is_some()) != before {
+                        self.last_progress = t;
+                    }
+                }
                 Ev::FlwbHead(n) => self.flwb_head(n, t),
                 Ev::Deliver(msg) => {
                     if is_home_bound(msg.kind) {
@@ -217,52 +295,104 @@ impl Machine {
                         self.cache_deliver(msg, t);
                     }
                 }
+                Ev::Retry(msg) => {
+                    self.retry_inflight.remove(&(msg.src, msg.block));
+                    self.send_msg(t, msg);
+                }
+                Ev::Watchdog => self.watchdog_tick(t),
+            }
+            if let Some(e) = self.fatal.take() {
+                return Err(e);
+            }
+            if self.cfg.audit_every > 0 && self.events.is_multiple_of(self.cfg.audit_every) {
+                invariants::check_midrun(&self).map_err(|d| {
+                    SimError::CoherenceViolation(format!("mid-run audit at {t}: {d}"))
+                })?;
             }
         }
 
         // Quiescence: every processor must have finished.
-        let stuck: Vec<String> = self
-            .nodes
-            .iter()
-            .filter(|n| n.finish.is_none())
-            .map(|n| {
-                format!(
-                    "{}@pc{} {:?} slwb={:?} pw={} sync={:?} ev={:?}",
-                    n.id,
-                    n.pc,
-                    n.pstate,
-                    n.slwb,
-                    n.pending_writes,
-                    n.sync_waiting,
-                    n.program.get(n.pc.saturating_sub(1)),
-                )
-            })
-            .collect();
-        if !stuck.is_empty() {
-            let homes: Vec<String> = self
-                .homes
-                .iter()
-                .enumerate()
-                .filter(|(_, h)| {
-                    h.locks.any_held() || h.barriers.any_waiting() || h.dir.has_pending()
-                })
-                .map(|(i, h)| {
-                    format!(
-                        "home{i}: locks_held={} barriers_waiting={} dir_pending={}",
-                        h.locks.any_held(),
-                        h.barriers.any_waiting(),
-                        h.dir.has_pending()
-                    )
-                })
-                .collect();
+        if self.nodes.iter().any(|n| n.finish.is_none()) {
             return Err(SimError::Deadlock {
-                detail: format!("{}; {}", stuck.join("; "), homes.join("; ")),
+                detail: self.snapshot(self.now),
             });
         }
         if self.cfg.check_invariants {
             invariants::check(&self).map_err(SimError::CoherenceViolation)?;
         }
         Ok(self.collect_metrics(workload))
+    }
+
+    // ------------------------------------------------------------ watchdog
+
+    /// Periodic progress check: if no processor retired a program event for
+    /// the configured window while some are still running, the run aborts
+    /// with a diagnostic snapshot instead of spinning to the event budget.
+    fn watchdog_tick(&mut self, now: Time) {
+        if self.nodes.iter().all(|n| n.finish.is_some()) {
+            return; // Quiescing normally; let the queue drain.
+        }
+        let window = Time::from_cycles(self.cfg.watchdog_pclocks);
+        if now.saturating_sub(self.last_progress) >= window {
+            self.fatal = Some(SimError::Watchdog {
+                detail: self.snapshot(now),
+            });
+        } else {
+            self.queue.push(self.last_progress + window, Ev::Watchdog);
+        }
+    }
+
+    /// A diagnostic snapshot of everything that can wedge a run: per-node
+    /// processor state and pending requests, held locks, partial barriers,
+    /// in-flight directory operations, queue depth and fault counters.
+    fn snapshot(&self, now: Time) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "no progress since {} (now {now}, {} queued events)",
+            self.last_progress,
+            self.queue.len()
+        );
+        for n in self.nodes.iter().filter(|n| n.finish.is_none()) {
+            let _ = write!(
+                out,
+                "; {}@pc{} {:?} slwb={:?} pw={} sync={:?} grant={:?} ev={:?}",
+                n.id,
+                n.pc,
+                n.pstate,
+                n.slwb,
+                n.pending_writes,
+                n.sync_waiting,
+                n.waiting_grant,
+                n.program.get(n.pc.saturating_sub(1)),
+            );
+        }
+        for (i, h) in self.homes.iter().enumerate() {
+            let held = h.locks.held();
+            let waiting = h.barriers.waiting();
+            let pending = h.dir.pending_ops();
+            if held.is_empty() && waiting.is_empty() && pending.is_empty() {
+                continue;
+            }
+            let _ = write!(out, "; home{i}:");
+            for (lock, holder, queued) in held {
+                let _ = write!(out, " lock {lock} held by {holder} (+{queued} queued)");
+            }
+            for (id, mask) in waiting {
+                let _ = write!(out, " barrier {id} arrivals {mask:#b}");
+            }
+            for (block, op) in pending {
+                let _ = write!(out, " dir {block} {op}");
+            }
+        }
+        if let Some(fs) = self.net.fault_stats() {
+            let _ = write!(
+                out,
+                "; faults: {} msgs, {} delayed, {} retx, {} dup, {} lost",
+                fs.messages, fs.delayed, fs.retransmitted, fs.duplicated, fs.lost
+            );
+        }
+        out
     }
 
     // ------------------------------------------------------------ home side
@@ -273,21 +403,35 @@ impl Machine {
         let t = now + mem;
         match msg.kind {
             MsgKind::AcqReq => {
-                if self.homes[h].locks.acquire(msg.src, msg.block) {
-                    self.reply_from_home(t, msg.dst, msg.src, msg.block, MsgKind::AcqGrant);
+                if self.homes[h].locks.acquire(msg.src, msg.block, msg.version) {
+                    self.reply_from_home(
+                        t,
+                        msg.dst,
+                        msg.src,
+                        msg.block,
+                        MsgKind::AcqGrant,
+                        msg.version,
+                    );
                 }
             }
             MsgKind::RelReq => {
-                let next = self.homes[h].locks.release(msg.src, msg.block);
-                if let Some(next) = next {
-                    self.reply_from_home(t, msg.dst, next, msg.block, MsgKind::AcqGrant);
+                let next = self.homes[h].locks.release(msg.src, msg.block, msg.version);
+                if let Some((next, seq)) = next {
+                    self.reply_from_home(t, msg.dst, next, msg.block, MsgKind::AcqGrant, seq);
                 }
                 if self.cfg.protocol.consistency == Consistency::Sc {
-                    self.reply_from_home(t, msg.dst, msg.src, msg.block, MsgKind::RelAck);
+                    self.reply_from_home(
+                        t,
+                        msg.dst,
+                        msg.src,
+                        msg.block,
+                        MsgKind::RelAck,
+                        msg.version,
+                    );
                 }
             }
             MsgKind::BarArrive { id } => {
-                if self.homes[h].barriers.arrive(id) {
+                if self.homes[h].barriers.arrive(msg.src, id) {
                     self.barrier_log.push(now);
                     for i in 0..self.cfg.procs {
                         self.reply_from_home(
@@ -296,6 +440,7 @@ impl Machine {
                             NodeId(i as u8),
                             msg.block,
                             MsgKind::BarRelease { id },
+                            0,
                         );
                     }
                 }
@@ -305,7 +450,13 @@ impl Machine {
                 if kind.carries_block() || matches!(kind, MsgKind::UpdateReq { .. }) {
                     self.homes[h].merge_version(msg.block, msg.version);
                 }
-                let actions = self.homes[h].dir.handle(msg.src, msg.block, kind);
+                let actions = match self.homes[h].dir.handle(msg.src, msg.block, kind) {
+                    Ok(actions) => actions,
+                    Err(e) => {
+                        self.fatal = Some(SimError::Protocol(e));
+                        return;
+                    }
+                };
                 for act in actions {
                     let carries_payload =
                         act.kind.carries_block() || matches!(act.kind, MsgKind::Update { .. });
@@ -334,6 +485,7 @@ impl Machine {
         dst: NodeId,
         block: BlockAddr,
         kind: MsgKind,
+        version: u64,
     ) {
         self.send_msg(
             t,
@@ -342,7 +494,7 @@ impl Machine {
                 dst,
                 block,
                 kind,
-                version: 0,
+                version,
             },
         );
     }
@@ -390,8 +542,19 @@ impl Machine {
             m.interrogations += d.interrogations;
             m.reads_clean += d.reads_clean;
             m.reads_dirty += d.reads_dirty;
+            m.nacks_sent += d.nacks_sent;
+            m.stale_drops += d.stale_drops;
+            m.stale_drops += h.locks.stale_ops() + h.barriers.stale_ops();
             m.lock_acquires += h.locks.acquires();
             m.barrier_episodes += h.barriers.episodes();
+        }
+        m.stale_drops += self.stale_drops;
+        m.nack_retries = self.nack_retries;
+        if let Some(fs) = self.net.fault_stats() {
+            m.fault_delayed = fs.delayed;
+            m.fault_retransmitted = fs.retransmitted;
+            m.fault_duplicated = fs.duplicated;
+            m.fault_lost = fs.lost;
         }
         m.barrier_completion_cycles = self.barrier_log.iter().map(|t| t.cycles()).collect();
         m.per_proc_stalls = self.nodes.iter().map(|n| n.stalls).collect();

@@ -45,6 +45,25 @@ pub(crate) enum SyncOut {
     Barrier(u32),
 }
 
+/// The exact synchronization grant a stalled processor is waiting for.
+///
+/// Under a faulty network a duplicated grant could resume a processor that
+/// has since moved on and stalled on something else. Each node records
+/// what it is actually waiting for — for locks, down to the acquire
+/// sequence number echoed in the grant's version field, since a node can
+/// re-acquire the same lock across episodes. A grant that does not match
+/// is a stale duplicate and is dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SyncWait {
+    /// Waiting for `AcqGrant` of this lock, for this acquire sequence.
+    Lock(BlockAddr, u64),
+    /// Waiting for `BarRelease` of this barrier id.
+    Barrier(u32),
+    /// Waiting for `RelAck` of this lock's release, for the acquire
+    /// sequence being released (SC release stall).
+    ReleaseAck(BlockAddr, u64),
+}
+
 /// A pending request held in the second-level write buffer (the SLWB doubles
 /// as the lockup-free cache's miss-status registers).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,6 +161,15 @@ pub(crate) struct Node {
     pub pending_writes: u64,
     /// Releases and barrier arrivals waiting for pending writes to drain.
     pub sync_waiting: VecDeque<SyncOut>,
+    /// The synchronization grant this processor's stall is waiting for
+    /// (guards grant delivery against duplicated messages).
+    pub waiting_grant: Option<SyncWait>,
+    /// Monotone counter stamping each lock acquire this node issues; the
+    /// home's duplicate filter and the grant/release matching key on it.
+    pub next_lock_seq: u64,
+    /// Locks this node has been granted and not yet released, with the
+    /// acquire sequence of the grant (echoed on the release).
+    pub held_locks: HashMap<BlockAddr, u64>,
 
     pub counters: NodeCounters,
     /// Distribution of demand read-miss service times.
@@ -184,6 +212,9 @@ impl Node {
             prefetcher: protocol.prefetch.map(Prefetcher::new),
             pending_writes: 0,
             sync_waiting: VecDeque::new(),
+            waiting_grant: None,
+            next_lock_seq: 1,
+            held_locks: HashMap::new(),
             counters: NodeCounters::default(),
             read_miss_hist: Histogram::new(),
             comp_preset,

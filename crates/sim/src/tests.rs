@@ -4,7 +4,7 @@ use dirext_core::config::{CompetitiveConfig, Consistency, ProtocolConfig};
 use dirext_core::ProtocolKind;
 use dirext_trace::{Addr, BarrierId, MemEvent, Program, ProgramBuilder, Workload, BLOCK_BYTES};
 
-use crate::{Machine, MachineConfig, NetworkKind, SimError};
+use crate::{FaultPlan, Machine, MachineConfig, NetworkKind, SimError};
 
 fn run(cfg: MachineConfig, w: &Workload) -> dirext_stats::Metrics {
     Machine::new(cfg).run(w).expect("simulation must succeed")
@@ -475,6 +475,141 @@ fn per_proc_stalls_expose_load_imbalance() {
     let w = dirext_workloads::micro::lock_contention(4, 10);
     let m = run(uni(ProtocolKind::Basic, Consistency::Rc, 4), &w);
     assert!(m.load_imbalance() < 1.5, "imbalance {}", m.load_imbalance());
+}
+
+/// A plan aggressive enough to exercise every fault path (drops that need
+/// retransmission, duplicates, delay jitter) while staying survivable.
+fn rough_weather(seed: u64) -> FaultPlan {
+    FaultPlan {
+        drop_permille: 100,
+        dup_permille: 50,
+        jitter_cycles: 16,
+        ..FaultPlan::seeded(seed)
+    }
+}
+
+/// A stream placed on processor 1 while the blocks' home is node 0, so
+/// every miss crosses the (faulty) network.
+fn remote_stream_workload(procs: usize, blocks: u64) -> Workload {
+    let mut programs = vec![Program::new(); procs];
+    let mut b = ProgramBuilder::new().with_pace(2);
+    for i in 0..blocks {
+        let a = Addr::new(i * BLOCK_BYTES);
+        b.read(a);
+        b.write(a);
+    }
+    programs[1] = b.build();
+    Workload::new("remote-stream", programs)
+}
+
+#[test]
+fn workloads_complete_under_fault_injection() {
+    // Drops, duplicates and jitter across every protocol family and both
+    // consistency models: the run must still complete, pass the quiescence
+    // invariants (checked inside `run`), and actually exercise the fault
+    // machinery.
+    for (kind, c) in [
+        (ProtocolKind::Basic, Consistency::Rc),
+        (ProtocolKind::Basic, Consistency::Sc),
+        (ProtocolKind::PCwM, Consistency::Rc),
+    ] {
+        for w in [
+            remote_stream_workload(4, 32),
+            migratory_workload(4, 3, 10),
+            producer_consumer(4, 5),
+        ] {
+            let cfg = uni(kind, c, 4).with_faults(rough_weather(7));
+            let m = run(cfg, &w);
+            assert!(m.exec_cycles > 0, "{kind} {c:?} {}", w.name());
+            assert!(
+                m.fault_retransmitted > 0,
+                "{kind} {c:?} {}: drops must force retransmissions",
+                w.name()
+            );
+            assert_eq!(
+                m.fault_lost, 0,
+                "{kind} {c:?} {}: the retry budget must absorb all drops",
+                w.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn fault_injection_is_deterministic() {
+    let w = migratory_workload(4, 4, 20);
+    let cfg = || uni(ProtocolKind::PCwM, Consistency::Rc, 4).with_faults(rough_weather(42));
+    let a = run(cfg(), &w);
+    let b = run(cfg(), &w);
+    assert_eq!(a, b, "same fault seed must reproduce identical metrics");
+    let other = run(
+        uni(ProtocolKind::PCwM, Consistency::Rc, 4).with_faults(rough_weather(43)),
+        &w,
+    );
+    assert_ne!(
+        (a.fault_delayed, a.fault_retransmitted, a.fault_duplicated),
+        (
+            other.fault_delayed,
+            other.fault_retransmitted,
+            other.fault_duplicated
+        ),
+        "a different seed must draw a different fault schedule"
+    );
+}
+
+#[test]
+fn duplicated_sync_messages_do_not_break_lock_counts() {
+    // Duplication only (no drops): every duplicated acquire, release,
+    // grant, and barrier arrival must be recognized as stale, leaving the
+    // protocol-determined synchronization counts exactly as in a clean run.
+    let w = migratory_workload(4, 4, 10);
+    let plan = FaultPlan {
+        dup_permille: 300,
+        jitter_cycles: 32,
+        ..FaultPlan::seeded(11)
+    };
+    let m = run(uni(ProtocolKind::Basic, Consistency::Rc, 4).with_faults(plan), &w);
+    assert_eq!(m.lock_acquires, 40);
+    assert!(m.fault_duplicated > 0);
+    assert!(m.stale_drops > 0, "duplicates must be caught as stale");
+}
+
+#[test]
+fn wedged_run_trips_the_watchdog_with_a_diagnosis() {
+    // Drop every message with no retransmission budget: the first remote
+    // request is lost forever and the machine can make no progress. The
+    // watchdog must convert that hang into a structured error naming the
+    // stuck processors.
+    let plan = FaultPlan {
+        drop_permille: 1000,
+        retry_budget: 0,
+        ..FaultPlan::seeded(3)
+    };
+    let cfg = uni(ProtocolKind::Basic, Consistency::Rc, 4)
+        .with_faults(plan)
+        .with_watchdog(50_000);
+    let err = Machine::new(cfg).run(&migratory_workload(4, 4, 5));
+    match err.unwrap_err() {
+        SimError::Watchdog { detail } => {
+            assert!(detail.contains("no progress"), "{detail}");
+            // The lock and counter are homed at node 0, so node 0 runs to
+            // completion on local traffic; the others wedge on the acquire.
+            assert!(detail.contains("n1@"), "must name a stuck node: {detail}");
+            assert!(detail.contains("lost"), "must report lost messages: {detail}");
+        }
+        other => panic!("expected a watchdog trip, got {other:?}"),
+    }
+}
+
+#[test]
+fn midrun_audit_is_clean_on_every_protocol() {
+    for kind in [ProtocolKind::Basic, ProtocolKind::PCwM] {
+        let cfg = uni(kind, Consistency::Rc, 4)
+            .with_faults(rough_weather(5))
+            .with_audit_every(64);
+        let m = run(cfg, &migratory_workload(4, 3, 10));
+        assert!(m.exec_cycles > 0);
+    }
 }
 
 #[test]

@@ -100,6 +100,23 @@ pub struct Metrics {
     /// Bytes carrying synchronization.
     pub net_sync_bytes: u64,
 
+    /// Messages the fault-injection layer delayed with nonzero jitter.
+    pub fault_delayed: u64,
+    /// Link-layer retransmissions performed by the fault-injection layer.
+    pub fault_retransmitted: u64,
+    /// Messages the fault-injection layer delivered twice.
+    pub fault_duplicated: u64,
+    /// Messages the fault-injection layer permanently lost.
+    pub fault_lost: u64,
+    /// NACKs sent by directories (a request raced the requester's own
+    /// in-flight writeback).
+    pub nacks_sent: u64,
+    /// NACKed requests retried by caches after backoff.
+    pub nack_retries: u64,
+    /// Stale duplicated messages recognized and dropped (directory, cache
+    /// and synchronization controllers combined).
+    pub stale_drops: u64,
+
     /// Lock acquisitions performed.
     pub lock_acquires: u64,
     /// Barrier episodes completed.
@@ -288,7 +305,28 @@ impl fmt::Display for Metrics {
             self.net_update_bytes,
             self.net_control_bytes,
             self.net_sync_bytes
-        )
+        )?;
+        let robustness = self.fault_delayed
+            + self.fault_retransmitted
+            + self.fault_duplicated
+            + self.fault_lost
+            + self.nacks_sent
+            + self.nack_retries
+            + self.stale_drops;
+        if robustness > 0 {
+            write!(
+                f,
+                "\n  faults: delayed {} retx {} dup {} lost {}; nacks {} retries {} stale-drops {}",
+                self.fault_delayed,
+                self.fault_retransmitted,
+                self.fault_duplicated,
+                self.fault_lost,
+                self.nacks_sent,
+                self.nack_retries,
+                self.stale_drops
+            )?;
+        }
+        Ok(())
     }
 }
 

@@ -10,7 +10,7 @@ use dirext_sim::core::config::{CompetitiveConfig, Consistency, PrefetchConfig, P
 use dirext_sim::core::ProtocolKind;
 use dirext_sim::memsys::Timing;
 use dirext_sim::trace::{Addr, BarrierId, MemEvent, Program, Workload, BLOCK_BYTES};
-use dirext_sim::{Machine, MachineConfig};
+use dirext_sim::{FaultPlan, Machine, MachineConfig};
 use proptest::prelude::*;
 
 const PROCS: usize = 4;
@@ -101,6 +101,19 @@ fn all_configs() -> Vec<ProtocolConfig> {
     v
 }
 
+/// A random survivable fault plan: lossy and noisy, but with enough
+/// retransmission budget that runs converge.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0u32..150, 0u32..100, 0u64..32).prop_map(|(seed, drop, dup, jitter)| {
+        FaultPlan {
+            drop_permille: drop,
+            dup_permille: dup,
+            jitter_cycles: jitter,
+            ..FaultPlan::seeded(seed)
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -131,6 +144,35 @@ proptest! {
         let cfg = ProtocolKind::PCwM.config(Consistency::Rc);
         let a = Machine::new(MachineConfig::new(PROCS, cfg.clone())).run(&w).unwrap();
         let b = Machine::new(MachineConfig::new(PROCS, cfg)).run(&w).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Every protocol extension preserves all quiescence invariants (single
+    /// writer, presence exactness, version coherence, drained buffers,
+    /// inclusion — checked inside `run`) when the network drops, duplicates
+    /// and delays messages, with the mid-run structural audit sampling the
+    /// machine along the way.
+    #[test]
+    fn faulty_networks_preserve_coherence((w, plan) in (arb_workload(), arb_fault_plan())) {
+        for kind in [ProtocolKind::P, ProtocolKind::M, ProtocolKind::Cw] {
+            let cfg = MachineConfig::new(PROCS, kind.config(Consistency::Rc))
+                .with_faults(plan)
+                .with_audit_every(128);
+            Machine::new(cfg)
+                .run(&w)
+                .unwrap_or_else(|e| panic!("{kind} under {plan:?}: {e}"));
+        }
+    }
+
+    /// The fault schedule is a pure function of the plan's seed: re-running
+    /// with the same plan reproduces byte-identical metrics, fault counters
+    /// included.
+    #[test]
+    fn fault_schedules_are_deterministic((w, plan) in (arb_workload(), arb_fault_plan())) {
+        let cfg = || MachineConfig::new(PROCS, ProtocolKind::PCwM.config(Consistency::Rc))
+            .with_faults(plan);
+        let a = Machine::new(cfg()).run(&w).unwrap();
+        let b = Machine::new(cfg()).run(&w).unwrap();
         prop_assert_eq!(a, b);
     }
 

@@ -1,0 +1,124 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [criterion](https://docs.rs/criterion) API this workspace's benches
+//! use: `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `sample_size`, `bench_function`, `finish`, and `Bencher::iter`.
+//!
+//! Measurement is deliberately simple — one warm-up iteration, then
+//! `sample_size` timed iterations reported as a mean — but the harness
+//! shape and output are stable, so the benches compile and run offline.
+
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding a benchmark's result.
+pub fn black_box<T>(value: T) -> T {
+    std_black_box(value)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(id.clone());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let mean = bencher.total_nanos.checked_div(bencher.iters).unwrap_or(0);
+        println!("{}/{id}: {mean} ns/iter ({} iters)", self.name, bencher.iters);
+        self
+    }
+
+    /// Ends the group (output already printed per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Runs and times the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u128,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples (after one warm-up
+    /// call whose result is discarded).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std_black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std_black_box(f());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,262 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [serde](https://docs.rs/serde) API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! serde cannot be vendored. This crate provides `Serialize`/`Deserialize`
+//! traits over a small self-describing [`Content`] tree, plus derive
+//! macros (re-exported from the companion `serde_derive` proc-macro crate)
+//! for non-generic structs with named fields and enums with unit variants
+//! — exactly the shapes the `dirext-stats` types use. The `serde_json`
+//! stub renders and parses [`Content`] as JSON.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the data model both the derive
+/// macros and the `serde_json` front end speak).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) => u64::try_from(v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Map lookup by key (returns [`Content::Null`] when absent or not a
+    /// map, mirroring `serde_json::Value` indexing).
+    pub fn get(&self, key: &str) -> &Content {
+        static NULL: Content = Content::Null;
+        match self {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+    fn index(&self, key: &str) -> &Content {
+        self.get(key)
+    }
+}
+
+impl PartialEq<&str> for Content {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Content> for &str {
+    fn eq(&self, other: &Content) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+/// Types that can be rendered into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the serde data model.
+    fn serialize(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, reporting a descriptive error on shape mismatch.
+    fn deserialize(content: &Content) -> Result<Self, String>;
+}
+
+/// Looks up and deserializes a struct field (used by derived impls).
+pub fn field<T: Deserialize>(content: &Content, name: &str) -> Result<T, String> {
+    match content {
+        Content::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => {
+                T::deserialize(v).map_err(|e| format!("field `{name}`: {e}"))
+            }
+            None => Err(format!("missing field `{name}`")),
+        },
+        other => Err(format!("expected map, found {other:?}")),
+    }
+}
+
+macro_rules! serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, String> {
+                let v = content
+                    .as_u64()
+                    .ok_or_else(|| format!("expected unsigned integer, found {content:?}"))?;
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serde_sint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 {
+                    Content::U64(v as u64)
+                } else {
+                    Content::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(content: &Content) -> Result<Self, String> {
+                let v = match *content {
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| format!("{v} out of range for i64"))?,
+                    Content::I64(v) => v,
+                    ref other => {
+                        return Err(format!("expected integer, found {other:?}"))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| format!("{v} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+serde_sint!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(content: &Content) -> Result<Self, String> {
+        match *content {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            ref other => Err(format!("expected number, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(content: &Content) -> Result<Self, String> {
+        match *content {
+            Content::Bool(v) => Ok(v),
+            ref other => Err(format!("expected bool, found {other:?}")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(content: &Content) -> Result<Self, String> {
+        content
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| format!("expected string, found {content:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(format!("expected sequence, found {other:?}")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Content {
+        match self {
+            Some(v) => v.serialize(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(content: &Content) -> Result<Self, String> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Content {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Content {
+    fn serialize(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize(content: &Content) -> Result<Self, String> {
+        Ok(content.clone())
+    }
+}

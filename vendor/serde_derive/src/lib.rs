@@ -1,0 +1,227 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stub.
+//!
+//! Implemented with hand-rolled token scanning (no syn/quote, which are
+//! unavailable offline). Supports exactly the shapes this workspace
+//! derives on: non-generic structs with named fields and non-generic
+//! enums with unit variants. Anything else fails loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Input {
+    /// Struct name and its named fields, in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name and its unit variants, in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Parses a struct/enum item into [`Input`], skipping attributes,
+/// visibility, and field types.
+fn parse(input: TokenStream) -> Input {
+    let mut toks = input.into_iter().peekable();
+    // Skip outer attributes (`#[...]`, doc comments) and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    let body = loop {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("serde stub derive: generic type `{name}` is not supported")
+            }
+            Some(_) => continue,
+            None => panic!("serde stub derive: `{name}` has no braced body (tuple/unit shapes unsupported)"),
+        }
+    };
+    match kind.as_str() {
+        "struct" => Input::Struct(name, named_fields(body)),
+        "enum" => Input::Enum(name, unit_variants(body)),
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("serde stub derive: expected field name, got {tree:?} (named fields only)")
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+        }
+        // Skip the type: consume until a comma at zero angle-bracket depth.
+        let mut depth = 0i32;
+        for tree in toks.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Extracts variant names from a unit-variant enum body.
+fn unit_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    toks.next();
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            panic!("serde stub derive: expected variant name, got {tree:?}")
+        };
+        variants.push(variant.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            Some(other) => panic!(
+                "serde stub derive: only unit enum variants are supported, got {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let generated = match parse(input) {
+        Input::Struct(name, fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Content::Str(::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                         match *self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("serde stub derive: generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let generated = match parse(input) {
+        Input::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(content, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(content: &::serde::Content)\n\
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(content: &::serde::Content)\n\
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         match content.as_str() {{\n\
+                             ::std::option::Option::Some(s) => match s {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(\n\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\")),\n\
+                             }},\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\n\
+                                 ::std::format!(\"expected string for {name}, found {{content:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    generated.parse().expect("serde stub derive: generated invalid Rust")
+}
