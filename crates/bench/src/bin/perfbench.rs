@@ -1,0 +1,199 @@
+//! `perfbench` — the repo's recorded performance baseline.
+//!
+//! Times the three layers the hot-path work targets and writes the numbers
+//! to two JSON files (default: the current directory, i.e. the repo root
+//! when run via `cargo run`):
+//!
+//! - `BENCH_kernel.json` — event-queue push/pop cost, two-tier bucket
+//!   wheel vs the pure-`BinaryHeap` baseline it replaced, on a hold-model
+//!   workload shaped like the simulator's (mostly near-future inserts, a
+//!   tail of far-future timeouts).
+//! - `BENCH_sweep.json` — one application end-to-end, and the Figure-2
+//!   sweep wall-clock serially vs on the worker pool (with an equality
+//!   check of the two CSVs).
+//!
+//! Usage: `perfbench [--quick] [--jobs N] [--out-dir DIR]`
+//! `--quick` shrinks op counts and problem scale for CI smoke runs.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use dirext_kernel::{EventQueue, HeapEventQueue, Time};
+use dirext_sim::experiments::{self, SweepOpts};
+use dirext_trace::Workload;
+use dirext_workloads::{App, Scale};
+
+/// Deterministic xorshift64* — the bench must not depend on ambient
+/// randomness.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The hold-model delay distribution: mostly short hops inside the bucket
+/// wheel's window, one in eight far enough to spill to the heap tier —
+/// roughly the mix a 16-node machine's network and timeout events produce.
+fn delay(rng: &mut Rng) -> u64 {
+    let r = rng.next();
+    if r.is_multiple_of(8) {
+        300 + r % 4096
+    } else {
+        1 + r % 64
+    }
+}
+
+macro_rules! hold_model {
+    ($queue:expr, $ops:expr) => {{
+        let mut q = $queue;
+        let mut rng = Rng(0x9E37_79B9_7F4A_7C15);
+        let mut now = 0u64;
+        for _ in 0..4096u64 {
+            let d = delay(&mut rng);
+            q.push(Time::from_cycles(now + d), d);
+        }
+        let t0 = Instant::now();
+        for _ in 0..$ops {
+            let (t, v) = q.pop().expect("hold model keeps the queue non-empty");
+            now = t.cycles();
+            let d = delay(&mut rng);
+            q.push(Time::from_cycles(now + d), black_box(v ^ d));
+        }
+        let nanos = t0.elapsed().as_nanos() as f64;
+        black_box(q.len());
+        // One pop + one push per iteration.
+        nanos / (2.0 * $ops as f64)
+    }};
+}
+
+/// Median of `reps` timed repetitions of `f`.
+fn median_of<F: FnMut() -> f64>(reps: usize, mut f: F) -> f64 {
+    let mut xs: Vec<f64> = (0..reps).map(|_| f()).collect();
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs[xs.len() / 2]
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings written below are static identifiers; assert rather than
+    // escape so the hand-rolled JSON stays trivially correct.
+    assert!(!s.contains(['"', '\\', '\n']), "unescapable string: {s}");
+    s
+}
+
+fn main() {
+    let mut quick = false;
+    let mut jobs = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut out_dir = String::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                jobs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--jobs N");
+            }
+            "--out-dir" => out_dir = args.next().expect("--out-dir DIR"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+    let ops: u64 = if quick { 400_000 } else { 4_000_000 };
+    let reps = if quick { 3 } else { 5 };
+    let scale = if quick { Scale::Tiny } else { Scale::Small };
+    let scale_name = if quick { "tiny" } else { "small" };
+    let procs = if quick { 4 } else { 16 };
+
+    // --- Kernel tier: event-queue push/pop ---------------------------------
+    eprintln!("perfbench: kernel hold model ({ops} ops x {reps} reps)...");
+    let two_tier_ns = median_of(reps, || hold_model!(EventQueue::with_capacity(4096), ops));
+    let heap_ns = median_of(reps, || hold_model!(HeapEventQueue::new(), ops));
+    let kernel = format!(
+        "{{\n  \"benchmark\": \"event_queue_hold_model\",\n  \
+         \"description\": \"one pop + one push per op, 4096 live events, 1/8 far-future\",\n  \
+         \"ops\": {ops},\n  \"reps\": {reps},\n  \
+         \"two_tier_ns_per_op\": {two_tier_ns:.2},\n  \
+         \"heap_baseline_ns_per_op\": {heap_ns:.2},\n  \
+         \"two_tier_events_per_sec\": {:.0},\n  \
+         \"heap_baseline_events_per_sec\": {:.0},\n  \
+         \"speedup_vs_heap\": {:.3}\n}}\n",
+        1e9 / two_tier_ns,
+        1e9 / heap_ns,
+        heap_ns / two_tier_ns
+    );
+    std::fs::write(format!("{out_dir}/BENCH_kernel.json"), &kernel)
+        .expect("write BENCH_kernel.json");
+    eprintln!(
+        "  two-tier {two_tier_ns:.1} ns/op vs heap {heap_ns:.1} ns/op ({:.2}x)",
+        heap_ns / two_tier_ns
+    );
+
+    // --- End-to-end tier: one application, one protocol --------------------
+    eprintln!("perfbench: single-app end-to-end (MP3D, {scale_name}, {procs} procs)...");
+    let w = App::Mp3d.workload(procs, scale);
+    let run_once = || {
+        let t0 = Instant::now();
+        let m = experiments::run_protocol(
+            &w,
+            dirext_core::ProtocolKind::Basic,
+            dirext_core::Consistency::Rc,
+        )
+        .expect("MP3D run");
+        (t0.elapsed().as_secs_f64(), m.exec_cycles)
+    };
+    let (_, exec_cycles) = run_once(); // warm-up, and the cycle count
+    let app_secs = median_of(reps, || run_once().0);
+    let trace_events = w.total_events();
+
+    // --- Sweep tier: Figure 2, serial vs pool ------------------------------
+    let suite: Vec<Workload> = App::ALL
+        .iter()
+        .map(|a| a.workload(procs, scale))
+        .collect();
+    eprintln!("perfbench: fig2 sweep serial...");
+    let t0 = Instant::now();
+    let serial = experiments::fig2_with(&suite, &SweepOpts::default()).expect("fig2 serial");
+    let serial_secs = t0.elapsed().as_secs_f64();
+    eprintln!("perfbench: fig2 sweep --jobs {jobs}...");
+    let t0 = Instant::now();
+    let parallel = experiments::fig2_with(&suite, &SweepOpts::jobs(jobs)).expect("fig2 parallel");
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    let identical = serial.csv() == parallel.csv();
+    assert!(identical, "parallel sweep output diverged from serial");
+
+    let sweep = format!(
+        "{{\n  \"benchmark\": \"sweep_and_end_to_end\",\n  \
+         \"scale\": \"{}\",\n  \"procs\": {procs},\n  \
+         \"single_app\": {{\n    \"app\": \"MP3D\",\n    \"protocol\": \"BASIC\",\n    \
+         \"trace_events\": {trace_events},\n    \"exec_cycles\": {exec_cycles},\n    \
+         \"wall_secs\": {app_secs:.4},\n    \
+         \"trace_events_per_sec\": {:.0},\n    \
+         \"sim_cycles_per_sec\": {:.0}\n  }},\n  \
+         \"fig2_sweep\": {{\n    \"configs\": {},\n    \
+         \"serial_secs\": {serial_secs:.3},\n    \
+         \"parallel_secs\": {parallel_secs:.3},\n    \"jobs\": {jobs},\n    \
+         \"host_cpus\": {},\n    \
+         \"speedup\": {:.3},\n    \"outputs_identical\": {identical}\n  }}\n}}\n",
+        json_escape_free(scale_name),
+        trace_events as f64 / app_secs,
+        exec_cycles as f64 / app_secs,
+        suite.len() * experiments::fig2::FIG2_PROTOCOLS.len(),
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        serial_secs / parallel_secs
+    );
+    std::fs::write(format!("{out_dir}/BENCH_sweep.json"), &sweep)
+        .expect("write BENCH_sweep.json");
+    eprintln!(
+        "  single app {app_secs:.3}s; sweep serial {serial_secs:.2}s vs --jobs {jobs} \
+         {parallel_secs:.2}s ({:.2}x), outputs identical",
+        serial_secs / parallel_secs
+    );
+    println!("perfbench: wrote {out_dir}/BENCH_kernel.json and {out_dir}/BENCH_sweep.json");
+}

@@ -10,7 +10,7 @@ use std::process::ExitCode;
 
 use dirext_core::config::Consistency;
 use dirext_core::ProtocolKind;
-use dirext_sim::experiments::{self, sens};
+use dirext_sim::experiments::{self, sens, SweepOpts};
 use dirext_sim::FaultPlan;
 use dirext_sim::Machine;
 use dirext_sim::MachineConfig;
@@ -37,6 +37,8 @@ COMMANDS:
     topology       Extension: uniform vs mesh vs ring interconnects
     stress         Protocol fuzzer: random workloads through all protocols
                    (--seeds N, default 50; every run is coherence-audited)
+    run-all        Every experiment in sequence (the full paper sweep);
+                   honors --jobs for parallel execution
     run            One simulation: --app or --trace, --protocol, --consistency
     dump-trace     Write a workload as a text trace to stdout (--app, --scale)
     validate       Check a trace file without running it (--trace FILE)
@@ -58,8 +60,12 @@ OPTIONS:
     --out       For `report`: output file (default: stdout)
     --network   For `run`: uniform (default), mesh64, mesh32, mesh16,
                 ring64, ring32, ring16
+    --jobs      Worker threads for the sweep commands (fig2/table2/fig3/
+                table3/fig4/sens-*/miss-latency/topology/scaling/stress/
+                run-all/report). Default 1 (serial); 0 = all CPU cores.
+                Results are byte-identical for any value.
 
-FAULT INJECTION (for `run` and `stress`):
+FAULT INJECTION (for `run`, `stress` and the sweep commands):
     --fault-drop     Probability a message is dropped before link-layer
                      retransmission, in permille (0-1000)
     --fault-dup      Probability a message is duplicated, in permille
@@ -92,6 +98,7 @@ struct Args {
     fault: FaultPlan,
     watchdog: Option<u64>,
     audit_every: u64,
+    jobs: usize,
 }
 
 impl Args {
@@ -107,6 +114,25 @@ impl Args {
             cfg = cfg.with_audit_every(self.audit_every);
         }
         cfg
+    }
+
+    /// Resolved worker-thread count: `--jobs 0` means all CPU cores.
+    fn jobs(&self) -> usize {
+        if self.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.jobs
+        }
+    }
+
+    /// The sweep options (worker threads + fault overlay) for the
+    /// experiment drivers.
+    fn sweep_opts(&self) -> SweepOpts {
+        let mut opts = SweepOpts::jobs(self.jobs());
+        if self.fault.is_active() {
+            opts = opts.with_fault(self.fault);
+        }
+        opts
     }
 }
 
@@ -144,6 +170,7 @@ fn parse_args() -> Result<Args, String> {
         fault: FaultPlan::default(),
         watchdog: None,
         audit_every: 0,
+        jobs: 1,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -239,6 +266,11 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("bad --audit-every: {e}"))?;
             }
+            "--jobs" => {
+                parsed.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
             "--out" => parsed.out = Some(value("--out")?),
             "--svg" => parsed.svg = Some(value("--svg")?),
             "--network" => {
@@ -290,7 +322,7 @@ fn main() -> ExitCode {
 fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     match args.command.as_str() {
         "fig2" => {
-            let r = experiments::fig2(&suite(args))?;
+            let r = experiments::fig2_with(&suite(args), &args.sweep_opts())?;
             if let Some(path) = &args.svg {
                 let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
                 let series: Vec<String> = experiments::fig2::FIG2_PROTOCOLS
@@ -315,7 +347,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table2" => {
-            let r = experiments::table2(&suite(args))?;
+            let r = experiments::table2_with(&suite(args), &args.sweep_opts())?;
             if args.csv {
                 print!("{}", r.csv())
             } else {
@@ -323,7 +355,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig3" => {
-            let r = experiments::fig3(&suite(args))?;
+            let r = experiments::fig3_with(&suite(args), &args.sweep_opts())?;
             if let Some(path) = &args.svg {
                 let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
                 let series: Vec<String> = experiments::fig3::FIG3_PROTOCOLS
@@ -348,7 +380,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table3" => {
-            let r = experiments::table3(&suite(args))?;
+            let r = experiments::table3_with(&suite(args), &args.sweep_opts())?;
             if args.csv {
                 print!("{}", r.csv())
             } else {
@@ -356,7 +388,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig4" => {
-            let r = experiments::fig4(&suite(args))?;
+            let r = experiments::fig4_with(&suite(args), &args.sweep_opts())?;
             if let Some(path) = &args.svg {
                 let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
                 let series: Vec<String> = experiments::fig4::FIG4_PROTOCOLS
@@ -385,78 +417,106 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "sens-buffers" => {
             println!(
                 "{}",
-                experiments::sensitivity(&suite(args), sens::Constraint::SmallBuffers)?
+                experiments::sensitivity_with(&suite(args), sens::Constraint::SmallBuffers, &args.sweep_opts())?
             )
         }
         "sens-cache" => {
             println!(
                 "{}",
-                experiments::sensitivity(&suite(args), sens::Constraint::SmallSlc)?
+                experiments::sensitivity_with(&suite(args), sens::Constraint::SmallSlc, &args.sweep_opts())?
             )
         }
-        "miss-latency" => println!("{}", experiments::miss_latency(&suite(args))?),
-        "topology" => println!("{}", experiments::topology(&suite(args))?),
+        "miss-latency" => println!(
+            "{}",
+            experiments::miss_latency_with(&suite(args), &args.sweep_opts())?
+        ),
+        "topology" => println!(
+            "{}",
+            experiments::topology_with(&suite(args), &args.sweep_opts())?
+        ),
         "stress" => {
+            use dirext_sim::NetworkKind;
             use dirext_workloads::random::{random_workload, RandomParams};
+            use experiments::pool::run_ordered;
             let params = RandomParams {
                 procs: args.procs.min(32),
                 ..RandomParams::default()
             };
-            // A failing configuration is recorded and the sweep continues:
-            // one broken protocol/seed pair must not mask failures in the
-            // rest of the matrix.
-            let mut runs = 0u64;
-            let mut failures: Vec<String> = Vec::new();
-            fn attempt(
-                failures: &mut Vec<String>,
-                label: String,
-                cfg: MachineConfig,
-                w: &Workload,
-            ) {
-                if let Err(e) = Machine::new(cfg).run(w) {
-                    eprintln!("FAIL {label}: {e}");
-                    failures.push(format!("{label}: {e}"));
-                }
-            }
-            for seed in 0..args.seeds {
-                let w = random_workload(seed, params);
-                for kind in ProtocolKind::ALL {
-                    for consistency in [Consistency::Rc, Consistency::Sc] {
-                        let proto = kind.config(consistency);
-                        if !proto.is_feasible() {
-                            continue;
-                        }
-                        let cfg = args.harden(MachineConfig::new(params.procs, proto));
-                        runs += 1;
-                        attempt(
-                            &mut failures,
-                            format!("seed={seed} {kind} {consistency:?}"),
-                            cfg,
-                            &w,
-                        );
+            // The per-seed configuration matrix: every feasible protocol ×
+            // consistency on the uniform network, plus P+CW+M on the two
+            // contended networks (different delivery timing exposes
+            // different interleavings).
+            let mut combos: Vec<(ProtocolKind, Consistency, NetworkKind)> = Vec::new();
+            for kind in ProtocolKind::ALL {
+                for consistency in [Consistency::Rc, Consistency::Sc] {
+                    if kind.config(consistency).is_feasible() {
+                        combos.push((kind, consistency, NetworkKind::Uniform));
                     }
                 }
-                // Also exercise the contended networks (different delivery
-                // timing exposes different interleavings).
-                for net in [
-                    dirext_sim::NetworkKind::Mesh { link_bits: 16 },
-                    dirext_sim::NetworkKind::Ring { link_bits: 16 },
-                ] {
-                    let cfg = args.harden(
-                        MachineConfig::new(params.procs, ProtocolKind::PCwM.config(Consistency::Rc))
-                            .with_network(net),
-                    );
-                    runs += 1;
-                    attempt(&mut failures, format!("seed={seed} P+CW+M {net:?}"), cfg, &w);
-                }
-                if (seed + 1) % 10 == 0 {
-                    eprintln!("  {} seeds swept ({runs} coherence-audited runs)", seed + 1);
-                }
             }
+            for net in [
+                NetworkKind::Mesh { link_bits: 16 },
+                NetworkKind::Ring { link_bits: 16 },
+            ] {
+                combos.push((ProtocolKind::PCwM, Consistency::Rc, net));
+            }
+            let workloads: Vec<Workload> = (0..args.seeds)
+                .map(|seed| random_workload(seed, params))
+                .collect();
+            // Fan the whole seed × combo matrix over the worker pool. A
+            // failing configuration is recorded and the sweep continues:
+            // one broken protocol/seed pair must not mask failures in the
+            // rest of the matrix. Slots come back in index order, so the
+            // failure list is deterministic for any --jobs value.
+            let runs = workloads.len() * combos.len();
+            let results = run_ordered::<_, dirext_sim::SimError, _>(args.jobs(), runs, |i| {
+                let (seed, c) = (i / combos.len(), i % combos.len());
+                let (kind, consistency, net) = combos[c];
+                let cfg = args.harden(
+                    MachineConfig::new(params.procs, kind.config(consistency)).with_network(net),
+                );
+                let t0 = std::time::Instant::now();
+                let outcome = Machine::new(cfg).run(&workloads[seed]);
+                let secs = t0.elapsed().as_secs_f64();
+                Ok((
+                    secs,
+                    outcome.err().map(|e| {
+                        let label = match net {
+                            NetworkKind::Uniform => format!("seed={seed} {kind} {consistency:?}"),
+                            _ => format!("seed={seed} {kind} {net:?}"),
+                        };
+                        eprintln!("FAIL {label}: {e}");
+                        format!("{label}: {e}")
+                    }),
+                ))
+            })?;
+            let mut per_seed = vec![0.0f64; workloads.len()];
+            let mut failures: Vec<String> = Vec::new();
+            for (i, (secs, fail)) in results.into_iter().enumerate() {
+                per_seed[i / combos.len()] += secs;
+                failures.extend(fail);
+            }
+            for (seed, secs) in per_seed.iter().enumerate() {
+                eprintln!(
+                    "  seed {seed}: {} runs in {secs:.3}s wall-clock",
+                    combos.len()
+                );
+            }
+            let mut sorted = per_seed.clone();
+            sorted.sort_by(|a, b| a.total_cmp(b));
+            let (min, med, max) = (
+                sorted.first().copied().unwrap_or(0.0),
+                sorted.get(sorted.len() / 2).copied().unwrap_or(0.0),
+                sorted.last().copied().unwrap_or(0.0),
+            );
             if failures.is_empty() {
                 println!(
-                    "stress: {runs} runs across {} seeds — all coherence audits passed",
-                    args.seeds
+                    "stress: {runs} runs across {} seeds — all coherence audits passed \
+                     (per-seed wall-clock min/median/max {min:.3}/{med:.3}/{max:.3}s, \
+                     total {:.3}s, --jobs {})",
+                    args.seeds,
+                    per_seed.iter().sum::<f64>(),
+                    args.jobs()
                 );
             } else {
                 for f in &failures {
@@ -470,9 +530,57 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 .into());
             }
         }
+        "run-all" => {
+            let t0 = std::time::Instant::now();
+            let s = suite(args);
+            let opts = args.sweep_opts();
+            println!("{}", experiments::table1(args.procs));
+            eprintln!("run-all: figure 2...");
+            println!("{}", experiments::fig2_with(&s, &opts)?);
+            eprintln!("run-all: table 2...");
+            println!("{}", experiments::table2_with(&s, &opts)?);
+            eprintln!("run-all: figure 3...");
+            println!("{}", experiments::fig3_with(&s, &opts)?);
+            eprintln!("run-all: table 3...");
+            println!("{}", experiments::table3_with(&s, &opts)?);
+            eprintln!("run-all: figure 4...");
+            println!("{}", experiments::fig4_with(&s, &opts)?);
+            eprintln!("run-all: sensitivity...");
+            println!(
+                "{}",
+                experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts)?
+            );
+            println!(
+                "{}",
+                experiments::sensitivity_with(&s, sens::Constraint::SmallSlc, &opts)?
+            );
+            eprintln!("run-all: miss latency...");
+            println!("{}", experiments::miss_latency_with(&s, &opts)?);
+            eprintln!("run-all: topology...");
+            println!("{}", experiments::topology_with(&s, &opts)?);
+            eprintln!("run-all: scaling...");
+            let app = args.app.unwrap_or(App::Mp3d);
+            println!(
+                "{}",
+                experiments::scaling_with(
+                    app.name(),
+                    |procs| app.workload(procs, args.scale),
+                    &opts
+                )?
+            );
+            eprintln!(
+                "run-all: completed in {:.2}s wall-clock with --jobs {}",
+                t0.elapsed().as_secs_f64(),
+                args.jobs()
+            );
+        }
         "scaling" => {
             let app = args.app.unwrap_or(App::Mp3d);
-            let result = experiments::scaling(app.name(), |procs| app.workload(procs, args.scale))?;
+            let result = experiments::scaling_with(
+                app.name(),
+                |procs| app.workload(procs, args.scale),
+                &args.sweep_opts(),
+            )?;
             println!("{result}");
         }
         "run" => {
@@ -528,6 +636,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         "report" => {
             let s = suite(args);
+            let opts = args.sweep_opts();
             let mut doc = String::new();
             doc.push_str(&format!(
                 "# dirext experiment report\n\nScale: {}, {} processors.\n\n",
@@ -540,46 +649,46 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("report: figure 2...");
             section(
                 "Figure 2 — relative execution times (RC)",
-                experiments::fig2(&s)?.to_string(),
+                experiments::fig2_with(&s, &opts)?.to_string(),
             );
             eprintln!("report: table 2...");
             section(
                 "Table 2 — miss-rate components",
-                experiments::table2(&s)?.to_string(),
+                experiments::table2_with(&s, &opts)?.to_string(),
             );
             eprintln!("report: figure 3...");
             section(
                 "Figure 3 — sequential consistency",
-                experiments::fig3(&s)?.to_string(),
+                experiments::fig3_with(&s, &opts)?.to_string(),
             );
             eprintln!("report: table 3...");
             section(
                 "Table 3 — mesh link widths",
-                experiments::table3(&s)?.to_string(),
+                experiments::table3_with(&s, &opts)?.to_string(),
             );
             eprintln!("report: figure 4...");
             section(
                 "Figure 4 — network traffic",
-                experiments::fig4(&s)?.to_string(),
+                experiments::fig4_with(&s, &opts)?.to_string(),
             );
             eprintln!("report: sensitivity...");
             section(
                 "Sensitivity — small buffers (5.4)",
-                experiments::sensitivity(&s, sens::Constraint::SmallBuffers)?.to_string(),
+                experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts)?.to_string(),
             );
             section(
                 "Sensitivity — 16-KB SLC (5.4)",
-                experiments::sensitivity(&s, sens::Constraint::SmallSlc)?.to_string(),
+                experiments::sensitivity_with(&s, sens::Constraint::SmallSlc, &opts)?.to_string(),
             );
             eprintln!("report: miss latency...");
             section(
                 "Read-miss latency — BASIC vs CW (5.1)",
-                experiments::miss_latency(&s)?.to_string(),
+                experiments::miss_latency_with(&s, &opts)?.to_string(),
             );
             eprintln!("report: topology (extension)...");
             section(
                 "Topology sweep (extension)",
-                experiments::topology(&s)?.to_string(),
+                experiments::topology_with(&s, &opts)?.to_string(),
             );
             match &args.out {
                 Some(path) => {

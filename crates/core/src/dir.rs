@@ -322,8 +322,30 @@ impl DirCtrl {
         block: BlockAddr,
         kind: MsgKind,
     ) -> Result<Vec<DirAction>, ProtocolError> {
-        debug_assert!(src.idx() < self.nprocs);
         let mut actions = Vec::new();
+        self.handle_into(src, block, kind, &mut actions)?;
+        Ok(actions)
+    }
+
+    /// [`DirCtrl::handle`], appending the outgoing messages to a
+    /// caller-provided buffer instead of allocating a fresh one.
+    ///
+    /// This is the simulator's hot path: the dispatch loop keeps one
+    /// recycled buffer per machine, so steady-state directory processing
+    /// performs no heap allocation at all.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirCtrl::handle`]. On error the buffer's contents are
+    /// unspecified (the caller abandons the transaction anyway).
+    pub fn handle_into(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+        actions: &mut Vec<DirAction>,
+    ) -> Result<(), ProtocolError> {
+        debug_assert!(src.idx() < self.nprocs);
         let entry_exists_pending = self.entries.get(&block).map(|e| e.pending).unwrap_or(None);
 
         match kind {
@@ -337,7 +359,7 @@ impl DirCtrl {
                         e.remove(src);
                     }
                 }
-                return Ok(actions);
+                return Ok(());
             }
             // A writeback crossing a fetch we sent to the same node serves
             // as the fetch reply.
@@ -350,17 +372,17 @@ impl DirCtrl {
                             kind: MsgKind::WritebackAck,
                         });
                         // The owner replaced the block: it keeps no copy.
-                        self.complete_fetch(src, block, None, written, false, &mut actions)?;
-                        self.drain_queue(block, &mut actions)?;
-                        return Ok(actions);
+                        self.complete_fetch(src, block, None, written, false, actions)?;
+                        self.drain_queue(block, actions)?;
+                        return Ok(());
                     }
                     // Unrelated writeback while busy: queue it.
                     self.entry(block).waiting.push_back((src, kind));
-                    return Ok(actions);
+                    return Ok(());
                 }
-                self.process_request(src, block, kind, &mut actions)?;
-                self.drain_queue(block, &mut actions)?;
-                return Ok(actions);
+                self.process_request(src, block, kind, actions)?;
+                self.drain_queue(block, actions)?;
+                return Ok(());
             }
             _ => {}
         }
@@ -368,14 +390,14 @@ impl DirCtrl {
         if kind.queues_at_home() {
             if entry_exists_pending.is_some() {
                 self.entry(block).waiting.push_back((src, kind));
-                return Ok(actions);
+                return Ok(());
             }
-            self.process_request(src, block, kind, &mut actions)?;
+            self.process_request(src, block, kind, actions)?;
         } else {
-            self.process_reply(src, block, kind, &mut actions)?;
+            self.process_reply(src, block, kind, actions)?;
         }
-        self.drain_queue(block, &mut actions)?;
-        Ok(actions)
+        self.drain_queue(block, actions)?;
+        Ok(())
     }
 
     fn entry(&mut self, block: BlockAddr) -> &mut DirEntry {

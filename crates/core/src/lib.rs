@@ -7,7 +7,7 @@
 //!
 //! * the **BASIC** protocol — a full-map directory-based write-invalidate
 //!   protocol with lockup-free second-level caches, under sequential (SC) or
-//!   release (RC) consistency ([`dir::DirCtrl`], [`line`](crate::line));
+//!   release (RC) consistency ([`dir::DirCtrl`], [`line`](mod@crate::line));
 //! * **P** — adaptive sequential prefetching ([`prefetch::Prefetcher`]);
 //! * **M** — the migratory-sharing optimization (detection and reversion
 //!   live in [`dir::DirCtrl`]; the `MigClean` cache state in

@@ -1,9 +1,28 @@
 //! The event queue at the heart of the simulator.
+//!
+//! Two implementations share one ordering contract:
+//!
+//! * [`EventQueue`] — the production queue: a two-tier design pairing a
+//!   near-future circular **bucket wheel** (the common case: almost every
+//!   event a simulated machine schedules lands within a few hundred cycles
+//!   of "now") with a [`BinaryHeap`] fallback for far-future events. Pushes
+//!   and pops into the wheel are O(1) amortized and allocation-free in
+//!   steady state — each bucket is a [`VecDeque`] that keeps its capacity
+//!   across reuse.
+//! * [`HeapEventQueue`] — the original pure-heap implementation, kept as
+//!   the recorded perf baseline (`BENCH_kernel.json`) and as the oracle for
+//!   differential property tests.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 use crate::Time;
+
+/// Number of cycles (and buckets) the near-future wheel covers. Events
+/// scheduled less than this many cycles ahead of the last popped event go
+/// to the wheel; later ones spill to the heap. Must be a power of two.
+const WHEEL_SPAN: u64 = 256;
+const WHEEL_MASK: u64 = WHEEL_SPAN - 1;
 
 /// A timestamped event priority queue with deterministic ordering.
 ///
@@ -11,6 +30,13 @@ use crate::Time;
 /// pop in the order they were pushed (FIFO). This tie-break is what makes
 /// whole-machine simulations bit-reproducible: two runs with the same seed
 /// schedule the identical event sequence.
+///
+/// Internally this is a two-tier structure: a circular bucket wheel covering
+/// the next `WHEEL_SPAN` (256) cycles after the most recently popped event, and a
+/// binary heap for everything further out (or scheduled in the past, which
+/// the simulator never does but the contract permits). The FIFO tie-break is
+/// carried by a global push sequence number that orders entries *across* the
+/// two tiers, so wheel/heap placement is invisible to callers.
 ///
 /// # Example
 ///
@@ -26,6 +52,17 @@ use crate::Time;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
+    /// Near-future tier: bucket `c & WHEEL_MASK` holds the events of cycle
+    /// `c` for `c` in `[cursor, cursor + WHEEL_SPAN)`. Within the window a
+    /// bucket holds at most one distinct cycle, and its entries are in push
+    /// (= seq) order, so each bucket is a plain FIFO.
+    wheel: Vec<VecDeque<(u64, E)>>,
+    /// Events in the wheel.
+    wheel_len: usize,
+    /// Cycle of the most recently popped event: the left edge of the wheel
+    /// window. Never decreases (pops yield nondecreasing times).
+    cursor: u64,
+    /// Far-future (and past-time) tier.
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
 }
@@ -61,6 +98,149 @@ impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
+            wheel: (0..WHEEL_SPAN).map(|_| VecDeque::new()).collect(),
+            wheel_len: 0,
+            cursor: 0,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Creates an empty queue with `capacity` pre-reserved in the far-future
+    /// tier (wheel buckets grow on demand and keep their capacity).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut q = Self::new();
+        q.heap.reserve(capacity);
+        q
+    }
+
+    /// Schedules `event` to fire at absolute time `at`.
+    pub fn push(&mut self, at: Time, event: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        let c = at.cycles();
+        if c >= self.cursor && c - self.cursor < WHEEL_SPAN {
+            let bucket = &mut self.wheel[(c & WHEEL_MASK) as usize];
+            debug_assert!(
+                bucket.back().is_none_or(|&(s, _)| s < seq),
+                "bucket seq order violated"
+            );
+            bucket.push_back((seq, event));
+            self.wheel_len += 1;
+        } else {
+            self.heap.push(Reverse(Entry {
+                time: at,
+                seq,
+                event,
+            }));
+        }
+    }
+
+    /// Finds the earliest wheel entry: `(cycle, bucket index)`. Scanning is
+    /// bounded by `limit` cycles past the cursor (the caller passes the heap
+    /// top's distance so a sparse wheel never scans past a closer heap
+    /// event) and by the wheel span.
+    #[inline]
+    fn wheel_min(&self, limit: u64) -> Option<(u64, usize)> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let span = WHEEL_SPAN.min(limit);
+        for off in 0..span {
+            let c = self.cursor + off;
+            let idx = (c & WHEEL_MASK) as usize;
+            if !self.wheel[idx].is_empty() {
+                return Some((c, idx));
+            }
+        }
+        None
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    ///
+    /// When the wheel and the heap both hold events for the same cycle
+    /// (possible when an event was pushed far ahead of its time and the
+    /// window has since caught up with it), the global sequence number
+    /// decides, preserving cross-tier FIFO.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let heap_top = self.heap.peek().map(|Reverse(e)| (e.time, e.seq));
+        // Never scan the wheel further than the heap's earliest event: past
+        // that point the heap entry wins regardless.
+        let limit = match heap_top {
+            Some((t, _)) => t.cycles().saturating_sub(self.cursor) + 1,
+            None => WHEEL_SPAN,
+        };
+        let wheel_best = self.wheel_min(limit);
+        let take_heap = match (wheel_best, heap_top) {
+            (None, None) => return None,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some((wc, idx)), Some((ht, hseq))) => {
+                let wt = Time::from_cycles(wc);
+                ht < wt || (ht == wt && hseq < self.wheel[idx].front().expect("nonempty").0)
+            }
+        };
+        if take_heap {
+            let Reverse(e) = self.heap.pop().expect("checked nonempty");
+            // Advancing the cursor to the popped (global-minimum) time keeps
+            // the wheel invariant: every remaining wheel entry is >= it.
+            self.cursor = self.cursor.max(e.time.cycles());
+            Some((e.time, e.event))
+        } else {
+            let (wc, idx) = wheel_best.expect("checked nonempty");
+            let (_, event) = self.wheel[idx].pop_front().expect("nonempty");
+            self.wheel_len -= 1;
+            self.cursor = wc;
+            Some((Time::from_cycles(wc), event))
+        }
+    }
+
+    /// Returns the time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Time> {
+        let heap_t = self.heap.peek().map(|Reverse(e)| e.time);
+        let limit = match heap_t {
+            Some(t) => t.cycles().saturating_sub(self.cursor) + 1,
+            None => WHEEL_SPAN,
+        };
+        let wheel_t = self.wheel_min(limit).map(|(c, _)| Time::from_cycles(c));
+        match (wheel_t, heap_t) {
+            (Some(w), Some(h)) => Some(w.min(h)),
+            (w, h) => w.or(h),
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.wheel_len + self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The original single-tier `BinaryHeap` event queue.
+///
+/// Same ordering contract as [`EventQueue`] (nondecreasing time, same-cycle
+/// FIFO). Kept as the measured baseline for the kernel benchmark and as the
+/// oracle in differential property tests; not used by the simulator.
+#[derive(Debug)]
+pub struct HeapEventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+}
+
+impl<E> HeapEventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        HeapEventQueue {
             heap: BinaryHeap::new(),
             seq: 0,
         }
@@ -82,11 +262,6 @@ impl<E> EventQueue<E> {
         self.heap.pop().map(|Reverse(e)| (e.time, e.event))
     }
 
-    /// Returns the time of the earliest pending event without removing it.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.time)
-    }
-
     /// Number of pending events.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -98,7 +273,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapEventQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -142,6 +317,114 @@ mod tests {
         assert_eq!(q.peek_time(), Some(Time::from_cycles(2)));
     }
 
+    #[test]
+    fn far_events_spill_to_heap_and_return() {
+        let mut q = EventQueue::new();
+        // Far beyond the wheel span at push time.
+        q.push(Time::from_cycles(10_000), "far");
+        q.push(Time::from_cycles(3), "near");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "near");
+        // The heap event must surface even though the wheel window has
+        // advanced past nothing in particular.
+        assert_eq!(q.pop().unwrap(), (Time::from_cycles(10_000), "far"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cross_tier_fifo_at_same_cycle() {
+        // Push an event for cycle 1000 while it is far (heap), then advance
+        // near it and push another for the same cycle (wheel). The heap one
+        // was pushed first and must pop first.
+        let mut q = EventQueue::new();
+        q.push(Time::from_cycles(1000), "first");
+        q.push(Time::from_cycles(900), "advance");
+        assert_eq!(q.pop().unwrap().1, "advance"); // cursor -> 900
+        q.push(Time::from_cycles(1000), "second");
+        assert_eq!(q.pop().unwrap(), (Time::from_cycles(1000), "first"));
+        assert_eq!(q.pop().unwrap(), (Time::from_cycles(1000), "second"));
+    }
+
+    #[test]
+    fn push_in_the_past_still_pops_in_order() {
+        // The simulator never schedules into the past, but the queue
+        // contract tolerates it: such events go to the heap and pop
+        // immediately (they are the minimum).
+        let mut q = EventQueue::new();
+        q.push(Time::from_cycles(50), "a");
+        assert_eq!(q.pop().unwrap().1, "a"); // cursor -> 50
+        q.push(Time::from_cycles(10), "past");
+        q.push(Time::from_cycles(51), "near");
+        assert_eq!(q.pop().unwrap(), (Time::from_cycles(10), "past"));
+        assert_eq!(q.pop().unwrap(), (Time::from_cycles(51), "near"));
+    }
+
+    #[test]
+    fn spill_boundary_is_exact() {
+        // cursor = 0: cycle WHEEL_SPAN-1 is the last wheel cycle, cycle
+        // WHEEL_SPAN the first heap cycle. Both must pop in time order with
+        // FIFO among equals regardless of tier.
+        let mut q = EventQueue::new();
+        q.push(Time::from_cycles(WHEEL_SPAN), "heap1");
+        q.push(Time::from_cycles(WHEEL_SPAN - 1), "wheel");
+        q.push(Time::from_cycles(WHEEL_SPAN), "heap2");
+        assert_eq!(q.pop().unwrap().1, "wheel");
+        assert_eq!(q.pop().unwrap().1, "heap1");
+        assert_eq!(q.pop().unwrap().1, "heap2");
+    }
+
+    /// Drains `q` and checks (time, seq-as-payload) global ordering.
+    fn assert_sorted_stable(mut q: EventQueue<usize>) {
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                assert!(t > lt || (t == lt && i > li), "order violated at {t}/{i}");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    #[test]
+    fn large_mixed_push_pop_across_boundary() {
+        // 10^5 mixed pushes/pops with deltas straddling the wheel->heap
+        // spill boundary, checked differentially against the pure-heap
+        // oracle at every pop.
+        let mut rng: u64 = 0x9E3779B97F4A7C15;
+        let mut step = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut q = EventQueue::new();
+        let mut oracle = HeapEventQueue::new();
+        let mut now = 0u64;
+        let mut pushed = 0usize;
+        for i in 0..100_000 {
+            if pushed == 0 || step() % 3 != 0 {
+                // Deltas cluster just around WHEEL_SPAN: 0..2*WHEEL_SPAN.
+                let delta = step() % (2 * WHEEL_SPAN);
+                let t = Time::from_cycles(now + delta);
+                q.push(t, i);
+                oracle.push(t, i);
+                pushed += 1;
+            } else {
+                let got = q.pop();
+                let want = oracle.pop();
+                assert_eq!(got, want);
+                now = got.expect("pushed > 0").0.cycles();
+                pushed -= 1;
+            }
+        }
+        loop {
+            let got = q.pop();
+            assert_eq!(got, oracle.pop());
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
     proptest! {
         /// Popping always yields events in nondecreasing time order, and
         /// events with equal time in push order.
@@ -151,12 +434,36 @@ mod tests {
             for (i, &t) in times.iter().enumerate() {
                 q.push(Time::from_cycles(t), i);
             }
-            let mut last: Option<(Time, usize)> = None;
-            while let Some((t, i)) = q.pop() {
-                if let Some((lt, li)) = last {
-                    prop_assert!(t > lt || (t == lt && i > li));
+            assert_sorted_stable(q);
+        }
+
+        /// Same property with deltas spanning the wheel->heap boundary and
+        /// interleaved pops (the pop path moves the cursor, which is where
+        /// windowing bugs would hide).
+        #[test]
+        fn pops_sorted_stable_across_tiers(
+            ops in proptest::collection::vec((0u64..3 * WHEEL_SPAN, any::<bool>()), 0..400)
+        ) {
+            let mut q = EventQueue::new();
+            let mut oracle = HeapEventQueue::new();
+            let mut now = 0u64;
+            for (i, &(delta, do_pop)) in ops.iter().enumerate() {
+                if do_pop {
+                    let got = q.pop();
+                    prop_assert_eq!(got, oracle.pop());
+                    if let Some((t, _)) = got {
+                        now = t.cycles();
+                    }
+                } else {
+                    let t = Time::from_cycles(now + delta);
+                    q.push(t, i);
+                    oracle.push(t, i);
                 }
-                last = Some((t, i));
+            }
+            loop {
+                let got = q.pop();
+                prop_assert_eq!(got, oracle.pop());
+                if got.is_none() { break; }
             }
         }
     }

@@ -7,8 +7,9 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::runner::run_protocol;
-use crate::SimError;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
+use crate::{NetworkKind, SimError};
 
 /// The protocols of Figure 2, in the paper's bar order.
 pub const FIG2_PROTOCOLS: [ProtocolKind; 8] = ProtocolKind::ALL;
@@ -52,17 +53,34 @@ impl Fig2Row {
 ///
 /// Propagates the first [`SimError`].
 pub fn fig2(suite: &[Workload]) -> Result<Fig2, SimError> {
-    let mut rows = Vec::new();
-    for w in suite {
-        let mut metrics = Vec::new();
-        for kind in FIG2_PROTOCOLS {
-            metrics.push(run_protocol(w, kind, Consistency::Rc)?);
-        }
-        rows.push(Fig2Row {
+    fig2_with(suite, &SweepOpts::default())
+}
+
+/// [`fig2`] with explicit sweep options (worker threads, fault plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn fig2_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig2, SimError> {
+    let nk = FIG2_PROTOCOLS.len();
+    let all = run_ordered(opts.jobs, suite.len() * nk, |i| {
+        run_protocol_cfg(
+            &suite[i / nk],
+            FIG2_PROTOCOLS[i % nk],
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| Fig2Row {
             app: w.name().to_owned(),
-            metrics,
-        });
-    }
+            metrics: all.by_ref().take(nk).collect(),
+        })
+        .collect();
     Ok(Fig2 { rows })
 }
 

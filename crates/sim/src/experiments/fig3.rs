@@ -7,8 +7,9 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::runner::run_protocol;
-use crate::SimError;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
+use crate::{NetworkKind, SimError};
 
 /// The protocols of Figure 3 (all under SC; CW is infeasible under SC).
 pub const FIG3_PROTOCOLS: [ProtocolKind; 4] = [
@@ -60,19 +61,43 @@ impl Fig3Row {
 ///
 /// Propagates the first [`SimError`].
 pub fn fig3(suite: &[Workload]) -> Result<Fig3, SimError> {
-    let mut rows = Vec::new();
-    for w in suite {
-        let mut metrics = Vec::new();
-        for kind in FIG3_PROTOCOLS {
-            metrics.push(run_protocol(w, kind, Consistency::Sc)?);
-        }
-        let basic_rc = run_protocol(w, ProtocolKind::Basic, Consistency::Rc)?;
-        rows.push(Fig3Row {
-            app: w.name().to_owned(),
-            metrics,
-            basic_rc,
-        });
-    }
+    fig3_with(suite, &SweepOpts::default())
+}
+
+/// [`fig3`] with explicit sweep options (worker threads, fault plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn fig3_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig3, SimError> {
+    // Per app: the four SC protocols, then the BASIC-RC reference run.
+    let per_app = FIG3_PROTOCOLS.len() + 1;
+    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
+        let (kind, consistency) = match i % per_app {
+            k if k < FIG3_PROTOCOLS.len() => (FIG3_PROTOCOLS[k], Consistency::Sc),
+            _ => (ProtocolKind::Basic, Consistency::Rc),
+        };
+        run_protocol_cfg(
+            &suite[i / per_app],
+            kind,
+            consistency,
+            NetworkKind::Uniform,
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| {
+            let metrics: Vec<Metrics> = all.by_ref().take(FIG3_PROTOCOLS.len()).collect();
+            Fig3Row {
+                app: w.name().to_owned(),
+                metrics,
+                basic_rc: all.next().expect("one BASIC-RC run per app"),
+            }
+        })
+        .collect();
     Ok(Fig3 { rows })
 }
 

@@ -7,8 +7,9 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::runner::run_protocol;
-use crate::SimError;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
+use crate::{NetworkKind, SimError};
 
 /// The protocols of Figure 4, in the paper's x-axis order.
 pub const FIG4_PROTOCOLS: [ProtocolKind; 6] = [
@@ -53,17 +54,34 @@ impl Fig4Row {
 ///
 /// Propagates the first [`SimError`].
 pub fn fig4(suite: &[Workload]) -> Result<Fig4, SimError> {
-    let mut rows = Vec::new();
-    for w in suite {
-        let mut metrics = Vec::new();
-        for kind in FIG4_PROTOCOLS {
-            metrics.push(run_protocol(w, kind, Consistency::Rc)?);
-        }
-        rows.push(Fig4Row {
+    fig4_with(suite, &SweepOpts::default())
+}
+
+/// [`fig4`] with explicit sweep options (worker threads, fault plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn fig4_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig4, SimError> {
+    let nk = FIG4_PROTOCOLS.len();
+    let all = run_ordered(opts.jobs, suite.len() * nk, |i| {
+        run_protocol_cfg(
+            &suite[i / nk],
+            FIG4_PROTOCOLS[i % nk],
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| Fig4Row {
             app: w.name().to_owned(),
-            metrics,
-        });
-    }
+            metrics: all.by_ref().take(nk).collect(),
+        })
+        .collect();
     Ok(Fig4 { rows })
 }
 

@@ -13,8 +13,9 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::runner::run_protocol;
-use crate::SimError;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
+use crate::{NetworkKind, SimError};
 
 /// Result of the read-miss-latency comparison.
 #[derive(Debug)]
@@ -51,14 +52,40 @@ impl MissLatencyRow {
 ///
 /// Propagates the first [`SimError`].
 pub fn miss_latency(suite: &[Workload]) -> Result<MissLatency, SimError> {
-    let mut rows = Vec::new();
-    for w in suite {
-        rows.push(MissLatencyRow {
+    miss_latency_with(suite, &SweepOpts::default())
+}
+
+/// [`miss_latency`] with explicit sweep options (worker threads, fault
+/// plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn miss_latency_with(suite: &[Workload], opts: &SweepOpts) -> Result<MissLatency, SimError> {
+    let all = run_ordered(opts.jobs, suite.len() * 2, |i| {
+        let kind = if i % 2 == 0 {
+            ProtocolKind::Basic
+        } else {
+            ProtocolKind::Cw
+        };
+        run_protocol_cfg(
+            &suite[i / 2],
+            kind,
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| MissLatencyRow {
             app: w.name().to_owned(),
-            basic: run_protocol(w, ProtocolKind::Basic, Consistency::Rc)?,
-            cw: run_protocol(w, ProtocolKind::Cw, Consistency::Rc)?,
-        });
-    }
+            basic: all.next().expect("BASIC run per app"),
+            cw: all.next().expect("CW run per app"),
+        })
+        .collect();
     Ok(MissLatency { rows })
 }
 

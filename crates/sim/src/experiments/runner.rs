@@ -3,10 +3,38 @@
 use dirext_core::config::Consistency;
 use dirext_core::ProtocolKind;
 use dirext_memsys::Timing;
+use dirext_network::FaultPlan;
 use dirext_stats::Metrics;
 use dirext_trace::Workload;
 
 use crate::{Machine, MachineConfig, NetworkKind, SimError};
+
+/// Options shared by every sweep driver's `*_with` variant.
+///
+/// `jobs` sets the worker-thread count for [`super::pool::run_ordered`]
+/// (0 or 1 = run inline); `fault` optionally overlays a fault-injection
+/// plan on every run of the sweep, which the determinism tests use to
+/// cover the faulty-network path under parallel execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepOpts {
+    /// Worker threads for the sweep (0 or 1 = serial inline).
+    pub jobs: usize,
+    /// Fault plan applied to every run, if any.
+    pub fault: Option<FaultPlan>,
+}
+
+impl SweepOpts {
+    /// Options running on `jobs` worker threads, no fault injection.
+    pub fn jobs(jobs: usize) -> Self {
+        SweepOpts { jobs, fault: None }
+    }
+
+    /// Returns these options with `fault` overlaid on every run.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+}
 
 /// Runs `workload` on the paper's 16-node machine (or `workload.procs()`
 /// nodes) under `kind` × `consistency` with the default uniform network.
@@ -34,10 +62,31 @@ pub fn run_protocol_on(
     network: NetworkKind,
     timing: Option<Timing>,
 ) -> Result<Metrics, SimError> {
+    run_protocol_cfg(workload, kind, consistency, network, timing, None)
+}
+
+/// The fully-general run helper: explicit network, optional timing
+/// override, optional fault plan. Every sweep configuration bottoms out
+/// here.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+pub fn run_protocol_cfg(
+    workload: &Workload,
+    kind: ProtocolKind,
+    consistency: Consistency,
+    network: NetworkKind,
+    timing: Option<Timing>,
+    fault: Option<FaultPlan>,
+) -> Result<Metrics, SimError> {
     let mut cfg = MachineConfig::new(workload.procs(), kind.config(consistency));
     cfg = cfg.with_network(network);
     if let Some(t) = timing {
         cfg = cfg.with_timing(t);
+    }
+    if let Some(p) = fault {
+        cfg = cfg.with_faults(p);
     }
     Machine::new(cfg).run(workload)
 }

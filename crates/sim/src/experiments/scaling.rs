@@ -15,8 +15,9 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::runner::run_protocol;
-use crate::SimError;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
+use crate::{NetworkKind, SimError};
 
 /// The node counts swept.
 pub const SCALING_PROCS: [usize; 5] = [4, 8, 16, 32, 64];
@@ -64,19 +65,51 @@ impl ScalingRow {
 /// # Errors
 ///
 /// Propagates the first [`SimError`].
-pub fn scaling<F>(app_name: &str, mut make_workload: F) -> Result<Scaling, SimError>
+pub fn scaling<F>(app_name: &str, make_workload: F) -> Result<Scaling, SimError>
 where
     F: FnMut(usize) -> Workload,
 {
-    let mut rows = Vec::new();
-    for procs in SCALING_PROCS {
-        let w = make_workload(procs);
-        let mut metrics = Vec::new();
-        for kind in SCALING_PROTOCOLS {
-            metrics.push(run_protocol(&w, kind, Consistency::Rc)?);
-        }
-        rows.push(ScalingRow { procs, metrics });
-    }
+    scaling_with(app_name, make_workload, &SweepOpts::default())
+}
+
+/// [`scaling`] with explicit sweep options (worker threads, fault plan).
+///
+/// The workloads for all machine sizes are generated up front (in
+/// [`SCALING_PROCS`] order, so generation sees the same call sequence as
+/// the serial sweep) and the runs fan out over the worker pool; cloning is
+/// avoided because [`Workload`] shares its programs by reference count.
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn scaling_with<F>(
+    app_name: &str,
+    mut make_workload: F,
+    opts: &SweepOpts,
+) -> Result<Scaling, SimError>
+where
+    F: FnMut(usize) -> Workload,
+{
+    let workloads: Vec<Workload> = SCALING_PROCS.into_iter().map(&mut make_workload).collect();
+    let nk = SCALING_PROTOCOLS.len();
+    let all = run_ordered(opts.jobs, workloads.len() * nk, |i| {
+        run_protocol_cfg(
+            &workloads[i / nk],
+            SCALING_PROTOCOLS[i % nk],
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = SCALING_PROCS
+        .into_iter()
+        .map(|procs| ScalingRow {
+            procs,
+            metrics: all.by_ref().take(nk).collect(),
+        })
+        .collect();
     Ok(Scaling {
         app: app_name.to_owned(),
         rows,

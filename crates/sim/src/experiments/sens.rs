@@ -8,7 +8,8 @@ use dirext_memsys::Timing;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::runner::{run_protocol, run_protocol_on};
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
 use crate::{NetworkKind, SimError};
 
 /// The protocols compared in the sensitivity study.
@@ -69,30 +70,57 @@ pub enum Constraint {
 ///
 /// Propagates the first [`SimError`].
 pub fn sensitivity(suite: &[Workload], constraint: Constraint) -> Result<Sensitivity, SimError> {
+    sensitivity_with(suite, constraint, &SweepOpts::default())
+}
+
+/// [`sensitivity`] with explicit sweep options (worker threads, fault plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn sensitivity_with(
+    suite: &[Workload],
+    constraint: Constraint,
+    opts: &SweepOpts,
+) -> Result<Sensitivity, SimError> {
     let (variant, timing) = match constraint {
         Constraint::SmallBuffers => ("FLWB4/SLWB4", Timing::paper_default().with_small_buffers()),
         Constraint::SmallSlc => ("16-KB SLC", Timing::paper_default().with_limited_slc()),
     };
-    let mut rows = Vec::new();
-    for w in suite {
-        let mut default_metrics = Vec::new();
-        let mut constrained_metrics = Vec::new();
-        for kind in SENS_PROTOCOLS {
-            default_metrics.push(run_protocol(w, kind, Consistency::Rc)?);
-            constrained_metrics.push(run_protocol_on(
-                w,
-                kind,
-                Consistency::Rc,
-                NetworkKind::Uniform,
-                Some(timing.clone()),
-            )?);
-        }
-        rows.push(SensRow {
-            app: w.name().to_owned(),
-            default_metrics,
-            constrained_metrics,
-        });
-    }
+    // Per app: each protocol at default parameters, then constrained.
+    let per_app = 2 * SENS_PROTOCOLS.len();
+    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
+        let within = i % per_app;
+        run_protocol_cfg(
+            &suite[i / per_app],
+            SENS_PROTOCOLS[within / 2],
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            if within.is_multiple_of(2) {
+                None
+            } else {
+                Some(timing.clone())
+            },
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| {
+            let mut default_metrics = Vec::with_capacity(SENS_PROTOCOLS.len());
+            let mut constrained_metrics = Vec::with_capacity(SENS_PROTOCOLS.len());
+            for _ in SENS_PROTOCOLS {
+                default_metrics.push(all.next().expect("default run per protocol"));
+                constrained_metrics.push(all.next().expect("constrained run per protocol"));
+            }
+            SensRow {
+                app: w.name().to_owned(),
+                default_metrics,
+                constrained_metrics,
+            }
+        })
+        .collect();
     Ok(Sensitivity { variant, rows })
 }
 

@@ -7,8 +7,9 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::runner::run_protocol;
-use crate::SimError;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
+use crate::{NetworkKind, SimError};
 
 /// The protocols of Table 2, in the paper's column order.
 pub const TABLE2_PROTOCOLS: [ProtocolKind; 4] = [
@@ -58,17 +59,34 @@ impl Table2Row {
 ///
 /// Propagates the first [`SimError`].
 pub fn table2(suite: &[Workload]) -> Result<Table2, SimError> {
-    let mut rows = Vec::new();
-    for w in suite {
-        let mut metrics = Vec::new();
-        for kind in TABLE2_PROTOCOLS {
-            metrics.push(run_protocol(w, kind, Consistency::Rc)?);
-        }
-        rows.push(Table2Row {
+    table2_with(suite, &SweepOpts::default())
+}
+
+/// [`table2`] with explicit sweep options (worker threads, fault plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn table2_with(suite: &[Workload], opts: &SweepOpts) -> Result<Table2, SimError> {
+    let nk = TABLE2_PROTOCOLS.len();
+    let all = run_ordered(opts.jobs, suite.len() * nk, |i| {
+        run_protocol_cfg(
+            &suite[i / nk],
+            TABLE2_PROTOCOLS[i % nk],
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| Table2Row {
             app: w.name().to_owned(),
-            metrics,
-        });
-    }
+            metrics: all.by_ref().take(nk).collect(),
+        })
+        .collect();
     Ok(Table2 { rows })
 }
 

@@ -7,7 +7,8 @@ use dirext_core::ProtocolKind;
 use dirext_stats::TextTable;
 use dirext_trace::Workload;
 
-use super::runner::run_protocol_on;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
 use crate::{NetworkKind, SimError};
 
 /// The link widths of Section 5.3, in bits.
@@ -48,24 +49,52 @@ impl Table3Row {
 ///
 /// Propagates the first [`SimError`].
 pub fn table3(suite: &[Workload]) -> Result<Table3, SimError> {
-    let mut rows = Vec::new();
-    for w in suite {
-        let mut pcw = [0.0; 3];
-        let mut pm = [0.0; 3];
-        for (i, bits) in LINK_WIDTHS.iter().enumerate() {
-            let net = NetworkKind::Mesh { link_bits: *bits };
-            let base = run_protocol_on(w, ProtocolKind::Basic, Consistency::Rc, net, None)?;
-            let m_pcw = run_protocol_on(w, ProtocolKind::PCw, Consistency::Rc, net, None)?;
-            let m_pm = run_protocol_on(w, ProtocolKind::PM, Consistency::Rc, net, None)?;
-            pcw[i] = m_pcw.relative_time(&base);
-            pm[i] = m_pm.relative_time(&base);
-        }
-        rows.push(Table3Row {
-            app: w.name().to_owned(),
-            pcw,
-            pm,
-        });
-    }
+    table3_with(suite, &SweepOpts::default())
+}
+
+/// The protocols run at each link width (BASIC is the per-mesh baseline).
+const TABLE3_PROTOCOLS: [ProtocolKind; 3] =
+    [ProtocolKind::Basic, ProtocolKind::PCw, ProtocolKind::PM];
+
+/// [`table3`] with explicit sweep options (worker threads, fault plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn table3_with(suite: &[Workload], opts: &SweepOpts) -> Result<Table3, SimError> {
+    // Per app: LINK_WIDTHS × {BASIC, P+CW, P+M}.
+    let per_app = LINK_WIDTHS.len() * TABLE3_PROTOCOLS.len();
+    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
+        let within = i % per_app;
+        run_protocol_cfg(
+            &suite[i / per_app],
+            TABLE3_PROTOCOLS[within % TABLE3_PROTOCOLS.len()],
+            Consistency::Rc,
+            NetworkKind::Mesh {
+                link_bits: LINK_WIDTHS[within / TABLE3_PROTOCOLS.len()],
+            },
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| {
+            let mut pcw = [0.0; 3];
+            let mut pm = [0.0; 3];
+            for i in 0..LINK_WIDTHS.len() {
+                let base = all.next().expect("BASIC run per width");
+                pcw[i] = all.next().expect("P+CW run per width").relative_time(&base);
+                pm[i] = all.next().expect("P+M run per width").relative_time(&base);
+            }
+            Table3Row {
+                app: w.name().to_owned(),
+                pcw,
+                pm,
+            }
+        })
+        .collect();
     Ok(Table3 { rows })
 }
 

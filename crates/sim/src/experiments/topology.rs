@@ -14,7 +14,8 @@ use dirext_core::ProtocolKind;
 use dirext_stats::TextTable;
 use dirext_trace::Workload;
 
-use super::runner::run_protocol_on;
+use super::pool::run_ordered;
+use super::runner::{run_protocol_cfg, SweepOpts};
 use crate::{NetworkKind, SimError};
 
 /// The topologies swept (at 32-bit links for the contended ones).
@@ -48,23 +49,56 @@ pub struct TopologyRow {
 ///
 /// Propagates the first [`SimError`].
 pub fn topology(suite: &[Workload]) -> Result<Topology, SimError> {
-    let mut rows = Vec::new();
-    for w in suite {
-        let mut pcw = [0.0; 3];
-        let mut pm = [0.0; 3];
-        for (i, net) in TOPOLOGIES.iter().enumerate() {
-            let base = run_protocol_on(w, ProtocolKind::Basic, Consistency::Rc, *net, None)?;
-            pcw[i] = run_protocol_on(w, ProtocolKind::PCw, Consistency::Rc, *net, None)?
-                .relative_time(&base);
-            pm[i] = run_protocol_on(w, ProtocolKind::PM, Consistency::Rc, *net, None)?
-                .relative_time(&base);
-        }
-        rows.push(TopologyRow {
-            app: w.name().to_owned(),
-            pcw,
-            pm,
-        });
-    }
+    topology_with(suite, &SweepOpts::default())
+}
+
+/// The protocols run on each topology (BASIC is the per-network baseline).
+const TOPOLOGY_PROTOCOLS: [ProtocolKind; 3] =
+    [ProtocolKind::Basic, ProtocolKind::PCw, ProtocolKind::PM];
+
+/// [`topology`] with explicit sweep options (worker threads, fault plan).
+///
+/// # Errors
+///
+/// Propagates the lowest-indexed [`SimError`] of the sweep.
+pub fn topology_with(suite: &[Workload], opts: &SweepOpts) -> Result<Topology, SimError> {
+    // Per app: TOPOLOGIES × {BASIC, P+CW, P+M}.
+    let per_app = TOPOLOGIES.len() * TOPOLOGY_PROTOCOLS.len();
+    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
+        let within = i % per_app;
+        run_protocol_cfg(
+            &suite[i / per_app],
+            TOPOLOGY_PROTOCOLS[within % TOPOLOGY_PROTOCOLS.len()],
+            Consistency::Rc,
+            TOPOLOGIES[within / TOPOLOGY_PROTOCOLS.len()],
+            None,
+            opts.fault,
+        )
+    })?;
+    let mut all = all.into_iter();
+    let rows = suite
+        .iter()
+        .map(|w| {
+            let mut pcw = [0.0; 3];
+            let mut pm = [0.0; 3];
+            for i in 0..TOPOLOGIES.len() {
+                let base = all.next().expect("BASIC run per topology");
+                pcw[i] = all
+                    .next()
+                    .expect("P+CW run per topology")
+                    .relative_time(&base);
+                pm[i] = all
+                    .next()
+                    .expect("P+M run per topology")
+                    .relative_time(&base);
+            }
+            TopologyRow {
+                app: w.name().to_owned(),
+                pcw,
+                pm,
+            }
+        })
+        .collect();
     Ok(Topology { rows })
 }
 

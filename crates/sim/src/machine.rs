@@ -158,6 +158,10 @@ pub struct Machine {
     pub(crate) retry_inflight: std::collections::HashSet<(NodeId, BlockAddr)>,
     /// When a processor last retired a program event (watchdog).
     last_progress: Time,
+    /// Recycled buffer for directory transaction records: taken before each
+    /// `Directory::handle_into` call and returned after its actions are
+    /// dispatched, so steady-state home processing never allocates.
+    action_pool: Vec<dirext_core::dir::DirAction>,
 }
 
 impl Machine {
@@ -173,7 +177,7 @@ impl Machine {
         Machine {
             classifier: MissClassifier::new(cfg.procs),
             now: Time::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_capacity(256),
             nodes: Vec::new(),
             homes,
             net,
@@ -188,6 +192,7 @@ impl Machine {
             retry_attempts: HashMap::new(),
             retry_inflight: std::collections::HashSet::new(),
             last_progress: Time::ZERO,
+            action_pool: Vec::with_capacity(2 * cfg.procs),
             cfg,
         }
     }
@@ -254,7 +259,7 @@ impl Machine {
             .map(|i| {
                 Node::new(
                     NodeId(i as u8),
-                    workload.program(i).clone(),
+                    workload.program_shared(i),
                     &self.cfg.protocol,
                     &self.cfg.timing,
                 )
@@ -450,14 +455,19 @@ impl Machine {
                 if kind.carries_block() || matches!(kind, MsgKind::UpdateReq { .. }) {
                     self.homes[h].merge_version(msg.block, msg.version);
                 }
-                let actions = match self.homes[h].dir.handle(msg.src, msg.block, kind) {
-                    Ok(actions) => actions,
-                    Err(e) => {
-                        self.fatal = Some(SimError::Protocol(e));
-                        return;
-                    }
-                };
-                for act in actions {
+                // Reuse the pooled transaction buffer; `send_msg` below
+                // needs `&mut self`, so the buffer is taken out for the
+                // duration of the dispatch and returned afterwards.
+                let mut actions = std::mem::take(&mut self.action_pool);
+                actions.clear();
+                if let Err(e) = self.homes[h]
+                    .dir
+                    .handle_into(msg.src, msg.block, kind, &mut actions)
+                {
+                    self.fatal = Some(SimError::Protocol(e));
+                    return;
+                }
+                for act in actions.drain(..) {
                     let carries_payload =
                         act.kind.carries_block() || matches!(act.kind, MsgKind::Update { .. });
                     let version = if carries_payload {
@@ -474,6 +484,7 @@ impl Machine {
                     };
                     self.send_msg(t, out);
                 }
+                self.action_pool = actions;
             }
         }
     }

@@ -9,6 +9,7 @@ use dirext_kernel::{Resource, Time};
 use dirext_memsys::{Fifo, Flc, Slc, SlcGeometry, Timing, WcEntry, WriteCache};
 use dirext_stats::{Histogram, StallBreakdown, StallKind};
 use dirext_trace::{Addr, BlockAddr, NodeId, Program};
+use std::sync::Arc;
 
 /// What the processor is doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,7 +128,7 @@ pub(crate) struct NodeCounters {
 #[derive(Debug)]
 pub(crate) struct Node {
     pub id: NodeId,
-    pub program: Program,
+    pub program: Arc<Program>,
     pub pc: usize,
     pub pstate: ProcState,
     /// Skip re-charging FLC access time when retrying after a buffer stall.
@@ -181,7 +182,7 @@ pub(crate) struct Node {
 impl Node {
     pub(crate) fn new(
         id: NodeId,
-        program: Program,
+        program: Arc<Program>,
         protocol: &ProtocolConfig,
         timing: &Timing,
     ) -> Self {

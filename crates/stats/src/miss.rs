@@ -17,11 +17,11 @@ pub enum InvalReason {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MissClass {
     /// First reference by this node to the block.
-    Cold,
+    Cold = 0,
     /// The block was present but removed by a coherence action.
-    Coherence,
+    Coherence = 1,
     /// The block was present but evicted for capacity/conflict reasons.
-    Replacement,
+    Replacement = 2,
 }
 
 /// Tracks, per node and block, enough history to classify each SLC miss.
@@ -48,9 +48,9 @@ pub enum MissClass {
 pub struct MissClassifier {
     accessed: Vec<HashSet<BlockAddr>>,
     reason: Vec<HashMap<BlockAddr, InvalReason>>,
-    cold: u64,
-    coherence: u64,
-    replacement: u64,
+    /// Miss counts indexed by `MissClass` discriminant (cold, coherence,
+    /// replacement) so the per-miss bump is an indexed add, not a branch.
+    counts: [u64; 3],
 }
 
 impl MissClassifier {
@@ -59,9 +59,7 @@ impl MissClassifier {
         MissClassifier {
             accessed: vec![HashSet::new(); nprocs],
             reason: vec![HashMap::new(); nprocs],
-            cold: 0,
-            coherence: 0,
-            replacement: 0,
+            counts: [0; 3],
         }
     }
 
@@ -93,32 +91,28 @@ impl MissClassifier {
             }
         };
         self.accessed[node.idx()].insert(block);
-        match class {
-            MissClass::Cold => self.cold += 1,
-            MissClass::Coherence => self.coherence += 1,
-            MissClass::Replacement => self.replacement += 1,
-        }
+        self.counts[class as usize] += 1;
         class
     }
 
     /// Counted cold misses.
     pub fn cold(&self) -> u64 {
-        self.cold
+        self.counts[MissClass::Cold as usize]
     }
 
     /// Counted coherence misses.
     pub fn coherence(&self) -> u64 {
-        self.coherence
+        self.counts[MissClass::Coherence as usize]
     }
 
     /// Counted replacement misses.
     pub fn replacement(&self) -> u64 {
-        self.replacement
+        self.counts[MissClass::Replacement as usize]
     }
 
     /// Total classified misses.
     pub fn total(&self) -> u64 {
-        self.cold + self.coherence + self.replacement
+        self.counts.iter().sum()
     }
 }
 

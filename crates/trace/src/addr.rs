@@ -41,7 +41,7 @@ impl Addr {
     /// The cache block containing this address.
     #[inline]
     pub const fn block(self) -> BlockAddr {
-        BlockAddr(self.0 / BLOCK_BYTES)
+        BlockAddr::from_index(self.0 / BLOCK_BYTES)
     }
 
     /// The page containing this address.
@@ -70,32 +70,43 @@ impl fmt::Display for Addr {
 }
 
 /// A cache-block address (byte address divided by the 32-byte block size).
+///
+/// Stored as a `u32` block index — 4 bytes instead of 8 on the hottest
+/// simulator paths ([`crate::NodeId`]-sized protocol messages, directory
+/// and cache hash-map keys). A `u32` index addresses 2³² × 32 B = 128 GB
+/// of simulated shared memory, orders of magnitude beyond any workload the
+/// paper (or this reproduction) runs; the public API stays `u64` for
+/// compatibility with [`Addr`] arithmetic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct BlockAddr(u64);
+pub struct BlockAddr(u32);
 
 impl BlockAddr {
     /// Creates a block address from a block index.
+    ///
+    /// Indices above `u32::MAX` (128 GB of simulated memory) are not
+    /// representable; debug builds assert, release builds truncate.
     #[inline]
     pub const fn from_index(index: u64) -> Self {
-        BlockAddr(index)
+        debug_assert!(index <= u32::MAX as u64, "block index exceeds u32 range");
+        BlockAddr(index as u32)
     }
 
     /// The block index.
     #[inline]
     pub const fn index(self) -> u64 {
-        self.0
+        self.0 as u64
     }
 
     /// The first byte address of this block.
     #[inline]
     pub const fn base_addr(self) -> Addr {
-        Addr(self.0 * BLOCK_BYTES)
+        Addr(self.0 as u64 * BLOCK_BYTES)
     }
 
     /// The block `n` blocks after this one (used by sequential prefetching).
     #[inline]
     pub const fn plus(self, n: u64) -> BlockAddr {
-        BlockAddr(self.0 + n)
+        BlockAddr::from_index(self.0 as u64 + n)
     }
 
     /// The immediately preceding block, or `None` at block zero.
@@ -107,7 +118,7 @@ impl BlockAddr {
     /// The page containing this block.
     #[inline]
     pub const fn page(self) -> PageId {
-        PageId(self.0 * BLOCK_BYTES / PAGE_BYTES)
+        PageId(self.0 as u64 * BLOCK_BYTES / PAGE_BYTES)
     }
 }
 

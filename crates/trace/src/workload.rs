@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::{Addr, MemEvent, Program};
 
@@ -64,6 +65,11 @@ impl std::error::Error for WorkloadError {}
 
 /// A named workload: one [`Program`] per processor plus bookkeeping.
 ///
+/// Programs are stored behind [`Arc`] so that handing one to a simulated
+/// machine — or to eight protocol configurations across a parallel sweep —
+/// shares the event list instead of cloning it. Cloning a `Workload` is
+/// likewise O(procs), not O(events).
+///
 /// # Example
 ///
 /// ```
@@ -81,7 +87,7 @@ impl std::error::Error for WorkloadError {}
 #[derive(Debug, Clone)]
 pub struct Workload {
     name: String,
-    programs: Vec<Program>,
+    programs: Vec<Arc<Program>>,
 }
 
 impl Workload {
@@ -89,7 +95,7 @@ impl Workload {
     pub fn new(name: impl Into<String>, programs: Vec<Program>) -> Self {
         Workload {
             name: name.into(),
-            programs,
+            programs: programs.into_iter().map(Arc::new).collect(),
         }
     }
 
@@ -112,19 +118,29 @@ impl Workload {
         &self.programs[i]
     }
 
+    /// A shared handle to the program for processor `i` (cheap: bumps a
+    /// reference count instead of cloning the event list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.procs()`.
+    pub fn program_shared(&self, i: usize) -> Arc<Program> {
+        Arc::clone(&self.programs[i])
+    }
+
     /// All programs.
-    pub fn programs(&self) -> &[Program] {
+    pub fn programs(&self) -> &[Arc<Program>] {
         &self.programs
     }
 
     /// Total shared-data references across all processors.
     pub fn total_data_refs(&self) -> usize {
-        self.programs.iter().map(Program::data_refs).sum()
+        self.programs.iter().map(|p| p.data_refs()).sum()
     }
 
     /// Total events across all processors.
     pub fn total_events(&self) -> usize {
-        self.programs.iter().map(Program::len).sum()
+        self.programs.iter().map(|p| p.len()).sum()
     }
 
     /// Checks structural well-formedness: consistent barrier sequences and
