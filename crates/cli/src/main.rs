@@ -40,6 +40,10 @@ COMMANDS:
     run-all        Every experiment in sequence (the full paper sweep);
                    honors --jobs for parallel execution
     run            One simulation: --app or --trace, --protocol, --consistency
+    trace          Like `run`, but records every directory and cache state
+                   transition, replays the trace through the declarative
+                   protocol tables, and prints the tail (--last N) with a
+                   conformance verdict
     dump-trace     Write a workload as a text trace to stdout (--app, --scale)
     validate       Check a trace file without running it (--trace FILE)
     report         Run every experiment and write a markdown report (--out)
@@ -60,6 +64,10 @@ OPTIONS:
     --out       For `report`: output file (default: stdout)
     --network   For `run`: uniform (default), mesh64, mesh32, mesh16,
                 ring64, ring32, ring16
+    --last      For `trace`: how many trailing transition records to print
+                (default 32; 0 = none, just the verdict)
+    --ring      For `trace`: transition-ring capacity per controller
+                (default 65536; oldest records are overwritten on overflow)
     --jobs      Worker threads for the sweep commands (fig2/table2/fig3/
                 table3/fig4/sens-*/miss-latency/topology/scaling/stress/
                 run-all/report). Default 1 (serial); 0 = all CPU cores.
@@ -99,6 +107,8 @@ struct Args {
     watchdog: Option<u64>,
     audit_every: u64,
     jobs: usize,
+    last: usize,
+    ring: usize,
 }
 
 impl Args {
@@ -171,6 +181,8 @@ fn parse_args() -> Result<Args, String> {
         watchdog: None,
         audit_every: 0,
         jobs: 1,
+        last: 32,
+        ring: 65536,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -270,6 +282,19 @@ fn parse_args() -> Result<Args, String> {
                 parsed.jobs = value("--jobs")?
                     .parse()
                     .map_err(|e| format!("bad --jobs: {e}"))?;
+            }
+            "--last" => {
+                parsed.last = value("--last")?
+                    .parse()
+                    .map_err(|e| format!("bad --last: {e}"))?;
+            }
+            "--ring" => {
+                parsed.ring = value("--ring")?
+                    .parse()
+                    .map_err(|e| format!("bad --ring: {e}"))?;
+                if parsed.ring == 0 {
+                    return Err("--ring must be at least 1".to_owned());
+                }
             }
             "--out" => parsed.out = Some(value("--out")?),
             "--svg" => parsed.svg = Some(value("--svg")?),
@@ -606,6 +631,62 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
             let cfg = args.harden(MachineConfig::new(w.procs(), proto).with_network(args.network));
             let m = Machine::new(cfg).run(&w)?;
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&m)?);
+            } else {
+                println!("{m}");
+            }
+        }
+        "trace" => {
+            let w = match &args.trace {
+                Some(path) => {
+                    let file = std::fs::File::open(path)
+                        .map_err(|e| format!("cannot open trace '{path}': {e}"))?;
+                    dirext_trace::io::read_text(std::io::BufReader::new(file))?
+                }
+                None => args
+                    .app
+                    .unwrap_or(App::Mp3d)
+                    .workload(args.procs, args.scale),
+            };
+            let proto = args.protocol.config(args.consistency);
+            if !proto.is_feasible() {
+                return Err(format!(
+                    "{} is not implementable under {}: the competitive-update \
+                     mechanism needs relaxed consistency",
+                    args.protocol, args.consistency
+                )
+                .into());
+            }
+            let cfg = args
+                .harden(MachineConfig::new(w.procs(), proto).with_network(args.network))
+                .with_trace(args.ring);
+            // A conformance violation surfaces as a run error (the machine
+            // replays its own trace at quiescence), so reaching this point
+            // means every retained record is derivable from the tables.
+            let (m, records, layers) = Machine::new(cfg).run_traced(&w)?;
+            let names: Vec<&str> = layers
+                .kinds()
+                .iter()
+                .map(|k| k.label())
+                .filter(|l| *l != "BASIC")
+                .collect();
+            let tail = records.len().saturating_sub(args.last);
+            for r in &records[tail..] {
+                println!("{}", r.render());
+            }
+            if tail > 0 && args.last > 0 {
+                println!("  ... ({tail} earlier records not shown; --last to adjust)");
+            }
+            println!(
+                "conformance: ok — {} transitions checked against {}",
+                records.len(),
+                if names.is_empty() {
+                    "BASIC".to_owned()
+                } else {
+                    format!("BASIC+[{}]", names.join(", "))
+                }
+            );
             if args.json {
                 println!("{}", serde_json::to_string_pretty(&m)?);
             } else {

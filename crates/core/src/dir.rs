@@ -19,6 +19,12 @@ use dirext_trace::{BlockAddr, NodeId};
 
 use crate::error::ProtocolError;
 use crate::msg::MsgKind;
+use crate::proto::hooks::{
+    CompetitiveUpdateExt, ExclusiveCleanExt, ExtOption, ExtStack, MigratoryExt, ReadFetch,
+    ReadGrant, UpdateRoute,
+};
+use crate::proto::table::ExtKind;
+use crate::proto::trace::{DirTag, MsgTag, StateTag, TraceInput, TraceRing, TransitionRecord};
 
 /// A message the home node must send in response to an input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,7 +37,7 @@ pub struct DirAction {
 
 /// Stable directory state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum DirState {
+pub enum DirState {
     /// The memory copy is valid.
     Clean,
     /// Exactly one cache holds the exclusive copy.
@@ -82,14 +88,21 @@ struct Pending {
     keep_votes: bool,
 }
 
-/// One directory entry.
+/// One directory entry — the per-block state the extension hooks inspect
+/// and adjust (the transient `pending` bookkeeping stays internal to the
+/// BASIC core).
 #[derive(Debug, Clone)]
-struct DirEntry {
-    state: DirState,
-    presence: u64,
-    migratory: bool,
-    last_writer: Option<NodeId>,
-    last_updater: Option<NodeId>,
+pub struct DirEntry {
+    /// Stable state.
+    pub state: DirState,
+    /// Full-map presence vector (bit per node).
+    pub presence: u64,
+    /// M: the block is classified migratory.
+    pub migratory: bool,
+    /// M: the node whose write last took the block exclusive.
+    pub last_writer: Option<NodeId>,
+    /// CW+M: the node whose update the home last fanned out.
+    pub last_updater: Option<NodeId>,
     pending: Option<Pending>,
     waiting: VecDeque<(NodeId, MsgKind)>,
 }
@@ -109,7 +122,8 @@ impl Default for DirEntry {
 }
 
 impl DirEntry {
-    fn has(&self, n: NodeId) -> bool {
+    /// Whether node `n`'s presence bit is set.
+    pub fn has(&self, n: NodeId) -> bool {
         self.presence & (1 << n.idx()) != 0
     }
 
@@ -121,7 +135,8 @@ impl DirEntry {
         self.presence &= !(1 << n.idx());
     }
 
-    fn count(&self) -> u32 {
+    /// Number of caches holding a copy.
+    pub fn count(&self) -> u32 {
         self.presence.count_ones()
     }
 
@@ -161,6 +176,10 @@ pub struct DirStats {
     pub exclusive_grants: u64,
     /// CW+M interrogation rounds started.
     pub interrogations: u64,
+    /// Update requests that found the block dirty in a third-party cache
+    /// and had to recall it before fanning out (a CW race-state: the owner
+    /// gained exclusivity while the update was in flight).
+    pub update_recalls: u64,
     /// Read requests serviced in two hops or locally (memory clean) — the
     /// basis of the paper's "remaining coherence misses are shorter under
     /// CW" observation.
@@ -197,49 +216,96 @@ pub struct DirStats {
 #[derive(Debug)]
 pub struct DirCtrl {
     nprocs: usize,
-    migratory_enabled: bool,
-    revert_enabled: bool,
-    exclusive_clean: bool,
-    competitive: bool,
+    exts: ExtStack,
     entries: HashMap<BlockAddr, DirEntry>,
     stats: DirStats,
+    trace: TraceRing,
 }
 
 impl DirCtrl {
     /// Creates a controller for a machine of `nprocs` nodes with the given
-    /// extensions enabled (`migratory` = M, `competitive` = CW).
+    /// extension stack installed. The BASIC transition core itself has no
+    /// extension knowledge: pass [`ExtStack::new`] for the pure
+    /// write-invalidate protocol, or [`ExtStack::from_protocol`] for a
+    /// configured one.
     ///
     /// # Panics
     ///
-    /// Panics if `nprocs` is zero or exceeds the 32-node presence vector.
-    pub fn new(nprocs: usize, migratory: bool, competitive: bool) -> Self {
+    /// Panics if `nprocs` is zero or exceeds the 64-node presence vector.
+    pub fn with_exts(nprocs: usize, exts: ExtStack) -> Self {
         assert!(
             nprocs > 0 && nprocs <= 64,
             "presence vector supports 1..=64 nodes"
         );
         DirCtrl {
             nprocs,
-            migratory_enabled: migratory,
-            revert_enabled: true,
-            exclusive_clean: false,
-            competitive,
+            exts,
             entries: HashMap::new(),
             stats: DirStats::default(),
+            trace: TraceRing::disabled(),
         }
+    }
+
+    /// Convenience constructor used by unit tests and examples: a machine
+    /// of `nprocs` nodes with the M (`migratory`) and/or CW
+    /// (`competitive`) hooks installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero or exceeds the 64-node presence vector.
+    pub fn new(nprocs: usize, migratory: bool, competitive: bool) -> Self {
+        let mut exts = ExtStack::new();
+        if migratory {
+            exts.push(Box::new(MigratoryExt::new(competitive)));
+        }
+        if competitive {
+            exts.push(Box::new(CompetitiveUpdateExt::new(
+                crate::config::CompetitiveConfig::default(),
+            )));
+        }
+        DirCtrl::with_exts(nprocs, exts)
     }
 
     /// Enables or disables migratory reversion (the self-correcting part of
     /// the optimization: an unwritten exclusive copy reverts the block to
     /// ordinary sharing). On by default; the ablation bench disables it.
     pub fn set_revert(&mut self, enabled: bool) {
-        self.revert_enabled = enabled;
+        self.exts.configure(ExtOption::MigratoryRevert, enabled);
     }
 
     /// Enables MESI-style exclusive-clean grants: a read miss to a block
     /// with no cached copies returns an exclusive copy (extension; see
     /// `ProtocolConfig::exclusive_clean`).
     pub fn set_exclusive_clean(&mut self, enabled: bool) {
-        self.exclusive_clean = enabled;
+        if enabled && !self.exts.contains(ExtKind::ExclusiveClean) {
+            self.exts.push(Box::new(ExclusiveCleanExt));
+        } else if !enabled {
+            self.exts.remove(ExtKind::ExclusiveClean);
+        }
+    }
+
+    /// The installed extension stack.
+    pub fn exts(&self) -> &ExtStack {
+        &self.exts
+    }
+
+    /// Starts recording state transitions into a ring of `capacity`
+    /// records.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceRing::with_capacity(capacity);
+    }
+
+    /// The transition-trace ring (disabled and empty unless
+    /// [`DirCtrl::enable_trace`] was called).
+    pub fn trace(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Sets the time stamp applied to subsequently recorded transitions
+    /// (the protocol layer is timeless; the machine layer owns the clock).
+    #[inline]
+    pub fn set_trace_now(&mut self, t: u64) {
+        self.trace.set_now(t);
     }
 
     /// Accumulated statistics.
@@ -372,7 +438,9 @@ impl DirCtrl {
                             kind: MsgKind::WritebackAck,
                         });
                         // The owner replaced the block: it keeps no copy.
+                        let pre = self.pre_tag(block);
                         self.complete_fetch(src, block, None, written, false, actions)?;
+                        self.trace_dir(src, block, pre, kind);
                         self.drain_queue(block, actions)?;
                         return Ok(());
                     }
@@ -404,6 +472,80 @@ impl DirCtrl {
         self.entries.entry(block).or_default()
     }
 
+    /// Runs a hook dispatch with the entry, the extension stack and the
+    /// stats borrowed simultaneously (split borrow of `self`).
+    fn with_entry_exts<R>(
+        &mut self,
+        block: BlockAddr,
+        f: impl FnOnce(&mut DirEntry, &mut ExtStack, &mut DirStats) -> R,
+    ) -> R {
+        let DirCtrl {
+            entries,
+            exts,
+            stats,
+            ..
+        } = self;
+        let e = entries.entry(block).or_default();
+        f(e, exts, stats)
+    }
+
+    /// The transition-table tag for a block's current directory state
+    /// (absent entries are CLEAN; a pending operation shadows the stable
+    /// state).
+    fn dir_tag(&self, block: BlockAddr) -> DirTag {
+        match self.entries.get(&block) {
+            None => DirTag::Clean,
+            Some(e) => match e.pending {
+                Some(p) => match p.kind {
+                    PendingKind::Invalidating { .. } => DirTag::Invalidating,
+                    PendingKind::FetchRead => DirTag::FetchRead,
+                    PendingKind::FetchMigRead => DirTag::FetchMigRead,
+                    PendingKind::FetchOwn => DirTag::FetchOwn,
+                    PendingKind::RecallForUpdate { .. } => DirTag::RecallForUpdate,
+                    PendingKind::Updating => DirTag::Updating,
+                    PendingKind::Interrogating { .. } => DirTag::Interrogating,
+                },
+                None => match e.state {
+                    DirState::Clean => DirTag::Clean,
+                    DirState::Modified(_) => DirTag::Modified,
+                },
+            },
+        }
+    }
+
+    /// Captures the pre-transition tag; `None` when tracing is off, so the
+    /// disabled cost is a single branch.
+    #[inline]
+    fn pre_tag(&self, block: BlockAddr) -> Option<DirTag> {
+        if self.trace.enabled() {
+            Some(self.dir_tag(block))
+        } else {
+            None
+        }
+    }
+
+    /// Records the state transition caused by one input message. Always
+    /// drains the extension-attribution slot (even with tracing off) so a
+    /// hook firing can never be misattributed to a later request.
+    fn trace_dir(&mut self, src: NodeId, block: BlockAddr, pre: Option<DirTag>, kind: MsgKind) {
+        let fired = self.exts.take_fired();
+        let Some(pre) = pre else { return };
+        let post = self.dir_tag(block);
+        if pre == post {
+            return;
+        }
+        let time = self.trace.now();
+        self.trace.push(TransitionRecord {
+            time,
+            node: src,
+            block,
+            from: StateTag::Dir(pre),
+            to: StateTag::Dir(post),
+            input: TraceInput::Msg(MsgTag::from(kind)),
+            ext: fired,
+        });
+    }
+
     fn owner_of(&self, block: BlockAddr) -> Option<NodeId> {
         match self.entries.get(&block).map(|e| e.state) {
             Some(DirState::Modified(n)) => Some(n),
@@ -432,6 +574,19 @@ impl DirCtrl {
     }
 
     fn process_request(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+        actions: &mut Vec<DirAction>,
+    ) -> Result<(), ProtocolError> {
+        let pre = self.pre_tag(block);
+        let r = self.dispatch_request(src, block, kind, actions);
+        self.trace_dir(src, block, pre, kind);
+        r
+    }
+
+    fn dispatch_request(
         &mut self,
         src: NodeId,
         block: BlockAddr,
@@ -470,38 +625,29 @@ impl DirCtrl {
 
     fn read_req(&mut self, src: NodeId, block: BlockAddr, actions: &mut Vec<DirAction>) {
         self.stats.read_reqs += 1;
-        let migratory = self.migratory_enabled && self.entry(block).migratory;
         let state = self.entry(block).state;
         match state {
-            DirState::Clean if migratory => {
-                // A migratory block that is clean has no cached copies (the
-                // last holder wrote it back): grant exclusively.
-                debug_assert_eq!(self.entry(block).count(), 0);
-                self.stats.exclusive_grants += 1;
-                self.stats.reads_clean += 1;
-                let e = self.entry(block);
-                e.add(src);
-                e.state = DirState::Modified(src);
-                e.last_writer = Some(src);
-                actions.push(DirAction {
-                    dst: src,
-                    kind: MsgKind::ReadReply { exclusive: true },
-                });
-            }
             DirState::Clean => {
                 self.stats.reads_clean += 1;
-                // MESI extension: with no other copies, grant exclusively so
-                // the first write to (effectively private) data is silent.
-                let exclusive = self.exclusive_clean && self.entry(block).count() == 0;
+                // BASIC grants a shared copy; extensions (migratory,
+                // exclusive-clean) may upgrade the grant.
+                let mut grant = ReadGrant::shared();
+                self.with_entry_exts(block, |e, exts, stats| {
+                    exts.read_clean(e, src, stats, &mut grant)
+                });
                 let e = self.entry(block);
                 e.add(src);
-                if exclusive {
+                if grant.exclusive {
                     e.state = DirState::Modified(src);
-                    self.stats.exclusive_grants += 1;
+                    if grant.record_writer {
+                        e.last_writer = Some(src);
+                    }
                 }
                 actions.push(DirAction {
                     dst: src,
-                    kind: MsgKind::ReadReply { exclusive },
+                    kind: MsgKind::ReadReply {
+                        exclusive: grant.exclusive,
+                    },
                 });
             }
             DirState::Modified(owner) if owner == src => {
@@ -518,10 +664,13 @@ impl DirCtrl {
             }
             DirState::Modified(owner) => {
                 self.stats.reads_dirty += 1;
-                let (fetch, pkind) = if migratory {
-                    (MsgKind::FetchInval, PendingKind::FetchMigRead)
-                } else {
-                    (MsgKind::Fetch, PendingKind::FetchRead)
+                // BASIC fetches the dirty copy; the migratory extension
+                // redirects to a fetch-invalidate that passes the block on.
+                let mut mode = ReadFetch::Plain;
+                self.with_entry_exts(block, |e, exts, _| exts.read_modified(e, &mut mode));
+                let (fetch, pkind) = match mode {
+                    ReadFetch::Invalidating => (MsgKind::FetchInval, PendingKind::FetchMigRead),
+                    ReadFetch::Plain => (MsgKind::Fetch, PendingKind::FetchRead),
                 };
                 actions.push(DirAction {
                     dst: owner,
@@ -546,20 +695,9 @@ impl DirCtrl {
         actions: &mut Vec<DirAction>,
     ) {
         self.stats.own_reqs += 1;
-        // Migratory detection (Stenström et al. [12], Cox & Fowler [2]): an
-        // ownership request from a node that just read the block, while the
-        // only other copy belongs to the previous writer.
-        if self.migratory_enabled {
-            let e = self.entry(block);
-            if !e.migratory && e.state == DirState::Clean && e.count() == 2 && e.has(src) {
-                if let Some(lw) = e.last_writer {
-                    if lw != src && e.has(lw) {
-                        e.migratory = true;
-                        self.stats.migratory_detections += 1;
-                    }
-                }
-            }
-        }
+        // Sharing-pattern detection (the migratory extension watches
+        // ownership requests arriving on read-shared blocks).
+        self.with_entry_exts(block, |e, exts, stats| exts.on_own_lookup(e, src, stats));
         let state = self.entry(block).state;
         match state {
             DirState::Clean => {
@@ -637,6 +775,7 @@ impl DirCtrl {
                 });
             }
             DirState::Modified(owner) => {
+                self.stats.update_recalls += 1;
                 actions.push(DirAction {
                     dst: owner,
                     kind: MsgKind::FetchInval,
@@ -650,18 +789,11 @@ impl DirCtrl {
                 });
             }
             DirState::Clean => {
-                // CW+M: two consecutive non-overlapping read/write sequences
-                // by distinct processors are only *potentially* migratory —
-                // interrogate the caches holding copies.
-                let cwm = self.migratory_enabled && self.competitive;
-                let interrogate = {
-                    let e = self.entry(block);
-                    cwm && !e.migratory
-                        && e.count() > 1
-                        && e.last_updater.is_some()
-                        && e.last_updater != Some(src)
-                };
-                if interrogate {
+                // BASIC-CW fans the update out; the migratory extension
+                // composed with CW reroutes through an interrogation round.
+                let mut route = UpdateRoute::Fanout;
+                self.with_entry_exts(block, |e, exts, _| exts.update_route(e, src, &mut route));
+                if route == UpdateRoute::Interrogate {
                     self.stats.interrogations += 1;
                     let targets = self.entry(block).sharers();
                     for t in &targets {
@@ -737,17 +869,15 @@ impl DirCtrl {
     /// Applies an owner's writeback; callers verify `src` is the owner
     /// (duplicate writebacks from past owners are filtered upstream).
     fn apply_writeback(&mut self, src: NodeId, block: BlockAddr, written: bool) {
-        let revert = self.revert_enabled;
-        let e = self.entry(block);
-        debug_assert_eq!(e.state, DirState::Modified(src), "writeback from non-owner");
-        e.state = DirState::Clean;
-        e.presence = 0;
-        if !written && e.migratory && revert {
-            // The holder replaced the block without ever writing it: the
-            // sharing pattern is no longer migratory.
-            e.migratory = false;
-            self.stats.migratory_reverts += 1;
+        {
+            let e = self.entry(block);
+            debug_assert_eq!(e.state, DirState::Modified(src), "writeback from non-owner");
+            e.state = DirState::Clean;
+            e.presence = 0;
         }
+        // Self-correction: the migratory extension reverts the
+        // classification when the holder never wrote the block.
+        self.with_entry_exts(block, |e, exts, stats| exts.on_writeback(e, written, stats));
     }
 
     /// Completes a Fetch/FetchInval-style pending operation once the data
@@ -797,19 +927,11 @@ impl DirCtrl {
                 });
             }
             PendingKind::FetchMigRead => {
-                let e = self.entry(block);
-                e.remove(from);
-                if written {
-                    e.state = DirState::Modified(requester);
-                    e.presence = 0;
-                    e.add(requester);
-                    e.last_writer = Some(requester);
-                    self.stats.exclusive_grants += 1;
-                    actions.push(DirAction {
-                        dst: requester,
-                        kind: MsgKind::ReadReply { exclusive: true },
-                    });
-                } else if self.revert_enabled {
+                self.entry(block).remove(from);
+                // An unwritten migratory fetch asks the extension whether
+                // the classification should self-correct.
+                let revert = !written && self.exts.unwritten_migratory_fetch();
+                if revert {
                     // The previous holder never wrote: the pattern changed;
                     // revert to ordinary read sharing.
                     let e = self.entry(block);
@@ -823,9 +945,9 @@ impl DirCtrl {
                         kind: MsgKind::ReadReply { exclusive: false },
                     });
                 } else {
-                    // Reversion disabled (ablation): keep treating the
-                    // block as migratory and hand out another exclusive
-                    // copy, invalidations and all.
+                    // Written (the usual hand-off) or reversion disabled
+                    // (ablation): pass the block on exclusively,
+                    // invalidations and all.
                     let e = self.entry(block);
                     e.state = DirState::Modified(requester);
                     e.presence = 0;
@@ -890,6 +1012,19 @@ impl DirCtrl {
     }
 
     fn process_reply(
+        &mut self,
+        src: NodeId,
+        block: BlockAddr,
+        kind: MsgKind,
+        actions: &mut Vec<DirAction>,
+    ) -> Result<(), ProtocolError> {
+        let pre = self.pre_tag(block);
+        let r = self.dispatch_reply(src, block, kind, actions);
+        self.trace_dir(src, block, pre, kind);
+        r
+    }
+
+    fn dispatch_reply(
         &mut self,
         src: NodeId,
         block: BlockAddr,

@@ -37,6 +37,7 @@ pub mod error;
 pub mod line;
 pub mod msg;
 pub mod prefetch;
+pub mod proto;
 pub mod sync;
 
 pub use config::{CompetitiveConfig, Consistency, PrefetchConfig, ProtocolConfig, ProtocolKind};
@@ -45,3 +46,4 @@ pub use error::ProtocolError;
 pub use line::{CacheState, Line};
 pub use msg::{Msg, MsgKind};
 pub use prefetch::Prefetcher;
+pub use proto::{ExtKind, ExtSet, ExtStack, ProtocolExt, TraceRing, TransitionRecord};

@@ -1,0 +1,195 @@
+//! Trace-replay conformance checking.
+//!
+//! Replays recorded [`TransitionRecord`]s against the declarative tables
+//! and flags every transition that is not derivable from BASIC plus the
+//! enabled extension layers. This is the artifact the refactor buys: the
+//! protocol we claim to implement (the tables) and the protocol we run
+//! (the controllers) are checked against each other on every traced
+//! execution — the simulator's final invariant audit runs it whenever
+//! tracing is on, and the CI smoke suite replays every experiment
+//! driver's traces through it.
+
+use super::table::{ExtKind, ExtSet, Rule, CACHE_RULES, DIR_RULES};
+use super::trace::{StateTag, TransitionRecord};
+
+/// A recorded transition the tables cannot derive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// The offending record.
+    pub record: TransitionRecord,
+    /// Why it is illegal.
+    pub reason: String,
+}
+
+impl Violation {
+    /// One-line rendering for diagnostics.
+    pub fn render(&self) -> String {
+        format!("{}  !! {}", self.record.render(), self.reason)
+    }
+}
+
+fn rules_for(from: StateTag) -> &'static [Rule] {
+    match from {
+        StateTag::Dir(_) => DIR_RULES,
+        StateTag::Cache(_) => CACHE_RULES,
+    }
+}
+
+/// Checks one record against the tables under the enabled layers.
+///
+/// Returns `None` when the transition is derivable. Self-loops (records
+/// whose state tag did not change) are always legal — the tables list
+/// state *changes*.
+pub fn check_record(r: &TransitionRecord, enabled: ExtSet) -> Option<Violation> {
+    if r.from == r.to {
+        return None;
+    }
+    if let Some(name) = r.ext {
+        let attributed_enabled = enabled
+            .kinds()
+            .iter()
+            .any(|k| k.label() == name || (name == "M" && *k == ExtKind::CompetitiveMigratory));
+        if !attributed_enabled {
+            return Some(Violation {
+                record: *r,
+                reason: format!("attributed to extension {name:?}, which is not enabled"),
+            });
+        }
+    }
+    let rules = rules_for(r.from);
+    let mut seen_input = false;
+    for rule in rules {
+        if rule.from != r.from || rule.input != r.input {
+            continue;
+        }
+        if !enabled.contains(rule.ext) {
+            continue;
+        }
+        seen_input = true;
+        if rule.to.contains(&r.to) {
+            return None;
+        }
+    }
+    let reason = if seen_input {
+        format!(
+            "no enabled rule allows {} -> {} on {}",
+            r.from.label(),
+            r.to.label(),
+            r.input.label()
+        )
+    } else {
+        format!(
+            "no enabled rule accepts input {} in state {}",
+            r.input.label(),
+            r.from.label()
+        )
+    };
+    Some(Violation { record: *r, reason })
+}
+
+/// Replays a recorded trace against the tables, returning every
+/// non-derivable transition.
+pub fn check_trace<'a, I>(records: I, enabled: ExtSet) -> Vec<Violation>
+where
+    I: IntoIterator<Item = &'a TransitionRecord>,
+{
+    records
+        .into_iter()
+        .filter_map(|r| check_record(r, enabled))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::trace::{CacheTag, DirTag, MsgTag, TraceInput};
+    use super::*;
+    use dirext_trace::{BlockAddr, NodeId};
+
+    fn rec(from: StateTag, input: TraceInput, to: StateTag) -> TransitionRecord {
+        TransitionRecord {
+            time: 0,
+            node: NodeId(1),
+            block: BlockAddr::from_index(7),
+            from,
+            to,
+            input,
+            ext: None,
+        }
+    }
+
+    #[test]
+    fn basic_ownership_transfer_is_derivable() {
+        let set = ExtSet::basic();
+        let r = rec(
+            StateTag::Dir(DirTag::Clean),
+            TraceInput::Msg(MsgTag::OwnReq),
+            StateTag::Dir(DirTag::Invalidating),
+        );
+        assert!(check_record(&r, set).is_none());
+        let r = rec(
+            StateTag::Dir(DirTag::Invalidating),
+            TraceInput::Msg(MsgTag::InvalAck),
+            StateTag::Dir(DirTag::Modified),
+        );
+        assert!(check_record(&r, set).is_none());
+    }
+
+    #[test]
+    fn migratory_transitions_require_the_m_layer() {
+        let r = rec(
+            StateTag::Dir(DirTag::Modified),
+            TraceInput::Msg(MsgTag::ReadReq),
+            StateTag::Dir(DirTag::FetchMigRead),
+        );
+        assert!(check_record(&r, ExtSet::basic()).is_some());
+        assert!(check_record(&r, ExtSet::basic().with(ExtKind::Migratory)).is_none());
+    }
+
+    #[test]
+    fn seeded_illegal_transition_is_flagged() {
+        // An invalidation acknowledgment cannot move a CLEAN entry to
+        // MODIFIED — there is no pending ownership transfer.
+        let all = ExtSet::basic()
+            .with(ExtKind::Prefetch)
+            .with(ExtKind::Migratory)
+            .with(ExtKind::Competitive)
+            .with(ExtKind::ExclusiveClean);
+        let r = rec(
+            StateTag::Dir(DirTag::Clean),
+            TraceInput::Msg(MsgTag::InvalAck),
+            StateTag::Dir(DirTag::Modified),
+        );
+        let v = check_record(&r, all).expect("must be flagged");
+        assert!(v.reason.contains("no enabled rule"));
+        // A cache line cannot go SHARED -> DIRTY on a processor write
+        // without an ownership grant, under any extension set.
+        let r = rec(
+            StateTag::Cache(CacheTag::Shared),
+            TraceInput::CpuWrite,
+            StateTag::Cache(CacheTag::Dirty),
+        );
+        assert!(check_record(&r, all).is_some());
+    }
+
+    #[test]
+    fn misattributed_extension_is_flagged() {
+        let mut r = rec(
+            StateTag::Dir(DirTag::Modified),
+            TraceInput::Msg(MsgTag::ReadReq),
+            StateTag::Dir(DirTag::FetchMigRead),
+        );
+        r.ext = Some("M");
+        let v = check_record(&r, ExtSet::basic()).expect("must be flagged");
+        assert!(v.reason.contains("not enabled"));
+    }
+
+    #[test]
+    fn self_loops_are_always_legal() {
+        let r = rec(
+            StateTag::Dir(DirTag::Clean),
+            TraceInput::Msg(MsgTag::SharedReplHint),
+            StateTag::Dir(DirTag::Clean),
+        );
+        assert!(check_record(&r, ExtSet::basic()).is_none());
+    }
+}

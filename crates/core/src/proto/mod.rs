@@ -1,0 +1,42 @@
+//! The table-driven protocol core.
+//!
+//! This module turns the coherence protocol from code into data, in three
+//! layers:
+//!
+//! * [`table`] — the **declarative transition tables**: every legal
+//!   `(state, input) -> next-state` transition of the BASIC write-invalidate
+//!   protocol, for both the home directory and the processor-cache side,
+//!   plus the extra transitions each paper extension (P, M, CW, CW+M and
+//!   the MESI-style exclusive-clean ablation) layers on top. The tables are
+//!   plain `static` data: the documentation generator renders them into
+//!   `docs/PROTOCOL.md` and the conformance checker validates executions
+//!   against them.
+//! * [`hooks`] — the **composable extension hooks**: the
+//!   [`ProtocolExt`](hooks::ProtocolExt) trait whose implementations
+//!   ([`PrefetchExt`](hooks::PrefetchExt), [`MigratoryExt`](hooks::MigratoryExt),
+//!   [`CompetitiveUpdateExt`](hooks::CompetitiveUpdateExt),
+//!   [`ExclusiveCleanExt`](hooks::ExclusiveCleanExt)) carry *all*
+//!   extension-specific behavior. The BASIC transition core in
+//!   [`crate::dir`] and the simulator's cache controller contain no
+//!   extension flag branches: they consult an [`hooks::ExtStack`] built
+//!   once from the [`crate::ProtocolConfig`], so any of the paper's eight
+//!   configurations is just a different stack.
+//! * [`trace`] + [`conformance`] — the **transition-trace layer**: both
+//!   controllers append [`trace::TransitionRecord`]s (time, node, block,
+//!   state before/after, triggering input, firing extension) to ring
+//!   buffers, and the conformance checker replays a recorded trace against
+//!   the tables, flagging any transition not derivable from
+//!   BASIC-plus-enabled-extensions.
+
+pub mod conformance;
+pub mod hooks;
+pub mod table;
+pub mod trace;
+
+pub use conformance::{check_trace, Violation};
+pub use hooks::{
+    CompetitiveUpdateExt, ExclusiveCleanExt, ExtOption, ExtStack, MigratoryExt, PrefetchExt,
+    ProtocolExt, ReadFetch, ReadGrant, UpdateRoute, WriteMode,
+};
+pub use table::{ExtKind, ExtSet, Rule, CACHE_RULES, DIR_RULES};
+pub use trace::{CacheTag, DirTag, MsgTag, StateTag, TraceInput, TraceRing, TransitionRecord};

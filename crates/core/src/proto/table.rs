@@ -1,0 +1,276 @@
+//! The declarative transition tables.
+//!
+//! Each [`Rule`] names every *observable* state transition one input can
+//! cause — the net effect of servicing that input, transient bookkeeping
+//! included (the pending states are first-class states here, as in the
+//! paper). Inputs that leave the state tag unchanged (partial
+//! acknowledgment counts, presence-vector updates, NACKed retries, stale
+//! duplicates) are self-loops and are deliberately not listed: the trace
+//! layer records state *changes*, and the conformance checker validates
+//! those against these rules.
+//!
+//! `ext` names the rule set a transition belongs to: `Basic` rules are the
+//! write-invalidate protocol itself; every other kind is legal only when
+//! the corresponding extension hook is installed.
+
+use super::trace::{CacheTag, DirTag, MsgTag, StateTag, TraceInput};
+
+/// Which protocol layer a transition is legal under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtKind {
+    /// The BASIC write-invalidate protocol.
+    Basic,
+    /// P — adaptive sequential prefetching.
+    Prefetch,
+    /// M — the migratory-sharing optimization.
+    Migratory,
+    /// CW — competitive update with write caches.
+    Competitive,
+    /// The CW+M interaction (interrogation-based migratory detection).
+    CompetitiveMigratory,
+    /// MESI-style exclusive-clean grants (ablation extension).
+    ExclusiveClean,
+}
+
+impl ExtKind {
+    /// Short label used in the generated tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExtKind::Basic => "BASIC",
+            ExtKind::Prefetch => "P",
+            ExtKind::Migratory => "M",
+            ExtKind::Competitive => "CW",
+            ExtKind::CompetitiveMigratory => "CW+M",
+            ExtKind::ExclusiveClean => "E",
+        }
+    }
+
+    fn bit(self) -> u8 {
+        match self {
+            ExtKind::Basic => 1,
+            ExtKind::Prefetch => 1 << 1,
+            ExtKind::Migratory => 1 << 2,
+            ExtKind::Competitive => 1 << 3,
+            ExtKind::CompetitiveMigratory => 1 << 4,
+            ExtKind::ExclusiveClean => 1 << 5,
+        }
+    }
+}
+
+/// A set of enabled rule layers (BASIC is always a member).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExtSet(u8);
+
+impl ExtSet {
+    /// The BASIC protocol with no extensions.
+    pub fn basic() -> Self {
+        ExtSet(ExtKind::Basic.bit())
+    }
+
+    /// Adds an extension's rule layer.
+    #[must_use]
+    pub fn with(mut self, kind: ExtKind) -> Self {
+        self.0 |= kind.bit();
+        // The CW+M rules become legal exactly when both parents are on.
+        if self.contains(ExtKind::Migratory) && self.contains(ExtKind::Competitive) {
+            self.0 |= ExtKind::CompetitiveMigratory.bit();
+        }
+        self
+    }
+
+    /// Whether `kind`'s rules are enabled.
+    pub fn contains(self, kind: ExtKind) -> bool {
+        self.0 & kind.bit() != 0
+    }
+
+    /// The enabled layers, in declaration order.
+    pub fn kinds(self) -> Vec<ExtKind> {
+        [
+            ExtKind::Basic,
+            ExtKind::Prefetch,
+            ExtKind::Migratory,
+            ExtKind::Competitive,
+            ExtKind::CompetitiveMigratory,
+            ExtKind::ExclusiveClean,
+        ]
+        .into_iter()
+        .filter(|k| self.contains(*k))
+        .collect()
+    }
+}
+
+/// One row of a transition table: from `from`, input `input` may move the
+/// state to any member of `to`.
+#[derive(Debug, Clone, Copy)]
+pub struct Rule {
+    /// The rule layer this transition belongs to.
+    pub ext: ExtKind,
+    /// State before the input.
+    pub from: StateTag,
+    /// The triggering input.
+    pub input: TraceInput,
+    /// The states the input may leave the block in.
+    pub to: &'static [StateTag],
+    /// What the transition does (rendered into the documentation).
+    pub note: &'static str,
+}
+
+use CacheTag::{Dirty, Invalid, MigClean, Shared};
+use DirTag::{
+    Clean, FetchMigRead, FetchOwn, FetchRead, Interrogating, Invalidating, Modified,
+    RecallForUpdate, Updating,
+};
+use ExtKind as K;
+use StateTag::{Cache as C, Dir as D};
+
+const fn m(t: MsgTag) -> TraceInput {
+    TraceInput::Msg(t)
+}
+
+/// The home-directory transition table: BASIC plus each extension layer.
+pub static DIR_RULES: &[Rule] = &[
+    // ---------------------------------------------------------- BASIC
+    Rule { ext: K::Basic, from: D(Clean), input: m(MsgTag::OwnReq), to: &[D(Modified), D(Invalidating)], note: "no other copies: grant; else invalidate sharers and wait" },
+    Rule { ext: K::Basic, from: D(Modified), input: m(MsgTag::ReadReq), to: &[D(FetchRead)], note: "fetch the dirty copy through the home" },
+    Rule { ext: K::Basic, from: D(Modified), input: m(MsgTag::OwnReq), to: &[D(FetchOwn)], note: "fetch-invalidate the old owner, transfer ownership" },
+    Rule { ext: K::Basic, from: D(Modified), input: m(MsgTag::WritebackReq), to: &[D(Clean)], note: "owner replaced the block; memory takes the data" },
+    Rule { ext: K::Basic, from: D(Invalidating), input: m(MsgTag::InvalAck), to: &[D(Modified)], note: "last acknowledgment completes the ownership grant" },
+    Rule { ext: K::Basic, from: D(FetchRead), input: m(MsgTag::FetchReply), to: &[D(Clean)], note: "memory updated; owner downgraded to a shared copy" },
+    Rule { ext: K::Basic, from: D(FetchRead), input: m(MsgTag::WritebackReq), to: &[D(Clean)], note: "writeback crossing the fetch serves as the reply" },
+    Rule { ext: K::Basic, from: D(FetchOwn), input: m(MsgTag::FetchInvalReply), to: &[D(Modified)], note: "ownership transferred to the requester" },
+    Rule { ext: K::Basic, from: D(FetchOwn), input: m(MsgTag::WritebackReq), to: &[D(Modified)], note: "writeback crossing the fetch-invalidate serves as the reply" },
+    // ------------------------------------------------------------- M
+    Rule { ext: K::Migratory, from: D(Clean), input: m(MsgTag::ReadReq), to: &[D(Modified)], note: "migratory block with no cached copy: grant exclusively" },
+    Rule { ext: K::Migratory, from: D(Modified), input: m(MsgTag::ReadReq), to: &[D(FetchMigRead)], note: "migratory block: fetch-invalidate the holder" },
+    Rule { ext: K::Migratory, from: D(FetchMigRead), input: m(MsgTag::FetchInvalReply), to: &[D(Modified), D(Clean)], note: "written: pass the exclusive copy on; unwritten: revert to read sharing (CLEAN) or keep migratory (no-revert ablation)" },
+    Rule { ext: K::Migratory, from: D(FetchMigRead), input: m(MsgTag::WritebackReq), to: &[D(Modified), D(Clean)], note: "crossing writeback completes the migratory read" },
+    // ------------------------------------------------------------ CW
+    Rule { ext: K::Competitive, from: D(Clean), input: m(MsgTag::UpdateReq), to: &[D(Updating), D(Modified), D(Clean)], note: "fan updates to other copies; none left: complete, granting exclusivity if the writer holds the only copy" },
+    Rule { ext: K::Competitive, from: D(Modified), input: m(MsgTag::UpdateReq), to: &[D(RecallForUpdate)], note: "recall the dirty copy before applying the update (CW race)" },
+    Rule { ext: K::Competitive, from: D(Updating), input: m(MsgTag::UpdateAck), to: &[D(Clean), D(Modified)], note: "last acknowledgment completes the update; exclusive if every other copy invalidated itself" },
+    Rule { ext: K::Competitive, from: D(RecallForUpdate), input: m(MsgTag::FetchInvalReply), to: &[D(Clean), D(Modified), D(Updating)], note: "recalled; the deferred update proceeds" },
+    Rule { ext: K::Competitive, from: D(RecallForUpdate), input: m(MsgTag::WritebackReq), to: &[D(Clean), D(Modified), D(Updating)], note: "crossing writeback completes the recall" },
+    // ---------------------------------------------------------- CW+M
+    Rule { ext: K::CompetitiveMigratory, from: D(Clean), input: m(MsgTag::UpdateReq), to: &[D(Interrogating)], note: "potentially migratory (new updater, several copies): interrogate every cache with a copy" },
+    Rule { ext: K::CompetitiveMigratory, from: D(Interrogating), input: m(MsgTag::InterrogateReply), to: &[D(Updating), D(Clean), D(Modified)], note: "all copies given up: classify migratory; then deliver the pending update to the keepers" },
+    // ------------------------------------------------------------- E
+    Rule { ext: K::ExclusiveClean, from: D(Clean), input: m(MsgTag::ReadReq), to: &[D(Modified)], note: "no cached copies: MESI-style exclusive-clean grant" },
+];
+
+/// The processor-cache (SLC) transition table: BASIC plus each extension
+/// layer.
+pub static CACHE_RULES: &[Rule] = &[
+    // ---------------------------------------------------------- BASIC
+    Rule { ext: K::Basic, from: C(Invalid), input: m(MsgTag::ReadReply), to: &[C(Shared)], note: "read miss fill" },
+    Rule { ext: K::Basic, from: C(Invalid), input: m(MsgTag::OwnAck), to: &[C(Dirty)], note: "write miss completes (data sent when the writer had no copy)" },
+    Rule { ext: K::Basic, from: C(Shared), input: m(MsgTag::OwnAck), to: &[C(Dirty)], note: "upgrade completes" },
+    Rule { ext: K::Basic, from: C(Shared), input: m(MsgTag::Inval), to: &[C(Invalid)], note: "invalidation on another node's ownership request" },
+    Rule { ext: K::Basic, from: C(Dirty), input: m(MsgTag::Fetch), to: &[C(Shared)], note: "home fetches the dirty copy for a reader; downgrade" },
+    Rule { ext: K::Basic, from: C(Dirty), input: m(MsgTag::FetchInval), to: &[C(Invalid)], note: "home transfers ownership elsewhere" },
+    Rule { ext: K::Basic, from: C(Shared), input: TraceInput::Replace, to: &[C(Invalid)], note: "replacement; a hint keeps the full map exact" },
+    Rule { ext: K::Basic, from: C(Dirty), input: TraceInput::Replace, to: &[C(Invalid)], note: "replacement; writeback carries the data home" },
+    // ------------------------------------------------------------- M
+    Rule { ext: K::Migratory, from: C(Invalid), input: m(MsgTag::ReadReply), to: &[C(MigClean), C(Dirty)], note: "exclusive grant installs MigClean; DIRTY if a write was already waiting (read-exclusive prefetch)" },
+    Rule { ext: K::Migratory, from: C(MigClean), input: TraceInput::CpuWrite, to: &[C(Dirty)], note: "the payoff: first local write promotes silently, no ownership request" },
+    Rule { ext: K::Migratory, from: C(MigClean), input: m(MsgTag::FetchInval), to: &[C(Invalid)], note: "the block migrates onward before being written here" },
+    Rule { ext: K::Migratory, from: C(MigClean), input: m(MsgTag::Fetch), to: &[C(Shared)], note: "plain fetch after the home reverted the migratory bit" },
+    Rule { ext: K::Migratory, from: C(MigClean), input: TraceInput::Replace, to: &[C(Invalid)], note: "unwritten replacement; the writeback reverts the classification" },
+    // ------------------------------------------------------------ CW
+    Rule { ext: K::Competitive, from: C(Shared), input: m(MsgTag::Update), to: &[C(Invalid)], note: "competitive counter exhausted: the idle copy self-invalidates" },
+    Rule { ext: K::Competitive, from: C(Shared), input: m(MsgTag::UpdateDone), to: &[C(Dirty)], note: "the home granted exclusivity (writer held the only remaining copy)" },
+    Rule { ext: K::Competitive, from: C(Shared), input: m(MsgTag::FetchInval), to: &[C(Invalid)], note: "a dirty-recall race resolved against this copy" },
+    // ---------------------------------------------------------- CW+M
+    Rule { ext: K::CompetitiveMigratory, from: C(Shared), input: m(MsgTag::Interrogate), to: &[C(Invalid)], note: "this cache gives its copy up, voting the block migratory" },
+    // ------------------------------------------------------------- E
+    Rule { ext: K::ExclusiveClean, from: C(Invalid), input: m(MsgTag::ReadReply), to: &[C(MigClean), C(Dirty)], note: "exclusive-clean grant; DIRTY if a write was already waiting" },
+    Rule { ext: K::ExclusiveClean, from: C(MigClean), input: TraceInput::CpuWrite, to: &[C(Dirty)], note: "silent promotion of the exclusive-clean copy" },
+    Rule { ext: K::ExclusiveClean, from: C(MigClean), input: m(MsgTag::Fetch), to: &[C(Shared)], note: "another node reads the exclusive-clean copy" },
+    Rule { ext: K::ExclusiveClean, from: C(MigClean), input: m(MsgTag::FetchInval), to: &[C(Invalid)], note: "another node writes; the copy is recalled" },
+    Rule { ext: K::ExclusiveClean, from: C(MigClean), input: TraceInput::Replace, to: &[C(Invalid)], note: "unwritten replacement of the exclusive-clean copy" },
+];
+
+fn render_table(out: &mut String, rules: &[Rule]) {
+    out.push_str("| From | Input | To | Layer | Effect |\n");
+    out.push_str("|---|---|---|---|---|\n");
+    for r in rules {
+        let to: Vec<&str> = r.to.iter().map(|t| t.label()).collect();
+        out.push_str(&format!(
+            "| `{}` | `{}` | `{}` | {} | {} |\n",
+            r.from.label(),
+            r.input.label(),
+            to.join("` / `"),
+            r.ext.label(),
+            r.note,
+        ));
+    }
+}
+
+/// Renders both transition tables as the markdown section embedded in
+/// `docs/PROTOCOL.md` (see the `doc_tables` test, which keeps the two in
+/// sync).
+pub fn render_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("Generated from `crates/core/src/proto/table.rs` — do not edit by hand;\n");
+    out.push_str("run `DIREXT_BLESS=1 cargo test -p dirext-core --test doc_tables` after\n");
+    out.push_str("changing the tables. Self-loop inputs (partial acknowledgment counts,\n");
+    out.push_str("presence-vector updates, NACKs, stale duplicates) are not listed: the\n");
+    out.push_str("tables name every transition that *changes* a state tag, and the\n");
+    out.push_str("conformance checker (`proto::conformance`) validates recorded\n");
+    out.push_str("executions against exactly these rows.\n\n");
+    out.push_str("### Home directory\n\n");
+    render_table(&mut out, DIR_RULES);
+    out.push_str("\n### Processor cache\n\n");
+    render_table(&mut out, CACHE_RULES);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ext_set_infers_the_cwm_layer() {
+        let s = ExtSet::basic().with(ExtKind::Migratory);
+        assert!(!s.contains(ExtKind::CompetitiveMigratory));
+        let s = s.with(ExtKind::Competitive);
+        assert!(s.contains(ExtKind::CompetitiveMigratory));
+        assert!(s.contains(ExtKind::Basic));
+    }
+
+    #[test]
+    fn tables_have_no_duplicate_rows_within_a_layer() {
+        for rules in [DIR_RULES, CACHE_RULES] {
+            for (i, a) in rules.iter().enumerate() {
+                for b in &rules[i + 1..] {
+                    assert!(
+                        !(a.ext == b.ext && a.from == b.from && a.input == b.input),
+                        "duplicate row: {:?} {:?} {:?}",
+                        a.ext,
+                        a.from,
+                        a.input
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dir_rules_stay_on_the_dir_layer_and_cache_rules_on_the_cache_layer() {
+        for r in DIR_RULES {
+            assert!(matches!(r.from, StateTag::Dir(_)));
+            assert!(r.to.iter().all(|t| matches!(t, StateTag::Dir(_))));
+        }
+        for r in CACHE_RULES {
+            assert!(matches!(r.from, StateTag::Cache(_)));
+            assert!(r.to.iter().all(|t| matches!(t, StateTag::Cache(_))));
+        }
+    }
+
+    #[test]
+    fn markdown_mentions_every_state() {
+        let md = render_markdown();
+        for s in ["CLEAN", "MODIFIED", "P:Interr", "MigClean", "DIRTY", "SHARED"] {
+            assert!(md.contains(s), "missing {s}");
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Keeps the transition-table section of `docs/PROTOCOL.md` in sync with
+//! the declarative tables in `proto::table`. The markdown between the
+//! `BEGIN/END GENERATED TABLES` markers must equal `render_markdown()`
+//! exactly; regenerate it with
+//! `DIREXT_BLESS=1 cargo test -p dirext-core --test doc_tables`.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dirext_core::proto::table::render_markdown;
+
+const BEGIN: &str = "<!-- BEGIN GENERATED TABLES -->";
+const END: &str = "<!-- END GENERATED TABLES -->";
+
+fn doc_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/PROTOCOL.md")
+}
+
+#[test]
+fn protocol_doc_tables_match_the_code() {
+    let path = doc_path();
+    let doc = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let start = doc
+        .find(BEGIN)
+        .unwrap_or_else(|| panic!("{}: missing '{BEGIN}' marker", path.display()));
+    let end = doc
+        .find(END)
+        .unwrap_or_else(|| panic!("{}: missing '{END}' marker", path.display()));
+    assert!(start < end, "markers out of order in {}", path.display());
+
+    let embedded = &doc[start + BEGIN.len()..end];
+    let generated = format!("\n\n{}\n", render_markdown());
+    if embedded == generated {
+        return;
+    }
+    if std::env::var_os("DIREXT_BLESS").is_some() {
+        let updated = format!(
+            "{}{BEGIN}{generated}{}",
+            &doc[..start],
+            &doc[end..]
+        );
+        fs::write(&path, updated).unwrap();
+        return;
+    }
+    panic!(
+        "{} is stale relative to proto::table; regenerate with \
+         DIREXT_BLESS=1 cargo test -p dirext-core --test doc_tables",
+        path.display()
+    );
+}

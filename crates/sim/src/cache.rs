@@ -4,6 +4,8 @@
 use dirext_core::config::Consistency;
 use dirext_core::line::{CacheState, Line};
 use dirext_core::msg::{Msg, MsgKind};
+use dirext_core::proto::hooks::WriteMode;
+use dirext_core::proto::trace::{CacheTag, StateTag, TraceInput, TransitionRecord};
 use dirext_kernel::Time;
 use dirext_stats::{InvalReason, StallKind};
 use dirext_trace::{Addr, BlockAddr, MemEvent, NodeId};
@@ -467,11 +469,8 @@ impl Machine {
             self.nodes[i].flc.fill(block);
             self.resume(nid, done + flc_fill);
             if useful {
-                let k = self.nodes[i]
-                    .prefetcher
-                    .as_mut()
-                    .map(|pf| pf.on_useful_first_reference());
-                if let Some(k) = k {
+                let k = self.nodes[i].exts.on_useful_first_reference();
+                if k > 0 {
                     self.issue_prefetches(nid, block, k, done);
                 }
             }
@@ -509,11 +508,8 @@ impl Machine {
                 }
             }
             if was_unreferenced_prefetch {
-                let k = self.nodes[i]
-                    .prefetcher
-                    .as_mut()
-                    .map(|pf| pf.on_useful_first_reference());
-                if let Some(k) = k {
+                let k = self.nodes[i].exts.on_useful_first_reference();
+                if k > 0 {
                     self.issue_prefetches(nid, block, k, done);
                 }
             }
@@ -558,11 +554,8 @@ impl Machine {
         );
         // Adaptive sequential prefetching triggers on demand misses.
         let pred_cached = block.pred().is_some_and(|p| self.nodes[i].slc.contains(p));
-        let k = self.nodes[i]
-            .prefetcher
-            .as_mut()
-            .map(|pf| pf.on_demand_miss(pred_cached));
-        if let Some(k) = k {
+        let k = self.nodes[i].exts.on_demand_miss(pred_cached);
+        if k > 0 {
             self.issue_prefetches(nid, block, k, done);
         }
         Some(done)
@@ -604,9 +597,7 @@ impl Machine {
                     upgrade_sc: false,
                 },
             });
-            if let Some(pf) = self.nodes[i].prefetcher.as_mut() {
-                pf.on_prefetch_issued();
-            }
+            self.nodes[i].exts.on_prefetch_issued();
             let home = self.home_of(pb);
             self.send_msg(
                 t,
@@ -699,9 +690,11 @@ impl Machine {
         let block = a.block();
         let slc_access = self.cfg.timing.slc_access;
         let sc = self.sc();
-        let cw = self.nodes[i].wc.is_some();
+        // The write policy is an extension decision: BASIC invalidates, CW
+        // allocates in the write cache (or sends an immediate update in the
+        // no-write-cache ablation).
+        let mode = self.nodes[i].exts.write_mode();
 
-        let competitive = self.cfg.protocol.competitive.is_some();
         let (state, read_pend, own_pend) = {
             let n = &self.nodes[i];
             (
@@ -712,10 +705,16 @@ impl Machine {
         };
         let needs_entry = match state {
             Some(CacheState::Dirty) | Some(CacheState::MigClean) => false,
-            Some(CacheState::Shared) if competitive => !cw,
-            Some(CacheState::Shared) => !own_pend,
-            None if competitive => !cw,
-            None => !own_pend && !read_pend,
+            Some(CacheState::Shared) => match mode {
+                WriteMode::WriteCache => false,
+                WriteMode::UpdateNow => true,
+                WriteMode::Invalidate => !own_pend,
+            },
+            None => match mode {
+                WriteMode::WriteCache => false,
+                WriteMode::UpdateNow => true,
+                WriteMode::Invalidate => !own_pend && !read_pend,
+            },
         };
         if needs_entry && !self.nodes[i].slwb_has_space() {
             return None;
@@ -745,6 +744,13 @@ impl Machine {
                 line.version = v;
                 line.state = CacheState::Dirty;
                 self.mig_silent_writes += 1;
+                self.trace_cache_transition(
+                    nid,
+                    block,
+                    CacheTag::MigClean,
+                    TraceInput::CpuWrite,
+                    done,
+                );
                 if sc {
                     self.resume(nid, done);
                 }
@@ -755,17 +761,19 @@ impl Machine {
                     line.touch_write(preset);
                     line.version = v;
                 }
-                if cw {
-                    self.write_cache_write(nid, a, v, done);
-                } else if competitive {
-                    // CW without the write cache: every write is an
-                    // immediate single-word update (the ablation
-                    // configuration; threshold 4 in the paper).
-                    self.issue_update_now(nid, a, v, done);
-                } else if own_pend {
-                    self.merge_pending_write(nid, block, v);
-                    debug_assert!(!sc, "SC cannot overlap two writes");
-                } else {
+                match mode {
+                    WriteMode::WriteCache => self.write_cache_write(nid, a, v, done),
+                    WriteMode::UpdateNow => {
+                        // CW without the write cache: every write is an
+                        // immediate single-word update (the ablation
+                        // configuration; threshold 4 in the paper).
+                        self.issue_update_now(nid, a, v, done);
+                    }
+                    WriteMode::Invalidate if own_pend => {
+                        self.merge_pending_write(nid, block, v);
+                        debug_assert!(!sc, "SC cannot overlap two writes");
+                    }
+                    WriteMode::Invalidate => {
                     self.nodes[i]
                         .slc
                         .get_mut(block)
@@ -793,18 +801,18 @@ impl Machine {
                             version: 0,
                         },
                     );
+                    }
                 }
             }
-            None => {
-                if cw {
+            None => match mode {
+                WriteMode::WriteCache => {
                     // CW: a write miss allocates in the write cache only —
                     // no block fetch.
                     self.write_cache_write(nid, a, v, done);
-                } else if competitive {
-                    self.issue_update_now(nid, a, v, done);
-                } else if own_pend {
-                    self.merge_pending_write(nid, block, v);
-                } else if read_pend {
+                }
+                WriteMode::UpdateNow => self.issue_update_now(nid, a, v, done),
+                WriteMode::Invalidate if own_pend => self.merge_pending_write(nid, block, v),
+                WriteMode::Invalidate if read_pend => {
                     // A read (usually a prefetch) is in flight: mark it for
                     // upgrade instead of racing a second request to home.
                     // Later writes to the same in-flight block merge into
@@ -828,7 +836,8 @@ impl Machine {
                     if first_upgrade {
                         self.nodes[i].pending_writes += 1;
                     }
-                } else {
+                }
+                WriteMode::Invalidate => {
                     self.nodes[i].slwb.push(SlwbEntry {
                         block,
                         op: SlwbOp::Own {
@@ -852,7 +861,7 @@ impl Machine {
                         },
                     );
                 }
-            }
+            },
         }
         Some(done)
     }
@@ -942,6 +951,16 @@ impl Machine {
 
     fn evict(&mut self, nid: NodeId, block: BlockAddr, line: Line, t: Time) {
         let i = nid.idx();
+        if self.ctrace.enabled() {
+            let from = match line.state {
+                CacheState::Shared => CacheTag::Shared,
+                CacheState::Dirty => CacheTag::Dirty,
+                CacheState::MigClean => CacheTag::MigClean,
+            };
+            // The victim is already out of the SLC, so the post-state is
+            // INVALID by construction.
+            self.trace_cache_transition(nid, block, from, TraceInput::Replace, t);
+        }
         self.nodes[i].flc.invalidate(block);
         self.classifier
             .note_invalidation(nid, block, InvalReason::Replacement);
@@ -981,7 +1000,58 @@ impl Machine {
 
     // --------------------------------------------------- network arrivals
 
+    /// The transition-table tag of a node's cached copy of `block`.
+    fn cache_tag(&self, nid: NodeId, block: BlockAddr) -> CacheTag {
+        match self.nodes[nid.idx()].slc.get(block).map(|l| l.state) {
+            None => CacheTag::Invalid,
+            Some(CacheState::Shared) => CacheTag::Shared,
+            Some(CacheState::Dirty) => CacheTag::Dirty,
+            Some(CacheState::MigClean) => CacheTag::MigClean,
+        }
+    }
+
+    /// Records a cache-line transition out of `from` (if the tag changed
+    /// and tracing is on).
+    pub(crate) fn trace_cache_transition(
+        &mut self,
+        nid: NodeId,
+        block: BlockAddr,
+        from: CacheTag,
+        input: TraceInput,
+        at: Time,
+    ) {
+        if !self.ctrace.enabled() {
+            return;
+        }
+        let to = self.cache_tag(nid, block);
+        if from == to {
+            return;
+        }
+        self.ctrace.push(TransitionRecord {
+            time: at.cycles(),
+            node: nid,
+            block,
+            from: StateTag::Cache(from),
+            to: StateTag::Cache(to),
+            input,
+            ext: None,
+        });
+    }
+
     pub(crate) fn cache_deliver(&mut self, msg: Msg, now: Time) {
+        let pre = if self.ctrace.enabled() {
+            Some(self.cache_tag(msg.dst, msg.block))
+        } else {
+            None
+        };
+        let (dst, block, kind) = (msg.dst, msg.block, msg.kind);
+        self.cache_deliver_inner(msg, now);
+        if let Some(pre) = pre {
+            self.trace_cache_transition(dst, block, pre, TraceInput::Msg(kind.into()), now);
+        }
+    }
+
+    fn cache_deliver_inner(&mut self, msg: Msg, now: Time) {
         let nid = msg.dst;
         let i = nid.idx();
         let block = msg.block;
@@ -1076,9 +1146,7 @@ impl Machine {
                     self.resume(nid, done);
                 }
                 if prefetch {
-                    if let Some(pf) = self.nodes[i].prefetcher.as_mut() {
-                        pf.on_prefetch_arrived();
-                    }
+                    self.nodes[i].exts.on_prefetch_arrived();
                 }
                 if demand_waiting {
                     self.nodes[i].flc.fill(block);

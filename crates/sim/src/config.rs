@@ -86,6 +86,10 @@ pub struct MachineConfig {
     /// Base backoff in pclocks for the first NACK retry (doubles per
     /// attempt, capped).
     pub nack_retry_base: u64,
+    /// Transition-trace ring capacity per controller (0 disables tracing).
+    /// When on, every directory and cache state transition is recorded and
+    /// replayed through the conformance checker at quiescence.
+    pub trace_capacity: usize,
 }
 
 impl MachineConfig {
@@ -121,6 +125,7 @@ impl MachineConfig {
             audit_every: 0,
             nack_retry_budget: 16,
             nack_retry_base: 64,
+            trace_capacity: 0,
         }
     }
 
@@ -158,6 +163,14 @@ impl MachineConfig {
     pub fn with_nack_retry(mut self, budget: u32, base_pclocks: u64) -> Self {
         self.nack_retry_budget = budget;
         self.nack_retry_base = base_pclocks;
+        self
+    }
+
+    /// Enables transition tracing with a ring of `capacity` records per
+    /// controller (0 disables). Traced runs are conformance-checked at
+    /// quiescence.
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 

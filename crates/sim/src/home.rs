@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use dirext_core::config::ProtocolConfig;
 use dirext_core::dir::DirCtrl;
+use dirext_core::proto::ExtStack;
 use dirext_core::sync::{BarrierCtrl, LockCtrl};
 use dirext_trace::BlockAddr;
 
@@ -20,9 +21,7 @@ pub(crate) struct Home {
 
 impl Home {
     pub(crate) fn new(nprocs: usize, protocol: &ProtocolConfig) -> Self {
-        let mut dir = DirCtrl::new(nprocs, protocol.migratory, protocol.competitive.is_some());
-        dir.set_revert(protocol.migratory_revert);
-        dir.set_exclusive_clean(protocol.exclusive_clean);
+        let dir = DirCtrl::with_exts(nprocs, ExtStack::from_protocol(protocol));
         Home {
             dir,
             locks: LockCtrl::new(),

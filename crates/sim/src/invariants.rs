@@ -17,9 +17,19 @@
 //!    that node's second-level cache.
 
 use dirext_core::line::CacheState;
+use dirext_core::proto::{check_trace, Violation};
 use dirext_trace::NodeId;
 
 use crate::machine::Machine;
+
+/// Replays every recorded state transition through the declarative
+/// protocol tables, returning the transitions not derivable from BASIC
+/// plus the enabled extension layers. Trivially empty when tracing is off
+/// (nothing was recorded).
+pub(crate) fn check_conformance(m: &Machine) -> Vec<Violation> {
+    let records = m.transition_trace();
+    check_trace(records.iter(), m.rule_set())
+}
 
 /// Structural invariants that hold at *every* event boundary, not only at
 /// quiescence — the sampled mid-run audit. Messages in flight mean cache

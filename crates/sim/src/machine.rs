@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 
 use dirext_core::config::Consistency;
 use dirext_core::msg::{Msg, MsgKind};
+use dirext_core::proto::{ExtSet, TraceRing, TransitionRecord};
 use dirext_core::ProtocolError;
 use dirext_kernel::{EventQueue, Time};
 use dirext_network::{FaultyNetwork, Network, TrafficClass};
@@ -31,6 +32,12 @@ pub enum SimError {
     EventBudgetExceeded,
     /// A coherence invariant failed at quiescence (simulator bug).
     CoherenceViolation(String),
+    /// A traced run recorded a state transition the declarative protocol
+    /// tables cannot derive from BASIC plus the enabled extensions.
+    TransitionConformance {
+        /// Renderings of the offending transition records.
+        detail: String,
+    },
     /// A protocol controller rejected a message sequence with a structured
     /// error (see [`ProtocolError`]).
     Protocol(ProtocolError),
@@ -58,6 +65,9 @@ impl fmt::Display for SimError {
             SimError::Deadlock { detail } => write!(f, "simulation deadlocked: {detail}"),
             SimError::EventBudgetExceeded => write!(f, "event budget exceeded"),
             SimError::CoherenceViolation(d) => write!(f, "coherence violation: {d}"),
+            SimError::TransitionConformance { detail } => {
+                write!(f, "transition conformance violated: {detail}")
+            }
             SimError::Protocol(e) => write!(f, "protocol error: {e}"),
             SimError::Watchdog { detail } => write!(f, "watchdog fired: {detail}"),
             SimError::ProcMismatch { machine, workload } => {
@@ -162,6 +172,9 @@ pub struct Machine {
     /// `Directory::handle_into` call and returned after its actions are
     /// dispatched, so steady-state home processing never allocates.
     action_pool: Vec<dirext_core::dir::DirAction>,
+    /// Cache-side transition-trace ring (the directory side records into
+    /// each home's own ring); disabled unless `cfg.trace_capacity > 0`.
+    pub(crate) ctrace: TraceRing,
 }
 
 impl Machine {
@@ -171,8 +184,14 @@ impl Machine {
         if let Some(plan) = cfg.fault_plan.filter(|p| p.is_active()) {
             net = Box::new(FaultyNetwork::new(net, plan));
         }
-        let homes = (0..cfg.procs)
-            .map(|_| Home::new(cfg.procs, &cfg.protocol))
+        let homes: Vec<Home> = (0..cfg.procs)
+            .map(|_| {
+                let mut h = Home::new(cfg.procs, &cfg.protocol);
+                if cfg.trace_capacity > 0 {
+                    h.dir.enable_trace(cfg.trace_capacity);
+                }
+                h
+            })
             .collect();
         Machine {
             classifier: MissClassifier::new(cfg.procs),
@@ -193,6 +212,11 @@ impl Machine {
             retry_inflight: std::collections::HashSet::new(),
             last_progress: Time::ZERO,
             action_pool: Vec::with_capacity(2 * cfg.procs),
+            ctrace: if cfg.trace_capacity > 0 {
+                TraceRing::with_capacity(cfg.trace_capacity)
+            } else {
+                TraceRing::disabled()
+            },
             cfg,
         }
     }
@@ -248,6 +272,56 @@ impl Machine {
     /// indicate a protocol bug), event-budget exhaustion, or coherence
     /// violations detected at quiescence.
     pub fn run(mut self, workload: &Workload) -> Result<Metrics, SimError> {
+        self.run_inner(workload)
+    }
+
+    /// Like [`Machine::run`], but also returns the recorded transition
+    /// trace (time-ordered, cache and directory records merged) and the
+    /// enabled table layers, for offline replay. Only meaningful with
+    /// `trace_capacity > 0` — otherwise the trace is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_traced(
+        mut self,
+        workload: &Workload,
+    ) -> Result<(Metrics, Vec<TransitionRecord>, ExtSet), SimError> {
+        let m = self.run_inner(workload)?;
+        let trace = self.transition_trace();
+        let enabled = self.rule_set();
+        Ok((m, trace, enabled))
+    }
+
+    /// All recorded state transitions — the cache-side ring merged with
+    /// every home directory's ring — ordered by time.
+    pub fn transition_trace(&self) -> Vec<TransitionRecord> {
+        let mut v: Vec<TransitionRecord> = self.ctrace.iter().copied().collect();
+        for h in &self.homes {
+            v.extend(h.dir.trace().iter().copied());
+        }
+        v.sort_by_key(|r| r.time);
+        v
+    }
+
+    /// Transition records dropped because a ring overflowed (0 with ample
+    /// capacity; conformance still holds for everything retained).
+    pub fn trace_overwritten(&self) -> u64 {
+        self.ctrace.overwritten()
+            + self
+                .homes
+                .iter()
+                .map(|h| h.dir.trace().overwritten())
+                .sum::<u64>()
+    }
+
+    /// The transition-table layers enabled by this machine's protocol
+    /// configuration.
+    pub fn rule_set(&self) -> ExtSet {
+        self.homes[0].dir.exts().rule_set()
+    }
+
+    fn run_inner(&mut self, workload: &Workload) -> Result<Metrics, SimError> {
         workload.validate()?;
         if workload.procs() != self.cfg.procs {
             return Err(SimError::ProcMismatch {
@@ -310,7 +384,7 @@ impl Machine {
                 return Err(e);
             }
             if self.cfg.audit_every > 0 && self.events.is_multiple_of(self.cfg.audit_every) {
-                invariants::check_midrun(&self).map_err(|d| {
+                invariants::check_midrun(self).map_err(|d| {
                     SimError::CoherenceViolation(format!("mid-run audit at {t}: {d}"))
                 })?;
             }
@@ -323,7 +397,21 @@ impl Machine {
             });
         }
         if self.cfg.check_invariants {
-            invariants::check(&self).map_err(SimError::CoherenceViolation)?;
+            invariants::check(self).map_err(SimError::CoherenceViolation)?;
+        }
+        if self.cfg.trace_capacity > 0 {
+            let violations = invariants::check_conformance(self);
+            if !violations.is_empty() {
+                let detail = violations
+                    .iter()
+                    .take(8)
+                    .map(dirext_core::proto::Violation::render)
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                return Err(SimError::TransitionConformance {
+                    detail: format!("{} violation(s): {detail}", violations.len()),
+                });
+            }
         }
         Ok(self.collect_metrics(workload))
     }
@@ -460,6 +548,7 @@ impl Machine {
                 // duration of the dispatch and returned afterwards.
                 let mut actions = std::mem::take(&mut self.action_pool);
                 actions.clear();
+                self.homes[h].dir.set_trace_now(now.cycles());
                 if let Err(e) = self.homes[h]
                     .dir
                     .handle_into(msg.src, msg.block, kind, &mut actions)
@@ -532,9 +621,9 @@ impl Machine {
             m.read_miss_cycles += n.counters.read_miss_cycles;
             m.read_miss_count += n.counters.read_miss_count;
             m.read_miss_hist.merge(&n.read_miss_hist);
-            if let Some(pf) = &n.prefetcher {
-                m.prefetches_issued += pf.stats().issued;
-                m.prefetches_useful += pf.stats().useful;
+            if let Some(ps) = n.exts.prefetch_stats() {
+                m.prefetches_issued += ps.issued;
+                m.prefetches_useful += ps.useful;
             }
         }
         m.cold_misses = self.classifier.cold();
@@ -551,6 +640,7 @@ impl Machine {
             m.migratory_detections += d.migratory_detections;
             m.migratory_reverts += d.migratory_reverts;
             m.interrogations += d.interrogations;
+            m.update_recalls += d.update_recalls;
             m.reads_clean += d.reads_clean;
             m.reads_dirty += d.reads_dirty;
             m.nacks_sent += d.nacks_sent;

@@ -4,7 +4,7 @@ use std::collections::{HashMap, VecDeque};
 
 use dirext_core::config::ProtocolConfig;
 use dirext_core::line::Line;
-use dirext_core::Prefetcher;
+use dirext_core::proto::ExtStack;
 use dirext_kernel::{Resource, Time};
 use dirext_memsys::{Fifo, Flc, Slc, SlcGeometry, Timing, WcEntry, WriteCache};
 use dirext_stats::{Histogram, StallBreakdown, StallKind};
@@ -156,7 +156,9 @@ pub(crate) struct Node {
     /// version)`.
     pub wb_backlog: VecDeque<(BlockAddr, bool, u64)>,
 
-    pub prefetcher: Option<Prefetcher>,
+    /// Cache-side protocol-extension hooks (prefetch adaptation, write-mode
+    /// selection), built from the same configuration as the home's stack.
+    pub exts: ExtStack,
 
     /// Outstanding ownership/update requests (release gating).
     pub pending_writes: u64,
@@ -210,7 +212,7 @@ impl Node {
             wc_version: HashMap::new(),
             update_backlog: VecDeque::new(),
             wb_backlog: VecDeque::new(),
-            prefetcher: protocol.prefetch.map(Prefetcher::new),
+            exts: ExtStack::from_protocol(protocol),
             pending_writes: 0,
             sync_waiting: VecDeque::new(),
             waiting_grant: None,

@@ -81,6 +81,9 @@ pub struct Metrics {
     pub migratory_reverts: u64,
     /// CW+M interrogation rounds.
     pub interrogations: u64,
+    /// Update requests that found the block dirty in a third-party cache
+    /// and recalled it before fanning out (CW race-state).
+    pub update_recalls: u64,
     /// Read requests serviced with a clean memory copy (local or two-hop).
     pub reads_clean: u64,
     /// Read requests that needed a fetch from a dirty third-party cache
@@ -306,6 +309,23 @@ impl fmt::Display for Metrics {
             self.net_control_bytes,
             self.net_sync_bytes
         )?;
+        let ext_activity = self.exclusive_grants
+            + self.migratory_detections
+            + self.migratory_reverts
+            + self.interrogations
+            + self.update_recalls;
+        if ext_activity > 0 {
+            write!(
+                f,
+                "\n  ext: excl-grants {} mig-detect {} mig-revert {} interrogations {} \
+                 update-recalls {}",
+                self.exclusive_grants,
+                self.migratory_detections,
+                self.migratory_reverts,
+                self.interrogations,
+                self.update_recalls
+            )?;
+        }
         let robustness = self.fault_delayed
             + self.fault_retransmitted
             + self.fault_duplicated

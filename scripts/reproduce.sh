@@ -1,8 +1,24 @@
 #!/usr/bin/env bash
 # Regenerates every table and figure of the paper at full scale and writes
 # the combined report plus per-figure CSVs into ./reproduction/.
+#
+# Usage: reproduce.sh [--jobs N]   (default: all CPU cores, via nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 1)
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+        --jobs)
+            jobs="${2:?--jobs needs a value}"
+            shift 2
+            ;;
+        *)
+            echo "usage: $0 [--jobs N]" >&2
+            exit 2
+            ;;
+    esac
+done
 
 out=reproduction
 mkdir -p "$out"
@@ -10,20 +26,20 @@ mkdir -p "$out"
 cargo build --release -p dirext-cli
 D=target/release/dirext
 
-echo "== report (all artifacts, markdown) =="
-"$D" report --scale paper --out "$out/report.md"
+echo "== report (all artifacts, markdown; --jobs $jobs) =="
+"$D" report --scale paper --jobs "$jobs" --out "$out/report.md"
 
 echo "== per-figure CSVs =="
 for t in fig2 table2 fig3 table3 fig4; do
-    "$D" "$t" --scale paper --csv > "$out/$t.csv"
+    "$D" "$t" --scale paper --jobs "$jobs" --csv > "$out/$t.csv"
     echo "  $out/$t.csv"
 done
 
 echo "== extension experiments =="
-"$D" scaling --app mp3d --scale paper > "$out/scaling-mp3d.txt"
-"$D" topology --scale paper > "$out/topology.txt"
+"$D" scaling --app mp3d --scale paper --jobs "$jobs" > "$out/scaling-mp3d.txt"
+"$D" topology --scale paper --jobs "$jobs" > "$out/topology.txt"
 
 echo "== protocol fuzzer =="
-"$D" stress --seeds 100 --procs 16 | tee "$out/stress.txt"
+"$D" stress --seeds 100 --procs 16 --jobs "$jobs" | tee "$out/stress.txt"
 
 echo "done: see $out/"

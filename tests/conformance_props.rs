@@ -1,0 +1,172 @@
+//! Transition-conformance properties.
+//!
+//! Every traced run replays its recorded directory and cache state
+//! transitions through the declarative protocol tables
+//! (`dirext_core::proto::table`) at quiescence; a transition not derivable
+//! from BASIC plus the enabled extension layers aborts the run with
+//! `SimError::TransitionConformance`. These properties throw randomized
+//! workloads at all eight paper configurations — with and without network
+//! fault injection — and assert that no run ever records an illegal or
+//! misattributed transition.
+
+use dirext_sim::core::config::Consistency;
+use dirext_sim::core::proto::{check_trace, ExtKind};
+use dirext_sim::core::ProtocolKind;
+use dirext_sim::trace::{Addr, BarrierId, MemEvent, Program, Workload, BLOCK_BYTES};
+use dirext_sim::{FaultPlan, Machine, MachineConfig};
+use proptest::prelude::*;
+
+const PROCS: usize = 4;
+const RING: usize = 1 << 16;
+
+/// A random well-formed workload over a small block pool — the same shape
+/// as `coherence_props`, kept lean because every protocol runs it traced.
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let op = prop_oneof![
+        (0u64..16).prop_map(|b| vec![MemEvent::Read(Addr::new(b * BLOCK_BYTES + 4 * (b % 8)))]),
+        (0u64..16).prop_map(|b| vec![MemEvent::Write(Addr::new(b * BLOCK_BYTES + 4 * (b % 8)))]),
+        (1u32..12).prop_map(|c| vec![MemEvent::Compute(c)]),
+        (0u64..2, 0u64..16).prop_map(|(l, b)| {
+            let lock = Addr::new((1 << 20) + l * BLOCK_BYTES);
+            let a = Addr::new(b * BLOCK_BYTES);
+            vec![
+                MemEvent::Acquire(lock),
+                MemEvent::Read(a),
+                MemEvent::Write(a),
+                MemEvent::Release(lock),
+            ]
+        }),
+    ];
+    let proc_body = proptest::collection::vec(op, 0..30);
+    (proptest::collection::vec(proc_body, PROCS), 0u32..2).prop_map(|(bodies, nbars)| {
+        let programs = bodies
+            .into_iter()
+            .map(|groups| {
+                let mut events: Vec<MemEvent> = groups.concat();
+                for i in 0..nbars {
+                    events.push(MemEvent::Barrier(BarrierId(i)));
+                }
+                Program::from_events(events)
+            })
+            .collect();
+        Workload::new("random", programs)
+    })
+}
+
+/// A survivable fault plan: drops, duplicates and jitter within the
+/// link-layer retransmission budget.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (any::<u64>(), 0u32..120, 0u32..80, 0u64..24).prop_map(|(seed, drop, dup, jitter)| FaultPlan {
+        drop_permille: drop,
+        dup_permille: dup,
+        jitter_cycles: jitter,
+        ..FaultPlan::seeded(seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// All eight paper configurations record only table-derivable
+    /// transitions on random workloads. The check runs twice: inside the
+    /// machine at quiescence (a violation fails the run) and again here on
+    /// the returned trace, so a regression in either path is caught.
+    #[test]
+    fn all_protocols_conform(w in arb_workload()) {
+        for kind in ProtocolKind::ALL {
+            let cfg = MachineConfig::new(PROCS, kind.config(Consistency::Rc))
+                .with_trace(RING);
+            let (_, records, layers) = Machine::new(cfg)
+                .run_traced(&w)
+                .unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let violations = check_trace(records.iter(), layers);
+            prop_assert!(
+                violations.is_empty(),
+                "{kind}: {}",
+                violations.iter().map(|v| v.render()).collect::<Vec<_>>().join("; ")
+            );
+        }
+    }
+
+    /// Conformance holds under sequential consistency and with the
+    /// exclusive-clean (E) layer stacked on top.
+    #[test]
+    fn variants_conform(w in arb_workload()) {
+        for kind in [ProtocolKind::Basic, ProtocolKind::P, ProtocolKind::M, ProtocolKind::PM] {
+            let cfg = MachineConfig::new(PROCS, kind.config(Consistency::Sc))
+                .with_trace(RING);
+            Machine::new(cfg).run(&w).unwrap_or_else(|e| panic!("{kind}-SC: {e}"));
+        }
+        let mut proto = ProtocolKind::PCwM.config(Consistency::Rc);
+        proto.exclusive_clean = true;
+        let cfg = MachineConfig::new(PROCS, proto).with_trace(RING);
+        let (_, records, layers) = Machine::new(cfg)
+            .run_traced(&w)
+            .unwrap_or_else(|e| panic!("P+CW+M+E: {e}"));
+        prop_assert!(layers.contains(ExtKind::ExclusiveClean));
+        let violations = check_trace(records.iter(), layers);
+        prop_assert!(violations.is_empty());
+    }
+
+    /// Message drops, duplicates and delivery jitter reorder protocol
+    /// races but never manufacture an illegal transition.
+    #[test]
+    fn faulty_networks_conform((w, plan) in (arb_workload(), arb_fault_plan())) {
+        for kind in [ProtocolKind::P, ProtocolKind::M, ProtocolKind::Cw, ProtocolKind::PCwM] {
+            let cfg = MachineConfig::new(PROCS, kind.config(Consistency::Rc))
+                .with_faults(plan)
+                .with_trace(RING);
+            Machine::new(cfg)
+                .run(&w)
+                .unwrap_or_else(|e| panic!("{kind} under {plan:?}: {e}"));
+        }
+    }
+
+    /// Tracing is observation only: metrics are byte-identical with the
+    /// ring on and off.
+    #[test]
+    fn tracing_does_not_perturb(w in arb_workload()) {
+        let cfg = ProtocolKind::PCwM.config(Consistency::Rc);
+        let plain = Machine::new(MachineConfig::new(PROCS, cfg.clone())).run(&w).unwrap();
+        let traced = Machine::new(MachineConfig::new(PROCS, cfg).with_trace(RING))
+            .run(&w)
+            .unwrap();
+        prop_assert_eq!(plain, traced);
+    }
+}
+
+/// A trace attributed to the wrong extension layer is rejected: replaying
+/// a migratory-laden P+CW+M trace against BASIC-only tables must produce
+/// violations (the checker is not vacuously green).
+#[test]
+fn checker_rejects_wrong_layer_set() {
+    use dirext_sim::core::proto::ExtSet;
+    let mut events = Vec::new();
+    // Two processors ping-pong a block through critical sections — the
+    // canonical migratory pattern, guaranteed to exercise M transitions.
+    let lock = Addr::new(1 << 20);
+    let a = Addr::new(0);
+    for _ in 0..8 {
+        events.extend([
+            MemEvent::Acquire(lock),
+            MemEvent::Read(a),
+            MemEvent::Write(a),
+            MemEvent::Release(lock),
+        ]);
+    }
+    let w = Workload::new(
+        "pingpong",
+        vec![
+            Program::from_events(events.clone()),
+            Program::from_events(events),
+        ],
+    );
+    let cfg = MachineConfig::new(2, ProtocolKind::PCwM.config(Consistency::Rc)).with_trace(RING);
+    let (_, records, layers) = Machine::new(cfg).run_traced(&w).unwrap();
+    assert!(check_trace(records.iter(), layers).is_empty());
+    let violations = check_trace(records.iter(), ExtSet::basic());
+    assert!(
+        !violations.is_empty(),
+        "a migratory trace must not conform to BASIC-only tables"
+    );
+}

@@ -1,0 +1,62 @@
+//! Differential safety net for protocol-core refactors: the rendered
+//! Figure 2 / Table 2 / Table 3 artifacts (all 8 protocol configurations,
+//! `Scale::Tiny`) must stay bit-identical to the goldens captured from the
+//! pre-refactor controllers.
+//!
+//! Regenerate the goldens with `DIREXT_BLESS=1 cargo test --test
+//! experiments_golden` — but only after establishing that a behavior
+//! change is intended; the whole point of this file is that a refactor is
+//! *not allowed* to move these numbers.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dirext_sim::experiments;
+use dirext_sim::trace::Workload;
+use dirext_workloads::{App, Scale};
+
+fn tiny_suite() -> Vec<Workload> {
+    App::ALL
+        .iter()
+        .map(|a| a.workload(16, Scale::Tiny))
+        .collect()
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, rendered: String) {
+    let path = golden_path(name);
+    if std::env::var_os("DIREXT_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &rendered).unwrap();
+        return;
+    }
+    let golden = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (bless with DIREXT_BLESS=1)", name));
+    assert_eq!(
+        rendered, golden,
+        "{name} diverged from the pre-refactor golden; protocol behavior changed"
+    );
+}
+
+#[test]
+fn fig2_bit_identical_to_pre_refactor() {
+    let fig = experiments::fig2(&tiny_suite()).unwrap();
+    check("fig2_tiny.txt", fig.to_string());
+}
+
+#[test]
+fn table2_bit_identical_to_pre_refactor() {
+    let t = experiments::table2(&tiny_suite()).unwrap();
+    check("table2_tiny.txt", t.to_string());
+}
+
+#[test]
+fn table3_bit_identical_to_pre_refactor() {
+    let t = experiments::table3(&tiny_suite()).unwrap();
+    check("table3_tiny.txt", t.to_string());
+}

@@ -130,6 +130,33 @@ fn scaling_sweeps_five_machine_sizes() {
     assert!(s.to_string().contains("procs"));
 }
 
+/// Every experiments-smoke workload × protocol combination, re-run with
+/// transition tracing: the machine replays its recorded directory and
+/// cache transitions through the declarative tables at quiescence and the
+/// run fails on any non-derivable transition, so `unwrap` here *is* the
+/// conformance verdict.
+#[test]
+fn experiments_smoke_traces_conform() {
+    use dirext_sim::core::{Consistency, ProtocolKind};
+    use dirext_sim::{Machine, MachineConfig};
+
+    for app in App::ALL {
+        let w = app.workload(16, Scale::Tiny);
+        for kind in ProtocolKind::ALL {
+            let cfg =
+                MachineConfig::new(16, kind.config(Consistency::Rc)).with_trace(1 << 16);
+            let (_, records, _) = Machine::new(cfg)
+                .run_traced(&w)
+                .unwrap_or_else(|e| panic!("{} / {kind}: {e}", app.name()));
+            assert!(
+                !records.is_empty(),
+                "{} / {kind}: tracing produced no records",
+                app.name()
+            );
+        }
+    }
+}
+
 #[test]
 fn traces_round_trip_through_the_simulator() {
     use dirext_sim::core::{Consistency, ProtocolKind};
