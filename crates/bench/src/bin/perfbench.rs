@@ -11,9 +11,20 @@
 //! - `BENCH_sweep.json` — one application end-to-end, and the Figure-2
 //!   sweep wall-clock serially vs on the worker pool (with an equality
 //!   check of the two CSVs).
+//! - `BENCH_e2e.json` — full MP3D + Water runs across every extension
+//!   config (all eight [`ProtocolKind`]s under release consistency),
+//!   reporting aggregate sim-cycles/sec and trace-events/sec. This section
+//!   always runs at `small`/16-proc scale — even under `--quick` — so a CI
+//!   smoke run produces numbers directly comparable to the committed
+//!   baseline; only the repetition count shrinks.
 //!
-//! Usage: `perfbench [--quick] [--jobs N] [--out-dir DIR]`
+//! Usage: `perfbench [--quick] [--jobs N] [--out-dir DIR] [--baseline FILE]`
 //! `--quick` shrinks op counts and problem scale for CI smoke runs.
+//! `--baseline FILE` compares the fresh end-to-end aggregate throughput
+//! against the `agg_sim_cycles_per_sec` recorded in FILE (a committed
+//! `BENCH_e2e.json`) and exits nonzero on a regression of more than 20%.
+//!
+//! [`ProtocolKind`]: dirext_core::ProtocolKind
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -87,23 +98,50 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
+/// Pulls the `agg_sim_cycles_per_sec` value out of a committed
+/// `BENCH_e2e.json` by string search — the key is named uniquely so no
+/// JSON parser is needed (serde_json in this workspace is an offline stub).
+fn baseline_agg_cycles_per_sec(path: &str) -> f64 {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+    let key = "\"agg_sim_cycles_per_sec\":";
+    let at = text
+        .find(key)
+        .unwrap_or_else(|| panic!("--baseline {path}: no {key} field"));
+    let rest = text[at + key.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|e| panic!("--baseline {path}: bad {key} value: {e}"))
+}
+
 fn main() {
     let mut quick = false;
-    let mut jobs = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut jobs_requested = host_cpus;
     let mut out_dir = String::from(".");
+    let mut baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--jobs" => {
-                jobs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--jobs N");
+                jobs_requested = args.next().and_then(|v| v.parse().ok()).expect("--jobs N");
             }
             "--out-dir" => out_dir = args.next().expect("--out-dir DIR"),
+            "--baseline" => baseline = Some(args.next().expect("--baseline FILE")),
             other => panic!("unknown argument '{other}'"),
         }
+    }
+    // Oversubscribing a small host makes the "parallel" sweep *slower* than
+    // serial (context-switch thrash), so the effective job count is clamped
+    // to the cores actually available; both numbers are recorded.
+    let jobs = jobs_requested.clamp(1, host_cpus);
+    if jobs != jobs_requested {
+        eprintln!(
+            "perfbench: clamping --jobs {jobs_requested} to {jobs} (host has {host_cpus} CPUs)"
+        );
     }
     let ops: u64 = if quick { 400_000 } else { 4_000_000 };
     let reps = if quick { 3 } else { 5 };
@@ -153,10 +191,7 @@ fn main() {
     let trace_events = w.total_events();
 
     // --- Sweep tier: Figure 2, serial vs pool ------------------------------
-    let suite: Vec<Workload> = App::ALL
-        .iter()
-        .map(|a| a.workload(procs, scale))
-        .collect();
+    let suite: Vec<Workload> = App::ALL.iter().map(|a| a.workload(procs, scale)).collect();
     eprintln!("perfbench: fig2 sweep serial...");
     let t0 = Instant::now();
     let serial = experiments::fig2_with(&suite, &SweepOpts::default()).expect("fig2 serial");
@@ -178,22 +213,112 @@ fn main() {
          \"sim_cycles_per_sec\": {:.0}\n  }},\n  \
          \"fig2_sweep\": {{\n    \"configs\": {},\n    \
          \"serial_secs\": {serial_secs:.3},\n    \
-         \"parallel_secs\": {parallel_secs:.3},\n    \"jobs\": {jobs},\n    \
-         \"host_cpus\": {},\n    \
+         \"parallel_secs\": {parallel_secs:.3},\n    \
+         \"jobs_requested\": {jobs_requested},\n    \"jobs\": {jobs},\n    \
+         \"host_cpus\": {host_cpus},\n    \
          \"speedup\": {:.3},\n    \"outputs_identical\": {identical}\n  }}\n}}\n",
         json_escape_free(scale_name),
         trace_events as f64 / app_secs,
         exec_cycles as f64 / app_secs,
         suite.len() * experiments::fig2::FIG2_PROTOCOLS.len(),
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
         serial_secs / parallel_secs
     );
-    std::fs::write(format!("{out_dir}/BENCH_sweep.json"), &sweep)
-        .expect("write BENCH_sweep.json");
+    std::fs::write(format!("{out_dir}/BENCH_sweep.json"), &sweep).expect("write BENCH_sweep.json");
     eprintln!(
         "  single app {app_secs:.3}s; sweep serial {serial_secs:.2}s vs --jobs {jobs} \
          {parallel_secs:.2}s ({:.2}x), outputs identical",
         serial_secs / parallel_secs
     );
-    println!("perfbench: wrote {out_dir}/BENCH_kernel.json and {out_dir}/BENCH_sweep.json");
+
+    // --- End-to-end tier: every extension config, fixed scale --------------
+    // Always small/16 so quick CI runs stay comparable to the committed
+    // baseline file; only the repetition count shrinks under --quick.
+    let e2e_protocols = dirext_core::ProtocolKind::ALL;
+    let e2e_apps = [App::Mp3d, App::Water];
+    let e2e_loads: Vec<Workload> = e2e_apps
+        .iter()
+        .map(|a| a.workload(16, Scale::Small))
+        .collect();
+    let e2e_configs = e2e_loads.len() * e2e_protocols.len();
+    eprintln!(
+        "perfbench: end-to-end MP3D+Water x {} protocols (small, 16 procs, {reps} reps)...",
+        e2e_protocols.len()
+    );
+    let run_suite = || {
+        let t0 = Instant::now();
+        let mut cycles = 0u64;
+        for w in &e2e_loads {
+            for kind in e2e_protocols {
+                let m = experiments::run_protocol(w, kind, dirext_core::Consistency::Rc)
+                    .expect("e2e run");
+                cycles += m.exec_cycles;
+            }
+        }
+        (t0.elapsed().as_secs_f64(), cycles)
+    };
+    let (_, e2e_cycles) = run_suite(); // warm-up, and the cycle total
+    let e2e_secs = median_of(reps, || run_suite().0);
+    let e2e_events: u64 = e2e_loads
+        .iter()
+        .map(|w| (w.total_events() * e2e_protocols.len()) as u64)
+        .sum();
+
+    // Single MP3D/BASIC at the same fixed scale: the direct comparison
+    // point against historical BENCH_sweep.json single_app numbers.
+    let w0 = &e2e_loads[0];
+    let run_mp3d = || {
+        let t0 = Instant::now();
+        let m = experiments::run_protocol(
+            w0,
+            dirext_core::ProtocolKind::Basic,
+            dirext_core::Consistency::Rc,
+        )
+        .expect("e2e MP3D run");
+        (t0.elapsed().as_secs_f64(), m.exec_cycles)
+    };
+    let (_, mp3d_cycles) = run_mp3d();
+    let mp3d_secs = median_of(reps, || run_mp3d().0);
+    let mp3d_events = w0.total_events();
+
+    let agg_cycles_per_sec = e2e_cycles as f64 / e2e_secs;
+    let e2e = format!(
+        "{{\n  \"benchmark\": \"end_to_end_all_configs\",\n  \
+         \"description\": \"full MP3D+Water runs across all 8 extension configs under RC\",\n  \
+         \"scale\": \"small\",\n  \"procs\": 16,\n  \"reps\": {reps},\n  \
+         \"configs\": {e2e_configs},\n  \
+         \"single_app\": {{\n    \"app\": \"MP3D\",\n    \"protocol\": \"BASIC\",\n    \
+         \"trace_events\": {mp3d_events},\n    \"exec_cycles\": {mp3d_cycles},\n    \
+         \"wall_secs\": {mp3d_secs:.4},\n    \
+         \"trace_events_per_sec\": {:.0},\n    \
+         \"sim_cycles_per_sec\": {:.0}\n  }},\n  \
+         \"aggregate\": {{\n    \"total_trace_events\": {e2e_events},\n    \
+         \"total_exec_cycles\": {e2e_cycles},\n    \
+         \"wall_secs\": {e2e_secs:.4},\n    \
+         \"agg_trace_events_per_sec\": {:.0},\n    \
+         \"agg_sim_cycles_per_sec\": {agg_cycles_per_sec:.0}\n  }}\n}}\n",
+        mp3d_events as f64 / mp3d_secs,
+        mp3d_cycles as f64 / mp3d_secs,
+        e2e_events as f64 / e2e_secs,
+    );
+    std::fs::write(format!("{out_dir}/BENCH_e2e.json"), &e2e).expect("write BENCH_e2e.json");
+    eprintln!(
+        "  e2e {e2e_configs} configs in {e2e_secs:.3}s: {agg_cycles_per_sec:.0} sim-cycles/sec \
+         aggregate; MP3D/BASIC {:.0} sim-cycles/sec",
+        mp3d_cycles as f64 / mp3d_secs
+    );
+
+    if let Some(path) = &baseline {
+        let base = baseline_agg_cycles_per_sec(path);
+        let ratio = agg_cycles_per_sec / base;
+        eprintln!("  e2e gate: fresh {agg_cycles_per_sec:.0} vs baseline {base:.0} ({ratio:.3}x)");
+        assert!(
+            ratio >= 0.8,
+            "end-to-end throughput regressed more than 20% vs {path}: \
+             {agg_cycles_per_sec:.0} < 0.8 * {base:.0}"
+        );
+    }
+    println!(
+        "perfbench: wrote {out_dir}/BENCH_kernel.json, {out_dir}/BENCH_sweep.json and \
+         {out_dir}/BENCH_e2e.json"
+    );
 }

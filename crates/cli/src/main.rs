@@ -126,13 +126,26 @@ impl Args {
         cfg
     }
 
-    /// Resolved worker-thread count: `--jobs 0` means all CPU cores.
+    /// Resolved worker-thread count: `--jobs 0` means all CPU cores, and
+    /// explicit requests are clamped to the host's available parallelism
+    /// (oversubscribing a sweep only adds scheduler thrash, never speed).
+    /// The clamp is reported once so logs record the effective count.
     fn jobs(&self) -> usize {
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
         if self.jobs == 0 {
-            std::thread::available_parallelism().map_or(1, |n| n.get())
-        } else {
-            self.jobs
+            return host;
         }
+        let effective = self.jobs.min(host);
+        if effective < self.jobs {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| {
+                eprintln!(
+                    "note: --jobs {} exceeds the {host} available CPU(s); using --jobs {effective}",
+                    self.jobs
+                );
+            });
+        }
+        effective
     }
 
     /// The sweep options (worker threads + fault overlay) for the
@@ -442,13 +455,21 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "sens-buffers" => {
             println!(
                 "{}",
-                experiments::sensitivity_with(&suite(args), sens::Constraint::SmallBuffers, &args.sweep_opts())?
+                experiments::sensitivity_with(
+                    &suite(args),
+                    sens::Constraint::SmallBuffers,
+                    &args.sweep_opts()
+                )?
             )
         }
         "sens-cache" => {
             println!(
                 "{}",
-                experiments::sensitivity_with(&suite(args), sens::Constraint::SmallSlc, &args.sweep_opts())?
+                experiments::sensitivity_with(
+                    &suite(args),
+                    sens::Constraint::SmallSlc,
+                    &args.sweep_opts()
+                )?
             )
         }
         "miss-latency" => println!(
@@ -755,7 +776,8 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("report: sensitivity...");
             section(
                 "Sensitivity — small buffers (5.4)",
-                experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts)?.to_string(),
+                experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts)?
+                    .to_string(),
             );
             section(
                 "Sensitivity — 16-KB SLC (5.4)",

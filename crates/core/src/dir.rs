@@ -13,10 +13,11 @@
 //! presence-flag vector; and, for the extensions, a migratory bit, a
 //! last-writer pointer (M) and a last-updater pointer (CW+M).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use dirext_trace::{BlockAddr, NodeId};
 
+use crate::blockmap::BlockMap;
 use crate::error::ProtocolError;
 use crate::msg::MsgKind;
 use crate::proto::hooks::{
@@ -140,16 +141,25 @@ impl DirEntry {
         self.presence.count_ones()
     }
 
-    fn sharers_except(&self, n: NodeId) -> Vec<NodeId> {
-        (0..64)
-            .filter(|i| self.presence & (1u64 << i) != 0 && *i != n.idx() as u64)
-            .map(|i| NodeId(i as u8))
-            .collect()
+    /// Presence bits of every sharer except `n` — fanout targets as a mask,
+    /// so invalidation/update distribution allocates nothing. Iterate the
+    /// nodes with [`mask_nodes`]; the mask doubles as the `awaiting` set.
+    fn sharer_mask_except(&self, n: NodeId) -> u64 {
+        self.presence & !(1u64 << n.idx())
     }
+}
 
-    fn sharers(&self) -> Vec<NodeId> {
-        self.sharers_except(NodeId(u8::MAX))
-    }
+/// The nodes named by a presence mask, in ascending id order (matching the
+/// fanout order of the old `Vec<NodeId>` sharer lists).
+fn mask_nodes(mut mask: u64) -> impl Iterator<Item = NodeId> {
+    std::iter::from_fn(move || {
+        if mask == 0 {
+            return None;
+        }
+        let i = mask.trailing_zeros();
+        mask &= mask - 1;
+        Some(NodeId(i as u8))
+    })
 }
 
 /// Counters kept by the directory controller (aggregated across all blocks
@@ -217,7 +227,7 @@ pub struct DirStats {
 pub struct DirCtrl {
     nprocs: usize,
     exts: ExtStack,
-    entries: HashMap<BlockAddr, DirEntry>,
+    entries: BlockMap<DirEntry>,
     stats: DirStats,
     trace: TraceRing,
 }
@@ -240,7 +250,7 @@ impl DirCtrl {
         DirCtrl {
             nprocs,
             exts,
-            entries: HashMap::new(),
+            entries: BlockMap::new(),
             stats: DirStats::default(),
             trace: TraceRing::disabled(),
         }
@@ -324,7 +334,7 @@ impl DirCtrl {
     /// Whether `block` has a transient state or queued requests.
     pub fn pending_op(&self, block: BlockAddr) -> bool {
         self.entries
-            .get(&block)
+            .get(block)
             .is_some_and(|e| e.pending.is_some() || !e.waiting.is_empty())
     }
 
@@ -332,7 +342,7 @@ impl DirCtrl {
     /// `(modified_owner, presence_bits, migratory)`. `None` if the block
     /// was never referenced.
     pub fn snapshot(&self, block: BlockAddr) -> Option<(Option<NodeId>, u64, bool)> {
-        self.entries.get(&block).map(|e| {
+        self.entries.get(block).map(|e| {
             let owner = match e.state {
                 DirState::Modified(n) => Some(n),
                 DirState::Clean => None,
@@ -341,16 +351,19 @@ impl DirCtrl {
         })
     }
 
-    /// Iterates over all blocks this controller has entries for.
+    /// Iterates over all blocks this controller has entries for, in
+    /// ascending block order. The dense entry arena makes this
+    /// deterministic across runs and processes — the order feeds invariant
+    /// audits and diagnostics, which must not vary with a hasher seed.
     pub fn blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
-        self.entries.keys().copied()
+        self.entries.keys()
     }
 
     /// Describes the in-flight directory operations (transient states and
     /// queued requests) for diagnostic snapshots, sorted by block.
     pub fn pending_ops(&self) -> Vec<(BlockAddr, String)> {
-        let mut v: Vec<_> = self
-            .entries
+        // BlockMap iteration is already in ascending block order.
+        self.entries
             .iter()
             .filter(|(_, e)| e.pending.is_some() || !e.waiting.is_empty())
             .map(|(b, e)| {
@@ -365,11 +378,9 @@ impl DirCtrl {
                     ),
                     None => format!("{} queued requests", e.waiting.len()),
                 };
-                (*b, desc)
+                (b, desc)
             })
-            .collect();
-        v.sort_by_key(|(b, _)| *b);
-        v
+            .collect()
     }
 
     /// Processes one incoming message and returns the outgoing messages.
@@ -412,7 +423,7 @@ impl DirCtrl {
         actions: &mut Vec<DirAction>,
     ) -> Result<(), ProtocolError> {
         debug_assert!(src.idx() < self.nprocs);
-        let entry_exists_pending = self.entries.get(&block).map(|e| e.pending).unwrap_or(None);
+        let entry_exists_pending = self.entries.get(block).map(|e| e.pending).unwrap_or(None);
 
         match kind {
             // Replacement hints bypass the queue entirely. A hint crossing
@@ -420,7 +431,7 @@ impl DirCtrl {
             // was in flight) must not corrupt the MODIFIED entry — the
             // cache resolves that race with an unwritten writeback.
             MsgKind::SharedReplHint => {
-                if let Some(e) = self.entries.get_mut(&block) {
+                if let Some(e) = self.entries.get_mut(block) {
                     if !matches!(e.state, DirState::Modified(owner) if owner == src) {
                         e.remove(src);
                     }
@@ -469,7 +480,7 @@ impl DirCtrl {
     }
 
     fn entry(&mut self, block: BlockAddr) -> &mut DirEntry {
-        self.entries.entry(block).or_default()
+        self.entries.get_or_insert_with(block, DirEntry::default)
     }
 
     /// Runs a hook dispatch with the entry, the extension stack and the
@@ -485,7 +496,7 @@ impl DirCtrl {
             stats,
             ..
         } = self;
-        let e = entries.entry(block).or_default();
+        let e = entries.get_or_insert_with(block, DirEntry::default);
         f(e, exts, stats)
     }
 
@@ -493,7 +504,7 @@ impl DirCtrl {
     /// (absent entries are CLEAN; a pending operation shadows the stable
     /// state).
     fn dir_tag(&self, block: BlockAddr) -> DirTag {
-        match self.entries.get(&block) {
+        match self.entries.get(block) {
             None => DirTag::Clean,
             Some(e) => match e.pending {
                 Some(p) => match p.kind {
@@ -547,7 +558,7 @@ impl DirCtrl {
     }
 
     fn owner_of(&self, block: BlockAddr) -> Option<NodeId> {
-        match self.entries.get(&block).map(|e| e.state) {
+        match self.entries.get(block).map(|e| e.state) {
             Some(DirState::Modified(n)) => Some(n),
             _ => None,
         }
@@ -703,8 +714,8 @@ impl DirCtrl {
             DirState::Clean => {
                 let had_copy = self.entry(block).has(src);
                 let with_data = !had_copy || need_data;
-                let targets = self.entry(block).sharers_except(src);
-                if targets.is_empty() {
+                let targets = self.entry(block).sharer_mask_except(src);
+                if targets == 0 {
                     let e = self.entry(block);
                     e.presence = 0;
                     e.add(src);
@@ -715,10 +726,10 @@ impl DirCtrl {
                         kind: MsgKind::OwnAck { with_data },
                     });
                 } else {
-                    self.stats.invals_sent += targets.len() as u64;
-                    for t in &targets {
+                    self.stats.invals_sent += u64::from(targets.count_ones());
+                    for t in mask_nodes(targets) {
                         actions.push(DirAction {
-                            dst: *t,
+                            dst: t,
                             kind: MsgKind::Inval,
                         });
                     }
@@ -726,7 +737,7 @@ impl DirCtrl {
                         kind: PendingKind::Invalidating { with_data },
                         requester: src,
                         target: None,
-                        awaiting: node_mask(&targets),
+                        awaiting: targets,
                         keep_votes: false,
                     });
                 }
@@ -795,10 +806,10 @@ impl DirCtrl {
                 self.with_entry_exts(block, |e, exts, _| exts.update_route(e, src, &mut route));
                 if route == UpdateRoute::Interrogate {
                     self.stats.interrogations += 1;
-                    let targets = self.entry(block).sharers();
-                    for t in &targets {
+                    let targets = self.entry(block).presence;
+                    for t in mask_nodes(targets) {
                         actions.push(DirAction {
-                            dst: *t,
+                            dst: t,
                             kind: MsgKind::Interrogate,
                         });
                     }
@@ -806,7 +817,7 @@ impl DirCtrl {
                         kind: PendingKind::Interrogating { dirty_words },
                         requester: src,
                         target: None,
-                        awaiting: node_mask(&targets),
+                        awaiting: targets,
                         keep_votes: false,
                     });
                 } else {
@@ -825,17 +836,17 @@ impl DirCtrl {
     ) {
         self.entry(block).last_updater = Some(src);
         self.entry(block).last_writer = Some(src);
-        let targets = self.entry(block).sharers_except(src);
-        if targets.is_empty() {
+        let targets = self.entry(block).sharer_mask_except(src);
+        if targets == 0 {
             actions.push(DirAction {
                 dst: src,
                 kind: self.finish_update(src, block),
             });
         } else {
-            self.stats.updates_sent += targets.len() as u64;
-            for t in &targets {
+            self.stats.updates_sent += u64::from(targets.count_ones());
+            for t in mask_nodes(targets) {
                 actions.push(DirAction {
-                    dst: *t,
+                    dst: t,
                     kind: MsgKind::Update { dirty_words },
                 });
             }
@@ -843,7 +854,7 @@ impl DirCtrl {
                 kind: PendingKind::Updating,
                 requester: src,
                 target: None,
-                awaiting: node_mask(&targets),
+                awaiting: targets,
                 keep_votes: false,
             });
         }
@@ -1132,11 +1143,6 @@ impl DirCtrl {
         }
         Ok(())
     }
-}
-
-/// Presence-style bitmask of a target list.
-fn node_mask(targets: &[NodeId]) -> u64 {
-    targets.iter().fold(0u64, |m, n| m | (1u64 << n.idx()))
 }
 
 /// Whether a fetch-style reply kind is the one the pending op is waiting

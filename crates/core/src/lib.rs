@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod blockmap;
 pub mod competitive;
 pub mod config;
 pub mod cost;
@@ -40,6 +41,7 @@ pub mod prefetch;
 pub mod proto;
 pub mod sync;
 
+pub use blockmap::BlockMap;
 pub use config::{CompetitiveConfig, Consistency, PrefetchConfig, ProtocolConfig, ProtocolKind};
 pub use dir::{DirAction, DirCtrl, DirStats};
 pub use error::ProtocolError;

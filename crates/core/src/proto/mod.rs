@@ -12,10 +12,10 @@
 //!   `docs/PROTOCOL.md` and the conformance checker validates executions
 //!   against them.
 //! * [`hooks`] — the **composable extension hooks**: the
-//!   [`ProtocolExt`](hooks::ProtocolExt) trait whose implementations
-//!   ([`PrefetchExt`](hooks::PrefetchExt), [`MigratoryExt`](hooks::MigratoryExt),
-//!   [`CompetitiveUpdateExt`](hooks::CompetitiveUpdateExt),
-//!   [`ExclusiveCleanExt`](hooks::ExclusiveCleanExt)) carry *all*
+//!   [`ProtocolExt`] trait whose implementations
+//!   ([`PrefetchExt`], [`MigratoryExt`],
+//!   [`CompetitiveUpdateExt`],
+//!   [`ExclusiveCleanExt`]) carry *all*
 //!   extension-specific behavior. The BASIC transition core in
 //!   [`crate::dir`] and the simulator's cache controller contain no
 //!   extension flag branches: they consult an [`hooks::ExtStack`] built

@@ -269,7 +269,9 @@ mod tests {
     #[test]
     fn markdown_mentions_every_state() {
         let md = render_markdown();
-        for s in ["CLEAN", "MODIFIED", "P:Interr", "MigClean", "DIRTY", "SHARED"] {
+        for s in [
+            "CLEAN", "MODIFIED", "P:Interr", "MigClean", "DIRTY", "SHARED",
+        ] {
             assert!(md.contains(s), "missing {s}");
         }
     }

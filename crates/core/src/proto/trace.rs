@@ -322,7 +322,9 @@ impl TraceRing {
 
     /// Records currently held, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = &TransitionRecord> {
-        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
     }
 
     /// Number of records currently held.

@@ -19,8 +19,8 @@ fn doc_path() -> PathBuf {
 #[test]
 fn protocol_doc_tables_match_the_code() {
     let path = doc_path();
-    let doc = fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let doc =
+        fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
     let start = doc
         .find(BEGIN)
         .unwrap_or_else(|| panic!("{}: missing '{BEGIN}' marker", path.display()));
@@ -35,11 +35,7 @@ fn protocol_doc_tables_match_the_code() {
         return;
     }
     if std::env::var_os("DIREXT_BLESS").is_some() {
-        let updated = format!(
-            "{}{BEGIN}{generated}{}",
-            &doc[..start],
-            &doc[end..]
-        );
+        let updated = format!("{}{BEGIN}{generated}{}", &doc[..start], &doc[end..]);
         fs::write(&path, updated).unwrap();
         return;
     }

@@ -23,6 +23,8 @@ use crate::Time;
 /// to the wheel; later ones spill to the heap. Must be a power of two.
 const WHEEL_SPAN: u64 = 256;
 const WHEEL_MASK: u64 = WHEEL_SPAN - 1;
+/// Words in the wheel occupancy bitmap (one bit per bucket).
+const OCC_WORDS: usize = (WHEEL_SPAN / 64) as usize;
 
 /// A timestamped event priority queue with deterministic ordering.
 ///
@@ -57,6 +59,11 @@ pub struct EventQueue<E> {
     /// bucket holds at most one distinct cycle, and its entries are in push
     /// (= seq) order, so each bucket is a plain FIFO.
     wheel: Vec<VecDeque<(u64, E)>>,
+    /// One occupancy bit per wheel bucket, so finding the next non-empty
+    /// bucket is a handful of word scans (`trailing_zeros`) instead of up
+    /// to `WHEEL_SPAN` `VecDeque::is_empty` probes when the wheel is
+    /// sparse — the common case for a small machine between bursts.
+    occ: [u64; OCC_WORDS],
     /// Events in the wheel.
     wheel_len: usize,
     /// Cycle of the most recently popped event: the left edge of the wheel
@@ -99,6 +106,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             wheel: (0..WHEEL_SPAN).map(|_| VecDeque::new()).collect(),
+            occ: [0; OCC_WORDS],
             wheel_len: 0,
             cursor: 0,
             heap: BinaryHeap::new(),
@@ -120,12 +128,14 @@ impl<E> EventQueue<E> {
         self.seq += 1;
         let c = at.cycles();
         if c >= self.cursor && c - self.cursor < WHEEL_SPAN {
-            let bucket = &mut self.wheel[(c & WHEEL_MASK) as usize];
+            let idx = (c & WHEEL_MASK) as usize;
+            let bucket = &mut self.wheel[idx];
             debug_assert!(
                 bucket.back().is_none_or(|&(s, _)| s < seq),
                 "bucket seq order violated"
             );
             bucket.push_back((seq, event));
+            self.occ[idx / 64] |= 1 << (idx % 64);
             self.wheel_len += 1;
         } else {
             self.heap.push(Reverse(Entry {
@@ -136,24 +146,52 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Finds the earliest wheel entry: `(cycle, bucket index)`. Scanning is
-    /// bounded by `limit` cycles past the cursor (the caller passes the heap
-    /// top's distance so a sparse wheel never scans past a closer heap
-    /// event) and by the wheel span.
+    /// Finds the earliest wheel entry: `(cycle, bucket index)`. The search
+    /// walks the occupancy bitmap circularly from the cursor's bucket —
+    /// every live wheel entry sits at circular distance `[0, WHEEL_SPAN)`
+    /// from the cursor, so the first set bit in that order *is* the
+    /// minimum. Bounded by `limit` cycles past the cursor (the caller
+    /// passes the heap top's distance so a closer heap event wins without
+    /// a full scan).
     #[inline]
     fn wheel_min(&self, limit: u64) -> Option<(u64, usize)> {
         if self.wheel_len == 0 {
             return None;
         }
-        let span = WHEEL_SPAN.min(limit);
-        for off in 0..span {
-            let c = self.cursor + off;
-            let idx = (c & WHEEL_MASK) as usize;
-            if !self.wheel[idx].is_empty() {
-                return Some((c, idx));
+        let start = (self.cursor & WHEEL_MASK) as usize;
+        let (w0, b0) = (start / 64, start % 64);
+        // Circular first-set-bit search: the tail of the cursor's word,
+        // then the remaining full words, then the cursor word's head.
+        let head = self.occ[w0] >> b0;
+        let dist = if head != 0 {
+            u64::from(head.trailing_zeros())
+        } else {
+            let mut dist = (64 - b0) as u64;
+            let mut found = None;
+            for k in 1..OCC_WORDS {
+                let w = self.occ[(w0 + k) % OCC_WORDS];
+                if w != 0 {
+                    found = Some(dist + u64::from(w.trailing_zeros()));
+                    break;
+                }
+                dist += 64;
             }
+            match found {
+                Some(d) => d,
+                None => {
+                    let tail = self.occ[w0] & ((1u64 << b0) - 1);
+                    if tail == 0 {
+                        return None;
+                    }
+                    dist + u64::from(tail.trailing_zeros())
+                }
+            }
+        };
+        if dist >= WHEEL_SPAN.min(limit) {
+            return None;
         }
-        None
+        let c = self.cursor + dist;
+        Some((c, (c & WHEEL_MASK) as usize))
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
@@ -189,6 +227,9 @@ impl<E> EventQueue<E> {
         } else {
             let (wc, idx) = wheel_best.expect("checked nonempty");
             let (_, event) = self.wheel[idx].pop_front().expect("nonempty");
+            if self.wheel[idx].is_empty() {
+                self.occ[idx / 64] &= !(1 << (idx % 64));
+            }
             self.wheel_len -= 1;
             self.cursor = wc;
             Some((Time::from_cycles(wc), event))

@@ -1,7 +1,6 @@
 //! Second-level cache storage, generic over the protocol's line state.
 
-use std::collections::HashMap;
-
+use dirext_core::blockmap::BlockMap;
 use dirext_trace::{BlockAddr, BLOCK_BYTES};
 
 /// Geometry of the second-level cache.
@@ -57,8 +56,13 @@ pub struct Slc<L> {
 
 #[derive(Debug, Clone)]
 enum Storage<L> {
-    Infinite(HashMap<BlockAddr, L>),
-    DirectMapped { sets: Vec<Option<(BlockAddr, L)>> },
+    /// Dense block-indexed arena: an infinite SLC holds every block the
+    /// node ever touched, so lookups here are on the per-reference hot
+    /// path and hashing would dominate.
+    Infinite(BlockMap<L>),
+    DirectMapped {
+        sets: Vec<Option<(BlockAddr, L)>>,
+    },
 }
 
 impl<L> Slc<L> {
@@ -70,7 +74,7 @@ impl<L> Slc<L> {
     /// block size.
     pub fn new(geometry: SlcGeometry) -> Self {
         let storage = match geometry {
-            SlcGeometry::Infinite => Storage::Infinite(HashMap::new()),
+            SlcGeometry::Infinite => Storage::Infinite(BlockMap::new()),
             SlcGeometry::DirectMapped { bytes } => {
                 assert!(
                     bytes > 0 && bytes % BLOCK_BYTES == 0,
@@ -92,7 +96,7 @@ impl<L> Slc<L> {
     /// The line for `block`, if cached.
     pub fn get(&self, block: BlockAddr) -> Option<&L> {
         match &self.storage {
-            Storage::Infinite(map) => map.get(&block),
+            Storage::Infinite(map) => map.get(block),
             Storage::DirectMapped { sets } => match &sets[Self::set_of(sets.len(), block)] {
                 Some((tag, line)) if *tag == block => Some(line),
                 _ => None,
@@ -103,7 +107,7 @@ impl<L> Slc<L> {
     /// Mutable access to the line for `block`, if cached.
     pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut L> {
         match &mut self.storage {
-            Storage::Infinite(map) => map.get_mut(&block),
+            Storage::Infinite(map) => map.get_mut(block),
             Storage::DirectMapped { sets } => {
                 let idx = Self::set_of(sets.len(), block);
                 match &mut sets[idx] {
@@ -139,7 +143,7 @@ impl<L> Slc<L> {
     /// Removes and returns the line for `block`.
     pub fn remove(&mut self, block: BlockAddr) -> Option<L> {
         match &mut self.storage {
-            Storage::Infinite(map) => map.remove(&block),
+            Storage::Infinite(map) => map.remove(block),
             Storage::DirectMapped { sets } => {
                 let idx = Self::set_of(sets.len(), block);
                 match &sets[idx] {
@@ -168,10 +172,12 @@ impl<L> Slc<L> {
         self.len() == 0
     }
 
-    /// Iterates over `(block, line)` pairs in unspecified order.
+    /// Iterates over `(block, line)` pairs. An infinite SLC iterates in
+    /// ascending block order (deterministic for audits and diagnostics); a
+    /// direct-mapped SLC iterates in set order.
     pub fn iter(&self) -> Box<dyn Iterator<Item = (BlockAddr, &L)> + '_> {
         match &self.storage {
-            Storage::Infinite(map) => Box::new(map.iter().map(|(b, l)| (*b, l))),
+            Storage::Infinite(map) => Box::new(map.iter()),
             Storage::DirectMapped { sets } => {
                 Box::new(sets.iter().filter_map(|s| s.as_ref()).map(|(b, l)| (*b, l)))
             }

@@ -118,6 +118,15 @@ impl WriteCache {
         self.entries.iter_mut().filter_map(Option::take).collect()
     }
 
+    /// Removes and returns the next resident entry in set order, or `None`
+    /// when the cache is drained — the allocation-free counterpart of
+    /// [`WriteCache::flush_all`] for release-time flushing, which happens
+    /// on every lock release under CW. The cache is 4 entries in the
+    /// paper, so the scan is cheaper than building a `Vec`.
+    pub fn take_next(&mut self) -> Option<WcEntry> {
+        self.entries.iter_mut().find_map(Option::take)
+    }
+
     /// Whether any entry is resident.
     pub fn is_empty(&self) -> bool {
         self.entries.iter().all(Option::is_none)
@@ -182,6 +191,25 @@ mod tests {
         let e = wc.take(BlockAddr::from_index(1)).unwrap();
         assert_eq!(e.block, BlockAddr::from_index(1));
         assert!(wc.is_empty());
+    }
+
+    #[test]
+    fn take_next_drains_in_flush_order() {
+        let mut wc = WriteCache::new(4);
+        for i in 0..3 {
+            wc.write(Addr::new(i * BLOCK_BYTES));
+        }
+        let mut by_flush = WriteCache::new(4);
+        for i in 0..3 {
+            by_flush.write(Addr::new(i * BLOCK_BYTES));
+        }
+        let mut drained = Vec::new();
+        while let Some(e) = wc.take_next() {
+            drained.push(e);
+        }
+        assert_eq!(drained, by_flush.flush_all());
+        assert!(wc.is_empty());
+        assert!(wc.take_next().is_none());
     }
 
     #[test]

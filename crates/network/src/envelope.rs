@@ -74,6 +74,18 @@ impl Envelope {
     pub fn is_local(&self) -> bool {
         self.src == self.dst
     }
+
+    /// Flit count of a `bytes`-byte message on a `link_bits`-wide link:
+    /// one flit per link cycle, rounded up. Shared by the mesh and ring
+    /// models so their body-occupancy arithmetic cannot drift apart.
+    pub fn flits_on(bytes: u32, link_bits: u32) -> u64 {
+        (u64::from(bytes) * 8).div_ceil(u64::from(link_bits))
+    }
+
+    /// Body occupancy of this message on a `link_bits`-wide link.
+    pub fn flits(&self, link_bits: u32) -> u64 {
+        Self::flits_on(self.bytes, link_bits)
+    }
 }
 
 #[cfg(test)]
@@ -84,6 +96,16 @@ mod tests {
     fn locality() {
         assert!(Envelope::new(NodeId(2), NodeId(2), 8, TrafficClass::Control).is_local());
         assert!(!Envelope::new(NodeId(2), NodeId(3), 8, TrafficClass::Control).is_local());
+    }
+
+    #[test]
+    fn flits_round_up() {
+        assert_eq!(Envelope::flits_on(40, 64), 5); // 320 bits / 64
+        assert_eq!(Envelope::flits_on(8, 64), 1);
+        assert_eq!(Envelope::flits_on(9, 64), 2); // 72 bits -> 2 flits
+        assert_eq!(Envelope::flits_on(40, 16), 20);
+        let e = Envelope::new(NodeId(0), NodeId(1), 40, TrafficClass::Data);
+        assert_eq!(e.flits(32), 10);
     }
 
     #[test]

@@ -33,7 +33,10 @@
 use crate::{Deliveries, Envelope, Network, TrafficStats};
 use dirext_kernel::{Pcg32, Time};
 use dirext_trace::NodeId;
-use std::collections::HashMap;
+
+/// Pair-clock table stride: the machine's presence vector caps it at 64
+/// nodes, so a flat 64×64 table (32 KB) replaces a per-message hash lookup.
+const PAIR_STRIDE: usize = 64;
 
 /// Spread (in cycles) of the random lag between a message and its duplicate.
 const DUP_LAG_SPREAD: u32 = 128;
@@ -115,8 +118,11 @@ pub struct FaultyNetwork {
     inner: Box<dyn Network>,
     plan: FaultPlan,
     rng: Pcg32,
-    /// Monotone last-delivery time per (src, dst) pair; enforces pair-FIFO.
-    pair_clock: HashMap<(NodeId, NodeId), Time>,
+    /// Monotone last-delivery time per (src, dst) pair, as a dense
+    /// `src * PAIR_STRIDE + dst` table; enforces pair-FIFO. Fault
+    /// injection perturbs *every* remote message, so this lookup is as hot
+    /// as the network model itself under fault runs.
+    pair_clock: Vec<Time>,
     stats: FaultStats,
     name: String,
 }
@@ -129,7 +135,7 @@ impl FaultyNetwork {
             inner,
             rng: Pcg32::with_stream(plan.seed, 0xFA17),
             plan,
-            pair_clock: HashMap::new(),
+            pair_clock: vec![Time::ZERO; PAIR_STRIDE * PAIR_STRIDE],
             stats: FaultStats::default(),
             name,
         }
@@ -139,6 +145,10 @@ impl FaultyNetwork {
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
+}
+
+fn pair_key(src: NodeId, dst: NodeId) -> usize {
+    src.idx() * PAIR_STRIDE + dst.idx()
 }
 
 impl Network for FaultyNetwork {
@@ -182,14 +192,14 @@ impl Network for FaultyNetwork {
                         duplicate: None,
                     };
                 }
-                arrival += Time::from_cycles(self.plan.retry_base << attempts.min(MAX_BACKOFF_SHIFT));
+                arrival +=
+                    Time::from_cycles(self.plan.retry_base << attempts.min(MAX_BACKOFF_SHIFT));
                 attempts += 1;
                 self.stats.retransmitted += 1;
             }
         }
-        let key = (env.src, env.dst);
-        let floor = self.pair_clock.get(&key).copied().unwrap_or(Time::ZERO);
-        let arrival = arrival.max(floor);
+        let key = pair_key(env.src, env.dst);
+        let arrival = arrival.max(self.pair_clock[key]);
         let mut last = arrival;
         let mut duplicate = None;
         if self.plan.dup_permille > 0 && self.rng.chance(self.plan.dup_permille, 1000) {
@@ -199,7 +209,7 @@ impl Network for FaultyNetwork {
             duplicate = Some(dup_at);
             last = dup_at;
         }
-        self.pair_clock.insert(key, last);
+        self.pair_clock[key] = last;
         Deliveries {
             primary: Some(arrival),
             duplicate,

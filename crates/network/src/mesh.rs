@@ -44,6 +44,11 @@ pub struct MeshNetwork {
     /// One `Resource` per unidirectional link. Links are indexed by
     /// `(from_router * 4) + direction`.
     links: Vec<Resource>,
+    /// Recycled route buffer: `send` runs once per simulated message, so
+    /// computing the X-Y path into a fresh `Vec` was the one steady-state
+    /// allocation in the mesh model. Taken with `mem::take` for the
+    /// duration of a send and put back after.
+    route_scratch: Vec<usize>,
     traffic: TrafficStats,
     name: String,
 }
@@ -83,6 +88,7 @@ impl MeshNetwork {
             link_bits,
             router_delay: 2,
             links: vec![Resource::new(); cols * rows * 4],
+            route_scratch: Vec::with_capacity(cols + rows),
             traffic: TrafficStats::new(),
             name: format!("mesh{cols}x{rows}-{link_bits}bit"),
         }
@@ -101,24 +107,24 @@ impl MeshNetwork {
 
     fn coords(&self, n: NodeId) -> (usize, usize) {
         let i = n.idx();
+        debug_assert!(i < self.cols * self.rows, "node id off the mesh");
         (i % self.cols, i / self.cols)
     }
 
     /// Body occupancy of a message in link cycles (flits).
     fn flits(&self, bytes: u32) -> u64 {
-        u64::from(bytes) * 8 / u64::from(self.link_bits)
-            + u64::from((u64::from(bytes) * 8) % u64::from(self.link_bits) != 0)
+        Envelope::flits_on(bytes, self.link_bits)
     }
 
     fn link_index(&self, x: usize, y: usize, dir: Dir) -> usize {
         (y * self.cols + x) * 4 + dir.idx()
     }
 
-    /// The sequence of link indices a message traverses under X-Y routing.
-    fn route(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
+    /// The sequence of link indices a message traverses under X-Y routing,
+    /// appended to `path`.
+    fn route_into(&self, src: NodeId, dst: NodeId, path: &mut Vec<usize>) {
         let (mut x, mut y) = self.coords(src);
         let (dx, dy) = self.coords(dst);
-        let mut path = Vec::with_capacity(self.cols + self.rows);
         while x != dx {
             let dir = if dx > x { Dir::East } else { Dir::West };
             path.push(self.link_index(x, y, dir));
@@ -137,6 +143,12 @@ impl MeshNetwork {
                 y -= 1;
             }
         }
+    }
+
+    #[cfg(test)]
+    fn route(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
+        let mut path = Vec::new();
+        self.route_into(src, dst, &mut path);
         path
     }
 }
@@ -149,7 +161,10 @@ impl Network for MeshNetwork {
         self.traffic.record(&env);
         let flits = self.flits(env.bytes);
         let mut head = now;
-        for link in self.route(env.src, env.dst) {
+        let mut path = std::mem::take(&mut self.route_scratch);
+        path.clear();
+        self.route_into(env.src, env.dst, &mut path);
+        for &link in &path {
             // The head flit must wait for the link, then spends the router
             // delay; the body then streams for `flits` cycles, keeping the
             // link busy for router_delay + flits.
@@ -157,6 +172,7 @@ impl Network for MeshNetwork {
                 self.links[link].acquire(head, Time::from_cycles(self.router_delay + flits));
             head = start + Time::from_cycles(self.router_delay);
         }
+        self.route_scratch = path;
         head + Time::from_cycles(flits)
     }
 

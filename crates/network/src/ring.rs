@@ -67,7 +67,7 @@ impl RingNetwork {
     }
 
     fn flits(&self, bytes: u32) -> u64 {
-        (u64::from(bytes) * 8).div_ceil(u64::from(self.link_bits))
+        Envelope::flits_on(bytes, self.link_bits)
     }
 
     /// `(hops, clockwise)` for the shorter direction.

@@ -29,12 +29,14 @@ use crate::{Envelope, Network, TrafficStats};
 pub struct UniformNetwork {
     hop_latency: Time,
     traffic: TrafficStats,
+    name: String,
 }
 
 impl UniformNetwork {
     /// Creates a network with the given node-to-node latency.
     pub fn new(hop_latency: Time) -> Self {
         UniformNetwork {
+            name: format!("uniform-{}", hop_latency.cycles()),
             hop_latency,
             traffic: TrafficStats::new(),
         }
@@ -60,7 +62,7 @@ impl Network for UniformNetwork {
     }
 
     fn name(&self) -> &str {
-        "uniform-54"
+        &self.name
     }
 }
 

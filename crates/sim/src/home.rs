@@ -1,7 +1,6 @@
 //! Per-node home-side state: directory, memory versions, synchronization.
 
-use std::collections::HashMap;
-
+use dirext_core::blockmap::BlockMap;
 use dirext_core::config::ProtocolConfig;
 use dirext_core::dir::DirCtrl;
 use dirext_core::proto::ExtStack;
@@ -16,7 +15,7 @@ pub(crate) struct Home {
     pub dir: DirCtrl,
     pub locks: LockCtrl,
     pub barriers: BarrierCtrl,
-    pub mem_version: HashMap<BlockAddr, u64>,
+    pub mem_version: BlockMap<u64>,
 }
 
 impl Home {
@@ -26,18 +25,18 @@ impl Home {
             dir,
             locks: LockCtrl::new(),
             barriers: BarrierCtrl::new(nprocs as u32),
-            mem_version: HashMap::new(),
+            mem_version: BlockMap::new(),
         }
     }
 
     /// Merges an incoming data version into the memory image.
     pub(crate) fn merge_version(&mut self, block: BlockAddr, version: u64) {
-        let v = self.mem_version.entry(block).or_insert(0);
+        let v = self.mem_version.get_or_insert_with(block, || 0);
         *v = (*v).max(version);
     }
 
     /// The memory image's version of `block` (0 if never written).
     pub(crate) fn version_of(&self, block: BlockAddr) -> u64 {
-        self.mem_version.get(&block).copied().unwrap_or(0)
+        self.mem_version.get(block).copied().unwrap_or(0)
     }
 }

@@ -161,7 +161,7 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                      (entry table and block list disagree)"
                 ));
             };
-            let truth = m.wcount.get(&block).copied().unwrap_or(0);
+            let truth = m.wcount.get(block).copied().unwrap_or(0);
             match owner {
                 Some(o) => {
                     if presence != 1u64 << o.idx() {

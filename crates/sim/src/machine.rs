@@ -1,9 +1,9 @@
 //! The whole-machine discrete-event model.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::fmt::Write as _;
 
+use dirext_core::blockmap::BlockMap;
 use dirext_core::config::Consistency;
 use dirext_core::msg::{Msg, MsgKind};
 use dirext_core::proto::{ExtSet, TraceRing, TransitionRecord};
@@ -144,7 +144,7 @@ pub struct Machine {
     pub(crate) net: Box<dyn Network>,
     /// Global per-block write counters (the debug "truth" the coherence
     /// check compares cache versions against).
-    pub(crate) wcount: HashMap<BlockAddr, u64>,
+    pub(crate) wcount: BlockMap<u64>,
     pub(crate) classifier: MissClassifier,
     pub(crate) mig_silent_writes: u64,
     /// Completion time of each barrier episode, in completion order.
@@ -160,12 +160,13 @@ pub struct Machine {
     pub(crate) stale_drops: u64,
     /// NACKed requests re-sent after backoff.
     pub(crate) nack_retries: u64,
-    /// Consecutive NACKs per outstanding `(requester, block)` request;
-    /// cleared when the request completes.
-    pub(crate) retry_attempts: HashMap<(NodeId, BlockAddr), u32>,
-    /// Requests with a scheduled-but-unsent retry; a duplicated NACK that
-    /// lands in this window must not fork a second retry chain.
-    pub(crate) retry_inflight: std::collections::HashSet<(NodeId, BlockAddr)>,
+    /// Consecutive NACKs per outstanding requester/block request, indexed
+    /// by requester; cleared when the request completes.
+    pub(crate) retry_attempts: Vec<BlockMap<u32>>,
+    /// Requests with a scheduled-but-unsent retry, indexed by requester; a
+    /// duplicated NACK that lands in this window must not fork a second
+    /// retry chain.
+    pub(crate) retry_inflight: Vec<BlockMap<()>>,
     /// When a processor last retired a program event (watchdog).
     last_progress: Time,
     /// Recycled buffer for directory transaction records: taken before each
@@ -200,7 +201,7 @@ impl Machine {
             nodes: Vec::new(),
             homes,
             net,
-            wcount: HashMap::new(),
+            wcount: BlockMap::new(),
             mig_silent_writes: 0,
             barrier_log: Vec::new(),
             events: 0,
@@ -208,8 +209,8 @@ impl Machine {
             fatal: None,
             stale_drops: 0,
             nack_retries: 0,
-            retry_attempts: HashMap::new(),
-            retry_inflight: std::collections::HashSet::new(),
+            retry_attempts: (0..cfg.procs).map(|_| BlockMap::new()).collect(),
+            retry_inflight: (0..cfg.procs).map(|_| BlockMap::new()).collect(),
             last_progress: Time::ZERO,
             action_pool: Vec::with_capacity(2 * cfg.procs),
             ctrace: if cfg.trace_capacity > 0 {
@@ -233,7 +234,7 @@ impl Machine {
 
     /// Bumps and returns the global write counter for `block`.
     pub(crate) fn bump_wcount(&mut self, block: BlockAddr) -> u64 {
-        let c = self.wcount.entry(block).or_insert(0);
+        let c = self.wcount.get_or_insert_with(block, || 0);
         *c += 1;
         *c
     }
@@ -375,7 +376,7 @@ impl Machine {
                     }
                 }
                 Ev::Retry(msg) => {
-                    self.retry_inflight.remove(&(msg.src, msg.block));
+                    self.retry_inflight[msg.src.idx()].remove(msg.block);
                     self.send_msg(t, msg);
                 }
                 Ev::Watchdog => self.watchdog_tick(t),
@@ -549,9 +550,10 @@ impl Machine {
                 let mut actions = std::mem::take(&mut self.action_pool);
                 actions.clear();
                 self.homes[h].dir.set_trace_now(now.cycles());
-                if let Err(e) = self.homes[h]
-                    .dir
-                    .handle_into(msg.src, msg.block, kind, &mut actions)
+                if let Err(e) =
+                    self.homes[h]
+                        .dir
+                        .handle_into(msg.src, msg.block, kind, &mut actions)
                 {
                     self.fatal = Some(SimError::Protocol(e));
                     return;

@@ -1,7 +1,8 @@
 //! Per-node cache-side state.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
+use dirext_core::blockmap::BlockMap;
 use dirext_core::config::ProtocolConfig;
 use dirext_core::line::Line;
 use dirext_core::proto::ExtStack;
@@ -149,7 +150,7 @@ pub(crate) struct Node {
 
     pub wc: Option<WriteCache>,
     /// Version stamps of write-cache entries (debug coherence check).
-    pub wc_version: HashMap<BlockAddr, u64>,
+    pub wc_version: BlockMap<u64>,
     /// Victim write-cache entries waiting for SLWB space.
     pub update_backlog: VecDeque<(WcEntry, u64)>,
     /// Evicted dirty blocks waiting for SLWB space: `(block, written,
@@ -172,7 +173,7 @@ pub(crate) struct Node {
     pub next_lock_seq: u64,
     /// Locks this node has been granted and not yet released, with the
     /// acquire sequence of the grant (echoed on the release).
-    pub held_locks: HashMap<BlockAddr, u64>,
+    pub held_locks: BlockMap<u64>,
 
     pub counters: NodeCounters,
     /// Distribution of demand read-miss service times.
@@ -209,7 +210,7 @@ impl Node {
                 .competitive
                 .filter(|c| c.write_cache)
                 .map(|_| WriteCache::new(timing.write_cache_blocks)),
-            wc_version: HashMap::new(),
+            wc_version: BlockMap::new(),
             update_backlog: VecDeque::new(),
             wb_backlog: VecDeque::new(),
             exts: ExtStack::from_protocol(protocol),
@@ -217,7 +218,7 @@ impl Node {
             sync_waiting: VecDeque::new(),
             waiting_grant: None,
             next_lock_seq: 1,
-            held_locks: HashMap::new(),
+            held_locks: BlockMap::new(),
             counters: NodeCounters::default(),
             read_miss_hist: Histogram::new(),
             comp_preset,

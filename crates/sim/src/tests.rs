@@ -527,7 +527,8 @@ fn workloads_complete_under_fault_injection() {
                 w.name()
             );
             assert_eq!(
-                m.fault_lost, 0,
+                m.fault_lost,
+                0,
                 "{kind} {c:?} {}: the retry budget must absorb all drops",
                 w.name()
             );
@@ -568,7 +569,10 @@ fn duplicated_sync_messages_do_not_break_lock_counts() {
         jitter_cycles: 32,
         ..FaultPlan::seeded(11)
     };
-    let m = run(uni(ProtocolKind::Basic, Consistency::Rc, 4).with_faults(plan), &w);
+    let m = run(
+        uni(ProtocolKind::Basic, Consistency::Rc, 4).with_faults(plan),
+        &w,
+    );
     assert_eq!(m.lock_acquires, 40);
     assert!(m.fault_duplicated > 0);
     assert!(m.stale_drops > 0, "duplicates must be caught as stale");
@@ -595,7 +599,10 @@ fn wedged_run_trips_the_watchdog_with_a_diagnosis() {
             // The lock and counter are homed at node 0, so node 0 runs to
             // completion on local traffic; the others wedge on the acquire.
             assert!(detail.contains("n1@"), "must name a stuck node: {detail}");
-            assert!(detail.contains("lost"), "must report lost messages: {detail}");
+            assert!(
+                detail.contains("lost"),
+                "must report lost messages: {detail}"
+            );
         }
         other => panic!("expected a watchdog trip, got {other:?}"),
     }

@@ -1,7 +1,6 @@
 //! Cold / coherence / replacement miss classification (paper Table 2).
 
-use std::collections::{HashMap, HashSet};
-
+use dirext_core::blockmap::BlockMap;
 use dirext_trace::{BlockAddr, NodeId};
 
 /// Why a valid copy left a cache.
@@ -46,8 +45,11 @@ pub enum MissClass {
 /// ```
 #[derive(Debug)]
 pub struct MissClassifier {
-    accessed: Vec<HashSet<BlockAddr>>,
-    reason: Vec<HashMap<BlockAddr, InvalReason>>,
+    /// Per-node touched-block sets, as dense block-indexed arenas:
+    /// `note_access` runs on *every* data reference, the hottest
+    /// classification path in the simulator.
+    accessed: Vec<BlockMap<()>>,
+    reason: Vec<BlockMap<InvalReason>>,
     /// Miss counts indexed by `MissClass` discriminant (cold, coherence,
     /// replacement) so the per-miss bump is an indexed add, not a branch.
     counts: [u64; 3],
@@ -57,8 +59,8 @@ impl MissClassifier {
     /// Creates a classifier for `nprocs` nodes.
     pub fn new(nprocs: usize) -> Self {
         MissClassifier {
-            accessed: vec![HashSet::new(); nprocs],
-            reason: vec![HashMap::new(); nprocs],
+            accessed: (0..nprocs).map(|_| BlockMap::new()).collect(),
+            reason: (0..nprocs).map(|_| BlockMap::new()).collect(),
             counts: [0; 3],
         }
     }
@@ -67,7 +69,7 @@ impl MissClassifier {
     /// block whose first touch *hit* (e.g. it arrived by prefetch) is not
     /// later misclassified as cold.
     pub fn note_access(&mut self, node: NodeId, block: BlockAddr) {
-        self.accessed[node.idx()].insert(block);
+        self.accessed[node.idx()].insert(block, ());
     }
 
     /// Records why `node`'s copy of `block` went away.
@@ -78,10 +80,10 @@ impl MissClassifier {
     /// Classifies (and counts) a demand miss by `node` on `block`, and
     /// records the access.
     pub fn classify_miss(&mut self, node: NodeId, block: BlockAddr) -> MissClass {
-        let class = if !self.accessed[node.idx()].contains(&block) {
+        let class = if !self.accessed[node.idx()].contains(block) {
             MissClass::Cold
         } else {
-            match self.reason[node.idx()].get(&block) {
+            match self.reason[node.idx()].get(block) {
                 Some(InvalReason::Replacement) => MissClass::Replacement,
                 // A re-miss on a previously accessed block with no recorded
                 // eviction happens when the copy was taken by the coherence
@@ -90,7 +92,7 @@ impl MissClassifier {
                 _ => MissClass::Coherence,
             }
         };
-        self.accessed[node.idx()].insert(block);
+        self.accessed[node.idx()].insert(block, ());
         self.counts[class as usize] += 1;
         class
     }

@@ -88,6 +88,13 @@ impl std::error::Error for WorkloadError {}
 pub struct Workload {
     name: String,
     programs: Vec<Arc<Program>>,
+    /// Memoized [`Workload::validate`] verdict. Validation walks every
+    /// event of every program, and the experiment drivers re-validate at
+    /// the start of each run; programs are immutable once constructed, so
+    /// the first verdict holds for the workload's lifetime. Clones carry
+    /// the memo (an `Arc`), so sweeping one workload across many protocol
+    /// configurations validates it once.
+    validated: Arc<std::sync::OnceLock<Result<(), WorkloadError>>>,
 }
 
 impl Workload {
@@ -96,6 +103,7 @@ impl Workload {
         Workload {
             name: name.into(),
             programs: programs.into_iter().map(Arc::new).collect(),
+            validated: Arc::new(std::sync::OnceLock::new()),
         }
     }
 
@@ -150,6 +158,12 @@ impl Workload {
     ///
     /// Returns the first [`WorkloadError`] found.
     pub fn validate(&self) -> Result<(), WorkloadError> {
+        self.validated
+            .get_or_init(|| self.validate_uncached())
+            .clone()
+    }
+
+    fn validate_uncached(&self) -> Result<(), WorkloadError> {
         if self.programs.is_empty() {
             return Err(WorkloadError::Empty);
         }

@@ -1,0 +1,218 @@
+//! Differential oracle for the dense block-indexed data path.
+//!
+//! [`BlockMap`] replaced `HashMap<BlockAddr, _>` on every hot simulator
+//! path (directory entries, infinite-SLC storage, version and write-count
+//! tracking, miss classification). These properties hold it against the
+//! structure it displaced: a `std::collections::HashMap` oracle must agree
+//! with it op for op — on arbitrary operation soups, and on the access
+//! patterns real traces produce — with the single *intended* difference
+//! that `BlockMap` iteration is always in ascending block order.
+//!
+//! A second group exercises the full machine: on randomized workloads,
+//! every paper configuration (with and without fault injection) must
+//! produce identical metrics from two independently built machines. The
+//! arenas carry all protocol state, so any allocation-order or
+//! occupancy-bit bug in them shows up as a metrics divergence here.
+//!
+//! [`BlockMap`]: dirext_core::BlockMap
+
+use std::collections::HashMap;
+
+use dirext_sim::core::config::Consistency;
+use dirext_sim::core::{BlockMap, ProtocolKind};
+use dirext_sim::trace::{Addr, BlockAddr, MemEvent, Program, Workload, BLOCK_BYTES};
+use dirext_sim::{FaultPlan, Machine, MachineConfig};
+use proptest::prelude::*;
+
+/// One step of the differential test, mirroring the operations the
+/// simulator actually performs on its arenas.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u32),
+    Remove(u64),
+    Get(u64),
+    GetOrInsert(u64, u32),
+    Mutate(u64, u32),
+}
+
+/// Block indices are drawn from a range wide enough to span multiple
+/// 128-slot pages but narrow enough that inserts, removals and lookups
+/// collide often.
+fn arb_op() -> impl Strategy<Value = Op> {
+    let idx = 0u64..600;
+    prop_oneof![
+        (idx.clone(), any::<u32>()).prop_map(|(b, v)| Op::Insert(b, v)),
+        idx.clone().prop_map(Op::Remove),
+        idx.clone().prop_map(Op::Get),
+        (idx.clone(), any::<u32>()).prop_map(|(b, v)| Op::GetOrInsert(b, v)),
+        (idx, any::<u32>()).prop_map(|(b, v)| Op::Mutate(b, v)),
+    ]
+}
+
+/// Applies one op to both structures and checks the return values agree.
+fn apply_both(
+    map: &mut BlockMap<u32>,
+    oracle: &mut HashMap<BlockAddr, u32>,
+    op: &Op,
+) -> Result<(), String> {
+    match *op {
+        Op::Insert(b, v) => {
+            let b = BlockAddr::from_index(b);
+            prop_assert_eq!(map.insert(b, v), oracle.insert(b, v));
+        }
+        Op::Remove(b) => {
+            let b = BlockAddr::from_index(b);
+            prop_assert_eq!(map.remove(b), oracle.remove(&b));
+        }
+        Op::Get(b) => {
+            let b = BlockAddr::from_index(b);
+            prop_assert_eq!(map.get(b), oracle.get(&b));
+            prop_assert_eq!(map.contains(b), oracle.contains_key(&b));
+        }
+        Op::GetOrInsert(b, v) => {
+            let b = BlockAddr::from_index(b);
+            let got = *map.get_or_insert_with(b, || v);
+            let want = *oracle.entry(b).or_insert(v);
+            prop_assert_eq!(got, want);
+        }
+        Op::Mutate(b, v) => {
+            let b = BlockAddr::from_index(b);
+            let got = map.get_mut(b).map(|slot| {
+                *slot = slot.wrapping_add(v);
+                *slot
+            });
+            let want = oracle.get_mut(&b).map(|slot| {
+                *slot = slot.wrapping_add(v);
+                *slot
+            });
+            prop_assert_eq!(got, want);
+        }
+    }
+    Ok(())
+}
+
+/// The whole-structure invariants that must hold after any op sequence.
+fn check_converged(map: &BlockMap<u32>, oracle: &HashMap<BlockAddr, u32>) -> Result<(), String> {
+    prop_assert_eq!(map.len(), oracle.len());
+    prop_assert_eq!(map.is_empty(), oracle.is_empty());
+    // BlockMap iterates in ascending block order by construction; the
+    // oracle's entries sorted the same way must match exactly.
+    let dense: Vec<(BlockAddr, u32)> = map.iter().map(|(b, v)| (b, *v)).collect();
+    let mut sorted: Vec<(BlockAddr, u32)> = oracle.iter().map(|(b, v)| (*b, *v)).collect();
+    sorted.sort();
+    prop_assert_eq!(&dense, &sorted);
+    prop_assert!(
+        dense.windows(2).all(|w| w[0].0 < w[1].0),
+        "keys() not strictly ascending"
+    );
+    let keys: Vec<BlockAddr> = map.keys().collect();
+    let vals: Vec<u32> = map.values().copied().collect();
+    prop_assert_eq!(keys, dense.iter().map(|(b, _)| *b).collect::<Vec<_>>());
+    prop_assert_eq!(vals, dense.iter().map(|(_, v)| *v).collect::<Vec<_>>());
+    Ok(())
+}
+
+/// A random well-formed workload (same shape as `conformance_props`).
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let op = prop_oneof![
+        (0u64..16).prop_map(|b| vec![MemEvent::Read(Addr::new(b * BLOCK_BYTES + 4 * (b % 8)))]),
+        (0u64..16).prop_map(|b| vec![MemEvent::Write(Addr::new(b * BLOCK_BYTES + 4 * (b % 8)))]),
+        (1u32..12).prop_map(|c| vec![MemEvent::Compute(c)]),
+        (0u64..2, 0u64..16).prop_map(|(l, b)| {
+            let lock = Addr::new((1 << 20) + l * BLOCK_BYTES);
+            let a = Addr::new(b * BLOCK_BYTES);
+            vec![
+                MemEvent::Acquire(lock),
+                MemEvent::Read(a),
+                MemEvent::Write(a),
+                MemEvent::Release(lock),
+            ]
+        }),
+    ];
+    let proc_body = proptest::collection::vec(op, 0..25);
+    proptest::collection::vec(proc_body, 4).prop_map(|bodies| {
+        let programs = bodies
+            .into_iter()
+            .map(|groups| Program::from_events(groups.concat()))
+            .collect();
+        Workload::new("random", programs)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary operation soups: the dense arena and the hash map it
+    /// replaced are observationally identical at every step.
+    #[test]
+    fn blockmap_matches_hashmap(ops in proptest::collection::vec(arb_op(), 0..400)) {
+        let mut map = BlockMap::new();
+        let mut oracle = HashMap::new();
+        for op in &ops {
+            apply_both(&mut map, &mut oracle, op)?;
+        }
+        check_converged(&map, &oracle)?;
+    }
+
+    /// Trace-shaped access patterns: the block sequence of a random
+    /// workload, applied as the simulator would (per-block counters via
+    /// `get_or_insert_with`, occasional invalidation via `remove`).
+    #[test]
+    fn blockmap_matches_hashmap_on_traces(w in arb_workload()) {
+        let mut map: BlockMap<u32> = BlockMap::new();
+        let mut oracle: HashMap<BlockAddr, u32> = HashMap::new();
+        let mut step = 0u64;
+        for p in 0..w.procs() {
+            for ev in w.program(p).events() {
+                let a = match ev {
+                    MemEvent::Read(a) | MemEvent::Write(a) => *a,
+                    _ => continue,
+                };
+                let b = a.block();
+                step += 1;
+                if step.is_multiple_of(13) {
+                    prop_assert_eq!(map.remove(b), oracle.remove(&b));
+                } else {
+                    *map.get_or_insert_with(b, || 0) += 1;
+                    *oracle.entry(b).or_insert(0) += 1;
+                }
+            }
+        }
+        check_converged(&map, &oracle)?;
+    }
+
+    /// All eight paper configurations: two independently constructed
+    /// machines on the same workload agree metric for metric. Any
+    /// occupancy or allocation-order bug in the arenas diverges here.
+    #[test]
+    fn machines_agree_across_configs(w in arb_workload()) {
+        for kind in ProtocolKind::ALL {
+            let run = |_: usize| {
+                let cfg = MachineConfig::new(4, kind.config(Consistency::Rc));
+                Machine::new(cfg).run(&w).unwrap_or_else(|e| panic!("{kind}: {e}"))
+            };
+            prop_assert_eq!(run(0), run(1));
+        }
+    }
+
+    /// Same, with the network misbehaving: drops, duplicates and jitter
+    /// stress the retry paths that hammer the arenas hardest.
+    #[test]
+    fn machines_agree_across_configs_under_faults(
+        (w, seed) in (arb_workload(), any::<u64>())
+    ) {
+        let plan = FaultPlan {
+            drop_permille: 40,
+            dup_permille: 15,
+            jitter_cycles: 11,
+            ..FaultPlan::seeded(seed)
+        };
+        for kind in ProtocolKind::ALL {
+            let run = |_: usize| {
+                let cfg = MachineConfig::new(4, kind.config(Consistency::Rc)).with_faults(plan);
+                Machine::new(cfg).run(&w).unwrap_or_else(|e| panic!("{kind}: {e}"))
+            };
+            prop_assert_eq!(run(0), run(1));
+        }
+    }
+}

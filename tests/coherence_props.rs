@@ -104,13 +104,11 @@ fn all_configs() -> Vec<ProtocolConfig> {
 /// A random survivable fault plan: lossy and noisy, but with enough
 /// retransmission budget that runs converge.
 fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
-    (any::<u64>(), 0u32..150, 0u32..100, 0u64..32).prop_map(|(seed, drop, dup, jitter)| {
-        FaultPlan {
-            drop_permille: drop,
-            dup_permille: dup,
-            jitter_cycles: jitter,
-            ..FaultPlan::seeded(seed)
-        }
+    (any::<u64>(), 0u32..150, 0u32..100, 0u64..32).prop_map(|(seed, drop, dup, jitter)| FaultPlan {
+        drop_permille: drop,
+        dup_permille: dup,
+        jitter_cycles: jitter,
+        ..FaultPlan::seeded(seed)
     })
 }
 

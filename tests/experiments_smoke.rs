@@ -143,8 +143,7 @@ fn experiments_smoke_traces_conform() {
     for app in App::ALL {
         let w = app.workload(16, Scale::Tiny);
         for kind in ProtocolKind::ALL {
-            let cfg =
-                MachineConfig::new(16, kind.config(Consistency::Rc)).with_trace(1 << 16);
+            let cfg = MachineConfig::new(16, kind.config(Consistency::Rc)).with_trace(1 << 16);
             let (_, records, _) = Machine::new(cfg)
                 .run_traced(&w)
                 .unwrap_or_else(|e| panic!("{} / {kind}: {e}", app.name()));

@@ -15,7 +15,10 @@ use dirext_trace::Workload;
 use dirext_workloads::{App, Scale};
 
 fn suite() -> Vec<Workload> {
-    App::ALL.iter().map(|a| a.workload(4, Scale::Tiny)).collect()
+    App::ALL
+        .iter()
+        .map(|a| a.workload(4, Scale::Tiny))
+        .collect()
 }
 
 /// A fault plan nasty enough to reorder deliveries and force retries.

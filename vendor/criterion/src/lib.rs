@@ -72,7 +72,10 @@ impl BenchmarkGroup<'_> {
         };
         f(&mut bencher);
         let mean = bencher.total_nanos.checked_div(bencher.iters).unwrap_or(0);
-        println!("{}/{id}: {mean} ns/iter ({} iters)", self.name, bencher.iters);
+        println!(
+            "{}/{id}: {mean} ns/iter ({} iters)",
+            self.name, bencher.iters
+        );
         self
     }
 

@@ -100,9 +100,7 @@ pub trait Deserialize: Sized {
 pub fn field<T: Deserialize>(content: &Content, name: &str) -> Result<T, String> {
     match content {
         Content::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
-            Some((_, v)) => {
-                T::deserialize(v).map_err(|e| format!("field `{name}`: {e}"))
-            }
+            Some((_, v)) => T::deserialize(v).map_err(|e| format!("field `{name}`: {e}")),
             None => Err(format!("missing field `{name}`")),
         },
         other => Err(format!("expected map, found {other:?}")),

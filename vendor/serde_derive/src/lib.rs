@@ -52,7 +52,9 @@ fn parse(input: TokenStream) -> Input {
                 panic!("serde stub derive: generic type `{name}` is not supported")
             }
             Some(_) => continue,
-            None => panic!("serde stub derive: `{name}` has no braced body (tuple/unit shapes unsupported)"),
+            None => panic!(
+                "serde stub derive: `{name}` has no braced body (tuple/unit shapes unsupported)"
+            ),
         }
     };
     match kind.as_str() {
@@ -130,9 +132,9 @@ fn unit_variants(body: TokenStream) -> Vec<String> {
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
             None => break,
-            Some(other) => panic!(
-                "serde stub derive: only unit enum variants are supported, got {other:?}"
-            ),
+            Some(other) => {
+                panic!("serde stub derive: only unit enum variants are supported, got {other:?}")
+            }
         }
     }
     variants
@@ -179,7 +181,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    generated.parse().expect("serde stub derive: generated invalid Rust")
+    generated
+        .parse()
+        .expect("serde stub derive: generated invalid Rust")
 }
 
 /// Derives `serde::Deserialize`.
@@ -223,5 +227,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    generated.parse().expect("serde stub derive: generated invalid Rust")
+    generated
+        .parse()
+        .expect("serde stub derive: generated invalid Rust")
 }

@@ -191,10 +191,7 @@ impl<'a> Parser<'a> {
             Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
             Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
             Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            other => Err(Error(format!(
-                "unexpected {other:?} at byte {}",
-                self.pos
-            ))),
+            other => Err(Error(format!("unexpected {other:?} at byte {}", self.pos))),
         }
     }
 
@@ -289,17 +286,13 @@ impl<'a> Parser<'a> {
                                 })?;
                             // Surrogate pairs are not needed for this
                             // workspace's data; reject them loudly.
-                            let c = char::from_u32(hex).ok_or_else(|| {
-                                Error(format!("unsupported \\u{hex:04x} escape"))
-                            })?;
+                            let c = char::from_u32(hex)
+                                .ok_or_else(|| Error(format!("unsupported \\u{hex:04x} escape")))?;
                             out.push(c);
                             self.pos += 4;
                         }
                         other => {
-                            return Err(Error(format!(
-                                "bad escape {other:?} at byte {}",
-                                self.pos
-                            )))
+                            return Err(Error(format!("bad escape {other:?} at byte {}", self.pos)))
                         }
                     }
                     self.pos += 1;
