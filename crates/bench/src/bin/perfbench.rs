@@ -203,6 +203,25 @@ fn main() {
     let identical = serial.csv() == parallel.csv();
     assert!(identical, "parallel sweep output diverged from serial");
 
+    // Same sweep with the write-ahead journal armed: measures the cost of
+    // crash-safe bookkeeping (one JSONL append per cell) on the hot path.
+    eprintln!("perfbench: fig2 sweep --jobs {jobs} with journal...");
+    let journal_path = std::env::temp_dir().join(format!(
+        "dirext-perfbench-journal-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&journal_path);
+    let journal = std::sync::Arc::new(
+        experiments::Journal::create(&journal_path).expect("create bench journal"),
+    );
+    let t0 = Instant::now();
+    let journaled = experiments::fig2_with(&suite, &SweepOpts::jobs(jobs).with_journal(journal))
+        .expect("fig2 journaled");
+    let journaled_secs = t0.elapsed().as_secs_f64();
+    let journal_identical = serial.csv() == journaled.csv();
+    assert!(journal_identical, "journaled sweep output diverged from serial");
+    std::fs::remove_file(&journal_path).ok();
+
     let sweep = format!(
         "{{\n  \"benchmark\": \"sweep_and_end_to_end\",\n  \
          \"scale\": \"{}\",\n  \"procs\": {procs},\n  \
@@ -214,20 +233,26 @@ fn main() {
          \"fig2_sweep\": {{\n    \"configs\": {},\n    \
          \"serial_secs\": {serial_secs:.3},\n    \
          \"parallel_secs\": {parallel_secs:.3},\n    \
+         \"journaled_secs\": {journaled_secs:.3},\n    \
+         \"journal_overhead\": {:.3},\n    \
          \"jobs_requested\": {jobs_requested},\n    \"jobs\": {jobs},\n    \
          \"host_cpus\": {host_cpus},\n    \
-         \"speedup\": {:.3},\n    \"outputs_identical\": {identical}\n  }}\n}}\n",
+         \"speedup\": {:.3},\n    \"outputs_identical\": {identical},\n    \
+         \"journal_outputs_identical\": {journal_identical}\n  }}\n}}\n",
         json_escape_free(scale_name),
         trace_events as f64 / app_secs,
         exec_cycles as f64 / app_secs,
         suite.len() * experiments::fig2::FIG2_PROTOCOLS.len(),
+        journaled_secs / parallel_secs,
         serial_secs / parallel_secs
     );
     std::fs::write(format!("{out_dir}/BENCH_sweep.json"), &sweep).expect("write BENCH_sweep.json");
     eprintln!(
         "  single app {app_secs:.3}s; sweep serial {serial_secs:.2}s vs --jobs {jobs} \
-         {parallel_secs:.2}s ({:.2}x), outputs identical",
-        serial_secs / parallel_secs
+         {parallel_secs:.2}s ({:.2}x), journaled {journaled_secs:.2}s ({:.3}x overhead), \
+         outputs identical",
+        serial_secs / parallel_secs,
+        journaled_secs / parallel_secs
     );
 
     // --- End-to-end tier: every extension config, fixed scale --------------

@@ -8,14 +8,19 @@ mod svg;
 
 use std::process::ExitCode;
 
+use std::sync::Arc;
+
 use dirext_core::config::Consistency;
 use dirext_core::ProtocolKind;
-use dirext_sim::experiments::{self, sens, SweepOpts};
+use dirext_sim::experiments::{self, sens, Journal, SweepError, SweepOpts};
 use dirext_sim::FaultPlan;
 use dirext_sim::Machine;
 use dirext_sim::MachineConfig;
 use dirext_trace::Workload;
 use dirext_workloads::{App, Scale};
+
+/// Default journal path when `--resume` is given without `--journal`.
+const DEFAULT_JOURNAL: &str = "dirext-journal.jsonl";
 
 const USAGE: &str = "\
 dirext — reproduce 'Combined Performance Gains of Simple Cache Protocol Extensions' (ISCA 1994)
@@ -73,6 +78,24 @@ OPTIONS:
                 run-all/report). Default 1 (serial); 0 = all CPU cores.
                 Results are byte-identical for any value.
 
+CRASH-SAFE SWEEPS (fig2/table2/fig3/table3/fig4/sens-*/miss-latency/
+topology/scaling/run-all/report):
+    --journal PATH  Append each completed cell to a write-ahead JSONL log.
+                    A killed sweep loses at most the in-flight cells; the
+                    log replays with --resume. Refuses to overwrite an
+                    existing non-empty file unless --resume is also given.
+    --resume        Load the journal (default path dirext-journal.jsonl if
+                    --journal is absent), skip every cell it records, and
+                    reassemble byte-identical artifacts. Safe to repeat;
+                    a missing journal file starts a fresh run.
+    --keep-going    Quarantine failing cells and finish the sweep instead
+                    of stopping at the first failure; prints a per-cell
+                    failure report and exits with code 2.
+
+    Ctrl-C (SIGINT) drains in-flight cells, flushes the journal, and exits
+    130; a second Ctrl-C kills immediately. Exit codes: 0 success,
+    1 error, 2 completed-with-quarantined-cells, 130 interrupted.
+
 FAULT INJECTION (for `run`, `stress` and the sweep commands):
     --fault-drop     Probability a message is dropped before link-layer
                      retransmission, in permille (0-1000)
@@ -109,6 +132,9 @@ struct Args {
     jobs: usize,
     last: usize,
     ring: usize,
+    journal: Option<String>,
+    resume: bool,
+    keep_going: bool,
 }
 
 impl Args {
@@ -148,14 +174,105 @@ impl Args {
         effective
     }
 
-    /// The sweep options (worker threads + fault overlay) for the
-    /// experiment drivers.
-    fn sweep_opts(&self) -> SweepOpts {
+    /// The sweep options (worker threads, fault overlay, journal,
+    /// quarantine, SIGINT cancellation) for the experiment drivers.
+    ///
+    /// Opens the journal when `--journal`/`--resume` ask for one, arms the
+    /// SIGINT drain handler, and picks up the `DIREXT_CHAOS_PANIC` test
+    /// hook from the environment.
+    fn sweep_opts(&self) -> Result<SweepOpts, Box<dyn std::error::Error>> {
         let mut opts = SweepOpts::jobs(self.jobs());
         if self.fault.is_active() {
             opts = opts.with_fault(self.fault);
         }
-        opts
+        if self.keep_going {
+            opts = opts.keep_going();
+        }
+        let path = self
+            .journal
+            .clone()
+            .or_else(|| self.resume.then(|| DEFAULT_JOURNAL.to_owned()));
+        if let Some(path) = path {
+            let journal = if self.resume {
+                Journal::resume(&path)?
+            } else {
+                Journal::create(&path)?
+            };
+            if journal.completed_cells() > 0 || journal.recovered_lines() > 0 {
+                eprintln!(
+                    "journal: resuming from {path} — {} completed cell(s) will be skipped{}",
+                    journal.completed_cells(),
+                    if journal.recovered_lines() > 0 {
+                        format!(
+                            " ({} torn line(s) dropped, those cells re-run)",
+                            journal.recovered_lines()
+                        )
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+            opts = opts.with_journal(Arc::new(journal));
+        }
+        opts = opts.with_cancel(sigint::arm());
+        if let Ok(needle) = std::env::var("DIREXT_CHAOS_PANIC") {
+            if !needle.is_empty() {
+                opts = opts.with_chaos_panic(needle);
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Minimal std-only SIGINT hook: the first Ctrl-C sets the cooperative
+/// cancellation flag (sweeps drain in-flight cells and flush the journal),
+/// then restores the default disposition so a second Ctrl-C kills the
+/// process immediately.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+
+    static FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        // C `signal(2)` from the already-linked libc; enough for a single
+        // set-a-flag handler without pulling in a signal crate.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        if let Some(flag) = FLAG.get() {
+            flag.store(true, Ordering::SeqCst);
+        }
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    /// Installs the handler (idempotent) and returns the shared flag.
+    pub fn arm() -> Arc<AtomicBool> {
+        let flag = Arc::clone(FLAG.get_or_init(|| Arc::new(AtomicBool::new(false))));
+        let handler: extern "C" fn(i32) = on_sigint;
+        #[allow(clippy::fn_to_numeric_cast)]
+        unsafe {
+            signal(SIGINT, handler as usize);
+        }
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod sigint {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// No signal plumbing off Unix; the flag still works programmatically.
+    pub fn arm() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
     }
 }
 
@@ -196,6 +313,9 @@ fn parse_args() -> Result<Args, String> {
         jobs: 1,
         last: 32,
         ring: 65536,
+        journal: None,
+        resume: false,
+        keep_going: false,
     };
     while let Some(flag) = args.next() {
         let mut value = |name: &str| {
@@ -309,6 +429,9 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--ring must be at least 1".to_owned());
                 }
             }
+            "--journal" => parsed.journal = Some(value("--journal")?),
+            "--resume" => parsed.resume = true,
+            "--keep-going" => parsed.keep_going = true,
             "--out" => parsed.out = Some(value("--out")?),
             "--svg" => parsed.svg = Some(value("--svg")?),
             "--network" => {
@@ -352,15 +475,67 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            match e.downcast_ref::<SweepError>() {
+                // Quarantine: the sweep *completed* but some cells failed;
+                // distinguish from a hard error so harnesses can tell "all
+                // results usable except the listed cells" from "no result".
+                Some(SweepError::Quarantined(_)) => ExitCode::from(2),
+                // Conventional 128+SIGINT code for a cooperative drain.
+                Some(SweepError::Interrupted { .. }) => {
+                    eprintln!(
+                        "note: completed cells are journaled; re-run with --resume to continue"
+                    );
+                    ExitCode::from(130)
+                }
+                _ => ExitCode::FAILURE,
+            }
         }
+    }
+}
+
+/// Starts an empty quarantine accumulator for a multi-sweep command.
+fn quarantine_acc() -> experiments::Quarantine {
+    experiments::Quarantine {
+        failures: Vec::new(),
+        completed: 0,
+        total: 0,
+    }
+}
+
+/// Runs one step of a multi-sweep command (`run-all`, `report`): under
+/// `--keep-going`, a quarantined sweep is reported and accumulated so the
+/// remaining sweeps still run; every other failure aborts.
+fn quarantine_step<T>(
+    r: Result<T, SweepError>,
+    acc: &mut experiments::Quarantine,
+) -> Result<Option<T>, Box<dyn std::error::Error>> {
+    match r {
+        Ok(v) => Ok(Some(v)),
+        Err(SweepError::Quarantined(q)) => {
+            eprintln!("{}", SweepError::Quarantined(q.clone()));
+            acc.failures.extend(q.failures);
+            acc.completed += q.completed;
+            acc.total += q.total;
+            Ok(None)
+        }
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Folds the quarantines accumulated across a multi-sweep command into
+/// the single exit-code-2 error, or succeeds if every sweep was clean.
+fn quarantine_verdict(acc: experiments::Quarantine) -> Result<(), Box<dyn std::error::Error>> {
+    if acc.failures.is_empty() {
+        Ok(())
+    } else {
+        Err(SweepError::Quarantined(acc).into())
     }
 }
 
 fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     match args.command.as_str() {
         "fig2" => {
-            let r = experiments::fig2_with(&suite(args), &args.sweep_opts())?;
+            let r = experiments::fig2_with(&suite(args), &args.sweep_opts()?)?;
             if let Some(path) = &args.svg {
                 let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
                 let series: Vec<String> = experiments::fig2::FIG2_PROTOCOLS
@@ -385,7 +560,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table2" => {
-            let r = experiments::table2_with(&suite(args), &args.sweep_opts())?;
+            let r = experiments::table2_with(&suite(args), &args.sweep_opts()?)?;
             if args.csv {
                 print!("{}", r.csv())
             } else {
@@ -393,7 +568,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig3" => {
-            let r = experiments::fig3_with(&suite(args), &args.sweep_opts())?;
+            let r = experiments::fig3_with(&suite(args), &args.sweep_opts()?)?;
             if let Some(path) = &args.svg {
                 let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
                 let series: Vec<String> = experiments::fig3::FIG3_PROTOCOLS
@@ -418,7 +593,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "table3" => {
-            let r = experiments::table3_with(&suite(args), &args.sweep_opts())?;
+            let r = experiments::table3_with(&suite(args), &args.sweep_opts()?)?;
             if args.csv {
                 print!("{}", r.csv())
             } else {
@@ -426,7 +601,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         "fig4" => {
-            let r = experiments::fig4_with(&suite(args), &args.sweep_opts())?;
+            let r = experiments::fig4_with(&suite(args), &args.sweep_opts()?)?;
             if let Some(path) = &args.svg {
                 let groups: Vec<String> = r.rows.iter().map(|row| row.app.clone()).collect();
                 let series: Vec<String> = experiments::fig4::FIG4_PROTOCOLS
@@ -458,7 +633,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 experiments::sensitivity_with(
                     &suite(args),
                     sens::Constraint::SmallBuffers,
-                    &args.sweep_opts()
+                    &args.sweep_opts()?
                 )?
             )
         }
@@ -468,17 +643,17 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 experiments::sensitivity_with(
                     &suite(args),
                     sens::Constraint::SmallSlc,
-                    &args.sweep_opts()
+                    &args.sweep_opts()?
                 )?
             )
         }
         "miss-latency" => println!(
             "{}",
-            experiments::miss_latency_with(&suite(args), &args.sweep_opts())?
+            experiments::miss_latency_with(&suite(args), &args.sweep_opts()?)?
         ),
         "topology" => println!(
             "{}",
-            experiments::topology_with(&suite(args), &args.sweep_opts())?
+            experiments::topology_with(&suite(args), &args.sweep_opts()?)?
         ),
         "stress" => {
             use dirext_sim::NetworkKind;
@@ -579,53 +754,71 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         "run-all" => {
             let t0 = std::time::Instant::now();
             let s = suite(args);
-            let opts = args.sweep_opts();
+            let opts = args.sweep_opts()?;
+            let mut acc = quarantine_acc();
             println!("{}", experiments::table1(args.procs));
             eprintln!("run-all: figure 2...");
-            println!("{}", experiments::fig2_with(&s, &opts)?);
+            if let Some(r) = quarantine_step(experiments::fig2_with(&s, &opts), &mut acc)? {
+                println!("{r}");
+            }
             eprintln!("run-all: table 2...");
-            println!("{}", experiments::table2_with(&s, &opts)?);
+            if let Some(r) = quarantine_step(experiments::table2_with(&s, &opts), &mut acc)? {
+                println!("{r}");
+            }
             eprintln!("run-all: figure 3...");
-            println!("{}", experiments::fig3_with(&s, &opts)?);
+            if let Some(r) = quarantine_step(experiments::fig3_with(&s, &opts), &mut acc)? {
+                println!("{r}");
+            }
             eprintln!("run-all: table 3...");
-            println!("{}", experiments::table3_with(&s, &opts)?);
+            if let Some(r) = quarantine_step(experiments::table3_with(&s, &opts), &mut acc)? {
+                println!("{r}");
+            }
             eprintln!("run-all: figure 4...");
-            println!("{}", experiments::fig4_with(&s, &opts)?);
+            if let Some(r) = quarantine_step(experiments::fig4_with(&s, &opts), &mut acc)? {
+                println!("{r}");
+            }
             eprintln!("run-all: sensitivity...");
-            println!(
-                "{}",
-                experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts)?
-            );
-            println!(
-                "{}",
-                experiments::sensitivity_with(&s, sens::Constraint::SmallSlc, &opts)?
-            );
+            if let Some(r) = quarantine_step(
+                experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts),
+                &mut acc,
+            )? {
+                println!("{r}");
+            }
+            if let Some(r) = quarantine_step(
+                experiments::sensitivity_with(&s, sens::Constraint::SmallSlc, &opts),
+                &mut acc,
+            )? {
+                println!("{r}");
+            }
             eprintln!("run-all: miss latency...");
-            println!("{}", experiments::miss_latency_with(&s, &opts)?);
+            if let Some(r) = quarantine_step(experiments::miss_latency_with(&s, &opts), &mut acc)? {
+                println!("{r}");
+            }
             eprintln!("run-all: topology...");
-            println!("{}", experiments::topology_with(&s, &opts)?);
+            if let Some(r) = quarantine_step(experiments::topology_with(&s, &opts), &mut acc)? {
+                println!("{r}");
+            }
             eprintln!("run-all: scaling...");
             let app = args.app.unwrap_or(App::Mp3d);
-            println!(
-                "{}",
-                experiments::scaling_with(
-                    app.name(),
-                    |procs| app.workload(procs, args.scale),
-                    &opts
-                )?
-            );
+            if let Some(r) = quarantine_step(
+                experiments::scaling_with(app.name(), |procs| app.workload(procs, args.scale), &opts),
+                &mut acc,
+            )? {
+                println!("{r}");
+            }
             eprintln!(
                 "run-all: completed in {:.2}s wall-clock with --jobs {}",
                 t0.elapsed().as_secs_f64(),
                 args.jobs()
             );
+            quarantine_verdict(acc)?;
         }
         "scaling" => {
             let app = args.app.unwrap_or(App::Mp3d);
             let result = experiments::scaling_with(
                 app.name(),
                 |procs| app.workload(procs, args.scale),
-                &args.sweep_opts(),
+                &args.sweep_opts()?,
             )?;
             println!("{result}");
         }
@@ -738,7 +931,8 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         }
         "report" => {
             let s = suite(args);
-            let opts = args.sweep_opts();
+            let opts = args.sweep_opts()?;
+            let mut acc = quarantine_acc();
             let mut doc = String::new();
             doc.push_str(&format!(
                 "# dirext experiment report\n\nScale: {}, {} processors.\n\n",
@@ -747,51 +941,85 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             let mut section = |title: &str, body: String| {
                 doc.push_str(&format!("## {title}\n\n```text\n{body}\n```\n\n"));
             };
+            // Under --keep-going a quarantined sweep still gets a section,
+            // with the failure report as its body, so the document shape is
+            // stable for downstream tooling.
+            let render = |r: Result<String, SweepError>,
+                          acc: &mut experiments::Quarantine|
+             -> Result<String, Box<dyn std::error::Error>> {
+                let failed_at = acc.failures.len();
+                match quarantine_step(r, acc)? {
+                    Some(body) => Ok(body),
+                    None => Ok(format!(
+                        "QUARANTINED — {} cell(s) failed; see the failure report",
+                        acc.failures.len() - failed_at
+                    )),
+                }
+            };
             section("Table 1 — hardware cost", experiments::table1(args.procs));
             eprintln!("report: figure 2...");
             section(
                 "Figure 2 — relative execution times (RC)",
-                experiments::fig2_with(&s, &opts)?.to_string(),
+                render(experiments::fig2_with(&s, &opts).map(|r| r.to_string()), &mut acc)?,
             );
             eprintln!("report: table 2...");
             section(
                 "Table 2 — miss-rate components",
-                experiments::table2_with(&s, &opts)?.to_string(),
+                render(
+                    experiments::table2_with(&s, &opts).map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             eprintln!("report: figure 3...");
             section(
                 "Figure 3 — sequential consistency",
-                experiments::fig3_with(&s, &opts)?.to_string(),
+                render(experiments::fig3_with(&s, &opts).map(|r| r.to_string()), &mut acc)?,
             );
             eprintln!("report: table 3...");
             section(
                 "Table 3 — mesh link widths",
-                experiments::table3_with(&s, &opts)?.to_string(),
+                render(
+                    experiments::table3_with(&s, &opts).map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             eprintln!("report: figure 4...");
             section(
                 "Figure 4 — network traffic",
-                experiments::fig4_with(&s, &opts)?.to_string(),
+                render(experiments::fig4_with(&s, &opts).map(|r| r.to_string()), &mut acc)?,
             );
             eprintln!("report: sensitivity...");
             section(
                 "Sensitivity — small buffers (5.4)",
-                experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts)?
-                    .to_string(),
+                render(
+                    experiments::sensitivity_with(&s, sens::Constraint::SmallBuffers, &opts)
+                        .map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             section(
                 "Sensitivity — 16-KB SLC (5.4)",
-                experiments::sensitivity_with(&s, sens::Constraint::SmallSlc, &opts)?.to_string(),
+                render(
+                    experiments::sensitivity_with(&s, sens::Constraint::SmallSlc, &opts)
+                        .map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             eprintln!("report: miss latency...");
             section(
                 "Read-miss latency — BASIC vs CW (5.1)",
-                experiments::miss_latency_with(&s, &opts)?.to_string(),
+                render(
+                    experiments::miss_latency_with(&s, &opts).map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             eprintln!("report: topology (extension)...");
             section(
                 "Topology sweep (extension)",
-                experiments::topology_with(&s, &opts)?.to_string(),
+                render(
+                    experiments::topology_with(&s, &opts).map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             match &args.out {
                 Some(path) => {
@@ -801,6 +1029,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 }
                 None => print!("{doc}"),
             }
+            quarantine_verdict(acc)?;
         }
         "suite" => {
             for w in suite(args) {

@@ -246,6 +246,95 @@ fn missing_trace_file_error_names_the_path() {
 }
 
 #[test]
+fn help_documents_crash_safe_sweep_flags() {
+    let help = stdout(&["help"]);
+    for flag in ["--journal", "--resume", "--keep-going"] {
+        assert!(help.contains(flag), "help must mention {flag}");
+    }
+    assert!(help.contains("130"), "help documents the interrupt exit code");
+}
+
+#[test]
+fn journaled_sweep_resumes_with_identical_output() {
+    let dir = std::env::temp_dir().join(format!("dirext-journal-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("fig2.jsonl");
+    let args = [
+        "fig2",
+        "--scale",
+        "tiny",
+        "--app",
+        "water",
+        "--csv",
+        "--journal",
+        journal.to_str().unwrap(),
+    ];
+    let first = stdout(&args);
+    let recorded = std::fs::read_to_string(&journal).unwrap();
+    assert!(recorded.lines().count() > 8, "header plus one line per cell");
+
+    // Resuming over the complete journal replays every cell from the log
+    // and reproduces the artifact byte for byte.
+    let mut resume_args = args.to_vec();
+    resume_args.push("--resume");
+    let out = dirext(&resume_args);
+    assert!(out.status.success());
+    assert_eq!(first, String::from_utf8_lossy(&out.stdout));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("resuming"),
+        "resume notice goes to stderr"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_refuses_to_overwrite_without_the_flag() {
+    let dir = std::env::temp_dir().join(format!("dirext-overwrite-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let journal = dir.join("fig2.jsonl");
+    let args = [
+        "fig2",
+        "--scale",
+        "tiny",
+        "--app",
+        "lu",
+        "--journal",
+        journal.to_str().unwrap(),
+    ];
+    let _ = stdout(&args);
+    // A second run against the same journal without --resume must refuse
+    // rather than clobber the log.
+    let out = dirext(&args);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--resume"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chaos_panic_quarantines_with_exit_code_2() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dirext"))
+        .args(["fig2", "--scale", "tiny", "--keep-going", "--jobs", "2"])
+        .env("DIREXT_CHAOS_PANIC", "Water")
+        .output()
+        .expect("failed to launch dirext");
+    assert_eq!(out.status.code(), Some(2), "quarantine exit code");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("quarantined"), "{err}");
+    assert!(err.contains("Water"), "{err}");
+}
+
+#[test]
+fn chaos_panic_without_keep_going_fails_fast() {
+    let out = Command::new(env!("CARGO_BIN_EXE_dirext"))
+        .args(["fig2", "--scale", "tiny", "--app", "water"])
+        .env("DIREXT_CHAOS_PANIC", "Water")
+        .output()
+        .expect("failed to launch dirext");
+    assert_eq!(out.status.code(), Some(1), "plain failure exit code");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("panicked"));
+}
+
+#[test]
 fn cw_under_sc_is_a_clean_error() {
     let out = dirext(&[
         "run",

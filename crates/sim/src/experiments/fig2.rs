@@ -7,9 +7,7 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
 
 /// The protocols of Figure 2, in the paper's bar order.
 pub const FIG2_PROTOCOLS: [ProtocolKind; 8] = ProtocolKind::ALL;
@@ -51,34 +49,36 @@ impl Fig2Row {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn fig2(suite: &[Workload]) -> Result<Fig2, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn fig2(suite: &[Workload]) -> Result<Fig2, SweepError> {
     fig2_with(suite, &SweepOpts::default())
 }
 
-/// [`fig2`] with explicit sweep options (worker threads, fault plan).
+/// [`fig2`] with explicit sweep options (worker threads, fault plan,
+/// journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
-pub fn fig2_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig2, SimError> {
+/// Propagates the sweep's [`SweepError`] (lowest-indexed failure, or the
+/// full quarantine under `keep_going`).
+pub fn fig2_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig2, SweepError> {
     let nk = FIG2_PROTOCOLS.len();
-    let all = run_ordered(opts.jobs, suite.len() * nk, |i| {
-        run_protocol_cfg(
-            &suite[i / nk],
-            FIG2_PROTOCOLS[i % nk],
-            Consistency::Rc,
-            NetworkKind::Uniform,
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
+    let cells: Vec<Cell<'_>> = suite
+        .iter()
+        .flat_map(|w| {
+            FIG2_PROTOCOLS
+                .iter()
+                .map(move |&kind| Cell::new(w, kind, Consistency::Rc))
+        })
+        .collect();
+    let all = run_cells("fig2", &cells, opts)?;
+    check_len("fig2", all.len(), suite.len() * nk)?;
     let rows = suite
         .iter()
-        .map(|w| Fig2Row {
+        .zip(all.chunks_exact(nk))
+        .map(|(w, chunk)| Fig2Row {
             app: w.name().to_owned(),
-            metrics: all.by_ref().take(nk).collect(),
+            metrics: chunk.to_vec(),
         })
         .collect();
     Ok(Fig2 { rows })

@@ -7,9 +7,7 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
 
 /// The protocols of Figure 3 (all under SC; CW is infeasible under SC).
 pub const FIG3_PROTOCOLS: [ProtocolKind; 4] = [
@@ -59,45 +57,49 @@ impl Fig3Row {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn fig3(suite: &[Workload]) -> Result<Fig3, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn fig3(suite: &[Workload]) -> Result<Fig3, SweepError> {
     fig3_with(suite, &SweepOpts::default())
 }
 
-/// [`fig3`] with explicit sweep options (worker threads, fault plan).
+/// [`fig3`] with explicit sweep options (worker threads, fault plan,
+/// journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
-pub fn fig3_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig3, SimError> {
+/// Propagates the sweep's [`SweepError`].
+pub fn fig3_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig3, SweepError> {
     // Per app: the four SC protocols, then the BASIC-RC reference run.
     let per_app = FIG3_PROTOCOLS.len() + 1;
-    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
-        let (kind, consistency) = match i % per_app {
-            k if k < FIG3_PROTOCOLS.len() => (FIG3_PROTOCOLS[k], Consistency::Sc),
-            _ => (ProtocolKind::Basic, Consistency::Rc),
-        };
-        run_protocol_cfg(
-            &suite[i / per_app],
-            kind,
-            consistency,
-            NetworkKind::Uniform,
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
-    let rows = suite
+    let cells: Vec<Cell<'_>> = suite
         .iter()
-        .map(|w| {
-            let metrics: Vec<Metrics> = all.by_ref().take(FIG3_PROTOCOLS.len()).collect();
-            Fig3Row {
-                app: w.name().to_owned(),
-                metrics,
-                basic_rc: all.next().expect("one BASIC-RC run per app"),
-            }
+        .flat_map(|w| {
+            FIG3_PROTOCOLS
+                .iter()
+                .map(move |&kind| Cell::new(w, kind, Consistency::Sc))
+                .chain(std::iter::once(Cell::new(
+                    w,
+                    ProtocolKind::Basic,
+                    Consistency::Rc,
+                )))
         })
         .collect();
+    let all = run_cells("fig3", &cells, opts)?;
+    check_len("fig3", all.len(), suite.len() * per_app)?;
+    let rows = suite
+        .iter()
+        .zip(all.chunks_exact(per_app))
+        .map(|(w, chunk)| {
+            let (basic_rc, sc) = chunk
+                .split_last()
+                .ok_or_else(|| SweepError::Assembly("fig3: empty per-app chunk".into()))?;
+            Ok(Fig3Row {
+                app: w.name().to_owned(),
+                metrics: sc.to_vec(),
+                basic_rc: basic_rc.clone(),
+            })
+        })
+        .collect::<Result<Vec<_>, SweepError>>()?;
     Ok(Fig3 { rows })
 }
 

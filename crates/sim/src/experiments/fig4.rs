@@ -7,9 +7,7 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
 
 /// The protocols of Figure 4, in the paper's x-axis order.
 pub const FIG4_PROTOCOLS: [ProtocolKind; 6] = [
@@ -52,34 +50,35 @@ impl Fig4Row {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn fig4(suite: &[Workload]) -> Result<Fig4, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn fig4(suite: &[Workload]) -> Result<Fig4, SweepError> {
     fig4_with(suite, &SweepOpts::default())
 }
 
-/// [`fig4`] with explicit sweep options (worker threads, fault plan).
+/// [`fig4`] with explicit sweep options (worker threads, fault plan,
+/// journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
-pub fn fig4_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig4, SimError> {
+/// Propagates the sweep's [`SweepError`].
+pub fn fig4_with(suite: &[Workload], opts: &SweepOpts) -> Result<Fig4, SweepError> {
     let nk = FIG4_PROTOCOLS.len();
-    let all = run_ordered(opts.jobs, suite.len() * nk, |i| {
-        run_protocol_cfg(
-            &suite[i / nk],
-            FIG4_PROTOCOLS[i % nk],
-            Consistency::Rc,
-            NetworkKind::Uniform,
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
+    let cells: Vec<Cell<'_>> = suite
+        .iter()
+        .flat_map(|w| {
+            FIG4_PROTOCOLS
+                .iter()
+                .map(move |&kind| Cell::new(w, kind, Consistency::Rc))
+        })
+        .collect();
+    let all = run_cells("fig4", &cells, opts)?;
+    check_len("fig4", all.len(), suite.len() * nk)?;
     let rows = suite
         .iter()
-        .map(|w| Fig4Row {
+        .zip(all.chunks_exact(nk))
+        .map(|(w, chunk)| Fig4Row {
             app: w.name().to_owned(),
-            metrics: all.by_ref().take(nk).collect(),
+            metrics: chunk.to_vec(),
         })
         .collect();
     Ok(Fig4 { rows })

@@ -1,0 +1,518 @@
+//! Append-only sweep journal: a write-ahead log of completed cells.
+//!
+//! A full paper sweep is hundreds of independent machine runs ("cells").
+//! The journal makes that fleet crash-safe: every finished cell is
+//! appended to a JSONL file *before* the sweep moves on, so a killed or
+//! interrupted run can be re-launched with `--resume` and skip every cell
+//! that already completed. Because [`Metrics`] is built entirely from
+//! integers, strings and integer vectors, the stored record round-trips
+//! exactly and a resumed sweep reassembles **byte-identical** artifacts
+//! versus an uninterrupted run.
+//!
+//! # Cell keys
+//!
+//! Each cell is identified by a deterministic, self-describing key:
+//!
+//! ```text
+//! driver/workload@procs.events.refs/protocol/consistency/network/variant/fault
+//! e.g.  fig2/MP3D@16.48576.23712/P+CW/RC/uniform/base/f=none
+//! ```
+//!
+//! The workload component carries a content fingerprint (processor count,
+//! total events, total shared references) so the same application at a
+//! different `--scale` or `--procs` never collides; the variant tags a
+//! timing override (the §5.4 sensitivity runs); the fault component
+//! encodes the full fault plan. Journals from unrelated sweeps can
+//! therefore share a file without ambiguity — a lookup simply misses.
+//!
+//! # File format
+//!
+//! Line 1 is the header [`HEADER`]; every further line is one JSON
+//! record: `status` is `"ok"` (with the full metrics) or
+//! `"failed"` (with the error text and attempt count). Records are
+//! written under a lock with a single `write_all` and duplicate keys are
+//! resolved last-wins, so concurrent workers and re-runs are safe. A
+//! crash can at worst truncate the final line; unparseable trailing lines
+//! are dropped on load and counted in [`Journal::recovered_lines`].
+//! Failed cells are *not* treated as completed — a resumed sweep runs
+//! them again.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use dirext_core::{Consistency, ProtocolKind};
+use dirext_network::FaultPlan;
+use dirext_stats::Metrics;
+use dirext_trace::Workload;
+use serde::{Deserialize, Serialize};
+
+use crate::NetworkKind;
+
+/// First line of every journal file; identifies the format version.
+pub const HEADER: &str = "{\"dirext_journal\":1}";
+
+/// One record of the journal file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct JournalLine {
+    /// The cell key (see the module docs).
+    key: String,
+    /// `"ok"` or `"failed"`.
+    status: String,
+    /// How many attempts the cell took (1 = first try).
+    attempts: u32,
+    /// The rendered error for failed cells.
+    error: Option<String>,
+    /// The full result record for completed cells.
+    metrics: Option<Metrics>,
+}
+
+/// A journal open/parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError(String);
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal: {}", self.0)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+struct Inner {
+    file: std::fs::File,
+    /// Completed cells only (failed cells must re-run on resume).
+    completed: HashMap<String, Metrics>,
+    /// Set when an append fails; surfaces as a sweep error so an
+    /// interrupted run is never silently un-resumable.
+    write_error: Option<String>,
+}
+
+/// The append-only sweep journal. Thread-safe: sweep workers record cells
+/// concurrently.
+pub struct Journal {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+    loaded: usize,
+    recovered: usize,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("loaded", &self.loaded)
+            .field("recovered", &self.recovered)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path`, writing the header line.
+    ///
+    /// # Errors
+    ///
+    /// Refuses to overwrite an existing non-empty file (pass it to
+    /// [`Journal::resume`] instead, or delete it), and reports I/O errors.
+    pub fn create(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let path = path.as_ref();
+        if let Ok(meta) = std::fs::metadata(path) {
+            if meta.len() > 0 {
+                return Err(JournalError(format!(
+                    "{} already exists; resume it with --resume or delete it first",
+                    path.display()
+                )));
+            }
+        }
+        let mut file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| JournalError(format!("cannot create {}: {e}", path.display())))?;
+        file.write_all(format!("{HEADER}\n").as_bytes())
+            .map_err(|e| JournalError(format!("cannot write {}: {e}", path.display())))?;
+        Ok(Journal {
+            path: path.to_owned(),
+            inner: Mutex::new(Inner {
+                file,
+                completed: HashMap::new(),
+                write_error: None,
+            }),
+            loaded: 0,
+            recovered: 0,
+        })
+    }
+
+    /// Opens an existing journal and loads its completed cells; a missing
+    /// file starts a fresh journal (so `--resume` on the first run of a
+    /// sweep just works).
+    ///
+    /// Unparseable lines — the typical aftermath of a `SIGKILL` landing
+    /// mid-append — are dropped and counted in
+    /// [`Journal::recovered_lines`]; the cells they would have recorded
+    /// simply run again.
+    ///
+    /// # Errors
+    ///
+    /// Reports I/O errors and files that are not dirext journals.
+    pub fn resume(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let path = path.as_ref();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Journal::create(path);
+            }
+            Err(e) => return Err(JournalError(format!("cannot read {}: {e}", path.display()))),
+        };
+        let mut lines = text.lines();
+        if lines.next().map(str::trim) != Some(HEADER) {
+            return Err(JournalError(format!(
+                "{} is not a dirext journal (missing `{HEADER}` header)",
+                path.display()
+            )));
+        }
+        let mut completed = HashMap::new();
+        let mut loaded = 0usize;
+        let mut recovered = 0usize;
+        for line in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match serde_json::from_str::<JournalLine>(line) {
+                Ok(rec) => {
+                    loaded += 1;
+                    if rec.status == "ok" {
+                        if let Some(m) = rec.metrics {
+                            // Last record wins: a re-run overrides history.
+                            completed.insert(rec.key, m);
+                        }
+                    } else {
+                        // A later failure invalidates an earlier success
+                        // only if it is for the same key *after* it; keep
+                        // the success (deterministic cells cannot regress
+                        // without a code change, and re-running is safe).
+                    }
+                }
+                Err(_) => recovered += 1,
+            }
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| JournalError(format!("cannot append to {}: {e}", path.display())))?;
+        Ok(Journal {
+            path: path.to_owned(),
+            inner: Mutex::new(Inner {
+                file,
+                completed,
+                write_error: None,
+            }),
+            loaded,
+            recovered,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records loaded from an existing file by [`Journal::resume`].
+    pub fn loaded_records(&self) -> usize {
+        self.loaded
+    }
+
+    /// Unparseable (crash-truncated) lines dropped on load.
+    pub fn recovered_lines(&self) -> usize {
+        self.recovered
+    }
+
+    /// Number of distinct completed cells currently known.
+    pub fn completed_cells(&self) -> usize {
+        self.inner.lock().expect("journal lock").completed.len()
+    }
+
+    /// The stored metrics for `key`, if that cell already completed.
+    pub fn lookup(&self, key: &str) -> Option<Metrics> {
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .completed
+            .get(key)
+            .cloned()
+    }
+
+    /// Appends a completed cell (flushed before returning).
+    pub fn record_ok(&self, key: &str, attempts: u32, metrics: &Metrics) {
+        self.append(JournalLine {
+            key: key.to_owned(),
+            status: "ok".to_owned(),
+            attempts,
+            error: None,
+            metrics: Some(metrics.clone()),
+        });
+    }
+
+    /// Appends a failed cell (diagnostic only — failed cells re-run on
+    /// resume).
+    pub fn record_failed(&self, key: &str, attempts: u32, error: &str) {
+        self.append(JournalLine {
+            key: key.to_owned(),
+            status: "failed".to_owned(),
+            attempts,
+            error: Some(error.to_owned()),
+            metrics: None,
+        });
+    }
+
+    /// The first append error, if any occurred (checked by the sweep
+    /// orchestrator after the run so a broken journal is never silent).
+    pub fn take_write_error(&self) -> Option<String> {
+        self.inner.lock().expect("journal lock").write_error.take()
+    }
+
+    fn append(&self, line: JournalLine) {
+        let rendered = match serde_json::to_string(&line) {
+            Ok(s) => s,
+            Err(e) => {
+                self.note_write_error(format!("serialize {}: {e}", line.key));
+                return;
+            }
+        };
+        let mut inner = self.inner.lock().expect("journal lock");
+        // One write_all per record keeps lines whole under concurrency
+        // (the mutex) and leaves at most one torn line after SIGKILL.
+        if let Err(e) = inner.file.write_all(format!("{rendered}\n").as_bytes()) {
+            let path = self.path.display().to_string();
+            inner
+                .write_error
+                .get_or_insert(format!("append to {path}: {e}"));
+            return;
+        }
+        if line.status == "ok" {
+            if let Some(m) = line.metrics {
+                inner.completed.insert(line.key, m);
+            }
+        }
+    }
+
+    fn note_write_error(&self, msg: String) {
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .write_error
+            .get_or_insert(msg);
+    }
+}
+
+/// Builds the deterministic cell key for one simulator configuration (see
+/// the module docs for the format).
+pub fn cell_key(
+    driver: &str,
+    workload: &Workload,
+    kind: ProtocolKind,
+    consistency: Consistency,
+    network: NetworkKind,
+    variant: &str,
+    fault: Option<&FaultPlan>,
+) -> String {
+    let net = match network {
+        NetworkKind::Uniform => "uniform".to_owned(),
+        NetworkKind::Mesh { link_bits } => format!("mesh{link_bits}"),
+        NetworkKind::Ring { link_bits } => format!("ring{link_bits}"),
+    };
+    let cons = match consistency {
+        Consistency::Rc => "RC",
+        Consistency::Sc => "SC",
+    };
+    let fault = match fault {
+        Some(f) if f.is_active() => format!(
+            "f=s{}.d{}.u{}.j{}.r{}.b{}",
+            f.seed, f.drop_permille, f.dup_permille, f.jitter_cycles, f.retry_budget, f.retry_base
+        ),
+        _ => "f=none".to_owned(),
+    };
+    format!(
+        "{driver}/{}@{}.{}.{}/{}/{cons}/{net}/{variant}/{fault}",
+        workload.name(),
+        workload.procs(),
+        workload.total_events(),
+        workload.total_data_refs(),
+        kind.name(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dirext-journal-unit-{}-{name}", std::process::id()))
+    }
+
+    fn sample_metrics(exec: u64) -> Metrics {
+        Metrics {
+            workload: "demo".into(),
+            protocol: "BASIC".into(),
+            consistency: "RC".into(),
+            network: "uniform-54".into(),
+            procs: 4,
+            exec_cycles: exec,
+            ..Metrics::default()
+        }
+    }
+
+    #[test]
+    fn round_trip_and_resume() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path).expect("create");
+        j.record_ok("a/b/c", 1, &sample_metrics(123));
+        j.record_failed("a/b/d", 3, "watchdog fired:\nmulti-line\n\"detail\"");
+        drop(j);
+        let j = Journal::resume(&path).expect("resume");
+        assert_eq!(j.loaded_records(), 2);
+        assert_eq!(j.completed_cells(), 1);
+        assert_eq!(j.lookup("a/b/c").expect("hit").exec_cycles, 123);
+        assert!(j.lookup("a/b/d").is_none(), "failed cells must re-run");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_recovered() {
+        let path = tmp("truncated");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path).expect("create");
+        j.record_ok("k1", 1, &sample_metrics(1));
+        j.record_ok("k2", 1, &sample_metrics(2));
+        drop(j);
+        // Chop the file mid-way through the last record, as SIGKILL would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 40]).unwrap();
+        let j = Journal::resume(&path).expect("resume survives torn tail");
+        assert_eq!(j.completed_cells(), 1);
+        assert_eq!(j.recovered_lines(), 1);
+        assert!(j.lookup("k1").is_some());
+        assert!(j.lookup("k2").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_refuses_existing_and_resume_rejects_foreign_files() {
+        let path = tmp("guard");
+        std::fs::write(&path, "not a journal\n").unwrap();
+        assert!(Journal::create(&path).is_err());
+        assert!(Journal::resume(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_on_missing_file_starts_fresh() {
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::resume(&path).expect("fresh");
+        assert_eq!(j.completed_cells(), 0);
+        assert_eq!(j.loaded_records(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn keys_distinguish_every_axis() {
+        use dirext_trace::{MemEvent, Program};
+        let w = |n: usize| {
+            Workload::new(
+                "W",
+                (0..n)
+                    .map(|_| {
+                        Program::from_events(vec![MemEvent::Read(dirext_trace::Addr::new(0))])
+                    })
+                    .collect(),
+            )
+        };
+        let w2 = w(2);
+        let base = cell_key(
+            "fig2",
+            &w2,
+            ProtocolKind::Basic,
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            "base",
+            None,
+        );
+        let others = [
+            cell_key(
+                "fig3",
+                &w2,
+                ProtocolKind::Basic,
+                Consistency::Rc,
+                NetworkKind::Uniform,
+                "base",
+                None,
+            ),
+            cell_key(
+                "fig2",
+                &w(3),
+                ProtocolKind::Basic,
+                Consistency::Rc,
+                NetworkKind::Uniform,
+                "base",
+                None,
+            ),
+            cell_key(
+                "fig2",
+                &w2,
+                ProtocolKind::P,
+                Consistency::Rc,
+                NetworkKind::Uniform,
+                "base",
+                None,
+            ),
+            cell_key(
+                "fig2",
+                &w2,
+                ProtocolKind::Basic,
+                Consistency::Sc,
+                NetworkKind::Uniform,
+                "base",
+                None,
+            ),
+            cell_key(
+                "fig2",
+                &w2,
+                ProtocolKind::Basic,
+                Consistency::Rc,
+                NetworkKind::Mesh { link_bits: 32 },
+                "base",
+                None,
+            ),
+            cell_key(
+                "fig2",
+                &w2,
+                ProtocolKind::Basic,
+                Consistency::Rc,
+                NetworkKind::Uniform,
+                "flwb4",
+                None,
+            ),
+            cell_key(
+                "fig2",
+                &w2,
+                ProtocolKind::Basic,
+                Consistency::Rc,
+                NetworkKind::Uniform,
+                "base",
+                Some(&FaultPlan {
+                    drop_permille: 5,
+                    ..FaultPlan::seeded(9)
+                }),
+            ),
+        ];
+        for other in &others {
+            assert_ne!(&base, other);
+        }
+    }
+}

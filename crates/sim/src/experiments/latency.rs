@@ -13,9 +13,7 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
 
 /// Result of the read-miss-latency comparison.
 #[derive(Debug)]
@@ -50,42 +48,42 @@ impl MissLatencyRow {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn miss_latency(suite: &[Workload]) -> Result<MissLatency, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn miss_latency(suite: &[Workload]) -> Result<MissLatency, SweepError> {
     miss_latency_with(suite, &SweepOpts::default())
 }
 
 /// [`miss_latency`] with explicit sweep options (worker threads, fault
-/// plan).
+/// plan, journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
-pub fn miss_latency_with(suite: &[Workload], opts: &SweepOpts) -> Result<MissLatency, SimError> {
-    let all = run_ordered(opts.jobs, suite.len() * 2, |i| {
-        let kind = if i % 2 == 0 {
-            ProtocolKind::Basic
-        } else {
-            ProtocolKind::Cw
-        };
-        run_protocol_cfg(
-            &suite[i / 2],
-            kind,
-            Consistency::Rc,
-            NetworkKind::Uniform,
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
-    let rows = suite
+/// Propagates the sweep's [`SweepError`].
+pub fn miss_latency_with(suite: &[Workload], opts: &SweepOpts) -> Result<MissLatency, SweepError> {
+    let cells: Vec<Cell<'_>> = suite
         .iter()
-        .map(|w| MissLatencyRow {
-            app: w.name().to_owned(),
-            basic: all.next().expect("BASIC run per app"),
-            cw: all.next().expect("CW run per app"),
+        .flat_map(|w| {
+            [ProtocolKind::Basic, ProtocolKind::Cw]
+                .into_iter()
+                .map(move |kind| Cell::new(w, kind, Consistency::Rc))
         })
         .collect();
+    let all = run_cells("miss-latency", &cells, opts)?;
+    check_len("miss-latency", all.len(), suite.len() * 2)?;
+    let rows = suite
+        .iter()
+        .zip(all.chunks_exact(2))
+        .map(|(w, chunk)| match chunk {
+            [basic, cw] => Ok(MissLatencyRow {
+                app: w.name().to_owned(),
+                basic: basic.clone(),
+                cw: cw.clone(),
+            }),
+            _ => Err(SweepError::Assembly(
+                "miss-latency: expected BASIC+CW pair per app".into(),
+            )),
+        })
+        .collect::<Result<Vec<_>, SweepError>>()?;
     Ok(MissLatency { rows })
 }
 

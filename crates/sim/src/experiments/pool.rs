@@ -19,6 +19,62 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Runs `f(0..n)` across `jobs` worker threads, checking `should_stop`
+/// before each claim, and returns per-index results in order.
+///
+/// `None` marks an index that was never claimed because `should_stop`
+/// turned true first — the crash-safe sweep orchestrator uses this for
+/// fail-fast drains and cooperative SIGINT cancellation. Claimed tasks
+/// always run to completion (the stop flag is only consulted *between*
+/// cells), so a drain never tears a simulator run in half.
+///
+/// With `jobs <= 1` (or fewer than two tasks) the loop runs inline on the
+/// caller's thread with no pool setup at all.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (callers that need isolation wrap `f` in
+/// `catch_unwind` themselves — see [`super::runner::run_cells`]).
+pub fn run_collect<T, F, S>(jobs: usize, n: usize, should_stop: &S, f: F) -> Vec<Option<T>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    S: Fn() -> bool + Sync + ?Sized,
+{
+    if jobs <= 1 || n <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if should_stop() {
+                break;
+            }
+            out.push(Some(f(i)));
+        }
+        out.resize_with(n, || None);
+        return out;
+    }
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(n) {
+            scope.spawn(|| loop {
+                if should_stop() {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot poisoned"))
+        .collect()
+}
+
 /// Runs `f(0..n)` across `jobs` worker threads and returns the results in
 /// index order.
 ///
@@ -44,29 +100,10 @@ where
     if jobs <= 1 || n <= 1 {
         return (0..n).map(f).collect();
     }
-    let slots: Vec<Mutex<Option<Result<T, E>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(n) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(r);
-            });
-        }
-    });
-    let mut out = Vec::with_capacity(n);
-    for slot in slots {
-        let r = slot
-            .into_inner()
-            .expect("result slot poisoned")
-            .expect("every index claimed by exactly one worker");
-        out.push(r?);
-    }
-    Ok(out)
+    run_collect(jobs, n, &|| false, f)
+        .into_iter()
+        .map(|slot| slot.expect("every index claimed by exactly one worker"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -105,5 +142,41 @@ mod tests {
     fn empty_task_list() {
         let r: Vec<usize> = run_ordered(4, 0, |_| -> Result<usize, ()> { unreachable!() }).unwrap();
         assert!(r.is_empty());
+    }
+
+    #[test]
+    fn run_collect_without_stop_claims_everything() {
+        for jobs in [1, 4] {
+            let r = run_collect(jobs, 10, &|| false, |i| i * 2);
+            assert_eq!(r.len(), 10);
+            assert!(r.iter().all(Option::is_some));
+            assert_eq!(r[4], Some(8));
+        }
+    }
+
+    #[test]
+    fn run_collect_stop_leaves_unclaimed_slots_none() {
+        use std::sync::atomic::AtomicBool;
+        for jobs in [1, 4] {
+            let stop = AtomicBool::new(false);
+            let r = run_collect(jobs, 64, &|| stop.load(Ordering::Relaxed), |i| {
+                if i == 3 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                i
+            });
+            assert_eq!(r.len(), 64);
+            assert_eq!(r[3], Some(3), "claimed cells run to completion");
+            assert!(
+                r.iter().any(Option::is_none),
+                "stop flag must leave later cells unclaimed"
+            );
+        }
+    }
+
+    #[test]
+    fn run_collect_stop_set_up_front_runs_nothing() {
+        let r = run_collect(4, 8, &|| true, |i| i);
+        assert_eq!(r, vec![None; 8]);
     }
 }

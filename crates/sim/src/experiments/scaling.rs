@@ -15,9 +15,7 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
 
 /// The node counts swept.
 pub const SCALING_PROCS: [usize; 5] = [4, 8, 16, 32, 64];
@@ -64,15 +62,16 @@ impl ScalingRow {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn scaling<F>(app_name: &str, make_workload: F) -> Result<Scaling, SimError>
+/// Propagates the first [`SweepError`].
+pub fn scaling<F>(app_name: &str, make_workload: F) -> Result<Scaling, SweepError>
 where
     F: FnMut(usize) -> Workload,
 {
     scaling_with(app_name, make_workload, &SweepOpts::default())
 }
 
-/// [`scaling`] with explicit sweep options (worker threads, fault plan).
+/// [`scaling`] with explicit sweep options (worker threads, fault plan,
+/// journal, quarantine, cancellation).
 ///
 /// The workloads for all machine sizes are generated up front (in
 /// [`SCALING_PROCS`] order, so generation sees the same call sequence as
@@ -81,33 +80,33 @@ where
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
+/// Propagates the sweep's [`SweepError`].
 pub fn scaling_with<F>(
     app_name: &str,
     mut make_workload: F,
     opts: &SweepOpts,
-) -> Result<Scaling, SimError>
+) -> Result<Scaling, SweepError>
 where
     F: FnMut(usize) -> Workload,
 {
     let workloads: Vec<Workload> = SCALING_PROCS.into_iter().map(&mut make_workload).collect();
     let nk = SCALING_PROTOCOLS.len();
-    let all = run_ordered(opts.jobs, workloads.len() * nk, |i| {
-        run_protocol_cfg(
-            &workloads[i / nk],
-            SCALING_PROTOCOLS[i % nk],
-            Consistency::Rc,
-            NetworkKind::Uniform,
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
+    let cells: Vec<Cell<'_>> = workloads
+        .iter()
+        .flat_map(|w| {
+            SCALING_PROTOCOLS
+                .iter()
+                .map(move |&kind| Cell::new(w, kind, Consistency::Rc))
+        })
+        .collect();
+    let all = run_cells("scaling", &cells, opts)?;
+    check_len("scaling", all.len(), workloads.len() * nk)?;
     let rows = SCALING_PROCS
         .into_iter()
-        .map(|procs| ScalingRow {
+        .zip(all.chunks_exact(nk))
+        .map(|(procs, chunk)| ScalingRow {
             procs,
-            metrics: all.by_ref().take(nk).collect(),
+            metrics: chunk.to_vec(),
         })
         .collect();
     Ok(Scaling {

@@ -8,9 +8,7 @@ use dirext_memsys::Timing;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
 
 /// The protocols compared in the sensitivity study.
 pub const SENS_PROTOCOLS: [ProtocolKind; 6] = [
@@ -68,51 +66,62 @@ pub enum Constraint {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn sensitivity(suite: &[Workload], constraint: Constraint) -> Result<Sensitivity, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn sensitivity(suite: &[Workload], constraint: Constraint) -> Result<Sensitivity, SweepError> {
     sensitivity_with(suite, constraint, &SweepOpts::default())
 }
 
-/// [`sensitivity`] with explicit sweep options (worker threads, fault plan).
+/// [`sensitivity`] with explicit sweep options (worker threads, fault
+/// plan, journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
+/// Propagates the sweep's [`SweepError`].
 pub fn sensitivity_with(
     suite: &[Workload],
     constraint: Constraint,
     opts: &SweepOpts,
-) -> Result<Sensitivity, SimError> {
-    let (variant, timing) = match constraint {
-        Constraint::SmallBuffers => ("FLWB4/SLWB4", Timing::paper_default().with_small_buffers()),
-        Constraint::SmallSlc => ("16-KB SLC", Timing::paper_default().with_limited_slc()),
+) -> Result<Sensitivity, SweepError> {
+    let (variant, tag, timing) = match constraint {
+        Constraint::SmallBuffers => (
+            "FLWB4/SLWB4",
+            "flwb4-slwb4",
+            Timing::paper_default().with_small_buffers(),
+        ),
+        Constraint::SmallSlc => (
+            "16-KB SLC",
+            "slc16k",
+            Timing::paper_default().with_limited_slc(),
+        ),
     };
-    // Per app: each protocol at default parameters, then constrained.
+    // Per app: each protocol at default parameters, then constrained. The
+    // default-timing cells share journal keys across the two constraint
+    // sweeps on purpose: they are the same configuration, so a resumed
+    // `run-all` simulates them once.
     let per_app = 2 * SENS_PROTOCOLS.len();
-    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
-        let within = i % per_app;
-        run_protocol_cfg(
-            &suite[i / per_app],
-            SENS_PROTOCOLS[within / 2],
-            Consistency::Rc,
-            NetworkKind::Uniform,
-            if within.is_multiple_of(2) {
-                None
-            } else {
-                Some(timing.clone())
-            },
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
+    let cells: Vec<Cell<'_>> = suite
+        .iter()
+        .flat_map(|w| {
+            let timing = &timing;
+            SENS_PROTOCOLS.iter().flat_map(move |&kind| {
+                [
+                    Cell::new(w, kind, Consistency::Rc),
+                    Cell::new(w, kind, Consistency::Rc).timed(timing.clone(), tag),
+                ]
+            })
+        })
+        .collect();
+    let all = run_cells("sens", &cells, opts)?;
+    check_len("sens", all.len(), suite.len() * per_app)?;
     let rows = suite
         .iter()
-        .map(|w| {
+        .zip(all.chunks_exact(per_app))
+        .map(|(w, chunk)| {
             let mut default_metrics = Vec::with_capacity(SENS_PROTOCOLS.len());
             let mut constrained_metrics = Vec::with_capacity(SENS_PROTOCOLS.len());
-            for _ in SENS_PROTOCOLS {
-                default_metrics.push(all.next().expect("default run per protocol"));
-                constrained_metrics.push(all.next().expect("constrained run per protocol"));
+            for pair in chunk.chunks_exact(2) {
+                default_metrics.push(pair[0].clone());
+                constrained_metrics.push(pair[1].clone());
             }
             SensRow {
                 app: w.name().to_owned(),

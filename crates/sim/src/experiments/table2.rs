@@ -7,9 +7,7 @@ use dirext_core::ProtocolKind;
 use dirext_stats::{Metrics, TextTable};
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
 
 /// The protocols of Table 2, in the paper's column order.
 pub const TABLE2_PROTOCOLS: [ProtocolKind; 4] = [
@@ -57,34 +55,35 @@ impl Table2Row {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn table2(suite: &[Workload]) -> Result<Table2, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn table2(suite: &[Workload]) -> Result<Table2, SweepError> {
     table2_with(suite, &SweepOpts::default())
 }
 
-/// [`table2`] with explicit sweep options (worker threads, fault plan).
+/// [`table2`] with explicit sweep options (worker threads, fault plan,
+/// journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
-pub fn table2_with(suite: &[Workload], opts: &SweepOpts) -> Result<Table2, SimError> {
+/// Propagates the sweep's [`SweepError`].
+pub fn table2_with(suite: &[Workload], opts: &SweepOpts) -> Result<Table2, SweepError> {
     let nk = TABLE2_PROTOCOLS.len();
-    let all = run_ordered(opts.jobs, suite.len() * nk, |i| {
-        run_protocol_cfg(
-            &suite[i / nk],
-            TABLE2_PROTOCOLS[i % nk],
-            Consistency::Rc,
-            NetworkKind::Uniform,
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
+    let cells: Vec<Cell<'_>> = suite
+        .iter()
+        .flat_map(|w| {
+            TABLE2_PROTOCOLS
+                .iter()
+                .map(move |&kind| Cell::new(w, kind, Consistency::Rc))
+        })
+        .collect();
+    let all = run_cells("table2", &cells, opts)?;
+    check_len("table2", all.len(), suite.len() * nk)?;
     let rows = suite
         .iter()
-        .map(|w| Table2Row {
+        .zip(all.chunks_exact(nk))
+        .map(|(w, chunk)| Table2Row {
             app: w.name().to_owned(),
-            metrics: all.by_ref().take(nk).collect(),
+            metrics: chunk.to_vec(),
         })
         .collect();
     Ok(Table2 { rows })

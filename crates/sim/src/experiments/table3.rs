@@ -7,9 +7,8 @@ use dirext_core::ProtocolKind;
 use dirext_stats::TextTable;
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
+use crate::NetworkKind;
 
 /// The link widths of Section 5.3, in bits.
 pub const LINK_WIDTHS: [u32; 3] = [64, 32, 16];
@@ -47,8 +46,8 @@ impl Table3Row {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn table3(suite: &[Workload]) -> Result<Table3, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn table3(suite: &[Workload]) -> Result<Table3, SweepError> {
     table3_with(suite, &SweepOpts::default())
 }
 
@@ -56,37 +55,37 @@ pub fn table3(suite: &[Workload]) -> Result<Table3, SimError> {
 const TABLE3_PROTOCOLS: [ProtocolKind; 3] =
     [ProtocolKind::Basic, ProtocolKind::PCw, ProtocolKind::PM];
 
-/// [`table3`] with explicit sweep options (worker threads, fault plan).
+/// [`table3`] with explicit sweep options (worker threads, fault plan,
+/// journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
-pub fn table3_with(suite: &[Workload], opts: &SweepOpts) -> Result<Table3, SimError> {
+/// Propagates the sweep's [`SweepError`].
+pub fn table3_with(suite: &[Workload], opts: &SweepOpts) -> Result<Table3, SweepError> {
     // Per app: LINK_WIDTHS × {BASIC, P+CW, P+M}.
     let per_app = LINK_WIDTHS.len() * TABLE3_PROTOCOLS.len();
-    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
-        let within = i % per_app;
-        run_protocol_cfg(
-            &suite[i / per_app],
-            TABLE3_PROTOCOLS[within % TABLE3_PROTOCOLS.len()],
-            Consistency::Rc,
-            NetworkKind::Mesh {
-                link_bits: LINK_WIDTHS[within / TABLE3_PROTOCOLS.len()],
-            },
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
+    let cells: Vec<Cell<'_>> = suite
+        .iter()
+        .flat_map(|w| {
+            LINK_WIDTHS.iter().flat_map(move |&link_bits| {
+                TABLE3_PROTOCOLS.iter().map(move |&kind| {
+                    Cell::on(w, kind, Consistency::Rc, NetworkKind::Mesh { link_bits })
+                })
+            })
+        })
+        .collect();
+    let all = run_cells("table3", &cells, opts)?;
+    check_len("table3", all.len(), suite.len() * per_app)?;
     let rows = suite
         .iter()
-        .map(|w| {
+        .zip(all.chunks_exact(per_app))
+        .map(|(w, chunk)| {
             let mut pcw = [0.0; 3];
             let mut pm = [0.0; 3];
-            for i in 0..LINK_WIDTHS.len() {
-                let base = all.next().expect("BASIC run per width");
-                pcw[i] = all.next().expect("P+CW run per width").relative_time(&base);
-                pm[i] = all.next().expect("P+M run per width").relative_time(&base);
+            for (i, width) in chunk.chunks_exact(TABLE3_PROTOCOLS.len()).enumerate() {
+                let base = &width[0];
+                pcw[i] = width[1].relative_time(base);
+                pm[i] = width[2].relative_time(base);
             }
             Table3Row {
                 app: w.name().to_owned(),

@@ -14,9 +14,8 @@ use dirext_core::ProtocolKind;
 use dirext_stats::TextTable;
 use dirext_trace::Workload;
 
-use super::pool::run_ordered;
-use super::runner::{run_protocol_cfg, SweepOpts};
-use crate::{NetworkKind, SimError};
+use super::runner::{check_len, run_cells, Cell, SweepError, SweepOpts};
+use crate::NetworkKind;
 
 /// The topologies swept (at 32-bit links for the contended ones).
 pub const TOPOLOGIES: [NetworkKind; 3] = [
@@ -47,8 +46,8 @@ pub struct TopologyRow {
 ///
 /// # Errors
 ///
-/// Propagates the first [`SimError`].
-pub fn topology(suite: &[Workload]) -> Result<Topology, SimError> {
+/// Propagates the first [`SweepError`].
+pub fn topology(suite: &[Workload]) -> Result<Topology, SweepError> {
     topology_with(suite, &SweepOpts::default())
 }
 
@@ -56,41 +55,37 @@ pub fn topology(suite: &[Workload]) -> Result<Topology, SimError> {
 const TOPOLOGY_PROTOCOLS: [ProtocolKind; 3] =
     [ProtocolKind::Basic, ProtocolKind::PCw, ProtocolKind::PM];
 
-/// [`topology`] with explicit sweep options (worker threads, fault plan).
+/// [`topology`] with explicit sweep options (worker threads, fault plan,
+/// journal, quarantine, cancellation).
 ///
 /// # Errors
 ///
-/// Propagates the lowest-indexed [`SimError`] of the sweep.
-pub fn topology_with(suite: &[Workload], opts: &SweepOpts) -> Result<Topology, SimError> {
+/// Propagates the sweep's [`SweepError`].
+pub fn topology_with(suite: &[Workload], opts: &SweepOpts) -> Result<Topology, SweepError> {
     // Per app: TOPOLOGIES × {BASIC, P+CW, P+M}.
     let per_app = TOPOLOGIES.len() * TOPOLOGY_PROTOCOLS.len();
-    let all = run_ordered(opts.jobs, suite.len() * per_app, |i| {
-        let within = i % per_app;
-        run_protocol_cfg(
-            &suite[i / per_app],
-            TOPOLOGY_PROTOCOLS[within % TOPOLOGY_PROTOCOLS.len()],
-            Consistency::Rc,
-            TOPOLOGIES[within / TOPOLOGY_PROTOCOLS.len()],
-            None,
-            opts.fault,
-        )
-    })?;
-    let mut all = all.into_iter();
+    let cells: Vec<Cell<'_>> = suite
+        .iter()
+        .flat_map(|w| {
+            TOPOLOGIES.iter().flat_map(move |&network| {
+                TOPOLOGY_PROTOCOLS
+                    .iter()
+                    .map(move |&kind| Cell::on(w, kind, Consistency::Rc, network))
+            })
+        })
+        .collect();
+    let all = run_cells("topology", &cells, opts)?;
+    check_len("topology", all.len(), suite.len() * per_app)?;
     let rows = suite
         .iter()
-        .map(|w| {
+        .zip(all.chunks_exact(per_app))
+        .map(|(w, chunk)| {
             let mut pcw = [0.0; 3];
             let mut pm = [0.0; 3];
-            for i in 0..TOPOLOGIES.len() {
-                let base = all.next().expect("BASIC run per topology");
-                pcw[i] = all
-                    .next()
-                    .expect("P+CW run per topology")
-                    .relative_time(&base);
-                pm[i] = all
-                    .next()
-                    .expect("P+M run per topology")
-                    .relative_time(&base);
+            for (i, net) in chunk.chunks_exact(TOPOLOGY_PROTOCOLS.len()).enumerate() {
+                let base = &net[0];
+                pcw[i] = net[1].relative_time(base);
+                pm[i] = net[2].relative_time(base);
             }
             TopologyRow {
                 app: w.name().to_owned(),

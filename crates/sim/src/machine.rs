@@ -80,6 +80,25 @@ impl fmt::Display for SimError {
     }
 }
 
+impl SimError {
+    /// Whether this failure can plausibly clear on a retry with a rotated
+    /// fault seed.
+    ///
+    /// Under injected faults, NACK storms, watchdog trips and apparent
+    /// deadlocks are artifacts of one particular drop/duplicate schedule —
+    /// a different seed usually completes. Structural failures (invalid
+    /// workloads, coherence violations, conformance breaks, processor
+    /// mismatches) reproduce on any schedule and are never worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            SimError::Watchdog { .. }
+                | SimError::Deadlock { .. }
+                | SimError::Protocol(ProtocolError::RetryBudgetExhausted { .. })
+        )
+    }
+}
+
 impl std::error::Error for SimError {}
 
 impl From<WorkloadError> for SimError {
