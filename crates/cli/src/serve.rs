@@ -1,0 +1,724 @@
+//! `dirext serve` / `dirext query` — a journal-backed result server.
+//!
+//! [`run_serve`] turns a sweep journal into a long-running result cache:
+//! a daemon listening on a Unix domain socket, answering one-line JSON
+//! experiment queries. Cached cells are served directly from the journal
+//! (including assembled fleet journals, so a finished fleet sweep doubles
+//! as a pre-warmed cache); misses are computed on demand and journaled,
+//! so every configuration is simulated at most once across the daemon's
+//! lifetime *and* across restarts.
+//!
+//! The daemon degrades gracefully instead of falling over:
+//!
+//! - **Bounded in-flight computes** (`--max-inflight`): a miss is only
+//!   admitted while a compute slot is free. When saturated, misses get
+//!   an explicit `{"status":"busy"}` response immediately — load is shed
+//!   at the door, no unbounded queue builds up.
+//! - **Cache hits always go through**, even when every compute slot is
+//!   busy: a hit touches only the in-memory journal index.
+//! - **Request timeout** (`--request-timeout-ms`): a slow compute stops
+//!   blocking its client with `{"status":"timeout"}`, but the compute
+//!   keeps running and journals its result, so a retry becomes a hit.
+//!
+//! Protocol: newline-delimited JSON over the socket, one response line
+//! per request line. A request is `{"app": "Water", "procs": 8, "scale":
+//! "tiny", "protocol": "P+CW+M", "consistency": "rc", "network":
+//! "uniform"}` — every field except `app` is optional — or `{"cmd":
+//! "stats"}` for the daemon's counters. Responses carry a `status` of
+//! `hit`, `computed`, `busy`, `timeout`, `error`, or `stats`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use dirext_core::config::Consistency;
+use dirext_core::ProtocolKind;
+use dirext_sim::experiments::{journal::cell_key, run_protocol_cfg, Journal};
+use dirext_sim::NetworkKind;
+use dirext_trace::Workload;
+use dirext_workloads::{App, Scale};
+use serde::{Content, Serialize};
+
+use crate::Args;
+
+/// Default journal path for `serve` when neither `--journal` nor
+/// `--fleet` names one.
+const DEFAULT_SERVE_JOURNAL: &str = "dirext-serve.jsonl";
+
+/// The CLI-facing request/response text uses plain JSON lines; this is
+/// the serve driver name baked into journal keys for cells the daemon
+/// computed itself.
+const SERVE_DRIVER: &str = "serve";
+
+/// The canonical CLI spelling of a network kind (inverse of the
+/// `--network` parser in `main.rs`).
+pub(crate) fn network_label(network: NetworkKind) -> String {
+    match network {
+        NetworkKind::Uniform => "uniform".to_owned(),
+        NetworkKind::Mesh { link_bits } => format!("mesh{link_bits}"),
+        NetworkKind::Ring { link_bits } => format!("ring{link_bits}"),
+    }
+}
+
+fn parse_network(s: &str) -> Result<NetworkKind, String> {
+    match s {
+        "uniform" => Ok(NetworkKind::Uniform),
+        "mesh64" => Ok(NetworkKind::Mesh { link_bits: 64 }),
+        "mesh32" => Ok(NetworkKind::Mesh { link_bits: 32 }),
+        "mesh16" => Ok(NetworkKind::Mesh { link_bits: 16 }),
+        "ring64" => Ok(NetworkKind::Ring { link_bits: 64 }),
+        "ring32" => Ok(NetworkKind::Ring { link_bits: 32 }),
+        "ring16" => Ok(NetworkKind::Ring { link_bits: 16 }),
+        other => Err(format!(
+            "unknown network '{other}' (uniform, mesh64/32/16, ring64/32/16)"
+        )),
+    }
+}
+
+/// One fully-validated experiment query.
+struct Request {
+    app: App,
+    procs: usize,
+    scale: Scale,
+    kind: ProtocolKind,
+    consistency: Consistency,
+    network: NetworkKind,
+}
+
+impl Request {
+    /// Parses and validates a request out of a JSON object, with
+    /// actionable errors (the response the client sees).
+    fn parse(req: &Content) -> Result<Request, String> {
+        let app_name = req
+            .get("app")
+            .as_str()
+            .ok_or("missing `app` (MP3D, Cholesky, Water, LU, Ocean)")?;
+        let app = crate::parse_app(app_name).ok_or_else(|| {
+            format!("unknown app '{app_name}' (MP3D, Cholesky, Water, LU, Ocean)")
+        })?;
+        let procs = usize::try_from(req.get("procs").as_u64().unwrap_or(16)).unwrap_or(0);
+        if procs == 0 || procs > 64 {
+            return Err(format!("`procs` must be between 1 and 64, got {procs}"));
+        }
+        let scale = match req.get("scale").as_str().unwrap_or("paper") {
+            "paper" => Scale::Paper,
+            "small" => Scale::Small,
+            "tiny" => Scale::Tiny,
+            other => return Err(format!("unknown scale '{other}' (paper, small, tiny)")),
+        };
+        let proto_name = req.get("protocol").as_str().unwrap_or("BASIC");
+        let kind = crate::parse_protocol(proto_name).ok_or_else(|| {
+            format!(
+                "unknown protocol '{proto_name}' ({})",
+                ProtocolKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })?;
+        let consistency = match req.get("consistency").as_str().unwrap_or("rc") {
+            "rc" => Consistency::Rc,
+            "sc" => Consistency::Sc,
+            other => return Err(format!("unknown consistency '{other}' (rc, sc)")),
+        };
+        let network = parse_network(req.get("network").as_str().unwrap_or("uniform"))?;
+        if !kind.config(consistency).is_feasible() {
+            return Err(format!(
+                "{kind} is not implementable under {consistency:?}: the competitive-update \
+                 mechanism needs relaxed consistency"
+            ));
+        }
+        Ok(Request {
+            app,
+            procs,
+            scale,
+            kind,
+            consistency,
+            network,
+        })
+    }
+}
+
+/// The daemon's shared state: journal-as-cache, admission counters, and
+/// a workload memo (workload generation is deterministic but not free,
+/// so each `(app, procs, scale)` is generated once).
+pub(crate) struct Server {
+    journal: Arc<Journal>,
+    max_inflight: usize,
+    timeout: Duration,
+    /// Test hook: artificial per-compute delay in ms (`DIREXT_SERVE_SLOW_MS`),
+    /// used to make saturation and timeouts deterministic in tests.
+    slow_ms: u64,
+    inflight: AtomicUsize,
+    workloads: Mutex<HashMap<String, Arc<Workload>>>,
+    hits: AtomicU64,
+    computed: AtomicU64,
+    busy: AtomicU64,
+    timeouts: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Renders a response object; `entries` are `(key, value)` pairs.
+fn response(entries: Vec<(&str, Content)>) -> String {
+    let map = Content::Map(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect(),
+    );
+    serde_json::to_string(&map).unwrap_or_else(|_| "{\"status\":\"error\"}".to_owned())
+}
+
+fn error_response(detail: String) -> String {
+    response(vec![
+        ("status", Content::Str("error".to_owned())),
+        ("error", Content::Str(detail)),
+    ])
+}
+
+impl Server {
+    pub(crate) fn new(
+        journal: Arc<Journal>,
+        max_inflight: usize,
+        timeout: Duration,
+        slow_ms: u64,
+    ) -> Server {
+        Server {
+            journal,
+            max_inflight,
+            timeout,
+            slow_ms,
+            inflight: AtomicUsize::new(0),
+            workloads: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        }
+    }
+
+    fn workload(&self, app: App, procs: usize, scale: Scale) -> Arc<Workload> {
+        let memo_key = format!("{}/{procs}/{scale}", app.name());
+        let mut memo = self.workloads.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            memo.entry(memo_key)
+                .or_insert_with(|| Arc::new(app.workload(procs, scale))),
+        )
+    }
+
+    /// One-line summary of the lifetime counters (logged at shutdown).
+    pub(crate) fn stats_line(&self) -> String {
+        format!(
+            "{} hit(s), {} computed, {} busy-shed, {} timeout(s), {} error(s), {} cached cell(s)",
+            self.hits.load(Ordering::Relaxed),
+            self.computed.load(Ordering::Relaxed),
+            self.busy.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.journal.completed_cells(),
+        )
+    }
+
+    fn stats_response(&self) -> String {
+        response(vec![
+            ("status", Content::Str("stats".to_owned())),
+            ("hits", Content::U64(self.hits.load(Ordering::Relaxed))),
+            (
+                "computed",
+                Content::U64(self.computed.load(Ordering::Relaxed)),
+            ),
+            ("busy", Content::U64(self.busy.load(Ordering::Relaxed))),
+            (
+                "timeouts",
+                Content::U64(self.timeouts.load(Ordering::Relaxed)),
+            ),
+            ("errors", Content::U64(self.errors.load(Ordering::Relaxed))),
+            (
+                "inflight",
+                Content::U64(self.inflight.load(Ordering::Relaxed) as u64),
+            ),
+            (
+                "max_inflight",
+                Content::U64(self.max_inflight as u64),
+            ),
+            (
+                "cached_cells",
+                Content::U64(self.journal.completed_cells() as u64),
+            ),
+        ])
+    }
+
+    /// Tries to take a compute slot; `false` means the daemon is
+    /// saturated and the request must be shed.
+    fn admit(&self) -> bool {
+        let mut cur = self.inflight.load(Ordering::Acquire);
+        loop {
+            if cur >= self.max_inflight {
+                return false;
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Handles one request line, returning the one-line JSON response.
+    /// Never panics and never blocks longer than the request timeout.
+    pub(crate) fn handle(self: &Arc<Server>, line: &str) -> String {
+        let req: Content = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return error_response(format!("bad request JSON: {e}"));
+            }
+        };
+        match req.get("cmd").as_str().unwrap_or("run") {
+            "stats" => self.stats_response(),
+            "run" => self.run_request(&req),
+            other => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(format!("unknown cmd '{other}' (run, stats)"))
+            }
+        }
+    }
+
+    fn run_request(self: &Arc<Server>, req: &Content) -> String {
+        let parsed = match Request::parse(req) {
+            Ok(p) => p,
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                return error_response(e);
+            }
+        };
+        let w = self.workload(parsed.app, parsed.procs, parsed.scale);
+        let key = cell_key(
+            SERVE_DRIVER,
+            &w,
+            parsed.kind,
+            parsed.consistency,
+            parsed.network,
+            "base",
+            None,
+        );
+        // Hit path: the journal index is in memory, so hits are served
+        // even when every compute slot is busy — that is the whole point
+        // of the load-shed design.
+        if let Some(m) = self.journal.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return response(vec![
+                ("status", Content::Str("hit".to_owned())),
+                ("key", Content::Str(key)),
+                ("metrics", m.serialize()),
+            ]);
+        }
+        // Cross-driver hit: a sweep journal (e.g. an assembled fleet run
+        // of fig2) records the same configuration under its own driver
+        // prefix; any completed cell with an identical config suffix is
+        // equally authoritative.
+        let suffix = key.split_once('/').map_or(key.as_str(), |(_, s)| s);
+        if let Some((served_from, m)) = self.journal.lookup_config(suffix) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return response(vec![
+                ("status", Content::Str("hit".to_owned())),
+                ("key", Content::Str(key.clone())),
+                ("served_from", Content::Str(served_from)),
+                ("metrics", m.serialize()),
+            ]);
+        }
+        // Miss: admission-control the compute. Shedding here (instead of
+        // queueing) keeps the daemon responsive under overload.
+        if !self.admit() {
+            self.busy.fetch_add(1, Ordering::Relaxed);
+            return response(vec![
+                ("status", Content::Str("busy".to_owned())),
+                (
+                    "inflight",
+                    Content::U64(self.inflight.load(Ordering::Relaxed) as u64),
+                ),
+                ("max_inflight", Content::U64(self.max_inflight as u64)),
+                (
+                    "hint",
+                    Content::Str(
+                        "compute slots saturated; cache hits are still served — retry later"
+                            .to_owned(),
+                    ),
+                ),
+            ]);
+        }
+        // The compute runs on its own thread so the response clock keeps
+        // ticking; on timeout the thread keeps going and journals its
+        // result, turning the client's retry into a cache hit.
+        let (tx, rx) = mpsc::channel();
+        let server = Arc::clone(self);
+        let worker_w = Arc::clone(&w);
+        let worker_key = key.clone();
+        std::thread::spawn(move || {
+            if server.slow_ms > 0 {
+                std::thread::sleep(Duration::from_millis(server.slow_ms));
+            }
+            let result = run_protocol_cfg(
+                &worker_w,
+                parsed.kind,
+                parsed.consistency,
+                parsed.network,
+                None,
+                None,
+            );
+            if let Ok(m) = &result {
+                server.journal.record_ok(&worker_key, 1, m);
+            }
+            server.inflight.fetch_sub(1, Ordering::AcqRel);
+            let _ = tx.send(result);
+        });
+        match rx.recv_timeout(self.timeout) {
+            Ok(Ok(m)) => {
+                self.computed.fetch_add(1, Ordering::Relaxed);
+                response(vec![
+                    ("status", Content::Str("computed".to_owned())),
+                    ("key", Content::Str(key)),
+                    ("metrics", m.serialize()),
+                ])
+            }
+            Ok(Err(e)) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                error_response(format!("simulation failed: {e}"))
+            }
+            Err(_) => {
+                self.timeouts.fetch_add(1, Ordering::Relaxed);
+                response(vec![
+                    ("status", Content::Str("timeout".to_owned())),
+                    ("key", Content::Str(key)),
+                    (
+                        "hint",
+                        Content::Str(
+                            "computation continues in the background and will be journaled; \
+                             retry to hit the cache"
+                                .to_owned(),
+                        ),
+                    ),
+                ])
+            }
+        }
+    }
+}
+
+/// Opens the journal `serve` answers from: an assembled fleet directory
+/// (`--fleet DIR`, folding worker journals first), an explicit
+/// `--journal PATH`, or the default serve journal. Always in resume
+/// mode — a result cache that refused to reopen would be pointless.
+fn open_serve_journal(args: &Args) -> Result<Arc<Journal>, Box<dyn std::error::Error>> {
+    use dirext_sim::experiments::{assembled_path, journal, worker_journals};
+    let path = if let Some(dir) = &args.fleet {
+        let dir = std::path::Path::new(dir);
+        let workers = worker_journals(dir)?;
+        if workers.is_empty() {
+            return Err(format!(
+                "serve --fleet: no worker journals (worker-*.jsonl) in {}; run a fleet sweep \
+                 first or pass --journal PATH",
+                dir.display()
+            )
+            .into());
+        }
+        let out = assembled_path(dir);
+        let summary = journal::assemble(&workers, &out)?;
+        eprintln!(
+            "serve: assembled {} worker journal(s) — {} cached cell(s)",
+            summary.workers, summary.cells
+        );
+        out.display().to_string()
+    } else {
+        args.journal
+            .clone()
+            .unwrap_or_else(|| DEFAULT_SERVE_JOURNAL.to_owned())
+    };
+    Ok(Arc::new(Journal::resume(&path)?))
+}
+
+/// Test hook: artificial compute delay, for deterministic saturation in
+/// the integration tests.
+fn slow_ms_from_env() -> u64 {
+    std::env::var("DIREXT_SERVE_SLOW_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// `dirext serve`: bind the socket and answer queries until SIGINT.
+///
+/// # Errors
+///
+/// Socket/journal setup failures; per-request errors are answered over
+/// the wire, never crash the daemon.
+#[cfg(unix)]
+pub(crate) fn run_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::Write;
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    let Some(socket) = &args.socket else {
+        return Err("serve needs --socket PATH (the Unix socket to listen on)".into());
+    };
+    let journal = open_serve_journal(args)?;
+    crate::register_journal(&journal);
+    let server = Arc::new(Server::new(
+        journal,
+        args.max_inflight,
+        Duration::from_millis(args.request_timeout_ms),
+        slow_ms_from_env(),
+    ));
+    let path = std::path::Path::new(socket);
+    if path.exists() {
+        // A live daemon answers a connect; a stale socket file (daemon
+        // killed without cleanup) refuses it and is safe to replace.
+        if UnixStream::connect(path).is_ok() {
+            return Err(format!(
+                "socket {socket} is already being served; stop the other daemon first"
+            )
+            .into());
+        }
+        std::fs::remove_file(path)
+            .map_err(|e| format!("cannot replace stale socket {socket}: {e}"))?;
+    }
+    let listener = UnixListener::bind(path).map_err(|e| format!("cannot bind {socket}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot configure {socket}: {e}"))?;
+    let cancel = crate::sigint::arm();
+    eprintln!(
+        "serve: listening on {socket} — {} cached cell(s), {} compute slot(s), {} ms request \
+         timeout (Ctrl-C to stop)",
+        server.journal.completed_cells(),
+        args.max_inflight,
+        args.request_timeout_ms
+    );
+    while !cancel.load(std::sync::atomic::Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let server = Arc::clone(&server);
+                std::thread::spawn(move || {
+                    let _ = stream.set_nonblocking(false);
+                    let Ok(reader) = stream.try_clone() else {
+                        return;
+                    };
+                    let mut reader = std::io::BufReader::new(reader);
+                    let mut stream = stream;
+                    let mut line = String::new();
+                    loop {
+                        line.clear();
+                        match std::io::BufRead::read_line(&mut reader, &mut line) {
+                            Ok(0) | Err(_) => return,
+                            Ok(_) => {
+                                let trimmed = line.trim();
+                                if trimmed.is_empty() {
+                                    continue;
+                                }
+                                let resp = server.handle(trimmed);
+                                if stream
+                                    .write_all(resp.as_bytes())
+                                    .and_then(|()| stream.write_all(b"\n"))
+                                    .is_err()
+                                {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(path);
+                return Err(format!("accept on {socket} failed: {e}").into());
+            }
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    eprintln!("serve: shut down — {}", server.stats_line());
+    Ok(())
+}
+
+#[cfg(not(unix))]
+pub(crate) fn run_serve(_args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    Err("serve needs Unix domain sockets, which this platform does not have".into())
+}
+
+/// `dirext query`: one request to a running `serve` daemon. Prints the
+/// raw JSON response line to stdout. Exit codes: 0 answered (hit,
+/// computed, or stats), 3 shed (busy or timeout — retry later), 1 error.
+///
+/// # Errors
+///
+/// Connection failures (with a hint to start `serve`) and server-side
+/// `error` responses.
+#[cfg(unix)]
+pub(crate) fn run_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let Some(socket) = &args.socket else {
+        return Err("query needs --socket PATH (where `dirext serve` is listening)".into());
+    };
+    let request = if args.stats {
+        response(vec![("cmd", Content::Str("stats".to_owned()))])
+    } else {
+        let app = args.app.unwrap_or(App::Mp3d);
+        response(vec![
+            ("app", Content::Str(app.name().to_owned())),
+            ("procs", Content::U64(args.procs as u64)),
+            ("scale", Content::Str(args.scale.to_string())),
+            (
+                "protocol",
+                Content::Str(args.protocol.name().to_owned()),
+            ),
+            (
+                "consistency",
+                Content::Str(
+                    match args.consistency {
+                        Consistency::Rc => "rc",
+                        Consistency::Sc => "sc",
+                    }
+                    .to_owned(),
+                ),
+            ),
+            ("network", Content::Str(network_label(args.network))),
+        ])
+    };
+    let mut stream = UnixStream::connect(socket).map_err(|e| {
+        format!("cannot connect to {socket}: {e} (is `dirext serve --socket {socket}` running?)")
+    })?;
+    stream.write_all(request.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reply = String::new();
+    BufReader::new(&stream).read_line(&mut reply)?;
+    let reply = reply.trim();
+    if reply.is_empty() {
+        return Err("server closed the connection without answering".into());
+    }
+    println!("{reply}");
+    let parsed: Content = serde_json::from_str(reply)
+        .map_err(|e| format!("malformed server response: {e}"))?;
+    match parsed.get("status").as_str().unwrap_or("") {
+        "busy" | "timeout" => {
+            // Explicit shed: distinct exit code so scripts can retry.
+            let _ = std::io::stdout().flush();
+            std::process::exit(3);
+        }
+        "error" => Err(format!(
+            "server error: {}",
+            parsed.get("error").as_str().unwrap_or("unknown")
+        )
+        .into()),
+        _ => Ok(()),
+    }
+}
+
+#[cfg(not(unix))]
+pub(crate) fn run_query(_args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    Err("query needs Unix domain sockets, which this platform does not have".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_journal(name: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!(
+            "dirext-serve-unit-{}-{name}.jsonl",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        path
+    }
+
+    fn server(name: &str, max_inflight: usize, timeout_ms: u64, slow_ms: u64) -> Arc<Server> {
+        let journal = Arc::new(Journal::create(tmp_journal(name)).expect("journal"));
+        Arc::new(Server::new(
+            journal,
+            max_inflight,
+            Duration::from_millis(timeout_ms),
+            slow_ms,
+        ))
+    }
+
+    fn status(resp: &str) -> String {
+        let v: Content = serde_json::from_str(resp).expect("response JSON");
+        v.get("status").as_str().unwrap_or("").to_owned()
+    }
+
+    const WATER: &str = r#"{"app":"Water","procs":4,"scale":"tiny"}"#;
+    const LU: &str = r#"{"app":"LU","procs":4,"scale":"tiny"}"#;
+    const MP3D: &str = r#"{"app":"MP3D","procs":4,"scale":"tiny"}"#;
+
+    #[test]
+    fn computes_then_hits() {
+        let s = server("compute-hit", 2, 10_000, 0);
+        assert_eq!(status(&s.handle(WATER)), "computed");
+        let second = s.handle(WATER);
+        assert_eq!(status(&second), "hit");
+        assert!(second.contains("exec_cycles"), "hit carries metrics: {second}");
+        let stats = s.handle(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"hits\":1"), "{stats}");
+        assert!(stats.contains("\"computed\":1"), "{stats}");
+    }
+
+    #[test]
+    fn sheds_load_when_saturated_but_serves_hits() {
+        let s = server("shed", 1, 10_000, 400);
+        // Prime the cache through a fast twin sharing the same journal:
+        // hits must keep flowing while the slow server's one slot is busy.
+        let fast = Arc::new(Server::new(
+            Arc::clone(&s.journal),
+            1,
+            Duration::from_millis(10_000),
+            0,
+        ));
+        assert_eq!(status(&fast.handle(MP3D)), "computed");
+        let slow = Arc::clone(&s);
+        let bg = std::thread::spawn(move || status(&slow.handle(WATER)));
+        std::thread::sleep(Duration::from_millis(100));
+        // The single compute slot is held by the Water request: a new
+        // miss is shed with an explicit busy response...
+        assert_eq!(status(&s.handle(LU)), "busy");
+        // ...while a cached cell is still served.
+        assert_eq!(status(&s.handle(MP3D)), "hit");
+        assert_eq!(bg.join().expect("bg"), "computed");
+        // Slot released: the shed request now goes through.
+        assert_eq!(status(&s.handle(LU)), "computed");
+    }
+
+    #[test]
+    fn timeout_releases_client_and_caches_result() {
+        let s = server("timeout", 2, 80, 300);
+        assert_eq!(status(&s.handle(WATER)), "timeout");
+        // The compute keeps running past the client timeout and journals
+        // its result; once it lands, the retry is a hit.
+        std::thread::sleep(Duration::from_millis(600));
+        assert_eq!(status(&s.handle(WATER)), "hit");
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        let s = server("reject", 2, 1_000, 0);
+        assert_eq!(status(&s.handle("not json")), "error");
+        assert_eq!(status(&s.handle(r#"{"cmd":"nope"}"#)), "error");
+        assert_eq!(status(&s.handle(r#"{"procs":4}"#)), "error");
+        assert_eq!(
+            status(&s.handle(r#"{"app":"Water","protocol":"CW","consistency":"sc"}"#)),
+            "error"
+        );
+        assert_eq!(status(&s.handle(r#"{"app":"Water","procs":0}"#)), "error");
+        let stats = s.handle(r#"{"cmd":"stats"}"#);
+        assert!(stats.contains("\"errors\":5"), "{stats}");
+    }
+}

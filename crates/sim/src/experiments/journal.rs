@@ -36,6 +36,16 @@
 //! are dropped on load and counted in [`Journal::recovered_lines`].
 //! Failed cells are *not* treated as completed — a resumed sweep runs
 //! them again.
+//!
+//! # Fencing tokens
+//!
+//! Every record carries a `fence` — the fencing token of the lease under
+//! which the cell ran (0 for single-process sweeps). In fleet mode a cell
+//! whose worker died can be reclaimed and re-run under a strictly higher
+//! fence; when [`assemble`] folds multiple worker journals, duplicate
+//! keys resolve last-wins **by fence**, so a stale completion from a
+//! paused-then-resumed dead worker can never shadow the reclaimer's
+//! result. Pre-fleet journals (no `fence` field) load as fence 0.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -56,7 +66,7 @@ use crate::NetworkKind;
 pub const HEADER: &str = "{\"dirext_journal\":1}";
 
 /// One record of the journal file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize)]
 struct JournalLine {
     /// The cell key (see the module docs).
     key: String,
@@ -64,15 +74,43 @@ struct JournalLine {
     status: String,
     /// How many attempts the cell took (1 = first try).
     attempts: u32,
+    /// Fencing token of the lease the cell ran under (0 = unfenced).
+    fence: u64,
     /// The rendered error for failed cells.
     error: Option<String>,
     /// The full result record for completed cells.
     metrics: Option<Metrics>,
 }
 
+// Hand-written so `fence` can default to 0: journals written before fleet
+// mode lack the field, and the derive's `field()` hard-errors on missing
+// keys (which would silently drop every pre-fence record as "recovered").
+impl Deserialize for JournalLine {
+    fn deserialize(content: &serde::Content) -> Result<Self, String> {
+        let fence = match content.get("fence") {
+            serde::Content::Null => 0,
+            v => u64::deserialize(v).map_err(|e| format!("field `fence`: {e}"))?,
+        };
+        Ok(JournalLine {
+            key: serde::field(content, "key")?,
+            status: serde::field(content, "status")?,
+            attempts: serde::field(content, "attempts")?,
+            fence,
+            error: serde::field(content, "error")?,
+            metrics: serde::field(content, "metrics")?,
+        })
+    }
+}
+
 /// A journal open/parse failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JournalError(String);
+
+impl JournalError {
+    pub(crate) fn new(msg: impl Into<String>) -> JournalError {
+        JournalError(msg.into())
+    }
+}
 
 impl fmt::Display for JournalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -82,10 +120,35 @@ impl fmt::Display for JournalError {
 
 impl std::error::Error for JournalError {}
 
+/// One completed cell as read back from a journal file.
+#[derive(Debug, Clone)]
+pub struct OkCell {
+    /// Fencing token the cell completed under (0 = unfenced).
+    pub fence: u64,
+    /// Attempts the cell took.
+    pub attempts: u32,
+    /// The recorded result.
+    pub metrics: Metrics,
+}
+
+/// One failed cell's diagnostics as read back from a journal file.
+#[derive(Debug, Clone)]
+pub struct FailedCell {
+    /// Fencing token the cell failed under (0 = unfenced).
+    pub fence: u64,
+    /// Attempts the cell took before giving up.
+    pub attempts: u32,
+    /// The rendered error.
+    pub error: String,
+}
+
 struct Inner {
     file: std::fs::File,
     /// Completed cells only (failed cells must re-run on resume).
-    completed: HashMap<String, Metrics>,
+    completed: HashMap<String, OkCell>,
+    /// Terminal failures (diagnostics for quarantine reports; a key never
+    /// appears in both maps — success outranks failure).
+    failed: HashMap<String, FailedCell>,
     /// Set when an append fails; surfaces as a sweep error so an
     /// interrupted run is never silently un-resumable.
     write_error: Option<String>,
@@ -107,6 +170,85 @@ impl fmt::Debug for Journal {
             .field("loaded", &self.loaded)
             .field("recovered", &self.recovered)
             .finish_non_exhaustive()
+    }
+}
+
+/// Parses journal record lines (everything after the header), building
+/// the completed/failed maps with last-wins semantics.
+fn parse_records<'a>(
+    lines: impl Iterator<Item = &'a str>,
+) -> (HashMap<String, OkCell>, HashMap<String, FailedCell>, usize, usize) {
+    let mut completed: HashMap<String, OkCell> = HashMap::new();
+    let mut failed: HashMap<String, FailedCell> = HashMap::new();
+    let mut loaded = 0usize;
+    let mut recovered = 0usize;
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<JournalLine>(line) {
+            Ok(rec) => {
+                loaded += 1;
+                if rec.status == "ok" {
+                    if let Some(m) = rec.metrics {
+                        // Last record wins: a re-run overrides history.
+                        completed.insert(
+                            rec.key.clone(),
+                            OkCell {
+                                fence: rec.fence,
+                                attempts: rec.attempts,
+                                metrics: m,
+                            },
+                        );
+                        failed.remove(&rec.key);
+                    }
+                } else {
+                    // A failure never invalidates an earlier success
+                    // (deterministic cells cannot regress without a code
+                    // change, and re-running is always safe).
+                    if !completed.contains_key(&rec.key) {
+                        failed.insert(
+                            rec.key,
+                            FailedCell {
+                                fence: rec.fence,
+                                attempts: rec.attempts,
+                                error: rec.error.unwrap_or_default(),
+                            },
+                        );
+                    }
+                }
+            }
+            Err(_) => recovered += 1,
+        }
+    }
+    (completed, failed, loaded, recovered)
+}
+
+/// Classifies the first line of a journal file.
+enum HeaderCheck {
+    /// Valid header; parse the rest.
+    Ok,
+    /// Empty file or a crash-torn header prefix: treat as fresh.
+    Fresh { recovered: usize },
+    /// Some other file entirely.
+    Foreign,
+}
+
+fn check_header(text: &str) -> HeaderCheck {
+    let mut lines = text.lines();
+    match lines.next() {
+        None => HeaderCheck::Fresh { recovered: 0 },
+        Some(first) if first.trim() == HEADER => HeaderCheck::Ok,
+        // A SIGKILL during `create` can leave a prefix of the header with
+        // no newline; no record can follow it, so starting over is safe.
+        Some(first)
+            if HEADER.starts_with(first.trim_end())
+                && lines.next().is_none()
+                && !text.ends_with('\n') =>
+        {
+            HeaderCheck::Fresh { recovered: 1 }
+        }
+        Some(_) => HeaderCheck::Foreign,
     }
 }
 
@@ -140,6 +282,7 @@ impl Journal {
             inner: Mutex::new(Inner {
                 file,
                 completed: HashMap::new(),
+                failed: HashMap::new(),
                 write_error: None,
             }),
             loaded: 0,
@@ -147,9 +290,10 @@ impl Journal {
         })
     }
 
-    /// Opens an existing journal and loads its completed cells; a missing
-    /// file starts a fresh journal (so `--resume` on the first run of a
-    /// sweep just works).
+    /// Opens an existing journal and loads its completed cells; a missing,
+    /// zero-length, or header-torn file starts a fresh journal (so
+    /// `--resume` on the first run of a sweep just works, and a `SIGKILL`
+    /// landing inside `create` is survivable).
     ///
     /// Unparseable lines — the typical aftermath of a `SIGKILL` landing
     /// mid-append — are dropped and counted in
@@ -168,38 +312,22 @@ impl Journal {
             }
             Err(e) => return Err(JournalError(format!("cannot read {}: {e}", path.display()))),
         };
-        let mut lines = text.lines();
-        if lines.next().map(str::trim) != Some(HEADER) {
-            return Err(JournalError(format!(
-                "{} is not a dirext journal (missing `{HEADER}` header)",
-                path.display()
-            )));
-        }
-        let mut completed = HashMap::new();
-        let mut loaded = 0usize;
-        let mut recovered = 0usize;
-        for line in lines {
-            if line.trim().is_empty() {
-                continue;
+        match check_header(&text) {
+            HeaderCheck::Ok => {}
+            HeaderCheck::Fresh { recovered } => {
+                std::fs::remove_file(path).ok();
+                let mut j = Journal::create(path)?;
+                j.recovered = recovered;
+                return Ok(j);
             }
-            match serde_json::from_str::<JournalLine>(line) {
-                Ok(rec) => {
-                    loaded += 1;
-                    if rec.status == "ok" {
-                        if let Some(m) = rec.metrics {
-                            // Last record wins: a re-run overrides history.
-                            completed.insert(rec.key, m);
-                        }
-                    } else {
-                        // A later failure invalidates an earlier success
-                        // only if it is for the same key *after* it; keep
-                        // the success (deterministic cells cannot regress
-                        // without a code change, and re-running is safe).
-                    }
-                }
-                Err(_) => recovered += 1,
+            HeaderCheck::Foreign => {
+                return Err(JournalError(format!(
+                    "{} is not a dirext journal (missing `{HEADER}` header)",
+                    path.display()
+                )));
             }
         }
+        let (completed, failed, loaded, recovered) = parse_records(text.lines().skip(1));
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -209,6 +337,7 @@ impl Journal {
             inner: Mutex::new(Inner {
                 file,
                 completed,
+                failed,
                 write_error: None,
             }),
             loaded,
@@ -243,15 +372,66 @@ impl Journal {
             .expect("journal lock")
             .completed
             .get(key)
+            .map(|c| c.metrics.clone())
+    }
+
+    /// Like [`Journal::lookup`], but also returns the fencing token the
+    /// cell completed under.
+    pub fn lookup_fenced(&self, key: &str) -> Option<(u64, Metrics)> {
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .completed
+            .get(key)
+            .map(|c| (c.fence, c.metrics.clone()))
+    }
+
+    /// Finds a completed cell whose key matches `suffix` — everything
+    /// after the driver component — regardless of which driver recorded
+    /// it. Ties resolve to the lexicographically smallest full key, so
+    /// the answer is deterministic across journal layouts. Used by the
+    /// result server to satisfy queries from any sweep's records.
+    pub fn lookup_config(&self, suffix: &str) -> Option<(String, Metrics)> {
+        let inner = self.inner.lock().expect("journal lock");
+        let mut best: Option<&String> = None;
+        for key in inner.completed.keys() {
+            if key.split_once('/').map(|(_, rest)| rest) == Some(suffix)
+                && best.is_none_or(|b| key < b)
+            {
+                best = Some(key);
+            }
+        }
+        best.map(|k| (k.clone(), inner.completed[k].metrics.clone()))
+    }
+
+    /// Whether `key` is recorded as a terminal failure (and not since
+    /// superseded by a success).
+    pub fn is_failed(&self, key: &str) -> bool {
+        self.inner.lock().expect("journal lock").failed.contains_key(key)
+    }
+
+    /// The recorded diagnostics for a failed cell.
+    pub fn failed_cell(&self, key: &str) -> Option<FailedCell> {
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .failed
+            .get(key)
             .cloned()
     }
 
     /// Appends a completed cell (flushed before returning).
     pub fn record_ok(&self, key: &str, attempts: u32, metrics: &Metrics) {
+        self.record_ok_fenced(key, attempts, 0, metrics);
+    }
+
+    /// Appends a completed cell under a fencing token.
+    pub fn record_ok_fenced(&self, key: &str, attempts: u32, fence: u64, metrics: &Metrics) {
         self.append(JournalLine {
             key: key.to_owned(),
             status: "ok".to_owned(),
             attempts,
+            fence,
             error: None,
             metrics: Some(metrics.clone()),
         });
@@ -260,10 +440,16 @@ impl Journal {
     /// Appends a failed cell (diagnostic only — failed cells re-run on
     /// resume).
     pub fn record_failed(&self, key: &str, attempts: u32, error: &str) {
+        self.record_failed_fenced(key, attempts, 0, error);
+    }
+
+    /// Appends a failed cell under a fencing token.
+    pub fn record_failed_fenced(&self, key: &str, attempts: u32, fence: u64, error: &str) {
         self.append(JournalLine {
             key: key.to_owned(),
             status: "failed".to_owned(),
             attempts,
+            fence,
             error: Some(error.to_owned()),
             metrics: None,
         });
@@ -273,6 +459,19 @@ impl Journal {
     /// orchestrator after the run so a broken journal is never silent).
     pub fn take_write_error(&self) -> Option<String> {
         self.inner.lock().expect("journal lock").write_error.take()
+    }
+
+    /// Whether an append error is pending (without consuming it).
+    pub fn has_write_error(&self) -> bool {
+        self.inner.lock().expect("journal lock").write_error.is_some()
+    }
+
+    /// Injects a pending write error, exactly as a failed append would.
+    /// Test hook for the must-fail-the-run contract; not for production
+    /// use.
+    #[doc(hidden)]
+    pub fn inject_write_error(&self, msg: &str) {
+        self.note_write_error(msg.to_owned());
     }
 
     fn append(&self, line: JournalLine) {
@@ -295,8 +494,25 @@ impl Journal {
         }
         if line.status == "ok" {
             if let Some(m) = line.metrics {
-                inner.completed.insert(line.key, m);
+                inner.failed.remove(&line.key);
+                inner.completed.insert(
+                    line.key,
+                    OkCell {
+                        fence: line.fence,
+                        attempts: line.attempts,
+                        metrics: m,
+                    },
+                );
             }
+        } else if !inner.completed.contains_key(&line.key) {
+            inner.failed.insert(
+                line.key,
+                FailedCell {
+                    fence: line.fence,
+                    attempts: line.attempts,
+                    error: line.error.unwrap_or_default(),
+                },
+            );
         }
     }
 
@@ -307,6 +523,157 @@ impl Journal {
             .write_error
             .get_or_insert(msg);
     }
+}
+
+/// A read-only parse of a journal file (no append handle taken).
+#[derive(Debug, Default)]
+pub struct JournalScan {
+    /// Completed cells, last-wins within the file.
+    pub completed: HashMap<String, OkCell>,
+    /// Terminal failures not superseded by a success.
+    pub failed: HashMap<String, FailedCell>,
+    /// Parsed record count.
+    pub loaded: usize,
+    /// Unparseable (crash-torn) lines dropped.
+    pub recovered: usize,
+}
+
+/// Parses a journal file without opening it for append. As lenient as
+/// [`Journal::resume`]: a missing, empty, or header-torn file scans as
+/// empty (a fleet sibling may have died inside `create`).
+///
+/// # Errors
+///
+/// Reports I/O errors and files that are recognizably not dirext
+/// journals.
+pub fn scan(path: impl AsRef<Path>) -> Result<JournalScan, JournalError> {
+    let path = path.as_ref();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalScan::default()),
+        Err(e) => return Err(JournalError(format!("cannot read {}: {e}", path.display()))),
+    };
+    match check_header(&text) {
+        HeaderCheck::Ok => {}
+        HeaderCheck::Fresh { recovered } => {
+            return Ok(JournalScan {
+                recovered,
+                ..JournalScan::default()
+            })
+        }
+        HeaderCheck::Foreign => {
+            return Err(JournalError(format!(
+                "{} is not a dirext journal (missing `{HEADER}` header)",
+                path.display()
+            )));
+        }
+    }
+    let (completed, failed, loaded, recovered) = parse_records(text.lines().skip(1));
+    Ok(JournalScan {
+        completed,
+        failed,
+        loaded,
+        recovered,
+    })
+}
+
+/// What [`assemble`] folded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssembleSummary {
+    /// Worker journals read.
+    pub workers: usize,
+    /// Distinct completed cells in the merged journal.
+    pub cells: usize,
+    /// Distinct terminally-failed (quarantined) cells.
+    pub failed: usize,
+    /// Crash-torn lines dropped across all inputs.
+    pub recovered: usize,
+}
+
+/// Folds one-or-many worker journals into a single merged journal at
+/// `out`, overwriting it. Duplicate keys resolve **last-wins by fencing
+/// token**: the record with the highest fence is kept (on a tie, the
+/// journal later in sorted-by-path order wins — ties only occur for
+/// unfenced records, where any copy is equally authoritative). A success
+/// under any fence outranks a stale failure. Output records are sorted
+/// by key, so the merged file is byte-deterministic regardless of which
+/// worker computed which cell.
+///
+/// # Errors
+///
+/// Reports I/O errors, unreadable inputs, and an empty `paths` list.
+pub fn assemble(paths: &[PathBuf], out: &Path) -> Result<AssembleSummary, JournalError> {
+    if paths.is_empty() {
+        return Err(JournalError("assemble: no worker journals to fold".into()));
+    }
+    let mut paths = paths.to_vec();
+    paths.sort();
+    let mut completed: HashMap<String, OkCell> = HashMap::new();
+    let mut failed: HashMap<String, FailedCell> = HashMap::new();
+    let mut recovered = 0usize;
+    for path in &paths {
+        let scan = scan(path)?;
+        recovered += scan.recovered;
+        for (key, cell) in scan.completed {
+            match completed.get(&key) {
+                Some(cur) if cur.fence > cell.fence => {}
+                _ => {
+                    completed.insert(key, cell);
+                }
+            }
+        }
+        for (key, cell) in scan.failed {
+            match failed.get(&key) {
+                Some(cur) if cur.fence > cell.fence => {}
+                _ => {
+                    failed.insert(key, cell);
+                }
+            }
+        }
+    }
+    failed.retain(|k, _| !completed.contains_key(k));
+    let mut text = String::from(HEADER);
+    text.push('\n');
+    let render = |line: &JournalLine| -> Result<String, JournalError> {
+        serde_json::to_string(line)
+            .map_err(|e| JournalError(format!("assemble: serialize {}: {e}", line.key)))
+    };
+    let mut ok_keys: Vec<&String> = completed.keys().collect();
+    ok_keys.sort();
+    for key in ok_keys {
+        let cell = &completed[key];
+        text.push_str(&render(&JournalLine {
+            key: key.clone(),
+            status: "ok".to_owned(),
+            attempts: cell.attempts,
+            fence: cell.fence,
+            error: None,
+            metrics: Some(cell.metrics.clone()),
+        })?);
+        text.push('\n');
+    }
+    let mut failed_keys: Vec<&String> = failed.keys().collect();
+    failed_keys.sort();
+    for key in failed_keys {
+        let cell = &failed[key];
+        text.push_str(&render(&JournalLine {
+            key: key.clone(),
+            status: "failed".to_owned(),
+            attempts: cell.attempts,
+            fence: cell.fence,
+            error: Some(cell.error.clone()),
+            metrics: None,
+        })?);
+        text.push('\n');
+    }
+    std::fs::write(out, text)
+        .map_err(|e| JournalError(format!("assemble: cannot write {}: {e}", out.display())))?;
+    Ok(AssembleSummary {
+        workers: paths.len(),
+        cells: completed.len(),
+        failed: failed.len(),
+        recovered,
+    })
 }
 
 /// Builds the deterministic cell key for one simulator configuration (see
@@ -379,6 +746,10 @@ mod tests {
         assert_eq!(j.completed_cells(), 1);
         assert_eq!(j.lookup("a/b/c").expect("hit").exec_cycles, 123);
         assert!(j.lookup("a/b/d").is_none(), "failed cells must re-run");
+        assert!(j.is_failed("a/b/d"));
+        let fc = j.failed_cell("a/b/d").expect("diagnostics survive resume");
+        assert_eq!(fc.attempts, 3);
+        assert!(fc.error.contains("watchdog"));
         std::fs::remove_file(&path).ok();
     }
 
@@ -407,6 +778,7 @@ mod tests {
         std::fs::write(&path, "not a journal\n").unwrap();
         assert!(Journal::create(&path).is_err());
         assert!(Journal::resume(&path).is_err());
+        assert!(scan(&path).is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -417,6 +789,148 @@ mod tests {
         let j = Journal::resume(&path).expect("fresh");
         assert_eq!(j.completed_cells(), 0);
         assert_eq!(j.loaded_records(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_on_zero_length_file_starts_fresh() {
+        let path = tmp("zero");
+        std::fs::write(&path, "").unwrap();
+        let j = Journal::resume(&path).expect("zero-length file is a fresh journal");
+        assert_eq!(j.completed_cells(), 0);
+        assert_eq!(j.recovered_lines(), 0);
+        j.record_ok("z1", 1, &sample_metrics(7));
+        drop(j);
+        let j = Journal::resume(&path).expect("and it round-trips");
+        assert_eq!(j.lookup("z1").expect("hit").exec_cycles, 7);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_on_truncated_header_starts_fresh() {
+        let path = tmp("torn-header");
+        // SIGKILL mid-`create`: a strict prefix of the header, no newline.
+        std::fs::write(&path, &HEADER[..HEADER.len() / 2]).unwrap();
+        let j = Journal::resume(&path).expect("torn header is recoverable");
+        assert_eq!(j.completed_cells(), 0);
+        assert_eq!(j.recovered_lines(), 1, "the torn header counts as recovered");
+        j.record_ok("t1", 1, &sample_metrics(9));
+        drop(j);
+        let j = Journal::resume(&path).expect("rewritten header round-trips");
+        assert_eq!(j.lookup("t1").expect("hit").exec_cycles, 9);
+        // But a complete first line that is not our header stays foreign.
+        std::fs::write(&path, "{\"other\":1}\n").unwrap();
+        assert!(Journal::resume(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_fence_records_load_as_fence_zero() {
+        let path = tmp("prefence");
+        let metrics_json = serde_json::to_string(&sample_metrics(5)).unwrap();
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER}\n{{\"key\":\"old/cell\",\"status\":\"ok\",\"attempts\":1,\
+                 \"error\":null,\"metrics\":{metrics_json}}}\n"
+            ),
+        )
+        .unwrap();
+        let j = Journal::resume(&path).expect("pre-fence journal loads");
+        assert_eq!(j.recovered_lines(), 0, "old records are not dropped");
+        assert_eq!(j.lookup_fenced("old/cell").expect("hit").0, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn assemble_duplicate_keys_resolve_by_fence() {
+        let dir = tmp("assemble");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("worker-a.jsonl");
+        let b = dir.join("worker-b.jsonl");
+        // Worker a completed the cell under fence 3 *after* worker b's
+        // stale fence-2 completion; metrics deliberately differ so the
+        // assertion can tell which record won.
+        let ja = Journal::create(&a).unwrap();
+        ja.record_ok_fenced("s/dup", 1, 3, &sample_metrics(300));
+        ja.record_ok_fenced("s/only-a", 1, 1, &sample_metrics(11));
+        drop(ja);
+        let jb = Journal::create(&b).unwrap();
+        jb.record_ok_fenced("s/dup", 1, 2, &sample_metrics(200));
+        jb.record_ok_fenced("s/only-b", 1, 1, &sample_metrics(22));
+        jb.record_failed_fenced("s/bad", 2, 1, "deadlock");
+        drop(jb);
+        let out = dir.join("assembled.jsonl");
+        let summary = assemble(&[b.clone(), a.clone()], &out).expect("assemble");
+        assert_eq!(summary.workers, 2);
+        assert_eq!(summary.cells, 3);
+        assert_eq!(summary.failed, 1);
+        let merged = Journal::resume(&out).expect("merged journal loads");
+        let (fence, m) = merged.lookup_fenced("s/dup").expect("dup resolved");
+        assert_eq!(fence, 3, "highest fence wins");
+        assert_eq!(m.exec_cycles, 300, "the fence-3 record's metrics won");
+        assert!(merged.lookup("s/only-a").is_some());
+        assert!(merged.lookup("s/only-b").is_some());
+        assert!(merged.is_failed("s/bad"));
+        // Assembly is byte-deterministic regardless of input order.
+        let out2 = dir.join("assembled2.jsonl");
+        assemble(&[a, b], &out2).expect("assemble again");
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&out2).unwrap(),
+            "merged bytes are independent of input order"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn assemble_success_outranks_stale_failure() {
+        let dir = tmp("assemble-fail");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("worker-a.jsonl");
+        let b = dir.join("worker-b.jsonl");
+        let ja = Journal::create(&a).unwrap();
+        ja.record_failed_fenced("s/cell", 3, 1, "watchdog");
+        drop(ja);
+        let jb = Journal::create(&b).unwrap();
+        jb.record_ok_fenced("s/cell", 1, 2, &sample_metrics(42));
+        drop(jb);
+        let out = dir.join("assembled.jsonl");
+        let summary = assemble(&[a, b], &out).expect("assemble");
+        assert_eq!(summary.cells, 1);
+        assert_eq!(summary.failed, 0, "the success shadows the failure");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lookup_config_matches_any_driver() {
+        let path = tmp("suffix");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path).unwrap();
+        j.record_ok("zeta/W@2.1.1/BASIC/RC/uniform/base/f=none", 1, &sample_metrics(1));
+        j.record_ok("alpha/W@2.1.1/BASIC/RC/uniform/base/f=none", 1, &sample_metrics(2));
+        let (key, _) = j
+            .lookup_config("W@2.1.1/BASIC/RC/uniform/base/f=none")
+            .expect("suffix hit");
+        assert_eq!(key, "alpha/W@2.1.1/BASIC/RC/uniform/base/f=none");
+        assert!(j.lookup_config("W@2.1.1/BASIC/SC/uniform/base/f=none").is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_error_injection_is_sticky_until_taken() {
+        let path = tmp("werr");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path).unwrap();
+        assert!(!j.has_write_error());
+        j.inject_write_error("disk full (simulated)");
+        j.inject_write_error("second error must not overwrite the first");
+        assert!(j.has_write_error());
+        let msg = j.take_write_error().expect("pending error");
+        assert!(msg.contains("disk full"));
+        assert!(!j.has_write_error());
         std::fs::remove_file(&path).ok();
     }
 

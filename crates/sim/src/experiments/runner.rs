@@ -16,8 +16,15 @@
 //! * **Retry with fault-seed rotation** — transiently-failing cells
 //!   ([`SimError::is_transient`] under an active fault plan) are retried
 //!   up to [`SweepOpts::retries`] times with the fault seed rotated by the
-//!   attempt number. The rotation is deterministic, so interrupted and
-//!   uninterrupted runs agree on every outcome.
+//!   attempt number and a bounded exponential backoff between attempts
+//!   ([`retry_backoff`]: seeded jitter, deterministic per cell key and
+//!   attempt). The rotation and the backoff schedule are both
+//!   deterministic, so interrupted and uninterrupted runs agree on every
+//!   outcome.
+//! * **Fleet mode** — with [`SweepOpts::fleet`] set, the sweep joins a
+//!   multi-process fleet sharing a lease file: workers claim disjoint
+//!   cells, heartbeat their leases, and reclaim cells whose worker died
+//!   (see [`super::fleet`]).
 //! * **Quarantine** — with [`SweepOpts::keep_going`], failing cells are
 //!   collected into a [`Quarantine`] report while their siblings finish;
 //!   without it the sweep stops claiming new cells after the first
@@ -38,6 +45,7 @@ use dirext_network::FaultPlan;
 use dirext_stats::Metrics;
 use dirext_trace::Workload;
 
+use super::fleet::Fleet;
 use super::journal::{cell_key, Journal};
 use super::pool;
 use crate::{Machine, MachineConfig, NetworkKind, SimError};
@@ -63,12 +71,24 @@ pub struct SweepOpts {
     /// Extra attempts for transiently-failing cells under an active fault
     /// plan (0 disables retry).
     pub retries: u32,
+    /// Base delay of the transient-retry backoff, in milliseconds.
+    pub retry_base_ms: u64,
+    /// Upper bound of the transient-retry backoff, in milliseconds.
+    pub retry_cap_ms: u64,
     /// Cooperative cancellation flag (e.g. armed by a SIGINT handler):
     /// checked between cells, drains in-flight work when set.
     pub cancel: Option<Arc<AtomicBool>>,
     /// Chaos hook: panic inside any cell whose key contains this substring
     /// (exercises the panic-isolation path in tests and CI smoke).
     pub chaos_panic: Option<String>,
+    /// Serve every cell from the journal without simulating: a miss is
+    /// [`SweepError::Incomplete`] (unless `keep_going`, which computes the
+    /// gaps). Used by `dirext assemble` to prove a merged journal covers
+    /// the sweep.
+    pub replay_only: bool,
+    /// Fleet coordinator: when set, the sweep claims cells through the
+    /// shared lease file instead of a process-private pool.
+    pub fleet: Option<Arc<Fleet>>,
 }
 
 impl Default for SweepOpts {
@@ -79,8 +99,12 @@ impl Default for SweepOpts {
             journal: None,
             keep_going: false,
             retries: 2,
+            retry_base_ms: 10,
+            retry_cap_ms: 2000,
             cancel: None,
             chaos_panic: None,
+            replay_only: false,
+            fleet: None,
         }
     }
 }
@@ -128,6 +152,29 @@ impl SweepOpts {
     /// `needle` (test/CI chaos hook).
     pub fn with_chaos_panic(mut self, needle: impl Into<String>) -> Self {
         self.chaos_panic = Some(needle.into());
+        self
+    }
+
+    /// Returns these options with the transient-retry backoff window set
+    /// (`base_ms` doubling per attempt up to `cap_ms`).
+    pub fn retry_backoff_ms(mut self, base_ms: u64, cap_ms: u64) -> Self {
+        self.retry_base_ms = base_ms;
+        self.retry_cap_ms = cap_ms;
+        self
+    }
+
+    /// Returns these options serving every cell from the journal (see
+    /// [`SweepOpts::replay_only`]).
+    pub fn replay_only(mut self) -> Self {
+        self.replay_only = true;
+        self
+    }
+
+    /// Returns these options running as one worker of `fleet` (the
+    /// fleet's worker journal becomes the sweep journal).
+    pub fn with_fleet(mut self, fleet: Arc<Fleet>) -> Self {
+        self.journal = Some(fleet.journal());
+        self.fleet = Some(fleet);
         self
     }
 }
@@ -230,8 +277,32 @@ pub enum SweepError {
         /// The panic payload, rendered.
         detail: String,
     },
+    /// A cell failed on a fleet worker (fail-fast mode). The diagnostics
+    /// were read back from that worker's journal rather than held
+    /// in-process, so only the rendered error text is available.
+    CellFailed {
+        /// The failing cell's key.
+        key: String,
+        /// Attempts made before giving up (0 when the worker died before
+        /// recording diagnostics).
+        attempts: u32,
+        /// The rendered error.
+        detail: String,
+    },
     /// `--keep-going`: the sweep completed but some cells failed.
     Quarantined(Quarantine),
+    /// Replay-only mode found cells the journal does not cover (see
+    /// [`SweepOpts::replay_only`]): the merged log is not a complete
+    /// record of this sweep.
+    Incomplete {
+        /// The sweep being replayed.
+        driver: String,
+        /// Cells with no completed record, in sweep order.
+        missing: Vec<String>,
+        /// How many of the missing cells are recorded as terminal
+        /// (quarantined) failures.
+        quarantined: usize,
+    },
     /// The sweep was cancelled cooperatively; completed cells are in the
     /// journal (when one is configured) and a `--resume` run picks up from
     /// there.
@@ -262,6 +333,34 @@ impl std::fmt::Display for SweepError {
             }
             SweepError::CellPanicked { key, detail } => {
                 write!(f, "cell {key} panicked: {detail}")
+            }
+            SweepError::CellFailed {
+                key,
+                attempts,
+                detail,
+            } => {
+                write!(f, "cell {key} failed after {attempts} attempt(s): {detail}")
+            }
+            SweepError::Incomplete {
+                driver,
+                missing,
+                quarantined,
+            } => {
+                writeln!(
+                    f,
+                    "journal does not cover {driver}: {} cell(s) missing ({quarantined} quarantined):",
+                    missing.len()
+                )?;
+                for key in missing.iter().take(8) {
+                    writeln!(f, "  {key}")?;
+                }
+                if missing.len() > 8 {
+                    writeln!(f, "  ... and {} more", missing.len() - 8)?;
+                }
+                write!(
+                    f,
+                    "finish the fleet sweep (or pass --keep-going to compute the gaps locally)"
+                )
             }
             SweepError::Quarantined(q) => {
                 writeln!(
@@ -314,7 +413,7 @@ impl SweepError {
 }
 
 /// Per-cell outcome inside the pool (before sweep-level aggregation).
-enum Outcome {
+pub(super) enum Outcome {
     Ok(Box<Metrics>),
     Failed(CellFailure),
 }
@@ -354,6 +453,27 @@ pub fn run_cells(
         })
         .collect();
 
+    if let Some(fleet) = &opts.fleet {
+        return super::fleet::run_fleet(driver, &keys, cells, opts, fleet);
+    }
+    if opts.replay_only && !opts.keep_going {
+        if let Some(journal) = &opts.journal {
+            let missing: Vec<String> = keys
+                .iter()
+                .filter(|k| journal.lookup(k).is_none())
+                .cloned()
+                .collect();
+            if !missing.is_empty() {
+                let quarantined = missing.iter().filter(|k| journal.is_failed(k)).count();
+                return Err(SweepError::Incomplete {
+                    driver: driver.to_owned(),
+                    missing,
+                    quarantined,
+                });
+            }
+        }
+    }
+
     let failed_fast = AtomicBool::new(false);
     let cancelled = || {
         opts.cancel
@@ -363,7 +483,7 @@ pub fn run_cells(
     let should_stop = || failed_fast.load(Ordering::Relaxed) || cancelled();
 
     let outcomes = pool::run_collect(opts.jobs, total, &should_stop, |i| {
-        let outcome = run_one(&keys[i], &cells[i], opts);
+        let outcome = run_one(&keys[i], &cells[i], opts, 0);
         if matches!(outcome, Outcome::Failed(_)) && !opts.keep_going {
             failed_fast.store(true, Ordering::Relaxed);
         }
@@ -437,9 +557,40 @@ pub(super) fn check_len(driver: &str, got: usize, want: usize) -> Result<(), Swe
     }
 }
 
+/// Deterministic bounded exponential backoff for transient-cell retries.
+///
+/// The window doubles from `base_ms` per attempt and is capped at
+/// `cap_ms`; the returned delay lands in the upper half of the window
+/// (`[window/2, window]`), positioned by a jitter seeded from the cell
+/// key and the attempt number. Determinism matters here for the same
+/// reason fault-seed rotation is deterministic: interrupted, resumed,
+/// and fleet-sharded sweeps must agree on every cell's schedule. The
+/// per-key jitter decorrelates cells that fail together, so a burst of
+/// transient failures does not retry in lockstep.
+pub fn retry_backoff(key: &str, attempt: u32, base_ms: u64, cap_ms: u64) -> Duration {
+    let attempt = attempt.max(1);
+    let window = base_ms
+        .max(1)
+        .saturating_mul(1u64 << (attempt - 1).min(20))
+        .min(cap_ms.max(1));
+    // FNV-1a over the key, mixed with the attempt, then one xorshift
+    // round to spread low-entropy inputs across the window.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in key.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h << 13;
+    h ^= h >> 7;
+    h ^= h << 17;
+    let half = window / 2;
+    Duration::from_millis(half + h % (window - half + 1))
+}
+
 /// Runs one cell: journal lookup, chaos hook, `catch_unwind`, bounded
-/// retry with fault-seed rotation, journal record.
-fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts) -> Outcome {
+/// retry with fault-seed rotation and jittered backoff, journal record.
+/// `fence` is the lease fencing token in fleet mode (0 = unfenced).
+pub(super) fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts, fence: u64) -> Outcome {
     if let Some(journal) = &opts.journal {
         if let Some(metrics) = journal.lookup(key) {
             return Outcome::Ok(Box::new(metrics));
@@ -476,20 +627,26 @@ fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts) -> Outcome {
         match result {
             Ok(Ok(metrics)) => {
                 if let Some(journal) = &opts.journal {
-                    journal.record_ok(key, attempt, &metrics);
+                    journal.record_ok_fenced(key, attempt, fence, &metrics);
                 }
                 return Outcome::Ok(Box::new(metrics));
             }
             Ok(Err(error)) => {
                 if error.is_transient() && attempt < max_attempts {
-                    // Brief backoff before the reseeded attempt; bounded so
-                    // a pathological cell cannot stall its worker for long.
-                    std::thread::sleep(Duration::from_millis(10u64 << attempt.min(4)));
+                    // Bounded, jittered backoff before the reseeded
+                    // attempt; deterministic per (key, attempt) so resumed
+                    // sweeps replay the identical schedule.
+                    std::thread::sleep(retry_backoff(
+                        key,
+                        attempt,
+                        opts.retry_base_ms,
+                        opts.retry_cap_ms,
+                    ));
                     continue;
                 }
                 let rendered = error.to_string();
                 if let Some(journal) = &opts.journal {
-                    journal.record_failed(key, attempt, &rendered);
+                    journal.record_failed_fenced(key, attempt, fence, &rendered);
                 }
                 return Outcome::Failed(CellFailure {
                     key: key.to_owned(),
@@ -502,7 +659,7 @@ fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts) -> Outcome {
             Err(payload) => {
                 let detail = panic_message(payload.as_ref());
                 if let Some(journal) = &opts.journal {
-                    journal.record_failed(key, attempt, &format!("panic: {detail}"));
+                    journal.record_failed_fenced(key, attempt, fence, &format!("panic: {detail}"));
                 }
                 return Outcome::Failed(CellFailure {
                     key: key.to_owned(),

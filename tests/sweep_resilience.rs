@@ -330,3 +330,114 @@ fn cancellation_drains_and_resume_completes_byte_identical() {
     assert_eq!(reference.csv(), resumed.csv());
     std::fs::remove_file(&path).ok();
 }
+
+// ---------------------------------------------------------------------
+// Deterministic bounded exponential backoff
+// ---------------------------------------------------------------------
+
+#[test]
+fn retry_backoff_is_deterministic_jittered_and_capped() {
+    use dirext_sim::experiments::retry_backoff;
+    let key = "fig2/MP3D@4.100.50/BASIC/RC/uniform/base/f=none";
+
+    // Deterministic: the same (key, attempt) always sleeps the same time.
+    for attempt in 1..=6 {
+        assert_eq!(
+            retry_backoff(key, attempt, 10, 2000),
+            retry_backoff(key, attempt, 10, 2000)
+        );
+    }
+
+    // Bounded: attempt n draws from [window/2, window] with
+    // window = min(base * 2^(n-1), cap).
+    for (attempt, window) in [(1u32, 10u64), (2, 20), (3, 40), (4, 80)] {
+        let d = retry_backoff(key, attempt, 10, 2000).as_millis() as u64;
+        assert!(
+            (window / 2..=window).contains(&d),
+            "attempt {attempt}: {d} ms outside [{}, {window}]",
+            window / 2
+        );
+    }
+
+    // Capped: the exponential stops growing at cap_ms.
+    for attempt in [10u32, 20, 63] {
+        let d = retry_backoff(key, attempt, 10, 2000).as_millis() as u64;
+        assert!((1000..=2000).contains(&d), "attempt {attempt}: {d} ms escaped the cap");
+    }
+
+    // Jittered: different cells desynchronize — across many keys the
+    // same attempt must not collapse onto one delay (that would re-herd
+    // the retries the jitter exists to spread).
+    let delays: std::collections::HashSet<u128> = (0..32)
+        .map(|i| retry_backoff(&format!("{key}/{i}"), 3, 10, 2000).as_millis())
+        .collect();
+    assert!(delays.len() > 8, "only {} distinct delays across 32 keys", delays.len());
+
+    // attempt 0 is treated as attempt 1, never a zero-length window.
+    assert!(retry_backoff(key, 0, 10, 2000) >= std::time::Duration::from_millis(5));
+}
+
+#[test]
+fn retries_account_attempts_with_custom_backoff() {
+    let w = App::Mp3d.workload(4, Scale::Tiny);
+    let (seed, _) =
+        find_transient_seed(&w).expect("a lossy seed that wedges the run must exist in 0..120");
+    // Tight backoff keeps the test fast; the journal records how many
+    // attempts each cell consumed, so the retry loop is accountable.
+    let path = tmp_journal("backoff-attempts");
+    let journal = Arc::new(Journal::create(&path).expect("journal"));
+    let r = miss_latency_with(
+        &[w],
+        &SweepOpts::jobs(1)
+            .with_fault(lossy(seed))
+            .retries(2)
+            .retry_backoff_ms(1, 4)
+            .keep_going()
+            .with_journal(Arc::clone(&journal)),
+    );
+    // Whether the rotated seeds cleared the cell or exhausted the retry
+    // budget, the attempt count must be journaled faithfully.
+    match r {
+        Ok(_) => {}
+        Err(SweepError::Quarantined(q)) => {
+            assert!(q.failures.iter().all(|f| f.attempts == 3), "1 try + 2 retries");
+        }
+        Err(other) => panic!("unexpected sweep error: {other}"),
+    }
+    let text = std::fs::read_to_string(&path).expect("journal text");
+    let attempts: Vec<u64> = text
+        .lines()
+        .skip(1)
+        .filter_map(|l| {
+            let at = l.split("\"attempts\":").nth(1)?;
+            at.split(&[',', '}'][..]).next()?.trim().parse().ok()
+        })
+        .collect();
+    assert!(!attempts.is_empty());
+    assert!(
+        attempts.iter().all(|&a| (1..=3).contains(&a)),
+        "attempts within budget: {attempts:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+// ---------------------------------------------------------------------
+// Journal write errors must fail the run
+// ---------------------------------------------------------------------
+
+#[test]
+fn pending_journal_write_error_fails_the_sweep() {
+    let s = suite();
+    let path = tmp_journal("write-error");
+    let journal = Arc::new(Journal::create(&path).expect("journal"));
+    journal.inject_write_error("disk full (simulated)");
+    let err = fig2_with(&s, &SweepOpts::jobs(2).with_journal(Arc::clone(&journal)))
+        .expect_err("a pending write error must fail the sweep");
+    match err {
+        SweepError::Journal(detail) => assert!(detail.contains("disk full"), "{detail}"),
+        other => panic!("expected SweepError::Journal, got {other:?}"),
+    }
+    // The error is drained exactly once: a follow-up run is clean.
+    assert!(journal.take_write_error().is_none());
+    std::fs::remove_file(&path).ok();
+}
