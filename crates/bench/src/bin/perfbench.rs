@@ -11,18 +11,26 @@
 //! - `BENCH_sweep.json` — one application end-to-end, and the Figure-2
 //!   sweep wall-clock serially vs on the worker pool (with an equality
 //!   check of the two CSVs).
-//! - `BENCH_e2e.json` — full MP3D + Water runs across every extension
-//!   config (all eight [`ProtocolKind`]s under release consistency),
-//!   reporting aggregate sim-cycles/sec and trace-events/sec. This section
-//!   always runs at `small`/16-proc scale — even under `--quick` — so a CI
-//!   smoke run produces numbers directly comparable to the committed
-//!   baseline; only the repetition count shrinks.
+//! - `BENCH_e2e.json` — full runs of **all five applications** across every
+//!   extension config (all eight [`ProtocolKind`]s under release
+//!   consistency), reporting sim-cycles/sec and trace-events/sec per
+//!   workload (with deterministic per-config cycle counts) plus the
+//!   aggregate. This section always runs at `small`/16-proc scale — even
+//!   under `--quick` — so a CI smoke run produces numbers directly
+//!   comparable to the committed baseline; only the repetition count
+//!   shrinks.
 //!
-//! Usage: `perfbench [--quick] [--jobs N] [--out-dir DIR] [--baseline FILE]`
+//! Usage: `perfbench [--quick] [--jobs N] [--out-dir DIR] [--baseline FILE]
+//! [--min-wall-secs S]`
 //! `--quick` shrinks op counts and problem scale for CI smoke runs.
-//! `--baseline FILE` compares the fresh end-to-end aggregate throughput
-//! against the `agg_sim_cycles_per_sec` recorded in FILE (a committed
-//! `BENCH_e2e.json`) and exits nonzero on a regression of more than 20%.
+//! `--baseline FILE` compares the fresh end-to-end throughput against FILE
+//! (a committed `BENCH_e2e.json`) and exits nonzero on a regression of more
+//! than 20% — per workload when FILE carries the per-workload schema, and
+//! on the aggregate either way.
+//! `--min-wall-secs S` scales each timed section's repetition count up
+//! until the section's timed reps cover at least `S` seconds of wall clock
+//! in total, so a fast machine cannot produce a median from two or three
+//! unmeasurably short samples.
 //!
 //! [`ProtocolKind`]: dirext_core::ProtocolKind
 
@@ -98,22 +106,65 @@ fn json_escape_free(s: &str) -> &str {
     s
 }
 
-/// Pulls the `agg_sim_cycles_per_sec` value out of a committed
-/// `BENCH_e2e.json` by string search — the key is named uniquely so no
-/// JSON parser is needed (serde_json in this workspace is an offline stub).
-fn baseline_agg_cycles_per_sec(path: &str) -> f64 {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
-    let key = "\"agg_sim_cycles_per_sec\":";
-    let at = text
-        .find(key)
-        .unwrap_or_else(|| panic!("--baseline {path}: no {key} field"));
-    let rest = text[at + key.len()..].trim_start();
+/// Parses the number following `key` in `text`, starting the search at
+/// byte offset `from`. Returns the value and the offset just past it.
+fn number_after(text: &str, key: &str, from: usize, what: &str) -> Option<(f64, usize)> {
+    let at = text[from..].find(key)? + from + key.len();
+    let rest = text[at..].trim_start();
+    let skipped = at + (text[at..].len() - rest.len());
     let end = rest
         .find(|c: char| !(c.is_ascii_digit() || c == '.'))
         .unwrap_or(rest.len());
-    rest[..end]
+    let v = rest[..end]
         .parse()
-        .unwrap_or_else(|e| panic!("--baseline {path}: bad {key} value: {e}"))
+        .unwrap_or_else(|e| panic!("{what}: bad {key} value: {e}"));
+    Some((v, skipped + end))
+}
+
+/// Pulls the `agg_sim_cycles_per_sec` value out of a committed
+/// `BENCH_e2e.json` by string search — the key is named uniquely so no
+/// JSON parser is needed (serde_json in this workspace is an offline stub).
+fn baseline_agg_cycles_per_sec(text: &str, path: &str) -> f64 {
+    number_after(text, "\"agg_sim_cycles_per_sec\":", 0, path)
+        .unwrap_or_else(|| panic!("--baseline {path}: no agg_sim_cycles_per_sec field"))
+        .0
+}
+
+/// Pulls the per-workload `(name, sim_cycles_per_sec)` pairs out of a
+/// committed `BENCH_e2e.json`. Workload entries use the `"workload":` key
+/// (the legacy `single_app` block uses `"app":`), so an old-schema baseline
+/// simply yields an empty list and the gate falls back to aggregate-only.
+fn baseline_workload_rates(text: &str, path: &str) -> Vec<(String, f64)> {
+    let mut rates = Vec::new();
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"workload\": \"") {
+        let name_start = from + at + "\"workload\": \"".len();
+        let name_len = text[name_start..]
+            .find('"')
+            .unwrap_or_else(|| panic!("--baseline {path}: unterminated workload name"));
+        let name = text[name_start..name_start + name_len].to_string();
+        let (rate, next) = number_after(
+            text,
+            "\"sim_cycles_per_sec\":",
+            name_start + name_len,
+            path,
+        )
+        .unwrap_or_else(|| panic!("--baseline {path}: workload {name} has no sim_cycles_per_sec"));
+        rates.push((name, rate));
+        from = next;
+    }
+    rates
+}
+
+/// Repetition count for a timed section: at least `base`, raised until the
+/// timed reps together span `min_wall_secs` of wall clock given one rep
+/// takes `per_rep_secs` (capped so a mis-measured warm-up cannot run away).
+fn reps_for(base: usize, per_rep_secs: f64, min_wall_secs: f64) -> usize {
+    if min_wall_secs <= 0.0 {
+        return base;
+    }
+    let need = (min_wall_secs / per_rep_secs.max(1e-9)).ceil() as usize;
+    base.max(need.min(1000))
 }
 
 fn main() {
@@ -122,6 +173,7 @@ fn main() {
     let mut jobs_requested = host_cpus;
     let mut out_dir = String::from(".");
     let mut baseline: Option<String> = None;
+    let mut min_wall_secs = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -131,6 +183,12 @@ fn main() {
             }
             "--out-dir" => out_dir = args.next().expect("--out-dir DIR"),
             "--baseline" => baseline = Some(args.next().expect("--baseline FILE")),
+            "--min-wall-secs" => {
+                min_wall_secs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--min-wall-secs S");
+            }
             other => panic!("unknown argument '{other}'"),
         }
     }
@@ -150,13 +208,16 @@ fn main() {
     let procs = if quick { 4 } else { 16 };
 
     // --- Kernel tier: event-queue push/pop ---------------------------------
-    eprintln!("perfbench: kernel hold model ({ops} ops x {reps} reps)...");
-    let two_tier_ns = median_of(reps, || hold_model!(EventQueue::with_capacity(4096), ops));
-    let heap_ns = median_of(reps, || hold_model!(HeapEventQueue::new(), ops));
+    // Warm-up probe doubles as the per-rep cost estimate for --min-wall-secs.
+    let probe_ns = hold_model!(EventQueue::with_capacity(4096), ops);
+    let kernel_reps = reps_for(reps, probe_ns * 2.0 * ops as f64 / 1e9, min_wall_secs);
+    eprintln!("perfbench: kernel hold model ({ops} ops x {kernel_reps} reps)...");
+    let two_tier_ns = median_of(kernel_reps, || hold_model!(EventQueue::with_capacity(4096), ops));
+    let heap_ns = median_of(kernel_reps, || hold_model!(HeapEventQueue::new(), ops));
     let kernel = format!(
         "{{\n  \"benchmark\": \"event_queue_hold_model\",\n  \
          \"description\": \"one pop + one push per op, 4096 live events, 1/8 far-future\",\n  \
-         \"ops\": {ops},\n  \"reps\": {reps},\n  \
+         \"ops\": {ops},\n  \"reps\": {kernel_reps},\n  \
          \"two_tier_ns_per_op\": {two_tier_ns:.2},\n  \
          \"heap_baseline_ns_per_op\": {heap_ns:.2},\n  \
          \"two_tier_events_per_sec\": {:.0},\n  \
@@ -186,8 +247,8 @@ fn main() {
         .expect("MP3D run");
         (t0.elapsed().as_secs_f64(), m.exec_cycles)
     };
-    let (_, exec_cycles) = run_once(); // warm-up, and the cycle count
-    let app_secs = median_of(reps, || run_once().0);
+    let (warm_secs, exec_cycles) = run_once(); // warm-up, and the cycle count
+    let app_secs = median_of(reps_for(reps, warm_secs, min_wall_secs), || run_once().0);
     let trace_events = w.total_events();
 
     // --- Sweep tier: Figure 2, serial vs pool ------------------------------
@@ -219,7 +280,10 @@ fn main() {
         .expect("fig2 journaled");
     let journaled_secs = t0.elapsed().as_secs_f64();
     let journal_identical = serial.csv() == journaled.csv();
-    assert!(journal_identical, "journaled sweep output diverged from serial");
+    assert!(
+        journal_identical,
+        "journaled sweep output diverged from serial"
+    );
     std::fs::remove_file(&journal_path).ok();
 
     // Same sweep as a single-worker fleet: measures the full coordination
@@ -228,10 +292,8 @@ fn main() {
     // cell, so this is the per-cell overhead ceiling a real N-worker fleet
     // amortises across processes.
     eprintln!("perfbench: fig2 sweep --jobs {jobs} as single-worker fleet...");
-    let fleet_dir = std::env::temp_dir().join(format!(
-        "dirext-perfbench-fleet-{}",
-        std::process::id()
-    ));
+    let fleet_dir =
+        std::env::temp_dir().join(format!("dirext-perfbench-fleet-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&fleet_dir);
     let fleet = experiments::Fleet::new(experiments::FleetConfig::new(&fleet_dir, "bench"))
         .expect("join bench fleet");
@@ -284,38 +346,66 @@ fn main() {
         fleet_secs / journaled_secs
     );
 
-    // --- End-to-end tier: every extension config, fixed scale --------------
+    // --- End-to-end tier: every app, every extension config, fixed scale ---
     // Always small/16 so quick CI runs stay comparable to the committed
     // baseline file; only the repetition count shrinks under --quick.
     let e2e_protocols = dirext_core::ProtocolKind::ALL;
-    let e2e_apps = [App::Mp3d, App::Water];
-    let e2e_loads: Vec<Workload> = e2e_apps
+    let e2e_loads: Vec<Workload> = App::ALL
         .iter()
         .map(|a| a.workload(16, Scale::Small))
         .collect();
     let e2e_configs = e2e_loads.len() * e2e_protocols.len();
     eprintln!(
-        "perfbench: end-to-end MP3D+Water x {} protocols (small, 16 procs, {reps} reps)...",
+        "perfbench: end-to-end {} apps x {} protocols (small, 16 procs)...",
+        e2e_loads.len(),
         e2e_protocols.len()
     );
-    let run_suite = || {
-        let t0 = Instant::now();
-        let mut cycles = 0u64;
-        for w in &e2e_loads {
+    // One timed section per workload: a rep runs the workload under all
+    // eight protocols. Per-config exec-cycle counts are deterministic, so
+    // they are recorded from the warm-up pass; wall clock is only trusted
+    // at workload granularity (single configs finish in milliseconds).
+    struct WorkloadBench {
+        app: &'static str,
+        reps: usize,
+        wall_secs: f64,
+        exec_cycles: u64,
+        trace_events: u64,
+        per_config: Vec<(&'static str, u64)>,
+    }
+    let mut workload_benches: Vec<WorkloadBench> = Vec::new();
+    for (app, w) in App::ALL.iter().zip(&e2e_loads) {
+        let run_wl = || {
+            let t0 = Instant::now();
+            let mut cycles = Vec::with_capacity(e2e_protocols.len());
             for kind in e2e_protocols {
                 let m = experiments::run_protocol(w, kind, dirext_core::Consistency::Rc)
                     .expect("e2e run");
-                cycles += m.exec_cycles;
+                cycles.push((kind.name(), m.exec_cycles));
             }
-        }
-        (t0.elapsed().as_secs_f64(), cycles)
-    };
-    let (_, e2e_cycles) = run_suite(); // warm-up, and the cycle total
-    let e2e_secs = median_of(reps, || run_suite().0);
-    let e2e_events: u64 = e2e_loads
-        .iter()
-        .map(|w| (w.total_events() * e2e_protocols.len()) as u64)
-        .sum();
+            (t0.elapsed().as_secs_f64(), cycles)
+        };
+        let (warm_secs, per_config) = run_wl(); // warm-up + deterministic cycles
+        let wl_reps = reps_for(reps, warm_secs, min_wall_secs / e2e_loads.len() as f64);
+        let wall_secs = median_of(wl_reps, || run_wl().0);
+        let exec_cycles = per_config.iter().map(|&(_, c)| c).sum();
+        eprintln!(
+            "  {}: {} configs x {wl_reps} reps, {wall_secs:.3}s/rep, {:.0} sim-cycles/sec",
+            app.name(),
+            e2e_protocols.len(),
+            exec_cycles as f64 / wall_secs
+        );
+        workload_benches.push(WorkloadBench {
+            app: app.name(),
+            reps: wl_reps,
+            wall_secs,
+            exec_cycles,
+            trace_events: (w.total_events() * e2e_protocols.len()) as u64,
+            per_config,
+        });
+    }
+    let e2e_cycles: u64 = workload_benches.iter().map(|b| b.exec_cycles).sum();
+    let e2e_events: u64 = workload_benches.iter().map(|b| b.trace_events).sum();
+    let e2e_secs: f64 = workload_benches.iter().map(|b| b.wall_secs).sum();
 
     // Single MP3D/BASIC at the same fixed scale: the direct comparison
     // point against historical BENCH_sweep.json single_app numbers.
@@ -330,21 +420,53 @@ fn main() {
         .expect("e2e MP3D run");
         (t0.elapsed().as_secs_f64(), m.exec_cycles)
     };
-    let (_, mp3d_cycles) = run_mp3d();
-    let mp3d_secs = median_of(reps, || run_mp3d().0);
+    let (mp3d_warm, mp3d_cycles) = run_mp3d();
+    let mp3d_secs = median_of(reps_for(reps, mp3d_warm, min_wall_secs), || run_mp3d().0);
     let mp3d_events = w0.total_events();
 
     let agg_cycles_per_sec = e2e_cycles as f64 / e2e_secs;
+    let per_workload_json: Vec<String> = workload_benches
+        .iter()
+        .map(|b| {
+            let configs: Vec<String> = b
+                .per_config
+                .iter()
+                .map(|&(name, cycles)| {
+                    format!(
+                        "        {{ \"protocol\": \"{}\", \"exec_cycles\": {cycles} }}",
+                        json_escape_free(name)
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\n      \"workload\": \"{}\",\n      \"reps\": {},\n      \
+                 \"trace_events\": {},\n      \"exec_cycles\": {},\n      \
+                 \"wall_secs\": {:.4},\n      \
+                 \"trace_events_per_sec\": {:.0},\n      \
+                 \"sim_cycles_per_sec\": {:.0},\n      \
+                 \"per_config\": [\n{}\n      ]\n    }}",
+                json_escape_free(b.app),
+                b.reps,
+                b.trace_events,
+                b.exec_cycles,
+                b.wall_secs,
+                b.trace_events as f64 / b.wall_secs,
+                b.exec_cycles as f64 / b.wall_secs,
+                configs.join(",\n")
+            )
+        })
+        .collect();
     let e2e = format!(
         "{{\n  \"benchmark\": \"end_to_end_all_configs\",\n  \
-         \"description\": \"full MP3D+Water runs across all 8 extension configs under RC\",\n  \
-         \"scale\": \"small\",\n  \"procs\": 16,\n  \"reps\": {reps},\n  \
+         \"description\": \"full runs of all 5 apps across all 8 extension configs under RC\",\n  \
+         \"scale\": \"small\",\n  \"procs\": 16,\n  \
          \"configs\": {e2e_configs},\n  \
          \"single_app\": {{\n    \"app\": \"MP3D\",\n    \"protocol\": \"BASIC\",\n    \
          \"trace_events\": {mp3d_events},\n    \"exec_cycles\": {mp3d_cycles},\n    \
          \"wall_secs\": {mp3d_secs:.4},\n    \
          \"trace_events_per_sec\": {:.0},\n    \
          \"sim_cycles_per_sec\": {:.0}\n  }},\n  \
+         \"per_workload\": [\n{}\n  ],\n  \
          \"aggregate\": {{\n    \"total_trace_events\": {e2e_events},\n    \
          \"total_exec_cycles\": {e2e_cycles},\n    \
          \"wall_secs\": {e2e_secs:.4},\n    \
@@ -352,6 +474,7 @@ fn main() {
          \"agg_sim_cycles_per_sec\": {agg_cycles_per_sec:.0}\n  }}\n}}\n",
         mp3d_events as f64 / mp3d_secs,
         mp3d_cycles as f64 / mp3d_secs,
+        per_workload_json.join(",\n"),
         e2e_events as f64 / e2e_secs,
     );
     std::fs::write(format!("{out_dir}/BENCH_e2e.json"), &e2e).expect("write BENCH_e2e.json");
@@ -362,7 +485,26 @@ fn main() {
     );
 
     if let Some(path) = &baseline {
-        let base = baseline_agg_cycles_per_sec(path);
+        let text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("--baseline {path}: {e}"));
+        // Per-workload gate (skipped for old-schema baselines, which carry
+        // no "workload" entries): every app must stay within 20% of its own
+        // recorded throughput, so a regression in one workload cannot hide
+        // behind an improvement in another.
+        for (name, base_rate) in baseline_workload_rates(&text, path) {
+            let Some(b) = workload_benches.iter().find(|b| b.app == name) else {
+                panic!("--baseline {path}: unknown workload {name}");
+            };
+            let fresh = b.exec_cycles as f64 / b.wall_secs;
+            let ratio = fresh / base_rate;
+            eprintln!("  e2e gate {name}: fresh {fresh:.0} vs baseline {base_rate:.0} ({ratio:.3}x)");
+            assert!(
+                ratio >= 0.8,
+                "{name} end-to-end throughput regressed more than 20% vs {path}: \
+                 {fresh:.0} < 0.8 * {base_rate:.0}"
+            );
+        }
+        let base = baseline_agg_cycles_per_sec(&text, path);
         let ratio = agg_cycles_per_sec / base;
         eprintln!("  e2e gate: fresh {agg_cycles_per_sec:.0} vs baseline {base:.0} ({ratio:.3}x)");
         assert!(

@@ -631,9 +631,10 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown network '{other}'")),
                 };
             }
-            other if parsed.command == "assemble"
-                && parsed.assemble_target.is_none()
-                && !other.starts_with('-') =>
+            other
+                if parsed.command == "assemble"
+                    && parsed.assemble_target.is_none()
+                    && !other.starts_with('-') =>
             {
                 parsed.assemble_target = Some(other.to_owned());
             }
@@ -1041,7 +1042,11 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("run-all: scaling...");
             let app = args.app.unwrap_or(App::Mp3d);
             if let Some(r) = quarantine_step(
-                experiments::scaling_with(app.name(), |procs| app.workload(procs, args.scale), &opts),
+                experiments::scaling_with(
+                    app.name(),
+                    |procs| app.workload(procs, args.scale),
+                    &opts,
+                ),
                 &mut acc,
             )? {
                 println!("{r}");
@@ -1200,7 +1205,10 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("report: figure 2...");
             section(
                 "Figure 2 — relative execution times (RC)",
-                render(experiments::fig2_with(&s, &opts).map(|r| r.to_string()), &mut acc)?,
+                render(
+                    experiments::fig2_with(&s, &opts).map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             eprintln!("report: table 2...");
             section(
@@ -1213,7 +1221,10 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("report: figure 3...");
             section(
                 "Figure 3 — sequential consistency",
-                render(experiments::fig3_with(&s, &opts).map(|r| r.to_string()), &mut acc)?,
+                render(
+                    experiments::fig3_with(&s, &opts).map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             eprintln!("report: table 3...");
             section(
@@ -1226,7 +1237,10 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("report: figure 4...");
             section(
                 "Figure 4 — network traffic",
-                render(experiments::fig4_with(&s, &opts).map(|r| r.to_string()), &mut acc)?,
+                render(
+                    experiments::fig4_with(&s, &opts).map(|r| r.to_string()),
+                    &mut acc,
+                )?,
             );
             eprintln!("report: sensitivity...");
             section(

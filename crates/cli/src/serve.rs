@@ -240,10 +240,7 @@ impl Server {
                 "inflight",
                 Content::U64(self.inflight.load(Ordering::Relaxed) as u64),
             ),
-            (
-                "max_inflight",
-                Content::U64(self.max_inflight as u64),
-            ),
+            ("max_inflight", Content::U64(self.max_inflight as u64)),
             (
                 "cached_cells",
                 Content::U64(self.journal.completed_cells() as u64),
@@ -576,10 +573,7 @@ pub(crate) fn run_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             ("app", Content::Str(app.name().to_owned())),
             ("procs", Content::U64(args.procs as u64)),
             ("scale", Content::Str(args.scale.to_string())),
-            (
-                "protocol",
-                Content::Str(args.protocol.name().to_owned()),
-            ),
+            ("protocol", Content::Str(args.protocol.name().to_owned())),
             (
                 "consistency",
                 Content::Str(
@@ -605,8 +599,8 @@ pub(crate) fn run_query(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         return Err("server closed the connection without answering".into());
     }
     println!("{reply}");
-    let parsed: Content = serde_json::from_str(reply)
-        .map_err(|e| format!("malformed server response: {e}"))?;
+    let parsed: Content =
+        serde_json::from_str(reply).map_err(|e| format!("malformed server response: {e}"))?;
     match parsed.get("status").as_str().unwrap_or("") {
         "busy" | "timeout" => {
             // Explicit shed: distinct exit code so scripts can retry.
@@ -666,7 +660,10 @@ mod tests {
         assert_eq!(status(&s.handle(WATER)), "computed");
         let second = s.handle(WATER);
         assert_eq!(status(&second), "hit");
-        assert!(second.contains("exec_cycles"), "hit carries metrics: {second}");
+        assert!(
+            second.contains("exec_cycles"),
+            "hit carries metrics: {second}"
+        );
         let stats = s.handle(r#"{"cmd":"stats"}"#);
         assert!(stats.contains("\"hits\":1"), "{stats}");
         assert!(stats.contains("\"computed\":1"), "{stats}");

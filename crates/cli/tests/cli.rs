@@ -251,7 +251,10 @@ fn help_documents_crash_safe_sweep_flags() {
     for flag in ["--journal", "--resume", "--keep-going"] {
         assert!(help.contains(flag), "help must mention {flag}");
     }
-    assert!(help.contains("130"), "help documents the interrupt exit code");
+    assert!(
+        help.contains("130"),
+        "help documents the interrupt exit code"
+    );
 }
 
 #[test]
@@ -271,7 +274,10 @@ fn journaled_sweep_resumes_with_identical_output() {
     ];
     let first = stdout(&args);
     let recorded = std::fs::read_to_string(&journal).unwrap();
-    assert!(recorded.lines().count() > 8, "header plus one line per cell");
+    assert!(
+        recorded.lines().count() > 8,
+        "header plus one line per cell"
+    );
 
     // Resuming over the complete journal replays every cell from the log
     // and reproduces the artifact byte for byte.

@@ -60,8 +60,17 @@ fn fleet_survives_kill9_and_assemble_matches_serial() {
     // it holds a lease.
     let mut victim: Child = bin()
         .args([
-            "fig2", "--scale", "tiny", "--fleet", dir_s, "--worker-id", "victim", "--lease-ms",
-            "600", "--heartbeat-ms", "100",
+            "fig2",
+            "--scale",
+            "tiny",
+            "--fleet",
+            dir_s,
+            "--worker-id",
+            "victim",
+            "--lease-ms",
+            "600",
+            "--heartbeat-ms",
+            "100",
         ])
         .env("DIREXT_FLEET_SLOW_MS", "30000")
         .stdout(Stdio::null())
@@ -83,8 +92,17 @@ fn fleet_survives_kill9_and_assemble_matches_serial() {
         .map(|id| {
             bin()
                 .args([
-                    "fig2", "--scale", "tiny", "--fleet", dir_s, "--worker-id", id, "--lease-ms",
-                    "600", "--heartbeat-ms", "100",
+                    "fig2",
+                    "--scale",
+                    "tiny",
+                    "--fleet",
+                    dir_s,
+                    "--worker-id",
+                    id,
+                    "--lease-ms",
+                    "600",
+                    "--heartbeat-ms",
+                    "100",
                 ])
                 .stdout(Stdio::piped())
                 .stderr(Stdio::null())
@@ -124,7 +142,10 @@ fn fleet_survives_kill9_and_assemble_matches_serial() {
 
     // assemble folds the worker journals and replays byte-identically.
     let assembled = stdout_ok(&["assemble", "fig2", "--scale", "tiny", "--fleet", dir_s]);
-    assert_eq!(assembled, serial, "assemble output is byte-identical to the serial run");
+    assert_eq!(
+        assembled, serial,
+        "assemble output is byte-identical to the serial run"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -135,7 +156,15 @@ fn assemble_refuses_incomplete_journals_unless_keep_going() {
     let dir_s = dir.to_str().expect("utf8 dir");
     // One worker sweeps only Water: 8 of the 40 fig2 cells.
     let partial = dirext(&[
-        "fig2", "--scale", "tiny", "--app", "water", "--fleet", dir_s, "--worker-id", "w0",
+        "fig2",
+        "--scale",
+        "tiny",
+        "--app",
+        "water",
+        "--fleet",
+        dir_s,
+        "--worker-id",
+        "w0",
     ]);
     assert!(partial.status.success());
 
@@ -144,7 +173,10 @@ fn assemble_refuses_incomplete_journals_unless_keep_going() {
     assert_eq!(refused.status.code(), Some(1));
     let err = String::from_utf8_lossy(&refused.stderr);
     assert!(err.contains("cell(s) missing"), "names the gap: {err}");
-    assert!(err.contains("--keep-going"), "points at the escape hatch: {err}");
+    assert!(
+        err.contains("--keep-going"),
+        "points at the escape hatch: {err}"
+    );
 
     // Restricted to the swept app, the same journal is complete.
     let water = stdout_ok(&[
@@ -155,9 +187,19 @@ fn assemble_refuses_incomplete_journals_unless_keep_going() {
 
     // --keep-going computes the 32 gaps locally instead of refusing.
     let kept = dirext(&[
-        "assemble", "fig2", "--scale", "tiny", "--fleet", dir_s, "--keep-going",
+        "assemble",
+        "fig2",
+        "--scale",
+        "tiny",
+        "--fleet",
+        dir_s,
+        "--keep-going",
     ]);
-    assert!(kept.status.success(), "{}", String::from_utf8_lossy(&kept.stderr));
+    assert!(
+        kept.status.success(),
+        "{}",
+        String::from_utf8_lossy(&kept.stderr)
+    );
     assert_eq!(
         String::from_utf8_lossy(&kept.stdout),
         stdout_ok(&["fig2", "--scale", "tiny", "--jobs", "1"])
@@ -176,11 +218,27 @@ fn fleet_flag_validation_is_actionable_at_parse_time() {
             "outside [200, 600000]",
         ),
         (
-            vec!["fig2", "--fleet", dir_s, "--heartbeat-ms", "10", "--lease-ms", "500"],
+            vec![
+                "fig2",
+                "--fleet",
+                dir_s,
+                "--heartbeat-ms",
+                "10",
+                "--lease-ms",
+                "500",
+            ],
             "below the 20 ms minimum",
         ),
         (
-            vec!["fig2", "--fleet", dir_s, "--lease-ms", "600", "--heartbeat-ms", "400"],
+            vec![
+                "fig2",
+                "--fleet",
+                dir_s,
+                "--lease-ms",
+                "600",
+                "--heartbeat-ms",
+                "400",
+            ],
             "at least 3x per lifetime",
         ),
         (
@@ -196,10 +254,17 @@ fn fleet_flag_validation_is_actionable_at_parse_time() {
         let out = dirext(&args);
         assert!(!out.status.success(), "{args:?} must be rejected");
         let err = String::from_utf8_lossy(&out.stderr);
-        assert!(err.contains(needle), "{args:?}: expected {needle:?} in: {err}");
+        assert!(
+            err.contains(needle),
+            "{args:?}: expected {needle:?} in: {err}"
+        );
     }
     // Parse-time means the fleet directory was never touched.
-    assert!(!dir.exists(), "rejected flags must not create {}", dir.display());
+    assert!(
+        !dir.exists(),
+        "rejected flags must not create {}",
+        dir.display()
+    );
 }
 
 #[test]
@@ -231,7 +296,11 @@ fn pending_journal_write_error_fails_the_exit_code() {
         .env("DIREXT_CHAOS_JOURNAL_ERROR", "late")
         .output()
         .expect("run late");
-    assert_eq!(late.status.code(), Some(1), "clean sweep + pending write error = exit 1");
+    assert_eq!(
+        late.status.code(),
+        Some(1),
+        "clean sweep + pending write error = exit 1"
+    );
     let err = String::from_utf8_lossy(&late.stderr);
     assert!(err.contains("journal write failure"), "{err}");
     assert!(err.contains("do not trust this journal"), "{err}");
@@ -342,7 +411,11 @@ mod serve {
         // documented retry exit code...
         let shed = d.query(&["--app", "mp3d", "--procs", "4", "--scale", "tiny"]);
         assert_eq!(status_of(&shed), "busy");
-        assert_eq!(shed.status.code(), Some(3), "busy means exit 3 (retry later)");
+        assert_eq!(
+            shed.status.code(),
+            Some(3),
+            "busy means exit 3 (retry later)"
+        );
 
         // ...while the primed cell is still served from cache.
         let hit = d.query(&["--app", "water", "--procs", "4", "--scale", "tiny"]);
@@ -365,12 +438,7 @@ mod serve {
     #[test]
     fn serve_timeout_frees_the_client_and_retry_hits() {
         let journal = tmp("serve-timeout.jsonl");
-        let d = Daemon::start(
-            "timeout",
-            &journal,
-            &["--request-timeout-ms", "200"],
-            900,
-        );
+        let d = Daemon::start("timeout", &journal, &["--request-timeout-ms", "200"], 900);
 
         let timed_out = d.query(&["--app", "cholesky", "--procs", "4", "--scale", "tiny"]);
         assert_eq!(status_of(&timed_out), "timeout");
@@ -398,7 +466,15 @@ mod serve {
         let dir = tmp("serve-fleet");
         let dir_s = dir.to_str().expect("utf8 dir");
         assert!(dirext(&[
-            "fig2", "--scale", "tiny", "--app", "water", "--fleet", dir_s, "--worker-id", "w0",
+            "fig2",
+            "--scale",
+            "tiny",
+            "--app",
+            "water",
+            "--fleet",
+            dir_s,
+            "--worker-id",
+            "w0",
         ])
         .status
         .success());
@@ -418,9 +494,20 @@ mod serve {
         // fig2 runs at 16 procs by default; the matching query is a hit
         // without any compute.
         let hit = d.query(&[
-            "--app", "water", "--procs", "16", "--scale", "tiny", "--protocol", "P+CW+M",
+            "--app",
+            "water",
+            "--procs",
+            "16",
+            "--scale",
+            "tiny",
+            "--protocol",
+            "P+CW+M",
         ]);
-        assert!(hit.status.success(), "{}", String::from_utf8_lossy(&hit.stderr));
+        assert!(
+            hit.status.success(),
+            "{}",
+            String::from_utf8_lossy(&hit.stderr)
+        );
         assert_eq!(status_of(&hit), "hit");
         assert!(
             String::from_utf8_lossy(&hit.stdout).contains("\"served_from\":\"fig2/"),
@@ -435,7 +522,9 @@ mod serve {
     fn query_without_daemon_is_an_actionable_error() {
         let socket = tmp("no-daemon.sock");
         let mut cmd = bin();
-        cmd.args(["query", "--socket"]).arg(&socket).args(["--app", "water"]);
+        cmd.args(["query", "--socket"])
+            .arg(&socket)
+            .args(["--app", "water"]);
         let out = cmd.output().expect("run query");
         assert_eq!(out.status.code(), Some(1));
         assert!(

@@ -72,6 +72,13 @@ pub struct EventQueue<E> {
     /// Far-future (and past-time) tier.
     heap: BinaryHeap<Reverse<Entry<E>>>,
     seq: u64,
+    /// Memoized [`EventQueue::peek_time`] result: `None` means stale
+    /// (recompute on next peek), `Some(t)` is the known current minimum
+    /// (`Some(None)` = known empty). A push can only *lower* the minimum,
+    /// so it refreshes the memo with one compare; a pop invalidates it.
+    /// This makes the simulator's inline-retirement checks — one peek per
+    /// retired instruction — O(1) instead of a bitmap scan.
+    peeked: Option<Option<Time>>,
 }
 
 #[derive(Debug)]
@@ -111,6 +118,7 @@ impl<E> EventQueue<E> {
             cursor: 0,
             heap: BinaryHeap::new(),
             seq: 0,
+            peeked: Some(None),
         }
     }
 
@@ -124,6 +132,11 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` to fire at absolute time `at`.
     pub fn push(&mut self, at: Time, event: E) {
+        if let Some(p) = self.peeked {
+            if p.is_none_or(|min| at < min) {
+                self.peeked = Some(Some(at));
+            }
+        }
         let seq = self.seq;
         self.seq += 1;
         let c = at.cycles();
@@ -201,6 +214,7 @@ impl<E> EventQueue<E> {
     /// window has since caught up with it), the global sequence number
     /// decides, preserving cross-tier FIFO.
     pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.peeked = None;
         let heap_top = self.heap.peek().map(|Reverse(e)| (e.time, e.seq));
         // Never scan the wheel further than the heap's earliest event: past
         // that point the heap entry wins regardless.
@@ -237,17 +251,25 @@ impl<E> EventQueue<E> {
     }
 
     /// Returns the time of the earliest pending event without removing it.
-    pub fn peek_time(&self) -> Option<Time> {
+    ///
+    /// Memoized: the scan runs at most once between pops (pushes keep the
+    /// memo fresh with a single compare), so repeated peeks are O(1).
+    pub fn peek_time(&mut self) -> Option<Time> {
+        if let Some(p) = self.peeked {
+            return p;
+        }
         let heap_t = self.heap.peek().map(|Reverse(e)| e.time);
         let limit = match heap_t {
             Some(t) => t.cycles().saturating_sub(self.cursor) + 1,
             None => WHEEL_SPAN,
         };
         let wheel_t = self.wheel_min(limit).map(|(c, _)| Time::from_cycles(c));
-        match (wheel_t, heap_t) {
+        let min = match (wheel_t, heap_t) {
             (Some(w), Some(h)) => Some(w.min(h)),
             (w, h) => w.or(h),
-        }
+        };
+        self.peeked = Some(min);
+        min
     }
 
     /// Number of pending events.
@@ -505,6 +527,42 @@ mod tests {
                 let got = q.pop();
                 prop_assert_eq!(got, oracle.pop());
                 if got.is_none() { break; }
+            }
+        }
+
+        /// The memoized `peek_time` always equals the true minimum of the
+        /// live multiset, no matter how pushes, pops and repeated peeks
+        /// interleave across the wheel/heap boundary (the memo is refreshed
+        /// by pushes and invalidated by pops; a stale memo would surface
+        /// here as a peek that disagrees with the multiset minimum).
+        #[test]
+        fn peek_memo_matches_multiset_min(
+            ops in proptest::collection::vec((0u64..3 * WHEEL_SPAN, 0u8..3), 0..400)
+        ) {
+            let mut q = EventQueue::new();
+            let mut live: Vec<u64> = Vec::new();
+            let mut now = 0u64;
+            for (i, &(delta, op)) in ops.iter().enumerate() {
+                match op {
+                    0 => {
+                        let t = now + delta;
+                        q.push(Time::from_cycles(t), i);
+                        live.push(t);
+                    }
+                    1 => {
+                        let got = q.pop();
+                        let min = live.iter().copied().min();
+                        prop_assert_eq!(got.map(|(t, _)| t.cycles()), min);
+                        if let Some(m) = min {
+                            live.swap_remove(live.iter().position(|&t| t == m).unwrap());
+                            now = m;
+                        }
+                    }
+                    _ => {} // fall through to the peek below
+                }
+                let expect = live.iter().copied().min().map(Time::from_cycles);
+                prop_assert_eq!(q.peek_time(), expect);
+                prop_assert_eq!(q.peek_time(), expect); // repeated peek: memo path
             }
         }
     }

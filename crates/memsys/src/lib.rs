@@ -28,7 +28,7 @@ mod timing;
 mod write_cache;
 
 pub use fifo::Fifo;
-pub use flc::Flc;
+pub use flc::{Flc, FlcArray};
 pub use slc::{Slc, SlcGeometry};
 pub use timing::Timing;
 pub use write_cache::{WcEntry, WriteCache};

@@ -44,13 +44,34 @@ pub struct MeshNetwork {
     /// One `Resource` per unidirectional link. Links are indexed by
     /// `(from_router * 4) + direction`.
     links: Vec<Resource>,
-    /// Recycled route buffer: `send` runs once per simulated message, so
-    /// computing the X-Y path into a fresh `Vec` was the one steady-state
-    /// allocation in the mesh model. Taken with `mem::take` for the
-    /// duration of a send and put back after.
-    route_scratch: Vec<usize>,
+    /// Precomputed X-Y routes for every `(src, dst)` pair. Dimension-order
+    /// routes are static, so `send` only walks an arena slice instead of
+    /// re-deriving the path (which previously needed a recycled scratch
+    /// `Vec` to stay allocation-free).
+    routes: RouteTable,
     traffic: TrafficStats,
     name: String,
+}
+
+/// All `(src, dst)` routes of a mesh, stored back-to-back in one hop arena.
+///
+/// `spans[src * nodes + dst]` is the `(offset, len)` of that pair's link
+/// sequence inside `hops`. Built once at construction; `send` is then a
+/// pure table walk with zero per-message work beyond the links themselves.
+#[derive(Debug)]
+struct RouteTable {
+    hops: Vec<u32>,
+    spans: Vec<(u32, u16)>,
+    nodes: usize,
+}
+
+impl RouteTable {
+    /// Offset/length of the `src -> dst` route inside the hop arena.
+    #[inline]
+    fn span(&self, src: NodeId, dst: NodeId) -> (usize, usize) {
+        let (off, len) = self.spans[src.idx() * self.nodes + dst.idx()];
+        (off as usize, len as usize)
+    }
 }
 
 /// Direction of a unidirectional mesh link out of a router.
@@ -82,16 +103,36 @@ impl MeshNetwork {
     pub fn new(cols: usize, rows: usize, link_bits: u32) -> Self {
         assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
         assert!(link_bits > 0, "link width must be positive");
-        MeshNetwork {
+        assert!(cols * rows <= 256, "node ids are 8-bit");
+        let mut mesh = MeshNetwork {
             cols,
             rows,
             link_bits,
             router_delay: 2,
             links: vec![Resource::new(); cols * rows * 4],
-            route_scratch: Vec::with_capacity(cols + rows),
+            routes: RouteTable {
+                hops: Vec::new(),
+                spans: Vec::new(),
+                nodes: cols * rows,
+            },
             traffic: TrafficStats::new(),
             name: format!("mesh{cols}x{rows}-{link_bits}bit"),
+        };
+        let nodes = cols * rows;
+        let mut hops = Vec::with_capacity(nodes * nodes * (cols + rows) / 2);
+        let mut spans = Vec::with_capacity(nodes * nodes);
+        let mut path = Vec::with_capacity(cols + rows);
+        for src in 0..nodes {
+            for dst in 0..nodes {
+                path.clear();
+                mesh.route_into(NodeId(src as u8), NodeId(dst as u8), &mut path);
+                spans.push((hops.len() as u32, path.len() as u16));
+                hops.extend(path.iter().map(|&l| l as u32));
+            }
         }
+        mesh.routes.hops = hops;
+        mesh.routes.spans = spans;
+        mesh
     }
 
     /// The paper's 16-node mesh (4×4) with the given link width (64, 32 or
@@ -145,11 +186,14 @@ impl MeshNetwork {
         }
     }
 
+    /// The arena-stored route for a pair (reads what `send` will walk).
     #[cfg(test)]
     fn route(&self, src: NodeId, dst: NodeId) -> Vec<usize> {
-        let mut path = Vec::new();
-        self.route_into(src, dst, &mut path);
-        path
+        let (off, len) = self.routes.span(src, dst);
+        self.routes.hops[off..off + len]
+            .iter()
+            .map(|&l| l as usize)
+            .collect()
     }
 }
 
@@ -161,18 +205,16 @@ impl Network for MeshNetwork {
         self.traffic.record(&env);
         let flits = self.flits(env.bytes);
         let mut head = now;
-        let mut path = std::mem::take(&mut self.route_scratch);
-        path.clear();
-        self.route_into(env.src, env.dst, &mut path);
-        for &link in &path {
+        let (off, len) = self.routes.span(env.src, env.dst);
+        for i in off..off + len {
             // The head flit must wait for the link, then spends the router
             // delay; the body then streams for `flits` cycles, keeping the
             // link busy for router_delay + flits.
+            let link = self.routes.hops[i] as usize;
             let start =
                 self.links[link].acquire(head, Time::from_cycles(self.router_delay + flits));
             head = start + Time::from_cycles(self.router_delay);
         }
-        self.route_scratch = path;
         head + Time::from_cycles(flits)
     }
 
@@ -207,6 +249,21 @@ mod tests {
         assert_eq!(mesh.flits(9), 2); // 72 bits -> 2 flits
         let narrow = MeshNetwork::paper_mesh(16);
         assert_eq!(narrow.flits(40), 20);
+    }
+
+    #[test]
+    fn route_arena_matches_fresh_derivation() {
+        for dims in [(4usize, 4usize), (3, 5), (1, 7)] {
+            let mesh = MeshNetwork::new(dims.0, dims.1, 32);
+            for src in 0..dims.0 * dims.1 {
+                for dst in 0..dims.0 * dims.1 {
+                    let (s, d) = (NodeId(src as u8), NodeId(dst as u8));
+                    let mut fresh = Vec::new();
+                    mesh.route_into(s, d, &mut fresh);
+                    assert_eq!(mesh.route(s, d), fresh, "{dims:?} {src}->{dst}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! Proves the network models are allocation-free in steady state.
+//!
+//! Every topology (and the fault layer) is driven through thousands of
+//! sends under a counting global allocator; after construction, no send may
+//! touch the heap. This pins the arena/recycling properties the end-to-end
+//! perf gate relies on: mesh routes live in a precomputed hop arena, the
+//! fault layer's pair clocks are a dense table, and traffic accounting is
+//! plain counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dirext_kernel::Time;
+use dirext_network::{
+    Envelope, FaultPlan, FaultyNetwork, MeshNetwork, Network, RingNetwork, TrafficClass,
+    UniformNetwork,
+};
+use dirext_trace::NodeId;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Streams a deterministic mix of control/data/update/sync messages across
+/// all node pairs and returns how many heap allocations they caused.
+fn allocs_during_sends(net: &mut dyn Network, rounds: u64) -> u64 {
+    let classes = [
+        (8, TrafficClass::Control),
+        (40, TrafficClass::Data),
+        (20, TrafficClass::Update),
+        (8, TrafficClass::Sync),
+    ];
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for r in 0..rounds {
+        for src in 0..16u8 {
+            for dst in 0..16u8 {
+                let (bytes, class) = classes[(src as usize + dst as usize + r as usize) % 4];
+                let env = Envelope::new(NodeId(src), NodeId(dst), bytes, class);
+                net.send_all(Time::from_cycles(r * 100), env);
+            }
+        }
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn uniform_network_sends_never_allocate() {
+    let mut net = UniformNetwork::paper_default();
+    assert_eq!(allocs_during_sends(&mut net, 20), 0);
+}
+
+#[test]
+fn mesh_sends_never_allocate() {
+    for link_bits in [64, 32, 16] {
+        let mut net = MeshNetwork::paper_mesh(link_bits);
+        assert_eq!(allocs_during_sends(&mut net, 20), 0, "{link_bits}-bit mesh");
+    }
+}
+
+#[test]
+fn ring_sends_never_allocate() {
+    let mut net = RingNetwork::new(16, 32);
+    assert_eq!(allocs_during_sends(&mut net, 20), 0);
+}
+
+#[test]
+fn fault_layer_sends_never_allocate() {
+    let plan = FaultPlan {
+        drop_permille: 100,
+        dup_permille: 100,
+        jitter_cycles: 40,
+        ..FaultPlan::seeded(42)
+    };
+    let mut net = FaultyNetwork::new(Box::new(MeshNetwork::paper_mesh(32)), plan);
+    assert_eq!(allocs_during_sends(&mut net, 20), 0);
+}

@@ -23,12 +23,11 @@ impl Machine {
 
     /// Resumes a stalled processor at time `at`, charging the stall.
     pub(crate) fn resume(&mut self, nid: NodeId, at: Time) {
-        let n = &mut self.nodes[nid.idx()];
-        match n.pstate {
+        let i = nid.idx();
+        match self.nodes.pstate[i] {
             ProcState::Stalled { kind, since } => {
-                n.stalls
-                    .add_stall(kind, (at.saturating_sub(since)).cycles());
-                n.pstate = ProcState::Ready;
+                self.nodes.stalls[i].add_stall(kind, (at.saturating_sub(since)).cycles());
+                self.nodes.pstate[i] = ProcState::Ready;
                 self.queue.push(at, Ev::ProcStep(nid));
             }
             other => debug_assert!(false, "resume of non-stalled proc: {other:?}"),
@@ -37,9 +36,9 @@ impl Machine {
 
     /// Schedules a FLWB drain step if none is in flight.
     pub(crate) fn kick_flwb(&mut self, nid: NodeId, at: Time) {
-        let n = &mut self.nodes[nid.idx()];
-        if !n.flwb_active && !n.flwb.is_empty() {
-            n.flwb_active = true;
+        let i = nid.idx();
+        if !self.nodes.flwb_active[i] && !self.nodes.flwb[i].is_empty() {
+            self.nodes.flwb_active[i] = true;
             self.queue.push(at, Ev::FlwbHead(nid));
         }
     }
@@ -58,17 +57,17 @@ impl Machine {
         // dominate every trace, which makes this the difference between
         // ~2 queue operations per trace event and ~1.
         loop {
-            if !matches!(self.nodes[i].pstate, ProcState::Ready) {
+            if !matches!(self.nodes.pstate[i], ProcState::Ready) {
                 return;
             }
-            let retry = std::mem::take(&mut self.nodes[i].retry_no_charge);
-            let event = self.nodes[i].program.get(self.nodes[i].pc);
+            let retry = std::mem::take(&mut self.nodes.retry_no_charge[i]);
+            let event = self.nodes.program[i].get(self.nodes.pc[i]);
             let Some(event) = event else {
-                self.nodes[i].pstate = ProcState::Done;
-                self.nodes[i].finish = Some(now);
+                self.nodes.pstate[i] = ProcState::Done;
+                self.nodes.finish[i] = Some(now);
                 // Final drain; if writes are still in the FLWB the flush
                 // happens when it empties (see flwb_head).
-                if self.nodes[i].flwb.is_empty() {
+                if self.nodes.flwb[i].is_empty() {
                     self.flush_write_cache(nid, now);
                 }
                 return;
@@ -76,9 +75,8 @@ impl Machine {
             let flc_hit_time = self.cfg.timing.flc_hit;
             match event {
                 MemEvent::Compute(c) => {
-                    let n = &mut self.nodes[i];
-                    n.stalls.add_busy(u64::from(c));
-                    n.pc += 1;
+                    self.nodes.stalls[i].add_busy(u64::from(c));
+                    self.nodes.pc[i] += 1;
                     let t = now + Time::from_cycles(u64::from(c));
                     if self.queue.peek_time().is_none_or(|pt| pt > t) {
                         now = t;
@@ -92,16 +90,16 @@ impl Machine {
                     let t = if retry {
                         now
                     } else {
-                        self.nodes[i].stalls.add_busy(flc_hit_time.cycles());
+                        self.nodes.stalls[i].add_busy(flc_hit_time.cycles());
                         now + flc_hit_time
                     };
                     let hit = if retry {
-                        self.nodes[i].flc.probe(block)
+                        self.nodes.flc.probe(i, block)
                     } else {
-                        self.nodes[i].flc.access(block)
+                        self.nodes.flc.access(i, block)
                     };
                     if hit {
-                        self.nodes[i].pc += 1;
+                        self.nodes.pc[i] += 1;
                         if self.queue.peek_time().is_none_or(|pt| pt > t) {
                             now = t;
                             continue;
@@ -109,16 +107,15 @@ impl Machine {
                         self.queue.push(t, Ev::ProcStep(nid));
                         return;
                     }
-                    let n = &mut self.nodes[i];
-                    if n.flwb.push(FlwbEntry::Read(a)).is_err() {
-                        n.pstate = ProcState::Stalled {
+                    if self.nodes.flwb[i].push(FlwbEntry::Read(a)).is_err() {
+                        self.nodes.pstate[i] = ProcState::Stalled {
                             kind: StallKind::Buffer,
                             since: t,
                         };
                         return;
                     }
-                    n.pc += 1;
-                    n.pstate = ProcState::Stalled {
+                    self.nodes.pc[i] += 1;
+                    self.nodes.pstate[i] = ProcState::Stalled {
                         kind: StallKind::Read,
                         since: t,
                     };
@@ -128,22 +125,21 @@ impl Machine {
                     let t = if retry {
                         now
                     } else {
-                        self.nodes[i].stalls.add_busy(flc_hit_time.cycles());
+                        self.nodes.stalls[i].add_busy(flc_hit_time.cycles());
                         now + flc_hit_time
                     };
                     // Write-through, no allocation on write miss: the FLC tag
                     // array is unchanged either way.
-                    let n = &mut self.nodes[i];
-                    if n.flwb.push(FlwbEntry::Write(a)).is_err() {
-                        n.pstate = ProcState::Stalled {
+                    if self.nodes.flwb[i].push(FlwbEntry::Write(a)).is_err() {
+                        self.nodes.pstate[i] = ProcState::Stalled {
                             kind: StallKind::Buffer,
                             since: t,
                         };
                         return;
                     }
-                    n.pc += 1;
+                    self.nodes.pc[i] += 1;
                     if self.cfg.protocol.consistency == Consistency::Sc {
-                        self.nodes[i].pstate = ProcState::Stalled {
+                        self.nodes.pstate[i] = ProcState::Stalled {
                             kind: StallKind::Write,
                             since: t,
                         };
@@ -160,25 +156,24 @@ impl Machine {
                     let t = if retry {
                         now
                     } else {
-                        self.nodes[i].stalls.add_busy(flc_hit_time.cycles());
+                        self.nodes.stalls[i].add_busy(flc_hit_time.cycles());
                         now + flc_hit_time
                     };
-                    let n = &mut self.nodes[i];
-                    let _ = n.flwb.push(FlwbEntry::SwPrefetch(addr, exclusive));
-                    n.pc += 1;
+                    let _ = self.nodes.flwb[i].push(FlwbEntry::SwPrefetch(addr, exclusive));
+                    self.nodes.pc[i] += 1;
                     self.queue.push(t, Ev::ProcStep(nid));
                     self.kick_flwb(nid, t);
                 }
                 MemEvent::Acquire(a) => {
-                    self.nodes[i].pc += 1;
-                    self.nodes[i].pstate = ProcState::Stalled {
+                    self.nodes.pc[i] += 1;
+                    self.nodes.pstate[i] = ProcState::Stalled {
                         kind: StallKind::Acquire,
                         since: now,
                     };
                     let block = a.block();
-                    let seq = self.nodes[i].next_lock_seq;
-                    self.nodes[i].next_lock_seq += 1;
-                    self.nodes[i].waiting_grant = Some(SyncWait::Lock(block, seq));
+                    let seq = self.nodes.next_lock_seq[i];
+                    self.nodes.next_lock_seq[i] += 1;
+                    self.nodes.waiting_grant[i] = Some(SyncWait::Lock(block, seq));
                     let home = self.home_of(block);
                     self.send_msg(
                         now,
@@ -192,17 +187,17 @@ impl Machine {
                     );
                 }
                 MemEvent::Release(a) => {
-                    self.nodes[i].pc += 1;
+                    self.nodes.pc[i] += 1;
                     if self.sc() {
                         // Under SC there are no buffered writes; the release
                         // stalls the processor until globally performed.
-                        self.nodes[i].pstate = ProcState::Stalled {
+                        self.nodes.pstate[i] = ProcState::Stalled {
                             kind: StallKind::Release,
                             since: now,
                         };
                         let block = a.block();
-                        let seq = self.nodes[i].held_locks.remove(block).unwrap_or(0);
-                        self.nodes[i].waiting_grant = Some(SyncWait::ReleaseAck(block, seq));
+                        let seq = self.nodes.held_locks[i].remove(block).unwrap_or(0);
+                        self.nodes.waiting_grant[i] = Some(SyncWait::ReleaseAck(block, seq));
                         let home = self.home_of(block);
                         self.send_msg(
                             now,
@@ -219,10 +214,12 @@ impl Machine {
                         // once it reaches the SLC it waits for all previously
                         // issued ownership/update requests. The processor
                         // itself continues.
-                        let n = &mut self.nodes[i];
-                        if n.flwb.push(FlwbEntry::Sync(SyncOut::Release(a))).is_err() {
-                            n.pc -= 1;
-                            n.pstate = ProcState::Stalled {
+                        if self.nodes.flwb[i]
+                            .push(FlwbEntry::Sync(SyncOut::Release(a)))
+                            .is_err()
+                        {
+                            self.nodes.pc[i] -= 1;
+                            self.nodes.pstate[i] = ProcState::Stalled {
                                 kind: StallKind::Buffer,
                                 since: now,
                             };
@@ -233,12 +230,12 @@ impl Machine {
                     }
                 }
                 MemEvent::Barrier(id) => {
-                    self.nodes[i].pc += 1;
-                    self.nodes[i].pstate = ProcState::Stalled {
+                    self.nodes.pc[i] += 1;
+                    self.nodes.pstate[i] = ProcState::Stalled {
                         kind: StallKind::Acquire,
                         since: now,
                     };
-                    self.nodes[i].waiting_grant = Some(SyncWait::Barrier(id.0));
+                    self.nodes.waiting_grant[i] = Some(SyncWait::Barrier(id.0));
                     if self.sc() {
                         // Under SC all writes are already globally performed.
                         let home = self.barrier_home(id.0);
@@ -256,14 +253,13 @@ impl Machine {
                         // A barrier arrival includes release semantics: it
                         // follows earlier writes through the FLWB and waits for
                         // pending ownership/update requests.
-                        let n = &mut self.nodes[i];
-                        if n.flwb
+                        if self.nodes.flwb[i]
                             .push(FlwbEntry::Sync(SyncOut::Barrier(id.0)))
                             .is_err()
                         {
-                            n.pc -= 1;
-                            n.waiting_grant = None;
-                            n.pstate = ProcState::Stalled {
+                            self.nodes.pc[i] -= 1;
+                            self.nodes.waiting_grant[i] = None;
+                            self.nodes.pstate[i] = ProcState::Stalled {
                                 kind: StallKind::Buffer,
                                 since: now,
                             };
@@ -283,14 +279,14 @@ impl Machine {
     /// the program finishes).
     pub(crate) fn flush_write_cache(&mut self, nid: NodeId, t: Time) {
         let i = nid.idx();
-        if self.nodes[i].wc.is_none() {
+        if self.nodes.wc[i].is_none() {
             return;
         }
         // `take_next` drains in the same set order `flush_all` did, without
         // materializing the flushed entries in a fresh Vec per release.
-        while let Some(e) = self.nodes[i].wc.as_mut().and_then(WriteCache::take_next) {
-            let v = self.nodes[i].wc_version.remove(e.block).unwrap_or(0);
-            self.nodes[i].update_backlog.push_back((e, v));
+        while let Some(e) = self.nodes.wc[i].as_mut().and_then(WriteCache::take_next) {
+            let v = self.nodes.wc_version[i].remove(e.block).unwrap_or(0);
+            self.nodes.update_backlog[i].push_back((e, v));
         }
         self.drain_backlog(nid, t);
     }
@@ -299,15 +295,15 @@ impl Machine {
     pub(crate) fn drain_backlog(&mut self, nid: NodeId, t: Time) {
         let i = nid.idx();
         loop {
-            if !self.nodes[i].slwb_has_space() {
+            if !self.nodes.slwb_has_space(i) {
                 return;
             }
-            if let Some((e, v)) = self.nodes[i].update_backlog.pop_front() {
-                self.nodes[i].slwb.push(SlwbEntry {
+            if let Some((e, v)) = self.nodes.update_backlog[i].pop_front() {
+                self.nodes.slwb[i].push(SlwbEntry {
                     block: e.block,
                     op: SlwbOp::Update { version: v },
                 });
-                self.nodes[i].pending_writes += 1;
+                self.nodes.pending_writes[i] += 1;
                 let home = self.home_of(e.block);
                 self.send_msg(
                     t,
@@ -323,8 +319,8 @@ impl Machine {
                 );
                 continue;
             }
-            if let Some((block, written, v)) = self.nodes[i].wb_backlog.pop_front() {
-                self.nodes[i].slwb.push(SlwbEntry {
+            if let Some((block, written, v)) = self.nodes.wb_backlog[i].pop_front() {
+                self.nodes.slwb[i].push(SlwbEntry {
                     block,
                     op: SlwbOp::Writeback,
                 });
@@ -354,20 +350,20 @@ impl Machine {
             // was flushed when this release/barrier was registered, so any
             // content it holds now belongs to later writes.
             let ready = {
-                let n = &self.nodes[i];
-                !n.sync_waiting.is_empty() && n.pending_writes == 0 && n.update_backlog.is_empty()
+                !self.nodes.sync_waiting[i].is_empty()
+                    && self.nodes.pending_writes[i] == 0
+                    && self.nodes.update_backlog[i].is_empty()
             };
             if !ready {
                 return;
             }
-            let sync = self.nodes[i]
-                .sync_waiting
+            let sync = self.nodes.sync_waiting[i]
                 .pop_front()
                 .expect("checked nonempty");
             match sync {
                 SyncOut::Release(a) => {
                     let block = a.block();
-                    let seq = self.nodes[i].held_locks.remove(block).unwrap_or(0);
+                    let seq = self.nodes.held_locks[i].remove(block).unwrap_or(0);
                     let home = self.home_of(block);
                     self.send_msg(
                         t,
@@ -409,8 +405,8 @@ impl Machine {
 
     pub(crate) fn flwb_head(&mut self, nid: NodeId, now: Time) {
         let i = nid.idx();
-        self.nodes[i].flwb_active = false;
-        let Some(head) = self.nodes[i].flwb.front().copied() else {
+        self.nodes.flwb_active[i] = false;
+        let Some(head) = self.nodes.flwb[i].front().copied() else {
             return;
         };
         let done = match head {
@@ -424,7 +420,7 @@ impl Machine {
                 // the synchronization and let the pending-write gate decide
                 // when it goes out.
                 self.flush_write_cache(nid, now);
-                self.nodes[i].sync_waiting.push_back(s);
+                self.nodes.sync_waiting[i].push_back(s);
                 self.maybe_send_sync(nid, now);
                 Some(now)
             }
@@ -433,15 +429,14 @@ impl Machine {
         // completion will retry via after_slwb_free -> kick_flwb.
         let Some(done) = done else { return };
         let was_buffer_stalled = {
-            let n = &mut self.nodes[i];
-            let popped = n.flwb.pop();
+            let popped = self.nodes.flwb[i].pop();
             debug_assert_eq!(popped, Some(head));
             if let ProcState::Stalled {
                 kind: StallKind::Buffer,
                 ..
-            } = n.pstate
+            } = self.nodes.pstate[i]
             {
-                n.retry_no_charge = true;
+                self.nodes.retry_no_charge[i] = true;
                 true
             } else {
                 false
@@ -450,7 +445,7 @@ impl Machine {
         if was_buffer_stalled {
             self.resume(nid, now);
         }
-        if self.nodes[i].flwb.is_empty() && matches!(self.nodes[i].pstate, ProcState::Done) {
+        if self.nodes.flwb[i].is_empty() && matches!(self.nodes.pstate[i], ProcState::Done) {
             self.flush_write_cache(nid, done);
         }
         self.kick_flwb(nid, done);
@@ -467,32 +462,38 @@ impl Machine {
         let flc_fill = self.cfg.timing.flc_fill;
 
         let (hit, wc_hit, read_pend, own_pend) = {
-            let n = &self.nodes[i];
-            let hit = n.slc.contains(block);
-            let wc_hit = !hit && n.wc.as_ref().is_some_and(|wc| wc.probe(block).is_some());
-            (hit, wc_hit, n.read_pending(block), n.own_pending(block))
+            let hit = self.nodes.slc[i].contains(block);
+            let wc_hit = !hit
+                && self.nodes.wc[i]
+                    .as_ref()
+                    .is_some_and(|wc| wc.probe(block).is_some());
+            (
+                hit,
+                wc_hit,
+                self.nodes.read_pending(i, block),
+                self.nodes.own_pending(i, block),
+            )
         };
         let needs_entry = !hit && !wc_hit && !read_pend && !own_pend;
-        if needs_entry && !self.nodes[i].slwb_has_space() {
+        if needs_entry && !self.nodes.slwb_has_space(i) {
             return None;
         }
 
-        let start = self.nodes[i].slc_res.acquire(now, slc_access);
+        let start = self.nodes.slc_res[i].acquire(now, slc_access);
         let done = start + slc_access;
-        self.nodes[i].counters.shared_reads += 1;
+        self.nodes.counters[i].shared_reads += 1;
 
         if hit {
-            let preset = self.nodes[i].comp_preset;
-            let useful = self.nodes[i]
-                .slc
+            let preset = self.nodes.comp_preset;
+            let useful = self.nodes.slc[i]
                 .get_mut(block)
                 .expect("checked hit")
                 .touch_read(preset);
             self.classifier.note_access(nid, block);
-            self.nodes[i].flc.fill(block);
+            self.nodes.flc.fill(i, block);
             self.resume(nid, done + flc_fill);
             if useful {
-                let k = self.nodes[i].exts.on_useful_first_reference();
+                let k = self.nodes.exts[i].on_useful_first_reference();
                 if k > 0 {
                     self.issue_prefetches(nid, block, k, done);
                 }
@@ -501,14 +502,14 @@ impl Machine {
         }
         if wc_hit {
             self.classifier.note_access(nid, block);
-            self.nodes[i].counters.wc_read_hits += 1;
+            self.nodes.counters[i].wc_read_hits += 1;
             self.resume(nid, done + flc_fill);
             return Some(done);
         }
 
         // Demand miss.
-        self.nodes[i].counters.slc_misses += 1;
-        self.nodes[i].counters.read_miss_count += 1;
+        self.nodes.counters[i].slc_misses += 1;
+        self.nodes.counters[i].read_miss_count += 1;
         let _class = self.classifier.classify_miss(nid, block);
 
         if read_pend {
@@ -516,7 +517,9 @@ impl Machine {
             // A late prefetch still counts as useful — the reference is its
             // first — and keeps the sequential stream going.
             let mut was_unreferenced_prefetch = false;
-            if let Some(e) = self.nodes[i].slwb_find(block, |op| matches!(op, SlwbOp::Read { .. }))
+            if let Some(e) = self
+                .nodes
+                .slwb_find(i, block, |op| matches!(op, SlwbOp::Read { .. }))
             {
                 if let SlwbOp::Read {
                     prefetch,
@@ -531,7 +534,7 @@ impl Machine {
                 }
             }
             if was_unreferenced_prefetch {
-                let k = self.nodes[i].exts.on_useful_first_reference();
+                let k = self.nodes.exts[i].on_useful_first_reference();
                 if k > 0 {
                     self.issue_prefetches(nid, block, k, done);
                 }
@@ -539,7 +542,10 @@ impl Machine {
             return Some(done);
         }
         if own_pend {
-            if let Some(e) = self.nodes[i].slwb_find(block, |op| matches!(op, SlwbOp::Own { .. })) {
+            if let Some(e) = self
+                .nodes
+                .slwb_find(i, block, |op| matches!(op, SlwbOp::Own { .. }))
+            {
                 if let SlwbOp::Own {
                     demand_waiting,
                     demand_since,
@@ -554,7 +560,7 @@ impl Machine {
         }
 
         // New outstanding read.
-        self.nodes[i].slwb.push(SlwbEntry {
+        self.nodes.slwb[i].push(SlwbEntry {
             block,
             op: SlwbOp::Read {
                 prefetch: false,
@@ -576,8 +582,8 @@ impl Machine {
             },
         );
         // Adaptive sequential prefetching triggers on demand misses.
-        let pred_cached = block.pred().is_some_and(|p| self.nodes[i].slc.contains(p));
-        let k = self.nodes[i].exts.on_demand_miss(pred_cached);
+        let pred_cached = block.pred().is_some_and(|p| self.nodes.slc[i].contains(p));
+        let k = self.nodes.exts[i].on_demand_miss(pred_cached);
         if k > 0 {
             self.issue_prefetches(nid, block, k, done);
         }
@@ -595,22 +601,24 @@ impl Machine {
     /// (a demand miss there restarts the stream).
     fn issue_prefetches(&mut self, nid: NodeId, from: BlockAddr, k: u32, t: Time) {
         let i = nid.idx();
-        let reserve = Self::SLWB_PREFETCH_RESERVE.min(self.nodes[i].slwb_cap / 2);
+        let reserve = Self::SLWB_PREFETCH_RESERVE.min(self.nodes.slwb_cap / 2);
         for j in 1..=u64::from(k) {
             let pb = from.plus(j);
             if pb.page() != from.page() {
                 break;
             }
             {
-                let n = &self.nodes[i];
-                if n.slc.contains(pb) || n.read_pending(pb) || n.own_pending(pb) {
+                if self.nodes.slc[i].contains(pb)
+                    || self.nodes.read_pending(i, pb)
+                    || self.nodes.own_pending(i, pb)
+                {
                     continue;
                 }
-                if n.slwb.len() + reserve >= n.slwb_cap {
+                if self.nodes.slwb[i].len() + reserve >= self.nodes.slwb_cap {
                     break;
                 }
             }
-            self.nodes[i].slwb.push(SlwbEntry {
+            self.nodes.slwb[i].push(SlwbEntry {
                 block: pb,
                 op: SlwbOp::Read {
                     prefetch: true,
@@ -620,7 +628,7 @@ impl Machine {
                     upgrade_sc: false,
                 },
             });
-            self.nodes[i].exts.on_prefetch_issued();
+            self.nodes.exts[i].on_prefetch_issued();
             let home = self.home_of(pb);
             self.send_msg(
                 t,
@@ -643,22 +651,21 @@ impl Machine {
         let block = a.block();
         let slc_access = self.cfg.timing.slc_access;
         {
-            let n = &self.nodes[i];
-            if n.slc.contains(block)
-                || n.read_pending(block)
-                || n.own_pending(block)
-                || !n.slwb_has_space()
+            if self.nodes.slc[i].contains(block)
+                || self.nodes.read_pending(i, block)
+                || self.nodes.own_pending(i, block)
+                || !self.nodes.slwb_has_space(i)
             {
                 return now;
             }
         }
-        let start = self.nodes[i].slc_res.acquire(now, slc_access);
+        let start = self.nodes.slc_res[i].acquire(now, slc_access);
         let done = start + slc_access;
         if exclusive {
             // Read-exclusive prefetch: fetch ownership up front so the
             // later write needs no transaction (Mowry & Gupta's
             // exclusive-mode prefetch).
-            self.nodes[i].slwb.push(SlwbEntry {
+            self.nodes.slwb[i].push(SlwbEntry {
                 block,
                 op: SlwbOp::Own {
                     need_data: true,
@@ -668,7 +675,7 @@ impl Machine {
                     demand_since: done,
                 },
             });
-            self.nodes[i].pending_writes += 1;
+            self.nodes.pending_writes[i] += 1;
             let home = self.home_of(block);
             self.send_msg(
                 done,
@@ -681,7 +688,7 @@ impl Machine {
                 },
             );
         } else {
-            self.nodes[i].slwb.push(SlwbEntry {
+            self.nodes.slwb[i].push(SlwbEntry {
                 block,
                 op: SlwbOp::Read {
                     prefetch: true,
@@ -716,14 +723,13 @@ impl Machine {
         // The write policy is an extension decision: BASIC invalidates, CW
         // allocates in the write cache (or sends an immediate update in the
         // no-write-cache ablation).
-        let mode = self.nodes[i].exts.write_mode();
+        let mode = self.nodes.exts[i].write_mode();
 
         let (state, read_pend, own_pend) = {
-            let n = &self.nodes[i];
             (
-                n.slc.get(block).map(|l| l.state),
-                n.read_pending(block),
-                n.own_pending(block),
+                self.nodes.slc[i].get(block).map(|l| l.state),
+                self.nodes.read_pending(i, block),
+                self.nodes.own_pending(i, block),
             )
         };
         let needs_entry = match state {
@@ -739,20 +745,20 @@ impl Machine {
                 WriteMode::Invalidate => !own_pend && !read_pend,
             },
         };
-        if needs_entry && !self.nodes[i].slwb_has_space() {
+        if needs_entry && !self.nodes.slwb_has_space(i) {
             return None;
         }
 
-        let start = self.nodes[i].slc_res.acquire(now, slc_access);
+        let start = self.nodes.slc_res[i].acquire(now, slc_access);
         let done = start + slc_access;
-        self.nodes[i].counters.shared_writes += 1;
+        self.nodes.counters[i].shared_writes += 1;
         self.classifier.note_access(nid, block);
         let v = self.bump_wcount(block);
-        let preset = self.nodes[i].comp_preset;
+        let preset = self.nodes.comp_preset;
 
         match state {
             Some(CacheState::Dirty) => {
-                let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                let line = self.nodes.slc[i].get_mut(block).expect("checked");
                 line.touch_write(preset);
                 line.version = v;
                 if sc {
@@ -762,7 +768,7 @@ impl Machine {
             Some(CacheState::MigClean) => {
                 // The migratory optimization's payoff: the first write to an
                 // exclusively granted copy needs no ownership request.
-                let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                let line = self.nodes.slc[i].get_mut(block).expect("checked");
                 line.touch_write(preset);
                 line.version = v;
                 line.state = CacheState::Dirty;
@@ -780,7 +786,7 @@ impl Machine {
             }
             Some(CacheState::Shared) => {
                 {
-                    let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                    let line = self.nodes.slc[i].get_mut(block).expect("checked");
                     line.touch_write(preset);
                     line.version = v;
                 }
@@ -797,12 +803,11 @@ impl Machine {
                         debug_assert!(!sc, "SC cannot overlap two writes");
                     }
                     WriteMode::Invalidate => {
-                        self.nodes[i]
-                            .slc
+                        self.nodes.slc[i]
                             .get_mut(block)
                             .expect("checked")
                             .own_pending = true;
-                        self.nodes[i].slwb.push(SlwbEntry {
+                        self.nodes.slwb[i].push(SlwbEntry {
                             block,
                             op: SlwbOp::Own {
                                 need_data: false,
@@ -812,7 +817,7 @@ impl Machine {
                                 demand_since: done,
                             },
                         });
-                        self.nodes[i].pending_writes += 1;
+                        self.nodes.pending_writes[i] += 1;
                         let home = self.home_of(block);
                         self.send_msg(
                             done,
@@ -842,8 +847,9 @@ impl Machine {
                     // the existing mark — only the first one counts as a
                     // pending write (one upgrade, one eventual completion).
                     let mut first_upgrade = false;
-                    if let Some(e) =
-                        self.nodes[i].slwb_find(block, |op| matches!(op, SlwbOp::Read { .. }))
+                    if let Some(e) = self
+                        .nodes
+                        .slwb_find(i, block, |op| matches!(op, SlwbOp::Read { .. }))
                     {
                         if let SlwbOp::Read {
                             upgrade_version,
@@ -857,11 +863,11 @@ impl Machine {
                         }
                     }
                     if first_upgrade {
-                        self.nodes[i].pending_writes += 1;
+                        self.nodes.pending_writes[i] += 1;
                     }
                 }
                 WriteMode::Invalidate => {
-                    self.nodes[i].slwb.push(SlwbEntry {
+                    self.nodes.slwb[i].push(SlwbEntry {
                         block,
                         op: SlwbOp::Own {
                             need_data: true,
@@ -871,7 +877,7 @@ impl Machine {
                             demand_since: done,
                         },
                     });
-                    self.nodes[i].pending_writes += 1;
+                    self.nodes.pending_writes[i] += 1;
                     let home = self.home_of(block);
                     self.send_msg(
                         done,
@@ -894,11 +900,11 @@ impl Machine {
     fn issue_update_now(&mut self, nid: NodeId, a: Addr, v: u64, t: Time) {
         let i = nid.idx();
         let block = a.block();
-        self.nodes[i].slwb.push(SlwbEntry {
+        self.nodes.slwb[i].push(SlwbEntry {
             block,
             op: SlwbOp::Update { version: v },
         });
-        self.nodes[i].pending_writes += 1;
+        self.nodes.pending_writes[i] += 1;
         let home = self.home_of(block);
         let dirty_words = 1u8 << a.word_in_block();
         self.send_msg(
@@ -914,8 +920,9 @@ impl Machine {
     }
 
     fn merge_pending_write(&mut self, nid: NodeId, block: BlockAddr, v: u64) {
-        if let Some(e) =
-            self.nodes[nid.idx()].slwb_find(block, |op| matches!(op, SlwbOp::Own { .. }))
+        if let Some(e) = self
+            .nodes
+            .slwb_find(nid.idx(), block, |op| matches!(op, SlwbOp::Own { .. }))
         {
             if let SlwbOp::Own { write_version, .. } = &mut e.op {
                 *write_version = (*write_version).max(v);
@@ -927,17 +934,15 @@ impl Machine {
     /// not yet reached memory: in the write cache, queued in the update
     /// backlog, or carried by an in-flight update request.
     fn pending_update_stamp(&self, nid: NodeId, block: BlockAddr) -> u64 {
-        let n = &self.nodes[nid.idx()];
-        let wc = n.wc_version.get(block).copied().unwrap_or(0);
-        let backlog = n
-            .update_backlog
+        let i = nid.idx();
+        let wc = self.nodes.wc_version[i].get(block).copied().unwrap_or(0);
+        let backlog = self.nodes.update_backlog[i]
             .iter()
             .filter(|(e, _)| e.block == block)
             .map(|(_, v)| *v)
             .max()
             .unwrap_or(0);
-        let in_flight = n
-            .slwb
+        let in_flight = self.nodes.slwb[i]
             .iter()
             .filter(|e| e.block == block)
             .filter_map(|e| match e.op {
@@ -952,12 +957,12 @@ impl Machine {
     fn write_cache_write(&mut self, nid: NodeId, a: Addr, v: u64, t: Time) {
         let i = nid.idx();
         let block = a.block();
-        let stamp = self.nodes[i].wc_version.get_or_insert_with(block, || 0);
+        let stamp = self.nodes.wc_version[i].get_or_insert_with(block, || 0);
         *stamp = (*stamp).max(v);
-        let victim = self.nodes[i].wc.as_mut().expect("CW enabled").write(a);
+        let victim = self.nodes.wc[i].as_mut().expect("CW enabled").write(a);
         if let Some(victim) = victim {
-            let vv = self.nodes[i].wc_version.remove(victim.block).unwrap_or(0);
-            self.nodes[i].update_backlog.push_back((victim, vv));
+            let vv = self.nodes.wc_version[i].remove(victim.block).unwrap_or(0);
+            self.nodes.update_backlog[i].push_back((victim, vv));
             self.drain_backlog(nid, t);
         }
     }
@@ -966,7 +971,7 @@ impl Machine {
 
     /// Installs a line, handling direct-mapped victims.
     fn install_line(&mut self, nid: NodeId, block: BlockAddr, line: Line, t: Time) {
-        let victim = self.nodes[nid.idx()].slc.insert(block, line);
+        let victim = self.nodes.slc[nid.idx()].insert(block, line);
         if let Some((vb, vline)) = victim {
             self.evict(nid, vb, vline, t);
         }
@@ -984,7 +989,7 @@ impl Machine {
             // INVALID by construction.
             self.trace_cache_transition(nid, block, from, TraceInput::Replace, t);
         }
-        self.nodes[i].flc.invalidate(block);
+        self.nodes.flc.invalidate(i, block);
         self.classifier
             .note_invalidation(nid, block, InvalReason::Replacement);
         match line.state {
@@ -1007,15 +1012,11 @@ impl Machine {
                 }
             }
             CacheState::Dirty => {
-                self.nodes[i]
-                    .wb_backlog
-                    .push_back((block, true, line.version));
+                self.nodes.wb_backlog[i].push_back((block, true, line.version));
                 self.drain_backlog(nid, t);
             }
             CacheState::MigClean => {
-                self.nodes[i]
-                    .wb_backlog
-                    .push_back((block, false, line.version));
+                self.nodes.wb_backlog[i].push_back((block, false, line.version));
                 self.drain_backlog(nid, t);
             }
         }
@@ -1025,7 +1026,7 @@ impl Machine {
 
     /// The transition-table tag of a node's cached copy of `block`.
     fn cache_tag(&self, nid: NodeId, block: BlockAddr) -> CacheTag {
-        match self.nodes[nid.idx()].slc.get(block).map(|l| l.state) {
+        match self.nodes.slc[nid.idx()].get(block).map(|l| l.state) {
             None => CacheTag::Invalid,
             Some(CacheState::Shared) => CacheTag::Shared,
             Some(CacheState::Dirty) => CacheTag::Dirty,
@@ -1080,14 +1081,15 @@ impl Machine {
         let block = msg.block;
         let slc_access = self.cfg.timing.slc_access;
         let flc_fill = self.cfg.timing.flc_fill;
-        let preset = self.nodes[i].comp_preset;
+        let preset = self.nodes.comp_preset;
 
         match msg.kind {
             MsgKind::ReadReply { exclusive } => {
                 // No pending read: a duplicated reply whose original already
                 // completed the entry. Drop it.
-                let Some(entry) =
-                    self.nodes[i].slwb_take(block, |op| matches!(op, SlwbOp::Read { .. }))
+                let Some(entry) = self
+                    .nodes
+                    .slwb_take(i, block, |op| matches!(op, SlwbOp::Read { .. }))
                 else {
                     self.stale_drops += 1;
                     return;
@@ -1103,7 +1105,7 @@ impl Machine {
                 else {
                     unreachable!()
                 };
-                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let start = self.nodes.slc_res[i].acquire(now, slc_access);
                 let done = start + slc_access;
 
                 let mut version = msg.version;
@@ -1126,7 +1128,7 @@ impl Machine {
                         // write completes silently on the exclusive copy.
                         state = CacheState::Dirty;
                         self.mig_silent_writes += 1;
-                        self.nodes[i].pending_writes -= 1;
+                        self.nodes.pending_writes[i] -= 1;
                     } else {
                         follow_own = Some((uv, upgrade_sc));
                     }
@@ -1139,11 +1141,11 @@ impl Machine {
                 } else {
                     line.prefetched = prefetch && !demand_waiting;
                 }
-                debug_assert!(!self.nodes[i].slc.contains(block), "double install");
+                debug_assert!(!self.nodes.slc[i].contains(block), "double install");
                 self.install_line(nid, block, line, done);
 
                 if let Some((uv, sc)) = follow_own {
-                    self.nodes[i].slwb.push(SlwbEntry {
+                    self.nodes.slwb[i].push(SlwbEntry {
                         block,
                         op: SlwbOp::Own {
                             need_data: false,
@@ -1169,21 +1171,22 @@ impl Machine {
                     self.resume(nid, done);
                 }
                 if prefetch {
-                    self.nodes[i].exts.on_prefetch_arrived();
+                    self.nodes.exts[i].on_prefetch_arrived();
                 }
                 if demand_waiting {
-                    self.nodes[i].flc.fill(block);
+                    self.nodes.flc.fill(i, block);
                     let resume_at = done + flc_fill;
                     let latency = (resume_at.saturating_sub(demand_since)).cycles();
-                    self.nodes[i].counters.read_miss_cycles += latency;
-                    self.nodes[i].read_miss_hist.record(latency);
+                    self.nodes.counters[i].read_miss_cycles += latency;
+                    self.nodes.read_miss_hist[i].record(latency);
                     self.resume(nid, resume_at);
                 }
                 self.after_slwb_free(nid, done);
             }
             MsgKind::OwnAck { with_data } => {
-                let Some(entry) =
-                    self.nodes[i].slwb_take(block, |op| matches!(op, SlwbOp::Own { .. }))
+                let Some(entry) = self
+                    .nodes
+                    .slwb_take(i, block, |op| matches!(op, SlwbOp::Own { .. }))
                 else {
                     self.stale_drops += 1;
                     return;
@@ -1199,7 +1202,7 @@ impl Machine {
                 else {
                     unreachable!()
                 };
-                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let start = self.nodes.slc_res[i].acquire(now, slc_access);
                 let done = start + slc_access;
                 // Like a read fill, an ownership grant must absorb any local
                 // writes still buffered toward memory (an exclusive software
@@ -1207,9 +1210,9 @@ impl Machine {
                 let version = write_version
                     .max(msg.version)
                     .max(self.pending_update_stamp(nid, block));
-                let present = self.nodes[i].slc.contains(block);
+                let present = self.nodes.slc[i].contains(block);
                 if present {
-                    let line = self.nodes[i].slc.get_mut(block).expect("checked");
+                    let line = self.nodes.slc[i].get_mut(block).expect("checked");
                     line.state = CacheState::Dirty;
                     line.own_pending = false;
                     line.version = line.version.max(version);
@@ -1223,29 +1226,30 @@ impl Machine {
                     line.version = version;
                     self.install_line(nid, block, line, done);
                 }
-                self.nodes[i].pending_writes -= 1;
+                self.nodes.pending_writes[i] -= 1;
                 if sc_wait {
                     self.resume(nid, done);
                 }
                 if demand_waiting {
-                    self.nodes[i].flc.fill(block);
+                    self.nodes.flc.fill(i, block);
                     let resume_at = done + flc_fill;
                     let latency = (resume_at.saturating_sub(demand_since)).cycles();
-                    self.nodes[i].counters.read_miss_cycles += latency;
-                    self.nodes[i].read_miss_hist.record(latency);
+                    self.nodes.counters[i].read_miss_cycles += latency;
+                    self.nodes.read_miss_hist[i].record(latency);
                     self.resume(nid, resume_at);
                 }
                 self.after_slwb_free(nid, done);
             }
             MsgKind::UpdateDone { exclusive } => {
-                let Some(_entry) =
-                    self.nodes[i].slwb_take(block, |op| matches!(op, SlwbOp::Update { .. }))
+                let Some(_entry) = self
+                    .nodes
+                    .slwb_take(i, block, |op| matches!(op, SlwbOp::Update { .. }))
                 else {
                     self.stale_drops += 1;
                     return;
                 };
                 if exclusive {
-                    match self.nodes[i].slc.get_mut(block) {
+                    match self.nodes.slc[i].get_mut(block) {
                         Some(line) => {
                             debug_assert_eq!(line.state, CacheState::Shared);
                             line.state = CacheState::Dirty;
@@ -1254,19 +1258,18 @@ impl Machine {
                         // flight: hand the (unwritten) ownership straight
                         // back so the directory returns to CLEAN.
                         None => {
-                            self.nodes[i]
-                                .wb_backlog
-                                .push_back((block, false, msg.version));
+                            self.nodes.wb_backlog[i].push_back((block, false, msg.version));
                             self.drain_backlog(nid, now);
                         }
                     }
                 }
-                self.nodes[i].pending_writes -= 1;
+                self.nodes.pending_writes[i] -= 1;
                 self.after_slwb_free(nid, now);
             }
             MsgKind::WritebackAck => {
-                if self.nodes[i]
-                    .slwb_take(block, |op| matches!(op, SlwbOp::Writeback))
+                if self
+                    .nodes
+                    .slwb_take(i, block, |op| matches!(op, SlwbOp::Writeback))
                     .is_none()
                 {
                     self.stale_drops += 1;
@@ -1275,10 +1278,10 @@ impl Machine {
                 self.after_slwb_free(nid, now);
             }
             MsgKind::Inval => {
-                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let start = self.nodes.slc_res[i].acquire(now, slc_access);
                 let done = start + slc_access;
-                if self.nodes[i].slc.remove(block).is_some() {
-                    self.nodes[i].flc.invalidate(block);
+                if self.nodes.slc[i].remove(block).is_some() {
+                    self.nodes.flc.invalidate(i, block);
                     self.classifier
                         .note_invalidation(nid, block, InvalReason::Coherence);
                 }
@@ -1294,11 +1297,10 @@ impl Machine {
                 );
             }
             MsgKind::Fetch => {
-                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let start = self.nodes.slc_res[i].acquire(now, slc_access);
                 let done = start + slc_access;
                 let reply = {
-                    let n = &mut self.nodes[i];
-                    match n.slc.get_mut(block) {
+                    match self.nodes.slc[i].get_mut(block) {
                         // DIRTY, or an exclusive-clean (E) copy under the
                         // MESI extension; either way downgrade.
                         Some(line) if line.state.exclusive() => {
@@ -1332,19 +1334,18 @@ impl Machine {
                 }
             }
             MsgKind::FetchInval => {
-                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let start = self.nodes.slc_res[i].acquire(now, slc_access);
                 let done = start + slc_access;
                 // Only an exclusive copy answers: a Shared copy here means
                 // this FetchInval is a duplicate and the node re-acquired
                 // the block after the original invalidated it — taking the
                 // copy again would corrupt both cache and directory state.
-                let exclusive = self.nodes[i]
-                    .slc
+                let exclusive = self.nodes.slc[i]
                     .get(block)
                     .is_some_and(|l| l.state.exclusive());
                 if exclusive {
-                    let line = self.nodes[i].slc.remove(block).expect("checked present");
-                    self.nodes[i].flc.invalidate(block);
+                    let line = self.nodes.slc[i].remove(block).expect("checked present");
+                    self.nodes.flc.invalidate(i, block);
                     self.classifier
                         .note_invalidation(nid, block, InvalReason::Coherence);
                     let written = line.state == CacheState::Dirty;
@@ -1358,33 +1359,31 @@ impl Machine {
                             version: line.version,
                         },
                     );
-                } else if self.nodes[i].slc.contains(block) {
+                } else if self.nodes.slc[i].contains(block) {
                     self.stale_drops += 1;
                 }
             }
             MsgKind::Update { .. } => {
-                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let start = self.nodes.slc_res[i].acquire(now, slc_access);
                 let done = start + slc_access;
                 // An exclusive copy cannot be an update target: the fan-out
                 // targeted a Shared copy, so this is a duplicate that
                 // arrived after we gained ownership. The home already
                 // collected the original's ack; stay silent.
-                if self.nodes[i]
-                    .slc
+                if self.nodes.slc[i]
                     .get(block)
                     .is_some_and(|l| l.state.exclusive())
                 {
                     self.stale_drops += 1;
                     return;
                 }
-                let countdown = self.nodes[i]
-                    .slc
+                let countdown = self.nodes.slc[i]
                     .get_mut(block)
                     .map(|line| line.apply_update(msg.version));
                 let invalidated = match countdown {
                     Some(true) => {
-                        self.nodes[i].slc.remove(block);
-                        self.nodes[i].flc.invalidate(block);
+                        self.nodes.slc[i].remove(block);
+                        self.nodes.flc.invalidate(i, block);
                         self.classifier
                             .note_invalidation(nid, block, InvalReason::Coherence);
                         true
@@ -1394,7 +1393,7 @@ impl Machine {
                         // requires the (now stale) FLC copy to go, so the
                         // next local read refreshes from the SLC — which
                         // also presets the competitive counter.
-                        self.nodes[i].flc.invalidate(block);
+                        self.nodes.flc.invalidate(i, block);
                         false
                     }
                     None => true,
@@ -1411,25 +1410,24 @@ impl Machine {
                 );
             }
             MsgKind::Interrogate => {
-                let start = self.nodes[i].slc_res.acquire(now, slc_access);
+                let start = self.nodes.slc_res[i].acquire(now, slc_access);
                 let done = start + slc_access;
                 // Interrogations target Shared copies; an exclusive copy
                 // means a duplicate arrived after the migratory transfer
                 // already went through. The home is not waiting for us.
-                if self.nodes[i]
-                    .slc
+                if self.nodes.slc[i]
                     .get(block)
                     .is_some_and(|l| l.state.exclusive())
                 {
                     self.stale_drops += 1;
                     return;
                 }
-                let verdict = self.nodes[i].slc.get(block).map(|l| l.interrogate_keeps());
+                let verdict = self.nodes.slc[i].get(block).map(|l| l.interrogate_keeps());
                 let keep = match verdict {
                     Some(true) => true,
                     Some(false) => {
-                        self.nodes[i].slc.remove(block);
-                        self.nodes[i].flc.invalidate(block);
+                        self.nodes.slc[i].remove(block);
+                        self.nodes.flc.invalidate(i, block);
                         self.classifier
                             .note_invalidation(nid, block, InvalReason::Coherence);
                         false
@@ -1450,25 +1448,25 @@ impl Machine {
             MsgKind::AcqGrant => {
                 // The grant echoes the acquire sequence it answers; a
                 // duplicated grant from an earlier episode cannot match.
-                if self.nodes[i].waiting_grant == Some(SyncWait::Lock(block, msg.version)) {
-                    self.nodes[i].waiting_grant = None;
-                    self.nodes[i].held_locks.insert(block, msg.version);
+                if self.nodes.waiting_grant[i] == Some(SyncWait::Lock(block, msg.version)) {
+                    self.nodes.waiting_grant[i] = None;
+                    self.nodes.held_locks[i].insert(block, msg.version);
                     self.resume(nid, now);
                 } else {
                     self.stale_drops += 1;
                 }
             }
             MsgKind::BarRelease { id } => {
-                if self.nodes[i].waiting_grant == Some(SyncWait::Barrier(id)) {
-                    self.nodes[i].waiting_grant = None;
+                if self.nodes.waiting_grant[i] == Some(SyncWait::Barrier(id)) {
+                    self.nodes.waiting_grant[i] = None;
                     self.resume(nid, now);
                 } else {
                     self.stale_drops += 1;
                 }
             }
             MsgKind::RelAck => {
-                if self.nodes[i].waiting_grant == Some(SyncWait::ReleaseAck(block, msg.version)) {
-                    self.nodes[i].waiting_grant = None;
+                if self.nodes.waiting_grant[i] == Some(SyncWait::ReleaseAck(block, msg.version)) {
+                    self.nodes.waiting_grant[i] = None;
                     self.resume(nid, now);
                 } else {
                     self.stale_drops += 1;
@@ -1485,7 +1483,7 @@ impl Machine {
     /// retry budget is exhausted, fail the run with a structured error.
     fn nack_retry(&mut self, nid: NodeId, block: BlockAddr, now: Time) {
         let i = nid.idx();
-        let pending = self.nodes[i].slwb.iter().find_map(|e| match e.op {
+        let pending = self.nodes.slwb[i].iter().find_map(|e| match e.op {
             SlwbOp::Read { prefetch, .. } if e.block == block => {
                 Some(MsgKind::ReadReq { prefetch })
             }

@@ -241,7 +241,10 @@ impl FleetConfig {
                 "worker id `{id}` is longer than 64 characters; pick a shorter --worker-id"
             ));
         }
-        if id.chars().any(|c| c == '/' || c == '\\' || c.is_whitespace()) {
+        if id
+            .chars()
+            .any(|c| c == '/' || c == '\\' || c.is_whitespace())
+        {
             return Err(format!(
                 "worker id `{id}` must not contain path separators or whitespace \
                  (it names the worker's journal file)"
@@ -399,8 +402,8 @@ pub fn worker_journals(dir: &Path) -> Result<Vec<PathBuf>, JournalError> {
         .map_err(|e| JournalError::new(format!("cannot read fleet dir {}: {e}", dir.display())))?;
     let mut paths = Vec::new();
     for entry in entries {
-        let entry = entry
-            .map_err(|e| JournalError::new(format!("cannot list {}: {e}", dir.display())))?;
+        let entry =
+            entry.map_err(|e| JournalError::new(format!("cannot list {}: {e}", dir.display())))?;
         let name = entry.file_name();
         let name = name.to_string_lossy();
         if name.starts_with("worker-") && name.ends_with(".jsonl") {
@@ -434,16 +437,16 @@ impl Fleet {
             ))
         })?;
         let journal = Arc::new(Journal::resume(
-            config.dir.join(format!("worker-{}.jsonl", config.worker_id)),
+            config
+                .dir
+                .join(format!("worker-{}.jsonl", config.worker_id)),
         )?);
         let lease_path = config.dir.join("leases.jsonl");
         let mut lease_file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&lease_path)
-            .map_err(|e| {
-                JournalError::new(format!("cannot open {}: {e}", lease_path.display()))
-            })?;
+            .map_err(|e| JournalError::new(format!("cannot open {}: {e}", lease_path.display())))?;
         // Write the header if the file looks empty. Two workers racing
         // here can both append one — replay skips duplicate header lines,
         // so this needs no locking.
@@ -495,17 +498,16 @@ impl Fleet {
     }
 
     fn read_lease_state(&self) -> Result<LeaseState, SweepError> {
-        let text = std::fs::read_to_string(&self.lease_path).map_err(|e| {
-            SweepError::Journal(format!("read {}: {e}", self.lease_path.display()))
-        })?;
+        let text = std::fs::read_to_string(&self.lease_path)
+            .map_err(|e| SweepError::Journal(format!("read {}: {e}", self.lease_path.display())))?;
         Ok(replay(&text).0)
     }
 
     /// Scans every worker journal in the fleet dir, reusing cached parses
     /// for files whose length has not changed.
     fn sibling_scans(&self) -> Result<Vec<Arc<JournalScan>>, SweepError> {
-        let paths = worker_journals(&self.config.dir)
-            .map_err(|e| SweepError::Journal(e.to_string()))?;
+        let paths =
+            worker_journals(&self.config.dir).map_err(|e| SweepError::Journal(e.to_string()))?;
         let mut cache = self.scans.lock().expect("scan cache lock");
         let mut out = Vec::with_capacity(paths.len());
         for path in paths {
@@ -581,9 +583,10 @@ impl Fleet {
             ok: false,
         })?;
         let confirmed = self.read_lease_state()?;
-        let won = confirmed.leases.get(key).is_some_and(|s| {
-            s.held && s.fence == fence && s.worker == self.config.worker_id
-        });
+        let won = confirmed
+            .leases
+            .get(key)
+            .is_some_and(|s| s.held && s.fence == fence && s.worker == self.config.worker_id);
         Ok(if won { Some(fence) } else { None })
     }
 
@@ -674,8 +677,7 @@ pub(super) fn run_fleet(
     let jobs = opts.jobs.max(1).min(total);
 
     let worker_loop = |thread_idx: usize| {
-        let mut start =
-            (fnv(fleet.worker_id()) as usize).wrapping_add(thread_idx * 7919) % total;
+        let mut start = (fnv(fleet.worker_id()) as usize).wrapping_add(thread_idx * 7919) % total;
         loop {
             if cancelled() {
                 break;
@@ -884,7 +886,10 @@ mod tests {
         let slot = state.leases.get("k").expect("leased");
         assert_eq!(slot.worker, "live");
         assert_eq!(slot.fence, 2);
-        assert_eq!(slot.deadline_ms, 500, "stale renew must not extend the new lease");
+        assert_eq!(
+            slot.deadline_ms, 500,
+            "stale renew must not extend the new lease"
+        );
     }
 
     #[test]
@@ -921,18 +926,32 @@ mod tests {
         assert!(FleetConfig::new("/tmp/f", "").validate().is_err());
         assert!(FleetConfig::new("/tmp/f", "a/b").validate().is_err());
         assert!(FleetConfig::new("/tmp/f", "a b").validate().is_err());
-        assert!(FleetConfig::new("/tmp/f", "x".repeat(65)).validate().is_err());
+        assert!(FleetConfig::new("/tmp/f", "x".repeat(65))
+            .validate()
+            .is_err());
         // Lease out of bounds, either side.
-        assert!(FleetConfig::new("/tmp/f", "w").intervals(100, 20).validate().is_err());
+        assert!(FleetConfig::new("/tmp/f", "w")
+            .intervals(100, 20)
+            .validate()
+            .is_err());
         assert!(FleetConfig::new("/tmp/f", "w")
             .intervals(MAX_LEASE_MS + 1, 1000)
             .validate()
             .is_err());
         // Heartbeat too slow for the lease (< 3 renewals per lifetime).
-        assert!(FleetConfig::new("/tmp/f", "w").intervals(3000, 1500).validate().is_err());
+        assert!(FleetConfig::new("/tmp/f", "w")
+            .intervals(3000, 1500)
+            .validate()
+            .is_err());
         // Heartbeat below the floor.
-        assert!(FleetConfig::new("/tmp/f", "w").intervals(5000, 5).validate().is_err());
-        assert!(FleetConfig::new("/tmp/f", "w").intervals(3000, 1000).validate().is_ok());
+        assert!(FleetConfig::new("/tmp/f", "w")
+            .intervals(5000, 5)
+            .validate()
+            .is_err());
+        assert!(FleetConfig::new("/tmp/f", "w")
+            .intervals(3000, 1000)
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -962,8 +981,8 @@ mod tests {
     fn expired_leases_are_reclaimable() {
         let dir = std::env::temp_dir().join(format!("dirext-fleet-expire-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let dead = Fleet::new(FleetConfig::new(&dir, "dead").intervals(MIN_LEASE_MS, 50))
-            .expect("fleet");
+        let dead =
+            Fleet::new(FleetConfig::new(&dir, "dead").intervals(MIN_LEASE_MS, 50)).expect("fleet");
         let f1 = dead.try_claim("cell/x").expect("io").expect("won");
         // Simulate worker death: no heartbeats; wait out the lease.
         std::thread::sleep(Duration::from_millis(MIN_LEASE_MS + 50));

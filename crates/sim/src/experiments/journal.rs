@@ -177,7 +177,12 @@ impl fmt::Debug for Journal {
 /// the completed/failed maps with last-wins semantics.
 fn parse_records<'a>(
     lines: impl Iterator<Item = &'a str>,
-) -> (HashMap<String, OkCell>, HashMap<String, FailedCell>, usize, usize) {
+) -> (
+    HashMap<String, OkCell>,
+    HashMap<String, FailedCell>,
+    usize,
+    usize,
+) {
     let mut completed: HashMap<String, OkCell> = HashMap::new();
     let mut failed: HashMap<String, FailedCell> = HashMap::new();
     let mut loaded = 0usize;
@@ -407,7 +412,11 @@ impl Journal {
     /// Whether `key` is recorded as a terminal failure (and not since
     /// superseded by a success).
     pub fn is_failed(&self, key: &str) -> bool {
-        self.inner.lock().expect("journal lock").failed.contains_key(key)
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .failed
+            .contains_key(key)
     }
 
     /// The recorded diagnostics for a failed cell.
@@ -463,7 +472,11 @@ impl Journal {
 
     /// Whether an append error is pending (without consuming it).
     pub fn has_write_error(&self) -> bool {
-        self.inner.lock().expect("journal lock").write_error.is_some()
+        self.inner
+            .lock()
+            .expect("journal lock")
+            .write_error
+            .is_some()
     }
 
     /// Injects a pending write error, exactly as a failed append would.
@@ -813,7 +826,11 @@ mod tests {
         std::fs::write(&path, &HEADER[..HEADER.len() / 2]).unwrap();
         let j = Journal::resume(&path).expect("torn header is recoverable");
         assert_eq!(j.completed_cells(), 0);
-        assert_eq!(j.recovered_lines(), 1, "the torn header counts as recovered");
+        assert_eq!(
+            j.recovered_lines(),
+            1,
+            "the torn header counts as recovered"
+        );
         j.record_ok("t1", 1, &sample_metrics(9));
         drop(j);
         let j = Journal::resume(&path).expect("rewritten header round-trips");
@@ -909,13 +926,23 @@ mod tests {
         let path = tmp("suffix");
         let _ = std::fs::remove_file(&path);
         let j = Journal::create(&path).unwrap();
-        j.record_ok("zeta/W@2.1.1/BASIC/RC/uniform/base/f=none", 1, &sample_metrics(1));
-        j.record_ok("alpha/W@2.1.1/BASIC/RC/uniform/base/f=none", 1, &sample_metrics(2));
+        j.record_ok(
+            "zeta/W@2.1.1/BASIC/RC/uniform/base/f=none",
+            1,
+            &sample_metrics(1),
+        );
+        j.record_ok(
+            "alpha/W@2.1.1/BASIC/RC/uniform/base/f=none",
+            1,
+            &sample_metrics(2),
+        );
         let (key, _) = j
             .lookup_config("W@2.1.1/BASIC/RC/uniform/base/f=none")
             .expect("suffix hit");
         assert_eq!(key, "alpha/W@2.1.1/BASIC/RC/uniform/base/f=none");
-        assert!(j.lookup_config("W@2.1.1/BASIC/SC/uniform/base/f=none").is_none());
+        assert!(j
+            .lookup_config("W@2.1.1/BASIC/SC/uniform/base/f=none")
+            .is_none());
         std::fs::remove_file(&path).ok();
     }
 
@@ -941,9 +968,7 @@ mod tests {
             Workload::new(
                 "W",
                 (0..n)
-                    .map(|_| {
-                        Program::from_events(vec![MemEvent::Read(dirext_trace::Addr::new(0))])
-                    })
+                    .map(|_| Program::from_events(vec![MemEvent::Read(dirext_trace::Addr::new(0))]))
                     .collect(),
             )
         };

@@ -379,7 +379,10 @@ impl std::fmt::Display for SweepError {
                         failure.key, failure.attempts
                     )?;
                 }
-                write!(f, "re-run failing cells after fixing; completed cells resume from the journal")
+                write!(
+                    f,
+                    "re-run failing cells after fixing; completed cells resume from the journal"
+                )
             }
             SweepError::Interrupted { completed, total } => {
                 write!(

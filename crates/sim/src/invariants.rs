@@ -61,11 +61,12 @@ pub(crate) fn check_midrun(m: &Machine) -> Result<(), String> {
             }
         }
     }
-    for n in &m.nodes {
+    for i in 0..m.nodes.len() {
+        let id = NodeId(i as u8);
         let mut reads = std::collections::HashMap::new();
         let mut owns = std::collections::HashMap::new();
         let mut gated: u64 = 0;
-        for e in &n.slwb {
+        for e in &m.nodes.slwb[i] {
             match e.op {
                 crate::node::SlwbOp::Read {
                     upgrade_version, ..
@@ -84,18 +85,15 @@ pub(crate) fn check_midrun(m: &Machine) -> Result<(), String> {
             }
         }
         if let Some((b, c)) = reads.iter().find(|(_, c)| **c > 1) {
-            return Err(format!("{}: {c} outstanding reads for {b}", n.id));
+            return Err(format!("{id}: {c} outstanding reads for {b}"));
         }
         if let Some((b, c)) = owns.iter().find(|(_, c)| **c > 1) {
-            return Err(format!(
-                "{}: {c} outstanding ownership requests for {b}",
-                n.id
-            ));
+            return Err(format!("{id}: {c} outstanding ownership requests for {b}"));
         }
-        if n.pending_writes != gated {
+        if m.nodes.pending_writes[i] != gated {
             return Err(format!(
-                "{}: pending_writes {} but {} gating SLWB entries",
-                n.id, n.pending_writes, gated
+                "{id}: pending_writes {} but {gated} gating SLWB entries",
+                m.nodes.pending_writes[i]
             ));
         }
     }
@@ -105,38 +103,39 @@ pub(crate) fn check_midrun(m: &Machine) -> Result<(), String> {
 /// Checks all invariants, returning a diagnostic for the first violation.
 pub(crate) fn check(m: &Machine) -> Result<(), String> {
     // 1. Drained state.
-    for n in &m.nodes {
-        if !n.slwb.is_empty() {
-            return Err(format!("{}: SLWB not drained: {:?}", n.id, n.slwb));
+    for i in 0..m.nodes.len() {
+        let id = NodeId(i as u8);
+        if !m.nodes.slwb[i].is_empty() {
+            return Err(format!("{id}: SLWB not drained: {:?}", m.nodes.slwb[i]));
         }
-        if !n.flwb.is_empty() {
-            return Err(format!("{}: FLWB not drained", n.id));
+        if !m.nodes.flwb[i].is_empty() {
+            return Err(format!("{id}: FLWB not drained"));
         }
-        if !n.update_backlog.is_empty() || !n.wb_backlog.is_empty() {
-            return Err(format!("{}: backlog not drained", n.id));
+        if !m.nodes.update_backlog[i].is_empty() || !m.nodes.wb_backlog[i].is_empty() {
+            return Err(format!("{id}: backlog not drained"));
         }
-        if n.wc.as_ref().is_some_and(|wc| !wc.is_empty()) {
-            return Err(format!("{}: write cache not flushed", n.id));
+        if m.nodes.wc[i].as_ref().is_some_and(|wc| !wc.is_empty()) {
+            return Err(format!("{id}: write cache not flushed"));
         }
-        if n.pending_writes != 0 {
+        if m.nodes.pending_writes[i] != 0 {
             return Err(format!(
-                "{}: {} pending writes at quiescence",
-                n.id, n.pending_writes
+                "{id}: {} pending writes at quiescence",
+                m.nodes.pending_writes[i]
             ));
         }
-        if !n.sync_waiting.is_empty() {
-            return Err(format!("{}: deferred synchronization still waiting", n.id));
+        if !m.nodes.sync_waiting[i].is_empty() {
+            return Err(format!("{id}: deferred synchronization still waiting"));
         }
-        if !n.held_locks.is_empty() {
+        if !m.nodes.held_locks[i].is_empty() {
             return Err(format!(
-                "{}: locks still held at quiescence: {:?}",
-                n.id, n.held_locks
+                "{id}: locks still held at quiescence: {:?}",
+                m.nodes.held_locks[i]
             ));
         }
         // Inclusion: every FLC-resident block has a valid SLC line.
-        for block in n.flc.resident() {
-            if !n.slc.contains(block) {
-                return Err(format!("{}: FLC holds {block} without an SLC line", n.id));
+        for block in m.nodes.flc.resident(i) {
+            if !m.nodes.slc[i].contains(block) {
+                return Err(format!("{id}: FLC holds {block} without an SLC line"));
             }
         }
     }
@@ -169,7 +168,7 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                             "{block}: MODIFIED at {o} but presence {presence:#b}"
                         ));
                     }
-                    let Some(line) = m.nodes[o.idx()].slc.get(block) else {
+                    let Some(line) = m.nodes.slc[o.idx()].get(block) else {
                         return Err(format!("{block}: owner {o} holds no copy"));
                     };
                     if !line.state.exclusive() {
@@ -181,11 +180,11 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                             line.version
                         ));
                     }
-                    for n in &m.nodes {
-                        if n.id != o && n.slc.contains(block) {
+                    for i in 0..m.nodes.len() {
+                        if i != o.idx() && m.nodes.slc[i].contains(block) {
                             return Err(format!(
                                 "{block}: {} holds a copy alongside owner {o}",
-                                n.id
+                                NodeId(i as u8)
                             ));
                         }
                     }
@@ -197,34 +196,33 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                             "{block}: memory version {mem} != write count {truth}"
                         ));
                     }
-                    for n in &m.nodes {
-                        let bit = presence & (1u64 << n.id.idx()) != 0;
-                        match n.slc.get(block) {
+                    for i in 0..m.nodes.len() {
+                        let id = NodeId(i as u8);
+                        let bit = presence & (1u64 << i) != 0;
+                        match m.nodes.slc[i].get(block) {
                             Some(line) => {
                                 if line.state != CacheState::Shared {
                                     return Err(format!(
-                                        "{block}: {} holds {:?} while directory is CLEAN",
-                                        n.id, line.state
+                                        "{block}: {id} holds {:?} while directory is CLEAN",
+                                        line.state
                                     ));
                                 }
                                 if !bit {
                                     return Err(format!(
-                                        "{block}: {} holds a copy without a presence bit",
-                                        n.id
+                                        "{block}: {id} holds a copy without a presence bit"
                                     ));
                                 }
                                 if line.version != truth {
                                     return Err(format!(
-                                        "{block}: {} version {} != write count {truth}",
-                                        n.id, line.version
+                                        "{block}: {id} version {} != write count {truth}",
+                                        line.version
                                     ));
                                 }
                             }
                             None => {
                                 if bit {
                                     return Err(format!(
-                                        "{block}: presence bit for {} without a copy",
-                                        n.id
+                                        "{block}: presence bit for {id} without a copy"
                                     ));
                                 }
                             }

@@ -15,7 +15,7 @@ use dirext_trace::{BlockAddr, NodeId, Workload, WorkloadError};
 
 use crate::home::Home;
 use crate::invariants;
-use crate::node::Node;
+use crate::node::Nodes;
 use crate::MachineConfig;
 
 /// Simulation failure.
@@ -158,7 +158,7 @@ pub struct Machine {
     pub(crate) cfg: MachineConfig,
     pub(crate) now: Time,
     pub(crate) queue: EventQueue<Ev>,
-    pub(crate) nodes: Vec<Node>,
+    pub(crate) nodes: Nodes,
     pub(crate) homes: Vec<Home>,
     pub(crate) net: Box<dyn Network>,
     /// Global per-block write counters (the debug "truth" the coherence
@@ -217,7 +217,7 @@ impl Machine {
             classifier: MissClassifier::new(cfg.procs),
             now: Time::ZERO,
             queue: EventQueue::with_capacity(256),
-            nodes: Vec::new(),
+            nodes: Nodes::placeholder(),
             homes,
             net,
             wcount: BlockMap::new(),
@@ -272,7 +272,7 @@ impl Machine {
     /// by the receiving interface's link-layer sequence check.
     pub(crate) fn send_msg(&mut self, t: Time, msg: Msg) {
         let bus = self.cfg.bus_time();
-        let start = self.nodes[msg.src.idx()].bus_res.acquire(t, bus);
+        let start = self.nodes.bus_res[msg.src.idx()].acquire(t, bus);
         let deliveries = self.net.send_all(start + bus, msg.envelope());
         if let Some(arrival) = deliveries.primary {
             self.queue.push(arrival, Ev::Deliver(msg));
@@ -349,16 +349,13 @@ impl Machine {
                 workload: workload.procs(),
             });
         }
-        self.nodes = (0..self.cfg.procs)
-            .map(|i| {
-                Node::new(
-                    NodeId(i as u8),
-                    workload.program_shared(i),
-                    &self.cfg.protocol,
-                    &self.cfg.timing,
-                )
-            })
-            .collect();
+        self.nodes = Nodes::new(
+            (0..self.cfg.procs)
+                .map(|i| workload.program_shared(i))
+                .collect(),
+            &self.cfg.protocol,
+            &self.cfg.timing,
+        );
         for i in 0..self.cfg.procs {
             self.queue.push(Time::ZERO, Ev::ProcStep(NodeId(i as u8)));
         }
@@ -380,9 +377,9 @@ impl Machine {
             match ev {
                 Ev::ProcStep(n) => {
                     let i = n.idx();
-                    let before = (self.nodes[i].pc, self.nodes[i].finish.is_some());
+                    let before = (self.nodes.pc[i], self.nodes.finish[i].is_some());
                     self.proc_step(n, t);
-                    if (self.nodes[i].pc, self.nodes[i].finish.is_some()) != before {
+                    if (self.nodes.pc[i], self.nodes.finish[i].is_some()) != before {
                         self.last_progress = t;
                     }
                 }
@@ -411,7 +408,7 @@ impl Machine {
         }
 
         // Quiescence: every processor must have finished.
-        if self.nodes.iter().any(|n| n.finish.is_none()) {
+        if self.nodes.finish.iter().any(|f| f.is_none()) {
             return Err(SimError::Deadlock {
                 detail: self.snapshot(self.now),
             });
@@ -442,7 +439,7 @@ impl Machine {
     /// the configured window while some are still running, the run aborts
     /// with a diagnostic snapshot instead of spinning to the event budget.
     fn watchdog_tick(&mut self, now: Time) {
-        if self.nodes.iter().all(|n| n.finish.is_some()) {
+        if self.nodes.finish.iter().all(|f| f.is_some()) {
             return; // Quiescing normally; let the queue drain.
         }
         let window = Time::from_cycles(self.cfg.watchdog_pclocks);
@@ -466,18 +463,18 @@ impl Machine {
             self.last_progress,
             self.queue.len()
         );
-        for n in self.nodes.iter().filter(|n| n.finish.is_none()) {
+        for i in (0..self.nodes.len()).filter(|&i| self.nodes.finish[i].is_none()) {
             let _ = write!(
                 out,
                 "; {}@pc{} {:?} slwb={:?} pw={} sync={:?} grant={:?} ev={:?}",
-                n.id,
-                n.pc,
-                n.pstate,
-                n.slwb,
-                n.pending_writes,
-                n.sync_waiting,
-                n.waiting_grant,
-                n.program.get(n.pc.saturating_sub(1)),
+                NodeId(i as u8),
+                self.nodes.pc[i],
+                self.nodes.pstate[i],
+                self.nodes.slwb[i],
+                self.nodes.pending_writes[i],
+                self.nodes.sync_waiting[i],
+                self.nodes.waiting_grant[i],
+                self.nodes.program[i].get(self.nodes.pc[i].saturating_sub(1)),
             );
         }
         for (i, h) in self.homes.iter().enumerate() {
@@ -631,18 +628,21 @@ impl Machine {
             procs: self.cfg.procs,
             ..Metrics::default()
         };
-        for n in &self.nodes {
-            m.exec_cycles = m.exec_cycles.max(n.finish.map_or(0, Time::cycles));
-            m.stalls.merge(&n.stalls);
-            m.shared_reads += n.counters.shared_reads;
-            m.shared_writes += n.counters.shared_writes;
-            m.flc_hits += n.flc.hits();
-            m.slc_misses += n.counters.slc_misses;
-            m.wc_read_hits += n.counters.wc_read_hits;
-            m.read_miss_cycles += n.counters.read_miss_cycles;
-            m.read_miss_count += n.counters.read_miss_count;
-            m.read_miss_hist.merge(&n.read_miss_hist);
-            if let Some(ps) = n.exts.prefetch_stats() {
+        for i in 0..self.nodes.len() {
+            let c = &self.nodes.counters[i];
+            m.exec_cycles = m
+                .exec_cycles
+                .max(self.nodes.finish[i].map_or(0, Time::cycles));
+            m.stalls.merge(&self.nodes.stalls[i]);
+            m.shared_reads += c.shared_reads;
+            m.shared_writes += c.shared_writes;
+            m.flc_hits += self.nodes.flc.hits(i);
+            m.slc_misses += c.slc_misses;
+            m.wc_read_hits += c.wc_read_hits;
+            m.read_miss_cycles += c.read_miss_cycles;
+            m.read_miss_count += c.read_miss_count;
+            m.read_miss_hist.merge(&self.nodes.read_miss_hist[i]);
+            if let Some(ps) = self.nodes.exts[i].prefetch_stats() {
                 m.prefetches_issued += ps.issued;
                 m.prefetches_useful += ps.useful;
             }
@@ -679,7 +679,7 @@ impl Machine {
             m.fault_lost = fs.lost;
         }
         m.barrier_completion_cycles = self.barrier_log.iter().map(|t| t.cycles()).collect();
-        m.per_proc_stalls = self.nodes.iter().map(|n| n.stalls).collect();
+        m.per_proc_stalls = self.nodes.stalls.clone();
         let t = self.net.traffic();
         m.net_bytes = t.bytes();
         m.net_msgs = t.msgs();

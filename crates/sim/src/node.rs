@@ -1,4 +1,12 @@
-//! Per-node cache-side state.
+//! Per-node cache-side state, laid out as a structure of arrays.
+//!
+//! [`Nodes`] holds every node's processor/cache/buffer state as parallel
+//! columns indexed by node: the event dispatch loop touches only the
+//! columns the event class needs (a `Compute` retirement reads `pc`,
+//! `pstate` and `stalls`; an FLC probe touches the flattened tag column)
+//! instead of dragging whole per-node structs through the cache. Columns
+//! that are identical across nodes (`slwb_cap`, `comp_preset`) are plain
+//! scalars.
 
 use std::collections::VecDeque;
 
@@ -7,9 +15,9 @@ use dirext_core::config::ProtocolConfig;
 use dirext_core::line::Line;
 use dirext_core::proto::ExtStack;
 use dirext_kernel::{Resource, Time};
-use dirext_memsys::{Fifo, Flc, Slc, SlcGeometry, Timing, WcEntry, WriteCache};
+use dirext_memsys::{Fifo, FlcArray, Slc, SlcGeometry, Timing, WcEntry, WriteCache};
 use dirext_stats::{Histogram, StallBreakdown, StallKind};
-use dirext_trace::{Addr, BlockAddr, NodeId, Program};
+use dirext_trace::{Addr, BlockAddr, Program};
 use std::sync::Arc;
 
 /// What the processor is doing.
@@ -124,146 +132,208 @@ pub(crate) struct NodeCounters {
     pub read_miss_count: u64,
 }
 
-/// One processing node: processor + FLC + FLWB + SLC(+SLWB, write cache,
-/// prefetcher) + local bus.
+/// All nodes' cache-side state as parallel columns (structure of arrays).
+///
+/// Column `x[i]` is node `i`'s `x`. One processing node comprises:
+/// processor + FLC + FLWB + SLC(+SLWB, write cache, prefetcher) + local
+/// bus. Grouping is by access pattern: the processor columns are touched
+/// on every `ProcStep`, the FLC/FLWB columns on reads/writes, the SLC and
+/// write-cache columns only on misses and protocol traffic.
 #[derive(Debug)]
-pub(crate) struct Node {
-    pub id: NodeId,
-    pub program: Arc<Program>,
-    pub pc: usize,
-    pub pstate: ProcState,
+pub(crate) struct Nodes {
+    // ----- processor columns (every ProcStep) -----
+    pub pc: Vec<usize>,
+    pub pstate: Vec<ProcState>,
     /// Skip re-charging FLC access time when retrying after a buffer stall.
-    pub retry_no_charge: bool,
-    pub stalls: StallBreakdown,
-    pub finish: Option<Time>,
+    pub retry_no_charge: Vec<bool>,
+    pub finish: Vec<Option<Time>>,
+    pub program: Vec<Arc<Program>>,
+    pub stalls: Vec<StallBreakdown>,
 
-    pub flc: Flc,
-    pub flwb: Fifo<FlwbEntry>,
+    // ----- FLC / FLWB columns (reads and writes) -----
+    /// Every node's FLC tag array, flattened node-major.
+    pub flc: FlcArray,
+    pub flwb: Vec<Fifo<FlwbEntry>>,
     /// A drain chain (`FlwbHead` event) is scheduled.
-    pub flwb_active: bool,
+    pub flwb_active: Vec<bool>,
 
-    pub slc: Slc<Line>,
-    pub slwb: Vec<SlwbEntry>,
-    pub slwb_cap: usize,
-    pub slc_res: Resource,
-    pub bus_res: Resource,
+    // ----- SLC columns (misses and protocol traffic) -----
+    pub slc: Vec<Slc<Line>>,
+    pub slwb: Vec<Vec<SlwbEntry>>,
+    pub slc_res: Vec<Resource>,
+    pub bus_res: Vec<Resource>,
 
-    pub wc: Option<WriteCache>,
+    // ----- write-cache columns -----
+    pub wc: Vec<Option<WriteCache>>,
     /// Version stamps of write-cache entries (debug coherence check).
-    pub wc_version: BlockMap<u64>,
+    pub wc_version: Vec<BlockMap<u64>>,
     /// Victim write-cache entries waiting for SLWB space.
-    pub update_backlog: VecDeque<(WcEntry, u64)>,
+    pub update_backlog: Vec<VecDeque<(WcEntry, u64)>>,
     /// Evicted dirty blocks waiting for SLWB space: `(block, written,
     /// version)`.
-    pub wb_backlog: VecDeque<(BlockAddr, bool, u64)>,
+    pub wb_backlog: Vec<VecDeque<(BlockAddr, bool, u64)>>,
 
+    // ----- protocol / synchronization columns -----
     /// Cache-side protocol-extension hooks (prefetch adaptation, write-mode
     /// selection), built from the same configuration as the home's stack.
-    pub exts: ExtStack,
-
+    pub exts: Vec<ExtStack>,
     /// Outstanding ownership/update requests (release gating).
-    pub pending_writes: u64,
+    pub pending_writes: Vec<u64>,
     /// Releases and barrier arrivals waiting for pending writes to drain.
-    pub sync_waiting: VecDeque<SyncOut>,
+    pub sync_waiting: Vec<VecDeque<SyncOut>>,
     /// The synchronization grant this processor's stall is waiting for
     /// (guards grant delivery against duplicated messages).
-    pub waiting_grant: Option<SyncWait>,
+    pub waiting_grant: Vec<Option<SyncWait>>,
     /// Monotone counter stamping each lock acquire this node issues; the
     /// home's duplicate filter and the grant/release matching key on it.
-    pub next_lock_seq: u64,
+    pub next_lock_seq: Vec<u64>,
     /// Locks this node has been granted and not yet released, with the
     /// acquire sequence of the grant (echoed on the release).
-    pub held_locks: BlockMap<u64>,
+    pub held_locks: Vec<BlockMap<u64>>,
 
-    pub counters: NodeCounters,
+    // ----- metrics columns -----
+    pub counters: Vec<NodeCounters>,
     /// Distribution of demand read-miss service times.
-    pub read_miss_hist: Histogram,
+    pub read_miss_hist: Vec<Histogram>,
+
+    // ----- machine-wide scalars (identical for every node) -----
+    /// SLWB capacity.
+    pub slwb_cap: usize,
     /// Competitive counter preset (0 when CW is off — unused).
     pub comp_preset: u8,
 }
 
-impl Node {
+impl Nodes {
+    /// Builds the columns for `programs.len()` nodes.
     pub(crate) fn new(
-        id: NodeId,
-        program: Arc<Program>,
+        programs: Vec<Arc<Program>>,
         protocol: &ProtocolConfig,
         timing: &Timing,
     ) -> Self {
+        let n = programs.len();
         let comp_preset = protocol.competitive.map_or(1, |c| c.threshold);
-        Node {
-            id,
-            program,
-            pc: 0,
-            pstate: ProcState::Ready,
-            retry_no_charge: false,
-            stalls: StallBreakdown::default(),
-            finish: None,
-            flc: Flc::new(timing.flc_bytes),
-            flwb: Fifo::new(timing.flwb_entries),
-            flwb_active: false,
-            slc: Slc::new(SlcGeometry::from_bytes(timing.slc_bytes)),
-            slwb: Vec::with_capacity(timing.slwb_entries),
+        Nodes {
+            pc: vec![0; n],
+            pstate: vec![ProcState::Ready; n],
+            retry_no_charge: vec![false; n],
+            finish: vec![None; n],
+            program: programs,
+            stalls: vec![StallBreakdown::default(); n],
+            flc: FlcArray::new(n, timing.flc_bytes),
+            flwb: (0..n).map(|_| Fifo::new(timing.flwb_entries)).collect(),
+            flwb_active: vec![false; n],
+            slc: (0..n)
+                .map(|_| Slc::new(SlcGeometry::from_bytes(timing.slc_bytes)))
+                .collect(),
+            slwb: (0..n)
+                .map(|_| Vec::with_capacity(timing.slwb_entries))
+                .collect(),
+            slc_res: vec![Resource::new(); n],
+            bus_res: vec![Resource::new(); n],
+            wc: (0..n)
+                .map(|_| {
+                    protocol
+                        .competitive
+                        .filter(|c| c.write_cache)
+                        .map(|_| WriteCache::new(timing.write_cache_blocks))
+                })
+                .collect(),
+            wc_version: (0..n).map(|_| BlockMap::new()).collect(),
+            update_backlog: (0..n).map(|_| VecDeque::new()).collect(),
+            wb_backlog: (0..n).map(|_| VecDeque::new()).collect(),
+            exts: (0..n).map(|_| ExtStack::from_protocol(protocol)).collect(),
+            pending_writes: vec![0; n],
+            sync_waiting: (0..n).map(|_| VecDeque::new()).collect(),
+            waiting_grant: vec![None; n],
+            next_lock_seq: vec![1; n],
+            held_locks: (0..n).map(|_| BlockMap::new()).collect(),
+            counters: vec![NodeCounters::default(); n],
+            read_miss_hist: (0..n).map(|_| Histogram::new()).collect(),
             slwb_cap: timing.slwb_entries,
-            slc_res: Resource::new(),
-            bus_res: Resource::new(),
-            wc: protocol
-                .competitive
-                .filter(|c| c.write_cache)
-                .map(|_| WriteCache::new(timing.write_cache_blocks)),
-            wc_version: BlockMap::new(),
-            update_backlog: VecDeque::new(),
-            wb_backlog: VecDeque::new(),
-            exts: ExtStack::from_protocol(protocol),
-            pending_writes: 0,
-            sync_waiting: VecDeque::new(),
-            waiting_grant: None,
-            next_lock_seq: 1,
-            held_locks: BlockMap::new(),
-            counters: NodeCounters::default(),
-            read_miss_hist: Histogram::new(),
             comp_preset,
         }
     }
 
-    /// Finds the SLWB entry for `block` matching `pred`.
+    /// An empty placeholder (no nodes); replaced when a workload is run.
+    pub(crate) fn placeholder() -> Self {
+        Nodes {
+            pc: Vec::new(),
+            pstate: Vec::new(),
+            retry_no_charge: Vec::new(),
+            finish: Vec::new(),
+            program: Vec::new(),
+            stalls: Vec::new(),
+            flc: FlcArray::new(0, dirext_trace::BLOCK_BYTES),
+            flwb: Vec::new(),
+            flwb_active: Vec::new(),
+            slc: Vec::new(),
+            slwb: Vec::new(),
+            slc_res: Vec::new(),
+            bus_res: Vec::new(),
+            wc: Vec::new(),
+            wc_version: Vec::new(),
+            update_backlog: Vec::new(),
+            wb_backlog: Vec::new(),
+            exts: Vec::new(),
+            pending_writes: Vec::new(),
+            sync_waiting: Vec::new(),
+            waiting_grant: Vec::new(),
+            next_lock_seq: Vec::new(),
+            held_locks: Vec::new(),
+            counters: Vec::new(),
+            read_miss_hist: Vec::new(),
+            slwb_cap: 0,
+            comp_preset: 1,
+        }
+    }
+
+    /// Number of nodes.
+    pub(crate) fn len(&self) -> usize {
+        self.pc.len()
+    }
+
+    /// Finds node `i`'s SLWB entry for `block` matching `pred`.
     pub(crate) fn slwb_find(
         &mut self,
+        i: usize,
         block: BlockAddr,
         pred: impl Fn(&SlwbOp) -> bool,
     ) -> Option<&mut SlwbEntry> {
-        self.slwb
+        self.slwb[i]
             .iter_mut()
             .find(|e| e.block == block && pred(&e.op))
     }
 
-    /// Removes and returns the SLWB entry for `block` matching `pred`.
+    /// Removes and returns node `i`'s SLWB entry for `block` matching
+    /// `pred`.
     pub(crate) fn slwb_take(
         &mut self,
+        i: usize,
         block: BlockAddr,
         pred: impl Fn(&SlwbOp) -> bool,
     ) -> Option<SlwbEntry> {
-        let pos = self
-            .slwb
+        let pos = self.slwb[i]
             .iter()
             .position(|e| e.block == block && pred(&e.op))?;
-        Some(self.slwb.remove(pos))
+        Some(self.slwb[i].remove(pos))
     }
 
-    /// Whether the SLWB can accept another entry.
-    pub(crate) fn slwb_has_space(&self) -> bool {
-        self.slwb.len() < self.slwb_cap
+    /// Whether node `i`'s SLWB can accept another entry.
+    pub(crate) fn slwb_has_space(&self, i: usize) -> bool {
+        self.slwb[i].len() < self.slwb_cap
     }
 
-    /// Whether any read (demand or prefetch) is pending for `block`.
-    pub(crate) fn read_pending(&self, block: BlockAddr) -> bool {
-        self.slwb
+    /// Whether node `i` has any read (demand or prefetch) pending for
+    /// `block`.
+    pub(crate) fn read_pending(&self, i: usize, block: BlockAddr) -> bool {
+        self.slwb[i]
             .iter()
             .any(|e| e.block == block && matches!(e.op, SlwbOp::Read { .. }))
     }
 
-    /// Whether an ownership request is pending for `block`.
-    pub(crate) fn own_pending(&self, block: BlockAddr) -> bool {
-        self.slwb
+    /// Whether node `i` has an ownership request pending for `block`.
+    pub(crate) fn own_pending(&self, i: usize, block: BlockAddr) -> bool {
+        self.slwb[i]
             .iter()
             .any(|e| e.block == block && matches!(e.op, SlwbOp::Own { .. }))
     }

@@ -123,15 +123,46 @@ proptest! {
     }
 
     /// Tracing is observation only: metrics are byte-identical with the
-    /// ring on and off.
+    /// ring on and off, for every extension config. This is also the
+    /// differential oracle for the untraced batch-retirement fast paths
+    /// (inline processor retirement and FLWB-drain inlining), which are
+    /// disabled while the conformance ring is armed: the traced run takes
+    /// the plain queued schedule, so any divergence between the fast and
+    /// queued paths shows up here as a metrics mismatch.
     #[test]
     fn tracing_does_not_perturb(w in arb_workload()) {
-        let cfg = ProtocolKind::PCwM.config(Consistency::Rc);
-        let plain = Machine::new(MachineConfig::new(PROCS, cfg.clone())).run(&w).unwrap();
-        let traced = Machine::new(MachineConfig::new(PROCS, cfg).with_trace(RING))
+        for kind in ProtocolKind::ALL {
+            let cfg = kind.config(Consistency::Rc);
+            let plain = Machine::new(MachineConfig::new(PROCS, cfg.clone())).run(&w).unwrap();
+            let traced = Machine::new(MachineConfig::new(PROCS, cfg).with_trace(RING))
+                .run(&w)
+                .unwrap();
+            prop_assert!(plain == traced, "{} traced vs untraced metrics diverged", kind);
+        }
+    }
+
+    /// The same traced-vs-untraced equivalence under fault injection:
+    /// drops, duplicates and jitter exercise the retry/duplicate event
+    /// paths around the batched fast paths without perturbing metrics.
+    #[test]
+    fn tracing_does_not_perturb_under_faults((w, plan) in (arb_workload(), arb_fault_plan())) {
+        for kind in [ProtocolKind::Basic, ProtocolKind::P, ProtocolKind::Cw, ProtocolKind::PCwM] {
+            let cfg = kind.config(Consistency::Rc);
+            let plain = Machine::new(MachineConfig::new(PROCS, cfg.clone()).with_faults(plan))
+                .run(&w)
+                .unwrap();
+            let traced = Machine::new(
+                MachineConfig::new(PROCS, cfg).with_faults(plan).with_trace(RING),
+            )
             .run(&w)
             .unwrap();
-        prop_assert_eq!(plain, traced);
+            prop_assert!(
+                plain == traced,
+                "{} traced vs untraced metrics diverged under {:?}",
+                kind,
+                plan
+            );
+        }
     }
 }
 

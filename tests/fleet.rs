@@ -74,10 +74,17 @@ fn three_worker_fleet_matches_serial_byte_identical() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("join")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
     });
     for r in &results {
-        assert_eq!(*r, serial.to_string(), "every worker renders the serial bytes");
+        assert_eq!(
+            *r,
+            serial.to_string(),
+            "every worker renders the serial bytes"
+        );
     }
 
     // The lease log granted each cell to exactly one worker: the union
@@ -89,7 +96,11 @@ fn three_worker_fleet_matches_serial_byte_identical() {
         .iter()
         .map(|p| journal::scan(p).expect("scan").completed.len())
         .collect();
-    assert_eq!(per_worker.iter().sum::<usize>(), 40, "disjoint sharding: {per_worker:?}");
+    assert_eq!(
+        per_worker.iter().sum::<usize>(),
+        40,
+        "disjoint sharding: {per_worker:?}"
+    );
 
     // assemble folds the three journals into one; replaying it computes
     // nothing and still renders the serial bytes.
@@ -99,12 +110,13 @@ fn three_worker_fleet_matches_serial_byte_identical() {
     let summary = journal::assemble(&workers, &out).expect("assemble");
     assert_eq!((summary.cells, summary.failed), (40, 0));
     let merged = Arc::new(Journal::resume(&out).expect("resume assembled"));
-    let replay = fig2_with(
-        &s,
-        &SweepOpts::jobs(1).with_journal(merged).replay_only(),
-    )
-    .expect("replay-only");
-    assert_eq!(replay.to_string(), serial.to_string(), "assembled replay is byte-identical");
+    let replay =
+        fig2_with(&s, &SweepOpts::jobs(1).with_journal(merged).replay_only()).expect("replay-only");
+    assert_eq!(
+        replay.to_string(),
+        serial.to_string(),
+        "assembled replay is byte-identical"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -127,9 +139,13 @@ fn expired_lease_of_dead_worker_is_reclaimed_with_higher_fence() {
         "base",
         None,
     );
-    let mut lease_log =
-        std::fs::File::create(dir.join("leases.jsonl")).expect("create lease log");
-    writeln!(lease_log, "{}", dirext_sim::experiments::fleet::LEASE_HEADER).expect("header");
+    let mut lease_log = std::fs::File::create(dir.join("leases.jsonl")).expect("create lease log");
+    writeln!(
+        lease_log,
+        "{}",
+        dirext_sim::experiments::fleet::LEASE_HEADER
+    )
+    .expect("header");
     writeln!(
         lease_log,
         "{{\"op\":\"claim\",\"key\":\"{key}\",\"worker\":\"ghost\",\"fence\":1,\
@@ -152,7 +168,9 @@ fn expired_lease_of_dead_worker_is_reclaimed_with_higher_fence() {
     let reclaim = leases
         .lines()
         .find(|l| {
-            l.contains("\"op\":\"claim\"") && l.contains(&key) && l.contains("\"worker\":\"survivor\"")
+            l.contains("\"op\":\"claim\"")
+                && l.contains(&key)
+                && l.contains("\"worker\":\"survivor\"")
         })
         .expect("survivor reclaimed the phantom's cell");
     assert!(
@@ -179,11 +197,18 @@ fn replay_only_refuses_incomplete_journals() {
     journal::assemble(&worker_journals(&dir).expect("workers"), &out).expect("assemble");
     let merged = Arc::new(Journal::resume(&out).expect("resume"));
     match fig2_with(&s, &SweepOpts::jobs(1).with_journal(merged).replay_only()) {
-        Err(SweepError::Incomplete { driver, missing, quarantined }) => {
+        Err(SweepError::Incomplete {
+            driver,
+            missing,
+            quarantined,
+        }) => {
             assert_eq!(driver, "fig2");
             assert_eq!(quarantined, 0);
             assert_eq!(missing.len(), 32, "8 protocols x 4 missing apps");
-            assert!(missing.iter().all(|k| !k.contains("MP3D")), "MP3D cells are journaled");
+            assert!(
+                missing.iter().all(|k| !k.contains("MP3D")),
+                "MP3D cells are journaled"
+            );
         }
         other => panic!("expected Incomplete, got {other:?}"),
     }

@@ -99,8 +99,8 @@ fn interrupted_journal_resumes_to_byte_identical_artifacts() {
     let resumed_journal = Arc::new(Journal::resume(&partial_path).expect("resume journal"));
     assert_eq!(resumed_journal.loaded_records(), 5);
     assert_eq!(resumed_journal.recovered_lines(), 1, "torn tail dropped");
-    let resumed = fig2_with(&s, &SweepOpts::jobs(8).with_journal(resumed_journal))
-        .expect("resumed run");
+    let resumed =
+        fig2_with(&s, &SweepOpts::jobs(8).with_journal(resumed_journal)).expect("resumed run");
     assert_eq!(
         reference.csv(),
         resumed.csv(),
@@ -211,13 +211,21 @@ fn transient_failure_is_retried_with_rotated_seed() {
         find_transient_seed(&w).expect("a lossy seed that wedges the run must exist in 0..120");
 
     let one_app = vec![w.clone()];
-    let no_retry = miss_latency_with(&one_app, &SweepOpts::jobs(1).with_fault(lossy(seed)).retries(0));
-    assert!(no_retry.is_err(), "without retry the transient failure surfaces");
+    let no_retry = miss_latency_with(
+        &one_app,
+        &SweepOpts::jobs(1).with_fault(lossy(seed)).retries(0),
+    );
+    assert!(
+        no_retry.is_err(),
+        "without retry the transient failure surfaces"
+    );
 
     if retry_clears {
         // With the retry budget the rotated seed completes the cell.
-        let retried =
-            miss_latency_with(&one_app, &SweepOpts::jobs(1).with_fault(lossy(seed)).retries(2));
+        let retried = miss_latency_with(
+            &one_app,
+            &SweepOpts::jobs(1).with_fault(lossy(seed)).retries(2),
+        );
         assert!(
             retried.is_ok(),
             "retry with rotated fault seed must clear the transient failure: {retried:?}"
@@ -239,7 +247,10 @@ fn transient_failure_is_retried_with_rotated_seed() {
             assert_eq!(q.completed + q.failures.len(), q.total, "no cell skipped");
             assert!(q.failures.iter().all(|f| !f.panicked));
             assert!(q.failures.iter().all(|f| f.attempts == 1));
-            assert!(q.failures.iter().any(|f| f.sim.as_ref().is_some_and(|e| e.is_transient())));
+            assert!(q
+                .failures
+                .iter()
+                .any(|f| f.sim.as_ref().is_some_and(|e| e.is_transient())));
         }
         other => panic!("expected quarantine, got {other:?}"),
     }
@@ -362,7 +373,10 @@ fn retry_backoff_is_deterministic_jittered_and_capped() {
     // Capped: the exponential stops growing at cap_ms.
     for attempt in [10u32, 20, 63] {
         let d = retry_backoff(key, attempt, 10, 2000).as_millis() as u64;
-        assert!((1000..=2000).contains(&d), "attempt {attempt}: {d} ms escaped the cap");
+        assert!(
+            (1000..=2000).contains(&d),
+            "attempt {attempt}: {d} ms escaped the cap"
+        );
     }
 
     // Jittered: different cells desynchronize — across many keys the
@@ -371,7 +385,11 @@ fn retry_backoff_is_deterministic_jittered_and_capped() {
     let delays: std::collections::HashSet<u128> = (0..32)
         .map(|i| retry_backoff(&format!("{key}/{i}"), 3, 10, 2000).as_millis())
         .collect();
-    assert!(delays.len() > 8, "only {} distinct delays across 32 keys", delays.len());
+    assert!(
+        delays.len() > 8,
+        "only {} distinct delays across 32 keys",
+        delays.len()
+    );
 
     // attempt 0 is treated as attempt 1, never a zero-length window.
     assert!(retry_backoff(key, 0, 10, 2000) >= std::time::Duration::from_millis(5));
@@ -400,7 +418,10 @@ fn retries_account_attempts_with_custom_backoff() {
     match r {
         Ok(_) => {}
         Err(SweepError::Quarantined(q)) => {
-            assert!(q.failures.iter().all(|f| f.attempts == 3), "1 try + 2 retries");
+            assert!(
+                q.failures.iter().all(|f| f.attempts == 3),
+                "1 try + 2 retries"
+            );
         }
         Err(other) => panic!("unexpected sweep error: {other}"),
     }
