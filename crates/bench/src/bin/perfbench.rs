@@ -18,7 +18,10 @@
 //!   aggregate. This section always runs at `small`/16-proc scale — even
 //!   under `--quick` — so a CI smoke run produces numbers directly
 //!   comparable to the committed baseline; only the repetition count
-//!   shrinks.
+//!   shrinks. It also records one `dir_scale` entry — Water at 256 procs
+//!   under the 4-pointer broadcast directory on the hierarchical mesh —
+//!   tracking the cost of the machinery a 64-node full-map run never
+//!   touches (wide fan-outs, multi-word ack masks, two-level routing).
 //!
 //! Usage: `perfbench [--quick] [--jobs N] [--out-dir DIR] [--baseline FILE]
 //! [--min-wall-secs S]`
@@ -424,6 +427,35 @@ fn main() {
     let mp3d_secs = median_of(reps_for(reps, mp3d_warm, min_wall_secs), || run_mp3d().0);
     let mp3d_events = w0.total_events();
 
+    // Directory-scaling entry: 256 nodes under the 4-pointer broadcast
+    // organization on the hierarchical mesh. This is the machine the
+    // full-map directory cannot build at all, so it gets its own record
+    // (outside the regression-gated per-workload set): the number tracks
+    // the cost of wide broadcast fan-outs, >64-node ack masks and
+    // two-level routing on the hot path.
+    eprintln!("perfbench: dir-scale Water x P+CW (small, 256 procs, ptr4b, hmesh64)...");
+    let dir_w = App::Water.workload(256, Scale::Small);
+    let run_dir_scale = || {
+        let t0 = Instant::now();
+        let m = experiments::run_protocol_dir(
+            &dir_w,
+            dirext_core::ProtocolKind::PCw,
+            dirext_core::Consistency::Rc,
+            dirext_sim::NetworkKind::HierMesh { link_bits: 64 },
+            dirext_core::sharer::DirOrg::LimitedPtr {
+                ptrs: 4,
+                broadcast: true,
+            },
+            None,
+            None,
+        )
+        .expect("dir-scale run");
+        (t0.elapsed().as_secs_f64(), m.exec_cycles)
+    };
+    let (dir_warm, dir_cycles) = run_dir_scale();
+    let dir_secs = median_of(reps_for(reps, dir_warm, min_wall_secs), || run_dir_scale().0);
+    let dir_events = dir_w.total_events();
+
     let agg_cycles_per_sec = e2e_cycles as f64 / e2e_secs;
     let per_workload_json: Vec<String> = workload_benches
         .iter()
@@ -466,6 +498,12 @@ fn main() {
          \"wall_secs\": {mp3d_secs:.4},\n    \
          \"trace_events_per_sec\": {:.0},\n    \
          \"sim_cycles_per_sec\": {:.0}\n  }},\n  \
+         \"dir_scale\": {{\n    \"app\": \"Water\",\n    \"scale\": \"small\",\n    \
+         \"procs\": 256,\n    \"protocol\": \"P+CW\",\n    \"dir\": \"ptr4b\",\n    \
+         \"network\": \"hmesh64\",\n    \
+         \"trace_events\": {dir_events},\n    \"exec_cycles\": {dir_cycles},\n    \
+         \"wall_secs\": {dir_secs:.4},\n    \
+         \"dir_sim_cycles_per_sec\": {:.0}\n  }},\n  \
          \"per_workload\": [\n{}\n  ],\n  \
          \"aggregate\": {{\n    \"total_trace_events\": {e2e_events},\n    \
          \"total_exec_cycles\": {e2e_cycles},\n    \
@@ -474,14 +512,16 @@ fn main() {
          \"agg_sim_cycles_per_sec\": {agg_cycles_per_sec:.0}\n  }}\n}}\n",
         mp3d_events as f64 / mp3d_secs,
         mp3d_cycles as f64 / mp3d_secs,
+        dir_cycles as f64 / dir_secs,
         per_workload_json.join(",\n"),
         e2e_events as f64 / e2e_secs,
     );
     std::fs::write(format!("{out_dir}/BENCH_e2e.json"), &e2e).expect("write BENCH_e2e.json");
     eprintln!(
         "  e2e {e2e_configs} configs in {e2e_secs:.3}s: {agg_cycles_per_sec:.0} sim-cycles/sec \
-         aggregate; MP3D/BASIC {:.0} sim-cycles/sec",
-        mp3d_cycles as f64 / mp3d_secs
+         aggregate; MP3D/BASIC {:.0} sim-cycles/sec; dir-scale 256/ptr4b {:.0} sim-cycles/sec",
+        mp3d_cycles as f64 / mp3d_secs,
+        dir_cycles as f64 / dir_secs
     );
 
     if let Some(path) = &baseline {

@@ -12,6 +12,7 @@ use std::process::ExitCode;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use dirext_core::config::Consistency;
+use dirext_core::sharer::DirOrg;
 use dirext_core::ProtocolKind;
 use dirext_sim::experiments::{self, sens, Journal, SweepError, SweepOpts};
 use dirext_sim::FaultPlan;
@@ -40,6 +41,9 @@ COMMANDS:
     sens-cache     §5.4: 16-KB SLC sensitivity
     miss-latency   §5.1: average read-miss latency, BASIC vs CW
     scaling        Extension: processor-count sweep 4..64 (--app)
+    dirscale       Extension: directory organizations (full-map, limited
+                   pointers, coarse vector, directoryless) at 64, 256 and
+                   1024 nodes on the hierarchical mesh (--app)
     topology       Extension: uniform vs mesh vs ring interconnects
     stress         Protocol fuzzer: random workloads through all protocols
                    (--seeds N, default 50; every run is coherence-audited)
@@ -73,7 +77,10 @@ COMMANDS:
 
 OPTIONS:
     --scale     Problem scale (default: paper)
-    --procs     Processor count (default: 16)
+    --procs     Processor count (default: 16; up to 1024 with a scalable
+                --dir organization, 64 with the full-map directory)
+    --dir       Directory organization for `run`/`trace`: full (default),
+                ptr4b, ptr4nb, coarse8, none (any ptrNb/ptrNnb/coarseN)
     --app       Restrict to one application (MP3D, Cholesky, Water, LU, Ocean)
     --protocol  For `run`: BASIC, P, M, CW, P+CW, P+M, CW+M, P+CW+M
     --consistency  For `run`: rc (default) or sc
@@ -84,18 +91,20 @@ OPTIONS:
     --seeds     For `stress`: number of random seeds to sweep (default 50)
     --out       For `report`: output file (default: stdout)
     --network   For `run`: uniform (default), mesh64, mesh32, mesh16,
-                ring64, ring32, ring16
+                ring64, ring32, ring16, hmesh64, hmesh32, hmesh16
+                (hmesh = two-level hierarchical mesh, up to 1024 nodes)
     --last      For `trace`: how many trailing transition records to print
                 (default 32; 0 = none, just the verdict)
     --ring      For `trace`: transition-ring capacity per controller
                 (default 65536; oldest records are overwritten on overflow)
     --jobs      Worker threads for the sweep commands (fig2/table2/fig3/
-                table3/fig4/sens-*/miss-latency/topology/scaling/stress/
-                run-all/report). Default 1 (serial); 0 = all CPU cores.
+                table3/fig4/sens-*/miss-latency/topology/scaling/
+                dirscale/stress/run-all/report). Default 1 (serial);
+                0 = all CPU cores.
                 Results are byte-identical for any value.
 
 CRASH-SAFE SWEEPS (fig2/table2/fig3/table3/fig4/sens-*/miss-latency/
-topology/scaling/run-all/report):
+topology/scaling/dirscale/run-all/report):
     --journal PATH  Append each completed cell to a write-ahead JSONL log.
                     A killed sweep loses at most the in-flight cells; the
                     log replays with --resume. Refuses to overwrite an
@@ -165,6 +174,7 @@ struct Args {
     trace: Option<String>,
     seeds: u64,
     network: dirext_sim::NetworkKind,
+    dir: DirOrg,
     out: Option<String>,
     svg: Option<String>,
     fault: FaultPlan,
@@ -192,8 +202,10 @@ struct Args {
 }
 
 impl Args {
-    /// Applies the robustness flags shared by `run` and `stress`.
+    /// Applies the directory organization and robustness flags shared by
+    /// `run`, `trace` and `stress`.
     fn harden(&self, mut cfg: MachineConfig) -> MachineConfig {
+        cfg = cfg.with_dir_org(self.dir);
         if self.fault.is_active() {
             cfg = cfg.with_faults(self.fault);
         }
@@ -437,6 +449,7 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         seeds: 50,
         network: dirext_sim::NetworkKind::Uniform,
+        dir: DirOrg::FullMap,
         out: None,
         svg: None,
         fault: FaultPlan::default(),
@@ -477,9 +490,9 @@ fn parse_args() -> Result<Args, String> {
                 parsed.procs = value("--procs")?
                     .parse()
                     .map_err(|e| format!("bad --procs: {e}"))?;
-                if parsed.procs == 0 || parsed.procs > 64 {
+                if parsed.procs == 0 || parsed.procs > 1024 {
                     return Err(format!(
-                        "--procs must be between 1 and 64, got {}",
+                        "--procs must be between 1 and 1024, got {}",
                         parsed.procs
                     ));
                 }
@@ -571,6 +584,15 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--ring must be at least 1".to_owned());
                 }
             }
+            "--dir" => {
+                let v = value("--dir")?;
+                parsed.dir = DirOrg::parse(&v).ok_or_else(|| {
+                    format!(
+                        "unknown directory organization '{v}' (expected full, none, \
+                         ptrNb, ptrNnb or coarseN — e.g. ptr4b, coarse8)"
+                    )
+                })?;
+            }
             "--journal" => parsed.journal = Some(value("--journal")?),
             "--resume" => parsed.resume = true,
             "--keep-going" => parsed.keep_going = true,
@@ -628,6 +650,9 @@ fn parse_args() -> Result<Args, String> {
                     "ring64" => Nk::Ring { link_bits: 64 },
                     "ring32" => Nk::Ring { link_bits: 32 },
                     "ring16" => Nk::Ring { link_bits: 16 },
+                    "hmesh64" => Nk::HierMesh { link_bits: 64 },
+                    "hmesh32" => Nk::HierMesh { link_bits: 32 },
+                    "hmesh16" => Nk::HierMesh { link_bits: 16 },
                     other => return Err(format!("unknown network '{other}'")),
                 };
             }
@@ -1067,6 +1092,15 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             )?;
             println!("{result}");
         }
+        "dirscale" => {
+            let app = args.app.unwrap_or(App::Mp3d);
+            let result = experiments::dirscale_with(
+                app.name(),
+                |procs| app.workload(procs, args.scale),
+                &args.sweep_opts()?,
+            )?;
+            println!("{result}");
+        }
         "run" => {
             let w = match &args.trace {
                 Some(path) => {
@@ -1297,6 +1331,7 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 "miss-latency",
                 "topology",
                 "scaling",
+                "dirscale",
                 "run-all",
                 "report",
             ];

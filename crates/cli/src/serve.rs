@@ -57,6 +57,7 @@ pub(crate) fn network_label(network: NetworkKind) -> String {
     match network {
         NetworkKind::Uniform => "uniform".to_owned(),
         NetworkKind::Mesh { link_bits } => format!("mesh{link_bits}"),
+        NetworkKind::HierMesh { link_bits } => format!("hmesh{link_bits}"),
         NetworkKind::Ring { link_bits } => format!("ring{link_bits}"),
     }
 }
@@ -67,11 +68,14 @@ fn parse_network(s: &str) -> Result<NetworkKind, String> {
         "mesh64" => Ok(NetworkKind::Mesh { link_bits: 64 }),
         "mesh32" => Ok(NetworkKind::Mesh { link_bits: 32 }),
         "mesh16" => Ok(NetworkKind::Mesh { link_bits: 16 }),
+        "hmesh64" => Ok(NetworkKind::HierMesh { link_bits: 64 }),
+        "hmesh32" => Ok(NetworkKind::HierMesh { link_bits: 32 }),
+        "hmesh16" => Ok(NetworkKind::HierMesh { link_bits: 16 }),
         "ring64" => Ok(NetworkKind::Ring { link_bits: 64 }),
         "ring32" => Ok(NetworkKind::Ring { link_bits: 32 }),
         "ring16" => Ok(NetworkKind::Ring { link_bits: 16 }),
         other => Err(format!(
-            "unknown network '{other}' (uniform, mesh64/32/16, ring64/32/16)"
+            "unknown network '{other}' (uniform, mesh64/32/16, hmesh64/32/16, ring64/32/16)"
         )),
     }
 }
@@ -303,6 +307,7 @@ impl Server {
             parsed.kind,
             parsed.consistency,
             parsed.network,
+            dirext_core::sharer::DirOrg::FullMap,
             "base",
             None,
         );

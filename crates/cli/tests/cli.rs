@@ -229,13 +229,54 @@ fn figures_render_as_svg() {
 
 #[test]
 fn procs_out_of_range_is_a_clean_error() {
-    for bad in ["0", "65"] {
+    for bad in ["0", "1025"] {
         let out = dirext(&["run", "--app", "water", "--scale", "tiny", "--procs", bad]);
         assert!(!out.status.success());
         let err = String::from_utf8_lossy(&out.stderr);
-        assert!(err.contains("between 1 and 64"), "{bad}: {err}");
+        assert!(err.contains("between 1 and 1024"), "{bad}: {err}");
         assert!(!err.contains("panicked"), "{bad}: must not panic");
     }
+}
+
+#[test]
+fn full_map_past_64_nodes_is_a_clean_config_error() {
+    // 65 nodes is parseable now, but the default full-map directory
+    // cannot serve it: the error must name the organization and the
+    // limit, and suggest nothing panicked.
+    let out = dirext(&["run", "--app", "water", "--scale", "tiny", "--procs", "65"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("full"), "names the organization: {err}");
+    assert!(err.contains("64"), "names the node limit: {err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn scalable_directory_runs_past_64_nodes() {
+    let json = stdout(&[
+        "run",
+        "--app",
+        "water",
+        "--scale",
+        "tiny",
+        "--procs",
+        "96",
+        "--dir",
+        "ptr4b",
+        "--network",
+        "hmesh64",
+        "--json",
+    ]);
+    assert!(json.contains("\"exec_cycles\""), "{json}");
+}
+
+#[test]
+fn unknown_dir_organization_is_a_clean_error() {
+    let out = dirext(&["run", "--app", "water", "--dir", "ptrXb"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("directory organization"), "{err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
 }
 
 #[test]

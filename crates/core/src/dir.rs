@@ -9,9 +9,15 @@
 //! The state encoding matches the paper: two stable memory states (CLEAN,
 //! MODIFIED) plus transient states (represented by the internal `Pending`
 //! bookkeeping) while "the
-//! home node is waiting for the completion of a coherence action"; a full
-//! presence-flag vector; and, for the extensions, a migratory bit, a
-//! last-writer pointer (M) and a last-updater pointer (CW+M).
+//! home node is waiting for the completion of a coherence action"; a
+//! sharer set (the paper's full presence-flag vector, or one of the
+//! scalable organizations in [`crate::sharer`]); and, for the extensions,
+//! a migratory bit, a last-writer pointer (M) and a last-updater pointer
+//! (CW+M).
+//!
+//! All coherence fan-outs (invalidations, updates, interrogations) visit
+//! their targets in ascending node-id order — part of the simulator's
+//! determinism contract (see [`crate::sharer`]).
 
 use std::collections::VecDeque;
 
@@ -20,6 +26,7 @@ use dirext_trace::{BlockAddr, NodeId};
 use crate::blockmap::BlockMap;
 use crate::error::ProtocolError;
 use crate::msg::MsgKind;
+use crate::sharer::{AckMask, AddOutcome, DirOrg, DirOrgError, FanoutClass, SharerSet};
 use crate::proto::hooks::{
     CompetitiveUpdateExt, ExclusiveCleanExt, ExtOption, ExtStack, MigratoryExt, ReadFetch,
     ReadGrant, UpdateRoute,
@@ -72,21 +79,29 @@ enum PendingKind {
         /// The update that triggered the interrogation.
         dirty_words: u8,
     },
+    /// Dir_i_NB pointer recall outstanding: one tracked copy is being
+    /// invalidated to free a pointer. Completes silently; requests queue
+    /// behind it so the recalled node can never read stale data past a
+    /// later ownership transfer.
+    Evicting,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct Pending {
     kind: PendingKind,
     requester: NodeId,
     /// The node a fetch was sent to, if any (for writeback-crossing races).
     target: Option<NodeId>,
-    /// Bitmask of nodes whose acknowledgment is still outstanding.
-    /// Tracking acks by node rather than by count makes duplicate
-    /// acknowledgments idempotent: a second ack from the same node finds
-    /// its bit already cleared and is dropped as stale.
-    awaiting: u64,
+    /// Per-node mask of acknowledgments still outstanding. Tracking acks
+    /// by node rather than by count makes duplicate acknowledgments
+    /// idempotent: a second ack from the same node finds its bit already
+    /// cleared and is dropped as stale.
+    awaiting: AckMask,
     /// CW+M: at least one cache voted to keep its copy.
     keep_votes: bool,
+    /// How the fan-out that opened this operation related to the true
+    /// sharer set (selects the broadcast/multicast trace tags).
+    fanout: FanoutClass,
 }
 
 /// One directory entry — the per-block state the extension hooks inspect
@@ -96,8 +111,10 @@ struct Pending {
 pub struct DirEntry {
     /// Stable state.
     pub state: DirState,
-    /// Full-map presence vector (bit per node).
-    pub presence: u64,
+    /// The sharer set, in the configured directory organization. May
+    /// over-approximate the true copy set (never under-approximate); all
+    /// fan-outs iterate it in ascending node-id order.
+    pub sharers: SharerSet,
     /// M: the block is classified migratory.
     pub migratory: bool,
     /// M: the node whose write last took the block exclusive.
@@ -108,11 +125,12 @@ pub struct DirEntry {
     waiting: VecDeque<(NodeId, MsgKind)>,
 }
 
-impl Default for DirEntry {
-    fn default() -> Self {
+impl DirEntry {
+    /// A fresh CLEAN entry under the given directory organization.
+    pub fn new(org: DirOrg) -> Self {
         DirEntry {
             state: DirState::Clean,
-            presence: 0,
+            sharers: org.empty_set(),
             migratory: false,
             last_writer: None,
             last_updater: None,
@@ -120,46 +138,6 @@ impl Default for DirEntry {
             waiting: VecDeque::new(),
         }
     }
-}
-
-impl DirEntry {
-    /// Whether node `n`'s presence bit is set.
-    pub fn has(&self, n: NodeId) -> bool {
-        self.presence & (1 << n.idx()) != 0
-    }
-
-    fn add(&mut self, n: NodeId) {
-        self.presence |= 1 << n.idx();
-    }
-
-    fn remove(&mut self, n: NodeId) {
-        self.presence &= !(1 << n.idx());
-    }
-
-    /// Number of caches holding a copy.
-    pub fn count(&self) -> u32 {
-        self.presence.count_ones()
-    }
-
-    /// Presence bits of every sharer except `n` — fanout targets as a mask,
-    /// so invalidation/update distribution allocates nothing. Iterate the
-    /// nodes with [`mask_nodes`]; the mask doubles as the `awaiting` set.
-    fn sharer_mask_except(&self, n: NodeId) -> u64 {
-        self.presence & !(1u64 << n.idx())
-    }
-}
-
-/// The nodes named by a presence mask, in ascending id order (matching the
-/// fanout order of the old `Vec<NodeId>` sharer lists).
-fn mask_nodes(mut mask: u64) -> impl Iterator<Item = NodeId> {
-    std::iter::from_fn(move || {
-        if mask == 0 {
-            return None;
-        }
-        let i = mask.trailing_zeros();
-        mask &= mask - 1;
-        Some(NodeId(i as u8))
-    })
 }
 
 /// Counters kept by the directory controller (aggregated across all blocks
@@ -202,6 +180,15 @@ pub struct DirStats {
     /// Stale or duplicate messages recognized and dropped (idempotent
     /// duplicate tolerance under fault injection).
     pub stale_drops: u64,
+    /// Sharer-set overflows: a limited-pointer entry ran out of pointers
+    /// (Dir_i_B degrading to broadcast, or Dir_i_NB evicting a pointer).
+    pub dir_overflows: u64,
+    /// Coherence fan-outs widened to a full broadcast by an inexact
+    /// sharer set (overflowed pointers or the directoryless organization).
+    pub dir_broadcasts: u64,
+    /// Dir_i_NB pointer recalls: tracked copies invalidated purely to free
+    /// a pointer for a new sharer.
+    pub dir_recalls: u64,
 }
 
 /// The directory controller for the blocks homed at one node.
@@ -226,39 +213,54 @@ pub struct DirStats {
 #[derive(Debug)]
 pub struct DirCtrl {
     nprocs: usize,
+    org: DirOrg,
     exts: ExtStack,
     entries: BlockMap<DirEntry>,
     stats: DirStats,
     trace: TraceRing,
+    /// Recycled wide-`AckMask` storage (machines past 64 nodes), so
+    /// steady-state fan-out bookkeeping allocates nothing.
+    mask_pool: Vec<Box<[u64]>>,
 }
 
 impl DirCtrl {
     /// Creates a controller for a machine of `nprocs` nodes with the given
-    /// extension stack installed. The BASIC transition core itself has no
-    /// extension knowledge: pass [`ExtStack::new`] for the pure
-    /// write-invalidate protocol, or [`ExtStack::from_protocol`] for a
-    /// configured one.
+    /// directory organization and extension stack. The BASIC transition
+    /// core itself has no extension knowledge: pass [`ExtStack::new`] for
+    /// the pure write-invalidate protocol, or [`ExtStack::from_protocol`]
+    /// for a configured one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `nprocs` is zero or exceeds the 64-node presence vector.
-    pub fn with_exts(nprocs: usize, exts: ExtStack) -> Self {
-        assert!(
-            nprocs > 0 && nprocs <= 64,
-            "presence vector supports 1..=64 nodes"
-        );
-        DirCtrl {
+    /// Returns a [`DirOrgError`] naming the organization and its node
+    /// limit when it cannot represent an `nprocs`-node machine.
+    pub fn with_org(nprocs: usize, org: DirOrg, exts: ExtStack) -> Result<Self, DirOrgError> {
+        org.validate(nprocs)?;
+        Ok(DirCtrl {
             nprocs,
+            org,
             exts,
             entries: BlockMap::new(),
             stats: DirStats::default(),
             trace: TraceRing::disabled(),
-        }
+            mask_pool: Vec::new(),
+        })
+    }
+
+    /// [`DirCtrl::with_org`] with the paper's full-map presence vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero or exceeds the 64-node presence vector
+    /// (use [`DirCtrl::with_org`] with a scalable organization for larger
+    /// machines).
+    pub fn with_exts(nprocs: usize, exts: ExtStack) -> Self {
+        DirCtrl::with_org(nprocs, DirOrg::FullMap, exts).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Convenience constructor used by unit tests and examples: a machine
-    /// of `nprocs` nodes with the M (`migratory`) and/or CW
-    /// (`competitive`) hooks installed.
+    /// of `nprocs` nodes with the full-map organization and the M
+    /// (`migratory`) and/or CW (`competitive`) hooks installed.
     ///
     /// # Panics
     ///
@@ -274,6 +276,29 @@ impl DirCtrl {
             )));
         }
         DirCtrl::with_exts(nprocs, exts)
+    }
+
+    /// The configured directory organization.
+    pub fn org(&self) -> DirOrg {
+        self.org
+    }
+
+    /// The machine size this controller serves.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The rule layers a conformance replay of this controller's trace
+    /// must enable: the extension stack's layers, plus the DIR layer when
+    /// the organization can over-approximate (broadcasts, multicasts and
+    /// pointer recalls become legal transitions).
+    pub fn rule_set(&self) -> crate::proto::table::ExtSet {
+        let set = self.exts.rule_set();
+        if self.org == DirOrg::FullMap {
+            set
+        } else {
+            set.with(ExtKind::DirScale)
+        }
     }
 
     /// Enables or disables migratory reversion (the self-correcting part of
@@ -340,15 +365,43 @@ impl DirCtrl {
 
     /// Directory view of one block for invariant checking:
     /// `(modified_owner, presence_bits, migratory)`. `None` if the block
-    /// was never referenced.
+    /// was never referenced. The presence bits cover the first 64 nodes
+    /// (exact under the full map; an over-approximation under the scalable
+    /// organizations — use [`DirCtrl::covers`] on larger machines).
     pub fn snapshot(&self, block: BlockAddr) -> Option<(Option<NodeId>, u64, bool)> {
         self.entries.get(block).map(|e| {
             let owner = match e.state {
                 DirState::Modified(n) => Some(n),
                 DirState::Clean => None,
             };
-            (owner, e.presence, e.migratory)
+            (owner, e.sharers.low_mask(self.nprocs), e.migratory)
         })
+    }
+
+    /// Whether the directory believes node `n` may hold a copy of `block`
+    /// (over-approximate: spurious coverage is legal, a missed copy is a
+    /// coherence violation).
+    pub fn covers(&self, block: BlockAddr, n: NodeId) -> bool {
+        self.entries
+            .get(block)
+            .is_some_and(|e| e.sharers.may_contain(n))
+    }
+
+    /// Whether `block`'s sharer set is currently exact (coverage equals
+    /// membership). Untouched blocks are trivially exact.
+    pub fn entry_exact(&self, block: BlockAddr) -> bool {
+        self.entries
+            .get(block)
+            .is_none_or(|e| e.sharers.exact_count().is_some())
+    }
+
+    /// Whether `block`'s sharer set certainly equals exactly `{n}` — only
+    /// provable under an exact organization (the invariant checker uses
+    /// this for the single-writer property).
+    pub fn sole_sharer(&self, block: BlockAddr, n: NodeId) -> bool {
+        self.entries
+            .get(block)
+            .is_some_and(|e| e.sharers.sole_sharer(n))
     }
 
     /// Iterates over all blocks this controller has entries for, in
@@ -367,13 +420,13 @@ impl DirCtrl {
             .iter()
             .filter(|(_, e)| e.pending.is_some() || !e.waiting.is_empty())
             .map(|(b, e)| {
-                let desc = match e.pending {
+                let desc = match &e.pending {
                     Some(p) => format!(
                         "{:?} for {:?} (target {:?}, awaiting {:#x}, {} queued)",
                         p.kind,
                         p.requester,
                         p.target,
-                        p.awaiting,
+                        p.awaiting.low_bits(),
                         e.waiting.len()
                     ),
                     None => format!("{} queued requests", e.waiting.len()),
@@ -423,7 +476,14 @@ impl DirCtrl {
         actions: &mut Vec<DirAction>,
     ) -> Result<(), ProtocolError> {
         debug_assert!(src.idx() < self.nprocs);
-        let entry_exists_pending = self.entries.get(block).map(|e| e.pending).unwrap_or(None);
+        // `Option<Option<NodeId>>`: outer = a pending op exists, inner =
+        // its fetch target (extracted so the `Pending` itself — which owns
+        // an ack mask — is never copied on the hot path).
+        let pending_target = self
+            .entries
+            .get(block)
+            .and_then(|e| e.pending.as_ref())
+            .map(|p| p.target);
 
         match kind {
             // Replacement hints bypass the queue entirely. A hint crossing
@@ -433,7 +493,7 @@ impl DirCtrl {
             MsgKind::SharedReplHint => {
                 if let Some(e) = self.entries.get_mut(block) {
                     if !matches!(e.state, DirState::Modified(owner) if owner == src) {
-                        e.remove(src);
+                        e.sharers.remove(src);
                     }
                 }
                 return Ok(());
@@ -441,8 +501,8 @@ impl DirCtrl {
             // A writeback crossing a fetch we sent to the same node serves
             // as the fetch reply.
             MsgKind::WritebackReq { written } => {
-                if let Some(p) = entry_exists_pending {
-                    if p.target == Some(src) {
+                if let Some(target) = pending_target {
+                    if target == Some(src) {
                         self.stats.writebacks += 1;
                         actions.push(DirAction {
                             dst: src,
@@ -467,7 +527,7 @@ impl DirCtrl {
         }
 
         if kind.queues_at_home() {
-            if entry_exists_pending.is_some() {
+            if pending_target.is_some() {
                 self.entry(block).waiting.push_back((src, kind));
                 return Ok(());
             }
@@ -480,7 +540,23 @@ impl DirCtrl {
     }
 
     fn entry(&mut self, block: BlockAddr) -> &mut DirEntry {
-        self.entries.get_or_insert_with(block, DirEntry::default)
+        let org = self.org;
+        self.entries.get_or_insert_with(block, || DirEntry::new(org))
+    }
+
+    /// Takes down `block`'s pending operation, returning its wide ack-mask
+    /// storage (if any) to the recycle pool.
+    fn clear_pending(&mut self, block: BlockAddr) {
+        let DirCtrl {
+            entries,
+            mask_pool,
+            org,
+            ..
+        } = self;
+        let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
+        if let Some(p) = e.pending.take() {
+            p.awaiting.recycle(mask_pool);
+        }
     }
 
     /// Runs a hook dispatch with the entry, the extension stack and the
@@ -494,9 +570,10 @@ impl DirCtrl {
             entries,
             exts,
             stats,
+            org,
             ..
         } = self;
-        let e = entries.get_or_insert_with(block, DirEntry::default);
+        let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
         f(e, exts, stats)
     }
 
@@ -506,15 +583,24 @@ impl DirCtrl {
     fn dir_tag(&self, block: BlockAddr) -> DirTag {
         match self.entries.get(block) {
             None => DirTag::Clean,
-            Some(e) => match e.pending {
+            Some(e) => match &e.pending {
                 Some(p) => match p.kind {
-                    PendingKind::Invalidating { .. } => DirTag::Invalidating,
+                    PendingKind::Invalidating { .. } => match p.fanout {
+                        FanoutClass::Exact => DirTag::Invalidating,
+                        FanoutClass::Broadcast => DirTag::BcastInval,
+                        FanoutClass::Multicast => DirTag::McastInval,
+                    },
                     PendingKind::FetchRead => DirTag::FetchRead,
                     PendingKind::FetchMigRead => DirTag::FetchMigRead,
                     PendingKind::FetchOwn => DirTag::FetchOwn,
                     PendingKind::RecallForUpdate { .. } => DirTag::RecallForUpdate,
-                    PendingKind::Updating => DirTag::Updating,
+                    PendingKind::Updating => match p.fanout {
+                        FanoutClass::Exact => DirTag::Updating,
+                        FanoutClass::Broadcast => DirTag::BcastUpdating,
+                        FanoutClass::Multicast => DirTag::McastUpdating,
+                    },
                     PendingKind::Interrogating { .. } => DirTag::Interrogating,
+                    PendingKind::Evicting => DirTag::Evicting,
                 },
                 None => match e.state {
                     DirState::Clean => DirTag::Clean,
@@ -646,20 +732,24 @@ impl DirCtrl {
                 self.with_entry_exts(block, |e, exts, stats| {
                     exts.read_clean(e, src, stats, &mut grant)
                 });
-                let e = self.entry(block);
-                e.add(src);
-                if grant.exclusive {
-                    e.state = DirState::Modified(src);
-                    if grant.record_writer {
-                        e.last_writer = Some(src);
+                let outcome = {
+                    let e = self.entry(block);
+                    let outcome = e.sharers.add(src);
+                    if grant.exclusive {
+                        e.state = DirState::Modified(src);
+                        if grant.record_writer {
+                            e.last_writer = Some(src);
+                        }
                     }
-                }
+                    outcome
+                };
                 actions.push(DirAction {
                     dst: src,
                     kind: MsgKind::ReadReply {
                         exclusive: grant.exclusive,
                     },
                 });
+                self.note_add_outcome(block, outcome, actions);
             }
             DirState::Modified(owner) if owner == src => {
                 // The owner's writeback is still in flight: NACK so the
@@ -691,8 +781,48 @@ impl DirCtrl {
                     kind: pkind,
                     requester: src,
                     target: Some(owner),
-                    awaiting: 0,
+                    awaiting: AckMask::Inline(0),
                     keep_votes: false,
+                    fanout: FanoutClass::Exact,
+                });
+            }
+        }
+    }
+
+    /// Applies the side effects of a sharer-set [`AddOutcome`]: counts a
+    /// Dir_i_B overflow, or opens the Dir_i_NB pointer recall — an `Inval`
+    /// to the evicted victim plus an `Evicting` pending that holds the
+    /// entry (queueing subsequent requests) until the victim acknowledges,
+    /// so the recalled copy can never be read stale past a later ownership
+    /// transfer.
+    fn note_add_outcome(
+        &mut self,
+        block: BlockAddr,
+        outcome: AddOutcome,
+        actions: &mut Vec<DirAction>,
+    ) {
+        match outcome {
+            AddOutcome::Tracked => {}
+            AddOutcome::Overflowed => self.stats.dir_overflows += 1,
+            AddOutcome::Evicted(victim) => {
+                self.stats.dir_overflows += 1;
+                self.stats.dir_recalls += 1;
+                actions.push(DirAction {
+                    dst: victim,
+                    kind: MsgKind::Inval,
+                });
+                let mut awaiting = AckMask::empty(self.nprocs, &mut self.mask_pool);
+                awaiting.set(victim);
+                let e = self.entry(block);
+                debug_assert!(e.pending.is_none(), "recall while an operation is open");
+                debug_assert_eq!(e.state, DirState::Clean, "recall from a non-CLEAN entry");
+                e.pending = Some(Pending {
+                    kind: PendingKind::Evicting,
+                    requester: victim,
+                    target: None,
+                    awaiting,
+                    keep_votes: false,
+                    fanout: FanoutClass::Exact,
                 });
             }
         }
@@ -712,13 +842,40 @@ impl DirCtrl {
         let state = self.entry(block).state;
         match state {
             DirState::Clean => {
-                let had_copy = self.entry(block).has(src);
+                // Data may be elided only on `certainly_contains`: with an
+                // exact set, a copy invalidated while this request was in
+                // flight is also *removed* from the set, so membership at
+                // processing time proves the copy survived. An inexact set
+                // cannot distinguish "still holds it" from spurious
+                // coverage (the requester's copy may have died to a
+                // broadcast wave after it sent `need_data: false`), so the
+                // grant must carry data.
+                let had_copy = self.entry(block).sharers.certainly_contains(src);
                 let with_data = !had_copy || need_data;
-                let targets = self.entry(block).sharer_mask_except(src);
-                if targets == 0 {
-                    let e = self.entry(block);
-                    e.presence = 0;
-                    e.add(src);
+                let DirCtrl {
+                    nprocs,
+                    entries,
+                    stats,
+                    mask_pool,
+                    org,
+                    ..
+                } = self;
+                let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
+                let fanout = e.sharers.fanout_class();
+                let mut awaiting = AckMask::empty(*nprocs, mask_pool);
+                let mut sent = 0u64;
+                e.sharers.for_each_target(*nprocs, Some(src), |t| {
+                    actions.push(DirAction {
+                        dst: t,
+                        kind: MsgKind::Inval,
+                    });
+                    awaiting.set(t);
+                    sent += 1;
+                });
+                if sent == 0 {
+                    awaiting.recycle(mask_pool);
+                    e.sharers.clear();
+                    let _ = e.sharers.add(src);
                     e.state = DirState::Modified(src);
                     e.last_writer = Some(src);
                     actions.push(DirAction {
@@ -726,19 +883,17 @@ impl DirCtrl {
                         kind: MsgKind::OwnAck { with_data },
                     });
                 } else {
-                    self.stats.invals_sent += u64::from(targets.count_ones());
-                    for t in mask_nodes(targets) {
-                        actions.push(DirAction {
-                            dst: t,
-                            kind: MsgKind::Inval,
-                        });
+                    stats.invals_sent += sent;
+                    if fanout == FanoutClass::Broadcast {
+                        stats.dir_broadcasts += 1;
                     }
-                    self.entry(block).pending = Some(Pending {
+                    e.pending = Some(Pending {
                         kind: PendingKind::Invalidating { with_data },
                         requester: src,
                         target: None,
-                        awaiting: targets,
+                        awaiting,
                         keep_votes: false,
+                        fanout,
                     });
                 }
             }
@@ -760,8 +915,9 @@ impl DirCtrl {
                     kind: PendingKind::FetchOwn,
                     requester: src,
                     target: Some(owner),
-                    awaiting: 0,
+                    awaiting: AckMask::Inline(0),
                     keep_votes: false,
+                    fanout: FanoutClass::Exact,
                 });
             }
         }
@@ -795,8 +951,9 @@ impl DirCtrl {
                     kind: PendingKind::RecallForUpdate { dirty_words },
                     requester: src,
                     target: Some(owner),
-                    awaiting: 0,
+                    awaiting: AckMask::Inline(0),
                     keep_votes: false,
+                    fanout: FanoutClass::Exact,
                 });
             }
             DirState::Clean => {
@@ -805,20 +962,32 @@ impl DirCtrl {
                 let mut route = UpdateRoute::Fanout;
                 self.with_entry_exts(block, |e, exts, _| exts.update_route(e, src, &mut route));
                 if route == UpdateRoute::Interrogate {
+                    // The M hook only routes here when the sharer count is
+                    // exactly known (> 1), so this fan-out is always exact.
                     self.stats.interrogations += 1;
-                    let targets = self.entry(block).presence;
-                    for t in mask_nodes(targets) {
+                    let DirCtrl {
+                        nprocs,
+                        entries,
+                        mask_pool,
+                        org,
+                        ..
+                    } = self;
+                    let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
+                    let mut awaiting = AckMask::empty(*nprocs, mask_pool);
+                    e.sharers.for_each_target(*nprocs, None, |t| {
                         actions.push(DirAction {
                             dst: t,
                             kind: MsgKind::Interrogate,
                         });
-                    }
-                    self.entry(block).pending = Some(Pending {
+                        awaiting.set(t);
+                    });
+                    e.pending = Some(Pending {
                         kind: PendingKind::Interrogating { dirty_words },
                         requester: src,
                         target: None,
-                        awaiting: targets,
+                        awaiting,
                         keep_votes: false,
+                        fanout: FanoutClass::Exact,
                     });
                 } else {
                     self.start_update_fanout(src, block, dirty_words, actions);
@@ -834,28 +1003,52 @@ impl DirCtrl {
         dirty_words: u8,
         actions: &mut Vec<DirAction>,
     ) {
-        self.entry(block).last_updater = Some(src);
-        self.entry(block).last_writer = Some(src);
-        let targets = self.entry(block).sharer_mask_except(src);
-        if targets == 0 {
-            actions.push(DirAction {
-                dst: src,
-                kind: self.finish_update(src, block),
-            });
-        } else {
-            self.stats.updates_sent += u64::from(targets.count_ones());
-            for t in mask_nodes(targets) {
+        let fanned_out = {
+            let DirCtrl {
+                nprocs,
+                entries,
+                stats,
+                mask_pool,
+                org,
+                ..
+            } = self;
+            let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
+            e.last_updater = Some(src);
+            e.last_writer = Some(src);
+            let fanout = e.sharers.fanout_class();
+            let mut awaiting = AckMask::empty(*nprocs, mask_pool);
+            let mut sent = 0u64;
+            e.sharers.for_each_target(*nprocs, Some(src), |t| {
                 actions.push(DirAction {
                     dst: t,
                     kind: MsgKind::Update { dirty_words },
                 });
+                awaiting.set(t);
+                sent += 1;
+            });
+            if sent == 0 {
+                awaiting.recycle(mask_pool);
+                false
+            } else {
+                stats.updates_sent += sent;
+                if fanout == FanoutClass::Broadcast {
+                    stats.dir_broadcasts += 1;
+                }
+                e.pending = Some(Pending {
+                    kind: PendingKind::Updating,
+                    requester: src,
+                    target: None,
+                    awaiting,
+                    keep_votes: false,
+                    fanout,
+                });
+                true
             }
-            self.entry(block).pending = Some(Pending {
-                kind: PendingKind::Updating,
-                requester: src,
-                target: None,
-                awaiting: targets,
-                keep_votes: false,
+        };
+        if !fanned_out {
+            actions.push(DirAction {
+                dst: src,
+                kind: self.finish_update(src, block),
             });
         }
     }
@@ -868,7 +1061,9 @@ impl DirCtrl {
     fn finish_update(&mut self, writer: NodeId, block: BlockAddr) -> MsgKind {
         let e = self.entry(block);
         debug_assert_eq!(e.state, DirState::Clean);
-        if e.count() == 1 && e.has(writer) {
+        // Exclusivity demands certainty: an inexact organization never
+        // answers `sole_sharer`, so CW simply keeps updating under it.
+        if e.sharers.sole_sharer(writer) {
             e.state = DirState::Modified(writer);
             e.last_writer = Some(writer);
             MsgKind::UpdateDone { exclusive: true }
@@ -884,7 +1079,7 @@ impl DirCtrl {
             let e = self.entry(block);
             debug_assert_eq!(e.state, DirState::Modified(src), "writeback from non-owner");
             e.state = DirState::Clean;
-            e.presence = 0;
+            e.sharers.clear();
         }
         // Self-correction: the migratory extension reverts the
         // classification when the holder never wrote the block.
@@ -909,36 +1104,42 @@ impl DirCtrl {
         owner_retains: bool,
         actions: &mut Vec<DirAction>,
     ) -> Result<(), ProtocolError> {
-        let Some(p) = self.entry(block).pending else {
-            self.stats.stale_drops += 1;
-            return Ok(());
+        let (pkind, requester, ptarget) = match self.entry(block).pending.as_ref() {
+            Some(p) => (p.kind, p.requester, p.target),
+            None => {
+                self.stats.stale_drops += 1;
+                return Ok(());
+            }
         };
         let kind_matches = match reply {
             None => true,
-            Some(r) => reply_matches(r, p.kind),
+            Some(r) => reply_matches(r, pkind),
         };
-        if p.target != Some(from) || !kind_matches {
+        if ptarget != Some(from) || !kind_matches {
             self.stats.stale_drops += 1;
             return Ok(());
         }
-        let requester = p.requester;
-        match p.kind {
+        // A deferred Dir_i_NB recall: the downgrade re-add below may
+        // overflow the pointers, but its eviction pending can only open
+        // once this fetch's pending is retired.
+        let mut deferred = AddOutcome::Tracked;
+        match pkind {
             PendingKind::FetchRead => {
                 let e = self.entry(block);
                 e.state = DirState::Clean;
-                e.remove(from);
+                e.sharers.remove(from);
                 if owner_retains {
                     // The old owner downgraded to a shared copy.
-                    e.add(from);
+                    let _ = e.sharers.add(from);
                 }
-                e.add(requester);
+                deferred = e.sharers.add(requester);
                 actions.push(DirAction {
                     dst: requester,
                     kind: MsgKind::ReadReply { exclusive: false },
                 });
             }
             PendingKind::FetchMigRead => {
-                self.entry(block).remove(from);
+                self.entry(block).sharers.remove(from);
                 // An unwritten migratory fetch asks the extension whether
                 // the classification should self-correct.
                 let revert = !written && self.exts.unwritten_migratory_fetch();
@@ -948,8 +1149,8 @@ impl DirCtrl {
                     let e = self.entry(block);
                     e.migratory = false;
                     e.state = DirState::Clean;
-                    e.presence = 0;
-                    e.add(requester);
+                    e.sharers.clear();
+                    let _ = e.sharers.add(requester);
                     self.stats.migratory_reverts += 1;
                     actions.push(DirAction {
                         dst: requester,
@@ -961,8 +1162,8 @@ impl DirCtrl {
                     // invalidations and all.
                     let e = self.entry(block);
                     e.state = DirState::Modified(requester);
-                    e.presence = 0;
-                    e.add(requester);
+                    e.sharers.clear();
+                    let _ = e.sharers.add(requester);
                     e.last_writer = Some(requester);
                     self.stats.exclusive_grants += 1;
                     actions.push(DirAction {
@@ -974,8 +1175,8 @@ impl DirCtrl {
             PendingKind::FetchOwn => {
                 let e = self.entry(block);
                 e.state = DirState::Modified(requester);
-                e.presence = 0;
-                e.add(requester);
+                e.sharers.clear();
+                let _ = e.sharers.add(requester);
                 e.last_writer = Some(requester);
                 actions.push(DirAction {
                     dst: requester,
@@ -985,12 +1186,12 @@ impl DirCtrl {
             PendingKind::RecallForUpdate { dirty_words } => {
                 let e = self.entry(block);
                 e.state = DirState::Clean;
-                e.presence = 0;
+                e.sharers.clear();
                 if e.migratory {
                     e.migratory = false;
                     self.stats.migratory_reverts += 1;
                 }
-                self.entry(block).pending = None;
+                self.clear_pending(block);
                 self.start_update_fanout(requester, block, dirty_words, actions);
                 return Ok(());
             }
@@ -998,12 +1199,14 @@ impl DirCtrl {
             // already rejected them as stale.
             PendingKind::Invalidating { .. }
             | PendingKind::Updating
-            | PendingKind::Interrogating { .. } => {
+            | PendingKind::Interrogating { .. }
+            | PendingKind::Evicting => {
                 self.stats.stale_drops += 1;
                 return Ok(());
             }
         }
-        self.entry(block).pending = None;
+        self.clear_pending(block);
+        self.note_add_outcome(block, deferred, actions);
         Ok(())
     }
 
@@ -1015,10 +1218,9 @@ impl DirCtrl {
         block: BlockAddr,
         pred: fn(PendingKind) -> bool,
     ) -> bool {
-        let bit = 1u64 << src.idx();
         matches!(
-            self.entry(block).pending,
-            Some(p) if pred(p.kind) && p.awaiting & bit != 0
+            self.entry(block).pending.as_ref(),
+            Some(p) if pred(p.kind) && p.awaiting.test(src)
         )
     }
 
@@ -1042,33 +1244,53 @@ impl DirCtrl {
         kind: MsgKind,
         actions: &mut Vec<DirAction>,
     ) -> Result<(), ProtocolError> {
-        let bit = 1u64 << src.idx();
         match kind {
             MsgKind::InvalAck => {
+                // A recall ack retires a Dir_i_NB eviction silently.
+                if self.ack_expected(src, block, |k| matches!(k, PendingKind::Evicting)) {
+                    let done = {
+                        let e = self.entry(block);
+                        e.sharers.remove(src);
+                        let p = e.pending.as_mut().expect("checked by ack_expected");
+                        p.awaiting.clear(src);
+                        p.awaiting.is_empty()
+                    };
+                    if done {
+                        self.clear_pending(block);
+                    }
+                    return Ok(());
+                }
                 if !self.ack_expected(src, block, |k| {
                     matches!(k, PendingKind::Invalidating { .. })
                 }) {
                     self.stats.stale_drops += 1;
                     return Ok(());
                 }
-                let e = self.entry(block);
-                e.remove(src);
-                let p = e.pending.as_mut().expect("checked by ack_expected");
-                p.awaiting &= !bit;
-                if p.awaiting == 0 {
-                    let (requester, with_data) = match p.kind {
-                        PendingKind::Invalidating { with_data } => (p.requester, with_data),
-                        _ => unreachable!("checked by ack_expected"),
-                    };
-                    e.presence = 0;
-                    e.add(requester);
-                    e.state = DirState::Modified(requester);
-                    e.last_writer = Some(requester);
-                    e.pending = None;
-                    actions.push(DirAction {
-                        dst: requester,
-                        kind: MsgKind::OwnAck { with_data },
-                    });
+                let done = {
+                    let e = self.entry(block);
+                    e.sharers.remove(src);
+                    let p = e.pending.as_mut().expect("checked by ack_expected");
+                    p.awaiting.clear(src);
+                    if p.awaiting.is_empty() {
+                        let (requester, with_data) = match p.kind {
+                            PendingKind::Invalidating { with_data } => (p.requester, with_data),
+                            _ => unreachable!("checked by ack_expected"),
+                        };
+                        e.sharers.clear();
+                        let _ = e.sharers.add(requester);
+                        e.state = DirState::Modified(requester);
+                        e.last_writer = Some(requester);
+                        actions.push(DirAction {
+                            dst: requester,
+                            kind: MsgKind::OwnAck { with_data },
+                        });
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if done {
+                    self.clear_pending(block);
                 }
             }
             MsgKind::FetchReply { written } => {
@@ -1082,15 +1304,17 @@ impl DirCtrl {
                     self.stats.stale_drops += 1;
                     return Ok(());
                 }
-                let e = self.entry(block);
-                if invalidated {
-                    e.remove(src);
-                }
-                let p = e.pending.as_mut().expect("checked by ack_expected");
-                p.awaiting &= !bit;
-                if p.awaiting == 0 {
-                    let requester = p.requester;
-                    e.pending = None;
+                let finish = {
+                    let e = self.entry(block);
+                    if invalidated {
+                        e.sharers.remove(src);
+                    }
+                    let p = e.pending.as_mut().expect("checked by ack_expected");
+                    p.awaiting.clear(src);
+                    p.awaiting.is_empty().then_some(p.requester)
+                };
+                if let Some(requester) = finish {
+                    self.clear_pending(block);
                     let done = self.finish_update(requester, block);
                     actions.push(DirAction {
                         dst: requester,
@@ -1105,23 +1329,29 @@ impl DirCtrl {
                     self.stats.stale_drops += 1;
                     return Ok(());
                 }
-                let e = self.entry(block);
-                if !keep {
-                    e.remove(src);
-                }
-                let p = e.pending.as_mut().expect("checked by ack_expected");
-                if keep {
-                    p.keep_votes = true;
-                }
-                p.awaiting &= !bit;
-                if p.awaiting == 0 {
-                    let (requester, dirty_words, all_gave_up) = match p.kind {
-                        PendingKind::Interrogating { dirty_words } => {
-                            (p.requester, dirty_words, !p.keep_votes)
+                let finish = {
+                    let e = self.entry(block);
+                    if !keep {
+                        e.sharers.remove(src);
+                    }
+                    let p = e.pending.as_mut().expect("checked by ack_expected");
+                    if keep {
+                        p.keep_votes = true;
+                    }
+                    p.awaiting.clear(src);
+                    if p.awaiting.is_empty() {
+                        match p.kind {
+                            PendingKind::Interrogating { dirty_words } => {
+                                Some((p.requester, dirty_words, !p.keep_votes))
+                            }
+                            _ => unreachable!("checked by ack_expected"),
                         }
-                        _ => unreachable!("checked by ack_expected"),
-                    };
-                    e.pending = None;
+                    } else {
+                        None
+                    }
+                };
+                if let Some((requester, dirty_words, all_gave_up)) = finish {
+                    self.clear_pending(block);
                     if all_gave_up {
                         // "For the block to be deemed migratory, all caches
                         // must give up their copies."
@@ -1156,7 +1386,8 @@ fn reply_matches(reply: MsgKind, pending: PendingKind) -> bool {
         }
         PendingKind::Invalidating { .. }
         | PendingKind::Updating
-        | PendingKind::Interrogating { .. } => false,
+        | PendingKind::Interrogating { .. }
+        | PendingKind::Evicting => false,
     }
 }
 
@@ -1182,7 +1413,7 @@ mod tests {
         BlockAddr::from_index(i)
     }
 
-    fn n(i: u8) -> NodeId {
+    fn n(i: u16) -> NodeId {
         NodeId(i)
     }
 
@@ -1222,7 +1453,7 @@ mod tests {
     #[test]
     fn ownership_invalidates_all_sharers_then_acks() {
         let mut dir = DirCtrl::new(N, false, false);
-        for i in [1u8, 2, 3] {
+        for i in [1u16, 2, 3] {
             dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
         let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
@@ -1368,7 +1599,7 @@ mod tests {
     #[test]
     fn duplicate_inval_ack_is_dropped() {
         let mut dir = DirCtrl::new(N, false, false);
-        for i in [1u8, 2, 3] {
+        for i in [1u16, 2, 3] {
             dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
         dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
@@ -1566,7 +1797,7 @@ mod tests {
     #[test]
     fn read_only_sharing_never_detected_as_migratory() {
         let mut dir = DirCtrl::new(N, true, false);
-        for i in 0..8u8 {
+        for i in 0..8u16 {
             dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
         assert!(!dir.snapshot(b(0)).unwrap().2);
@@ -1578,7 +1809,7 @@ mod tests {
         let mut dir = DirCtrl::new(N, true, false);
         // Nodes 0, 1, 2 all read; node 1 then writes. Presence count is 3,
         // not 2, so this is not the migratory pattern.
-        for i in 0..3u8 {
+        for i in 0..3u16 {
             dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
         dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
@@ -1647,7 +1878,7 @@ mod tests {
     #[test]
     fn update_fans_out_to_sharers_and_clears_invalidated_copies() {
         let mut dir = DirCtrl::new(N, false, true);
-        for i in [1u8, 2, 3] {
+        for i in [1u16, 2, 3] {
             dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
         let a = dir.h(n(1), b(0), MsgKind::UpdateReq { dirty_words: 0b11 });
@@ -1709,7 +1940,7 @@ mod tests {
     #[test]
     fn cwm_keep_vote_vetoes_migratory() {
         let mut dir = DirCtrl::new(N, true, true);
-        for i in [0u8, 1, 2] {
+        for i in [0u16, 1, 2] {
             dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
         }
         dir.h(n(0), b(0), MsgKind::UpdateReq { dirty_words: 1 });
@@ -1762,7 +1993,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "presence vector")]
+    #[should_panic(expected = "supports at most 64 nodes")]
     fn too_many_nodes_rejected() {
         let _ = DirCtrl::new(65, false, false);
     }

@@ -39,6 +39,7 @@ pub mod line;
 pub mod msg;
 pub mod prefetch;
 pub mod proto;
+pub mod sharer;
 pub mod sync;
 
 pub use blockmap::BlockMap;
@@ -49,3 +50,4 @@ pub use line::{CacheState, Line};
 pub use msg::{Msg, MsgKind};
 pub use prefetch::Prefetcher;
 pub use proto::{ExtKind, ExtSet, ExtStack, ProtocolExt, TraceRing, TransitionRecord};
+pub use sharer::{AckMask, AddOutcome, DirOrg, DirOrgError, FanoutClass, SharerSet};

@@ -487,7 +487,7 @@ impl ProtocolExt for MigratoryExt {
         }
         // A migratory block that is clean has no cached copies (the last
         // holder wrote it back): grant exclusively.
-        debug_assert_eq!(e.count(), 0);
+        debug_assert!(e.sharers.exactly_empty());
         let _ = src;
         stats.exclusive_grants += 1;
         grant.exclusive = true;
@@ -507,9 +507,13 @@ impl ProtocolExt for MigratoryExt {
         // Migratory detection (Stenström et al. [12], Cox & Fowler [2]):
         // an ownership request from a node that just read the block, while
         // the only other copy belongs to the previous writer.
-        if !e.migratory && e.state == DirState::Clean && e.count() == 2 && e.has(src) {
+        if !e.migratory
+            && e.state == DirState::Clean
+            && e.sharers.exact_count() == Some(2)
+            && e.sharers.certainly_contains(src)
+        {
             if let Some(lw) = e.last_writer {
-                if lw != src && e.has(lw) {
+                if lw != src && e.sharers.certainly_contains(lw) {
                     e.migratory = true;
                     stats.migratory_detections += 1;
                     return true;
@@ -525,7 +529,7 @@ impl ProtocolExt for MigratoryExt {
         // interrogate the caches holding copies.
         if self.interrogate
             && !e.migratory
-            && e.count() > 1
+            && e.sharers.exact_count().is_some_and(|c| c > 1)
             && e.last_updater.is_some()
             && e.last_updater != Some(src)
         {
@@ -574,8 +578,9 @@ impl ProtocolExt for ExclusiveCleanExt {
         grant: &mut ReadGrant,
     ) -> bool {
         // With no other copies, grant exclusively so the first write to
-        // (effectively private) data is silent.
-        if e.count() != 0 {
+        // (effectively private) data is silent. Gated on *certain* emptiness:
+        // an inexact organization never grants exclusivity.
+        if !e.sharers.exactly_empty() {
             return false;
         }
         stats.exclusive_grants += 1;

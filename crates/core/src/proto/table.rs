@@ -30,6 +30,11 @@ pub enum ExtKind {
     CompetitiveMigratory,
     /// MESI-style exclusive-clean grants (ablation extension).
     ExclusiveClean,
+    /// Scalable directory organizations (limited-pointer, coarse-vector,
+    /// directoryless): overflow broadcasts, region multicasts and pointer
+    /// recalls. Enabled whenever the configured organization is not the
+    /// exact full map.
+    DirScale,
 }
 
 impl ExtKind {
@@ -42,6 +47,7 @@ impl ExtKind {
             ExtKind::Competitive => "CW",
             ExtKind::CompetitiveMigratory => "CW+M",
             ExtKind::ExclusiveClean => "E",
+            ExtKind::DirScale => "DIR",
         }
     }
 
@@ -53,6 +59,7 @@ impl ExtKind {
             ExtKind::Competitive => 1 << 3,
             ExtKind::CompetitiveMigratory => 1 << 4,
             ExtKind::ExclusiveClean => 1 << 5,
+            ExtKind::DirScale => 1 << 6,
         }
     }
 }
@@ -92,6 +99,7 @@ impl ExtSet {
             ExtKind::Competitive,
             ExtKind::CompetitiveMigratory,
             ExtKind::ExclusiveClean,
+            ExtKind::DirScale,
         ]
         .into_iter()
         .filter(|k| self.contains(*k))
@@ -117,8 +125,8 @@ pub struct Rule {
 
 use CacheTag::{Dirty, Invalid, MigClean, Shared};
 use DirTag::{
-    Clean, FetchMigRead, FetchOwn, FetchRead, Interrogating, Invalidating, Modified,
-    RecallForUpdate, Updating,
+    BcastInval, BcastUpdating, Clean, Evicting, FetchMigRead, FetchOwn, FetchRead, Interrogating,
+    Invalidating, McastInval, McastUpdating, Modified, RecallForUpdate, Updating,
 };
 use ExtKind as K;
 use StateTag::{Cache as C, Dir as D};
@@ -155,6 +163,16 @@ pub static DIR_RULES: &[Rule] = &[
     Rule { ext: K::CompetitiveMigratory, from: D(Interrogating), input: m(MsgTag::InterrogateReply), to: &[D(Updating), D(Clean), D(Modified)], note: "all copies given up: classify migratory; then deliver the pending update to the keepers" },
     // ------------------------------------------------------------- E
     Rule { ext: K::ExclusiveClean, from: D(Clean), input: m(MsgTag::ReadReq), to: &[D(Modified)], note: "no cached copies: MESI-style exclusive-clean grant" },
+    // ----------------------------------------------------------- DIR
+    Rule { ext: K::DirScale, from: D(Clean), input: m(MsgTag::OwnReq), to: &[D(BcastInval), D(McastInval)], note: "overflowed pointers broadcast invalidations to every node; coarse regions multicast to every member" },
+    Rule { ext: K::DirScale, from: D(BcastInval), input: m(MsgTag::InvalAck), to: &[D(Modified)], note: "last broadcast acknowledgment completes the ownership grant" },
+    Rule { ext: K::DirScale, from: D(McastInval), input: m(MsgTag::InvalAck), to: &[D(Modified)], note: "last region acknowledgment completes the ownership grant" },
+    Rule { ext: K::DirScale, from: D(Clean), input: m(MsgTag::UpdateReq), to: &[D(BcastUpdating), D(McastUpdating)], note: "the approximate sharer set widens the update fan-out to a broadcast / region multicast" },
+    Rule { ext: K::DirScale, from: D(BcastUpdating), input: m(MsgTag::UpdateAck), to: &[D(Clean)], note: "broadcast update completes (exclusivity is never inferred from an inexact set)" },
+    Rule { ext: K::DirScale, from: D(McastUpdating), input: m(MsgTag::UpdateAck), to: &[D(Clean)], note: "region update completes (exclusivity is never inferred from an inexact set)" },
+    Rule { ext: K::DirScale, from: D(Clean), input: m(MsgTag::ReadReq), to: &[D(Evicting)], note: "Dir_i_NB pointer overflow: recall (invalidate) the oldest tracked copy to admit the new sharer" },
+    Rule { ext: K::DirScale, from: D(FetchRead), input: m(MsgTag::FetchReply), to: &[D(Evicting)], note: "the downgraded owner overflows the pointers; recall one" },
+    Rule { ext: K::DirScale, from: D(Evicting), input: m(MsgTag::InvalAck), to: &[D(Clean)], note: "the recalled copy acknowledged; the eviction retires silently" },
 ];
 
 /// The processor-cache (SLC) transition table: BASIC plus each extension

@@ -29,6 +29,19 @@ pub enum DirTag {
     Updating,
     /// CW+M migratory interrogation outstanding.
     Interrogating,
+    /// Invalidations outstanding for an *overflowed* sharer set: the
+    /// limited-pointer (Dir_i_B) or directoryless organization broadcast to
+    /// every node.
+    BcastInval,
+    /// Invalidations outstanding for a coarse-vector region multicast.
+    McastInval,
+    /// Update fan-out outstanding over an overflowed (broadcast) set.
+    BcastUpdating,
+    /// Update fan-out outstanding over coarse-vector regions.
+    McastUpdating,
+    /// Dir_i_NB pointer recall outstanding: one tracked copy is being
+    /// invalidated to free a pointer for a new sharer.
+    Evicting,
 }
 
 impl DirTag {
@@ -44,6 +57,11 @@ impl DirTag {
             DirTag::RecallForUpdate => "P:Recall",
             DirTag::Updating => "P:Update",
             DirTag::Interrogating => "P:Interr",
+            DirTag::BcastInval => "B:Inval",
+            DirTag::McastInval => "R:Inval",
+            DirTag::BcastUpdating => "B:Update",
+            DirTag::McastUpdating => "R:Update",
+            DirTag::Evicting => "P:Evict",
         }
     }
 }

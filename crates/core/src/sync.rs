@@ -141,14 +141,15 @@ impl LockCtrl {
 
 /// The barrier controller at one node (barrier episodes are homed by id).
 ///
-/// Arrivals are tracked per node in a bitmask, so a replayed arrival
-/// message is recognized and ignored instead of releasing the barrier
-/// early. When the last of `participants` distinct nodes arrives, the home
-/// broadcasts the release (the machine layer sends the messages).
+/// Arrivals are tracked per node in a bitmask (one `u64` word per 64
+/// nodes, so machines beyond 64 processors are supported), so a replayed
+/// arrival message is recognized and ignored instead of releasing the
+/// barrier early. When the last of `participants` distinct nodes arrives,
+/// the home broadcasts the release (the machine layer sends the messages).
 #[derive(Debug)]
 pub struct BarrierCtrl {
     participants: u32,
-    arrived: HashMap<u32, u64>,
+    arrived: HashMap<u32, Vec<u64>>,
     /// Episode ids already released. An id names one episode (ids are not
     /// reused), so an arrival for a completed id is a replayed message and
     /// must not re-open the episode with a phantom partial mask.
@@ -162,10 +163,14 @@ impl BarrierCtrl {
     ///
     /// # Panics
     ///
-    /// Panics if `participants` is zero or exceeds the 64-node bitmask.
+    /// Panics if `participants` is zero or exceeds [`crate::sharer::MAX_NODES`].
     pub fn new(participants: u32) -> Self {
         assert!(participants > 0, "a barrier needs participants");
-        assert!(participants <= 64, "arrival mask holds at most 64 nodes");
+        assert!(
+            participants as usize <= crate::sharer::MAX_NODES,
+            "arrival mask holds at most {} nodes",
+            crate::sharer::MAX_NODES
+        );
         BarrierCtrl {
             participants,
             arrived: HashMap::new(),
@@ -183,14 +188,15 @@ impl BarrierCtrl {
             self.stale_ops += 1;
             return false;
         }
-        let mask = self.arrived.entry(id).or_insert(0);
-        let bit = 1u64 << node.0;
-        if *mask & bit != 0 {
+        let words = (self.participants as usize).div_ceil(64);
+        let mask = self.arrived.entry(id).or_insert_with(|| vec![0u64; words]);
+        let (word, bit) = (node.idx() / 64, 1u64 << (node.idx() % 64));
+        if mask[word] & bit != 0 {
             self.stale_ops += 1;
             return false;
         }
-        *mask |= bit;
-        if mask.count_ones() == self.participants {
+        mask[word] |= bit;
+        if mask.iter().map(|w| w.count_ones()).sum::<u32>() == self.participants {
             self.arrived.remove(&id);
             self.done.insert(id);
             self.episodes += 1;
@@ -206,9 +212,10 @@ impl BarrierCtrl {
     }
 
     /// Barriers with partial arrivals: `(id, arrival bitmask)` — the raw
-    /// material of the watchdog's diagnostic snapshot.
+    /// material of the watchdog's diagnostic snapshot. On machines larger
+    /// than 64 nodes only the low 64 arrival bits are reported.
     pub fn waiting(&self) -> Vec<(u32, u64)> {
-        let mut v: Vec<_> = self.arrived.iter().map(|(id, m)| (*id, *m)).collect();
+        let mut v: Vec<_> = self.arrived.iter().map(|(id, m)| (*id, m[0])).collect();
         v.sort_by_key(|(id, _)| *id);
         v
     }
@@ -228,7 +235,7 @@ impl BarrierCtrl {
 mod tests {
     use super::*;
 
-    fn n(i: u8) -> NodeId {
+    fn n(i: u16) -> NodeId {
         NodeId(i)
     }
 
@@ -269,6 +276,19 @@ mod tests {
         assert_eq!(bar.waiting(), vec![(0, 0b111)]);
         assert!(bar.arrive(n(3), 0));
         assert!(!bar.any_waiting());
+        assert_eq!(bar.episodes(), 1);
+    }
+
+    #[test]
+    fn barrier_scales_past_64_participants() {
+        let mut bar = BarrierCtrl::new(256);
+        for i in 0..255 {
+            assert!(!bar.arrive(n(i), 0), "node {i} must not release early");
+        }
+        // A replay from a high-word node is still recognized.
+        assert!(!bar.arrive(n(200), 0));
+        assert_eq!(bar.stale_ops(), 1);
+        assert!(bar.arrive(n(255), 0));
         assert_eq!(bar.episodes(), 1);
     }
 

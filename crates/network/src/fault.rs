@@ -234,7 +234,7 @@ mod tests {
     use super::*;
     use crate::{TrafficClass, UniformNetwork};
 
-    fn env(src: u8, dst: u8) -> Envelope {
+    fn env(src: u16, dst: u16) -> Envelope {
         Envelope::new(NodeId(src), NodeId(dst), 8, TrafficClass::Control)
     }
 
@@ -265,7 +265,7 @@ mod tests {
         };
         let run = |mut net: FaultyNetwork| {
             (0..200)
-                .map(|i| net.send_all(Time::from_cycles(i * 7), env(i as u8 % 4, 3)))
+                .map(|i| net.send_all(Time::from_cycles(i * 7), env(i as u16 % 4, 3)))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(faulty(plan)), run(faulty(plan)));

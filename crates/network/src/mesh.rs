@@ -103,7 +103,11 @@ impl MeshNetwork {
     pub fn new(cols: usize, rows: usize, link_bits: u32) -> Self {
         assert!(cols > 0 && rows > 0, "mesh dimensions must be positive");
         assert!(link_bits > 0, "link width must be positive");
-        assert!(cols * rows <= 256, "node ids are 8-bit");
+        assert!(
+            cols * rows <= 256,
+            "the flat mesh precomputes all-pairs routes and stops at 256 nodes; \
+             use HierMeshNetwork for larger machines"
+        );
         let mut mesh = MeshNetwork {
             cols,
             rows,
@@ -125,7 +129,7 @@ impl MeshNetwork {
         for src in 0..nodes {
             for dst in 0..nodes {
                 path.clear();
-                mesh.route_into(NodeId(src as u8), NodeId(dst as u8), &mut path);
+                mesh.route_into(NodeId(src as u16), NodeId(dst as u16), &mut path);
                 spans.push((hops.len() as u32, path.len() as u16));
                 hops.extend(path.iter().map(|&l| l as u32));
             }
@@ -227,6 +231,173 @@ impl Network for MeshNetwork {
     }
 }
 
+/// A hierarchical two-level wormhole mesh for machines past the flat
+/// mesh's route-table budget: nodes are grouped into 4×4 clusters (each an
+/// ordinary wormhole mesh), and the clusters themselves form a 2D mesh of
+/// *express links* between cluster gateways (each cluster's local node 0).
+///
+/// An inter-cluster message rides its source cluster's mesh to the
+/// gateway, crosses the cluster grid on express links (dimension-order,
+/// like any mesh), and descends the destination cluster's mesh. Express
+/// hops charge a higher per-hop router delay (longer, pipelined wires)
+/// but the same link width, so wide machines keep the flit model of
+/// Section 5.3. 1024 nodes = 64 clusters = an 8×8 express grid.
+///
+/// Unlike [`MeshNetwork`], routes are derived on the fly into a recycled
+/// scratch buffer: an all-pairs table for 1024 nodes would dwarf the
+/// caches the simulator is trying to model. Steady-state sends still do
+/// not allocate (the scratch's capacity is reused).
+#[derive(Debug)]
+pub struct HierMeshNetwork {
+    /// Intra-cluster mesh width (4 for full clusters); row count follows
+    /// from `cluster_size`.
+    ccols: usize,
+    /// Cluster-grid width; row count follows from the cluster count.
+    gcols: usize,
+    cluster_size: usize,
+    link_bits: u32,
+    /// Per-hop header latency inside a cluster.
+    router_delay: u64,
+    /// Per-hop header latency on an express link.
+    express_delay: u64,
+    /// Intra-cluster links first (`(cluster * cluster_size + router) * 4 +
+    /// dir`), then express links (`express_base + grid_router * 4 + dir`).
+    links: Vec<Resource>,
+    express_base: usize,
+    /// Recycled route buffer (`send` is allocation-free in steady state).
+    scratch: Vec<usize>,
+    traffic: TrafficStats,
+    name: String,
+}
+
+impl HierMeshNetwork {
+    /// Creates a hierarchical mesh covering `nodes` processors with the
+    /// given link width in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` or `link_bits` is zero.
+    pub fn new(nodes: usize, link_bits: u32) -> Self {
+        assert!(nodes > 0, "a network needs nodes");
+        assert!(link_bits > 0, "link width must be positive");
+        let cluster_size = nodes.min(16);
+        let clusters = nodes.div_ceil(cluster_size);
+        let ccols = (cluster_size as f64).sqrt().ceil() as usize;
+        let crows = cluster_size.div_ceil(ccols.max(1));
+        let gcols = (clusters as f64).sqrt().ceil() as usize;
+        let grows = clusters.div_ceil(gcols.max(1));
+        let express_base = clusters * cluster_size * 4;
+        HierMeshNetwork {
+            ccols,
+            gcols,
+            cluster_size,
+            link_bits,
+            router_delay: 2,
+            express_delay: 4,
+            links: vec![Resource::new(); express_base + gcols * grows * 4],
+            express_base,
+            scratch: Vec::with_capacity(2 * (ccols + crows) + gcols + grows),
+            traffic: TrafficStats::new(),
+            name: format!("hmesh{gcols}x{grows}x{cluster_size}-{link_bits}bit"),
+        }
+    }
+
+    /// Link width in bits.
+    pub fn link_bits(&self) -> u32 {
+        self.link_bits
+    }
+
+    fn flits(&self, bytes: u32) -> u64 {
+        Envelope::flits_on(bytes, self.link_bits)
+    }
+
+    /// Appends the X-Y route `from -> to` on a `cols`-wide grid to `path`,
+    /// mapping each hop through `link_of(router, dir)`.
+    fn grid_route(
+        cols: usize,
+        from: usize,
+        to: usize,
+        path: &mut Vec<usize>,
+        link_of: impl Fn(usize, Dir) -> usize,
+    ) {
+        let (mut x, mut y) = (from % cols, from / cols);
+        let (dx, dy) = (to % cols, to / cols);
+        while x != dx {
+            let dir = if dx > x { Dir::East } else { Dir::West };
+            path.push(link_of(y * cols + x, dir));
+            if dx > x {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+        }
+        while y != dy {
+            let dir = if dy > y { Dir::South } else { Dir::North };
+            path.push(link_of(y * cols + x, dir));
+            if dy > y {
+                y += 1;
+            } else {
+                y -= 1;
+            }
+        }
+    }
+
+    /// Builds the full route into the scratch buffer: intra-cluster ascent
+    /// to the gateway, express traversal of the cluster grid, intra-cluster
+    /// descent. Same-cluster traffic never touches an express link.
+    fn route_into(&self, src: NodeId, dst: NodeId, path: &mut Vec<usize>) {
+        let (sc, sl) = (src.idx() / self.cluster_size, src.idx() % self.cluster_size);
+        let (dc, dl) = (dst.idx() / self.cluster_size, dst.idx() % self.cluster_size);
+        let intra = |cluster: usize| {
+            move |router: usize, dir: Dir| (cluster * self.cluster_size + router) * 4 + dir.idx()
+        };
+        if sc == dc {
+            Self::grid_route(self.ccols, sl, dl, path, intra(sc));
+            return;
+        }
+        Self::grid_route(self.ccols, sl, 0, path, intra(sc));
+        let express_start = path.len();
+        Self::grid_route(self.gcols, sc, dc, path, |router, dir| {
+            self.express_base + router * 4 + dir.idx()
+        });
+        debug_assert!(path.len() > express_start, "distinct clusters need hops");
+        Self::grid_route(self.ccols, 0, dl, path, intra(dc));
+    }
+}
+
+impl Network for HierMeshNetwork {
+    fn send(&mut self, now: Time, env: Envelope) -> Time {
+        if env.is_local() {
+            return now;
+        }
+        self.traffic.record(&env);
+        let flits = self.flits(env.bytes);
+        let mut path = std::mem::take(&mut self.scratch);
+        path.clear();
+        self.route_into(env.src, env.dst, &mut path);
+        let mut head = now;
+        for &link in &path {
+            let delay = if link >= self.express_base {
+                self.express_delay
+            } else {
+                self.router_delay
+            };
+            let start = self.links[link].acquire(head, Time::from_cycles(delay + flits));
+            head = start + Time::from_cycles(delay);
+        }
+        self.scratch = path;
+        head + Time::from_cycles(flits)
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,7 +408,7 @@ mod tests {
         Time::from_cycles(c)
     }
 
-    fn env(src: u8, dst: u8, bytes: u32) -> Envelope {
+    fn env(src: u16, dst: u16, bytes: u32) -> Envelope {
         Envelope::new(NodeId(src), NodeId(dst), bytes, TrafficClass::Data)
     }
 
@@ -257,7 +428,7 @@ mod tests {
             let mesh = MeshNetwork::new(dims.0, dims.1, 32);
             for src in 0..dims.0 * dims.1 {
                 for dst in 0..dims.0 * dims.1 {
-                    let (s, d) = (NodeId(src as u8), NodeId(dst as u8));
+                    let (s, d) = (NodeId(src as u16), NodeId(dst as u16));
                     let mut fresh = Vec::new();
                     mesh.route_into(s, d, &mut fresh);
                     assert_eq!(mesh.route(s, d), fresh, "{dims:?} {src}->{dst}");
@@ -310,11 +481,64 @@ mod tests {
         assert!(b > a);
     }
 
+    #[test]
+    fn hier_mesh_same_cluster_matches_flat_mesh() {
+        // 16 nodes = one full cluster: the hierarchy degenerates to 4x4.
+        let mut hier = HierMeshNetwork::new(16, 64);
+        let mut flat = MeshNetwork::paper_mesh(64);
+        for (s, d) in [(0u16, 15u16), (3, 12), (5, 5), (15, 0)] {
+            assert_eq!(
+                hier.send(t(0), env(s, d, 40)),
+                flat.send(t(0), env(s, d, 40)),
+                "{s}->{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn hier_mesh_scales_to_1024_nodes() {
+        let mut hier = HierMeshNetwork::new(1024, 64);
+        assert_eq!(hier.name(), "hmesh8x8x16-64bit");
+        // Same cluster: purely local mesh hops.
+        let near = hier.send(t(0), env(0, 15, 40));
+        assert_eq!(near, t(17)); // 6 hops * 2 + 5 flits, as on the flat 4x4
+        // Node 0 is cluster 0's gateway: no ascent, 14 express hops
+        // (corner to corner of the 8x8 grid), 6-hop descent.
+        let gw = hier.send(t(0), env(0, 1023, 40));
+        assert_eq!(gw, t(14 * 4 + 6 * 2 + 5));
+        // Opposite corners of the machine (fresh network, so the gateway
+        // send above cannot contend): 6-hop ascent, 14 express hops,
+        // 6-hop descent.
+        let far = HierMeshNetwork::new(1024, 64).send(t(0), env(15, 1023, 40));
+        assert_eq!(far, t(6 * 2 + 14 * 4 + 6 * 2 + 5));
+        assert!(far > near);
+    }
+
+    #[test]
+    fn hier_mesh_express_links_contend() {
+        let mut hier = HierMeshNetwork::new(64, 16);
+        // Two messages from cluster 0 to cluster 3 share the gateway path.
+        let a = hier.send(t(0), env(0, 48, 40));
+        let b = hier.send(t(0), env(1, 49, 40));
+        let solo = HierMeshNetwork::new(64, 16).send(t(0), env(1, 49, 40));
+        assert!(b > solo || a < b, "shared express links must serialize");
+    }
+
+    #[test]
+    fn hier_mesh_routes_are_deterministic() {
+        let mut a = HierMeshNetwork::new(256, 32);
+        let mut b = HierMeshNetwork::new(256, 32);
+        for i in 0..200u16 {
+            let (s, d) = (i % 256, (i * 37 + 11) % 256);
+            assert_eq!(a.send(t(i as u64), env(s, d, 40)), b.send(t(i as u64), env(s, d, 40)));
+        }
+    }
+
     proptest! {
         /// Any route under X-Y routing has Manhattan-distance length and
         /// delivery never precedes departure.
         #[test]
-        fn routes_are_manhattan(src in 0u8..16, dst in 0u8..16, bytes in 1u32..200) {
+        fn routes_are_manhattan(src in 0u16..16, dst in 0u16..16, bytes in 1u32..200) {
             let mut mesh = MeshNetwork::paper_mesh(32);
             let (sx, sy) = (src % 4, src / 4);
             let (dx, dy) = (dst % 4, dst / 4);

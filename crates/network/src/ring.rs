@@ -125,7 +125,7 @@ mod tests {
         Time::from_cycles(c)
     }
 
-    fn env(src: u8, dst: u8, bytes: u32) -> Envelope {
+    fn env(src: u16, dst: u16, bytes: u32) -> Envelope {
         Envelope::new(NodeId(src), NodeId(dst), bytes, TrafficClass::Data)
     }
 

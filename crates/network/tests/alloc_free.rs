@@ -51,8 +51,8 @@ fn allocs_during_sends(net: &mut dyn Network, rounds: u64) -> u64 {
     ];
     let before = ALLOCS.load(Ordering::Relaxed);
     for r in 0..rounds {
-        for src in 0..16u8 {
-            for dst in 0..16u8 {
+        for src in 0..16u16 {
+            for dst in 0..16u16 {
                 let (bytes, class) = classes[(src as usize + dst as usize + r as usize) % 4];
                 let env = Envelope::new(NodeId(src), NodeId(dst), bytes, class);
                 net.send_all(Time::from_cycles(r * 100), env);

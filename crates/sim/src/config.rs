@@ -1,9 +1,10 @@
 //! Machine configuration.
 
 use dirext_core::config::{Consistency, ProtocolConfig};
+use dirext_core::sharer::DirOrg;
 use dirext_kernel::Time;
 use dirext_memsys::Timing;
-use dirext_network::{FaultPlan, MeshNetwork, Network, RingNetwork, UniformNetwork};
+use dirext_network::{FaultPlan, HierMeshNetwork, MeshNetwork, Network, RingNetwork, UniformNetwork};
 
 /// Which interconnection network to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,6 +24,13 @@ pub enum NetworkKind {
         /// Link width in bits.
         link_bits: u32,
     },
+    /// Hierarchical two-level mesh: 4×4 wormhole-routed clusters joined by
+    /// a mesh of express links between cluster gateways — the scaling
+    /// topology for the 64/256/1024-node machines.
+    HierMesh {
+        /// Link width in bits (intra- and inter-cluster).
+        link_bits: u32,
+    },
 }
 
 impl NetworkKind {
@@ -37,6 +45,9 @@ impl NetworkKind {
                 Box::new(MeshNetwork::new(cols.max(1), rows.max(1), link_bits))
             }
             NetworkKind::Ring { link_bits } => Box::new(RingNetwork::new(procs.max(2), link_bits)),
+            NetworkKind::HierMesh { link_bits } => {
+                Box::new(HierMeshNetwork::new(procs.max(1), link_bits))
+            }
         }
     }
 }
@@ -59,6 +70,12 @@ pub struct MachineConfig {
     pub procs: usize,
     /// Protocol configuration (BASIC + extensions + consistency model).
     pub protocol: ProtocolConfig,
+    /// Directory organization — the sharer-set representation of every
+    /// home's directory entries ([`DirOrg::FullMap`] is the paper's
+    /// machine; the scalable organizations unlock machines past 64 nodes).
+    /// Validated against `procs` when the machine runs: an infeasible pair
+    /// surfaces as a structured `SimError::Config`, not a panic.
+    pub dir_org: DirOrg,
     /// Node timing and capacity parameters.
     pub timing: Timing,
     /// Interconnection network.
@@ -98,10 +115,17 @@ impl MachineConfig {
     ///
     /// # Panics
     ///
-    /// Panics if `procs` is zero, exceeds 32, or the protocol configuration
-    /// is infeasible (CW under SC).
+    /// Panics if `procs` is zero, exceeds [`dirext_core::sharer::MAX_NODES`],
+    /// or the protocol configuration is infeasible (CW under SC). Whether
+    /// `procs` fits the configured *directory organization* (the full map
+    /// stops at 64 nodes) is checked when the machine runs, yielding a
+    /// structured [`crate::SimError::Config`] instead of a panic.
     pub fn new(procs: usize, protocol: ProtocolConfig) -> Self {
-        assert!(procs > 0 && procs <= 64, "1..=64 processors supported");
+        assert!(
+            procs > 0 && procs <= dirext_core::sharer::MAX_NODES,
+            "1..={} processors supported",
+            dirext_core::sharer::MAX_NODES
+        );
         assert!(protocol.is_feasible(), "CW requires relaxed consistency");
         let mut timing = Timing::paper_default();
         // "We implement sequential consistency by stalling the processor
@@ -116,6 +140,7 @@ impl MachineConfig {
         MachineConfig {
             procs,
             protocol,
+            dir_org: DirOrg::FullMap,
             timing,
             network: NetworkKind::Uniform,
             check_invariants: true,
@@ -137,6 +162,13 @@ impl MachineConfig {
     /// Replaces the network model.
     pub fn with_network(mut self, network: NetworkKind) -> Self {
         self.network = network;
+        self
+    }
+
+    /// Replaces the directory organization (the default is the paper's
+    /// full-map presence vector).
+    pub fn with_dir_org(mut self, org: DirOrg) -> Self {
+        self.dir_org = org;
         self
     }
 

@@ -14,16 +14,20 @@
 //! Each cell is identified by a deterministic, self-describing key:
 //!
 //! ```text
-//! driver/workload@procs.events.refs/protocol/consistency/network/variant/fault
+//! driver/workload@procs.events.refs/protocol/consistency/network/variant/fault[/dir=ORG]
 //! e.g.  fig2/MP3D@16.48576.23712/P+CW/RC/uniform/base/f=none
+//! e.g.  dirscale/MP3D@256.48576.23712/P/RC/hmesh64/base/f=none/dir=ptr4b
 //! ```
 //!
 //! The workload component carries a content fingerprint (processor count,
 //! total events, total shared references) so the same application at a
 //! different `--scale` or `--procs` never collides; the variant tags a
 //! timing override (the §5.4 sensitivity runs); the fault component
-//! encodes the full fault plan. Journals from unrelated sweeps can
-//! therefore share a file without ambiguity — a lookup simply misses.
+//! encodes the full fault plan. A non-default directory organization
+//! appends a final `dir=` segment — full-map cells keep the historical
+//! key shape, so journals written before the directory axis existed
+//! still resolve. Journals from unrelated sweeps can therefore share a
+//! file without ambiguity — a lookup simply misses.
 //!
 //! # File format
 //!
@@ -54,6 +58,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use dirext_core::sharer::DirOrg;
 use dirext_core::{Consistency, ProtocolKind};
 use dirext_network::FaultPlan;
 use dirext_stats::Metrics;
@@ -691,18 +696,23 @@ pub fn assemble(paths: &[PathBuf], out: &Path) -> Result<AssembleSummary, Journa
 
 /// Builds the deterministic cell key for one simulator configuration (see
 /// the module docs for the format).
+// Every argument is one key segment; a params struct would only move the
+// eight names one call-site away.
+#[allow(clippy::too_many_arguments)]
 pub fn cell_key(
     driver: &str,
     workload: &Workload,
     kind: ProtocolKind,
     consistency: Consistency,
     network: NetworkKind,
+    dir: DirOrg,
     variant: &str,
     fault: Option<&FaultPlan>,
 ) -> String {
     let net = match network {
         NetworkKind::Uniform => "uniform".to_owned(),
         NetworkKind::Mesh { link_bits } => format!("mesh{link_bits}"),
+        NetworkKind::HierMesh { link_bits } => format!("hmesh{link_bits}"),
         NetworkKind::Ring { link_bits } => format!("ring{link_bits}"),
     };
     let cons = match consistency {
@@ -716,8 +726,14 @@ pub fn cell_key(
         ),
         _ => "f=none".to_owned(),
     };
+    // Full-map cells keep the pre-directory-axis key shape so existing
+    // journals stay resumable byte for byte.
+    let dir = match dir {
+        DirOrg::FullMap => String::new(),
+        other => format!("/dir={}", other.cli_name()),
+    };
     format!(
-        "{driver}/{}@{}.{}.{}/{}/{cons}/{net}/{variant}/{fault}",
+        "{driver}/{}@{}.{}.{}/{}/{cons}/{net}/{variant}/{fault}{dir}",
         workload.name(),
         workload.procs(),
         workload.total_events(),
@@ -979,6 +995,7 @@ mod tests {
             ProtocolKind::Basic,
             Consistency::Rc,
             NetworkKind::Uniform,
+            DirOrg::FullMap,
             "base",
             None,
         );
@@ -989,6 +1006,7 @@ mod tests {
                 ProtocolKind::Basic,
                 Consistency::Rc,
                 NetworkKind::Uniform,
+                DirOrg::FullMap,
                 "base",
                 None,
             ),
@@ -998,6 +1016,7 @@ mod tests {
                 ProtocolKind::Basic,
                 Consistency::Rc,
                 NetworkKind::Uniform,
+                DirOrg::FullMap,
                 "base",
                 None,
             ),
@@ -1007,6 +1026,7 @@ mod tests {
                 ProtocolKind::P,
                 Consistency::Rc,
                 NetworkKind::Uniform,
+                DirOrg::FullMap,
                 "base",
                 None,
             ),
@@ -1016,6 +1036,7 @@ mod tests {
                 ProtocolKind::Basic,
                 Consistency::Sc,
                 NetworkKind::Uniform,
+                DirOrg::FullMap,
                 "base",
                 None,
             ),
@@ -1025,6 +1046,7 @@ mod tests {
                 ProtocolKind::Basic,
                 Consistency::Rc,
                 NetworkKind::Mesh { link_bits: 32 },
+                DirOrg::FullMap,
                 "base",
                 None,
             ),
@@ -1034,6 +1056,7 @@ mod tests {
                 ProtocolKind::Basic,
                 Consistency::Rc,
                 NetworkKind::Uniform,
+                DirOrg::FullMap,
                 "flwb4",
                 None,
             ),
@@ -1043,15 +1066,68 @@ mod tests {
                 ProtocolKind::Basic,
                 Consistency::Rc,
                 NetworkKind::Uniform,
+                DirOrg::FullMap,
                 "base",
                 Some(&FaultPlan {
                     drop_permille: 5,
                     ..FaultPlan::seeded(9)
                 }),
             ),
+            cell_key(
+                "fig2",
+                &w2,
+                ProtocolKind::Basic,
+                Consistency::Rc,
+                NetworkKind::Uniform,
+                DirOrg::LimitedPtr {
+                    ptrs: 4,
+                    broadcast: true,
+                },
+                "base",
+                None,
+            ),
         ];
         for other in &others {
             assert_ne!(&base, other);
         }
+    }
+
+    #[test]
+    fn full_map_keys_keep_the_historical_shape() {
+        use dirext_trace::{MemEvent, Program};
+        let w = Workload::new(
+            "W",
+            vec![Program::from_events(vec![MemEvent::Read(
+                dirext_trace::Addr::new(0),
+            )])],
+        );
+        let key = cell_key(
+            "fig2",
+            &w,
+            ProtocolKind::Basic,
+            Consistency::Rc,
+            NetworkKind::Uniform,
+            DirOrg::FullMap,
+            "base",
+            None,
+        );
+        assert!(
+            key.ends_with("/f=none"),
+            "full-map keys must not grow a dir segment: {key}"
+        );
+        let scaled = cell_key(
+            "dirscale",
+            &w,
+            ProtocolKind::Basic,
+            Consistency::Rc,
+            NetworkKind::HierMesh { link_bits: 64 },
+            DirOrg::CoarseVector { region: 8 },
+            "base",
+            None,
+        );
+        assert!(
+            scaled.ends_with("/f=none/dir=coarse8"),
+            "non-default organizations tag the key: {scaled}"
+        );
     }
 }

@@ -39,6 +39,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dirext_core::config::Consistency;
+use dirext_core::sharer::DirOrg;
 use dirext_core::ProtocolKind;
 use dirext_memsys::Timing;
 use dirext_network::FaultPlan;
@@ -193,6 +194,8 @@ pub struct Cell<'a> {
     pub network: NetworkKind,
     /// Optional timing override (§5.4 sensitivity runs).
     pub timing: Option<Timing>,
+    /// Directory organization (full-map unless the sweep says otherwise).
+    pub dir: DirOrg,
     /// Tag distinguishing otherwise-identical configurations (e.g. which
     /// timing override applies); part of the journal cell key.
     pub variant: &'static str,
@@ -217,6 +220,7 @@ impl<'a> Cell<'a> {
             consistency,
             network,
             timing: None,
+            dir: DirOrg::FullMap,
             variant: "base",
         }
     }
@@ -225,6 +229,12 @@ impl<'a> Cell<'a> {
     pub fn timed(mut self, timing: Timing, variant: &'static str) -> Self {
         self.timing = Some(timing);
         self.variant = variant;
+        self
+    }
+
+    /// Returns this cell under an explicit directory organization.
+    pub fn with_dir(mut self, dir: DirOrg) -> Self {
+        self.dir = dir;
         self
     }
 }
@@ -450,6 +460,7 @@ pub fn run_cells(
                 c.kind,
                 c.consistency,
                 c.network,
+                c.dir,
                 c.variant,
                 opts.fault.as_ref(),
             )
@@ -618,11 +629,12 @@ pub(super) fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts, fence: u64) 
                     panic!("chaos hook: deliberate panic in cell {key}");
                 }
             }
-            run_protocol_cfg(
+            run_protocol_dir(
                 cell.workload,
                 cell.kind,
                 cell.consistency,
                 cell.network,
+                cell.dir,
                 cell.timing.clone(),
                 fault,
             )
@@ -716,9 +728,8 @@ pub fn run_protocol_on(
     run_protocol_cfg(workload, kind, consistency, network, timing, None)
 }
 
-/// The fully-general run helper: explicit network, optional timing
-/// override, optional fault plan. Every sweep configuration bottoms out
-/// here.
+/// [`run_protocol_dir`] under the default full-map directory. Kept as the
+/// stable entry point for callers that never leave the ≤64-node regime.
 ///
 /// # Errors
 ///
@@ -731,8 +742,36 @@ pub fn run_protocol_cfg(
     timing: Option<Timing>,
     fault: Option<FaultPlan>,
 ) -> Result<Metrics, SimError> {
+    run_protocol_dir(
+        workload,
+        kind,
+        consistency,
+        network,
+        DirOrg::FullMap,
+        timing,
+        fault,
+    )
+}
+
+/// The fully-general run helper: explicit network, directory
+/// organization, optional timing override, optional fault plan. Every
+/// sweep configuration bottoms out here.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run, including
+/// [`SimError::Config`] when `dir` cannot serve `workload.procs()` nodes.
+pub fn run_protocol_dir(
+    workload: &Workload,
+    kind: ProtocolKind,
+    consistency: Consistency,
+    network: NetworkKind,
+    dir: DirOrg,
+    timing: Option<Timing>,
+    fault: Option<FaultPlan>,
+) -> Result<Metrics, SimError> {
     let mut cfg = MachineConfig::new(workload.procs(), kind.config(consistency));
-    cfg = cfg.with_network(network);
+    cfg = cfg.with_network(network).with_dir_org(dir);
     if let Some(t) = timing {
         cfg = cfg.with_timing(t);
     }

@@ -4,12 +4,14 @@ use dirext_core::blockmap::BlockMap;
 use dirext_core::config::ProtocolConfig;
 use dirext_core::dir::DirCtrl;
 use dirext_core::proto::ExtStack;
+use dirext_core::sharer::DirOrg;
 use dirext_core::sync::{BarrierCtrl, LockCtrl};
 use dirext_trace::BlockAddr;
 
-/// The home side of one node: the full-map directory for the blocks homed
-/// here, the queue-based lock controller, the barrier controller, and the
-/// memory image (as debug version stamps).
+/// The home side of one node: the directory (in the configured sharer-set
+/// organization) for the blocks homed here, the queue-based lock
+/// controller, the barrier controller, and the memory image (as debug
+/// version stamps).
 #[derive(Debug)]
 pub(crate) struct Home {
     pub dir: DirCtrl,
@@ -19,8 +21,11 @@ pub(crate) struct Home {
 }
 
 impl Home {
-    pub(crate) fn new(nprocs: usize, protocol: &ProtocolConfig) -> Self {
-        let dir = DirCtrl::with_exts(nprocs, ExtStack::from_protocol(protocol));
+    /// Builds one home. The `org` × `nprocs` pair must already have passed
+    /// [`DirOrg::validate`] (the machine checks before building homes).
+    pub(crate) fn new(nprocs: usize, org: DirOrg, protocol: &ProtocolConfig) -> Self {
+        let dir = DirCtrl::with_org(nprocs, org, ExtStack::from_protocol(protocol))
+            .expect("organization validated by Machine::new");
         Home {
             dir,
             locks: LockCtrl::new(),

@@ -5,14 +5,17 @@
 //!
 //! 1. **Drained buffers** — no SLWB/FLWB entries, backlogs, unflushed write
 //!    caches, pending directory operations, held locks, or partial barriers.
-//! 2. **Single writer** — a directory entry in MODIFIED has exactly one
-//!    presence bit, and that node holds the only valid (exclusive) copy.
+//! 2. **Single writer** — a directory entry in MODIFIED covers its owner,
+//!    the owner holds the only valid (exclusive) copy, and under an exact
+//!    sharer-set organization the set is exactly `{owner}`.
 //! 3. **Value (version) coherence** — the exclusive copy carries the
 //!    block's global write count; with no exclusive copy, memory and every
 //!    shared copy carry it.
-//! 4. **Presence exactness** — the full-map presence vector equals the set
-//!    of caches holding valid copies (replacement hints and update acks
-//!    keep it exact).
+//! 4. **Presence soundness** — the sharer set covers every cache holding a
+//!    valid copy (the over-approximation invariant of the scalable
+//!    organizations); under an *exact* organization (full map,
+//!    non-overflowed limited pointers, single-node coarse regions) it
+//!    equals that set (replacement hints and update acks keep it exact).
 //! 5. **Inclusion** — every block valid in a first-level cache is valid in
 //!    that node's second-level cache.
 
@@ -36,8 +39,8 @@ pub(crate) fn check_conformance(m: &Machine) -> Vec<Violation> {
 /// copies and directory state legitimately disagree mid-run, so the audit
 /// restricts itself to properties no in-flight message can excuse:
 ///
-/// * a directory entry in MODIFIED (with no pending operation) has exactly
-///   its owner's presence bit;
+/// * a directory entry in MODIFIED (with no pending operation) covers its
+///   owner — exactly `{owner}` under an exact organization;
 /// * a node has at most one outstanding read and one outstanding ownership
 ///   request per block (the SLWB merges, never duplicates);
 /// * a node's `pending_writes` release gate equals its outstanding
@@ -49,20 +52,23 @@ pub(crate) fn check_midrun(m: &Machine) -> Result<(), String> {
             if h.dir.pending_op(block) {
                 continue;
             }
-            let Some((owner, presence, _)) = h.dir.snapshot(block) else {
+            let Some((owner, _, _)) = h.dir.snapshot(block) else {
                 return Err(format!("{block}: listed without a snapshot"));
             };
             if let Some(o) = owner {
-                if presence != 1u64 << o.idx() {
+                if !h.dir.covers(block, o) {
+                    return Err(format!("{block}: MODIFIED at {o} but {o} not covered"));
+                }
+                if h.dir.entry_exact(block) && !h.dir.sole_sharer(block, o) {
                     return Err(format!(
-                        "{block}: MODIFIED at {o} but presence {presence:#b}"
+                        "{block}: MODIFIED at {o} but the exact sharer set is not {{{o}}}"
                     ));
                 }
             }
         }
     }
     for i in 0..m.nodes.len() {
-        let id = NodeId(i as u8);
+        let id = NodeId(i as u16);
         let mut reads = std::collections::HashMap::new();
         let mut owns = std::collections::HashMap::new();
         let mut gated: u64 = 0;
@@ -104,7 +110,7 @@ pub(crate) fn check_midrun(m: &Machine) -> Result<(), String> {
 pub(crate) fn check(m: &Machine) -> Result<(), String> {
     // 1. Drained state.
     for i in 0..m.nodes.len() {
-        let id = NodeId(i as u8);
+        let id = NodeId(i as u16);
         if !m.nodes.slwb[i].is_empty() {
             return Err(format!("{id}: SLWB not drained: {:?}", m.nodes.slwb[i]));
         }
@@ -154,18 +160,22 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
     // 2-4. Per-block coherence.
     for h in &m.homes {
         for block in h.dir.blocks() {
-            let Some((owner, presence, _migratory)) = h.dir.snapshot(block) else {
+            let Some((owner, _, _migratory)) = h.dir.snapshot(block) else {
                 return Err(format!(
                     "{block}: listed by the directory but has no snapshot \
                      (entry table and block list disagree)"
                 ));
             };
             let truth = m.wcount.get(block).copied().unwrap_or(0);
+            let exact = h.dir.entry_exact(block);
             match owner {
                 Some(o) => {
-                    if presence != 1u64 << o.idx() {
+                    if !h.dir.covers(block, o) {
+                        return Err(format!("{block}: MODIFIED at {o} but {o} not covered"));
+                    }
+                    if exact && !h.dir.sole_sharer(block, o) {
                         return Err(format!(
-                            "{block}: MODIFIED at {o} but presence {presence:#b}"
+                            "{block}: MODIFIED at {o} but the exact sharer set is not {{{o}}}"
                         ));
                     }
                     let Some(line) = m.nodes.slc[o.idx()].get(block) else {
@@ -184,7 +194,7 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                         if i != o.idx() && m.nodes.slc[i].contains(block) {
                             return Err(format!(
                                 "{block}: {} holds a copy alongside owner {o}",
-                                NodeId(i as u8)
+                                NodeId(i as u16)
                             ));
                         }
                     }
@@ -197,8 +207,8 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                         ));
                     }
                     for i in 0..m.nodes.len() {
-                        let id = NodeId(i as u8);
-                        let bit = presence & (1u64 << i) != 0;
+                        let id = NodeId(i as u16);
+                        let covered = h.dir.covers(block, id);
                         match m.nodes.slc[i].get(block) {
                             Some(line) => {
                                 if line.state != CacheState::Shared {
@@ -207,9 +217,9 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                                         line.state
                                     ));
                                 }
-                                if !bit {
+                                if !covered {
                                     return Err(format!(
-                                        "{block}: {id} holds a copy without a presence bit"
+                                        "{block}: {id} holds a copy the sharer set misses"
                                     ));
                                 }
                                 if line.version != truth {
@@ -220,15 +230,16 @@ pub(crate) fn check(m: &Machine) -> Result<(), String> {
                                 }
                             }
                             None => {
-                                if bit {
+                                // Over-approximation is sound; only an
+                                // *exact* set may not cover a non-holder.
+                                if exact && covered {
                                     return Err(format!(
-                                        "{block}: presence bit for {id} without a copy"
+                                        "{block}: exact sharer set covers {id} without a copy"
                                     ));
                                 }
                             }
                         }
                     }
-                    let _ = NodeId(0);
                 }
             }
         }

@@ -56,6 +56,13 @@ pub enum SimError {
         /// Programs in the workload.
         workload: usize,
     },
+    /// The machine configuration is infeasible — e.g. the configured
+    /// directory organization cannot serve the requested node count. The
+    /// detail names the organization and its limit so the fix is actionable.
+    Config {
+        /// What is wrong and what the limit is.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -76,6 +83,7 @@ impl fmt::Display for SimError {
                     "machine has {machine} processors but workload has {workload} programs"
                 )
             }
+            SimError::Config { detail } => write!(f, "infeasible configuration: {detail}"),
         }
     }
 }
@@ -175,6 +183,9 @@ pub struct Machine {
     /// loop after every event (handlers cannot return `Result` because
     /// they are re-entered through the event queue).
     pub(crate) fatal: Option<SimError>,
+    /// An infeasible configuration detected at construction (the homes were
+    /// not built); surfaced as the run's result instead of a panic.
+    config_error: Option<SimError>,
     /// Stale duplicated messages recognized and dropped on the cache side.
     pub(crate) stale_drops: u64,
     /// NACKed requests re-sent after backoff.
@@ -199,21 +210,37 @@ pub struct Machine {
 
 impl Machine {
     /// Builds a machine from a configuration.
+    ///
+    /// An infeasible `dir_org` × `procs` pair (e.g. the 64-node full map on
+    /// a 256-node machine) does not panic here: the machine is built empty
+    /// and [`Machine::run`] returns the structured [`SimError::Config`].
     pub fn new(cfg: MachineConfig) -> Self {
         let mut net = cfg.network.build(cfg.procs);
         if let Some(plan) = cfg.fault_plan.filter(|p| p.is_active()) {
             net = Box::new(FaultyNetwork::new(net, plan));
         }
-        let homes: Vec<Home> = (0..cfg.procs)
-            .map(|_| {
-                let mut h = Home::new(cfg.procs, &cfg.protocol);
-                if cfg.trace_capacity > 0 {
-                    h.dir.enable_trace(cfg.trace_capacity);
-                }
-                h
-            })
-            .collect();
+        let config_error = cfg
+            .dir_org
+            .validate(cfg.procs)
+            .err()
+            .map(|e| SimError::Config {
+                detail: e.to_string(),
+            });
+        let homes: Vec<Home> = if config_error.is_some() {
+            Vec::new()
+        } else {
+            (0..cfg.procs)
+                .map(|_| {
+                    let mut h = Home::new(cfg.procs, cfg.dir_org, &cfg.protocol);
+                    if cfg.trace_capacity > 0 {
+                        h.dir.enable_trace(cfg.trace_capacity);
+                    }
+                    h
+                })
+                .collect()
+        };
         Machine {
+            config_error,
             classifier: MissClassifier::new(cfg.procs),
             now: Time::ZERO,
             queue: EventQueue::with_capacity(256),
@@ -248,7 +275,7 @@ impl Machine {
 
     /// The home node of a barrier episode.
     pub(crate) fn barrier_home(&self, id: u32) -> NodeId {
-        NodeId((id as usize % self.cfg.procs) as u8)
+        NodeId((id as usize % self.cfg.procs) as u16)
     }
 
     /// Bumps and returns the global write counter for `block`.
@@ -336,12 +363,17 @@ impl Machine {
     }
 
     /// The transition-table layers enabled by this machine's protocol
-    /// configuration.
+    /// configuration and directory organization (an inexact organization
+    /// adds the DIR layer, whose rows legalize broadcast invalidations,
+    /// region multicasts and pointer recalls).
     pub fn rule_set(&self) -> ExtSet {
-        self.homes[0].dir.exts().rule_set()
+        self.homes[0].dir.rule_set()
     }
 
     fn run_inner(&mut self, workload: &Workload) -> Result<Metrics, SimError> {
+        if let Some(e) = self.config_error.take() {
+            return Err(e);
+        }
         workload.validate()?;
         if workload.procs() != self.cfg.procs {
             return Err(SimError::ProcMismatch {
@@ -357,7 +389,7 @@ impl Machine {
             &self.cfg.timing,
         );
         for i in 0..self.cfg.procs {
-            self.queue.push(Time::ZERO, Ev::ProcStep(NodeId(i as u8)));
+            self.queue.push(Time::ZERO, Ev::ProcStep(NodeId(i as u16)));
         }
         if self.cfg.watchdog_pclocks > 0 {
             self.queue
@@ -467,7 +499,7 @@ impl Machine {
             let _ = write!(
                 out,
                 "; {}@pc{} {:?} slwb={:?} pw={} sync={:?} grant={:?} ev={:?}",
-                NodeId(i as u8),
+                NodeId(i as u16),
                 self.nodes.pc[i],
                 self.nodes.pstate[i],
                 self.nodes.slwb[i],
@@ -547,7 +579,7 @@ impl Machine {
                         self.reply_from_home(
                             t,
                             msg.dst,
-                            NodeId(i as u8),
+                            NodeId(i as u16),
                             msg.block,
                             MsgKind::BarRelease { id },
                             0,
@@ -664,6 +696,9 @@ impl Machine {
             m.update_recalls += d.update_recalls;
             m.reads_clean += d.reads_clean;
             m.reads_dirty += d.reads_dirty;
+            m.dir_overflows += d.dir_overflows;
+            m.dir_broadcasts += d.dir_broadcasts;
+            m.dir_recalls += d.dir_recalls;
             m.nacks_sent += d.nacks_sent;
             m.stale_drops += d.stale_drops;
             m.stale_drops += h.locks.stale_ops() + h.barriers.stale_ops();

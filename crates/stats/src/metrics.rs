@@ -89,6 +89,19 @@ pub struct Metrics {
     /// Read requests that needed a fetch from a dirty third-party cache
     /// (four node-to-node transfers through the home).
     pub reads_dirty: u64,
+    /// Sharer-set capacity overflows (limited-pointer and directoryless
+    /// organizations; always 0 under the exact full map). Skipped from the
+    /// serialized form when 0 so full-map artifacts stay byte-identical.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub dir_overflows: u64,
+    /// Invalidation/update fan-outs that went to every node because the
+    /// sharer set had lost precision (Dir_i_B overflow, directoryless).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub dir_broadcasts: u64,
+    /// Sharer copies invalidated (recalled) to free a directory pointer
+    /// (Dir_i_NB replacement on overflow).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub dir_recalls: u64,
 
     /// Total bytes injected into the network.
     pub net_bytes: u64,
@@ -263,6 +276,10 @@ impl Metrics {
     }
 }
 
+fn is_zero(v: &u64) -> bool {
+    *v == 0
+}
+
 fn percent(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0
@@ -314,7 +331,8 @@ impl fmt::Display for Metrics {
             + self.migratory_reverts
             + self.interrogations
             + self.update_recalls;
-        if ext_activity > 0 {
+        let dir_activity = self.dir_overflows + self.dir_broadcasts + self.dir_recalls;
+        if ext_activity + dir_activity > 0 {
             write!(
                 f,
                 "\n  ext: excl-grants {} mig-detect {} mig-revert {} interrogations {} \
@@ -325,6 +343,13 @@ impl fmt::Display for Metrics {
                 self.interrogations,
                 self.update_recalls
             )?;
+            if dir_activity > 0 {
+                write!(
+                    f,
+                    " dir-overflows {} dir-bcasts {} dir-recalls {}",
+                    self.dir_overflows, self.dir_broadcasts, self.dir_recalls
+                )?;
+            }
         }
         let robustness = self.fault_delayed
             + self.fault_retransmitted

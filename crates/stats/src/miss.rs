@@ -122,7 +122,7 @@ impl MissClassifier {
 mod tests {
     use super::*;
 
-    fn n(i: u8) -> NodeId {
+    fn n(i: u16) -> NodeId {
         NodeId(i)
     }
 

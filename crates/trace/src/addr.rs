@@ -150,13 +150,14 @@ impl PageId {
     /// virtual page number.
     #[inline]
     pub fn home(self, nodes: usize) -> NodeId {
-        NodeId((self.0 % nodes as u64) as u8)
+        NodeId((self.0 % nodes as u64) as u16)
     }
 }
 
-/// A processor-node identifier (0..N, N = 16 in the paper).
+/// A processor-node identifier (0..N, N = 16 in the paper; the scalable
+/// directory organizations grow machines to 1024 nodes, so ids are 16-bit).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct NodeId(pub u8);
+pub struct NodeId(pub u16);
 
 impl NodeId {
     /// The node index as a usize (for indexing per-node arrays).
@@ -174,6 +175,12 @@ impl fmt::Display for NodeId {
 
 impl From<u8> for NodeId {
     fn from(v: u8) -> Self {
+        NodeId(v as u16)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
         NodeId(v)
     }
 }

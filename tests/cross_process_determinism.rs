@@ -20,9 +20,12 @@
 
 use std::process::Command;
 
+use dirext_core::sharer::DirOrg;
 use dirext_core::{DirCtrl, MsgKind};
-use dirext_sim::experiments::{fig2_with, SweepOpts};
-use dirext_sim::FaultPlan;
+use dirext_sim::core::config::Consistency;
+use dirext_sim::core::ProtocolKind;
+use dirext_sim::experiments::{fig2_with, run_protocol_dir, SweepOpts};
+use dirext_sim::{FaultPlan, NetworkKind};
 use dirext_trace::{BlockAddr, NodeId, Workload};
 use dirext_workloads::{App, Scale};
 
@@ -53,7 +56,7 @@ fn directory_audit_dump() -> String {
     let mut out = String::new();
     for i in 0..4000u64 {
         let r = step();
-        let src = NodeId((r % 16) as u8);
+        let src = NodeId((r % 16) as u16);
         // Non-contiguous block indices spread the entries across pages.
         let block = BlockAddr::from_index((r >> 4) % 97 * 37);
         let kind = match (r >> 12) % 4 {
@@ -111,6 +114,30 @@ fn sweep_artifact() -> String {
         .csv()
 }
 
+/// A 256-node run under a scalable directory organization on the
+/// hierarchical mesh: the limited-pointer overflow paths (broadcast
+/// fan-out, ack-mask collection past one word) and the two-level routing
+/// are exactly the machinery a 64-node fingerprint never touches, so any
+/// per-process ordering leak there gets its own surface. The rendered
+/// metrics include the `ext:` directory counters.
+fn dirscale_artifact() -> String {
+    let w = App::Water.workload(256, Scale::Tiny);
+    let m = run_protocol_dir(
+        &w,
+        ProtocolKind::PCw,
+        Consistency::Rc,
+        NetworkKind::HierMesh { link_bits: 64 },
+        DirOrg::LimitedPtr {
+            ptrs: 4,
+            broadcast: true,
+        },
+        None,
+        None,
+    )
+    .expect("256-node ptr4b run");
+    format!("{m}")
+}
+
 /// FNV-1a, so a multi-kilobyte fingerprint compares as one printable line.
 fn fnv64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
@@ -124,12 +151,15 @@ fn fnv64(bytes: &[u8]) -> u64 {
 fn fingerprint() -> String {
     let audit = directory_audit_dump();
     let csv = sweep_artifact();
+    let dirscale = dirscale_artifact();
     format!(
-        "audit={:016x}/{} sweep={:016x}/{}",
+        "audit={:016x}/{} sweep={:016x}/{} dir256={:016x}/{}",
         fnv64(audit.as_bytes()),
         audit.len(),
         fnv64(csv.as_bytes()),
-        csv.len()
+        csv.len(),
+        fnv64(dirscale.as_bytes()),
+        dirscale.len()
     )
 }
 

@@ -136,6 +136,7 @@ fn expired_lease_of_dead_worker_is_reclaimed_with_higher_fence() {
         ProtocolKind::Basic,
         Consistency::Rc,
         NetworkKind::Uniform,
+        dirext_core::sharer::DirOrg::FullMap,
         "base",
         None,
     );

@@ -107,6 +107,21 @@ pub fn field<T: Deserialize>(content: &Content, name: &str) -> Result<T, String>
     }
 }
 
+/// Like [`field`], but a missing field yields `T::default()` — the
+/// behaviour of `#[serde(default)]` (used by derived impls).
+pub fn field_or_default<T: Deserialize + Default>(
+    content: &Content,
+    name: &str,
+) -> Result<T, String> {
+    match content {
+        Content::Map(entries) => match entries.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::deserialize(v).map_err(|e| format!("field `{name}`: {e}")),
+            None => Ok(T::default()),
+        },
+        other => Err(format!("expected map, found {other:?}")),
+    }
+}
+
 macro_rules! serde_uint {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -3,14 +3,25 @@
 //! Implemented with hand-rolled token scanning (no syn/quote, which are
 //! unavailable offline). Supports exactly the shapes this workspace
 //! derives on: non-generic structs with named fields and non-generic
-//! enums with unit variants. Anything else fails loudly at compile time.
+//! enums with unit variants, plus the `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]` field attributes. Anything
+//! else fails loudly at compile time.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One named struct field with its recognized serde attributes.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing field deserializes to `Default`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the predicate path.
+    skip_if: Option<String>,
+}
 
 /// What a derive input parsed into.
 enum Input {
     /// Struct name and its named fields, in declaration order.
-    Struct(String, Vec<String>),
+    Struct(String, Vec<Field>),
     /// Enum name and its unit variants, in declaration order.
     Enum(String, Vec<String>),
 }
@@ -64,17 +75,56 @@ fn parse(input: TokenStream) -> Input {
     }
 }
 
-/// Extracts field names from a named-field struct body.
-fn named_fields(body: TokenStream) -> Vec<String> {
+/// Parses a skipped `#[serde(...)]` attribute group's contents into the
+/// per-field flags. Non-serde attributes (docs, etc.) are ignored.
+fn apply_serde_attr(group: TokenStream, default: &mut bool, skip_if: &mut Option<String>) {
+    let mut toks = group.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return;
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tree) = inner.next() {
+        let TokenTree::Ident(key) = tree else { continue };
+        match key.to_string().as_str() {
+            "default" => *default = true,
+            "skip_serializing_if" => {
+                // `= "path"`
+                match (inner.next(), inner.next()) {
+                    (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                        if eq.as_char() == '=' =>
+                    {
+                        *skip_if = Some(lit.to_string().trim_matches('"').to_owned());
+                    }
+                    other => panic!(
+                        "serde stub derive: malformed skip_serializing_if, got {other:?}"
+                    ),
+                }
+            }
+            other => panic!("serde stub derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+/// Extracts field names and serde attributes from a named-field struct body.
+fn named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut toks = body.into_iter().peekable();
     loop {
-        // Skip attributes and visibility before the field name.
+        // Collect serde attributes (skipping others) and visibility before
+        // the field name.
+        let mut default = false;
+        let mut skip_if = None;
         loop {
             match toks.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     toks.next();
-                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        apply_serde_attr(g.stream(), &mut default, &mut skip_if);
+                    }
                 }
                 Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
                     toks.next();
@@ -91,7 +141,11 @@ fn named_fields(body: TokenStream) -> Vec<String> {
         let TokenTree::Ident(field) = tree else {
             panic!("serde stub derive: expected field name, got {tree:?} (named fields only)")
         };
-        fields.push(field.to_string());
+        fields.push(Field {
+            name: field.to_string(),
+            default,
+            skip_if,
+        });
         match toks.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
             other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
@@ -141,23 +195,33 @@ fn unit_variants(body: TokenStream) -> Vec<String> {
 }
 
 /// Derives `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let generated = match parse(input) {
         Input::Struct(name, fields) => {
-            let entries: String = fields
+            let pushes: String = fields
                 .iter()
                 .map(|f| {
-                    format!(
-                        "(::std::string::String::from(\"{f}\"), \
-                         ::serde::Serialize::serialize(&self.{f})),"
-                    )
+                    let Field { name: f, skip_if, .. } = f;
+                    let push = format!(
+                        "entries.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f})));"
+                    );
+                    match skip_if {
+                        // The predicate path resolves in the deriving
+                        // module, as with real serde.
+                        Some(pred) => format!("if !{pred}(&self.{f}) {{ {push} }}\n"),
+                        None => format!("{push}\n"),
+                    }
                 })
                 .collect();
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
                      fn serialize(&self) -> ::serde::Content {{\n\
-                         ::serde::Content::Map(::std::vec![{entries}])\n\
+                         let mut entries: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Content)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Content::Map(entries)\n\
                      }}\n\
                  }}"
             )
@@ -187,13 +251,19 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let generated = match parse(input) {
         Input::Struct(name, fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::field(content, \"{f}\")?,"))
+                .map(|f| {
+                    let (f, helper) = (
+                        &f.name,
+                        if f.default { "field_or_default" } else { "field" },
+                    );
+                    format!("{f}: ::serde::{helper}(content, \"{f}\")?,")
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
