@@ -18,18 +18,24 @@
 //!   aggregate. This section always runs at `small`/16-proc scale — even
 //!   under `--quick` — so a CI smoke run produces numbers directly
 //!   comparable to the committed baseline; only the repetition count
-//!   shrinks. It also records one `dir_scale` entry — Water at 256 procs
-//!   under the 4-pointer broadcast directory on the hierarchical mesh —
+//!   shrinks. It also records a `dir_scale` grid — Water on the
+//!   hierarchical mesh, one cell per directory organization × node count —
 //!   tracking the cost of the machinery a 64-node full-map run never
-//!   touches (wide fan-outs, multi-word ack masks, two-level routing).
+//!   touches (wide fan-outs, multi-word ack masks, two-level routing), and
+//!   a `parallel_engine` grid — Water/P+CW at 256 and 1024 nodes under
+//!   `sim_threads` 1 vs 4 — recording the windowed-parallel engine's
+//!   throughput and speedup on this host (informational, not gated: the
+//!   speedup is a property of the host's core count; single-core hosts
+//!   record an honest slowdown from barrier thrash).
 //!
 //! Usage: `perfbench [--quick] [--jobs N] [--out-dir DIR] [--baseline FILE]
 //! [--min-wall-secs S]`
 //! `--quick` shrinks op counts and problem scale for CI smoke runs.
 //! `--baseline FILE` compares the fresh end-to-end throughput against FILE
 //! (a committed `BENCH_e2e.json`) and exits nonzero on a regression of more
-//! than 20% — per workload when FILE carries the per-workload schema, and
-//! on the aggregate either way.
+//! than 20% — per workload when FILE carries the per-workload schema, per
+//! `dir_scale` cell when FILE carries the cell grid, and on the aggregate
+//! either way.
 //! `--min-wall-secs S` scales each timed section's repetition count up
 //! until the section's timed reps cover at least `S` seconds of wall clock
 //! in total, so a fast machine cannot produce a median from two or three
@@ -154,6 +160,36 @@ fn baseline_workload_rates(text: &str, path: &str) -> Vec<(String, f64)> {
         )
         .unwrap_or_else(|| panic!("--baseline {path}: workload {name} has no sim_cycles_per_sec"));
         rates.push((name, rate));
+        from = next;
+    }
+    rates
+}
+
+/// Pulls the per-cell `(key, dirscale_cycles_per_sec)` pairs out of a
+/// committed `BENCH_e2e.json`'s `dir_scale` grid. The rate field is named
+/// uniquely, so an old-schema baseline (single `dir_scale` object, no
+/// cells) yields an empty list and the per-cell gate is skipped.
+fn baseline_dirscale_rates(text: &str, path: &str) -> Vec<(String, f64)> {
+    let mut rates = Vec::new();
+    let mut from = 0;
+    while let Some(at) = text[from..].find("\"cell\": \"") {
+        let key_start = from + at + "\"cell\": \"".len();
+        let key_len = text[key_start..]
+            .find('"')
+            .unwrap_or_else(|| panic!("--baseline {path}: unterminated cell key"));
+        let key = text[key_start..key_start + key_len].to_string();
+        let Some((rate, next)) = number_after(
+            text,
+            "\"dirscale_cycles_per_sec\":",
+            key_start + key_len,
+            path,
+        ) else {
+            // parallel_engine cells reuse the "cell" key but carry no
+            // dirscale rate; they are informational and never gated.
+            from = key_start + key_len;
+            continue;
+        };
+        rates.push((key, rate));
         from = next;
     }
     rates
@@ -427,36 +463,190 @@ fn main() {
     let mp3d_secs = median_of(reps_for(reps, mp3d_warm, min_wall_secs), || run_mp3d().0);
     let mp3d_events = w0.total_events();
 
-    // Directory-scaling entry: 256 nodes under the 4-pointer broadcast
-    // organization on the hierarchical mesh. This is the machine the
-    // full-map directory cannot build at all, so it gets its own record
-    // (outside the regression-gated per-workload set): the number tracks
-    // the cost of wide broadcast fan-outs, >64-node ack masks and
-    // two-level routing on the hot path.
-    eprintln!("perfbench: dir-scale Water x P+CW (small, 256 procs, ptr4b, hmesh64)...");
-    let dir_w = App::Water.workload(256, Scale::Small);
-    let run_dir_scale = || {
-        let t0 = Instant::now();
-        let m = experiments::run_protocol_dir(
-            &dir_w,
-            dirext_core::ProtocolKind::PCw,
-            dirext_core::Consistency::Rc,
-            dirext_sim::NetworkKind::HierMesh { link_bits: 64 },
+    // Directory-scaling grid: Water x P+CW on the hierarchical mesh, one
+    // cell per directory organization x node count. The 256-node cells are
+    // machines the full-map directory cannot build at all, so they get
+    // their own records: the numbers track the cost of wide broadcast
+    // fan-outs, >64-node ack masks and two-level routing on the hot path.
+    // Each cell is regression-gated individually under --baseline, so a
+    // slowdown specific to one organization (say, coarse-vector region
+    // scans) cannot hide behind the health of the others.
+    struct DirCell {
+        key: String,
+        dir_name: &'static str,
+        procs: usize,
+        reps: usize,
+        trace_events: u64,
+        exec_cycles: u64,
+        wall_secs: f64,
+    }
+    let dir_orgs: [(&'static str, dirext_core::sharer::DirOrg); 2] = [
+        (
+            "ptr4b",
             dirext_core::sharer::DirOrg::LimitedPtr {
                 ptrs: 4,
                 broadcast: true,
             },
-            None,
-            None,
-        )
-        .expect("dir-scale run");
-        (t0.elapsed().as_secs_f64(), m.exec_cycles)
-    };
-    let (dir_warm, dir_cycles) = run_dir_scale();
-    let dir_secs = median_of(reps_for(reps, dir_warm, min_wall_secs), || run_dir_scale().0);
-    let dir_events = dir_w.total_events();
+        ),
+        (
+            "coarse8",
+            dirext_core::sharer::DirOrg::CoarseVector { region: 8 },
+        ),
+    ];
+    let dir_procs = [64usize, 256];
+    let dir_cell_count = (dir_orgs.len() * dir_procs.len()) as f64;
+    let mut dir_cells: Vec<DirCell> = Vec::new();
+    for &dprocs in &dir_procs {
+        let dir_w = App::Water.workload(dprocs, Scale::Small);
+        for (dir_name, org) in dir_orgs {
+            eprintln!(
+                "perfbench: dir-scale Water x P+CW (small, {dprocs} procs, {dir_name}, hmesh64)..."
+            );
+            let run_cell = || {
+                let t0 = Instant::now();
+                let m = experiments::run_protocol_dir(
+                    &dir_w,
+                    dirext_core::ProtocolKind::PCw,
+                    dirext_core::Consistency::Rc,
+                    dirext_sim::NetworkKind::HierMesh { link_bits: 64 },
+                    org,
+                    None,
+                    None,
+                )
+                .expect("dir-scale run");
+                (t0.elapsed().as_secs_f64(), m.exec_cycles)
+            };
+            let (warm_secs, exec_cycles) = run_cell();
+            let cell_reps = reps_for(reps, warm_secs, min_wall_secs / dir_cell_count);
+            let wall_secs = median_of(cell_reps, || run_cell().0);
+            dir_cells.push(DirCell {
+                key: format!("{dir_name}/{dprocs}"),
+                dir_name,
+                procs: dprocs,
+                reps: cell_reps,
+                trace_events: dir_w.total_events() as u64,
+                exec_cycles,
+                wall_secs,
+            });
+        }
+    }
+
+    // Windowed-parallel engine grid: Water x P+CW on hmesh64/ptr4b at 256
+    // and 1024 nodes, serial vs 4 simulation threads. Results are
+    // bit-identical by construction (the windowed_engine test suite pins
+    // that); this grid records the *throughput* consequence on this host.
+    // The speedup is a host property — >=2x needs >=4 real cores; a
+    // single-core host honestly records a slowdown (the window barrier
+    // becomes pure scheduler thrash) — so the cells are written to the
+    // baseline file but never gated.
+    struct ParCell {
+        key: String,
+        procs: usize,
+        sim_threads: usize,
+        reps: usize,
+        exec_cycles: u64,
+        wall_secs: f64,
+    }
+    let pe_procs = [256usize, 1024];
+    let pe_threads = [1usize, 4];
+    // The threaded cells are wall-clock heavy on small hosts; keep the
+    // quick base rep count at 1 and let --min-wall-secs scale it up.
+    let pe_reps = if quick { 1 } else { reps };
+    let pe_cell_count = (pe_procs.len() * pe_threads.len()) as f64;
+    let mut par_cells: Vec<ParCell> = Vec::new();
+    for &pprocs in &pe_procs {
+        let pe_w = App::Water.workload(pprocs, Scale::Small);
+        for &threads in &pe_threads {
+            eprintln!(
+                "perfbench: parallel-engine Water x P+CW (small, {pprocs} procs, ptr4b, \
+                 hmesh64, {threads} sim-threads)..."
+            );
+            let run_cell = || {
+                let t0 = Instant::now();
+                let m = experiments::run_protocol_engine(
+                    &pe_w,
+                    dirext_core::ProtocolKind::PCw,
+                    dirext_core::Consistency::Rc,
+                    dirext_sim::NetworkKind::HierMesh { link_bits: 64 },
+                    dirext_core::sharer::DirOrg::LimitedPtr {
+                        ptrs: 4,
+                        broadcast: true,
+                    },
+                    None,
+                    None,
+                    threads,
+                )
+                .expect("parallel-engine run");
+                (t0.elapsed().as_secs_f64(), m.exec_cycles)
+            };
+            let (warm_secs, exec_cycles) = run_cell();
+            let cell_reps = reps_for(pe_reps, warm_secs, min_wall_secs / pe_cell_count);
+            let wall_secs = median_of(cell_reps, || run_cell().0);
+            par_cells.push(ParCell {
+                key: format!("{pprocs}/t{threads}"),
+                procs: pprocs,
+                sim_threads: threads,
+                reps: cell_reps,
+                exec_cycles,
+                wall_secs,
+            });
+        }
+    }
+
+    // Bit-identity spot check riding along with the measurement: serial
+    // and threaded runs of the same machine must agree exactly.
+    for pair in par_cells.chunks(2) {
+        if let [a, b] = pair {
+            assert_eq!(
+                a.exec_cycles, b.exec_cycles,
+                "windowed engine diverged from serial at {} procs",
+                a.procs
+            );
+        }
+    }
 
     let agg_cycles_per_sec = e2e_cycles as f64 / e2e_secs;
+    let dir_cells_json: Vec<String> = dir_cells
+        .iter()
+        .map(|c| {
+            format!(
+                "      {{ \"cell\": \"{}\", \"dir\": \"{}\", \"procs\": {}, \"reps\": {}, \
+                 \"trace_events\": {}, \"exec_cycles\": {}, \"wall_secs\": {:.4}, \
+                 \"dirscale_cycles_per_sec\": {:.0} }}",
+                json_escape_free(&c.key),
+                json_escape_free(c.dir_name),
+                c.procs,
+                c.reps,
+                c.trace_events,
+                c.exec_cycles,
+                c.wall_secs,
+                c.exec_cycles as f64 / c.wall_secs
+            )
+        })
+        .collect();
+    let par_cells_json: Vec<String> = par_cells
+        .iter()
+        .map(|c| {
+            // Speedup of this cell over the serial cell at the same procs.
+            let serial = par_cells
+                .iter()
+                .find(|s| s.procs == c.procs && s.sim_threads == 1)
+                .expect("serial cell exists");
+            format!(
+                "      {{ \"cell\": \"{}\", \"procs\": {}, \"sim_threads\": {}, \"reps\": {}, \
+                 \"exec_cycles\": {}, \"wall_secs\": {:.4}, \"sim_cycles_per_sec\": {:.0}, \
+                 \"speedup_vs_serial\": {:.3} }}",
+                json_escape_free(&c.key),
+                c.procs,
+                c.sim_threads,
+                c.reps,
+                c.exec_cycles,
+                c.wall_secs,
+                c.exec_cycles as f64 / c.wall_secs,
+                serial.wall_secs / c.wall_secs
+            )
+        })
+        .collect();
     let per_workload_json: Vec<String> = workload_benches
         .iter()
         .map(|b| {
@@ -499,11 +689,12 @@ fn main() {
          \"trace_events_per_sec\": {:.0},\n    \
          \"sim_cycles_per_sec\": {:.0}\n  }},\n  \
          \"dir_scale\": {{\n    \"app\": \"Water\",\n    \"scale\": \"small\",\n    \
-         \"procs\": 256,\n    \"protocol\": \"P+CW\",\n    \"dir\": \"ptr4b\",\n    \
-         \"network\": \"hmesh64\",\n    \
-         \"trace_events\": {dir_events},\n    \"exec_cycles\": {dir_cycles},\n    \
-         \"wall_secs\": {dir_secs:.4},\n    \
-         \"dir_sim_cycles_per_sec\": {:.0}\n  }},\n  \
+         \"protocol\": \"P+CW\",\n    \"network\": \"hmesh64\",\n    \
+         \"cells\": [\n{}\n    ]\n  }},\n  \
+         \"parallel_engine\": {{\n    \"app\": \"Water\",\n    \"scale\": \"small\",\n    \
+         \"protocol\": \"P+CW\",\n    \"dir\": \"ptr4b\",\n    \"network\": \"hmesh64\",\n    \
+         \"host_cpus\": {host_cpus},\n    \
+         \"cells\": [\n{}\n    ]\n  }},\n  \
          \"per_workload\": [\n{}\n  ],\n  \
          \"aggregate\": {{\n    \"total_trace_events\": {e2e_events},\n    \
          \"total_exec_cycles\": {e2e_cycles},\n    \
@@ -512,17 +703,39 @@ fn main() {
          \"agg_sim_cycles_per_sec\": {agg_cycles_per_sec:.0}\n  }}\n}}\n",
         mp3d_events as f64 / mp3d_secs,
         mp3d_cycles as f64 / mp3d_secs,
-        dir_cycles as f64 / dir_secs,
+        dir_cells_json.join(",\n"),
+        par_cells_json.join(",\n"),
         per_workload_json.join(",\n"),
         e2e_events as f64 / e2e_secs,
     );
     std::fs::write(format!("{out_dir}/BENCH_e2e.json"), &e2e).expect("write BENCH_e2e.json");
     eprintln!(
         "  e2e {e2e_configs} configs in {e2e_secs:.3}s: {agg_cycles_per_sec:.0} sim-cycles/sec \
-         aggregate; MP3D/BASIC {:.0} sim-cycles/sec; dir-scale 256/ptr4b {:.0} sim-cycles/sec",
+         aggregate; MP3D/BASIC {:.0} sim-cycles/sec",
         mp3d_cycles as f64 / mp3d_secs,
-        dir_cycles as f64 / dir_secs
     );
+    for c in &dir_cells {
+        eprintln!(
+            "  dir-scale {}: {:.0} sim-cycles/sec ({} reps)",
+            c.key,
+            c.exec_cycles as f64 / c.wall_secs,
+            c.reps
+        );
+    }
+    for c in &par_cells {
+        let serial = par_cells
+            .iter()
+            .find(|s| s.procs == c.procs && s.sim_threads == 1)
+            .expect("serial cell exists");
+        eprintln!(
+            "  parallel-engine {}: {:.0} sim-cycles/sec ({:.3}x vs serial, {} reps, \
+             host has {host_cpus} CPUs)",
+            c.key,
+            c.exec_cycles as f64 / c.wall_secs,
+            serial.wall_secs / c.wall_secs,
+            c.reps
+        );
+    }
 
     if let Some(path) = &baseline {
         let text =
@@ -541,6 +754,24 @@ fn main() {
             assert!(
                 ratio >= 0.8,
                 "{name} end-to-end throughput regressed more than 20% vs {path}: \
+                 {fresh:.0} < 0.8 * {base_rate:.0}"
+            );
+        }
+        // Per-dir-scale-cell gate (skipped for old-schema baselines, which
+        // carry a single ungridded dir_scale object): each organization x
+        // node-count cell must stay within 20% of its recorded throughput.
+        for (key, base_rate) in baseline_dirscale_rates(&text, path) {
+            let Some(c) = dir_cells.iter().find(|c| c.key == key) else {
+                panic!("--baseline {path}: unknown dir_scale cell {key}");
+            };
+            let fresh = c.exec_cycles as f64 / c.wall_secs;
+            let ratio = fresh / base_rate;
+            eprintln!(
+                "  dir-scale gate {key}: fresh {fresh:.0} vs baseline {base_rate:.0} ({ratio:.3}x)"
+            );
+            assert!(
+                ratio >= 0.8,
+                "dir_scale cell {key} regressed more than 20% vs {path}: \
                  {fresh:.0} < 0.8 * {base_rate:.0}"
             );
         }

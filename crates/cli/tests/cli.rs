@@ -399,3 +399,93 @@ fn cw_under_sc_is_a_clean_error() {
     assert!(err.contains("relaxed consistency"), "{err}");
     assert!(!err.contains("panicked"));
 }
+
+#[test]
+fn sim_threads_zero_is_a_clean_error() {
+    let out = dirext(&["run", "--app", "water", "--scale", "tiny", "--sim-threads", "0"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sim-threads must be at least 1"), "{err}");
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+}
+
+#[test]
+fn sim_threads_past_host_clamps_with_a_note_and_identical_output() {
+    let serial = stdout(&[
+        "run",
+        "--app",
+        "mp3d",
+        "--scale",
+        "tiny",
+        "--network",
+        "hmesh64",
+        "--json",
+    ]);
+    let out = dirext(&[
+        "run",
+        "--app",
+        "mp3d",
+        "--scale",
+        "tiny",
+        "--network",
+        "hmesh64",
+        "--json",
+        "--sim-threads",
+        "9999",
+    ]);
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--sim-threads 9999 exceeds") && err.contains("available CPU"),
+        "clamp note missing: {err}"
+    );
+    // The windowed engine's contract: thread count changes wall-clock only.
+    assert_eq!(serial, String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn sim_threads_unclamped_env_hook_suppresses_the_note() {
+    // procs caps the shard count, so "64 threads" on a 16-node machine
+    // spawns at most 16 workers even with the clamp disabled.
+    let out = Command::new(env!("CARGO_BIN_EXE_dirext"))
+        .args([
+            "run",
+            "--app",
+            "water",
+            "--scale",
+            "tiny",
+            "--network",
+            "hmesh64",
+            "--sim-threads",
+            "64",
+        ])
+        .env("DIREXT_SIM_THREADS_UNCLAMPED", "1")
+        .output()
+        .expect("failed to launch dirext");
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(!err.contains("exceeds"), "clamp note must be suppressed: {err}");
+}
+
+#[test]
+fn help_documents_sim_threads() {
+    let help = stdout(&["help"]);
+    assert!(help.contains("--sim-threads"), "help must mention --sim-threads");
+    assert!(help.contains("windowed-parallel"), "{help}");
+}
+
+#[test]
+fn sweep_with_sim_threads_matches_serial_csv() {
+    let serial = stdout(&["fig2", "--scale", "tiny", "--app", "lu", "--csv"]);
+    let windowed = stdout(&[
+        "fig2",
+        "--scale",
+        "tiny",
+        "--app",
+        "lu",
+        "--csv",
+        "--sim-threads",
+        "2",
+    ]);
+    assert_eq!(serial, windowed);
+}

@@ -119,23 +119,35 @@ pub struct FaultyNetwork {
     plan: FaultPlan,
     rng: Pcg32,
     /// Monotone last-delivery time per (src, dst) pair, as a dense
-    /// `src * PAIR_STRIDE + dst` table; enforces pair-FIFO. Fault
+    /// `src * stride + dst` table; enforces pair-FIFO. Fault
     /// injection perturbs *every* remote message, so this lookup is as hot
     /// as the network model itself under fault runs.
     pair_clock: Vec<Time>,
+    /// Row stride of `pair_clock`: the node count this network serves.
+    stride: usize,
     stats: FaultStats,
     name: String,
 }
 
 impl FaultyNetwork {
-    /// Wraps `inner` with the faults described by `plan`.
+    /// Wraps `inner` with the faults described by `plan`, sized for
+    /// machines of up to `PAIR_STRIDE` (64) nodes. Larger machines must
+    /// use [`FaultyNetwork::with_nodes`].
     pub fn new(inner: Box<dyn Network>, plan: FaultPlan) -> Self {
+        Self::with_nodes(inner, plan, PAIR_STRIDE)
+    }
+
+    /// Wraps `inner` with the faults described by `plan`, sizing the
+    /// per-pair FIFO clock table for a machine of `nodes` nodes.
+    pub fn with_nodes(inner: Box<dyn Network>, plan: FaultPlan, nodes: usize) -> Self {
         let name = format!("{}+faults", inner.name());
+        let stride = nodes.max(PAIR_STRIDE);
         FaultyNetwork {
             inner,
             rng: Pcg32::with_stream(plan.seed, 0xFA17),
             plan,
-            pair_clock: vec![Time::ZERO; PAIR_STRIDE * PAIR_STRIDE],
+            pair_clock: vec![Time::ZERO; stride * stride],
+            stride,
             stats: FaultStats::default(),
             name,
         }
@@ -145,10 +157,10 @@ impl FaultyNetwork {
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }
-}
 
-fn pair_key(src: NodeId, dst: NodeId) -> usize {
-    src.idx() * PAIR_STRIDE + dst.idx()
+    fn pair_key(&self, src: NodeId, dst: NodeId) -> usize {
+        src.idx() * self.stride + dst.idx()
+    }
 }
 
 impl Network for FaultyNetwork {
@@ -198,7 +210,7 @@ impl Network for FaultyNetwork {
                 self.stats.retransmitted += 1;
             }
         }
-        let key = pair_key(env.src, env.dst);
+        let key = self.pair_key(env.src, env.dst);
         let arrival = arrival.max(self.pair_clock[key]);
         let mut last = arrival;
         let mut duplicate = None;
@@ -226,6 +238,13 @@ impl Network for FaultyNetwork {
 
     fn fault_stats(&self) -> Option<&FaultStats> {
         Some(&self.stats)
+    }
+
+    /// Faults only ever *add* delay: jitter and retransmission backoff are
+    /// nonnegative, and the pair-FIFO clamp is a `max`. The wrapped
+    /// topology's bound therefore survives the decoration unchanged.
+    fn min_remote_latency(&self) -> Option<Time> {
+        self.inner.min_remote_latency()
     }
 }
 

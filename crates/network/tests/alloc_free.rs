@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use dirext_kernel::Time;
 use dirext_network::{
-    Envelope, FaultPlan, FaultyNetwork, MeshNetwork, Network, RingNetwork, TrafficClass,
-    UniformNetwork,
+    Envelope, FaultPlan, FaultyNetwork, HierMeshNetwork, MeshNetwork, Network, RingNetwork,
+    TrafficClass, UniformNetwork,
 };
 use dirext_trace::NodeId;
 
@@ -80,6 +80,61 @@ fn mesh_sends_never_allocate() {
 fn ring_sends_never_allocate() {
     let mut net = RingNetwork::new(16, 32);
     assert_eq!(allocs_during_sends(&mut net, 20), 0);
+}
+
+/// Like [`allocs_during_sends`], but with the 16×16 pair grid spread
+/// across the whole `nodes`-node id space so hierarchical topologies cross
+/// cluster boundaries (gateway ascent, express grid, descent) instead of
+/// staying inside cluster 0.
+fn allocs_during_spread_sends(net: &mut dyn Network, nodes: u16, rounds: u64) -> u64 {
+    let classes = [
+        (8, TrafficClass::Control),
+        (40, TrafficClass::Data),
+        (20, TrafficClass::Update),
+        (8, TrafficClass::Sync),
+    ];
+    let stride = (nodes / 16).max(1);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for r in 0..rounds {
+        for si in 0..16u16 {
+            for di in 0..16u16 {
+                // Offset by the round so every pass hits different routers.
+                let src = (si * stride + r as u16) % nodes;
+                let dst = (di * stride + 7 * r as u16) % nodes;
+                let (bytes, class) = classes[(si as usize + di as usize + r as usize) % 4];
+                let env = Envelope::new(NodeId(src), NodeId(dst), bytes, class);
+                net.send_all(Time::from_cycles(r * 100), env);
+            }
+        }
+    }
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn hier_mesh_sends_never_allocate() {
+    for (nodes, link_bits) in [(64u16, 64), (256, 32), (1024, 16)] {
+        let mut net = HierMeshNetwork::new(nodes as usize, link_bits);
+        assert_eq!(
+            allocs_during_spread_sends(&mut net, nodes, 20),
+            0,
+            "{nodes}-node {link_bits}-bit hier mesh"
+        );
+    }
+}
+
+#[test]
+fn faulty_hier_mesh_sends_never_allocate() {
+    // 1024 nodes exceeds the fault layer's default 64-node pair-clock
+    // table; `with_nodes` sizes it at construction so fault-perturbed
+    // cross-cluster sends stay allocation-free (and in bounds).
+    let plan = FaultPlan {
+        drop_permille: 100,
+        dup_permille: 100,
+        jitter_cycles: 40,
+        ..FaultPlan::seeded(42)
+    };
+    let mut net = FaultyNetwork::with_nodes(Box::new(HierMeshNetwork::new(1024, 32)), plan, 1024);
+    assert_eq!(allocs_during_spread_sends(&mut net, 1024, 20), 0);
 }
 
 #[test]

@@ -12,11 +12,11 @@ use dirext_stats::{InvalReason, StallKind};
 use dirext_trace::{Addr, BlockAddr, MemEvent, NodeId};
 
 use crate::machine::SimError;
-use crate::machine::{Ev, Machine};
+use crate::machine::{Ev, Shard};
 use crate::node::{FlwbEntry, ProcState, SlwbEntry, SlwbOp, SyncOut, SyncWait};
 use dirext_core::ProtocolError;
 
-impl Machine {
+impl Shard {
     fn sc(&self) -> bool {
         self.cfg.protocol.consistency == Consistency::Sc
     }
@@ -28,7 +28,7 @@ impl Machine {
             ProcState::Stalled { kind, since } => {
                 self.nodes.stalls[i].add_stall(kind, (at.saturating_sub(since)).cycles());
                 self.nodes.pstate[i] = ProcState::Ready;
-                self.queue.push(at, Ev::ProcStep(nid));
+                self.emit_push(at, Ev::ProcStep(nid));
             }
             other => debug_assert!(false, "resume of non-stalled proc: {other:?}"),
         }
@@ -39,7 +39,7 @@ impl Machine {
         let i = nid.idx();
         if !self.nodes.flwb_active[i] && !self.nodes.flwb[i].is_empty() {
             self.nodes.flwb_active[i] = true;
-            self.queue.push(at, Ev::FlwbHead(nid));
+            self.emit_push(at, Ev::FlwbHead(nid));
         }
     }
 
@@ -78,11 +78,11 @@ impl Machine {
                     self.nodes.stalls[i].add_busy(u64::from(c));
                     self.nodes.pc[i] += 1;
                     let t = now + Time::from_cycles(u64::from(c));
-                    if self.queue.peek_time().is_none_or(|pt| pt > t) {
+                    if self.inline_ok(t) {
                         now = t;
                         continue;
                     }
-                    self.queue.push(t, Ev::ProcStep(nid));
+                    self.emit_push(t, Ev::ProcStep(nid));
                     return;
                 }
                 MemEvent::Read(a) => {
@@ -100,11 +100,11 @@ impl Machine {
                     };
                     if hit {
                         self.nodes.pc[i] += 1;
-                        if self.queue.peek_time().is_none_or(|pt| pt > t) {
+                        if self.inline_ok(t) {
                             now = t;
                             continue;
                         }
-                        self.queue.push(t, Ev::ProcStep(nid));
+                        self.emit_push(t, Ev::ProcStep(nid));
                         return;
                     }
                     if self.nodes.flwb[i].push(FlwbEntry::Read(a)).is_err() {
@@ -144,7 +144,7 @@ impl Machine {
                             since: t,
                         };
                     } else {
-                        self.queue.push(t, Ev::ProcStep(nid));
+                        self.emit_push(t, Ev::ProcStep(nid));
                     }
                     self.kick_flwb(nid, t);
                 }
@@ -161,7 +161,7 @@ impl Machine {
                     };
                     let _ = self.nodes.flwb[i].push(FlwbEntry::SwPrefetch(addr, exclusive));
                     self.nodes.pc[i] += 1;
-                    self.queue.push(t, Ev::ProcStep(nid));
+                    self.emit_push(t, Ev::ProcStep(nid));
                     self.kick_flwb(nid, t);
                 }
                 MemEvent::Acquire(a) => {
@@ -225,7 +225,7 @@ impl Machine {
                             };
                             return;
                         }
-                        self.queue.push(now, Ev::ProcStep(nid));
+                        self.emit_push(now, Ev::ProcStep(nid));
                         self.kick_flwb(nid, now);
                     }
                 }
@@ -1519,7 +1519,7 @@ impl Machine {
         self.nack_retries += 1;
         let backoff = self.cfg.nack_retry_base << (attempts - 1).min(10);
         let home = self.home_of(block);
-        self.queue.push(
+        self.emit_push(
             now + Time::from_cycles(backoff),
             Ev::Retry(Msg {
                 src: nid,

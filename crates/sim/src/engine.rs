@@ -1,0 +1,532 @@
+//! The windowed-parallel simulation engine.
+//!
+//! Conservative time-windowed parallel discrete-event simulation: the
+//! machine's minimum cross-node message latency (`lookahead` — local bus
+//! occupancy plus the network's minimum remote latency) guarantees that an
+//! event executing at time `t` cannot make *another shard* act before
+//! `t + lookahead`. Every event in the window `[t0, t0 + lookahead)` whose
+//! effects stay inside its own shard is therefore independent across
+//! shards, and the shards can execute their slices of the window
+//! concurrently.
+//!
+//! Bit-identity with the serial engine is preserved by construction:
+//!
+//! - Handlers only mutate their own shard plus a buffered action list.
+//!   Cross-shard effects (network sends) are *logged*, not performed.
+//! - After the window barrier, the coordinator replays every shard's log
+//!   in the exact global order the serial engine would have used —
+//!   `(time, sequence)` over executed events, with each event's emitted
+//!   actions applied in emission order. Sequence numbers are allocated
+//!   during this canonical replay, so they match the serial run number for
+//!   number, which keeps every future FIFO tie-break identical.
+//! - Network and fault-injection state (link occupancy, RNG draws,
+//!   traffic counters) are only touched during the canonical replay, in
+//!   serial order.
+//! - Inline retirement (the serial fast path that retires several program
+//!   events per dispatch under a global-quiescence gate) is disabled
+//!   inside windows: the serial gate proves *global* exclusivity, which a
+//!   shard cannot see locally. Disabling it never changes results — the
+//!   same events simply execute as separate dispatches in the same order.
+//! - Write-count bumps (the debug coherence "truth") are predicted per
+//!   window by a bounded program scan; windows whose predicted write sets
+//!   overlap across shards fall back to a serial stretch, as do windows
+//!   containing the watchdog or fewer than two active shards.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use dirext_core::msg::Msg;
+use dirext_kernel::{EventQueue, Time};
+use dirext_trace::{BlockAddr, MemEvent};
+
+use crate::machine::{ev_owner, Action, Ev, Machine, Shard, SimError};
+use crate::node::FlwbEntry;
+
+/// Hard cap on the per-node program scan in [`Machine::preflight`]; a
+/// window that would need to look further falls back to serial execution.
+const PREDICT_SCAN_CAP: usize = 128;
+
+/// Key identifying an executed event in the canonical global order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ExecKey {
+    /// The event existed before the window: its real global sequence.
+    Real(u64),
+    /// The event was created *inside* the window by the `prov`-th push of
+    /// its own shard; its sequence is allocated during replay.
+    Prov(u32),
+}
+
+/// One record of a shard's window log. An `Exec` is followed by the action
+/// records its handler emitted, in emission order.
+#[derive(Debug, Clone)]
+pub(crate) enum Wrec {
+    /// An event executed at `t`; `progress` mirrors the serial engine's
+    /// watchdog-progress test.
+    Exec {
+        t: Time,
+        key: ExecKey,
+        progress: bool,
+    },
+    /// An own-shard event scheduled during the window (a plain push, or a
+    /// local send — the network passes node-local messages through
+    /// untouched, so its arrival time is exact). Replay allocates its
+    /// global sequence; if it was not executed in-window (`at >= w1`) it is
+    /// pushed to the sub-queue then.
+    Push { at: Time, prov: u32, ev: Ev },
+    /// A remote send entering the network at `enter`; replay performs it
+    /// against the real network (RNG, link occupancy, traffic) in
+    /// canonical order. Lookahead guarantees its delivery lands at or
+    /// beyond the window boundary.
+    Send { enter: Time, msg: Msg },
+    /// A barrier episode completed.
+    Barrier { at: Time },
+    /// The handler raised a fatal error; the shard stopped executing. The
+    /// canonically-first fatal across shards is the run's result.
+    Fatal(SimError),
+}
+
+/// An event created during the window, waiting to execute in it.
+#[derive(Debug)]
+struct Staged {
+    at: Time,
+    prov: u32,
+    ev: Ev,
+}
+
+impl PartialEq for Staged {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.prov) == (other.at, other.prov)
+    }
+}
+impl Eq for Staged {}
+impl PartialOrd for Staged {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Staged {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.prov).cmp(&(other.at, other.prov))
+    }
+}
+
+/// Per-shard window output: the log plus replay scratch.
+#[derive(Debug, Default)]
+pub(crate) struct WindowOut {
+    log: Vec<Wrec>,
+    /// In-window scheduled events not yet executed, ordered `(at, prov)`.
+    /// In-window sequence allocation order equals prov order, and all
+    /// pre-window sequences are smaller than any in-window one, so merging
+    /// the sub-queue head with this heap (sub-queue wins ties) reproduces
+    /// the serial pop order restricted to this shard.
+    staging: BinaryHeap<Reverse<Staged>>,
+    /// `prov -> global seq`, filled during replay (dense, in prov order).
+    provmap: Vec<u64>,
+    /// Replay cursor into `log`.
+    cursor: usize,
+}
+
+/// Executes one shard's slice of the window `[.., w1)`: its sub-queue
+/// events merged with events it schedules for itself along the way.
+/// Effects are logged; nothing outside the shard is touched.
+fn drain_window(sh: &mut Shard, sub: &mut EventQueue<Ev>, out: &mut WindowOut, w1: Time) {
+    out.log.clear();
+    out.staging.clear();
+    out.provmap.clear();
+    out.cursor = 0;
+    // Inline retirement needs global exclusivity; a shard can't see it.
+    sh.gate_floor = Some(Time::ZERO);
+    let mut prov_next: u32 = 0;
+    loop {
+        let next_sub = sub.peek_key().filter(|&(t, _)| t < w1);
+        let next_stage = out
+            .staging
+            .peek()
+            .map(|Reverse(s)| s.at)
+            .filter(|&t| t < w1);
+        let take_sub = match (next_sub, next_stage) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            // Tie: the sub-queue entry's (pre-window) seq is smaller.
+            (Some((ts, _)), Some(ta)) => ts <= ta,
+        };
+        let (t, ev, key) = if take_sub {
+            let (t, seq, ev) = sub.pop_entry().expect("peeked");
+            (t, ev, ExecKey::Real(seq))
+        } else {
+            let Reverse(s) = out.staging.pop().expect("peeked");
+            (s.at, s.ev, ExecKey::Prov(s.prov))
+        };
+        sh.out_min = None;
+        let progress = sh.dispatch(t, ev);
+        out.log.push(Wrec::Exec { t, key, progress });
+        for a in sh.out.drain(..) {
+            match a {
+                Action::Push(at, ev2) => {
+                    debug_assert!(
+                        (sh.lo..sh.hi).contains(&ev_owner(&ev2)),
+                        "handlers only schedule events for their own shard"
+                    );
+                    let prov = prov_next;
+                    prov_next += 1;
+                    out.log.push(Wrec::Push { at, prov, ev: ev2 });
+                    out.staging.push(Reverse(Staged { at, prov, ev: ev2 }));
+                }
+                Action::Send(enter, msg) => {
+                    if msg.src == msg.dst {
+                        // Local: the network is a pass-through (arrival ==
+                        // enter, no state touched), and the destination is
+                        // this shard — stage it like a push so it can
+                        // execute in-window.
+                        let prov = prov_next;
+                        prov_next += 1;
+                        let ev2 = Ev::Deliver(msg);
+                        out.log.push(Wrec::Push {
+                            at: enter,
+                            prov,
+                            ev: ev2,
+                        });
+                        out.staging.push(Reverse(Staged {
+                            at: enter,
+                            prov,
+                            ev: ev2,
+                        }));
+                    } else {
+                        out.log.push(Wrec::Send { enter, msg });
+                    }
+                }
+                Action::Barrier(at) => out.log.push(Wrec::Barrier { at }),
+            }
+        }
+        if let Some(e) = sh.fatal.take() {
+            // Stop at the shard's first fatal, exactly like the serial
+            // engine would; later events of this shard never ran there.
+            out.log.push(Wrec::Fatal(e));
+            break;
+        }
+    }
+    sh.gate_floor = None;
+}
+
+/// A window's work order, shared with the pool through raw pointers:
+/// worker `w` exclusively touches index `w` of each array while the
+/// coordinator works index 0, so the concurrent accesses are disjoint.
+#[derive(Clone, Copy)]
+struct Task {
+    shards: *mut Shard,
+    subs: *mut EventQueue<Ev>,
+    outs: *mut WindowOut,
+    w1: Time,
+}
+
+unsafe impl Send for Task {}
+
+impl Task {
+    const fn idle() -> Self {
+        Task {
+            shards: std::ptr::null_mut(),
+            subs: std::ptr::null_mut(),
+            outs: std::ptr::null_mut(),
+            w1: Time::ZERO,
+        }
+    }
+}
+
+/// Coordination state between the coordinator and the worker pool.
+struct PoolShared {
+    /// Window generation; a bump publishes a new `task`.
+    gen: AtomicU64,
+    /// Workers that have not finished the current window yet.
+    remaining: AtomicUsize,
+    /// A worker panicked (the coordinator re-panics at the barrier).
+    panicked: AtomicBool,
+    shutdown: AtomicBool,
+    task: Mutex<Task>,
+}
+
+impl PoolShared {
+    fn new() -> Self {
+        PoolShared {
+            gen: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            panicked: AtomicBool::new(false),
+            shutdown: AtomicBool::new(false),
+            task: Mutex::new(Task::idle()),
+        }
+    }
+}
+
+/// Spin briefly, then yield — windows are microseconds apart, so parking
+/// through the OS would dominate.
+fn spin_wait(mut cond: impl FnMut() -> bool) {
+    let mut spins = 0u32;
+    while !cond() {
+        spins += 1;
+        if spins < 128 {
+            std::hint::spin_loop();
+        } else {
+            std::thread::yield_now();
+            spins = 0;
+        }
+    }
+}
+
+fn worker_main(shared: &PoolShared, slot: usize) {
+    let mut seen = 0u64;
+    loop {
+        spin_wait(|| shared.gen.load(Ordering::Acquire) != seen);
+        seen = shared.gen.load(Ordering::Acquire);
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let task = *shared.task.lock().expect("task lock");
+        let r = catch_unwind(AssertUnwindSafe(|| unsafe {
+            let sh = &mut *task.shards.add(slot);
+            let sub = &mut *task.subs.add(slot);
+            let out = &mut *task.outs.add(slot);
+            drain_window(sh, sub, out, task.w1);
+        }));
+        if r.is_err() {
+            shared.panicked.store(true, Ordering::Release);
+        }
+        shared.remaining.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl Machine {
+    /// Runs the event loop on the windowed-parallel engine (only called
+    /// with at least two shards).
+    pub(crate) fn run_windowed(&mut self) -> Result<(), SimError> {
+        let nsh = self.shards.len();
+        let mut outs: Vec<WindowOut> = (0..nsh).map(|_| WindowOut::default()).collect();
+        let shared = PoolShared::new();
+        let r = std::thread::scope(|scope| {
+            for slot in 1..nsh {
+                let shared = &shared;
+                scope.spawn(move || worker_main(shared, slot));
+            }
+            let r = self.windowed_loop(&shared, &mut outs);
+            shared.shutdown.store(true, Ordering::Release);
+            shared.gen.fetch_add(1, Ordering::Release);
+            r
+        });
+        if std::env::var_os("DIREXT_ENGINE_STATS").is_some_and(|v| v != "0") {
+            eprintln!(
+                "engine-stats: {} parallel windows, {} serial stretches, {} shards",
+                self.par_windows, self.serial_stretches, nsh
+            );
+        }
+        r
+    }
+
+    fn windowed_loop(
+        &mut self,
+        shared: &PoolShared,
+        outs: &mut [WindowOut],
+    ) -> Result<(), SimError> {
+        let nsh = self.shards.len();
+        let one = Time::from_cycles(1);
+        loop {
+            let Some(t0) = self.queue.peek_time() else {
+                return Ok(());
+            };
+            let w1 = t0 + self.lookahead;
+            // The watchdog observes global progress state; execute it (and
+            // everything up to it) serially.
+            if let Some(wd) = self.watchdog_at.filter(|&wd| wd < w1) {
+                self.run_direct_until(Some(wd + one))?;
+                continue;
+            }
+            let active = (0..nsh)
+                .filter(|&s| {
+                    self.queue
+                        .shard_mut(s)
+                        .peek_time()
+                        .is_some_and(|t| t < w1)
+                })
+                .count();
+            if active < 2 || !self.preflight() {
+                self.serial_stretches += 1;
+                self.run_direct_until(Some(w1))?;
+                continue;
+            }
+            self.par_windows += 1;
+            // Publish the window and run shard 0 on this thread. All
+            // parties go through the same raw pointers at disjoint
+            // indices; the coordinator touches nothing else until the
+            // barrier.
+            let task = Task {
+                shards: self.shards.as_mut_ptr(),
+                subs: self.queue.shards_mut().as_mut_ptr(),
+                outs: outs.as_mut_ptr(),
+                w1,
+            };
+            *shared.task.lock().expect("task lock") = task;
+            shared.remaining.store(nsh - 1, Ordering::Release);
+            shared.gen.fetch_add(1, Ordering::Release);
+            unsafe {
+                drain_window(&mut *task.shards, &mut *task.subs, &mut *task.outs, w1);
+            }
+            spin_wait(|| shared.remaining.load(Ordering::Acquire) == 0);
+            if shared.panicked.load(Ordering::Acquire) {
+                panic!("a simulation worker panicked");
+            }
+            self.replay_window(outs, w1)?;
+        }
+    }
+
+    /// Predicts, per shard, every write-count bump the window can perform,
+    /// and seeds the shards' overlays with the current global counters.
+    /// Returns `false` (falling back to a serial stretch) when prediction
+    /// is unbounded or the predicted sets overlap across shards.
+    ///
+    /// Soundness: bumps happen only in `slc_write`, driven by the FLWB in
+    /// FIFO order with at least `slc_access` cycles between bumps, so a
+    /// node can bump at most `K = lookahead/slc_access + 2` times per
+    /// window. The candidates, in order, are the writes already buffered
+    /// in its FLWB followed by its next program writes — seeding all
+    /// buffered writes plus the first `K` program writes over-approximates
+    /// every reachable bump. A `Compute(c)` burst occupies the processor
+    /// for `c` cycles, so the scan also stops once accumulated compute
+    /// reaches the lookahead (the write cannot even enter the FLWB inside
+    /// the window).
+    fn preflight(&mut self) -> bool {
+        let k_bound =
+            (self.lookahead.cycles() / self.cfg.timing.slc_access.cycles().max(1) + 2) as usize;
+        let mut all: Vec<(BlockAddr, usize)> = Vec::new();
+        for s in 0..self.shards.len() {
+            let sh = &self.shards[s];
+            for i in sh.lo..sh.hi {
+                if sh.nodes.finish[i].is_some() && sh.nodes.flwb[i].is_empty() {
+                    continue;
+                }
+                for e in sh.nodes.flwb[i].iter() {
+                    if let FlwbEntry::Write(a) = e {
+                        all.push((a.block(), s));
+                    }
+                }
+                let mut acc: u64 = 0;
+                let mut found = 0usize;
+                let mut pc = sh.nodes.pc[i];
+                let mut scanned = 0usize;
+                while acc < self.lookahead.cycles() && found < k_bound {
+                    if scanned >= PREDICT_SCAN_CAP {
+                        return false;
+                    }
+                    let Some(ev) = sh.nodes.program[i].get(pc) else {
+                        break;
+                    };
+                    match ev {
+                        MemEvent::Compute(c) => acc += u64::from(c),
+                        MemEvent::Write(a) => {
+                            all.push((a.block(), s));
+                            found += 1;
+                        }
+                        _ => {}
+                    }
+                    pc += 1;
+                    scanned += 1;
+                }
+            }
+        }
+        all.sort_unstable();
+        all.dedup();
+        for w in all.windows(2) {
+            if w[0].0 == w[1].0 {
+                return false; // Two shards may bump the same counter.
+            }
+        }
+        for sh in &mut self.shards {
+            sh.wc_overlay.clear();
+        }
+        for (b, s) in all {
+            let base = self.wcount.get(b).copied().unwrap_or(0);
+            self.shards[s].wc_overlay.push((b, base));
+        }
+        true
+    }
+
+    /// Replays the shards' window logs in canonical global `(time, seq)`
+    /// order: counts events against the budget, allocates the sequence
+    /// numbers the serial engine would have allocated, performs the
+    /// buffered network sends, and schedules everything that outlived the
+    /// window.
+    fn replay_window(&mut self, outs: &mut [WindowOut], w1: Time) -> Result<(), SimError> {
+        let nsh = outs.len();
+        let mut err: Option<SimError> = None;
+        'merge: loop {
+            let mut best: Option<((Time, u64), usize)> = None;
+            for (s, o) in outs.iter().enumerate() {
+                if let Some(Wrec::Exec { t, key, .. }) = o.log.get(o.cursor) {
+                    let seq = match key {
+                        ExecKey::Real(q) => *q,
+                        // The push that created this event was replayed
+                        // earlier in this shard's log, so its seq is known.
+                        ExecKey::Prov(p) => o.provmap[*p as usize],
+                    };
+                    let k = (*t, seq);
+                    if best.is_none_or(|(bk, _)| k < bk) {
+                        best = Some((k, s));
+                    }
+                }
+            }
+            let Some(((t, _), s)) = best else { break };
+            self.now = t;
+            self.events += 1;
+            if self.events > self.cfg.max_events {
+                err = Some(SimError::EventBudgetExceeded);
+                break;
+            }
+            if matches!(outs[s].log[outs[s].cursor], Wrec::Exec { progress: true, .. }) {
+                self.last_progress = t;
+            }
+            outs[s].cursor += 1;
+            while let Some(rec) = outs[s].log.get(outs[s].cursor) {
+                match rec {
+                    Wrec::Exec { .. } => break,
+                    Wrec::Push { at, prov, ev } => {
+                        let seq = self.queue.alloc_seq();
+                        debug_assert_eq!(outs[s].provmap.len(), *prov as usize);
+                        outs[s].provmap.push(seq);
+                        if *at >= w1 {
+                            // Not executed in-window; schedule it for real.
+                            self.queue.push_with_seq(s, *at, seq, *ev);
+                        }
+                    }
+                    Wrec::Send { enter, msg } => self.deliver_send(*enter, *msg),
+                    Wrec::Barrier { at } => self.barrier_log.push(*at),
+                    Wrec::Fatal(e) => {
+                        err = Some(e.clone());
+                        break 'merge;
+                    }
+                }
+                outs[s].cursor += 1;
+            }
+        }
+        for o in outs.iter_mut() {
+            o.log.clear();
+            o.staging.clear();
+            o.provmap.clear();
+            o.cursor = 0;
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        // Merge the write-count overlays back (disjoint by preflight).
+        for s in 0..nsh {
+            let mut overlay = std::mem::take(&mut self.shards[s].wc_overlay);
+            for (b, v) in overlay.drain(..) {
+                if v == 0 && self.wcount.get(b).is_none() {
+                    continue;
+                }
+                *self.wcount.get_or_insert_with(b, || 0) = v;
+            }
+            self.shards[s].wc_overlay = overlay;
+        }
+        Ok(())
+    }
+}

@@ -90,6 +90,12 @@ pub struct SweepOpts {
     /// Fleet coordinator: when set, the sweep claims cells through the
     /// shared lease file instead of a process-private pool.
     pub fleet: Option<Arc<Fleet>>,
+    /// Worker threads *inside* each simulated machine (the windowed
+    /// engine; 1 = serial). Orthogonal to `jobs`, which parallelizes
+    /// *across* cells. Results are bit-identical for any value, so journal
+    /// cell keys deliberately do not include it — a journal written at one
+    /// thread count resumes correctly at another.
+    pub sim_threads: usize,
 }
 
 impl Default for SweepOpts {
@@ -106,6 +112,7 @@ impl Default for SweepOpts {
             chaos_panic: None,
             replay_only: false,
             fleet: None,
+            sim_threads: 1,
         }
     }
 }
@@ -176,6 +183,13 @@ impl SweepOpts {
     pub fn with_fleet(mut self, fleet: Arc<Fleet>) -> Self {
         self.journal = Some(fleet.journal());
         self.fleet = Some(fleet);
+        self
+    }
+
+    /// Returns these options running every machine on `threads` windowed
+    /// simulation workers (see [`SweepOpts::sim_threads`]).
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads.max(1);
         self
     }
 }
@@ -629,7 +643,7 @@ pub(super) fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts, fence: u64) 
                     panic!("chaos hook: deliberate panic in cell {key}");
                 }
             }
-            run_protocol_dir(
+            run_protocol_engine(
                 cell.workload,
                 cell.kind,
                 cell.consistency,
@@ -637,6 +651,7 @@ pub(super) fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts, fence: u64) 
                 cell.dir,
                 cell.timing.clone(),
                 fault,
+                opts.sim_threads,
             )
         }));
         match result {
@@ -770,8 +785,31 @@ pub fn run_protocol_dir(
     timing: Option<Timing>,
     fault: Option<FaultPlan>,
 ) -> Result<Metrics, SimError> {
+    run_protocol_engine(workload, kind, consistency, network, dir, timing, fault, 1)
+}
+
+/// [`run_protocol_dir`] with an explicit windowed-engine thread count
+/// (`sim_threads`; 1 = serial). Results are bit-identical for any value.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_engine(
+    workload: &Workload,
+    kind: ProtocolKind,
+    consistency: Consistency,
+    network: NetworkKind,
+    dir: DirOrg,
+    timing: Option<Timing>,
+    fault: Option<FaultPlan>,
+    sim_threads: usize,
+) -> Result<Metrics, SimError> {
     let mut cfg = MachineConfig::new(workload.procs(), kind.config(consistency));
-    cfg = cfg.with_network(network).with_dir_org(dir);
+    cfg = cfg
+        .with_network(network)
+        .with_dir_org(dir)
+        .with_sim_threads(sim_threads);
     if let Some(t) = timing {
         cfg = cfg.with_timing(t);
     }

@@ -42,6 +42,7 @@
 
 mod cache;
 mod config;
+mod engine;
 pub mod experiments;
 mod home;
 mod invariants;

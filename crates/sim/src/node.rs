@@ -287,11 +287,6 @@ impl Nodes {
         }
     }
 
-    /// Number of nodes.
-    pub(crate) fn len(&self) -> usize {
-        self.pc.len()
-    }
-
     /// Finds node `i`'s SLWB entry for `block` matching `pred`.
     pub(crate) fn slwb_find(
         &mut self,

@@ -1,0 +1,272 @@
+//! The windowed-parallel engine must be *bit-identical* to serial.
+//!
+//! `--sim-threads` shards node state across workers and executes events in
+//! conservative safe windows; the contract (DESIGN.md §17) is that thread
+//! count affects wall-clock only. These tests pin that contract at the
+//! strongest available granularity: the full [`Metrics`] struct (every
+//! counter, histogram, and per-processor stall vector) must compare equal
+//! between a serial run and windowed runs at 2 and 4 workers — on the
+//! paper's application kernels, on random well-formed programs across all
+//! eight protocols and every directory organization, and under a fault
+//! plan rough enough to reorder deliveries and force NACK retries.
+//!
+//! Failures of the run itself must be identical too: if serial deadlocks
+//! or trips the watchdog, the windowed engine must produce the *same*
+//! structured error.
+//!
+//! [`Metrics`]: dirext_stats::Metrics
+
+use dirext_core::{Consistency, DirOrg, ProtocolKind};
+use dirext_sim::{FaultPlan, Machine, MachineConfig, NetworkKind, SimError};
+use dirext_trace::Workload;
+use dirext_workloads::random::{random_workload, RandomParams};
+use dirext_workloads::{App, Scale};
+
+/// Runs `base` serially and at 2 and 4 workers, requiring byte-equal
+/// outcomes (equal `Metrics` on success, equal `SimError` on failure).
+fn assert_thread_invariant(base: MachineConfig, w: &Workload, label: &str) {
+    let serial = Machine::new(base.clone().with_sim_threads(1)).run(w);
+    for threads in [2usize, 4] {
+        let windowed = Machine::new(base.clone().with_sim_threads(threads)).run(w);
+        match (&serial, &windowed) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "{label}: metrics diverged at sim-threads={threads}")
+            }
+            (Err(a), Err(b)) => assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{label}: error diverged at sim-threads={threads}"
+            ),
+            (a, b) => panic!(
+                "{label}: outcome kind diverged at sim-threads={threads}:\n\
+                 serial   = {a:?}\nwindowed = {b:?}"
+            ),
+        }
+    }
+}
+
+fn hmesh(procs: usize, kind: ProtocolKind) -> MachineConfig {
+    MachineConfig::new(procs, kind.config(Consistency::Rc))
+        .with_network(NetworkKind::HierMesh { link_bits: 64 })
+}
+
+/// A fault plan nasty enough to reorder deliveries and force retries.
+fn rough_weather() -> FaultPlan {
+    FaultPlan {
+        drop_permille: 25,
+        dup_permille: 10,
+        jitter_cycles: 7,
+        ..FaultPlan::seeded(99)
+    }
+}
+
+#[test]
+fn app_kernels_16_nodes_all_protocols() {
+    for app in App::ALL {
+        let w = app.workload(16, Scale::Tiny);
+        for kind in [ProtocolKind::Basic, ProtocolKind::PCw, ProtocolKind::PCwM] {
+            assert_thread_invariant(
+                hmesh(16, kind),
+                &w,
+                &format!("{app:?}/{kind:?}/hmesh16"),
+            );
+        }
+    }
+}
+
+#[test]
+fn app_kernels_on_mesh_and_ring() {
+    let w = App::Water.workload(16, Scale::Tiny);
+    for (net, tag) in [
+        (NetworkKind::Mesh { link_bits: 32 }, "mesh"),
+        (NetworkKind::Ring { link_bits: 32 }, "ring"),
+    ] {
+        let cfg = MachineConfig::new(16, ProtocolKind::PCw.config(Consistency::Rc))
+            .with_network(net);
+        assert_thread_invariant(cfg, &w, &format!("Water/PCw/{tag}16"));
+    }
+}
+
+#[test]
+fn scaled_64_nodes_across_dir_orgs() {
+    let w = App::Lu.workload(64, Scale::Tiny);
+    for org in DirOrg::ALL {
+        assert_thread_invariant(
+            hmesh(64, ProtocolKind::PCw).with_dir_org(org),
+            &w,
+            &format!("Lu/PCw/hmesh64/{org:?}"),
+        );
+    }
+}
+
+#[test]
+fn fault_injection_stays_identical() {
+    // Fault injection draws from a per-message deterministic RNG; the
+    // windowed engine replays remote sends in canonical order, so drops,
+    // duplicates, and jitter must land on exactly the same messages.
+    let w = App::Cholesky.workload(16, Scale::Tiny);
+    let cfg = hmesh(16, ProtocolKind::PCwM)
+        .with_faults(rough_weather())
+        .with_nack_retry(8, 40);
+    assert_thread_invariant(cfg, &w, "Cholesky/PCwM/hmesh16/faults");
+}
+
+#[test]
+fn sequential_consistency_stays_identical() {
+    let w = App::Mp3d.workload(16, Scale::Tiny);
+    let cfg = MachineConfig::new(16, ProtocolKind::PM.config(Consistency::Sc))
+        .with_network(NetworkKind::HierMesh { link_bits: 64 });
+    assert_thread_invariant(cfg, &w, "Mp3d/PM-SC/hmesh16");
+}
+
+#[test]
+fn uniform_network_qualifies_with_long_lookahead() {
+    // The uniform network's minimum remote latency is the full node-to-node
+    // latency, giving a very long safe window — worth pinning separately.
+    let w = App::Ocean.workload(16, Scale::Tiny);
+    let cfg = MachineConfig::new(16, ProtocolKind::Cw.config(Consistency::Rc));
+    assert_thread_invariant(cfg, &w, "Ocean/Cw/uniform16");
+}
+
+#[test]
+fn watchdog_snapshot_is_identical() {
+    // A watchdog-tripping run must produce the same structured diagnostic
+    // from both engines (the windowed loop falls back to direct execution
+    // around the watchdog event).
+    let w = deadlock_prone_workload();
+    let cfg = hmesh(16, ProtocolKind::Basic).with_watchdog(2_000);
+    let serial = Machine::new(cfg.clone().with_sim_threads(1)).run(&w);
+    let windowed = Machine::new(cfg.with_sim_threads(4)).run(&w);
+    match (&serial, &windowed) {
+        (Err(SimError::Watchdog { .. }), _) | (_, Err(SimError::Watchdog { .. })) => {
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{windowed:?}"),
+                "watchdog diagnostics diverged"
+            );
+        }
+        _ => {
+            // If the workload happens to finish, outcomes must still agree.
+            assert_eq!(
+                format!("{serial:?}"),
+                format!("{windowed:?}"),
+                "outcomes diverged"
+            );
+        }
+    }
+}
+
+/// One node acquires a lock and never releases it while every other node
+/// waits: the canonical no-progress scenario for the watchdog.
+fn deadlock_prone_workload() -> Workload {
+    use dirext_trace::{Addr, MemEvent, Program};
+    let lock = Addr::new(1 << 20);
+    let programs = (0..16)
+        .map(|i| {
+            if i == 0 {
+                Program::from_events(vec![MemEvent::Acquire(lock), MemEvent::Compute(10)])
+            } else {
+                Program::from_events(vec![
+                    MemEvent::Compute(5),
+                    MemEvent::Acquire(lock),
+                    MemEvent::Release(lock),
+                ])
+            }
+        })
+        .collect();
+    Workload::new("hold-forever", programs)
+}
+
+#[test]
+fn random_programs_all_protocols() {
+    // A seeded pseudo-random differential oracle: random well-formed
+    // programs (reads, writes, computes, locks, barriers over a shared
+    // block pool) across all eight protocol configurations. Seeds are
+    // fixed so failures reproduce exactly.
+    for (i, kind) in ProtocolKind::ALL.into_iter().enumerate() {
+        let params = RandomParams {
+            procs: 16,
+            groups_per_proc: 30,
+            blocks: 32,
+            locks: 3,
+            barriers: 2,
+        };
+        let w = random_workload(0xD1EE_7000 + i as u64, params);
+        assert_thread_invariant(hmesh(16, kind), &w, &format!("random{i}/{kind:?}"));
+    }
+}
+
+#[test]
+fn random_programs_with_faults_across_dir_orgs() {
+    for (i, org) in DirOrg::ALL.into_iter().enumerate() {
+        let params = RandomParams {
+            procs: 16,
+            groups_per_proc: 24,
+            blocks: 24,
+            locks: 2,
+            barriers: 2,
+        };
+        let w = random_workload(0xFA_0000 + i as u64, params);
+        let cfg = hmesh(16, ProtocolKind::PCwM)
+            .with_dir_org(org)
+            .with_faults(rough_weather())
+            .with_nack_retry(8, 40);
+        assert_thread_invariant(cfg, &w, &format!("random-faulty{i}/{org:?}"));
+    }
+}
+
+mod oracle {
+    //! Property-based differential oracle: for *arbitrary* well-formed
+    //! programs, arbitrary protocol, arbitrary directory organization,
+    //! with or without fault injection, the windowed engine at 2 or 4
+    //! threads returns exactly the serial outcome.
+
+    use proptest::prelude::*;
+
+    use super::*;
+
+    fn arb_machine() -> impl Strategy<Value = (u64, usize, usize, usize, bool)> {
+        (
+            any::<u64>(),                   // workload seed
+            0..ProtocolKind::ALL.len(),     // protocol
+            0..DirOrg::ALL.len(),           // directory organization
+            any::<bool>().prop_map(|four| if four { 4usize } else { 2 }),
+            any::<bool>(),                  // fault injection
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn windowed_equals_serial((seed, kindi, orgi, threads, faulty) in arb_machine()) {
+            let kind = ProtocolKind::ALL[kindi];
+            let org = DirOrg::ALL[orgi];
+            let params = RandomParams {
+                procs: 16,
+                groups_per_proc: 20,
+                blocks: 24,
+                locks: 2,
+                barriers: 1,
+            };
+            let w = random_workload(seed, params);
+            let mut cfg = hmesh(16, kind).with_dir_org(org);
+            if faulty {
+                cfg = cfg
+                    .with_faults(FaultPlan {
+                        drop_permille: 20,
+                        dup_permille: 10,
+                        jitter_cycles: 5,
+                        ..FaultPlan::seeded(seed ^ 0xF0F0)
+                    })
+                    .with_nack_retry(8, 40);
+            }
+            let serial = Machine::new(cfg.clone().with_sim_threads(1)).run(&w);
+            let windowed = Machine::new(cfg.with_sim_threads(threads)).run(&w);
+            match (&serial, &windowed) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+                (a, b) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            }
+        }
+    }
+}
