@@ -15,9 +15,9 @@ use dirext_core::config::Consistency;
 use dirext_core::sharer::DirOrg;
 use dirext_core::ProtocolKind;
 use dirext_sim::experiments::{self, sens, Journal, SweepError, SweepOpts};
-use dirext_sim::FaultPlan;
 use dirext_sim::Machine;
 use dirext_sim::MachineConfig;
+use dirext_sim::{FaultPlan, NodeFaultEvent, NodeFaultPlan};
 use dirext_trace::Workload;
 use dirext_workloads::{App, Scale};
 
@@ -44,6 +44,12 @@ COMMANDS:
     dirscale       Extension: directory organizations (full-map, limited
                    pointers, coarse vector, directoryless) at 64, 256 and
                    1024 nodes on the hierarchical mesh (--app)
+    degrade        Extension: graceful-degradation sweep — seeded node
+                   crash/recovery counts (0/1/2/4) crossed with every
+                   feasible directory organization and protocol stack
+                   (--app, --procs; --node-fault-seed/--node-fault-detect
+                   shape the schedules). Journaled/fleet-shardable like
+                   the paper sweeps
     topology       Extension: uniform vs mesh vs ring interconnects
     stress         Protocol fuzzer: random workloads through all protocols
                    (--seeds N, default 50; every run is coherence-audited)
@@ -151,6 +157,9 @@ RESULT SERVER (`serve` and `query`):
     --request-timeout-ms   Per-request compute deadline (default 30000,
                            50-600000); a timed-out compute still finishes
                            and journals, so a retry hits the cache.
+    --idle-timeout-ms      Close a connection that sends nothing for this
+                           long (default 30000, 100-3600000); the client
+                           gets a final status=closed notice line.
     --stats                For `query`: ask for the daemon's counters.
 
 FAULT INJECTION (for `run`, `stress` and the sweep commands):
@@ -166,6 +175,20 @@ FAULT INJECTION (for `run`, `stress` and the sweep commands):
                      (default 1000000; 0 disables the watchdog)
     --audit-every    Check mid-run coherence invariants every N events
                      (default 0 = only at quiescence)
+
+NODE FAULT INJECTION (whole-node crash/recovery; `run`, `trace`, `stress`
+and the `degrade` sweep):
+    --node-fault-crashes N     Crash N seed-chosen nodes (never node 0) at
+                               staggered cycles, each recovering after a
+                               seed-derived outage
+    --node-fault-seed S        Crash-schedule seed (default 1); the same
+                               seed reproduces the same schedule bit for
+                               bit across --jobs and --sim-threads
+    --node-fault-detect D      Cycles between a crash and the directories'
+                               reconstruction sweep (default 500)
+    --node-fault-schedule SPEC Explicit windows instead of a seed:
+                               comma-separated NODE@CRASH-RECOVER entries,
+                               e.g. 3@2000-9000,5@15000-22000
 ";
 
 #[derive(Debug, Clone)]
@@ -185,6 +208,10 @@ struct Args {
     out: Option<String>,
     svg: Option<String>,
     fault: FaultPlan,
+    node_fault_crashes: Option<usize>,
+    node_fault_seed: Option<u64>,
+    node_fault_detect: Option<u64>,
+    node_fault_schedule: Option<Vec<NodeFaultEvent>>,
     watchdog: Option<u64>,
     audit_every: u64,
     jobs: usize,
@@ -201,6 +228,7 @@ struct Args {
     socket: Option<String>,
     max_inflight: usize,
     request_timeout_ms: u64,
+    idle_timeout_ms: u64,
     stats: bool,
     /// `assemble`'s positional argument: the sweep command to replay.
     assemble_target: Option<String>,
@@ -217,6 +245,9 @@ impl Args {
         if self.fault.is_active() {
             cfg = cfg.with_faults(self.fault);
         }
+        if let Some(plan) = self.node_fault_plan(cfg.procs) {
+            cfg = cfg.with_node_faults(plan);
+        }
         if let Some(w) = self.watchdog {
             cfg = cfg.with_watchdog(w);
         }
@@ -224,6 +255,24 @@ impl Args {
             cfg = cfg.with_audit_every(self.audit_every);
         }
         cfg.with_sim_threads(self.sim_threads())
+    }
+
+    /// The whole-node crash/recovery plan implied by the `--node-fault-*`
+    /// flags for a machine of `procs` nodes (`None` when no crash was
+    /// asked for). The explicit schedule wins; otherwise the seed draws
+    /// the requested number of crash windows.
+    fn node_fault_plan(&self, procs: usize) -> Option<NodeFaultPlan> {
+        let detect_delay = self.node_fault_detect.unwrap_or(500);
+        if let Some(events) = &self.node_fault_schedule {
+            return Some(NodeFaultPlan {
+                events: events.clone(),
+                detect_delay,
+            });
+        }
+        let crashes = self.node_fault_crashes?;
+        let mut plan = NodeFaultPlan::seeded(self.node_fault_seed.unwrap_or(1), procs, crashes);
+        plan.detect_delay = detect_delay;
+        Some(plan)
     }
 
     /// Resolved worker-thread count: `--jobs 0` means all CPU cores, and
@@ -342,17 +391,24 @@ impl Args {
                 } else {
                     Journal::create(&path)?
                 };
-                if journal.completed_cells() > 0 || journal.recovered_lines() > 0 {
+                if journal.completed_cells() > 0
+                    || journal.recovered_lines() > 0
+                    || journal.corrupt_lines() > 0
+                {
+                    let mut dropped = Vec::new();
+                    if journal.recovered_lines() > 0 {
+                        dropped.push(format!("{} torn", journal.recovered_lines()));
+                    }
+                    if journal.corrupt_lines() > 0 {
+                        dropped.push(format!("{} checksum-failed", journal.corrupt_lines()));
+                    }
                     eprintln!(
                         "journal: resuming from {path} — {} completed cell(s) will be skipped{}",
                         journal.completed_cells(),
-                        if journal.recovered_lines() > 0 {
-                            format!(
-                                " ({} torn line(s) dropped, those cells re-run)",
-                                journal.recovered_lines()
-                            )
-                        } else {
+                        if dropped.is_empty() {
                             String::new()
+                        } else {
+                            format!(" ({} line(s) dropped, those cells re-run)", dropped.join(", "))
                         }
                     );
                 }
@@ -467,6 +523,50 @@ fn parse_protocol(s: &str) -> Option<ProtocolKind> {
         .find(|k| k.name().eq_ignore_ascii_case(s))
 }
 
+/// Parses a `--node-fault-schedule` value: comma-separated
+/// `NODE@CRASH-RECOVER` windows (e.g. `3@2000-9000,5@15000-22000`).
+fn parse_node_fault_schedule(s: &str) -> Result<Vec<NodeFaultEvent>, String> {
+    s.split(',')
+        .map(|entry| {
+            let bad = |why: &str| {
+                format!(
+                    "bad --node-fault-schedule entry '{entry}': {why} (expected \
+                     NODE@CRASH-RECOVER, e.g. 3@2000-9000)"
+                )
+            };
+            let (node, window) = entry
+                .split_once('@')
+                .ok_or_else(|| bad("missing the '@' between node and window"))?;
+            let (crash, recover) = window
+                .split_once('-')
+                .ok_or_else(|| bad("missing the '-' between crash and recovery cycles"))?;
+            let node: u16 = node
+                .trim()
+                .parse()
+                .map_err(|_| bad("the node is not an index"))?;
+            let crash_at: u64 = crash
+                .trim()
+                .parse()
+                .map_err(|_| bad("the crash cycle is not a number"))?;
+            let recover_at: u64 = recover
+                .trim()
+                .parse()
+                .map_err(|_| bad("the recovery cycle is not a number"))?;
+            if recover_at <= crash_at {
+                return Err(format!(
+                    "bad --node-fault-schedule entry '{entry}': recovery at cycle {recover_at} \
+                     must come after the crash at cycle {crash_at}"
+                ));
+            }
+            Ok(NodeFaultEvent {
+                node: dirext_trace::NodeId(node),
+                crash_at,
+                recover_at,
+            })
+        })
+        .collect()
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| "help".to_owned());
@@ -486,6 +586,10 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         svg: None,
         fault: FaultPlan::default(),
+        node_fault_crashes: None,
+        node_fault_seed: None,
+        node_fault_detect: None,
+        node_fault_schedule: None,
         watchdog: None,
         audit_every: 0,
         jobs: 1,
@@ -502,6 +606,7 @@ fn parse_args() -> Result<Args, String> {
         socket: None,
         max_inflight: 4,
         request_timeout_ms: 30_000,
+        idle_timeout_ms: 30_000,
         stats: false,
         assemble_target: None,
         replay_only: false,
@@ -587,6 +692,37 @@ fn parse_args() -> Result<Args, String> {
                 parsed.fault.retry_budget = value("--fault-retries")?
                     .parse()
                     .map_err(|e| format!("bad --fault-retries: {e}"))?;
+            }
+            "--node-fault-crashes" => {
+                let v: usize = value("--node-fault-crashes")?
+                    .parse()
+                    .map_err(|e| format!("bad --node-fault-crashes: {e}"))?;
+                if v == 0 {
+                    return Err(
+                        "--node-fault-crashes must be at least 1 (omit the flag for a \
+                         fault-free run)"
+                            .to_owned(),
+                    );
+                }
+                parsed.node_fault_crashes = Some(v);
+            }
+            "--node-fault-seed" => {
+                parsed.node_fault_seed = Some(
+                    value("--node-fault-seed")?
+                        .parse()
+                        .map_err(|e| format!("bad --node-fault-seed: {e}"))?,
+                );
+            }
+            "--node-fault-detect" => {
+                parsed.node_fault_detect = Some(
+                    value("--node-fault-detect")?
+                        .parse()
+                        .map_err(|e| format!("bad --node-fault-detect: {e}"))?,
+                );
+            }
+            "--node-fault-schedule" => {
+                parsed.node_fault_schedule =
+                    Some(parse_node_fault_schedule(&value("--node-fault-schedule")?)?);
             }
             "--watchdog" => {
                 parsed.watchdog = Some(
@@ -683,6 +819,18 @@ fn parse_args() -> Result<Args, String> {
                     ));
                 }
             }
+            "--idle-timeout-ms" => {
+                parsed.idle_timeout_ms = value("--idle-timeout-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --idle-timeout-ms: {e}"))?;
+                if !(100..=3_600_000).contains(&parsed.idle_timeout_ms) {
+                    return Err(format!(
+                        "--idle-timeout-ms must be between 100 and 3600000, got {} (shorter \
+                         closes connections mid-typing; longer pins slots for over an hour)",
+                        parsed.idle_timeout_ms
+                    ));
+                }
+            }
             "--stats" => parsed.stats = true,
             "--out" => parsed.out = Some(value("--out")?),
             "--svg" => parsed.svg = Some(value("--svg")?),
@@ -739,6 +887,62 @@ fn parse_args() -> Result<Args, String> {
             if given {
                 return Err(format!(
                     "{flag} only applies to fleet workers; add --fleet DIR"
+                ));
+            }
+        }
+    }
+    // Node-fault flags are validated here, at parse time, so a
+    // contradictory or out-of-range crash schedule fails before any
+    // machine is built.
+    if parsed.node_fault_crashes.is_some() && parsed.node_fault_schedule.is_some() {
+        return Err(
+            "--node-fault-crashes conflicts with --node-fault-schedule: the schedule \
+             already fixes how many nodes crash and when"
+                .to_owned(),
+        );
+    }
+    let node_faults_on = parsed.node_fault_crashes.is_some() || parsed.node_fault_schedule.is_some();
+    if node_faults_on {
+        match parsed.command.as_str() {
+            "run" | "trace" | "stress" => {}
+            "degrade" => {
+                return Err(
+                    "degrade sweeps the crash-count axis itself; shape its schedules with \
+                     --node-fault-seed and --node-fault-detect instead"
+                        .to_owned(),
+                );
+            }
+            other => {
+                return Err(format!(
+                    "node-fault injection applies to run, trace, stress and degrade, \
+                     not '{other}'"
+                ));
+            }
+        }
+        // An explicit schedule can name nodes the machine doesn't have or
+        // overlap windows on one node; check against the machine size now
+        // (seeded plans are valid by construction). A trace file decides
+        // its own processor count, so defer to the simulator there.
+        if parsed.trace.is_none() {
+            let procs = if parsed.command == "stress" {
+                parsed.procs.min(32)
+            } else {
+                parsed.procs
+            };
+            if let Some(plan) = parsed.node_fault_plan(procs) {
+                plan.validate(procs)
+                    .map_err(|e| format!("bad node-fault plan: {e}"))?;
+            }
+        }
+    } else if parsed.command != "degrade" {
+        for (flag, given) in [
+            ("--node-fault-seed", parsed.node_fault_seed.is_some()),
+            ("--node-fault-detect", parsed.node_fault_detect.is_some()),
+        ] {
+            if given {
+                return Err(format!(
+                    "{flag} only applies with --node-fault-crashes N, \
+                     --node-fault-schedule SPEC, or the degrade command"
                 ));
             }
         }
@@ -1147,6 +1351,16 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
             )?;
             println!("{result}");
         }
+        "degrade" => {
+            let app = args.app.unwrap_or(App::Mp3d);
+            let w = app.workload(args.procs, args.scale);
+            let params = dirext_sim::experiments::DegradeParams {
+                seed: args.node_fault_seed.unwrap_or(1),
+                detect_delay: args.node_fault_detect.unwrap_or(500),
+            };
+            let result = experiments::degrade_with(app.name(), &w, params, &args.sweep_opts()?)?;
+            println!("{result}");
+        }
         "run" => {
             let w = match &args.trace {
                 Some(path) => {
@@ -1420,10 +1634,13 @@ fn dispatch(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
                 out.display(),
                 summary.cells,
                 summary.failed,
-                if summary.recovered > 0 {
-                    format!(", {} torn line(s) dropped", summary.recovered)
-                } else {
-                    String::new()
+                match (summary.recovered, summary.corrupt) {
+                    (0, 0) => String::new(),
+                    (t, 0) => format!(", {t} torn line(s) dropped"),
+                    (0, c) => format!(", {c} checksum-failed line(s) dropped"),
+                    (t, c) => {
+                        format!(", {t} torn + {c} checksum-failed line(s) dropped")
+                    }
                 }
             );
             // Replay the merged journal through the target command: same

@@ -19,13 +19,23 @@
 //! - **Request timeout** (`--request-timeout-ms`): a slow compute stops
 //!   blocking its client with `{"status":"timeout"}`, but the compute
 //!   keeps running and journals its result, so a retry becomes a hit.
+//! - **Bounded connections** ([`MAX_CONNS`]): each connection holds a
+//!   thread, so the accept loop admits at most a fixed number at once;
+//!   excess connects get one `{"status":"error"}` line and a close.
+//! - **Bounded request lines** ([`MAX_LINE_BYTES`]): an oversized line is
+//!   drained (never buffered whole) and answered with a structured JSON
+//!   error — the connection stays usable for the next request.
+//! - **Idle-connection timeout** (`--idle-timeout-ms`): a connection that
+//!   sends nothing for the window gets a final `{"status":"closed"}`
+//!   notice and is released, so abandoned clients cannot pin connection
+//!   slots forever.
 //!
 //! Protocol: newline-delimited JSON over the socket, one response line
 //! per request line. A request is `{"app": "Water", "procs": 8, "scale":
 //! "tiny", "protocol": "P+CW+M", "consistency": "rc", "network":
 //! "uniform"}` — every field except `app` is optional — or `{"cmd":
 //! "stats"}` for the daemon's counters. Responses carry a `status` of
-//! `hit`, `computed`, `busy`, `timeout`, `error`, or `stats`.
+//! `hit`, `computed`, `busy`, `timeout`, `error`, `closed`, or `stats`.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -50,6 +60,15 @@ const DEFAULT_SERVE_JOURNAL: &str = "dirext-serve.jsonl";
 /// the serve driver name baked into journal keys for cells the daemon
 /// computed itself.
 const SERVE_DRIVER: &str = "serve";
+
+/// Longest request line the daemon will buffer. Anything longer is
+/// drained off the wire and answered with a structured error; a valid
+/// query is a few hundred bytes, so the cap only ever cuts off garbage.
+pub(crate) const MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// Most connections served at once. Each holds a thread, so this is the
+/// daemon's thread budget; connection 65 gets an error line and a close.
+pub(crate) const MAX_CONNS: usize = 64;
 
 /// The canonical CLI spelling of a network kind (inverse of the
 /// `--network` parser in `main.rs`).
@@ -152,10 +171,16 @@ pub(crate) struct Server {
     journal: Arc<Journal>,
     max_inflight: usize,
     timeout: Duration,
+    /// Close a connection that sends nothing for this long.
+    idle_timeout: Duration,
+    /// Connection budget (thread budget); [`MAX_CONNS`] in production,
+    /// smaller in tests.
+    max_conns: usize,
     /// Test hook: artificial per-compute delay in ms (`DIREXT_SERVE_SLOW_MS`),
     /// used to make saturation and timeouts deterministic in tests.
     slow_ms: u64,
     inflight: AtomicUsize,
+    conns: AtomicUsize,
     workloads: Mutex<HashMap<String, Arc<Workload>>>,
     hits: AtomicU64,
     computed: AtomicU64,
@@ -193,8 +218,11 @@ impl Server {
             journal,
             max_inflight,
             timeout,
+            idle_timeout: Duration::from_secs(30),
+            max_conns: MAX_CONNS,
             slow_ms,
             inflight: AtomicUsize::new(0),
+            conns: AtomicUsize::new(0),
             workloads: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
@@ -202,6 +230,19 @@ impl Server {
             timeouts: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the idle-connection timeout (`--idle-timeout-ms`).
+    pub(crate) fn with_idle_timeout(mut self, idle: Duration) -> Server {
+        self.idle_timeout = idle;
+        self
+    }
+
+    /// Overrides the connection budget (tests only).
+    #[cfg(test)]
+    fn with_max_conns(mut self, max: usize) -> Server {
+        self.max_conns = max;
+        self
     }
 
     fn workload(&self, app: App, procs: usize, scale: Scale) -> Arc<Workload> {
@@ -246,6 +287,11 @@ impl Server {
             ),
             ("max_inflight", Content::U64(self.max_inflight as u64)),
             (
+                "connections",
+                Content::U64(self.conns.load(Ordering::Relaxed) as u64),
+            ),
+            ("max_connections", Content::U64(self.max_conns as u64)),
+            (
                 "cached_cells",
                 Content::U64(self.journal.completed_cells() as u64),
             ),
@@ -261,6 +307,26 @@ impl Server {
                 return false;
             }
             match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Tries to take a connection slot; `false` means the connection
+    /// budget is exhausted and the connect must be refused.
+    fn conn_admit(&self) -> bool {
+        let mut cur = self.conns.load(Ordering::Acquire);
+        loop {
+            if cur >= self.max_conns {
+                return false;
+            }
+            match self.conns.compare_exchange_weak(
                 cur,
                 cur + 1,
                 Ordering::AcqRel,
@@ -413,6 +479,151 @@ impl Server {
     }
 }
 
+/// Outcome of one bounded line read off a connection.
+enum LineRead {
+    /// A complete line within the size cap.
+    Line(String),
+    /// The line exceeded the cap; the excess was drained off the wire
+    /// (never buffered), so the connection is still framed correctly.
+    Oversized,
+    /// Peer closed the connection.
+    Eof,
+    /// No complete line arrived within the idle timeout.
+    Idle,
+    /// Hard I/O error.
+    Failed,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes. A
+/// longer line is consumed to its newline but reported [`LineRead::Oversized`]
+/// without ever holding more than one `fill_buf` chunk of it in memory.
+fn read_bounded_line(reader: &mut impl std::io::BufRead, max: usize) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return LineRead::Idle;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Failed,
+        };
+        if chunk.is_empty() {
+            // EOF. A final unterminated line still gets an answer; the
+            // write will fail harmlessly if the peer is fully gone.
+            return match (buf.is_empty(), oversized) {
+                (_, true) => LineRead::Oversized,
+                (true, false) => LineRead::Eof,
+                (false, false) => LineRead::Line(String::from_utf8_lossy(&buf).into_owned()),
+            };
+        }
+        let newline = chunk.iter().position(|&b| b == b'\n');
+        let take = newline.unwrap_or(chunk.len());
+        if !oversized && buf.len() + take > max {
+            oversized = true;
+            buf.clear();
+        }
+        if !oversized {
+            buf.extend_from_slice(&chunk[..take]);
+        }
+        let consumed = newline.map_or(take, |p| p + 1);
+        reader.consume(consumed);
+        if newline.is_some() {
+            return if oversized {
+                LineRead::Oversized
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            };
+        }
+    }
+}
+
+/// Decrements the connection gauge when a connection handler exits by
+/// any path — clean EOF, idle timeout, I/O error, or panic.
+struct ConnGuard<'a>(&'a Server);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.conns.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Serves one accepted connection until EOF, idle timeout, or I/O error.
+/// Admission against the connection budget happens here, and the slot is
+/// released on every exit path, so the budget cannot drift.
+#[cfg(unix)]
+pub(crate) fn serve_connection(server: &Arc<Server>, stream: std::os::unix::net::UnixStream) {
+    use std::io::Write;
+
+    let mut stream = stream;
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(server.idle_timeout));
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = std::io::BufReader::new(reader);
+    let mut send = |resp: &str| -> bool {
+        stream
+            .write_all(resp.as_bytes())
+            .and_then(|()| stream.write_all(b"\n"))
+            .is_ok()
+    };
+    if !server.conn_admit() {
+        server.busy.fetch_add(1, Ordering::Relaxed);
+        send(&error_response(format!(
+            "connection budget exhausted ({} open); retry shortly",
+            server.max_conns
+        )));
+        return;
+    }
+    let _guard = ConnGuard(server);
+    loop {
+        match read_bounded_line(&mut reader, MAX_LINE_BYTES) {
+            LineRead::Line(line) => {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    continue;
+                }
+                if !send(&server.handle(trimmed)) {
+                    return;
+                }
+            }
+            LineRead::Oversized => {
+                // The oversized line was drained, so the stream is still
+                // newline-framed: answer and keep the connection.
+                server.errors.fetch_add(1, Ordering::Relaxed);
+                if !send(&error_response(format!(
+                    "request line exceeds {MAX_LINE_BYTES} bytes; a query is one small JSON object"
+                ))) {
+                    return;
+                }
+            }
+            LineRead::Idle => {
+                // Parting notice is best-effort; the slot is freed either
+                // way by the guard.
+                send(&response(vec![
+                    ("status", Content::Str("closed".to_owned())),
+                    (
+                        "reason",
+                        Content::Str(format!(
+                            "idle for {} ms; reconnect to continue",
+                            server.idle_timeout.as_millis()
+                        )),
+                    ),
+                ]));
+                return;
+            }
+            LineRead::Eof | LineRead::Failed => return,
+        }
+    }
+}
+
 /// Opens the journal `serve` answers from: an assembled fleet directory
 /// (`--fleet DIR`, folding worker journals first), an explicit
 /// `--journal PATH`, or the default serve journal. Always in resume
@@ -462,7 +673,6 @@ fn slow_ms_from_env() -> u64 {
 /// the wire, never crash the daemon.
 #[cfg(unix)]
 pub(crate) fn run_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    use std::io::Write;
     use std::os::unix::net::{UnixListener, UnixStream};
 
     let Some(socket) = &args.socket else {
@@ -470,12 +680,15 @@ pub(crate) fn run_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     };
     let journal = open_serve_journal(args)?;
     crate::register_journal(&journal);
-    let server = Arc::new(Server::new(
-        journal,
-        args.max_inflight,
-        Duration::from_millis(args.request_timeout_ms),
-        slow_ms_from_env(),
-    ));
+    let server = Arc::new(
+        Server::new(
+            journal,
+            args.max_inflight,
+            Duration::from_millis(args.request_timeout_ms),
+            slow_ms_from_env(),
+        )
+        .with_idle_timeout(Duration::from_millis(args.idle_timeout_ms)),
+    );
     let path = std::path::Path::new(socket);
     if path.exists() {
         // A live daemon answers a connect; a stale socket file (daemon
@@ -496,44 +709,17 @@ pub(crate) fn run_serve(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let cancel = crate::sigint::arm();
     eprintln!(
         "serve: listening on {socket} — {} cached cell(s), {} compute slot(s), {} ms request \
-         timeout (Ctrl-C to stop)",
+         timeout, {} ms idle timeout (Ctrl-C to stop)",
         server.journal.completed_cells(),
         args.max_inflight,
-        args.request_timeout_ms
+        args.request_timeout_ms,
+        args.idle_timeout_ms
     );
     while !cancel.load(std::sync::atomic::Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let server = Arc::clone(&server);
-                std::thread::spawn(move || {
-                    let _ = stream.set_nonblocking(false);
-                    let Ok(reader) = stream.try_clone() else {
-                        return;
-                    };
-                    let mut reader = std::io::BufReader::new(reader);
-                    let mut stream = stream;
-                    let mut line = String::new();
-                    loop {
-                        line.clear();
-                        match std::io::BufRead::read_line(&mut reader, &mut line) {
-                            Ok(0) | Err(_) => return,
-                            Ok(_) => {
-                                let trimmed = line.trim();
-                                if trimmed.is_empty() {
-                                    continue;
-                                }
-                                let resp = server.handle(trimmed);
-                                if stream
-                                    .write_all(resp.as_bytes())
-                                    .and_then(|()| stream.write_all(b"\n"))
-                                    .is_err()
-                                {
-                                    return;
-                                }
-                            }
-                        }
-                    }
-                });
+                std::thread::spawn(move || serve_connection(&server, stream));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(25));
@@ -722,5 +908,135 @@ mod tests {
         assert_eq!(status(&s.handle(r#"{"app":"Water","procs":0}"#)), "error");
         let stats = s.handle(r#"{"cmd":"stats"}"#);
         assert!(stats.contains("\"errors\":5"), "{stats}");
+    }
+
+    #[test]
+    fn bounded_line_reader_drains_oversized_lines() {
+        use std::io::Cursor;
+        // Small line, oversized line, small line: the middle one must be
+        // consumed without desynchronizing the stream framing.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"first\n");
+        data.extend_from_slice(&vec![b'x'; 4 * MAX_LINE_BYTES]);
+        data.push(b'\n');
+        data.extend_from_slice(b"last\n");
+        let mut r = std::io::BufReader::new(Cursor::new(data));
+        assert!(matches!(
+            read_bounded_line(&mut r, MAX_LINE_BYTES),
+            LineRead::Line(l) if l == "first"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, MAX_LINE_BYTES),
+            LineRead::Oversized
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, MAX_LINE_BYTES),
+            LineRead::Line(l) if l == "last"
+        ));
+        assert!(matches!(
+            read_bounded_line(&mut r, MAX_LINE_BYTES),
+            LineRead::Eof
+        ));
+    }
+
+    #[cfg(unix)]
+    fn client_pair(s: &Arc<Server>) -> (std::os::unix::net::UnixStream, std::thread::JoinHandle<()>) {
+        let (client, served) = std::os::unix::net::UnixStream::pair().expect("socketpair");
+        let server = Arc::clone(s);
+        let handle = std::thread::spawn(move || serve_connection(&server, served));
+        (client, handle)
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn oversized_request_gets_an_error_and_the_connection_survives() {
+        use std::io::{BufRead, BufReader, Write};
+        let s = server("oversized", 2, 10_000, 0);
+        let (mut client, handle) = client_pair(&s);
+        let mut big = vec![b'{'; MAX_LINE_BYTES + 100];
+        big.push(b'\n');
+        client.write_all(&big).expect("send oversized");
+        client
+            .write_all(b"{\"cmd\":\"stats\"}\n")
+            .expect("send follow-up");
+        let mut reader = BufReader::new(client.try_clone().expect("clone"));
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("error reply");
+        assert_eq!(status(&reply), "error");
+        assert!(reply.contains("exceeds"), "{reply}");
+        // Same connection, next request: still served.
+        reply.clear();
+        reader.read_line(&mut reply).expect("stats reply");
+        assert_eq!(status(&reply), "stats");
+        assert!(reply.contains("\"connections\":1"), "{reply}");
+        drop(client);
+        drop(reader);
+        handle.join().expect("handler exits");
+        assert_eq!(s.conns.load(Ordering::Relaxed), 0, "slot released");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn idle_connection_is_closed_with_a_notice() {
+        use std::io::{BufRead, BufReader};
+        let journal = Arc::new(Journal::create(tmp_journal("idle")).expect("journal"));
+        let s = Arc::new(
+            Server::new(journal, 2, Duration::from_millis(10_000), 0)
+                .with_idle_timeout(Duration::from_millis(150)),
+        );
+        let (client, handle) = client_pair(&s);
+        let mut reader = BufReader::new(client);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("close notice");
+        assert_eq!(status(&reply), "closed");
+        assert!(reply.contains("idle"), "{reply}");
+        reply.clear();
+        assert_eq!(
+            reader.read_line(&mut reply).expect("eof"),
+            0,
+            "connection is closed after the notice"
+        );
+        handle.join().expect("handler exits");
+        assert_eq!(s.conns.load(Ordering::Relaxed), 0, "slot released");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn connection_budget_refuses_the_excess_connect_and_recovers() {
+        use std::io::{BufRead, BufReader, Write};
+        let journal = Arc::new(Journal::create(tmp_journal("connbudget")).expect("journal"));
+        let s = Arc::new(
+            Server::new(journal, 2, Duration::from_millis(10_000), 0).with_max_conns(1),
+        );
+        let (mut first, first_handle) = client_pair(&s);
+        // Make sure the first connection is admitted before racing in the
+        // second one.
+        first.write_all(b"{\"cmd\":\"stats\"}\n").expect("warm up");
+        let mut first_reader = BufReader::new(first.try_clone().expect("clone"));
+        let mut reply = String::new();
+        first_reader.read_line(&mut reply).expect("stats");
+        assert_eq!(status(&reply), "stats");
+        // Budget full: the second connection gets a structured refusal.
+        let (second, second_handle) = client_pair(&s);
+        let mut second_reader = BufReader::new(second);
+        reply.clear();
+        second_reader.read_line(&mut reply).expect("refusal");
+        assert_eq!(status(&reply), "error");
+        assert!(reply.contains("connection budget"), "{reply}");
+        second_handle.join().expect("refused handler exits");
+        // Closing the first frees the slot for a fresh connect.
+        drop(first);
+        drop(first_reader);
+        first_handle.join().expect("handler exits");
+        let (mut third, third_handle) = client_pair(&s);
+        third.write_all(b"{\"cmd\":\"stats\"}\n").expect("reuse");
+        let mut third_reader = BufReader::new(third.try_clone().expect("clone"));
+        reply.clear();
+        third_reader.read_line(&mut reply).expect("served again");
+        assert_eq!(status(&reply), "stats");
+        drop(third);
+        drop(third_reader);
+        third_handle.join().expect("handler exits");
+        assert_eq!(s.conns.load(Ordering::Relaxed), 0, "budget back to zero");
     }
 }

@@ -489,3 +489,164 @@ fn sweep_with_sim_threads_matches_serial_csv() {
     ]);
     assert_eq!(serial, windowed);
 }
+
+#[test]
+fn node_fault_run_reports_crash_telemetry() {
+    let t = stdout(&[
+        "run",
+        "--app",
+        "water",
+        "--scale",
+        "tiny",
+        "--procs",
+        "8",
+        "--protocol",
+        "P+CW+M",
+        "--node-fault-crashes",
+        "2",
+        "--json",
+    ]);
+    let v: serde_json::Value = serde_json::from_str(&t).expect("valid JSON");
+    assert_eq!(v["node_crashes"].as_u64(), Some(2), "{t}");
+    assert_eq!(v["node_recoveries"].as_u64(), Some(2), "{t}");
+    assert!(v["crash_drops"].as_u64().unwrap() > 0, "{t}");
+}
+
+#[test]
+fn node_fault_explicit_schedule_runs_and_is_seed_independent() {
+    // An explicit schedule fixes the windows, so the seed flag is
+    // rejected alongside it only via --node-fault-crashes; the schedule
+    // itself must parse and drive the run.
+    let t = stdout(&[
+        "run",
+        "--app",
+        "water",
+        "--scale",
+        "tiny",
+        "--procs",
+        "8",
+        "--node-fault-schedule",
+        "3@2000-6000",
+        "--node-fault-detect",
+        "300",
+        "--json",
+    ]);
+    let v: serde_json::Value = serde_json::from_str(&t).expect("valid JSON");
+    assert_eq!(v["node_crashes"].as_u64(), Some(1), "{t}");
+    assert_eq!(v["node_recoveries"].as_u64(), Some(1), "{t}");
+}
+
+#[test]
+fn node_fault_run_is_identical_across_sim_threads() {
+    // Acceptance criterion: a seeded crash schedule is bit-identical
+    // between the serial and windowed-parallel engines.
+    let base = &[
+        "run",
+        "--app",
+        "mp3d",
+        "--scale",
+        "tiny",
+        "--procs",
+        "8",
+        "--network",
+        "hmesh64",
+        "--protocol",
+        "P+CW+M",
+        "--node-fault-crashes",
+        "3",
+        "--json",
+    ][..];
+    let serial = stdout(base);
+    let windowed = stdout(&[base, &["--sim-threads", "4"]].concat());
+    assert_eq!(serial, windowed);
+    let v: serde_json::Value = serde_json::from_str(&serial).expect("valid JSON");
+    assert!(v["node_crashes"].as_u64().unwrap() >= 1, "{serial}");
+}
+
+#[test]
+fn node_fault_flag_misuse_is_a_clean_parse_error() {
+    for (args, needle) in [
+        (
+            &["run", "--node-fault-crashes", "0"][..],
+            "must be at least 1",
+        ),
+        (
+            &[
+                "run",
+                "--node-fault-crashes",
+                "2",
+                "--node-fault-schedule",
+                "1@100-900",
+            ][..],
+            "conflicts",
+        ),
+        (
+            &["run", "--node-fault-seed", "7"][..],
+            "only applies with --node-fault-crashes",
+        ),
+        (
+            &["fig2", "--node-fault-crashes", "2"][..],
+            "applies to run, trace, stress and degrade",
+        ),
+        (
+            &["degrade", "--node-fault-crashes", "2"][..],
+            "sweeps the crash-count axis itself",
+        ),
+        (
+            &["run", "--node-fault-schedule", "3@2000"][..],
+            "expected NODE@CRASH-RECOVER",
+        ),
+        (
+            &["run", "--node-fault-schedule", "3@9000-2000"][..],
+            "must come after the crash",
+        ),
+        (
+            &["run", "--procs", "4", "--node-fault-schedule", "9@2000-9000"][..],
+            "4 processors",
+        ),
+    ] {
+        let out = dirext(args);
+        assert!(!out.status.success(), "dirext {args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "dirext {args:?}: {err}");
+        assert!(!err.contains("panicked"), "must not panic: {err}");
+    }
+}
+
+#[test]
+fn degrade_command_prints_the_crash_axis() {
+    let t = stdout(&[
+        "degrade",
+        "--app",
+        "water",
+        "--scale",
+        "tiny",
+        "--procs",
+        "8",
+    ]);
+    assert!(t.contains("Graceful degradation"), "{t}");
+    for col in ["crashes", "recovered", "purged", "lost-blocks"] {
+        assert!(t.contains(col), "missing column {col}: {t}");
+    }
+    // The axis rows: the crash-free baseline plus the faulted levels.
+    for level in ["0", "1", "2", "4"] {
+        assert!(
+            t.lines().any(|l| l.trim_start().starts_with(level)),
+            "missing crash level {level}: {t}"
+        );
+    }
+}
+
+#[test]
+fn help_documents_node_fault_injection() {
+    let help = stdout(&["help"]);
+    for flag in [
+        "--node-fault-crashes",
+        "--node-fault-schedule",
+        "--node-fault-seed",
+        "--node-fault-detect",
+        "degrade",
+    ] {
+        assert!(help.contains(flag), "help must mention {flag}");
+    }
+}

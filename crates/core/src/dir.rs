@@ -102,6 +102,12 @@ struct Pending {
     /// How the fan-out that opened this operation related to the true
     /// sharer set (selects the broadcast/multicast trace tags).
     fanout: FanoutClass,
+    /// Recovery: the requester died (or this is a purge sweep). The
+    /// operation still collects its acknowledgments — the protocol needs
+    /// the copies gone — but completes without granting anything. The flag
+    /// is sticky: it outlives the node's recovery, because it describes the
+    /// dead *incarnation's* operation, not the node.
+    abort: bool,
 }
 
 /// One directory entry — the per-block state the extension hooks inspect
@@ -189,6 +195,18 @@ pub struct DirStats {
     /// Dir_i_NB pointer recalls: tracked copies invalidated purely to free
     /// a pointer for a new sharer.
     pub dir_recalls: u64,
+    /// Recovery: dead nodes removed surgically from exact sharer sets.
+    pub purged_sharers: u64,
+    /// Recovery: MODIFIED entries whose owner died — memory's last-written
+    /// value stands and the entry returns to CLEAN (modeled data loss).
+    pub orphan_reclaims: u64,
+    /// Recovery: pending operations completed without a grant because the
+    /// requester died before the acknowledgments arrived.
+    pub aborted_grants: u64,
+    /// Recovery: invalidation sweeps opened to purge a dead node from an
+    /// inexact sharer set (the set cannot name its members, so every
+    /// covered live copy is recalled to restore exactness).
+    pub purge_sweeps: u64,
 }
 
 /// The directory controller for the blocks homed at one node.
@@ -221,6 +239,13 @@ pub struct DirCtrl {
     /// Recycled wide-`AckMask` storage (machines past 64 nodes), so
     /// steady-state fan-out bookkeeping allocates nothing.
     mask_pool: Vec<Box<[u64]>>,
+    /// Recovery: nodes currently purged after a crash. Fan-outs skip them
+    /// (a dead node holds no copies and sends no acknowledgments); the
+    /// machine sets a node at reconstruction and clears it at re-admission.
+    dead: Vec<bool>,
+    /// Whether the Recovery rule layer is active (a node-fault plan is
+    /// installed); selects the conformance rule set.
+    recovery: bool,
 }
 
 impl DirCtrl {
@@ -244,6 +269,8 @@ impl DirCtrl {
             stats: DirStats::default(),
             trace: TraceRing::disabled(),
             mask_pool: Vec::new(),
+            dead: vec![false; nprocs],
+            recovery: false,
         })
     }
 
@@ -293,12 +320,14 @@ impl DirCtrl {
     /// the organization can over-approximate (broadcasts, multicasts and
     /// pointer recalls become legal transitions).
     pub fn rule_set(&self) -> crate::proto::table::ExtSet {
-        let set = self.exts.rule_set();
-        if self.org == DirOrg::FullMap {
-            set
-        } else {
-            set.with(ExtKind::DirScale)
+        let mut set = self.exts.rule_set();
+        if self.org != DirOrg::FullMap {
+            set = set.with(ExtKind::DirScale);
         }
+        if self.recovery {
+            set = set.with(ExtKind::Recovery);
+        }
+        set
     }
 
     /// Enables or disables migratory reversion (the self-correcting part of
@@ -784,6 +813,7 @@ impl DirCtrl {
                     awaiting: AckMask::Inline(0),
                     keep_votes: false,
                     fanout: FanoutClass::Exact,
+                    abort: false,
                 });
             }
         }
@@ -823,6 +853,7 @@ impl DirCtrl {
                     awaiting,
                     keep_votes: false,
                     fanout: FanoutClass::Exact,
+                    abort: false,
                 });
             }
         }
@@ -858,6 +889,7 @@ impl DirCtrl {
                     stats,
                     mask_pool,
                     org,
+                    dead,
                     ..
                 } = self;
                 let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
@@ -865,6 +897,10 @@ impl DirCtrl {
                 let mut awaiting = AckMask::empty(*nprocs, mask_pool);
                 let mut sent = 0u64;
                 e.sharers.for_each_target(*nprocs, Some(src), |t| {
+                    // A purged node holds no copy and would never ack.
+                    if dead[t.idx()] {
+                        return;
+                    }
                     actions.push(DirAction {
                         dst: t,
                         kind: MsgKind::Inval,
@@ -894,6 +930,7 @@ impl DirCtrl {
                         awaiting,
                         keep_votes: false,
                         fanout,
+                        abort: false,
                     });
                 }
             }
@@ -918,6 +955,7 @@ impl DirCtrl {
                     awaiting: AckMask::Inline(0),
                     keep_votes: false,
                     fanout: FanoutClass::Exact,
+                    abort: false,
                 });
             }
         }
@@ -954,6 +992,7 @@ impl DirCtrl {
                     awaiting: AckMask::Inline(0),
                     keep_votes: false,
                     fanout: FanoutClass::Exact,
+                    abort: false,
                 });
             }
             DirState::Clean => {
@@ -965,30 +1004,49 @@ impl DirCtrl {
                     // The M hook only routes here when the sharer count is
                     // exactly known (> 1), so this fan-out is always exact.
                     self.stats.interrogations += 1;
-                    let DirCtrl {
-                        nprocs,
-                        entries,
-                        mask_pool,
-                        org,
-                        ..
-                    } = self;
-                    let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
-                    let mut awaiting = AckMask::empty(*nprocs, mask_pool);
-                    e.sharers.for_each_target(*nprocs, None, |t| {
-                        actions.push(DirAction {
-                            dst: t,
-                            kind: MsgKind::Interrogate,
+                    let sent = {
+                        let DirCtrl {
+                            nprocs,
+                            entries,
+                            mask_pool,
+                            org,
+                            dead,
+                            ..
+                        } = self;
+                        let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
+                        let mut awaiting = AckMask::empty(*nprocs, mask_pool);
+                        let mut sent = 0u64;
+                        e.sharers.for_each_target(*nprocs, None, |t| {
+                            if dead[t.idx()] {
+                                return;
+                            }
+                            actions.push(DirAction {
+                                dst: t,
+                                kind: MsgKind::Interrogate,
+                            });
+                            awaiting.set(t);
+                            sent += 1;
                         });
-                        awaiting.set(t);
-                    });
-                    e.pending = Some(Pending {
-                        kind: PendingKind::Interrogating { dirty_words },
-                        requester: src,
-                        target: None,
-                        awaiting,
-                        keep_votes: false,
-                        fanout: FanoutClass::Exact,
-                    });
+                        if sent == 0 {
+                            awaiting.recycle(mask_pool);
+                        } else {
+                            e.pending = Some(Pending {
+                                kind: PendingKind::Interrogating { dirty_words },
+                                requester: src,
+                                target: None,
+                                awaiting,
+                                keep_votes: false,
+                                fanout: FanoutClass::Exact,
+                                abort: false,
+                            });
+                        }
+                        sent
+                    };
+                    // Every interrogation target was purged: nobody is left
+                    // to vote, fall through to the plain fan-out.
+                    if sent == 0 {
+                        self.start_update_fanout(src, block, dirty_words, actions);
+                    }
                 } else {
                     self.start_update_fanout(src, block, dirty_words, actions);
                 }
@@ -1010,6 +1068,7 @@ impl DirCtrl {
                 stats,
                 mask_pool,
                 org,
+                dead,
                 ..
             } = self;
             let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
@@ -1019,6 +1078,9 @@ impl DirCtrl {
             let mut awaiting = AckMask::empty(*nprocs, mask_pool);
             let mut sent = 0u64;
             e.sharers.for_each_target(*nprocs, Some(src), |t| {
+                if dead[t.idx()] {
+                    return;
+                }
                 actions.push(DirAction {
                     dst: t,
                     kind: MsgKind::Update { dirty_words },
@@ -1041,6 +1103,7 @@ impl DirCtrl {
                     awaiting,
                     keep_votes: false,
                     fanout,
+                    abort: false,
                 });
                 true
             }
@@ -1104,8 +1167,8 @@ impl DirCtrl {
         owner_retains: bool,
         actions: &mut Vec<DirAction>,
     ) -> Result<(), ProtocolError> {
-        let (pkind, requester, ptarget) = match self.entry(block).pending.as_ref() {
-            Some(p) => (p.kind, p.requester, p.target),
+        let (pkind, requester, ptarget, aborted) = match self.entry(block).pending.as_ref() {
+            Some(p) => (p.kind, p.requester, p.target, p.abort),
             None => {
                 self.stats.stale_drops += 1;
                 return Ok(());
@@ -1117,6 +1180,21 @@ impl DirCtrl {
         };
         if ptarget != Some(from) || !kind_matches {
             self.stats.stale_drops += 1;
+            return Ok(());
+        }
+        if aborted {
+            // The requester died while the fetch was in flight: take the
+            // data home (the machine layer already merged the version) but
+            // grant nothing. The old owner keeps a shared copy only if the
+            // reply was a downgrade rather than an invalidation.
+            let e = self.entry(block);
+            e.state = DirState::Clean;
+            e.sharers.remove(from);
+            if owner_retains {
+                let _ = e.sharers.add(from);
+            }
+            self.stats.aborted_grants += 1;
+            self.clear_pending(block);
             return Ok(());
         }
         // A deferred Dir_i_NB recall: the downgrade re-add below may
@@ -1266,30 +1344,42 @@ impl DirCtrl {
                     self.stats.stale_drops += 1;
                     return Ok(());
                 }
-                let done = {
+                let (done, aborted) = {
                     let e = self.entry(block);
                     e.sharers.remove(src);
                     let p = e.pending.as_mut().expect("checked by ack_expected");
                     p.awaiting.clear(src);
                     if p.awaiting.is_empty() {
-                        let (requester, with_data) = match p.kind {
-                            PendingKind::Invalidating { with_data } => (p.requester, with_data),
-                            _ => unreachable!("checked by ack_expected"),
-                        };
-                        e.sharers.clear();
-                        let _ = e.sharers.add(requester);
-                        e.state = DirState::Modified(requester);
-                        e.last_writer = Some(requester);
-                        actions.push(DirAction {
-                            dst: requester,
-                            kind: MsgKind::OwnAck { with_data },
-                        });
-                        true
+                        if p.abort {
+                            // Every covered copy is now invalidated but the
+                            // requester died (or this was a purge sweep):
+                            // the set collapses to exactly-empty and the
+                            // entry stays CLEAN with nothing granted.
+                            e.sharers.clear();
+                            (true, true)
+                        } else {
+                            let (requester, with_data) = match p.kind {
+                                PendingKind::Invalidating { with_data } => (p.requester, with_data),
+                                _ => unreachable!("checked by ack_expected"),
+                            };
+                            e.sharers.clear();
+                            let _ = e.sharers.add(requester);
+                            e.state = DirState::Modified(requester);
+                            e.last_writer = Some(requester);
+                            actions.push(DirAction {
+                                dst: requester,
+                                kind: MsgKind::OwnAck { with_data },
+                            });
+                            (true, false)
+                        }
                     } else {
-                        false
+                        (false, false)
                     }
                 };
                 if done {
+                    if aborted {
+                        self.stats.aborted_grants += 1;
+                    }
                     self.clear_pending(block);
                 }
             }
@@ -1311,10 +1401,17 @@ impl DirCtrl {
                     }
                     let p = e.pending.as_mut().expect("checked by ack_expected");
                     p.awaiting.clear(src);
-                    p.awaiting.is_empty().then_some(p.requester)
+                    p.awaiting.is_empty().then_some((p.requester, p.abort))
                 };
-                if let Some(requester) = finish {
+                if let Some((requester, aborted)) = finish {
                     self.clear_pending(block);
+                    if aborted {
+                        // The writer died mid-fan-out: the updates were
+                        // applied (or the copies invalidated), nothing to
+                        // grant and nobody to tell.
+                        self.stats.aborted_grants += 1;
+                        return Ok(());
+                    }
                     let done = self.finish_update(requester, block);
                     actions.push(DirAction {
                         dst: requester,
@@ -1342,7 +1439,7 @@ impl DirCtrl {
                     if p.awaiting.is_empty() {
                         match p.kind {
                             PendingKind::Interrogating { dirty_words } => {
-                                Some((p.requester, dirty_words, !p.keep_votes))
+                                Some((p.requester, dirty_words, !p.keep_votes, p.abort))
                             }
                             _ => unreachable!("checked by ack_expected"),
                         }
@@ -1350,8 +1447,14 @@ impl DirCtrl {
                         None
                     }
                 };
-                if let Some((requester, dirty_words, all_gave_up)) = finish {
+                if let Some((requester, dirty_words, all_gave_up, aborted)) = finish {
                     self.clear_pending(block);
+                    if aborted {
+                        // The interrogating writer died: the votes are moot
+                        // and no update follows.
+                        self.stats.aborted_grants += 1;
+                        return Ok(());
+                    }
                     if all_gave_up {
                         // "For the block to be deemed migratory, all caches
                         // must give up their copies."
@@ -1370,6 +1473,222 @@ impl DirCtrl {
                     context: "home reply",
                 })
             }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------- crash recovery
+
+    /// Enables the Recovery rule layer for conformance replay (called once
+    /// when a node-fault plan is installed, so fault-free runs keep the
+    /// stricter rule set).
+    pub fn enable_recovery(&mut self) {
+        self.recovery = true;
+    }
+
+    /// Marks node `n` dead (reconstruction) or live again (re-admission).
+    /// While dead, fan-outs skip the node: it holds no copies and sends no
+    /// acknowledgments.
+    pub fn set_node_dead(&mut self, n: NodeId, dead: bool) {
+        self.dead[n.idx()] = dead;
+    }
+
+    /// Records a Crash-input transition (the recovery layer's analogue of
+    /// [`DirCtrl::trace_dir`]). Drains the extension-attribution slot so a
+    /// hook that fired during a synthesized completion is not misattributed
+    /// to a later request.
+    fn trace_crash(&mut self, node: NodeId, block: BlockAddr, pre: Option<DirTag>) {
+        let _ = self.exts.take_fired();
+        let Some(pre) = pre else { return };
+        let post = self.dir_tag(block);
+        if pre == post {
+            return;
+        }
+        let time = self.trace.now();
+        self.trace.push(TransitionRecord {
+            time,
+            node,
+            block,
+            from: StateTag::Dir(pre),
+            to: StateTag::Dir(post),
+            input: TraceInput::Crash,
+            ext: None,
+        });
+    }
+
+    /// Epoch-fenced directory reconstruction after node `n` crashed.
+    ///
+    /// Call [`DirCtrl::set_node_dead`] first; then, for every block this
+    /// directory has an entry for (ascending order, so the purge is
+    /// deterministic):
+    ///
+    /// 1. queued requests from the dead node are discarded;
+    /// 2. a pending operation *requested by* the dead node is marked
+    ///    aborted — it still collects its acknowledgments, but completes
+    ///    without granting anything;
+    /// 3. a pending fetch *targeting* the dead node is completed
+    ///    synthetically (the reply will never come): the requester is
+    ///    served from memory's last-written value;
+    /// 4. an outstanding-ack bit held by the dead node is cleared by
+    ///    synthesizing the acknowledgment it can no longer send;
+    /// 5. a MODIFIED entry owned by the dead node reverts to CLEAN — the
+    ///    dirty line is gone, memory's last-written value stands (the
+    ///    machine layer records the modeled data loss);
+    /// 6. the dead node is removed from the sharer set: surgically under an
+    ///    exact representation, via an invalidation sweep of the covered
+    ///    live copies under an inexact one (restoring exactness as a
+    ///    side effect).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a [`ProtocolError`] from a synthesized completion — a
+    /// protocol bug, exactly as it would be on the live path.
+    pub fn purge_node(
+        &mut self,
+        n: NodeId,
+        out: &mut Vec<(BlockAddr, DirAction)>,
+    ) -> Result<(), ProtocolError> {
+        debug_assert!(self.dead[n.idx()], "purging a node not marked dead");
+        let blocks: Vec<BlockAddr> = self.entries.keys().collect();
+        // Unlike `handle_into`, a purge spans many blocks, so each action
+        // is returned tagged with the block it belongs to.
+        let mut actions: Vec<DirAction> = Vec::new();
+        for block in blocks {
+            // 1+2: drop the dead node's queued requests, abort its pending.
+            {
+                let e = self.entry(block);
+                let before = e.waiting.len();
+                e.waiting.retain(|(s, _)| *s != n);
+                let dropped = (before - e.waiting.len()) as u64;
+                if let Some(p) = e.pending.as_mut() {
+                    if p.requester == n {
+                        p.abort = true;
+                    }
+                }
+                self.stats.stale_drops += dropped;
+            }
+            // 3: a fetch whose target died completes synthetically, as if a
+            // crossing unwritten writeback arrived.
+            let target_died = matches!(
+                self.entries.get(block).and_then(|e| e.pending.as_ref()),
+                Some(p) if p.target == Some(n)
+            );
+            if target_died {
+                let pre = self.pre_tag(block);
+                self.complete_fetch(n, block, None, false, false, &mut actions)?;
+                self.trace_crash(n, block, pre);
+            }
+            // 4: synthesize the acknowledgment the dead node can no longer
+            // send, so the fan-out completes (or aborts) normally.
+            let synth = match self.entries.get(block).and_then(|e| e.pending.as_ref()) {
+                Some(p) if p.awaiting.test(n) => match p.kind {
+                    PendingKind::Invalidating { .. } | PendingKind::Evicting => {
+                        Some(MsgKind::InvalAck)
+                    }
+                    PendingKind::Updating => Some(MsgKind::UpdateAck { invalidated: true }),
+                    PendingKind::Interrogating { .. } => {
+                        Some(MsgKind::InterrogateReply { keep: false })
+                    }
+                    // Fetch-style pendings never set awaiting bits.
+                    _ => None,
+                },
+                _ => None,
+            };
+            if let Some(kind) = synth {
+                let pre = self.pre_tag(block);
+                self.dispatch_reply(n, block, kind, &mut actions)?;
+                self.trace_crash(n, block, pre);
+            }
+            // 5: reclaim an orphaned dirty line.
+            if self.owner_of(block) == Some(n)
+                && self.entries.get(block).is_some_and(|e| e.pending.is_none())
+            {
+                let pre = self.pre_tag(block);
+                self.apply_writeback(n, block, false);
+                self.stats.orphan_reclaims += 1;
+                self.trace_crash(n, block, pre);
+            }
+            // 6: purge the sharer set.
+            let needs_purge = self
+                .entries
+                .get(block)
+                .is_some_and(|e| e.sharers.may_contain(n));
+            if needs_purge {
+                let exact = self.entry(block).sharers.exact_count().is_some();
+                if exact {
+                    let contained = {
+                        let e = self.entry(block);
+                        let c = e.sharers.certainly_contains(n);
+                        e.sharers.remove(n);
+                        c
+                    };
+                    if contained {
+                        self.stats.purged_sharers += 1;
+                    }
+                } else if matches!(self.entry(block).state, DirState::Clean)
+                    && self.entry(block).pending.is_none()
+                {
+                    // The set cannot name its members: recall every covered
+                    // live copy. When the sweep drains, the set is exactly
+                    // empty and no longer covers the dead node.
+                    let pre = self.pre_tag(block);
+                    let swept = {
+                        let DirCtrl {
+                            nprocs,
+                            entries,
+                            stats,
+                            mask_pool,
+                            org,
+                            dead,
+                            ..
+                        } = self;
+                        let e = entries.get_or_insert_with(block, || DirEntry::new(*org));
+                        let fanout = e.sharers.fanout_class();
+                        let mut awaiting = AckMask::empty(*nprocs, mask_pool);
+                        let mut sent = 0u64;
+                        e.sharers.for_each_target(*nprocs, Some(n), |t| {
+                            if dead[t.idx()] {
+                                return;
+                            }
+                            actions.push(DirAction {
+                                dst: t,
+                                kind: MsgKind::Inval,
+                            });
+                            awaiting.set(t);
+                            sent += 1;
+                        });
+                        if sent == 0 {
+                            // Nothing live is covered: collapse directly.
+                            awaiting.recycle(mask_pool);
+                            e.sharers.clear();
+                            false
+                        } else {
+                            stats.invals_sent += sent;
+                            stats.purge_sweeps += 1;
+                            e.pending = Some(Pending {
+                                kind: PendingKind::Invalidating { with_data: false },
+                                requester: n,
+                                target: None,
+                                awaiting,
+                                keep_votes: false,
+                                fanout,
+                                abort: true,
+                            });
+                            true
+                        }
+                    };
+                    if swept {
+                        self.trace_crash(n, block, pre);
+                    }
+                }
+                // Inexact with a MODIFIED owner or an open operation: the
+                // over-approximation is sound (the dead node holds no copy)
+                // and fan-outs skip dead targets; the set collapses to
+                // exact on the next writeback or completion.
+            }
+            // Synthesized completions may have unblocked queued requests.
+            self.drain_queue(block, &mut actions)?;
+            out.extend(actions.drain(..).map(|a| (block, a)));
         }
         Ok(())
     }
@@ -2007,5 +2326,141 @@ mod tests {
         let a = dir.h(n(63), b(0), MsgKind::OwnReq { need_data: false });
         assert_single(&a, n(63), MsgKind::OwnAck { with_data: false });
         assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(63)));
+    }
+
+    // ------------------------------------------------- crash recovery
+
+    fn purge(dir: &mut DirCtrl, node: NodeId) -> Vec<DirAction> {
+        let mut out = Vec::new();
+        dir.set_node_dead(node, true);
+        dir.purge_node(node, &mut out).unwrap();
+        // These tests drive a single block; drop the tag.
+        out.into_iter().map(|(_, a)| a).collect()
+    }
+
+    #[test]
+    fn purge_removes_dead_sharer_from_exact_set() {
+        let mut dir = DirCtrl::new(N, false, false);
+        for i in [1u16, 2, 3] {
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        let a = purge(&mut dir, n(2));
+        assert!(a.is_empty(), "exact purge is surgical: {a:?}");
+        let (_, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(presence, (1 << 1) | (1 << 3));
+        assert_eq!(dir.stats().purged_sharers, 1);
+        // A later ownership request no longer invalidates the dead node.
+        let a = dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        assert_single(&a, n(3), MsgKind::Inval);
+    }
+
+    #[test]
+    fn purge_reclaims_orphaned_dirty_line() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        let a = purge(&mut dir, n(1));
+        assert!(a.is_empty());
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, 0);
+        assert_eq!(dir.stats().orphan_reclaims, 1);
+        // The block is readable again, served from memory.
+        let a = dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+    }
+
+    #[test]
+    fn purge_synthesizes_ack_from_dead_invalidation_target() {
+        let mut dir = DirCtrl::new(N, false, false);
+        for i in [1u16, 2, 3] {
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        // Node 1 wants ownership; 2 and 3 owe InvalAcks.
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        // Node 3 dies before acking: the purge synthesizes its ack.
+        assert!(purge(&mut dir, n(3)).is_empty());
+        // Node 2's real ack now completes the transfer.
+        let a = dir.h(n(2), b(0), MsgKind::InvalAck);
+        assert_single(&a, n(1), MsgKind::OwnAck { with_data: false });
+        assert_eq!(dir.snapshot(b(0)).unwrap().0, Some(n(1)));
+    }
+
+    #[test]
+    fn purge_completes_fetch_targeting_dead_owner() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        // Node 2's read is waiting on a fetch from owner 1, who dies.
+        let a = dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false });
+        assert_single(&a, n(1), MsgKind::Fetch);
+        let a = purge(&mut dir, n(1));
+        // The requester is served from memory's last-written value.
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, 1 << 2);
+    }
+
+    #[test]
+    fn dead_requester_completion_grants_nothing() {
+        let mut dir = DirCtrl::new(N, false, false);
+        for i in [1u16, 2, 3] {
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: false });
+        // The *requester* dies mid-fan-out; live acks still drain it.
+        assert!(purge(&mut dir, n(1)).is_empty());
+        assert!(dir.h(n(2), b(0), MsgKind::InvalAck).is_empty());
+        let a = dir.h(n(3), b(0), MsgKind::InvalAck);
+        assert!(a.is_empty(), "no grant to a dead requester: {a:?}");
+        let (owner, presence, _) = dir.snapshot(b(0)).unwrap();
+        assert_eq!(owner, None);
+        assert_eq!(presence, 0);
+        assert_eq!(dir.stats().aborted_grants, 1);
+        assert!(!dir.has_pending());
+    }
+
+    #[test]
+    fn purge_sweeps_inexact_set_and_restores_exactness() {
+        let mut dir = DirCtrl::with_org(N, DirOrg::Directoryless, ExtStack::new()).unwrap();
+        for i in [1u16, 2, 3] {
+            dir.h(n(i), b(0), MsgKind::ReadReq { prefetch: false });
+        }
+        let a = purge(&mut dir, n(2));
+        // Directoryless covers everyone: every live node gets recalled.
+        assert_eq!(a.len(), N - 1);
+        assert!(a.iter().all(|x| x.kind == MsgKind::Inval));
+        assert!(a.iter().all(|x| x.dst != n(2)));
+        assert_eq!(dir.stats().purge_sweeps, 1);
+        // Live holders (and non-holders — the set cannot tell) ack.
+        for i in 0..N as u16 {
+            if i != 2 {
+                assert!(dir.h(n(i), b(0), MsgKind::InvalAck).is_empty());
+            }
+        }
+        assert!(!dir.has_pending());
+        assert!(!dir.covers(b(0), n(2)), "sweep left coverage of the dead node");
+        assert_eq!(dir.stats().aborted_grants, 1);
+    }
+
+    #[test]
+    fn purge_drops_dead_nodes_queued_requests() {
+        let mut dir = DirCtrl::new(N, false, false);
+        dir.h(n(1), b(0), MsgKind::OwnReq { need_data: true });
+        dir.h(n(2), b(0), MsgKind::ReadReq { prefetch: false }); // fetch pending
+        let a = dir.h(n(3), b(0), MsgKind::ReadReq { prefetch: false }); // queued
+        assert!(a.is_empty());
+        // Node 3 dies; its queued read must not be serviced at completion.
+        assert!(purge(&mut dir, n(3)).is_empty());
+        let a = dir.h(n(1), b(0), MsgKind::FetchReply { written: true });
+        assert_single(&a, n(2), MsgKind::ReadReply { exclusive: false });
+        assert!(!dir.covers(b(0), n(3)));
+    }
+
+    #[test]
+    fn recovery_rule_set_only_when_enabled() {
+        let mut dir = DirCtrl::new(N, false, false);
+        assert!(!dir.rule_set().contains(ExtKind::Recovery));
+        dir.enable_recovery();
+        assert!(dir.rule_set().contains(ExtKind::Recovery));
     }
 }

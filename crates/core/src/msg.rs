@@ -208,6 +208,13 @@ pub struct Msg {
     /// Debug version stamp for data-carrying messages (the simulator's
     /// coherence-value check); zero for control messages.
     pub version: u64,
+    /// Packed incarnation stamp for crash/recovery fencing: the sender's
+    /// epoch in the high 16 bits, the receiver's in the low 16. The machine
+    /// layer stamps it at send time; a delivery whose stamp no longer
+    /// matches both endpoints' current epochs is from (or to) a dead
+    /// incarnation and is dropped. Zero everywhere when node faults are
+    /// off, so construction sites may leave it 0.
+    pub epoch: u32,
 }
 
 impl Msg {
@@ -282,6 +289,7 @@ mod tests {
             block: BlockAddr::from_index(7),
             kind: MsgKind::ReadReply { exclusive: false },
             version: 3,
+            epoch: 0,
         };
         let env = m.envelope();
         assert_eq!(env.bytes, 40);

@@ -35,6 +35,12 @@ pub enum ExtKind {
     /// recalls. Enabled whenever the configured organization is not the
     /// exact full map.
     DirScale,
+    /// Node crash/recovery: epoch-fenced reconstruction after a whole-node
+    /// fault — cache wipes, directory purges, synthesized completions for
+    /// acknowledgments a dead node can no longer send, and grant redirects
+    /// when the requester itself died. Enabled whenever a node-fault plan
+    /// is active.
+    Recovery,
 }
 
 impl ExtKind {
@@ -48,6 +54,7 @@ impl ExtKind {
             ExtKind::CompetitiveMigratory => "CW+M",
             ExtKind::ExclusiveClean => "E",
             ExtKind::DirScale => "DIR",
+            ExtKind::Recovery => "REC",
         }
     }
 
@@ -60,6 +67,7 @@ impl ExtKind {
             ExtKind::CompetitiveMigratory => 1 << 4,
             ExtKind::ExclusiveClean => 1 << 5,
             ExtKind::DirScale => 1 << 6,
+            ExtKind::Recovery => 1 << 7,
         }
     }
 }
@@ -100,6 +108,7 @@ impl ExtSet {
             ExtKind::CompetitiveMigratory,
             ExtKind::ExclusiveClean,
             ExtKind::DirScale,
+            ExtKind::Recovery,
         ]
         .into_iter()
         .filter(|k| self.contains(*k))
@@ -173,6 +182,26 @@ pub static DIR_RULES: &[Rule] = &[
     Rule { ext: K::DirScale, from: D(Clean), input: m(MsgTag::ReadReq), to: &[D(Evicting)], note: "Dir_i_NB pointer overflow: recall (invalidate) the oldest tracked copy to admit the new sharer" },
     Rule { ext: K::DirScale, from: D(FetchRead), input: m(MsgTag::FetchReply), to: &[D(Evicting)], note: "the downgraded owner overflows the pointers; recall one" },
     Rule { ext: K::DirScale, from: D(Evicting), input: m(MsgTag::InvalAck), to: &[D(Clean)], note: "the recalled copy acknowledged; the eviction retires silently" },
+    // ----------------------------------------------------------- REC
+    Rule { ext: K::Recovery, from: D(Modified), input: TraceInput::Crash, to: &[D(Clean)], note: "the owner died: its dirty line is orphaned; memory's last-written value stands (counted as data loss)" },
+    Rule { ext: K::Recovery, from: D(Clean), input: TraceInput::Crash, to: &[D(Invalidating), D(BcastInval), D(McastInval)], note: "inexact set may cover the dead node: sweep the covered live copies to restore exactness" },
+    Rule { ext: K::Recovery, from: D(Invalidating), input: TraceInput::Crash, to: &[D(Modified), D(Clean)], note: "synthesized InvalAck for a dead sharer; CLEAN when the requester itself died (grant aborted)" },
+    Rule { ext: K::Recovery, from: D(BcastInval), input: TraceInput::Crash, to: &[D(Modified), D(Clean)], note: "synthesized broadcast InvalAck for a dead node" },
+    Rule { ext: K::Recovery, from: D(McastInval), input: TraceInput::Crash, to: &[D(Modified), D(Clean)], note: "synthesized region InvalAck for a dead node" },
+    Rule { ext: K::Recovery, from: D(Invalidating), input: m(MsgTag::InvalAck), to: &[D(Clean)], note: "last live acknowledgment arrives but the requester died: abort the grant" },
+    Rule { ext: K::Recovery, from: D(BcastInval), input: m(MsgTag::InvalAck), to: &[D(Clean)], note: "broadcast completion with a dead requester: abort the grant" },
+    Rule { ext: K::Recovery, from: D(McastInval), input: m(MsgTag::InvalAck), to: &[D(Clean)], note: "region completion with a dead requester: abort the grant" },
+    Rule { ext: K::Recovery, from: D(Updating), input: TraceInput::Crash, to: &[D(Clean), D(Modified)], note: "synthesized UpdateAck (self-invalidated) for a dead sharer" },
+    Rule { ext: K::Recovery, from: D(BcastUpdating), input: TraceInput::Crash, to: &[D(Clean)], note: "synthesized broadcast UpdateAck for a dead node" },
+    Rule { ext: K::Recovery, from: D(McastUpdating), input: TraceInput::Crash, to: &[D(Clean)], note: "synthesized region UpdateAck for a dead node" },
+    Rule { ext: K::Recovery, from: D(Interrogating), input: TraceInput::Crash, to: &[D(Updating), D(Clean), D(Modified)], note: "synthesized InterrogateReply (copy given up) for a dead cache" },
+    Rule { ext: K::Recovery, from: D(FetchRead), input: TraceInput::Crash, to: &[D(Clean), D(Evicting)], note: "the fetched owner died: memory's copy stands; the reader is granted from memory" },
+    Rule { ext: K::Recovery, from: D(FetchMigRead), input: TraceInput::Crash, to: &[D(Modified), D(Clean)], note: "the migratory holder died: grant from memory, or abort if the reader died too" },
+    Rule { ext: K::Recovery, from: D(FetchOwn), input: TraceInput::Crash, to: &[D(Modified), D(Clean)], note: "the old owner died: transfer from memory, or abort if the requester died too" },
+    Rule { ext: K::Recovery, from: D(FetchOwn), input: m(MsgTag::FetchInvalReply), to: &[D(Clean)], note: "the reply arrives but the requester died: memory keeps the data, no grant" },
+    Rule { ext: K::Recovery, from: D(FetchOwn), input: m(MsgTag::WritebackReq), to: &[D(Clean)], note: "crossing writeback with a dead requester: memory keeps the data, no grant" },
+    Rule { ext: K::Recovery, from: D(RecallForUpdate), input: TraceInput::Crash, to: &[D(Clean), D(Modified), D(Updating)], note: "the recalled owner died: the deferred update proceeds against memory" },
+    Rule { ext: K::Recovery, from: D(Evicting), input: TraceInput::Crash, to: &[D(Clean)], note: "the recalled copy's node died: the eviction retires" },
 ];
 
 /// The processor-cache (SLC) transition table: BASIC plus each extension
@@ -205,6 +234,10 @@ pub static CACHE_RULES: &[Rule] = &[
     Rule { ext: K::ExclusiveClean, from: C(MigClean), input: m(MsgTag::Fetch), to: &[C(Shared)], note: "another node reads the exclusive-clean copy" },
     Rule { ext: K::ExclusiveClean, from: C(MigClean), input: m(MsgTag::FetchInval), to: &[C(Invalid)], note: "another node writes; the copy is recalled" },
     Rule { ext: K::ExclusiveClean, from: C(MigClean), input: TraceInput::Replace, to: &[C(Invalid)], note: "unwritten replacement of the exclusive-clean copy" },
+    // ----------------------------------------------------------- REC
+    Rule { ext: K::Recovery, from: C(Shared), input: TraceInput::Crash, to: &[C(Invalid)], note: "node crash wipes the cache; the copy is lost" },
+    Rule { ext: K::Recovery, from: C(Dirty), input: TraceInput::Crash, to: &[C(Invalid)], note: "node crash wipes the cache; unwritten-back data is lost (counted)" },
+    Rule { ext: K::Recovery, from: C(MigClean), input: TraceInput::Crash, to: &[C(Invalid)], note: "node crash wipes the cache" },
 ];
 
 fn render_table(out: &mut String, rules: &[Rule]) {

@@ -222,6 +222,9 @@ pub enum TraceInput {
     CpuWrite,
     /// A replacement (direct-mapped victim eviction).
     Replace,
+    /// A node-crash fault event: the recovery layer purging a dead node's
+    /// state (cache wipes, directory purges, synthesized completions).
+    Crash,
 }
 
 impl TraceInput {
@@ -232,6 +235,7 @@ impl TraceInput {
             TraceInput::CpuRead => "CpuRead",
             TraceInput::CpuWrite => "CpuWrite",
             TraceInput::Replace => "Replace",
+            TraceInput::Crash => "Crash",
         }
     }
 }

@@ -123,6 +123,34 @@ impl LockCtrl {
         v
     }
 
+    /// The current holder of `lock` and its granted acquire sequence.
+    pub fn holder(&self, lock: BlockAddr) -> Option<(NodeId, u64)> {
+        self.locks.get(&lock).and_then(|s| s.holder)
+    }
+
+    /// Crash recovery: expunges a dead node from every lock homed here.
+    ///
+    /// Queued acquires from the node are discarded, and any lock it held is
+    /// handed to the next live waiter. Returns the grants to send, sorted
+    /// by lock address — iteration must not depend on hash order, or the
+    /// recovery path would break the simulator's determinism contract.
+    pub fn purge_node(&mut self, node: NodeId) -> Vec<(BlockAddr, NodeId, u64)> {
+        let mut addrs: Vec<BlockAddr> = self.locks.keys().copied().collect();
+        addrs.sort();
+        let mut grants = Vec::new();
+        for lock in addrs {
+            let st = self.locks.get_mut(&lock).expect("key just collected");
+            st.queue.retain(|(q, _)| *q != node);
+            while matches!(st.holder, Some((h, _)) if h == node) {
+                st.holder = st.queue.pop_front();
+                if let Some((next, seq)) = st.holder {
+                    grants.push((lock, next, seq));
+                }
+            }
+        }
+        grants
+    }
+
     /// Longest waiter queue observed.
     pub fn max_queue(&self) -> usize {
         self.max_queue
@@ -209,6 +237,23 @@ impl BarrierCtrl {
     /// Whether any barrier has partial arrivals.
     pub fn any_waiting(&self) -> bool {
         !self.arrived.is_empty()
+    }
+
+    /// Whether episode `id` has already released (crash recovery uses this
+    /// to decide if a recovering node slept through its barrier).
+    pub fn is_done(&self, id: u32) -> bool {
+        self.done.contains(&id)
+    }
+
+    /// Whether `node`'s arrival at episode `id` has been counted (and the
+    /// episode has not yet released). Crash recovery uses this to decide
+    /// whether a re-admitted node must re-execute its barrier arrival or
+    /// just wait for the release its previous incarnation already earned.
+    pub fn has_arrived(&self, node: NodeId, id: u32) -> bool {
+        self.arrived.get(&id).is_some_and(|mask| {
+            mask.get(node.idx() / 64)
+                .is_some_and(|w| w & (1u64 << (node.idx() % 64)) != 0)
+        })
     }
 
     /// Barriers with partial arrivals: `(id, arrival bitmask)` — the raw
@@ -344,6 +389,48 @@ mod tests {
         assert_eq!(locks.release(n(0), l(1), 1), Some((n(1), 7)));
         assert_eq!(locks.release(n(1), l(1), 7), None);
         assert!(!locks.any_held());
+    }
+
+    #[test]
+    fn purge_hands_dead_holders_locks_to_live_waiters() {
+        let mut locks = LockCtrl::new();
+        assert!(locks.acquire(n(0), l(1), 1));
+        assert!(!locks.acquire(n(1), l(1), 1));
+        assert!(!locks.acquire(n(2), l(1), 1));
+        assert!(locks.acquire(n(0), l(2), 1)); // held, nobody queued
+        assert!(locks.acquire(n(3), l(3), 1)); // unrelated lock
+        // Node 0 crashes: lock 1 goes to node 1, lock 2 frees, lock 3 stays.
+        let grants = locks.purge_node(n(0));
+        assert_eq!(grants, vec![(l(1), n(1), 1)]);
+        assert_eq!(locks.holder(l(1)), Some((n(1), 1)));
+        assert_eq!(locks.holder(l(2)), None);
+        assert_eq!(locks.holder(l(3)), Some((n(3), 1)));
+    }
+
+    #[test]
+    fn purge_drops_dead_waiters_from_queues() {
+        let mut locks = LockCtrl::new();
+        assert!(locks.acquire(n(0), l(1), 1));
+        assert!(!locks.acquire(n(1), l(1), 1));
+        assert!(!locks.acquire(n(2), l(1), 1));
+        // Node 1 crashes while queued: the hand-off skips it.
+        assert!(locks.purge_node(n(1)).is_empty());
+        assert_eq!(locks.release(n(0), l(1), 1), Some((n(2), 1)));
+    }
+
+    #[test]
+    fn barrier_done_episodes_are_queryable() {
+        let mut bar = BarrierCtrl::new(2);
+        assert!(!bar.is_done(0));
+        assert!(!bar.arrive(n(0), 0));
+        assert!(!bar.is_done(0));
+        assert!(bar.has_arrived(n(0), 0));
+        assert!(!bar.has_arrived(n(1), 0));
+        assert!(bar.arrive(n(1), 0));
+        assert!(bar.is_done(0));
+        assert!(!bar.is_done(1));
+        // A released episode reports no partial arrivals.
+        assert!(!bar.has_arrived(n(0), 0));
     }
 
     #[test]

@@ -21,6 +21,19 @@ impl Shard {
         self.cfg.protocol.consistency == Consistency::Sc
     }
 
+    /// Schedules the node's next processor step, stamped with its current
+    /// incarnation epoch (so the chain dies with the incarnation).
+    pub(crate) fn push_step(&mut self, nid: NodeId, at: Time) {
+        let ev = Ev::ProcStep(nid, self.epoch[nid.idx()]);
+        self.emit_push(at, ev);
+    }
+
+    /// Schedules an epoch-stamped FLWB drain step.
+    fn push_flwb(&mut self, nid: NodeId, at: Time) {
+        let ev = Ev::FlwbHead(nid, self.epoch[nid.idx()]);
+        self.emit_push(at, ev);
+    }
+
     /// Resumes a stalled processor at time `at`, charging the stall.
     pub(crate) fn resume(&mut self, nid: NodeId, at: Time) {
         let i = nid.idx();
@@ -28,7 +41,7 @@ impl Shard {
             ProcState::Stalled { kind, since } => {
                 self.nodes.stalls[i].add_stall(kind, (at.saturating_sub(since)).cycles());
                 self.nodes.pstate[i] = ProcState::Ready;
-                self.emit_push(at, Ev::ProcStep(nid));
+                self.push_step(nid, at);
             }
             other => debug_assert!(false, "resume of non-stalled proc: {other:?}"),
         }
@@ -39,7 +52,7 @@ impl Shard {
         let i = nid.idx();
         if !self.nodes.flwb_active[i] && !self.nodes.flwb[i].is_empty() {
             self.nodes.flwb_active[i] = true;
-            self.emit_push(at, Ev::FlwbHead(nid));
+            self.push_flwb(nid, at);
         }
     }
 
@@ -82,7 +95,7 @@ impl Shard {
                         now = t;
                         continue;
                     }
-                    self.emit_push(t, Ev::ProcStep(nid));
+                    self.push_step(nid, t);
                     return;
                 }
                 MemEvent::Read(a) => {
@@ -104,7 +117,7 @@ impl Shard {
                             now = t;
                             continue;
                         }
-                        self.emit_push(t, Ev::ProcStep(nid));
+                        self.push_step(nid, t);
                         return;
                     }
                     if self.nodes.flwb[i].push(FlwbEntry::Read(a)).is_err() {
@@ -144,7 +157,7 @@ impl Shard {
                             since: t,
                         };
                     } else {
-                        self.emit_push(t, Ev::ProcStep(nid));
+                        self.push_step(nid, t);
                     }
                     self.kick_flwb(nid, t);
                 }
@@ -161,7 +174,7 @@ impl Shard {
                     };
                     let _ = self.nodes.flwb[i].push(FlwbEntry::SwPrefetch(addr, exclusive));
                     self.nodes.pc[i] += 1;
-                    self.emit_push(t, Ev::ProcStep(nid));
+                    self.push_step(nid, t);
                     self.kick_flwb(nid, t);
                 }
                 MemEvent::Acquire(a) => {
@@ -183,6 +196,7 @@ impl Shard {
                             block,
                             kind: MsgKind::AcqReq,
                             version: seq,
+                            epoch: 0,
                         },
                     );
                 }
@@ -207,6 +221,7 @@ impl Shard {
                                 block,
                                 kind: MsgKind::RelReq,
                                 version: seq,
+                                epoch: 0,
                             },
                         );
                     } else {
@@ -225,7 +240,7 @@ impl Shard {
                             };
                             return;
                         }
-                        self.emit_push(now, Ev::ProcStep(nid));
+                        self.push_step(nid, now);
                         self.kick_flwb(nid, now);
                     }
                 }
@@ -247,6 +262,7 @@ impl Shard {
                                 block: BlockAddr::from_index(0),
                                 kind: MsgKind::BarArrive { id: id.0 },
                                 version: 0,
+                                epoch: 0,
                             },
                         );
                     } else {
@@ -315,6 +331,7 @@ impl Shard {
                             dirty_words: e.dirty_mask,
                         },
                         version: v,
+                        epoch: 0,
                     },
                 );
                 continue;
@@ -333,6 +350,7 @@ impl Shard {
                         block,
                         kind: MsgKind::WritebackReq { written },
                         version: v,
+                        epoch: 0,
                     },
                 );
                 continue;
@@ -373,6 +391,7 @@ impl Shard {
                             block,
                             kind: MsgKind::RelReq,
                             version: seq,
+                            epoch: 0,
                         },
                     );
                 }
@@ -386,6 +405,7 @@ impl Shard {
                             block: BlockAddr::from_index(0),
                             kind: MsgKind::BarArrive { id },
                             version: 0,
+                            epoch: 0,
                         },
                     );
                 }
@@ -579,6 +599,7 @@ impl Shard {
                 block,
                 kind: MsgKind::ReadReq { prefetch: false },
                 version: 0,
+                epoch: 0,
             },
         );
         // Adaptive sequential prefetching triggers on demand misses.
@@ -638,6 +659,7 @@ impl Shard {
                     block: pb,
                     kind: MsgKind::ReadReq { prefetch: true },
                     version: 0,
+                    epoch: 0,
                 },
             );
         }
@@ -685,6 +707,7 @@ impl Shard {
                     block,
                     kind: MsgKind::OwnReq { need_data: true },
                     version: 0,
+                    epoch: 0,
                 },
             );
         } else {
@@ -707,6 +730,7 @@ impl Shard {
                     block,
                     kind: MsgKind::ReadReq { prefetch: true },
                     version: 0,
+                    epoch: 0,
                 },
             );
         }
@@ -827,6 +851,7 @@ impl Shard {
                                 block,
                                 kind: MsgKind::OwnReq { need_data: false },
                                 version: 0,
+                                epoch: 0,
                             },
                         );
                     }
@@ -887,6 +912,7 @@ impl Shard {
                             block,
                             kind: MsgKind::OwnReq { need_data: true },
                             version: 0,
+                            epoch: 0,
                         },
                     );
                 }
@@ -915,6 +941,7 @@ impl Shard {
                 block,
                 kind: MsgKind::UpdateReq { dirty_words },
                 version: v,
+                epoch: 0,
             },
         );
     }
@@ -1007,6 +1034,7 @@ impl Shard {
                             block,
                             kind: MsgKind::SharedReplHint,
                             version: 0,
+                            epoch: 0,
                         },
                     );
                 }
@@ -1164,6 +1192,7 @@ impl Shard {
                             block,
                             kind: MsgKind::OwnReq { need_data: false },
                             version: 0,
+                            epoch: 0,
                         },
                     );
                 } else if upgrade_version.is_some() && upgrade_sc {
@@ -1293,6 +1322,7 @@ impl Shard {
                         block,
                         kind: MsgKind::InvalAck,
                         version: 0,
+                        epoch: 0,
                     },
                 );
             }
@@ -1329,6 +1359,7 @@ impl Shard {
                             block,
                             kind: MsgKind::FetchReply { written },
                             version,
+                            epoch: 0,
                         },
                     );
                 }
@@ -1357,6 +1388,7 @@ impl Shard {
                             block,
                             kind: MsgKind::FetchInvalReply { written },
                             version: line.version,
+                            epoch: 0,
                         },
                     );
                 } else if self.nodes.slc[i].contains(block) {
@@ -1406,6 +1438,7 @@ impl Shard {
                         block,
                         kind: MsgKind::UpdateAck { invalidated },
                         version: 0,
+                        epoch: 0,
                     },
                 );
             }
@@ -1442,6 +1475,7 @@ impl Shard {
                         block,
                         kind: MsgKind::InterrogateReply { keep },
                         version: 0,
+                        epoch: 0,
                     },
                 );
             }
@@ -1519,6 +1553,10 @@ impl Shard {
         self.nack_retries += 1;
         let backoff = self.cfg.nack_retry_base << (attempts - 1).min(10);
         let home = self.home_of(block);
+        // Stamp the requester's incarnation epoch in the sender half: a
+        // retry scheduled by a since-crashed incarnation must not fire a
+        // phantom request after recovery (`send_msg` re-stamps on the
+        // actual send, but the fence checks this stored stamp first).
         self.emit_push(
             now + Time::from_cycles(backoff),
             Ev::Retry(Msg {
@@ -1527,6 +1565,7 @@ impl Shard {
                 block,
                 kind,
                 version: 0,
+                epoch: u32::from(self.epoch[nid.idx()]) << 16,
             }),
         );
     }

@@ -6,6 +6,8 @@ use dirext_kernel::Time;
 use dirext_memsys::Timing;
 use dirext_network::{FaultPlan, HierMeshNetwork, MeshNetwork, Network, RingNetwork, UniformNetwork};
 
+use crate::nodefault::NodeFaultPlan;
+
 /// Which interconnection network to build.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetworkKind {
@@ -89,6 +91,10 @@ pub struct MachineConfig {
     /// Fault-injection plan applied on top of the network (`None` or an
     /// inactive plan leaves the topology untouched).
     pub fault_plan: Option<FaultPlan>,
+    /// Whole-node crash/recovery schedule (`None` or an inactive plan
+    /// keeps the machine on the exact fault-free code path). Validated
+    /// against `procs` when the machine runs.
+    pub node_fault_plan: Option<NodeFaultPlan>,
     /// Progress watchdog: abort with a diagnostic snapshot when no
     /// processor makes progress for this many pclocks (0 disables). Must
     /// exceed the longest legitimate quiet period of the workload (e.g. a
@@ -154,6 +160,7 @@ impl MachineConfig {
             check_invariants: true,
             max_events: 2_000_000_000,
             fault_plan: None,
+            node_fault_plan: None,
             watchdog_pclocks: 1_000_000,
             audit_every: 0,
             nack_retry_budget: 16,
@@ -184,6 +191,12 @@ impl MachineConfig {
     /// Wraps the network in a fault-injection layer driven by `plan`.
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Installs a whole-node crash/recovery schedule.
+    pub fn with_node_faults(mut self, plan: NodeFaultPlan) -> Self {
+        self.node_fault_plan = Some(plan);
         self
     }
 

@@ -332,6 +332,13 @@ impl Machine {
         let one = Time::from_cycles(1);
         loop {
             let Some(t0) = self.queue.peek_time() else {
+                // A momentarily empty queue with fault operations pending
+                // is not quiescence: a scheduled recovery may be the only
+                // thing left that restarts the machine.
+                if self.next_fault_at().is_some() {
+                    self.run_direct_until(None)?;
+                    continue;
+                }
                 return Ok(());
             };
             let w1 = t0 + self.lookahead;
@@ -339,6 +346,13 @@ impl Machine {
             // everything up to it) serially.
             if let Some(wd) = self.watchdog_at.filter(|&wd| wd < w1) {
                 self.run_direct_until(Some(wd + one))?;
+                continue;
+            }
+            // Node-fault operations are window barriers: a crash,
+            // reconstruction or recovery mutates state across shards, so
+            // everything up to and including it runs serially.
+            if let Some(fa) = self.next_fault_at().filter(|&fa| fa < w1) {
+                self.run_direct_until(Some(fa + one))?;
                 continue;
             }
             let active = (0..nsh)

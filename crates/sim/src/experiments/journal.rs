@@ -31,15 +31,25 @@
 //!
 //! # File format
 //!
-//! Line 1 is the header [`HEADER`]; every further line is one JSON
-//! record: `status` is `"ok"` (with the full metrics) or
-//! `"failed"` (with the error text and attempt count). Records are
-//! written under a lock with a single `write_all` and duplicate keys are
-//! resolved last-wins, so concurrent workers and re-runs are safe. A
-//! crash can at worst truncate the final line; unparseable trailing lines
-//! are dropped on load and counted in [`Journal::recovered_lines`].
-//! Failed cells are *not* treated as completed — a resumed sweep runs
-//! them again.
+//! Line 1 is a version header; every further line is one record:
+//! `status` is `"ok"` (with the full metrics) or `"failed"` (with the
+//! error text and attempt count). New journals are written as version 2
+//! ([`HEADER_V2`]): each record line is prefixed with the CRC32 of its
+//! JSON payload (`xxxxxxxx {json}`), so a storage bit-flip that leaves
+//! the JSON well-formed — a corrupted digit inside a metric — is caught
+//! by checksum instead of silently merged into an artifact. Version-1
+//! files ([`HEADER`], no checksums) still load, and a resumed v1 journal
+//! keeps appending v1 lines so the file stays internally consistent.
+//!
+//! Records are written under a lock with a single `write_all` and
+//! duplicate keys are resolved last-wins, so concurrent workers and
+//! re-runs are safe. A crash can at worst truncate the final line;
+//! unparseable trailing lines are dropped on load and counted in
+//! [`Journal::recovered_lines`], while checksum-failed lines whose JSON
+//! still parses are quarantined — dropped and counted separately in
+//! [`Journal::corrupt_lines`], and the cells they claimed to record run
+//! again. Failed cells are *not* treated as completed — a resumed sweep
+//! runs them again.
 //!
 //! # Fencing tokens
 //!
@@ -67,8 +77,34 @@ use serde::{Deserialize, Serialize};
 
 use crate::NetworkKind;
 
-/// First line of every journal file; identifies the format version.
+/// Version-1 header: record lines are bare JSON, no checksums. Still
+/// readable; no longer written for new journals.
 pub const HEADER: &str = "{\"dirext_journal\":1}";
+
+/// Version-2 header: every record line is `xxxxxxxx {json}` where the
+/// prefix is the lowercase-hex CRC32 (IEEE) of the JSON payload bytes.
+pub const HEADER_V2: &str = "{\"dirext_journal\":2,\"line_crc\":\"crc32\"}";
+
+/// CRC32 (IEEE 802.3, reflected) of `bytes` — the checksum `gzip` and
+/// `cksum -o3` compute. Bitwise, no table: journal lines are small and
+/// this keeps the format self-contained.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            crc = (crc >> 1) ^ (0xEDB8_8320 & (0u32.wrapping_sub(crc & 1)));
+        }
+    }
+    !crc
+}
+
+/// Splits a v2 record line into its checksum prefix and JSON payload.
+fn split_crc(line: &str) -> Option<(u32, &str)> {
+    let (prefix, rest) = line.split_at_checked(8)?;
+    let payload = rest.strip_prefix(' ')?;
+    u32::from_str_radix(prefix, 16).ok().map(|c| (c, payload))
+}
 
 /// One record of the journal file.
 #[derive(Debug, Clone, Serialize)]
@@ -149,6 +185,9 @@ pub struct FailedCell {
 
 struct Inner {
     file: std::fs::File,
+    /// Whether appended lines carry the v2 checksum prefix (false only
+    /// when resuming a version-1 file, which must stay internally v1).
+    crc: bool,
     /// Completed cells only (failed cells must re-run on resume).
     completed: HashMap<String, OkCell>,
     /// Terminal failures (diagnostics for quarantine reports; a key never
@@ -166,6 +205,7 @@ pub struct Journal {
     inner: Mutex<Inner>,
     loaded: usize,
     recovered: usize,
+    corrupt: usize,
 }
 
 impl fmt::Debug for Journal {
@@ -174,29 +214,43 @@ impl fmt::Debug for Journal {
             .field("path", &self.path)
             .field("loaded", &self.loaded)
             .field("recovered", &self.recovered)
+            .field("corrupt", &self.corrupt)
             .finish_non_exhaustive()
     }
 }
 
 /// Parses journal record lines (everything after the header), building
-/// the completed/failed maps with last-wins semantics.
-fn parse_records<'a>(
-    lines: impl Iterator<Item = &'a str>,
-) -> (
-    HashMap<String, OkCell>,
-    HashMap<String, FailedCell>,
-    usize,
-    usize,
-) {
+/// the completed/failed maps with last-wins semantics. With `crc` set
+/// (version-2 files) every line must carry a matching checksum prefix: a
+/// mismatch whose payload still parses as JSON is a quarantined
+/// corruption, while a mismatch that is also unparseable is the familiar
+/// crash-torn tail.
+fn parse_records<'a>(lines: impl Iterator<Item = &'a str>, crc: bool) -> JournalScan {
     let mut completed: HashMap<String, OkCell> = HashMap::new();
     let mut failed: HashMap<String, FailedCell> = HashMap::new();
     let mut loaded = 0usize;
     let mut recovered = 0usize;
+    let mut corrupt = 0usize;
     for line in lines {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<JournalLine>(line) {
+        let payload = if crc {
+            match split_crc(line) {
+                Some((stored, payload)) if stored == crc32(payload.as_bytes()) => payload,
+                Some((_, payload)) if serde_json::from_str::<JournalLine>(payload).is_ok() => {
+                    corrupt += 1;
+                    continue;
+                }
+                _ => {
+                    recovered += 1;
+                    continue;
+                }
+            }
+        } else {
+            line
+        };
+        match serde_json::from_str::<JournalLine>(payload) {
             Ok(rec) => {
                 loaded += 1;
                 if rec.status == "ok" {
@@ -231,13 +285,19 @@ fn parse_records<'a>(
             Err(_) => recovered += 1,
         }
     }
-    (completed, failed, loaded, recovered)
+    JournalScan {
+        completed,
+        failed,
+        loaded,
+        recovered,
+        corrupt,
+    }
 }
 
 /// Classifies the first line of a journal file.
 enum HeaderCheck {
-    /// Valid header; parse the rest.
-    Ok,
+    /// Valid header; parse the rest (`crc` = version-2 checksummed lines).
+    Ok { crc: bool },
     /// Empty file or a crash-torn header prefix: treat as fresh.
     Fresh { recovered: usize },
     /// Some other file entirely.
@@ -248,11 +308,12 @@ fn check_header(text: &str) -> HeaderCheck {
     let mut lines = text.lines();
     match lines.next() {
         None => HeaderCheck::Fresh { recovered: 0 },
-        Some(first) if first.trim() == HEADER => HeaderCheck::Ok,
+        Some(first) if first.trim() == HEADER_V2 => HeaderCheck::Ok { crc: true },
+        Some(first) if first.trim() == HEADER => HeaderCheck::Ok { crc: false },
         // A SIGKILL during `create` can leave a prefix of the header with
         // no newline; no record can follow it, so starting over is safe.
         Some(first)
-            if HEADER.starts_with(first.trim_end())
+            if (HEADER_V2.starts_with(first.trim_end()) || HEADER.starts_with(first.trim_end()))
                 && lines.next().is_none()
                 && !text.ends_with('\n') =>
         {
@@ -285,18 +346,20 @@ impl Journal {
             .truncate(true)
             .open(path)
             .map_err(|e| JournalError(format!("cannot create {}: {e}", path.display())))?;
-        file.write_all(format!("{HEADER}\n").as_bytes())
+        file.write_all(format!("{HEADER_V2}\n").as_bytes())
             .map_err(|e| JournalError(format!("cannot write {}: {e}", path.display())))?;
         Ok(Journal {
             path: path.to_owned(),
             inner: Mutex::new(Inner {
                 file,
+                crc: true,
                 completed: HashMap::new(),
                 failed: HashMap::new(),
                 write_error: None,
             }),
             loaded: 0,
             recovered: 0,
+            corrupt: 0,
         })
     }
 
@@ -322,8 +385,8 @@ impl Journal {
             }
             Err(e) => return Err(JournalError(format!("cannot read {}: {e}", path.display()))),
         };
-        match check_header(&text) {
-            HeaderCheck::Ok => {}
+        let crc = match check_header(&text) {
+            HeaderCheck::Ok { crc } => crc,
             HeaderCheck::Fresh { recovered } => {
                 std::fs::remove_file(path).ok();
                 let mut j = Journal::create(path)?;
@@ -332,12 +395,12 @@ impl Journal {
             }
             HeaderCheck::Foreign => {
                 return Err(JournalError(format!(
-                    "{} is not a dirext journal (missing `{HEADER}` header)",
+                    "{} is not a dirext journal (expected a `{HEADER_V2}` or `{HEADER}` header)",
                     path.display()
                 )));
             }
-        }
-        let (completed, failed, loaded, recovered) = parse_records(text.lines().skip(1));
+        };
+        let scan = parse_records(text.lines().skip(1), crc);
         let file = OpenOptions::new()
             .append(true)
             .open(path)
@@ -346,12 +409,14 @@ impl Journal {
             path: path.to_owned(),
             inner: Mutex::new(Inner {
                 file,
-                completed,
-                failed,
+                crc,
+                completed: scan.completed,
+                failed: scan.failed,
                 write_error: None,
             }),
-            loaded,
-            recovered,
+            loaded: scan.loaded,
+            recovered: scan.recovered,
+            corrupt: scan.corrupt,
         })
     }
 
@@ -368,6 +433,13 @@ impl Journal {
     /// Unparseable (crash-truncated) lines dropped on load.
     pub fn recovered_lines(&self) -> usize {
         self.recovered
+    }
+
+    /// Checksum-failed but well-formed lines quarantined on load: the
+    /// on-disk bytes were altered after the record was written (storage
+    /// corruption), so the record is untrusted and its cell re-runs.
+    pub fn corrupt_lines(&self) -> usize {
+        self.corrupt
     }
 
     /// Number of distinct completed cells currently known.
@@ -501,6 +573,11 @@ impl Journal {
             }
         };
         let mut inner = self.inner.lock().expect("journal lock");
+        let rendered = if inner.crc {
+            format!("{:08x} {rendered}", crc32(rendered.as_bytes()))
+        } else {
+            rendered
+        };
         // One write_all per record keeps lines whole under concurrency
         // (the mutex) and leaves at most one torn line after SIGKILL.
         if let Err(e) = inner.file.write_all(format!("{rendered}\n").as_bytes()) {
@@ -554,6 +631,8 @@ pub struct JournalScan {
     pub loaded: usize,
     /// Unparseable (crash-torn) lines dropped.
     pub recovered: usize,
+    /// Checksum-failed but well-formed lines quarantined (v2 files only).
+    pub corrupt: usize,
 }
 
 /// Parses a journal file without opening it for append. As lenient as
@@ -571,8 +650,8 @@ pub fn scan(path: impl AsRef<Path>) -> Result<JournalScan, JournalError> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalScan::default()),
         Err(e) => return Err(JournalError(format!("cannot read {}: {e}", path.display()))),
     };
-    match check_header(&text) {
-        HeaderCheck::Ok => {}
+    let crc = match check_header(&text) {
+        HeaderCheck::Ok { crc } => crc,
         HeaderCheck::Fresh { recovered } => {
             return Ok(JournalScan {
                 recovered,
@@ -581,18 +660,12 @@ pub fn scan(path: impl AsRef<Path>) -> Result<JournalScan, JournalError> {
         }
         HeaderCheck::Foreign => {
             return Err(JournalError(format!(
-                "{} is not a dirext journal (missing `{HEADER}` header)",
+                "{} is not a dirext journal (expected a `{HEADER_V2}` or `{HEADER}` header)",
                 path.display()
             )));
         }
-    }
-    let (completed, failed, loaded, recovered) = parse_records(text.lines().skip(1));
-    Ok(JournalScan {
-        completed,
-        failed,
-        loaded,
-        recovered,
-    })
+    };
+    Ok(parse_records(text.lines().skip(1), crc))
 }
 
 /// What [`assemble`] folded.
@@ -606,6 +679,8 @@ pub struct AssembleSummary {
     pub failed: usize,
     /// Crash-torn lines dropped across all inputs.
     pub recovered: usize,
+    /// Checksum-failed lines quarantined across all inputs.
+    pub corrupt: usize,
 }
 
 /// Folds one-or-many worker journals into a single merged journal at
@@ -629,9 +704,11 @@ pub fn assemble(paths: &[PathBuf], out: &Path) -> Result<AssembleSummary, Journa
     let mut completed: HashMap<String, OkCell> = HashMap::new();
     let mut failed: HashMap<String, FailedCell> = HashMap::new();
     let mut recovered = 0usize;
+    let mut corrupt = 0usize;
     for path in &paths {
         let scan = scan(path)?;
         recovered += scan.recovered;
+        corrupt += scan.corrupt;
         for (key, cell) in scan.completed {
             match completed.get(&key) {
                 Some(cur) if cur.fence > cell.fence => {}
@@ -650,10 +727,11 @@ pub fn assemble(paths: &[PathBuf], out: &Path) -> Result<AssembleSummary, Journa
         }
     }
     failed.retain(|k, _| !completed.contains_key(k));
-    let mut text = String::from(HEADER);
+    let mut text = String::from(HEADER_V2);
     text.push('\n');
     let render = |line: &JournalLine| -> Result<String, JournalError> {
         serde_json::to_string(line)
+            .map(|json| format!("{:08x} {json}", crc32(json.as_bytes())))
             .map_err(|e| JournalError(format!("assemble: serialize {}: {e}", line.key)))
     };
     let mut ok_keys: Vec<&String> = completed.keys().collect();
@@ -691,6 +769,7 @@ pub fn assemble(paths: &[PathBuf], out: &Path) -> Result<AssembleSummary, Journa
         cells: completed.len(),
         failed: failed.len(),
         recovered,
+        corrupt,
     })
 }
 
@@ -873,6 +952,90 @@ mod tests {
         assert_eq!(j.recovered_lines(), 0, "old records are not dropped");
         assert_eq!(j.lookup_fenced("old/cell").expect("hit").0, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_in_a_record_is_quarantined_not_merged() {
+        let path = tmp("bitflip");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path).expect("create");
+        j.record_ok("cell/clean", 1, &sample_metrics(111));
+        j.record_ok("cell/flipped", 1, &sample_metrics(999));
+        drop(j);
+        // Flip one bit inside a digit of the second record's metrics. The
+        // line stays perfectly well-formed JSON — only the checksum can
+        // tell the record was altered after it was written.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let pos = bytes
+            .windows(3)
+            .position(|w| w == b"999")
+            .expect("the corrupted value is in the file");
+        bytes[pos] ^= 0x01; // '9' (0x39) -> '8' (0x38)
+        std::fs::write(&path, &bytes).unwrap();
+        let j = Journal::resume(&path).expect("resume survives corruption");
+        assert_eq!(j.corrupt_lines(), 1, "the flipped line is quarantined");
+        assert_eq!(j.recovered_lines(), 0, "corruption is not a torn tail");
+        assert_eq!(j.lookup("cell/clean").expect("hit").exec_cycles, 111);
+        assert!(
+            j.lookup("cell/flipped").is_none(),
+            "the altered record must not be merged; its cell re-runs"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_journals_load_and_keep_appending_v1_lines() {
+        let path = tmp("v1-compat");
+        let metrics_json = serde_json::to_string(&sample_metrics(5)).unwrap();
+        std::fs::write(
+            &path,
+            format!(
+                "{HEADER}\n{{\"key\":\"old/cell\",\"status\":\"ok\",\"attempts\":1,\
+                 \"fence\":0,\"error\":null,\"metrics\":{metrics_json}}}\n"
+            ),
+        )
+        .unwrap();
+        let j = Journal::resume(&path).expect("version-1 journal loads");
+        assert_eq!(j.corrupt_lines(), 0);
+        assert_eq!(j.lookup("old/cell").expect("hit").exec_cycles, 5);
+        // Appends must match the file's own version, or a later resume
+        // would see checksum prefixes as garbage.
+        j.record_ok("new/cell", 1, &sample_metrics(6));
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().skip(1).all(|l| l.starts_with('{')),
+            "v1 files must stay checksum-free: {text}"
+        );
+        let j = Journal::resume(&path).expect("mixed-age v1 journal round-trips");
+        assert_eq!(j.loaded_records(), 2);
+        assert_eq!(j.lookup("new/cell").expect("hit").exec_cycles, 6);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn new_journals_checksum_every_line() {
+        let path = tmp("v2-lines");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::create(&path).expect("create");
+        j.record_ok("k", 1, &sample_metrics(1));
+        j.record_failed("k2", 2, "boom");
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(HEADER_V2));
+        for line in lines {
+            let (stored, payload) = split_crc(line).expect("crc prefix");
+            assert_eq!(stored, crc32(payload.as_bytes()), "checksum holds: {line}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_reference_vector() {
+        // The classic check value for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 
     #[test]

@@ -49,7 +49,7 @@ use dirext_trace::Workload;
 use super::fleet::Fleet;
 use super::journal::{cell_key, Journal};
 use super::pool;
-use crate::{Machine, MachineConfig, NetworkKind, SimError};
+use crate::{Machine, MachineConfig, NetworkKind, NodeFaultPlan, SimError};
 
 /// Options shared by every sweep driver's `*_with` variant.
 ///
@@ -213,6 +213,11 @@ pub struct Cell<'a> {
     /// Tag distinguishing otherwise-identical configurations (e.g. which
     /// timing override applies); part of the journal cell key.
     pub variant: &'static str,
+    /// Whole-node crash/recovery schedule for this cell (the `degrade`
+    /// sweep varies it per cell; `None` or an inactive plan is the
+    /// fault-free path). An active plan is encoded into the journal cell
+    /// key, so faulted and fault-free cells never share a record.
+    pub node_fault: Option<NodeFaultPlan>,
 }
 
 impl<'a> Cell<'a> {
@@ -236,6 +241,7 @@ impl<'a> Cell<'a> {
             timing: None,
             dir: DirOrg::FullMap,
             variant: "base",
+            node_fault: None,
         }
     }
 
@@ -250,6 +256,29 @@ impl<'a> Cell<'a> {
     pub fn with_dir(mut self, dir: DirOrg) -> Self {
         self.dir = dir;
         self
+    }
+
+    /// Returns this cell under a whole-node crash/recovery schedule.
+    pub fn with_node_faults(mut self, plan: NodeFaultPlan) -> Self {
+        self.node_fault = Some(plan);
+        self
+    }
+
+    /// Journal-key descriptor of this cell's node-fault schedule: empty
+    /// for the fault-free path (so existing journals stay resumable byte
+    /// for byte), otherwise a stable rendering of every crash window.
+    fn node_fault_key(&self) -> String {
+        match &self.node_fault {
+            Some(p) if p.is_active() => {
+                let windows: Vec<String> = p
+                    .events
+                    .iter()
+                    .map(|e| format!("{}@{}-{}", e.node.0, e.crash_at, e.recover_at))
+                    .collect();
+                format!("/nf=d{}:{}", p.detect_delay, windows.join(","))
+            }
+            _ => String::new(),
+        }
     }
 }
 
@@ -468,7 +497,7 @@ pub fn run_cells(
     let keys: Vec<String> = cells
         .iter()
         .map(|c| {
-            cell_key(
+            let mut key = cell_key(
                 driver,
                 c.workload,
                 c.kind,
@@ -477,7 +506,9 @@ pub fn run_cells(
                 c.dir,
                 c.variant,
                 opts.fault.as_ref(),
-            )
+            );
+            key.push_str(&c.node_fault_key());
+            key
         })
         .collect();
 
@@ -643,7 +674,7 @@ pub(super) fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts, fence: u64) 
                     panic!("chaos hook: deliberate panic in cell {key}");
                 }
             }
-            run_protocol_engine(
+            run_protocol_full(
                 cell.workload,
                 cell.kind,
                 cell.consistency,
@@ -651,6 +682,7 @@ pub(super) fn run_one(key: &str, cell: &Cell<'_>, opts: &SweepOpts, fence: u64) 
                 cell.dir,
                 cell.timing.clone(),
                 fault,
+                cell.node_fault.clone(),
                 opts.sim_threads,
             )
         }));
@@ -805,6 +837,38 @@ pub fn run_protocol_engine(
     fault: Option<FaultPlan>,
     sim_threads: usize,
 ) -> Result<Metrics, SimError> {
+    run_protocol_full(
+        workload,
+        kind,
+        consistency,
+        network,
+        dir,
+        timing,
+        fault,
+        None,
+        sim_threads,
+    )
+}
+
+/// [`run_protocol_engine`] with a whole-node crash/recovery schedule on
+/// top of the optional link-fault plan — the fully-loaded entry point the
+/// `degrade` sweep bottoms out in.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the run.
+#[allow(clippy::too_many_arguments)]
+pub fn run_protocol_full(
+    workload: &Workload,
+    kind: ProtocolKind,
+    consistency: Consistency,
+    network: NetworkKind,
+    dir: DirOrg,
+    timing: Option<Timing>,
+    fault: Option<FaultPlan>,
+    node_fault: Option<NodeFaultPlan>,
+    sim_threads: usize,
+) -> Result<Metrics, SimError> {
     let mut cfg = MachineConfig::new(workload.procs(), kind.config(consistency));
     cfg = cfg
         .with_network(network)
@@ -815,6 +879,9 @@ pub fn run_protocol_engine(
     }
     if let Some(p) = fault {
         cfg = cfg.with_faults(p);
+    }
+    if let Some(p) = node_fault {
+        cfg = cfg.with_node_faults(p);
     }
     Machine::new(cfg).run(workload)
 }

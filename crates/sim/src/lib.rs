@@ -48,12 +48,14 @@ mod home;
 mod invariants;
 mod machine;
 mod node;
+mod nodefault;
 #[cfg(test)]
 mod tests;
 
 pub use config::{MachineConfig, NetworkKind};
 pub use dirext_network::{FaultPlan, FaultStats};
 pub use machine::{Machine, SimError};
+pub use nodefault::{NodeFaultEvent, NodeFaultPlan, NodeFaultPlanError};
 
 // Re-export the layers a downstream user needs to drive the simulator, so
 // `dirext-sim` works as a facade crate.

@@ -5,17 +5,19 @@ use std::fmt::Write as _;
 
 use dirext_core::blockmap::BlockMap;
 use dirext_core::config::Consistency;
+use dirext_core::line::CacheState;
 use dirext_core::msg::{Msg, MsgKind};
-use dirext_core::proto::{ExtSet, TraceRing, TransitionRecord};
+use dirext_core::proto::trace::{CacheTag, TraceInput};
+use dirext_core::proto::{ExtSet, ExtStack, TraceRing, TransitionRecord};
 use dirext_core::ProtocolError;
 use dirext_kernel::{ShardedEventQueue, Time};
 use dirext_network::{FaultyNetwork, Network, TrafficClass};
-use dirext_stats::{Metrics, MissClassifier};
+use dirext_stats::{Metrics, MissClassifier, StallKind};
 use dirext_trace::{BlockAddr, NodeId, Workload, WorkloadError};
 
 use crate::home::Home;
 use crate::invariants;
-use crate::node::Nodes;
+use crate::node::{Nodes, ProcState, SlwbOp, SyncWait};
 use crate::MachineConfig;
 
 /// Simulation failure.
@@ -124,10 +126,13 @@ impl From<ProtocolError> for SimError {
 /// Simulation events.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum Ev {
-    /// The processor attempts its next program event.
-    ProcStep(NodeId),
-    /// Try to process the head of a node's first-level write buffer.
-    FlwbHead(NodeId),
+    /// The processor attempts its next program event. Tagged with the
+    /// node's incarnation epoch: a step chain scheduled by a since-crashed
+    /// incarnation must not double-drive the recovered processor.
+    ProcStep(NodeId, u16),
+    /// Try to process the head of a node's first-level write buffer
+    /// (epoch-tagged like `ProcStep`).
+    FlwbHead(NodeId, u16),
     /// A protocol message arrives at its destination node.
     Deliver(Msg),
     /// Re-send a NACKed request after its backoff expired.
@@ -211,6 +216,19 @@ pub(crate) struct Shard {
     /// duplicated NACK that lands in this window must not fork a second
     /// retry chain.
     pub(crate) retry_inflight: Vec<BlockMap<()>>,
+    /// Node liveness under the node-fault plan (all true without one).
+    /// Every shard holds a full-length copy: fault operations apply
+    /// serially between windows on the coordinator, so copies never
+    /// diverge.
+    pub(crate) alive: Vec<bool>,
+    /// Per-node incarnation epochs, bumped when a crashed node rejoins.
+    /// Full-length copies, kept in sync like `alive`.
+    pub(crate) epoch: Vec<u16>,
+    /// Events and messages dropped because an endpoint was crashed.
+    pub(crate) crash_drops: u64,
+    /// Events and messages dropped because they were stamped by a previous
+    /// incarnation of a since-recovered node.
+    pub(crate) stale_epoch_drops: u64,
     /// Recycled buffer for directory transaction records: taken before each
     /// `Directory::handle_into` call and returned after its actions are
     /// dispatched, so steady-state home processing never allocates.
@@ -245,12 +263,19 @@ impl Shard {
     /// infeasible-configuration path, where building a directory would
     /// panic (the error surfaces from [`Machine::run`] instead).
     fn new(cfg: &MachineConfig, lo: usize, hi: usize, remote_floor: Time, with_homes: bool) -> Self {
+        let recovery = cfg
+            .node_fault_plan
+            .as_ref()
+            .is_some_and(crate::NodeFaultPlan::is_active);
         let homes: Vec<Home> = if with_homes {
             (0..cfg.procs)
                 .map(|_| {
                     let mut h = Home::new(cfg.procs, cfg.dir_org, &cfg.protocol);
                     if cfg.trace_capacity > 0 {
                         h.dir.enable_trace(cfg.trace_capacity);
+                    }
+                    if recovery {
+                        h.dir.enable_recovery();
                     }
                     h
                 })
@@ -269,6 +294,10 @@ impl Shard {
             nack_retries: 0,
             retry_attempts: (0..cfg.procs).map(|_| BlockMap::new()).collect(),
             retry_inflight: (0..cfg.procs).map(|_| BlockMap::new()).collect(),
+            alive: vec![true; cfg.procs],
+            epoch: vec![0; cfg.procs],
+            crash_drops: 0,
+            stale_epoch_drops: 0,
             action_pool: Vec::with_capacity(2 * cfg.procs),
             ctrace: if cfg.trace_capacity > 0 {
                 TraceRing::with_capacity(cfg.trace_capacity)
@@ -338,7 +367,12 @@ impl Shard {
     /// injection a message may be delivered late (jitter, retransmission),
     /// twice (duplication) or never (loss after the retransmission
     /// budget) — the watchdog catches the latter.
-    pub(crate) fn send_msg(&mut self, t: Time, msg: Msg) {
+    pub(crate) fn send_msg(&mut self, t: Time, mut msg: Msg) {
+        // Stamp both endpoints' incarnation epochs (sender high half,
+        // receiver low half). The delivery fence compares these against the
+        // then-current epochs to recognize mail from a previous life.
+        msg.epoch = (u32::from(self.epoch[msg.src.idx()]) << 16)
+            | u32::from(self.epoch[msg.dst.idx()]);
         let bus = self.cfg.bus_time();
         let start = self.nodes.bus_res[msg.src.idx()].acquire(t, bus);
         let enter = start + bus;
@@ -360,17 +394,26 @@ impl Shard {
         debug_assert!(t >= self.now, "shard time went backwards");
         self.now = t;
         match ev {
-            Ev::ProcStep(n) => {
+            Ev::ProcStep(n, e) => {
                 let i = n.idx();
+                if self.fence_node_ev(i, e) {
+                    return false;
+                }
                 let before = (self.nodes.pc[i], self.nodes.finish[i].is_some());
                 self.proc_step(n, t);
                 (self.nodes.pc[i], self.nodes.finish[i].is_some()) != before
             }
-            Ev::FlwbHead(n) => {
+            Ev::FlwbHead(n, e) => {
+                if self.fence_node_ev(n.idx(), e) {
+                    return false;
+                }
                 self.flwb_head(n, t);
                 false
             }
             Ev::Deliver(msg) => {
+                if self.fence_msg(&msg) {
+                    return false;
+                }
                 if is_home_bound(msg.kind) {
                     self.home_deliver(msg, t);
                 } else {
@@ -379,11 +422,65 @@ impl Shard {
                 false
             }
             Ev::Retry(msg) => {
-                self.retry_inflight[msg.src.idx()].remove(msg.block);
+                let i = msg.src.idx();
+                if self.fence_node_ev(i, (msg.epoch >> 16) as u16) {
+                    return false;
+                }
+                self.retry_inflight[i].remove(msg.block);
                 self.send_msg(t, msg);
                 false
             }
             Ev::Watchdog => unreachable!("watchdog events are handled by the coordinator"),
+        }
+    }
+
+    /// Fences a node-local event (step chain, buffer drain, retry) against
+    /// the node's liveness and incarnation epoch. Returns `true` when the
+    /// event belongs to a dead or previous incarnation and must be dropped.
+    fn fence_node_ev(&mut self, i: usize, e: u16) -> bool {
+        if !self.alive[i] {
+            self.crash_drops += 1;
+            true
+        } else if e != self.epoch[i] {
+            self.stale_epoch_drops += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The crash fence applied to every delivery; returns `true` when the
+    /// message must be dropped.
+    ///
+    /// The home half of a node (memory, directory, lock and barrier
+    /// controllers) survives its processor's crash, so home-bound traffic
+    /// is fenced by its *source* under fail-stop semantics: everything a
+    /// dead or previous incarnation put on the wire is lost. No pending
+    /// directory operation relies on in-flight luck — the reconstruction
+    /// sweep synthesizes every acknowledgment the dead node can no longer
+    /// deliver, NACKs its queued requests, and hands its locks onward.
+    /// Cache-bound traffic is fenced by its *destination*: a dead node
+    /// receives nothing, and a recovered one receives nothing addressed to
+    /// its previous life.
+    fn fence_msg(&mut self, msg: &Msg) -> bool {
+        let endpoint = if is_home_bound(msg.kind) {
+            msg.src.idx()
+        } else {
+            msg.dst.idx()
+        };
+        let stamped = if is_home_bound(msg.kind) {
+            (msg.epoch >> 16) as u16
+        } else {
+            (msg.epoch & 0xffff) as u16
+        };
+        if !self.alive[endpoint] {
+            self.crash_drops += 1;
+            true
+        } else if stamped != self.epoch[endpoint] {
+            self.stale_epoch_drops += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -474,6 +571,7 @@ impl Shard {
                         block: msg.block,
                         kind: act.kind,
                         version,
+                        epoch: 0,
                     };
                     self.send_msg(t, out);
                 }
@@ -499,8 +597,141 @@ impl Shard {
                 block,
                 kind,
                 version,
+                epoch: 0,
             },
         );
+    }
+
+    // -------------------------------------------------------- node faults
+
+    /// Kills node `n`'s cache side at time `t`: both cache levels, the
+    /// write buffers, the write cache and every in-flight request die with
+    /// the processor. Returns the blocks whose most recent written value
+    /// may have existed only on the dead node (dirty lines, buffered
+    /// writes) — the machine marks these as degraded so the end-of-run
+    /// value check knows memory legitimately rewound.
+    pub(crate) fn crash_node(&mut self, n: NodeId, t: Time) -> Vec<BlockAddr> {
+        let i = n.idx();
+        // Close out the stall the crash interrupts, so the stall account
+        // stays consistent even though the operation never completes.
+        if let ProcState::Stalled { kind, since } = self.nodes.pstate[i] {
+            self.nodes.stalls[i].add_stall(kind, t.saturating_sub(since).cycles());
+        }
+        let mut lost: Vec<BlockAddr> = Vec::new();
+        let resident: Vec<(BlockAddr, CacheState)> = self.nodes.slc[i]
+            .iter()
+            .map(|(b, line)| (b, line.state))
+            .collect();
+        for &(b, state) in &resident {
+            if state == CacheState::Dirty {
+                lost.push(b);
+            }
+        }
+        // In-flight writes: ownership/update/writeback requests, upgrades
+        // riding a read, write-cache contents and backlogged victims all
+        // carry version stamps the global write count already saw.
+        for e in &self.nodes.slwb[i] {
+            let writes = match e.op {
+                SlwbOp::Own { .. } | SlwbOp::Update { .. } | SlwbOp::Writeback => true,
+                SlwbOp::Read {
+                    upgrade_version, ..
+                } => upgrade_version.is_some(),
+            };
+            if writes {
+                lost.push(e.block);
+            }
+        }
+        lost.extend(self.nodes.wc_version[i].keys());
+        lost.extend(self.nodes.update_backlog[i].iter().map(|(e, _)| e.block));
+        lost.extend(
+            self.nodes.wb_backlog[i]
+                .iter()
+                .filter(|&&(_, written, _)| written)
+                .map(|&(b, _, _)| b),
+        );
+        // Wipe. FLC first (inclusion), then the SLC.
+        let flc_resident: Vec<BlockAddr> = self.nodes.flc.resident(i).collect();
+        for b in flc_resident {
+            self.nodes.flc.invalidate(i, b);
+        }
+        for &(b, _) in &resident {
+            self.nodes.slc[i].remove(b);
+        }
+        if self.ctrace.enabled() {
+            for &(b, state) in &resident {
+                let from = match state {
+                    CacheState::Shared => CacheTag::Shared,
+                    CacheState::Dirty => CacheTag::Dirty,
+                    CacheState::MigClean => CacheTag::MigClean,
+                };
+                self.trace_cache_transition(n, b, from, TraceInput::Crash, t);
+            }
+        }
+        while self.nodes.flwb[i].pop().is_some() {}
+        self.nodes.flwb_active[i] = false;
+        self.nodes.retry_no_charge[i] = false;
+        self.nodes.slwb[i].clear();
+        self.nodes.pending_writes[i] = 0;
+        self.nodes.update_backlog[i].clear();
+        self.nodes.wb_backlog[i].clear();
+        if let Some(wc) = self.nodes.wc[i].as_mut() {
+            let _ = wc.flush_all();
+        }
+        self.nodes.wc_version[i] = BlockMap::new();
+        self.nodes.sync_waiting[i].clear();
+        self.nodes.waiting_grant[i] = None;
+        // Held locks are forgotten here and reclaimed at the homes by the
+        // reconstruction sweep. The acquire-sequence counter is NOT reset:
+        // it must stay monotone across incarnations or the homes' duplicate
+        // filters would eat the new life's acquires.
+        self.nodes.held_locks[i] = BlockMap::new();
+        self.nodes.exts[i] = ExtStack::from_protocol(&self.cfg.protocol);
+        self.retry_attempts[i] = BlockMap::new();
+        self.retry_inflight[i] = BlockMap::new();
+        if self.nodes.finish[i].is_none() {
+            self.nodes.pstate[i] = ProcState::Crashed;
+        }
+        lost
+    }
+
+    /// Runs the epoch-fenced reconstruction of home `h` against dead node
+    /// `n` at time `now`: the directory purges the node from every sharer
+    /// set (emitting the synthesized completions and recovery fan-outs),
+    /// and the lock controller hands the node's locks to their next
+    /// waiters.
+    pub(crate) fn purge_home(&mut self, h: usize, n: NodeId, now: Time) {
+        let t = now + self.cfg.timing.mem_access + self.cfg.timing.dir_access;
+        let home = NodeId(h as u16);
+        self.homes[h].dir.set_trace_now(now.cycles());
+        self.homes[h].dir.set_node_dead(n, true);
+        let mut out: Vec<(BlockAddr, dirext_core::dir::DirAction)> = Vec::new();
+        if let Err(e) = self.homes[h].dir.purge_node(n, &mut out) {
+            self.fatal = Some(SimError::Protocol(e));
+            return;
+        }
+        for (block, act) in out {
+            let carries_payload =
+                act.kind.carries_block() || matches!(act.kind, MsgKind::Update { .. });
+            let version = if carries_payload {
+                self.homes[h].version_of(block)
+            } else {
+                0
+            };
+            self.send_msg(
+                t,
+                Msg {
+                    src: home,
+                    dst: act.dst,
+                    block,
+                    kind: act.kind,
+                    version,
+                    epoch: 0,
+                },
+            );
+        }
+        for (lock, next, seq) in self.homes[h].locks.purge_node(n) {
+            self.reply_from_home(t, home, next, lock, MsgKind::AcqGrant, seq);
+        }
     }
 }
 
@@ -509,11 +740,40 @@ impl Shard {
 /// handler touches.
 pub(crate) fn ev_owner(ev: &Ev) -> usize {
     match ev {
-        Ev::ProcStep(n) | Ev::FlwbHead(n) => n.idx(),
+        Ev::ProcStep(n, _) | Ev::FlwbHead(n, _) => n.idx(),
         Ev::Deliver(m) => m.dst.idx(),
         Ev::Retry(m) => m.src.idx(),
         Ev::Watchdog => 0,
     }
+}
+
+/// One scheduled node-fault operation on the machine's fault timeline.
+#[derive(Debug, Clone, Copy)]
+struct FaultTick {
+    at: Time,
+    op: FaultOp,
+    node: NodeId,
+}
+
+/// The three phases of a node-fault window, in application order for
+/// same-cycle ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum FaultOp {
+    /// The node dies: caches wiped, traffic fenced.
+    Crash,
+    /// The homes detect the silence and purge the node.
+    Reconstruct,
+    /// The node rejoins cold with a bumped epoch.
+    Recover,
+}
+
+/// What a node's processor was doing at the instant it crashed — the
+/// re-admission logic decides from this whether the recovered processor
+/// re-executes the interrupted instruction, keeps waiting, or proceeds.
+#[derive(Debug, Clone, Copy)]
+struct CrashCtx {
+    pstate: ProcState,
+    wait: Option<SyncWait>,
 }
 
 /// One simulated machine, ready to run a workload.
@@ -558,6 +818,21 @@ pub struct Machine {
     pub(crate) par_windows: u64,
     /// Diagnostic: windows that fell back to a serial stretch.
     pub(crate) serial_stretches: u64,
+    /// Scheduled node-fault operations, sorted by (time, node, phase);
+    /// built from the config's plan at run start.
+    fault_timeline: Vec<FaultTick>,
+    /// Next unapplied entry of `fault_timeline`.
+    fault_cursor: usize,
+    /// What each crashed node was doing, for re-admission.
+    crash_ctx: Vec<Option<CrashCtx>>,
+    /// Blocks whose most recent written value died with a crashed node:
+    /// memory legitimately rewound to the last writeback, so the
+    /// end-of-run value check treats them as explicitly degraded.
+    pub(crate) data_lost: BlockMap<()>,
+    /// Count of distinct blocks in `data_lost`.
+    data_loss: u64,
+    node_crashes: u64,
+    node_recoveries: u64,
 }
 
 impl Machine {
@@ -629,6 +904,13 @@ impl Machine {
             windowed,
             par_windows: 0,
             serial_stretches: 0,
+            fault_timeline: Vec::new(),
+            fault_cursor: 0,
+            crash_ctx: Vec::new(),
+            data_lost: BlockMap::new(),
+            data_loss: 0,
+            node_crashes: 0,
+            node_recoveries: 0,
             cfg,
         }
     }
@@ -732,6 +1014,34 @@ impl Machine {
                 workload: workload.procs(),
             });
         }
+        self.fault_timeline.clear();
+        self.fault_cursor = 0;
+        self.crash_ctx = vec![None; self.cfg.procs];
+        if let Some(plan) = self.cfg.node_fault_plan.clone().filter(|p| p.is_active()) {
+            if let Err(e) = plan.validate(self.cfg.procs) {
+                return Err(SimError::Config {
+                    detail: format!("node-fault plan: {e}"),
+                });
+            }
+            for ev in &plan.events {
+                self.fault_timeline.push(FaultTick {
+                    at: Time::from_cycles(ev.crash_at),
+                    op: FaultOp::Crash,
+                    node: ev.node,
+                });
+                self.fault_timeline.push(FaultTick {
+                    at: Time::from_cycles(ev.crash_at + plan.detect_delay),
+                    op: FaultOp::Reconstruct,
+                    node: ev.node,
+                });
+                self.fault_timeline.push(FaultTick {
+                    at: Time::from_cycles(ev.recover_at),
+                    op: FaultOp::Recover,
+                    node: ev.node,
+                });
+            }
+            self.fault_timeline.sort_by_key(|f| (f.at, f.node.0, f.op));
+        }
         let programs: Vec<_> = (0..self.cfg.procs)
             .map(|i| workload.program_shared(i))
             .collect();
@@ -739,8 +1049,11 @@ impl Machine {
             sh.nodes = Nodes::new(programs.clone(), &self.cfg.protocol, &self.cfg.timing);
         }
         for i in 0..self.cfg.procs {
-            self.queue
-                .push(self.shard_of(i), Time::ZERO, Ev::ProcStep(NodeId(i as u16)));
+            self.queue.push(
+                self.shard_of(i),
+                Time::ZERO,
+                Ev::ProcStep(NodeId(i as u16), 0),
+            );
         }
         if self.cfg.watchdog_pclocks > 0 {
             self.push_watchdog(Time::from_cycles(self.cfg.watchdog_pclocks));
@@ -786,12 +1099,190 @@ impl Machine {
     /// execute a stretch it cannot parallelize.
     pub(crate) fn run_direct_until(&mut self, limit: Option<Time>) -> Result<(), SimError> {
         loop {
-            match self.queue.peek_time() {
+            // The fault timeline interleaves with the event queue: a fault
+            // operation at time T applies before any event at T (the crash
+            // kills the node before its same-cycle activity), and fires
+            // even when the queue is momentarily empty (a recovery can be
+            // the only thing left that un-wedges the machine).
+            let qt = self.queue.peek_time();
+            if let Some(ft) = self.next_fault_at() {
+                if qt.is_none_or(|q| ft <= q) {
+                    if limit.is_some_and(|l| ft >= l) {
+                        return Ok(());
+                    }
+                    self.apply_next_fault()?;
+                    continue;
+                }
+            }
+            match qt {
                 None => return Ok(()),
                 Some(t) if limit.is_some_and(|l| t >= l) => return Ok(()),
                 Some(_) => {}
             }
             self.step_direct_one()?;
+        }
+    }
+
+    // --------------------------------------------------------- node faults
+
+    /// When the next scheduled node-fault operation applies, if any.
+    pub(crate) fn next_fault_at(&self) -> Option<Time> {
+        self.fault_timeline.get(self.fault_cursor).map(|f| f.at)
+    }
+
+    /// Applies the next fault-timeline entry. Fault operations execute on
+    /// the coordinator between events (and, on the windowed engine, between
+    /// windows), so every shard's liveness/epoch copy updates atomically
+    /// with respect to event dispatch.
+    fn apply_next_fault(&mut self) -> Result<(), SimError> {
+        let f = self.fault_timeline[self.fault_cursor];
+        self.fault_cursor += 1;
+        debug_assert!(f.at >= self.now, "fault time went backwards");
+        self.now = f.at;
+        // A scheduled outage is not a hang: the machine may be legitimately
+        // quiet while a crashed node's peers wait out the detection delay.
+        self.last_progress = f.at;
+        match f.op {
+            FaultOp::Crash => self.apply_crash(f.at, f.node),
+            FaultOp::Reconstruct => self.apply_reconstruct(f.at, f.node)?,
+            FaultOp::Recover => self.apply_recover(f.at, f.node),
+        }
+        Ok(())
+    }
+
+    fn apply_crash(&mut self, t: Time, n: NodeId) {
+        let i = n.idx();
+        let s = self.shard_of(i);
+        let sh = &mut self.shards[s];
+        self.crash_ctx[i] = Some(CrashCtx {
+            pstate: sh.nodes.pstate[i],
+            wait: sh.nodes.waiting_grant[i],
+        });
+        let lost = sh.crash_node(n, t);
+        for sh in &mut self.shards {
+            sh.alive[i] = false;
+        }
+        for b in lost {
+            if self.data_lost.get(b).is_none() {
+                self.data_lost.get_or_insert_with(b, || ());
+                self.data_loss += 1;
+            }
+        }
+        self.node_crashes += 1;
+        if self.trace_events {
+            eprintln!("[{t}] NodeCrash({n})");
+        }
+    }
+
+    /// The bounded-timeout detection fires: every home purges the dead
+    /// node, in home order, draining each home's synthesized completions
+    /// and lock hand-offs through the normal action path.
+    fn apply_reconstruct(&mut self, t: Time, n: NodeId) -> Result<(), SimError> {
+        if self.trace_events {
+            eprintln!("[{t}] NodeReconstruct({n})");
+        }
+        for h in 0..self.cfg.procs {
+            let s = self.shard_of(h);
+            {
+                let sh = &mut self.shards[s];
+                sh.gate_floor = None;
+                sh.out_min = None;
+                debug_assert!(sh.out.is_empty(), "unapplied actions at a fault barrier");
+                sh.purge_home(h, n, t);
+            }
+            self.drain_shard(s)?;
+        }
+        Ok(())
+    }
+
+    /// Re-admits node `n` cold: epoch bumped on every shard, directories
+    /// un-mark it, and the processor resumes according to what its previous
+    /// incarnation was doing when it died.
+    fn apply_recover(&mut self, t: Time, n: NodeId) {
+        let i = n.idx();
+        for sh in &mut self.shards {
+            sh.alive[i] = true;
+            sh.epoch[i] = sh.epoch[i].wrapping_add(1);
+            let (lo, hi) = (sh.lo, sh.hi);
+            for h in lo..hi {
+                sh.homes[h].dir.set_node_dead(n, false);
+            }
+        }
+        enum Restart {
+            /// Proceed with the next instruction.
+            Step,
+            /// Re-execute the interrupted instruction (its effect died with
+            /// the old incarnation).
+            Redo,
+            /// Keep waiting for a barrier release the old incarnation
+            /// already earned an arrival for.
+            Rewait(u32),
+            /// The program had already finished.
+            Done,
+        }
+        let ctx = self.crash_ctx[i].take();
+        let restart = match ctx {
+            None => Restart::Step,
+            Some(c) => match c.pstate {
+                ProcState::Done => Restart::Done,
+                ProcState::Ready | ProcState::Crashed => Restart::Step,
+                // A buffer stall happens *before* the pc advances, so the
+                // pending instruction re-runs without a rollback.
+                ProcState::Stalled {
+                    kind: StallKind::Buffer,
+                    ..
+                } => Restart::Step,
+                ProcState::Stalled { .. } => match c.wait {
+                    Some(SyncWait::Barrier(id)) => {
+                        let bh = (id as usize) % self.cfg.procs;
+                        let home = &self.shards[self.shard_of(bh)].homes[bh];
+                        if home.barriers.is_done(id) {
+                            // The episode released during the outage.
+                            Restart::Step
+                        } else if home.barriers.has_arrived(n, id) {
+                            // The pre-crash arrival was counted; the
+                            // release broadcast will reach the new
+                            // incarnation.
+                            Restart::Rewait(id)
+                        } else {
+                            Restart::Redo
+                        }
+                    }
+                    // The release reached its home before the crash (or the
+                    // lock was purged); either way the critical section is
+                    // over and the processor moves on.
+                    Some(SyncWait::ReleaseAck(..)) => Restart::Step,
+                    // Re-acquire with a fresh sequence number.
+                    Some(SyncWait::Lock(..)) => Restart::Redo,
+                    // A demand read/write: its request state died with the
+                    // node, so the instruction re-executes.
+                    None => Restart::Redo,
+                },
+            },
+        };
+        let s = self.shard_of(i);
+        let sh = &mut self.shards[s];
+        match restart {
+            Restart::Done => sh.nodes.pstate[i] = ProcState::Done,
+            Restart::Rewait(id) => {
+                sh.nodes.pstate[i] = ProcState::Stalled {
+                    kind: StallKind::Acquire,
+                    since: t,
+                };
+                sh.nodes.waiting_grant[i] = Some(SyncWait::Barrier(id));
+            }
+            Restart::Step | Restart::Redo => {
+                if matches!(restart, Restart::Redo) {
+                    sh.nodes.pc[i] = sh.nodes.pc[i].saturating_sub(1);
+                }
+                sh.nodes.pstate[i] = ProcState::Ready;
+                let e = sh.epoch[i];
+                self.queue.push(s, t, Ev::ProcStep(n, e));
+            }
+        }
+        self.node_recoveries += 1;
+        if self.trace_events {
+            eprintln!("[{t}] NodeRecover({n})");
         }
     }
 
@@ -837,7 +1328,7 @@ impl Machine {
         sh.out_min = None;
         debug_assert!(sh.out.is_empty(), "unapplied actions from a prior dispatch");
         sh.wc_overlay.clear();
-        if let Ev::FlwbHead(n) = ev {
+        if let Ev::FlwbHead(n, _) = ev {
             if let Some(&crate::node::FlwbEntry::Write(a)) = sh.nodes.flwb[n.idx()].front() {
                 let block = a.block();
                 let base = self.wcount.get(block).copied().unwrap_or(0);
@@ -1044,10 +1535,19 @@ impl Machine {
                 m.stale_drops += h.locks.stale_ops() + h.barriers.stale_ops();
                 m.lock_acquires += h.locks.acquires();
                 m.barrier_episodes += h.barriers.episodes();
+                m.dir_purged_sharers += d.purged_sharers;
+                m.dir_orphan_reclaims += d.orphan_reclaims;
+                m.dir_purge_sweeps += d.purge_sweeps;
+                m.crash_aborted_grants += d.aborted_grants;
             }
             m.stale_drops += sh.stale_drops;
             m.nack_retries += sh.nack_retries;
+            m.crash_drops += sh.crash_drops;
+            m.stale_epoch_drops += sh.stale_epoch_drops;
         }
+        m.node_crashes = self.node_crashes;
+        m.node_recoveries = self.node_recoveries;
+        m.data_loss_blocks = self.data_loss;
         if let Some(fs) = self.net.fault_stats() {
             m.fault_delayed = fs.delayed;
             m.fault_retransmitted = fs.retransmitted;
@@ -1056,7 +1556,7 @@ impl Machine {
         }
         m.barrier_completion_cycles = self.barrier_log.iter().map(|t| t.cycles()).collect();
         m.per_proc_stalls = (0..self.cfg.procs)
-            .map(|i| self.nodes_of(i).stalls[i].clone())
+            .map(|i| self.nodes_of(i).stalls[i])
             .collect();
         let t = self.net.traffic();
         m.net_bytes = t.bytes();

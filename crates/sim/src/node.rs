@@ -29,6 +29,9 @@ pub(crate) enum ProcState {
     Stalled { kind: StallKind, since: Time },
     /// Program finished.
     Done,
+    /// The node is down under an injected crash (no `ProcStep` is live;
+    /// the fault timeline re-admits it at its scheduled recovery cycle).
+    Crashed,
 }
 
 /// An entry of the first-level write buffer: writes, read-miss requests,

@@ -1,10 +1,13 @@
 //! Whole-machine behavioural tests on hand-built micro-workloads.
 
 use dirext_core::config::{CompetitiveConfig, Consistency, ProtocolConfig};
+use dirext_core::sharer::DirOrg;
 use dirext_core::ProtocolKind;
-use dirext_trace::{Addr, BarrierId, MemEvent, Program, ProgramBuilder, Workload, BLOCK_BYTES};
+use dirext_trace::{Addr, BarrierId, MemEvent, NodeId, Program, ProgramBuilder, Workload, BLOCK_BYTES};
 
-use crate::{FaultPlan, Machine, MachineConfig, NetworkKind, SimError};
+use crate::{
+    FaultPlan, Machine, MachineConfig, NetworkKind, NodeFaultEvent, NodeFaultPlan, SimError,
+};
 
 fn run(cfg: MachineConfig, w: &Workload) -> dirext_stats::Metrics {
     Machine::new(cfg).run(w).expect("simulation must succeed")
@@ -616,6 +619,242 @@ fn midrun_audit_is_clean_on_every_protocol() {
             .with_audit_every(64);
         let m = run(cfg, &migratory_workload(4, 3, 10));
         assert!(m.exec_cycles > 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-node crash/recovery (NodeFaultPlan).
+// ---------------------------------------------------------------------------
+
+/// Crash two barrier peers mid-run. The run must complete, pass the
+/// quiescence invariants (checked inside `run`), and show the whole
+/// recovery pipeline firing: crashes, epoch-fenced drops, directory
+/// purges, and re-admissions.
+#[test]
+fn node_crashes_recover_and_the_run_completes() {
+    let rounds = 200;
+    let w = producer_consumer(8, rounds);
+    let plan = NodeFaultPlan {
+        events: vec![
+            NodeFaultEvent {
+                node: NodeId(3),
+                crash_at: 3_000,
+                recover_at: 9_000,
+            },
+            NodeFaultEvent {
+                node: NodeId(5),
+                crash_at: 15_000,
+                recover_at: 22_000,
+            },
+        ],
+        detect_delay: 400,
+    };
+    let m = run(
+        uni(ProtocolKind::Basic, Consistency::Rc, 8).with_node_faults(plan),
+        &w,
+    );
+    assert_eq!(m.node_crashes, 2);
+    assert_eq!(m.node_recoveries, 2);
+    assert!(
+        m.crash_drops > 0,
+        "messages addressed to (or sent by) a dead incarnation must drop"
+    );
+    // Every barrier episode still completes: the recovered node re-executes
+    // its interrupted arrival.
+    assert_eq!(m.barrier_episodes, u64::from(2 * rounds));
+}
+
+/// Crash a node that holds read-shared copies: the sharer sets stably list
+/// it (no writer ever invalidates), so the reconstruction sweep must find
+/// and purge it from every entry.
+#[test]
+fn reconstruction_purges_the_dead_sharer() {
+    let blocks = 8u64;
+    let programs = (0..4)
+        .map(|_| {
+            let mut b = ProgramBuilder::new().with_pace(2);
+            for _ in 0..100 {
+                for i in 0..blocks {
+                    b.read(Addr::new(i * BLOCK_BYTES));
+                }
+                b.compute(10);
+            }
+            b.build()
+        })
+        .collect();
+    let w = Workload::new("read-shared", programs);
+    let plan = NodeFaultPlan {
+        events: vec![NodeFaultEvent {
+            node: NodeId(2),
+            crash_at: 2_000,
+            recover_at: 6_000,
+        }],
+        detect_delay: 300,
+    };
+    let m = run(
+        uni(ProtocolKind::Basic, Consistency::Rc, 4).with_node_faults(plan),
+        &w,
+    );
+    assert_eq!(m.node_crashes, 1);
+    assert!(
+        m.dir_purged_sharers >= 1,
+        "the dead node must be purged from the read-shared sharer sets: {}",
+        m.dir_purged_sharers
+    );
+}
+
+/// A node crashes while it owns dirty remote blocks: the only up-to-date
+/// copies die with it. Reconstruction must reclaim the orphaned directory
+/// entries to memory and account every lost block.
+#[test]
+fn crashing_a_dirty_owner_reclaims_orphans_and_counts_data_loss() {
+    let w = remote_stream_workload(4, 64);
+    let plan = NodeFaultPlan {
+        events: vec![NodeFaultEvent {
+            node: NodeId(1),
+            crash_at: 6_000,
+            recover_at: 20_000,
+        }],
+        detect_delay: 500,
+    };
+    let m = run(
+        uni(ProtocolKind::Basic, Consistency::Rc, 4).with_node_faults(plan),
+        &w,
+    );
+    assert_eq!(m.node_crashes, 1);
+    assert_eq!(m.node_recoveries, 1);
+    assert!(
+        m.data_loss_blocks > 0,
+        "dirty lines wiped by the crash must be accounted as lost"
+    );
+    assert!(
+        m.dir_orphan_reclaims > 0,
+        "MODIFIED entries owned by the dead node must be reclaimed to memory"
+    );
+    // The recovered node re-runs its interrupted stream to completion (the
+    // re-executed instruction may count its write a second time).
+    assert!(m.shared_writes >= 64, "writes: {}", m.shared_writes);
+    assert!(m.exec_cycles > 20_000, "the outage gates completion");
+}
+
+/// An *empty* plan must keep the machine on the exact fault-free code
+/// path: bit-identical metrics across all eight protocol stacks and every
+/// directory organization family.
+#[test]
+fn empty_node_fault_plan_is_identical_to_no_plan() {
+    let w = migratory_workload(4, 3, 8);
+    let orgs = [
+        DirOrg::FullMap,
+        DirOrg::LimitedPtr {
+            ptrs: 2,
+            broadcast: true,
+        },
+        DirOrg::CoarseVector { region: 2 },
+        DirOrg::Directoryless,
+    ];
+    for kind in ProtocolKind::ALL {
+        for org in orgs {
+            let base = run(
+                uni(kind, Consistency::Rc, 4).with_dir_org(org),
+                &w,
+            );
+            let empty = run(
+                uni(kind, Consistency::Rc, 4)
+                    .with_dir_org(org)
+                    .with_node_faults(NodeFaultPlan::default()),
+                &w,
+            );
+            assert_eq!(base, empty, "{kind} {org:?}: empty plan must be a no-op");
+        }
+    }
+}
+
+/// The same seeded crash schedule reproduces identical metrics run to run.
+#[test]
+fn node_faults_are_deterministic_across_runs() {
+    let w = producer_consumer(8, 200);
+    let cfg = || {
+        uni(ProtocolKind::PCwM, Consistency::Rc, 8)
+            .with_node_faults(NodeFaultPlan::seeded(9, 8, 3))
+    };
+    let a = run(cfg(), &w);
+    let b = run(cfg(), &w);
+    assert_eq!(a, b, "same crash schedule must reproduce identical metrics");
+    assert_eq!(a.node_crashes, 3);
+    assert_eq!(a.node_recoveries, 3);
+}
+
+/// The windowed-parallel engine treats crash/reconstruct/recover cycles as
+/// window barriers; a faulted run must stay bit-identical to serial.
+#[test]
+fn windowed_engine_matches_serial_under_node_faults() {
+    for kind in [ProtocolKind::Basic, ProtocolKind::PCwM] {
+        let w = producer_consumer(8, 200);
+        let plan = NodeFaultPlan::seeded(5, 8, 3);
+        let serial = run(
+            uni(kind, Consistency::Rc, 8).with_node_faults(plan.clone()),
+            &w,
+        );
+        let par = run(
+            uni(kind, Consistency::Rc, 8)
+                .with_node_faults(plan)
+                .with_sim_threads(4),
+            &w,
+        );
+        assert_eq!(
+            serial, par,
+            "{kind}: sim-threads must not change faulted results"
+        );
+        assert_eq!(serial.node_crashes, 3);
+    }
+}
+
+/// Node faults compose with the message-level fault layer: drops and
+/// duplicates on top of crashes must still converge.
+#[test]
+fn node_faults_compose_with_link_faults() {
+    let w = producer_consumer(4, 60);
+    let plan = NodeFaultPlan {
+        events: vec![NodeFaultEvent {
+            node: NodeId(2),
+            crash_at: 2_500,
+            recover_at: 7_000,
+        }],
+        detect_delay: 300,
+    };
+    let m = run(
+        uni(ProtocolKind::Basic, Consistency::Rc, 4)
+            .with_faults(rough_weather(13))
+            .with_node_faults(plan),
+        &w,
+    );
+    assert_eq!(m.node_crashes, 1);
+    assert_eq!(m.node_recoveries, 1);
+    assert!(m.fault_retransmitted > 0);
+}
+
+/// An invalid plan surfaces as a structured configuration error, not a
+/// panic or a wedge.
+#[test]
+fn invalid_node_fault_plan_is_a_config_error() {
+    let plan = NodeFaultPlan {
+        events: vec![NodeFaultEvent {
+            node: NodeId(9),
+            crash_at: 100,
+            recover_at: 5_000,
+        }],
+        detect_delay: 500,
+    };
+    let err = Machine::new(
+        uni(ProtocolKind::Basic, Consistency::Rc, 4).with_node_faults(plan),
+    )
+    .run(&stream_workload(4, 4, false));
+    match err.unwrap_err() {
+        SimError::Config { detail } => {
+            assert!(detail.contains("node-fault plan"), "{detail}");
+            assert!(detail.contains("4 processors"), "{detail}");
+        }
+        other => panic!("expected a config error, got {other:?}"),
     }
 }
 

@@ -133,6 +133,38 @@ pub struct Metrics {
     /// and synchronization controllers combined).
     pub stale_drops: u64,
 
+    /// Whole-node crashes applied by the node-fault plan.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub node_crashes: u64,
+    /// Crashed nodes re-admitted (epoch bumped, caches cold).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub node_recoveries: u64,
+    /// Events and messages dropped because an endpoint was crashed.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub crash_drops: u64,
+    /// Events and messages dropped because they were stamped by a previous
+    /// incarnation of a since-recovered node.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub stale_epoch_drops: u64,
+    /// Sharer-set entries surgically removed by reconstruction sweeps.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub dir_purged_sharers: u64,
+    /// Dirty blocks reclaimed from a dead owner (memory rewound to its
+    /// last written value).
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub dir_orphan_reclaims: u64,
+    /// Recovery invalidation sweeps issued against inexact sharer sets.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub dir_purge_sweeps: u64,
+    /// Pending directory operations whose grant was redirected because the
+    /// requester died mid-flight.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub crash_aborted_grants: u64,
+    /// Distinct blocks whose most recent written value died with a crashed
+    /// node.
+    #[serde(default, skip_serializing_if = "is_zero")]
+    pub data_loss_blocks: u64,
+
     /// Lock acquisitions performed.
     pub lock_acquires: u64,
     /// Barrier episodes completed.
@@ -369,6 +401,23 @@ impl fmt::Display for Metrics {
                 self.nacks_sent,
                 self.nack_retries,
                 self.stale_drops
+            )?;
+        }
+        if self.node_crashes > 0 {
+            write!(
+                f,
+                "\n  crashes: {} (recovered {}); drops crash {} stale-epoch {}; \
+                 purged-sharers {} orphan-reclaims {} purge-sweeps {} aborted-grants {} \
+                 degraded-blocks {}",
+                self.node_crashes,
+                self.node_recoveries,
+                self.crash_drops,
+                self.stale_epoch_drops,
+                self.dir_purged_sharers,
+                self.dir_orphan_reclaims,
+                self.dir_purge_sweeps,
+                self.crash_aborted_grants,
+                self.data_loss_blocks
             )?;
         }
         Ok(())
